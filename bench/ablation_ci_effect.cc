@@ -1,0 +1,100 @@
+// Ablation: the effect of the confidence-interval adjustment of
+// Section IV.B on ranking quality. A sparse noise attribute (few records
+// per value, wild empirical rates) competes against the planted cause.
+// Without the CI revision the noise attribute's small-sample spikes inflate
+// its score; with it, the planted cause stays on top.
+//
+// Flags: --records=N (default 60000), --trials=N (default 5).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+
+namespace opmap {
+namespace {
+
+// Builds the workload with an extra high-cardinality sparse attribute by
+// reusing a generic attribute with many values.
+CallLogConfig SparseWorkload(int64_t records, uint64_t seed) {
+  CallLogConfig config = bench::StandardWorkload(20, records);
+  config.values_per_attribute = 64;  // sparse: few records per cell
+  config.seed = seed;
+  return config;
+}
+
+struct TrialOutcome {
+  int rank_with_ci = -1;
+  int rank_without_ci = -1;
+};
+
+TrialOutcome RunTrial(int64_t records, uint64_t seed) {
+  CallLogGenerator gen = bench::ValueOrDie(
+      CallLogGenerator::Make(SparseWorkload(records, seed)), "generator");
+  Dataset d = gen.Generate();
+  CubeStore store =
+      bench::ValueOrDie(CubeBuilder::FromDataset(d), "cube build");
+  Comparator comparator(&store);
+
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 2;
+  spec.target_class = kDroppedWhileInProgress;
+
+  TrialOutcome outcome;
+  spec.use_confidence_intervals = true;
+  outcome.rank_with_ci =
+      bench::ValueOrDie(comparator.Compare(spec), "compare")
+          .RankOf(gen.GroundTruthAttribute());
+  spec.use_confidence_intervals = false;
+  outcome.rank_without_ci =
+      bench::ValueOrDie(comparator.Compare(spec), "compare")
+          .RankOf(gen.GroundTruthAttribute());
+  return outcome;
+}
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 5));
+
+  bench::PrintHeader("Ablation",
+                     "confidence-interval adjustment (Section IV.B)");
+  std::printf(
+      "workload: 20 attributes with 64-value sparse domains, planted cause\n"
+      "TimeOfCall x ph03. Mean rank of the planted cause over %d trials\n"
+      "(0 = top; sparse noise attributes compete harder as the data "
+      "shrinks):\n\n",
+      trials);
+
+  std::printf("%-10s %-18s %-18s\n", "records", "mean rank (CI on)",
+              "mean rank (CI off)");
+  for (int64_t records : {int64_t{4000}, int64_t{10000}, int64_t{30000},
+                          int64_t{60000}}) {
+    double sum_with = 0;
+    double sum_without = 0;
+    for (int t = 0; t < trials; ++t) {
+      const TrialOutcome o = RunTrial(records, 1000 + 17 * t);
+      sum_with += o.rank_with_ci;
+      sum_without += o.rank_without_ci;
+    }
+    std::printf("%-10lld %-18.2f %-18.2f\n",
+                static_cast<long long>(records), sum_with / trials,
+                sum_without / trials);
+  }
+  std::printf(
+      "\nShape check: the CI revision keeps the planted cause at or near\n"
+      "rank 0 even on small samples by discounting small-sample confidence\n"
+      "spikes; without it sparse attributes crowd the top of the ranking\n"
+      "(mean rank >> 0 until the data is large).\n");
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

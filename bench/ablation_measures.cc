@@ -1,0 +1,93 @@
+// Ablation: the paper's interestingness M (Section IV.A) against textbook
+// alternatives (chi-square homogeneity, two-sided absolute difference, KL
+// divergence) on workloads with a known cause AND a usage-pattern
+// confounder.
+//
+// The confounder: the bad phone is simply *used differently* (its calls
+// concentrate on different values of one attribute) while its failure odds
+// stay uniformly scaled. Distribution-sensitive measures flag the usage
+// attribute; the paper's ratio-based M correctly scores it as expected
+// (cf2k/cf1k == cf2/cf1 everywhere), keeping the true cause on top.
+//
+// Flags: --records=N (default 80000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "opmap/compare/alternatives.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+
+namespace opmap {
+namespace {
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int64_t records = flags.GetInt("records", 80000);
+
+  bench::PrintHeader("Ablation",
+                     "interestingness measure vs textbook alternatives");
+
+  CallLogConfig config = bench::StandardWorkload(20, records);
+  // True cause: ph03 x morning (multiplier 5).
+  config.effects[0].odds_multiplier = 5.0;
+  // Confounder: ph03's calls concentrate on few values of Attr003 without
+  // any rate change.
+  config.usage_skews.push_back(UsageSkew{"Attr003", 2, 2.5});
+  CallLogGenerator gen =
+      bench::ValueOrDie(CallLogGenerator::Make(config), "generator");
+  Dataset d = gen.Generate();
+  CubeStore store =
+      bench::ValueOrDie(CubeBuilder::FromDataset(d), "cube build");
+  const int cause = gen.GroundTruthAttribute();
+  const int confounder =
+      bench::ValueOrDie(store.schema().IndexOf("Attr003"), "attr");
+
+  Comparator comparator(&store);
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 2;
+  spec.target_class = kDroppedWhileInProgress;
+  const ComparisonResult result =
+      bench::ValueOrDie(comparator.Compare(spec), "compare");
+
+  std::printf("workload: %lld records, true cause = %s, usage confounder "
+              "= %s\n\n",
+              static_cast<long long>(records),
+              store.schema().attribute(cause).name().c_str(),
+              store.schema().attribute(confounder).name().c_str());
+  std::printf("%-16s %-14s %-14s %-16s %-16s\n", "measure", "cause rank",
+              "conf. rank", "cause score", "conf. score");
+  for (ComparisonMeasure m :
+       {ComparisonMeasure::kPaperM, ComparisonMeasure::kChiSquare,
+        ComparisonMeasure::kAbsoluteDifference,
+        ComparisonMeasure::kKlDivergence}) {
+    const auto scores =
+        bench::ValueOrDie(RescoreComparison(result, m), "rescore");
+    double cause_score = 0, conf_score = 0;
+    for (const MeasureScore& s : scores) {
+      if (s.attribute == cause) cause_score = s.score;
+      if (s.attribute == confounder) conf_score = s.score;
+    }
+    std::printf("%-16s %-14d %-14d %-16.2f %-16.2f\n",
+                ComparisonMeasureName(m), RankIn(scores, cause),
+                RankIn(scores, confounder), cause_score, conf_score);
+  }
+
+  std::printf(
+      "\nShape check: paper-M keeps the true cause at rank 0 and scores the\n"
+      "usage confounder like any expected attribute; distribution-based\n"
+      "measures (chi-square, KL) pull the confounder toward the top — the\n"
+      "expected-confidence ratio of Section IV.A is what makes the paper's\n"
+      "measure actionable rather than merely 'different'.\n");
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

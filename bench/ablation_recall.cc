@@ -1,0 +1,76 @@
+// Ablation: recall of the planted root cause as a function of effect
+// strength, and the impact of property-attribute segregation
+// (Section IV.C). Reports the rank of the planted attribute with the
+// property detector on and off; when off, the hardware-version attribute
+// (keyed to the phone model) competes for the top ranks exactly as the
+// paper describes.
+//
+// Flags: --records=N (default 80000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+
+namespace opmap {
+namespace {
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int64_t records = flags.GetInt("records", 80000);
+
+  bench::PrintHeader(
+      "Ablation", "planted-cause recall and property-attribute segregation");
+  std::printf("workload: %lld records, 41 attributes, 1 property attribute\n",
+              static_cast<long long>(records));
+  std::printf(
+      "\n%-12s %-22s %-24s %-22s\n", "multiplier", "rank (detector on)",
+      "rank (detector off)", "hw-version rank (off)");
+
+  for (double multiplier : {1.5, 2.0, 4.0, 8.0}) {
+    CallLogConfig config = bench::StandardWorkload(41, records);
+    config.effects[0].odds_multiplier = multiplier;
+    CallLogGenerator gen = bench::ValueOrDie(
+        CallLogGenerator::Make(config), "generator");
+    Dataset d = gen.Generate();
+    CubeStore store =
+        bench::ValueOrDie(CubeBuilder::FromDataset(d), "cube build");
+    Comparator comparator(&store);
+
+    ComparisonSpec spec;
+    spec.attribute = 0;
+    spec.value_a = 0;
+    spec.value_b = 2;
+    spec.target_class = kDroppedWhileInProgress;
+
+    spec.detect_property_attributes = true;
+    const ComparisonResult with_detect =
+        bench::ValueOrDie(comparator.Compare(spec), "compare");
+    spec.detect_property_attributes = false;
+    const ComparisonResult without_detect =
+        bench::ValueOrDie(comparator.Compare(spec), "compare");
+
+    const int hw =
+        bench::ValueOrDie(store.schema().IndexOf("HardwareVersion1"), "hw");
+    std::printf("%-12.1f %-22d %-24d %-22d\n", multiplier,
+                with_detect.RankOf(gen.GroundTruthAttribute()),
+                without_detect.RankOf(gen.GroundTruthAttribute()),
+                without_detect.RankOf(hw));
+  }
+
+  std::printf(
+      "\nShape check: stronger planted effects push the causal attribute to\n"
+      "rank 0. With the detector off, the keyed hardware-version attribute\n"
+      "enters the ranking (cf1k = 0 artifacts) and can displace the true\n"
+      "cause — the paper's motivation for the separate property list.\n");
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Honest predictive-baseline evaluation: stratified k-fold cross-validated
+// accuracy of the decision tree, Naive Bayes and CBA on the call-log
+// workload, against the majority-class baseline.
+//
+// The point (paper Section I): on heavily skewed diagnostic data every
+// classifier converges to the majority class — high accuracy, zero
+// diagnostic value. Predictive mining answers "will this call drop?"
+// (trivially: no); the comparator answers "why does THIS phone drop more".
+//
+// Flags: --records=N (default 40000), --folds=N (default 5).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "opmap/baselines/cba.h"
+#include "opmap/baselines/decision_tree.h"
+#include "opmap/baselines/evaluation.h"
+#include "opmap/baselines/naive_bayes.h"
+#include "opmap/data/call_log.h"
+
+namespace opmap {
+namespace {
+
+void Report(const char* name, const CrossValidationResult& cv) {
+  std::printf("%-16s %.4f +- %.4f   (majority baseline %.4f, lift %+0.4f)\n",
+              name, cv.mean_accuracy, cv.stddev_accuracy,
+              cv.majority_baseline,
+              cv.mean_accuracy - cv.majority_baseline);
+}
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int64_t records = flags.GetInt("records", 40000);
+  const int folds = static_cast<int>(flags.GetInt("folds", 5));
+
+  bench::PrintHeader("Baseline accuracy",
+                     "cross-validated classifiers on skewed call logs");
+  CallLogGenerator gen = bench::ValueOrDie(
+      CallLogGenerator::Make(bench::StandardWorkload(12, records)),
+      "generator");
+  Dataset d = gen.Generate();
+  std::printf("workload: %lld records, 12 attributes, %d-fold stratified "
+              "CV\n\n",
+              static_cast<long long>(records), folds);
+
+  Rng rng(11);
+  {
+    ClassifierTrainer trainer =
+        [](const Dataset& train) -> Result<Classifier> {
+      DecisionTreeOptions opts;
+      opts.max_depth = 8;
+      opts.min_leaf_size = 50;
+      OPMAP_ASSIGN_OR_RETURN(DecisionTree tree,
+                             DecisionTree::Train(train, opts));
+      auto shared = std::make_shared<DecisionTree>(std::move(tree));
+      return Classifier([shared](const std::vector<ValueCode>& row) {
+        return shared->Predict(row);
+      });
+    };
+    Report("decision tree",
+           bench::ValueOrDie(CrossValidate(d, trainer, folds, rng), "CV"));
+  }
+  {
+    ClassifierTrainer trainer =
+        [](const Dataset& train) -> Result<Classifier> {
+      OPMAP_ASSIGN_OR_RETURN(NaiveBayes nb, NaiveBayes::Train(train));
+      auto shared = std::make_shared<NaiveBayes>(std::move(nb));
+      return Classifier([shared](const std::vector<ValueCode>& row) {
+        return shared->Predict(row);
+      });
+    };
+    Report("naive Bayes",
+           bench::ValueOrDie(CrossValidate(d, trainer, folds, rng), "CV"));
+  }
+  {
+    ClassifierTrainer trainer =
+        [](const Dataset& train) -> Result<Classifier> {
+      CbaOptions opts;
+      opts.min_support = 0.005;
+      opts.min_confidence = 0.5;
+      OPMAP_ASSIGN_OR_RETURN(CbaClassifier cba,
+                             CbaClassifier::Train(train, opts));
+      auto shared = std::make_shared<CbaClassifier>(std::move(cba));
+      return Classifier([shared](const std::vector<ValueCode>& row) {
+        return shared->Predict(row);
+      });
+    };
+    Report("CBA",
+           bench::ValueOrDie(CrossValidate(d, trainer, folds, rng), "CV"));
+  }
+
+  std::printf(
+      "\nShape check: every classifier sits within noise of the majority\n"
+      "baseline (~96%%) — on diagnostic data, predictive accuracy carries\n"
+      "no actionable signal, which is why the paper pursues comparison\n"
+      "instead of classification.\n");
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Contrast of the paper's automated comparison against the related-work
+// baselines of Section II on data with a known ground truth:
+//   (1) rule ranking by objective measures — top rules are low-support
+//       artifacts;
+//   (2) decision tree / rule induction — the completeness problem: the
+//       small discovered rule subset misses the actionable combination;
+//   (3) discovery-driven cube exceptions (Sarawagi-style) — finds deviant
+//       cells but not the sub-population contrast the engineer asked for.
+//
+// Flags: --records=N (default 80000).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "opmap/baselines/cba.h"
+#include "opmap/baselines/cube_exceptions.h"
+#include "opmap/baselines/decision_tree.h"
+#include "opmap/baselines/naive_bayes.h"
+#include "opmap/baselines/rule_induction.h"
+#include "opmap/baselines/rule_ranking.h"
+#include "opmap/car/miner.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+
+namespace opmap {
+namespace {
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int64_t records = flags.GetInt("records", 80000);
+  const int attributes = 20;
+
+  bench::PrintHeader("Baseline contrast",
+                     "comparator vs Section II related-work approaches");
+  CallLogGenerator gen = bench::ValueOrDie(
+      CallLogGenerator::Make(bench::StandardWorkload(attributes, records)),
+      "generator");
+  Dataset d = gen.Generate();
+  CubeStore store =
+      bench::ValueOrDie(CubeBuilder::FromDataset(d), "cube build");
+  std::printf("workload: %lld records, %d attributes, planted cause "
+              "PhoneModel=ph03 x TimeOfCall=morning -> drop\n",
+              static_cast<long long>(records), attributes);
+
+  // --- The comparator (this paper). ---
+  {
+    Comparator comparator(&store);
+    ComparisonSpec spec;
+    spec.attribute = 0;
+    spec.value_a = 0;
+    spec.value_b = 2;
+    spec.target_class = kDroppedWhileInProgress;
+    const ComparisonResult r =
+        bench::ValueOrDie(comparator.Compare(spec), "compare");
+    std::printf(
+        "\n[comparator]     planted cause rank: %d of %zu (0 = top); "
+        "property attrs segregated: %zu\n",
+        r.RankOf(gen.GroundTruthAttribute()), r.ranked.size(),
+        r.properties.size());
+  }
+
+  // --- Rule ranking by objective measures. ---
+  {
+    CarMinerOptions mopts;
+    mopts.min_support = 0.0001;
+    mopts.max_conditions = 2;
+    const RuleSet rules = bench::ValueOrDie(
+        MineClassAssociationRules(d, mopts), "CAR mining");
+    for (RuleMeasure m : {RuleMeasure::kConfidence, RuleMeasure::kLift,
+                          RuleMeasure::kChiSquare}) {
+      const auto ranked = bench::ValueOrDie(
+          RankRules(rules, m, d.ClassCounts(), 20), "ranking");
+      const double low = LowSupportFraction(ranked, d.num_rows(), 0.01, 20);
+      // Does any top-20 rule mention the planted combination?
+      bool planted_in_top = false;
+      for (const auto& rr : ranked) {
+        bool phone = false, morning = false;
+        for (const Condition& c : rr.rule.conditions) {
+          if (c.attribute == 0 && c.value == 2) phone = true;
+          if (c.attribute == gen.GroundTruthAttribute() && c.value == 1) {
+            morning = true;
+          }
+        }
+        if (phone && morning &&
+            rr.rule.class_value == kDroppedWhileInProgress) {
+          planted_in_top = true;
+        }
+      }
+      std::printf(
+          "[rule ranking]   measure=%-11s top-20 low-support artifacts: "
+          "%.0f%%; planted rule in top-20: %s\n",
+          RuleMeasureName(m), low * 100, planted_in_top ? "yes" : "no");
+    }
+  }
+
+  // --- Decision tree (completeness problem). ---
+  {
+    DecisionTreeOptions topts;
+    topts.max_depth = 8;
+    topts.min_leaf_size = 50;
+    const DecisionTree tree =
+        bench::ValueOrDie(DecisionTree::Train(d, topts), "tree");
+    const RuleSet tree_rules = tree.ExtractRules();
+    const int64_t complete = CountPossibleRules(d.schema(), 1) +
+                             CountPossibleRules(d.schema(), 2);
+    std::printf(
+        "[decision tree]  discovered rules: %zu of %lld possible (%.2f%%); "
+        "accuracy %.2f%% (majority-class dominated)\n",
+        tree_rules.size(), static_cast<long long>(complete),
+        100.0 * static_cast<double>(tree_rules.size()) /
+            static_cast<double>(complete),
+        100.0 * bench::ValueOrDie(tree.Evaluate(d), "eval"));
+  }
+
+  // --- CBA associative classifier (Liu et al., the CAR lineage). ---
+  {
+    CbaOptions copts;
+    copts.min_support = 0.001;
+    copts.min_confidence = 0.5;
+    const CbaClassifier cba =
+        bench::ValueOrDie(CbaClassifier::Train(d, copts), "CBA");
+    std::printf(
+        "[CBA]            %lld candidate CARs reduced to %zu covering rules "
+        "+ default '%s' — even the complete\n                 rule space, "
+        "classified, discards the diagnostic context\n",
+        static_cast<long long>(cba.num_candidate_rules()),
+        cba.selected_rules().size(),
+        d.schema()
+            .class_attribute()
+            .label(cba.default_class())
+            .c_str());
+  }
+
+  // --- Naive Bayes. ---
+  {
+    const NaiveBayes nb =
+        bench::ValueOrDie(NaiveBayes::Train(d), "naive bayes");
+    std::printf(
+        "[naive Bayes]    accuracy %.2f%% — global marginals cannot express "
+        "the ph03-x-morning interaction at all\n",
+        100.0 * bench::ValueOrDie(nb.Evaluate(d), "eval"));
+  }
+
+  // --- Sequential-covering rule induction. ---
+  {
+    RuleInductionOptions ropts;
+    ropts.min_precision = 0.5;
+    const RuleSet induced = bench::ValueOrDie(InduceRules(d, ropts),
+                                              "induction");
+    int drop_rules = 0;
+    for (const ClassRule& r : induced.rules()) {
+      if (r.class_value == kDroppedWhileInProgress) ++drop_rules;
+    }
+    std::printf(
+        "[rule induction] rules found: %zu (%d for the drop class) — the\n"
+        "                 covering bias hides everything below the first "
+        "covered rule\n",
+        induced.size(), drop_rules);
+  }
+
+  // --- Discovery-driven cube exceptions. ---
+  {
+    const RuleCube* pair = bench::ValueOrDie(
+        store.PairCube(0, gen.GroundTruthAttribute()), "pair cube");
+    CountExceptionOptions copts;
+    copts.z_threshold = 3.0;
+    copts.max_results = 10;
+    const auto exceptions =
+        bench::ValueOrDie(MineCountExceptions(*pair, copts), "exceptions");
+    bool planted_cell = false;
+    for (const auto& e : exceptions) {
+      if (e.cell[0] == 2 && e.cell[1] == 1 &&
+          e.cell[2] == kDroppedWhileInProgress && e.residual_z > 0) {
+        planted_cell = true;
+      }
+    }
+    std::printf(
+        "[cube exceptions] %zu deviant cells over the (PhoneModel, "
+        "TimeOfCall) cube; planted cell flagged: %s — but with no notion "
+        "of\n                 which sub-populations the user wants "
+        "contrasted\n",
+        exceptions.size(), planted_cell ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nShape check (paper Sections II-III): only the comparator answers\n"
+      "the engineer's actual question (what distinguishes the two phones)\n"
+      "directly, with the planted cause at/near rank 0; rule ranking\n"
+      "surfaces low-support artifacts and classifiers discover a tiny,\n"
+      "non-actionable subset of the rule space.\n");
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Interactive-style OLAP explorer: a small command interpreter over an
+// Opportunity Map session, mirroring how analysts drive the deployed GUI.
+// Commands come from stdin (or a script piped in), one per line:
+//
+//   overview                         render the Fig 5 overall view
+//   detail <attr>                    render a 2-D rule cube (Fig 6)
+//   compare <attr> <va> <vb> <class> run the automated comparison
+//   view <attr>                      Fig 7 view of the last comparison
+//   trends                           mine trends on ordered attributes
+//   exceptions                       strongest one-condition exceptions
+//   influence                        influential-attribute ranking
+//   open <attr>                      start an OLAP session on a 2-D cube
+//   drill <attr>                     drill down into a 3-D cube
+//   slice <attr> <value>             fix a dimension
+//   dice <attr> <v1> [v2 ...]        restrict a dimension
+//   rollup <attr>                    sum a dimension out
+//   back                             undo the last OLAP operation
+//   show                             render the current OLAP view
+//   quit
+//
+// Usage: explorer [--records=N] [--attributes=N] < script.txt
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "opmap/compare/report.h"
+#include "opmap/core/opportunity_map.h"
+#include "opmap/core/session.h"
+#include "opmap/data/call_log.h"
+
+using namespace opmap;
+
+namespace {
+
+template <typename T>
+T OrDie(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).MoveValue();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t records = 60000;
+  int attributes = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--records=", 0) == 0) {
+      records = std::strtoll(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--attributes=", 0) == 0) {
+      attributes = static_cast<int>(std::strtol(arg.c_str() + 13, nullptr,
+                                                10));
+    }
+  }
+
+  CallLogConfig config;
+  config.num_records = records;
+  config.num_attributes = attributes;
+  config.num_phone_models = 10;
+  config.num_property_attributes = 1;
+  config.phone_drop_multiplier = {1.0, 1.0, 1.6};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress, 6.0});
+  CallLogGenerator gen =
+      OrDie(CallLogGenerator::Make(config), "generator");
+  OpportunityMap map =
+      OrDie(OpportunityMap::FromDataset(gen.Generate(), {}), "pipeline");
+  std::printf("session ready: %lld records, %lld cubes. Type 'help'.\n",
+              static_cast<long long>(map.data().num_rows()),
+              static_cast<long long>(map.cubes().NumCubes()));
+
+  std::unique_ptr<ComparisonResult> last_comparison;
+  ExplorationSession session(&map.cubes());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "commands: overview | detail <attr> | compare <attr> <va> <vb> "
+          "<class> | view <attr> | trends | exceptions | influence | "
+          "open <attr> | drill <attr> | slice <attr> <value> | "
+          "dice <attr> <v...> | rollup <attr> | back | show | quit\n");
+    } else if (cmd == "overview") {
+      auto v = map.Overview();
+      std::printf("%s\n", v.ok() ? v->c_str() : v.status().ToString().c_str());
+    } else if (cmd == "detail") {
+      std::string attr;
+      in >> attr;
+      auto v = map.Detail(attr);
+      std::printf("%s\n", v.ok() ? v->c_str() : v.status().ToString().c_str());
+    } else if (cmd == "compare") {
+      std::string attr, va, vb, cls;
+      in >> attr >> va >> vb >> cls;
+      auto r = map.Compare(attr, va, vb, cls);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      last_comparison = std::make_unique<ComparisonResult>(std::move(*r));
+      std::printf("%s\n",
+                  FormatComparisonReport(*last_comparison, map.schema())
+                      .c_str());
+    } else if (cmd == "view") {
+      std::string attr;
+      in >> attr;
+      if (last_comparison == nullptr) {
+        std::printf("error: run 'compare' first\n");
+        continue;
+      }
+      auto v = map.ComparisonView(*last_comparison, attr);
+      std::printf("%s\n", v.ok() ? v->c_str() : v.status().ToString().c_str());
+    } else if (cmd == "trends") {
+      auto trends = map.MineTrends();
+      if (!trends.ok()) {
+        std::printf("error: %s\n", trends.status().ToString().c_str());
+        continue;
+      }
+      for (const Trend& t : *trends) {
+        std::printf("  %s / %s: %s (agreement %.2f)\n",
+                    map.schema().attribute(t.attribute).name().c_str(),
+                    map.schema().class_attribute().label(t.class_value)
+                        .c_str(),
+                    TrendDirectionName(t.direction), t.agreement);
+      }
+      if (trends->empty()) std::printf("  (no trends)\n");
+    } else if (cmd == "exceptions") {
+      ExceptionOptions opts;
+      opts.min_significance = 2.0;
+      opts.max_results = 10;
+      auto cells = map.MineExceptions(opts);
+      if (!cells.ok()) {
+        std::printf("error: %s\n", cells.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& e : *cells) {
+        const Attribute& a = map.schema().attribute(e.attribute);
+        std::printf("  %s=%s -> %s: %.2f%% (expected %.2f%%)\n",
+                    a.name().c_str(), a.label(e.value).c_str(),
+                    map.schema().class_attribute().label(e.class_value)
+                        .c_str(),
+                    e.confidence * 100, e.expected * 100);
+      }
+      if (cells->empty()) std::printf("  (no exceptions)\n");
+    } else if (cmd == "influence") {
+      auto ranking = map.RankInfluence();
+      if (!ranking.ok()) {
+        std::printf("error: %s\n", ranking.status().ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < ranking->size() && i < 10; ++i) {
+        std::printf("  %zu. %-20s V=%.3f\n", i + 1,
+                    map.schema()
+                        .attribute((*ranking)[i].attribute)
+                        .name()
+                        .c_str(),
+                    (*ranking)[i].cramers_v);
+      }
+    } else if (cmd == "open" || cmd == "drill" || cmd == "slice" ||
+               cmd == "dice" || cmd == "rollup" || cmd == "back" ||
+               cmd == "show") {
+      Status st;
+      if (cmd == "open") {
+        std::string attr;
+        in >> attr;
+        st = session.OpenAttribute(attr);
+      } else if (cmd == "drill") {
+        std::string attr;
+        in >> attr;
+        st = session.DrillDown(attr);
+      } else if (cmd == "slice") {
+        std::string attr, value;
+        in >> attr >> value;
+        st = session.Slice(attr, value);
+      } else if (cmd == "dice") {
+        std::string attr, v;
+        in >> attr;
+        std::vector<std::string> values;
+        while (in >> v) values.push_back(v);
+        st = session.Dice(attr, values);
+      } else if (cmd == "rollup") {
+        std::string attr;
+        in >> attr;
+        st = session.RollUp(attr);
+      } else if (cmd == "back") {
+        st = session.Back();
+      }
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      auto view = session.Render();
+      std::printf("%s\n",
+                  view.ok() ? view->c_str() : view.status().ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

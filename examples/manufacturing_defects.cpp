@@ -1,0 +1,104 @@
+// A second engineering domain from the paper's introduction: comparing two
+// production lines in a manufacturing quality data set to find what
+// distinguishes the line with the higher defect rate. Demonstrates the
+// CSV + continuous-attribute path: the data arrives as a CSV with numeric
+// sensor columns, is discretized with entropy-MDL, and is then explored
+// with the same comparison workflow as the call-log application.
+//
+// Usage: manufacturing_defects [--rows=N]
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "opmap/compare/report.h"
+#include "opmap/core/opportunity_map.h"
+#include "opmap/data/csv.h"
+#include "opmap/data/manufacturing.h"
+
+using namespace opmap;
+
+namespace {
+
+template <typename T>
+T OrDie(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).MoveValue();
+}
+
+// Writes the synthetic factory-floor data as a CSV, as it would arrive
+// from the shop floor. Line B's defects concentrate at high oven
+// temperature (the planted cause); "FixtureId" is a property attribute
+// (each line has its own fixtures).
+std::string WriteFactoryCsv(int64_t rows) {
+  ManufacturingConfig config;
+  config.num_rows = rows;
+  ManufacturingGenerator gen =
+      OrDie(ManufacturingGenerator::Make(config), "generator");
+  // Unique per process so parallel test runs do not collide.
+  const std::string path =
+      "/tmp/opmap_factory_" + std::to_string(getpid()) + ".csv";
+  Status st = WriteCsv(gen.Generate(), path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "csv: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = 80000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rows=", 0) == 0) {
+      rows = std::strtoll(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+
+  std::printf("writing synthetic factory CSV (%lld rows)...\n",
+              static_cast<long long>(rows));
+  const std::string path = WriteFactoryCsv(rows);
+
+  // Load the CSV; OvenTempC and HumidityPct are inferred continuous and
+  // discretized with the supervised entropy-MDL method.
+  CsvReadOptions csv;
+  csv.class_column = "Result";
+  OpportunityMapOptions options;
+  options.discretize_method = DiscretizeMethod::kEntropyMdl;
+  OpportunityMap map =
+      OrDie(OpportunityMap::FromCsv(path, csv, options), "pipeline");
+
+  std::printf("schema after discretization:\n");
+  for (int a = 0; a < map.schema().num_attributes(); ++a) {
+    const Attribute& attr = map.schema().attribute(a);
+    std::printf("  %-14s %d values%s\n", attr.name().c_str(), attr.domain(),
+                map.schema().is_class(a) ? " (class)" : "");
+  }
+
+  // The detail view shows line B's higher defect rate...
+  std::printf("\n%s\n", OrDie(map.Detail("Line"), "detail").c_str());
+
+  // ...and the automated comparison explains it.
+  ComparisonResult cmp =
+      OrDie(map.Compare("Line", "A", "B", "defect"), "comparison");
+  std::printf("%s\n", FormatComparisonReport(cmp, map.schema()).c_str());
+
+  const std::string top =
+      map.schema().attribute(cmp.ranked[0].attribute).name();
+  std::printf("%s\n",
+              OrDie(map.ComparisonView(cmp, top), "comparison view")
+                  .c_str());
+  std::printf(
+      "Expected outcome: OvenTempC ranks #1 with the excess defects in the\n"
+      "hottest interval, and FixtureId is segregated as a property "
+      "attribute.\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "opmap/baselines/cba.h"
+
+#include <algorithm>
+
+namespace opmap {
+
+namespace {
+
+bool Matches(const Dataset& d, int64_t row, const ClassRule& rule) {
+  for (const Condition& c : rule.conditions) {
+    if (d.code(row, c.attribute) != c.value) return false;
+  }
+  return true;
+}
+
+ValueCode MajorityClass(const std::vector<int64_t>& counts) {
+  return static_cast<ValueCode>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+Result<CbaClassifier> CbaClassifier::Train(const Dataset& dataset,
+                                           const CbaOptions& options) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument("CBA requires an all-categorical dataset");
+  }
+  CarMinerOptions miner;
+  miner.min_support = options.min_support;
+  miner.min_confidence = options.min_confidence;
+  miner.max_conditions = options.max_conditions;
+  OPMAP_ASSIGN_OR_RETURN(RuleSet candidates,
+                         MineClassAssociationRules(dataset, miner));
+  candidates.SortByConfidence();  // the CBA total order
+
+  CbaClassifier model;
+  model.num_candidates_ = static_cast<int64_t>(candidates.size());
+  const int num_classes = schema.num_classes();
+
+  // Labeled training rows still uncovered.
+  std::vector<int64_t> uncovered;
+  std::vector<int64_t> class_counts(static_cast<size_t>(num_classes), 0);
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    uncovered.push_back(r);
+    ++class_counts[static_cast<size_t>(y)];
+  }
+  if (uncovered.empty()) {
+    return Status::InvalidArgument("no labeled rows");
+  }
+  const int64_t total = static_cast<int64_t>(uncovered.size());
+
+  // Greedy cover (M1): keep a rule if it classifies at least one uncovered
+  // case correctly; remove every case it matches. Track cumulative errors
+  // so the classifier can be cut at the minimum-error prefix.
+  struct PrefixState {
+    size_t rules_kept;
+    int64_t errors;  // rule errors so far + default-class errors on rest
+    ValueCode default_class;
+  };
+  std::vector<PrefixState> prefixes;
+  std::vector<int64_t> remaining_counts = class_counts;
+  int64_t rule_errors = 0;
+  {
+    const ValueCode dflt = MajorityClass(remaining_counts);
+    prefixes.push_back(PrefixState{
+        0,
+        total - remaining_counts[static_cast<size_t>(dflt)],
+        dflt});
+  }
+
+  for (const ClassRule& rule : candidates.rules()) {
+    if (uncovered.empty()) break;
+    bool correct_once = false;
+    for (int64_t r : uncovered) {
+      if (dataset.class_code(r) == rule.class_value &&
+          Matches(dataset, r, rule)) {
+        correct_once = true;
+        break;
+      }
+    }
+    if (!correct_once) continue;
+
+    std::vector<int64_t> rest;
+    rest.reserve(uncovered.size());
+    for (int64_t r : uncovered) {
+      if (Matches(dataset, r, rule)) {
+        const ValueCode y = dataset.class_code(r);
+        if (y != rule.class_value) ++rule_errors;
+        --remaining_counts[static_cast<size_t>(y)];
+      } else {
+        rest.push_back(r);
+      }
+    }
+    uncovered = std::move(rest);
+    model.selected_.push_back(rule);
+
+    const ValueCode dflt = MajorityClass(remaining_counts);
+    const int64_t default_errors =
+        static_cast<int64_t>(uncovered.size()) -
+        remaining_counts[static_cast<size_t>(dflt)];
+    prefixes.push_back(PrefixState{model.selected_.size(),
+                                   rule_errors + default_errors, dflt});
+  }
+
+  // Cut at the minimum-error prefix (first minimum, as in CBA).
+  const auto best = std::min_element(
+      prefixes.begin(), prefixes.end(),
+      [](const PrefixState& a, const PrefixState& b) {
+        return a.errors < b.errors;
+      });
+  model.selected_.resize(best->rules_kept);
+  model.default_class_ = best->default_class;
+  return model;
+}
+
+ValueCode CbaClassifier::Predict(const std::vector<ValueCode>& row) const {
+  for (const ClassRule& rule : selected_) {
+    bool match = true;
+    for (const Condition& c : rule.conditions) {
+      if (row[static_cast<size_t>(c.attribute)] != c.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return rule.class_value;
+  }
+  return default_class_;
+}
+
+Result<double> CbaClassifier::Evaluate(const Dataset& dataset) const {
+  if (!dataset.schema().AllCategorical()) {
+    return Status::InvalidArgument("evaluation dataset must be categorical");
+  }
+  int64_t correct = 0;
+  int64_t total = 0;
+  std::vector<ValueCode> row(
+      static_cast<size_t>(dataset.num_attributes()));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    for (int a = 0; a < dataset.num_attributes(); ++a) {
+      row[static_cast<size_t>(a)] = dataset.code(r, a);
+    }
+    ++total;
+    if (Predict(row) == y) ++correct;
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace opmap

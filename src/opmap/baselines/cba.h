@@ -1,0 +1,61 @@
+#ifndef OPMAP_BASELINES_CBA_H_
+#define OPMAP_BASELINES_CBA_H_
+
+#include <vector>
+
+#include "opmap/car/miner.h"
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for the CBA-style associative classifier.
+struct CbaOptions {
+  double min_support = 0.01;
+  double min_confidence = 0.5;
+  int max_conditions = 2;
+};
+
+/// Classification Based on Associations (Liu, Hsu & Ma, KDD-98) — the
+/// authors' own earlier system and the origin of the class association
+/// rules the rule cubes store. A simplified M1 builder: rules are sorted
+/// by the CBA total order (confidence desc, support desc, length asc) and
+/// greedily selected while they cover at least one new training case
+/// correctly; the classifier is cut at the minimum-error prefix with a
+/// default class.
+///
+/// As a baseline it shows that even the *complete* CAR space, when reduced
+/// to a classifier, keeps only a few covering rules — classification
+/// discards exactly the contextual rules diagnosis needs.
+class CbaClassifier {
+ public:
+  static Result<CbaClassifier> Train(const Dataset& dataset,
+                                     const CbaOptions& options = {});
+
+  /// First matching selected rule's class, or the default class.
+  ValueCode Predict(const std::vector<ValueCode>& row) const;
+
+  /// Fraction of rows of `dataset` predicted correctly.
+  Result<double> Evaluate(const Dataset& dataset) const;
+
+  /// Rules kept in the classifier, in firing order.
+  const std::vector<ClassRule>& selected_rules() const { return selected_; }
+
+  ValueCode default_class() const { return default_class_; }
+
+  /// Number of candidate rules mined before selection — the contrast
+  /// between the complete rule space and the classifier's subset.
+  int64_t num_candidate_rules() const { return num_candidates_; }
+
+ private:
+  CbaClassifier() = default;
+
+  std::vector<ClassRule> selected_;
+  ValueCode default_class_ = kNullCode;
+  int64_t num_candidates_ = 0;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_CBA_H_

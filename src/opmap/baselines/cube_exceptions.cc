@@ -1,0 +1,88 @@
+#include "opmap/baselines/cube_exceptions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+Result<std::vector<CountException>> MineCountExceptions(
+    const RuleCube& cube, const CountExceptionOptions& options) {
+  if (options.z_threshold < 0) {
+    return Status::InvalidArgument("z_threshold must be >= 0");
+  }
+  std::vector<CountException> out;
+  const int64_t total = cube.Total();
+  if (total == 0) return out;
+  const int d = cube.num_dims();
+
+  // Per-dimension margins.
+  std::vector<std::vector<int64_t>> margins(static_cast<size_t>(d));
+  {
+    std::vector<ValueCode> cell(static_cast<size_t>(d), 0);
+    for (int dim = 0; dim < d; ++dim) {
+      margins[static_cast<size_t>(dim)].assign(
+          static_cast<size_t>(cube.dim_size(dim)), 0);
+    }
+    for (;;) {
+      const int64_t c = cube.count(cell);
+      for (int dim = 0; dim < d; ++dim) {
+        margins[static_cast<size_t>(dim)]
+               [static_cast<size_t>(cell[static_cast<size_t>(dim)])] += c;
+      }
+      int dim = d - 1;
+      while (dim >= 0 && cell[static_cast<size_t>(dim)] ==
+                             cube.dim_size(dim) - 1) {
+        cell[static_cast<size_t>(dim)] = 0;
+        --dim;
+      }
+      if (dim < 0) break;
+      ++cell[static_cast<size_t>(dim)];
+    }
+  }
+
+  const double total_d = static_cast<double>(total);
+  std::vector<ValueCode> cell(static_cast<size_t>(d), 0);
+  for (;;) {
+    double expected = total_d;
+    for (int dim = 0; dim < d; ++dim) {
+      expected *=
+          static_cast<double>(
+              margins[static_cast<size_t>(dim)]
+                     [static_cast<size_t>(cell[static_cast<size_t>(dim)])]) /
+          total_d;
+    }
+    if (expected >= options.min_expected) {
+      const int64_t count = cube.count(cell);
+      const double z =
+          (static_cast<double>(count) - expected) / std::sqrt(expected);
+      if (std::fabs(z) >= options.z_threshold) {
+        CountException e;
+        e.cell = cell;
+        e.count = count;
+        e.expected = expected;
+        e.residual_z = z;
+        out.push_back(std::move(e));
+      }
+    }
+    int dim = d - 1;
+    while (dim >= 0 &&
+           cell[static_cast<size_t>(dim)] == cube.dim_size(dim) - 1) {
+      cell[static_cast<size_t>(dim)] = 0;
+      --dim;
+    }
+    if (dim < 0) break;
+    ++cell[static_cast<size_t>(dim)];
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CountException& a, const CountException& b) {
+                     return std::fabs(a.residual_z) > std::fabs(b.residual_z);
+                   });
+  if (options.max_results > 0 &&
+      static_cast<int>(out.size()) > options.max_results) {
+    out.resize(static_cast<size_t>(options.max_results));
+  }
+  return out;
+}
+
+}  // namespace opmap

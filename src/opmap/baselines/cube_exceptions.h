@@ -1,0 +1,40 @@
+#ifndef OPMAP_BASELINES_CUBE_EXCEPTIONS_H_
+#define OPMAP_BASELINES_CUBE_EXCEPTIONS_H_
+
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/rule_cube.h"
+
+namespace opmap {
+
+/// A cube cell whose count deviates from the independence model — the
+/// discovery-driven exploration baseline (Sarawagi et al., paper
+/// Section II related work). Operates on raw counts, unlike the paper's
+/// confidence-based comparison.
+struct CountException {
+  std::vector<ValueCode> cell;
+  int64_t count = 0;
+  double expected = 0.0;
+  /// Standardized residual (count - expected) / sqrt(expected).
+  double residual_z = 0.0;
+};
+
+struct CountExceptionOptions {
+  /// |residual_z| threshold to report a cell.
+  double z_threshold = 3.0;
+  /// Cells with expected count below this are skipped (the normal
+  /// approximation is meaningless there).
+  double min_expected = 5.0;
+  /// Cap on results (0 = unlimited), strongest first.
+  int max_results = 0;
+};
+
+/// Finds cells of `cube` whose counts deviate from the full-independence
+/// expectation E[cell] = prod(margins) / total^(d-1).
+Result<std::vector<CountException>> MineCountExceptions(
+    const RuleCube& cube, const CountExceptionOptions& options = {});
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_CUBE_EXCEPTIONS_H_

@@ -1,0 +1,221 @@
+#include "opmap/baselines/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "opmap/stats/contingency.h"
+
+namespace opmap {
+
+namespace {
+
+struct BuildContext {
+  const Dataset* dataset;
+  DecisionTreeOptions options;
+  int num_classes;
+};
+
+std::vector<int64_t> ClassCountsOf(const BuildContext& ctx,
+                                   const std::vector<int64_t>& rows) {
+  std::vector<int64_t> counts(static_cast<size_t>(ctx.num_classes), 0);
+  for (int64_t r : rows) {
+    const ValueCode y = ctx.dataset->class_code(r);
+    if (y != kNullCode) ++counts[static_cast<size_t>(y)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(const Dataset& dataset,
+                                         const DecisionTreeOptions& options) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "decision tree requires an all-categorical dataset");
+  }
+  if (options.max_depth < 0 || options.min_leaf_size < 1) {
+    return Status::InvalidArgument("invalid decision tree options");
+  }
+
+  BuildContext ctx{&dataset, options, schema.num_classes()};
+
+  std::vector<int64_t> all_rows;
+  all_rows.reserve(static_cast<size_t>(dataset.num_rows()));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    if (dataset.class_code(r) != kNullCode) all_rows.push_back(r);
+  }
+
+  std::function<std::unique_ptr<Node>(const std::vector<int64_t>&, int,
+                                      std::vector<bool>&)>
+      build = [&](const std::vector<int64_t>& rows, int depth,
+                  std::vector<bool>& used) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    const std::vector<int64_t> counts = ClassCountsOf(ctx, rows);
+    node->count = static_cast<int64_t>(rows.size());
+    node->majority_class = static_cast<ValueCode>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    node->majority_count = counts[static_cast<size_t>(node->majority_class)];
+    if (node->majority_count == node->count ||
+        depth >= ctx.options.max_depth ||
+        node->count < 2 * ctx.options.min_leaf_size) {
+      return node;
+    }
+
+    // Pick the attribute with the highest information gain.
+    int best_attr = -1;
+    double best_gain = ctx.options.min_gain;
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.is_class(a) || used[static_cast<size_t>(a)]) continue;
+      const int m = schema.attribute(a).domain();
+      ContingencyTable table(m, ctx.num_classes);
+      for (int64_t r : rows) {
+        const ValueCode v = ctx.dataset->code(r, a);
+        if (v == kNullCode) continue;
+        table.add(v, ctx.dataset->class_code(r));
+      }
+      const double gain = InformationGainBits(table);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_attr = a;
+      }
+    }
+    if (best_attr < 0) return node;
+
+    node->attribute = best_attr;
+    const int m = schema.attribute(best_attr).domain();
+    std::vector<std::vector<int64_t>> partitions(static_cast<size_t>(m));
+    for (int64_t r : rows) {
+      const ValueCode v = ctx.dataset->code(r, best_attr);
+      if (v == kNullCode) continue;
+      partitions[static_cast<size_t>(v)].push_back(r);
+    }
+    used[static_cast<size_t>(best_attr)] = true;
+    node->children.resize(static_cast<size_t>(m));
+    for (int v = 0; v < m; ++v) {
+      auto& part = partitions[static_cast<size_t>(v)];
+      if (part.empty() ||
+          static_cast<int64_t>(part.size()) < ctx.options.min_leaf_size) {
+        // Empty/tiny branch: a leaf predicting the parent's majority.
+        auto leaf = std::make_unique<Node>();
+        leaf->majority_class = node->majority_class;
+        leaf->count = static_cast<int64_t>(part.size());
+        const std::vector<int64_t> leaf_counts = ClassCountsOf(ctx, part);
+        leaf->majority_count =
+            leaf_counts[static_cast<size_t>(leaf->majority_class)];
+        node->children[static_cast<size_t>(v)] = std::move(leaf);
+      } else {
+        node->children[static_cast<size_t>(v)] = build(part, depth + 1, used);
+      }
+    }
+    used[static_cast<size_t>(best_attr)] = false;
+    return node;
+  };
+
+  DecisionTree tree;
+  std::vector<bool> used(static_cast<size_t>(schema.num_attributes()), false);
+  tree.root_ = build(all_rows, 0, used);
+  tree.trained_rows_ = static_cast<int64_t>(all_rows.size());
+  return tree;
+}
+
+ValueCode DecisionTree::Predict(const std::vector<ValueCode>& row) const {
+  const Node* node = root_.get();
+  while (node != nullptr && node->attribute >= 0) {
+    const ValueCode v = row[static_cast<size_t>(node->attribute)];
+    if (v == kNullCode ||
+        v >= static_cast<ValueCode>(node->children.size())) {
+      break;
+    }
+    node = node->children[static_cast<size_t>(v)].get();
+  }
+  return node != nullptr ? node->majority_class : kNullCode;
+}
+
+Result<double> DecisionTree::Evaluate(const Dataset& dataset) const {
+  if (!dataset.schema().AllCategorical()) {
+    return Status::InvalidArgument("evaluation dataset must be categorical");
+  }
+  int64_t correct = 0;
+  int64_t total = 0;
+  std::vector<ValueCode> row(
+      static_cast<size_t>(dataset.num_attributes()));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    for (int a = 0; a < dataset.num_attributes(); ++a) {
+      row[static_cast<size_t>(a)] =
+          dataset.schema().attribute(a).is_categorical() ? dataset.code(r, a)
+                                                         : kNullCode;
+    }
+    ++total;
+    if (Predict(row) == y) ++correct;
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+RuleSet DecisionTree::ExtractRules() const {
+  RuleSet rules(trained_rows_);
+  std::vector<Condition> path;
+  std::function<void(const Node*)> walk = [&](const Node* node) {
+    if (node == nullptr) return;
+    if (node->attribute < 0) {
+      if (node->count == 0) return;  // synthetic leaf for an empty branch
+      ClassRule rule;
+      rule.conditions = path;
+      std::sort(rule.conditions.begin(), rule.conditions.end());
+      rule.class_value = node->majority_class;
+      rule.support_count = node->majority_count;
+      rule.body_count = node->count;
+      rules.Add(std::move(rule));
+      return;
+    }
+    for (size_t v = 0; v < node->children.size(); ++v) {
+      path.push_back(
+          Condition{node->attribute, static_cast<ValueCode>(v)});
+      walk(node->children[v].get());
+      path.pop_back();
+    }
+  };
+  walk(root_.get());
+  return rules;
+}
+
+int DecisionTree::num_nodes() const {
+  int count = 0;
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    if (n == nullptr) return;
+    ++count;
+    for (const auto& c : n->children) walk(c.get());
+  };
+  walk(root_.get());
+  return count;
+}
+
+int DecisionTree::num_leaves() const {
+  int count = 0;
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    if (n == nullptr) return;
+    if (n->attribute < 0) {
+      ++count;
+      return;
+    }
+    for (const auto& c : n->children) walk(c.get());
+  };
+  walk(root_.get());
+  return count;
+}
+
+int DecisionTree::depth() const {
+  std::function<int(const Node*)> walk = [&](const Node* n) -> int {
+    if (n == nullptr || n->attribute < 0) return 0;
+    int best = 0;
+    for (const auto& c : n->children) best = std::max(best, walk(c.get()));
+    return best + 1;
+  };
+  return walk(root_.get());
+}
+
+}  // namespace opmap

@@ -1,0 +1,68 @@
+#ifndef OPMAP_BASELINES_DECISION_TREE_H_
+#define OPMAP_BASELINES_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for the decision-tree baseline.
+struct DecisionTreeOptions {
+  int max_depth = 12;
+  int64_t min_leaf_size = 5;
+  /// Minimum information gain (bits) to split.
+  double min_gain = 1e-6;
+};
+
+/// Entropy-based decision tree with multi-way categorical splits (an
+/// ID3/C4.5-style classifier).
+///
+/// This is the paper's foil (Section III.A): a classifier discovers only
+/// the small subset of rules needed to separate classes, so most of the
+/// rule space — including the actionable rules — is never found (the
+/// "completeness problem"). ExtractRules() makes the contrast with the
+/// complete rule cube measurable.
+class DecisionTree {
+ public:
+  static Result<DecisionTree> Train(const Dataset& dataset,
+                                    const DecisionTreeOptions& options = {});
+
+  /// Predicted class for a full row of attribute codes (class cell
+  /// ignored).
+  ValueCode Predict(const std::vector<ValueCode>& row) const;
+
+  /// Fraction of rows of `dataset` predicted correctly.
+  Result<double> Evaluate(const Dataset& dataset) const;
+
+  /// All root-to-leaf paths as class rules with their training counts.
+  RuleSet ExtractRules() const;
+
+  int num_nodes() const;
+  int num_leaves() const;
+  int depth() const;
+
+ private:
+  struct Node {
+    // Split attribute; -1 for leaves.
+    int attribute = -1;
+    // One child per attribute value when attribute >= 0.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf payload (also kept on internal nodes for missing branches).
+    ValueCode majority_class = kNullCode;
+    int64_t count = 0;          // training rows reaching this node
+    int64_t majority_count = 0; // ... of the majority class
+  };
+
+  DecisionTree() = default;
+
+  std::unique_ptr<Node> root_;
+  int64_t trained_rows_ = 0;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_DECISION_TREE_H_

@@ -1,0 +1,102 @@
+#include "opmap/baselines/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+Result<double> AccuracyOn(const Dataset& dataset,
+                          const Classifier& classifier) {
+  int64_t correct = 0;
+  int64_t total = 0;
+  std::vector<ValueCode> row(
+      static_cast<size_t>(dataset.num_attributes()));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    for (int a = 0; a < dataset.num_attributes(); ++a) {
+      row[static_cast<size_t>(a)] =
+          dataset.schema().attribute(a).is_categorical() ? dataset.code(r, a)
+                                                         : kNullCode;
+    }
+    ++total;
+    if (classifier(row) == y) ++correct;
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+Result<CrossValidationResult> CrossValidate(const Dataset& dataset,
+                                            const ClassifierTrainer& trainer,
+                                            int folds, Rng& rng) {
+  if (folds < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  // Stratified fold assignment: shuffle rows within each class, deal them
+  // round-robin.
+  const int num_classes = dataset.schema().num_classes();
+  std::vector<std::vector<int64_t>> per_class(
+      static_cast<size_t>(num_classes));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y != kNullCode) per_class[static_cast<size_t>(y)].push_back(r);
+  }
+  std::vector<int> fold_of(static_cast<size_t>(dataset.num_rows()), -1);
+  for (auto& rows : per_class) {
+    // Fisher-Yates with the caller's RNG.
+    for (size_t i = rows.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.NextBounded(i));
+      std::swap(rows[i - 1], rows[j]);
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      fold_of[static_cast<size_t>(rows[i])] =
+          static_cast<int>(i % static_cast<size_t>(folds));
+    }
+  }
+
+  CrossValidationResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<int64_t> train_rows;
+    std::vector<int64_t> test_rows;
+    for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+      if (fold_of[static_cast<size_t>(r)] < 0) continue;
+      if (fold_of[static_cast<size_t>(r)] == fold) {
+        test_rows.push_back(r);
+      } else {
+        train_rows.push_back(r);
+      }
+    }
+    if (train_rows.empty() || test_rows.empty()) {
+      return Status::InvalidArgument(
+          "not enough labeled rows for the requested fold count");
+    }
+    const Dataset train = dataset.TakeRows(train_rows);
+    const Dataset test = dataset.TakeRows(test_rows);
+    OPMAP_ASSIGN_OR_RETURN(Classifier classifier, trainer(train));
+    OPMAP_ASSIGN_OR_RETURN(double accuracy, AccuracyOn(test, classifier));
+    result.fold_accuracies.push_back(accuracy);
+  }
+
+  double sum = 0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  double var = 0;
+  for (double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy = std::sqrt(var / static_cast<double>(folds));
+
+  const std::vector<int64_t> counts = dataset.ClassCounts();
+  int64_t total = 0;
+  int64_t best = 0;
+  for (int64_t c : counts) {
+    total += c;
+    best = std::max(best, c);
+  }
+  result.majority_baseline =
+      total > 0 ? static_cast<double>(best) / static_cast<double>(total)
+                : 0.0;
+  return result;
+}
+
+}  // namespace opmap

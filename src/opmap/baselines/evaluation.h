@@ -1,0 +1,43 @@
+#ifndef OPMAP_BASELINES_EVALUATION_H_
+#define OPMAP_BASELINES_EVALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "opmap/common/random.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// A trained classifier, reduced to its prediction function: given a full
+/// row of attribute codes, predict the class.
+using Classifier = std::function<ValueCode(const std::vector<ValueCode>&)>;
+
+/// Trains a classifier on a dataset and returns its prediction function.
+using ClassifierTrainer = std::function<Result<Classifier>(const Dataset&)>;
+
+/// Outcome of a k-fold cross-validation run.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  /// Accuracy of always predicting the majority class (the skew
+  /// baseline every classifier must beat to carry any signal).
+  double majority_baseline = 0.0;
+};
+
+/// Stratified k-fold cross-validation: rows are assigned to folds per
+/// class so the heavy skew of diagnostic data sets is preserved in every
+/// fold. `trainer` is called once per fold with the training split.
+Result<CrossValidationResult> CrossValidate(const Dataset& dataset,
+                                            const ClassifierTrainer& trainer,
+                                            int folds, Rng& rng);
+
+/// Accuracy of `classifier` on every labeled row of `dataset`.
+Result<double> AccuracyOn(const Dataset& dataset,
+                          const Classifier& classifier);
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_EVALUATION_H_

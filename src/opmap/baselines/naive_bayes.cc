@@ -1,0 +1,169 @@
+#include "opmap/baselines/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+Result<NaiveBayes> NaiveBayes::Train(const Dataset& dataset,
+                                     const NaiveBayesOptions& options) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "naive Bayes requires an all-categorical dataset");
+  }
+  if (options.alpha <= 0) {
+    return Status::InvalidArgument("smoothing alpha must be > 0");
+  }
+
+  NaiveBayes model;
+  model.num_classes_ = schema.num_classes();
+  model.num_attributes_ = schema.num_attributes();
+  model.class_index_ = schema.class_index();
+  model.domains_.resize(static_cast<size_t>(model.num_attributes_));
+  for (int a = 0; a < model.num_attributes_; ++a) {
+    model.domains_[static_cast<size_t>(a)] = schema.attribute(a).domain();
+  }
+
+  // Count.
+  std::vector<int64_t> class_counts(
+      static_cast<size_t>(model.num_classes_), 0);
+  std::vector<std::vector<int64_t>> cond_counts(
+      static_cast<size_t>(model.num_attributes_));
+  for (int a = 0; a < model.num_attributes_; ++a) {
+    if (a == model.class_index_) continue;
+    cond_counts[static_cast<size_t>(a)].assign(
+        static_cast<size_t>(model.domains_[static_cast<size_t>(a)]) *
+            static_cast<size_t>(model.num_classes_),
+        0);
+  }
+  int64_t total = 0;
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    ++total;
+    ++class_counts[static_cast<size_t>(y)];
+    for (int a = 0; a < model.num_attributes_; ++a) {
+      if (a == model.class_index_) continue;
+      const ValueCode v = dataset.code(r, a);
+      if (v == kNullCode) continue;
+      ++cond_counts[static_cast<size_t>(a)]
+                   [static_cast<size_t>(v) *
+                        static_cast<size_t>(model.num_classes_) +
+                    static_cast<size_t>(y)];
+    }
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+
+  // Smoothed log probabilities.
+  const double alpha = options.alpha;
+  model.log_prior_.resize(static_cast<size_t>(model.num_classes_));
+  for (int c = 0; c < model.num_classes_; ++c) {
+    model.log_prior_[static_cast<size_t>(c)] = std::log(
+        (static_cast<double>(class_counts[static_cast<size_t>(c)]) + alpha) /
+        (static_cast<double>(total) +
+         alpha * static_cast<double>(model.num_classes_)));
+  }
+  model.log_cond_.resize(static_cast<size_t>(model.num_attributes_));
+  for (int a = 0; a < model.num_attributes_; ++a) {
+    if (a == model.class_index_) continue;
+    const int domain = model.domains_[static_cast<size_t>(a)];
+    auto& table = model.log_cond_[static_cast<size_t>(a)];
+    table.resize(static_cast<size_t>(domain) *
+                 static_cast<size_t>(model.num_classes_));
+    for (int c = 0; c < model.num_classes_; ++c) {
+      // Class-conditional denominator: rows of class c with a non-null
+      // value for this attribute.
+      int64_t denom = 0;
+      for (int v = 0; v < domain; ++v) {
+        denom += cond_counts[static_cast<size_t>(a)]
+                            [static_cast<size_t>(v) *
+                                 static_cast<size_t>(model.num_classes_) +
+                             static_cast<size_t>(c)];
+      }
+      for (int v = 0; v < domain; ++v) {
+        const int64_t n = cond_counts[static_cast<size_t>(a)]
+                                     [static_cast<size_t>(v) *
+                                          static_cast<size_t>(
+                                              model.num_classes_) +
+                                      static_cast<size_t>(c)];
+        table[static_cast<size_t>(v) *
+                  static_cast<size_t>(model.num_classes_) +
+              static_cast<size_t>(c)] =
+            std::log((static_cast<double>(n) + alpha) /
+                     (static_cast<double>(denom) +
+                      alpha * static_cast<double>(domain)));
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<double> NaiveBayes::Posterior(
+    const std::vector<ValueCode>& row) const {
+  std::vector<double> log_post = log_prior_;
+  for (int a = 0; a < num_attributes_; ++a) {
+    if (a == class_index_) continue;
+    const ValueCode v = row[static_cast<size_t>(a)];
+    if (v == kNullCode || v < 0 || v >= domains_[static_cast<size_t>(a)]) {
+      continue;
+    }
+    const auto& table = log_cond_[static_cast<size_t>(a)];
+    for (int c = 0; c < num_classes_; ++c) {
+      log_post[static_cast<size_t>(c)] +=
+          table[static_cast<size_t>(v) * static_cast<size_t>(num_classes_) +
+                static_cast<size_t>(c)];
+    }
+  }
+  // Normalize via log-sum-exp.
+  const double max_log =
+      *std::max_element(log_post.begin(), log_post.end());
+  double sum = 0;
+  for (double& lp : log_post) {
+    lp = std::exp(lp - max_log);
+    sum += lp;
+  }
+  for (double& lp : log_post) lp /= sum;
+  return log_post;
+}
+
+ValueCode NaiveBayes::Predict(const std::vector<ValueCode>& row) const {
+  const std::vector<double> post = Posterior(row);
+  return static_cast<ValueCode>(
+      std::max_element(post.begin(), post.end()) - post.begin());
+}
+
+Result<double> NaiveBayes::Evaluate(const Dataset& dataset) const {
+  if (!dataset.schema().AllCategorical()) {
+    return Status::InvalidArgument("evaluation dataset must be categorical");
+  }
+  int64_t correct = 0;
+  int64_t total = 0;
+  std::vector<ValueCode> row(static_cast<size_t>(num_attributes_));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    for (int a = 0; a < num_attributes_; ++a) {
+      row[static_cast<size_t>(a)] = dataset.code(r, a);
+    }
+    ++total;
+    if (Predict(row) == y) ++correct;
+  }
+  if (total == 0) return Status::InvalidArgument("no labeled rows");
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double NaiveBayes::ConditionalProb(int attribute, ValueCode value,
+                                   ValueCode class_value) const {
+  return std::exp(
+      log_cond_[static_cast<size_t>(attribute)]
+               [static_cast<size_t>(value) *
+                    static_cast<size_t>(num_classes_) +
+                static_cast<size_t>(class_value)]);
+}
+
+double NaiveBayes::Prior(ValueCode class_value) const {
+  return std::exp(log_prior_[static_cast<size_t>(class_value)]);
+}
+
+}  // namespace opmap

@@ -1,0 +1,62 @@
+#ifndef OPMAP_BASELINES_NAIVE_BAYES_H_
+#define OPMAP_BASELINES_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for the Naive Bayes baseline.
+struct NaiveBayesOptions {
+  /// Laplace smoothing pseudo-count.
+  double alpha = 1.0;
+};
+
+/// Multinomial Naive Bayes over categorical attributes — the second
+/// predictive baseline. Like the decision tree it demonstrates why
+/// predictive data mining is the wrong tool for the paper's diagnostic
+/// task: it models global class likelihoods and cannot express the
+/// sub-population contrast (a conditional interaction such as
+/// "ph3 is bad *in the morning*") that the comparator isolates.
+class NaiveBayes {
+ public:
+  static Result<NaiveBayes> Train(const Dataset& dataset,
+                                  const NaiveBayesOptions& options = {});
+
+  /// Predicted class for a full row of attribute codes (class cell
+  /// ignored, null values skipped).
+  ValueCode Predict(const std::vector<ValueCode>& row) const;
+
+  /// Per-class posterior (normalized) for a row.
+  std::vector<double> Posterior(const std::vector<ValueCode>& row) const;
+
+  /// Fraction of rows of `dataset` predicted correctly.
+  Result<double> Evaluate(const Dataset& dataset) const;
+
+  /// Smoothed P(attribute=value | class).
+  double ConditionalProb(int attribute, ValueCode value,
+                         ValueCode class_value) const;
+
+  /// Smoothed P(class).
+  double Prior(ValueCode class_value) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  NaiveBayes() = default;
+
+  int num_classes_ = 0;
+  int num_attributes_ = 0;
+  int class_index_ = -1;
+  std::vector<double> log_prior_;
+  // log_cond_[attr] is a domain x classes matrix of log probabilities
+  // (empty for the class attribute).
+  std::vector<std::vector<double>> log_cond_;
+  std::vector<int> domains_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_NAIVE_BAYES_H_

@@ -1,0 +1,134 @@
+#include "opmap/baselines/rule_induction.h"
+
+#include <algorithm>
+
+namespace opmap {
+
+namespace {
+
+// Laplace-corrected precision of a candidate covering `pos` positives out
+// of `covered` records, with `num_classes` classes.
+double LaplacePrecision(int64_t pos, int64_t covered, int num_classes) {
+  return (static_cast<double>(pos) + 1.0) /
+         (static_cast<double>(covered) + static_cast<double>(num_classes));
+}
+
+}  // namespace
+
+Result<RuleSet> InduceRules(const Dataset& dataset,
+                            const RuleInductionOptions& options) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "rule induction requires an all-categorical dataset");
+  }
+  if (options.max_conditions < 1 || options.max_rules_per_class < 1) {
+    return Status::InvalidArgument("invalid rule induction options");
+  }
+  const int num_classes = schema.num_classes();
+  RuleSet rules(dataset.num_rows());
+
+  for (ValueCode target = 0; target < num_classes; ++target) {
+    // Active = rows not yet covered by a rule for this class.
+    std::vector<int64_t> active;
+    for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+      if (dataset.class_code(r) != kNullCode) active.push_back(r);
+    }
+
+    for (int produced = 0; produced < options.max_rules_per_class;
+         ++produced) {
+      // Greedily grow one rule on the active set.
+      std::vector<Condition> conditions;
+      std::vector<int64_t> covered = active;
+      double best_precision = 0.0;
+      while (static_cast<int>(conditions.size()) < options.max_conditions) {
+        int grow_attr = -1;
+        ValueCode grow_value = kNullCode;
+        double grow_precision = best_precision;
+        std::vector<int64_t> grow_covered;
+        for (int a = 0; a < schema.num_attributes(); ++a) {
+          if (schema.is_class(a)) continue;
+          bool already = false;
+          for (const Condition& c : conditions) {
+            if (c.attribute == a) already = true;
+          }
+          if (already) continue;
+          // Count per value in one pass.
+          const int m = schema.attribute(a).domain();
+          std::vector<int64_t> total(static_cast<size_t>(m), 0);
+          std::vector<int64_t> pos(static_cast<size_t>(m), 0);
+          for (int64_t r : covered) {
+            const ValueCode v = dataset.code(r, a);
+            if (v == kNullCode) continue;
+            ++total[static_cast<size_t>(v)];
+            if (dataset.class_code(r) == target) {
+              ++pos[static_cast<size_t>(v)];
+            }
+          }
+          for (ValueCode v = 0; v < m; ++v) {
+            if (pos[static_cast<size_t>(v)] < options.min_coverage) continue;
+            const double p =
+                LaplacePrecision(pos[static_cast<size_t>(v)],
+                                 total[static_cast<size_t>(v)], num_classes);
+            if (p > grow_precision) {
+              grow_precision = p;
+              grow_attr = a;
+              grow_value = v;
+            }
+          }
+        }
+        if (grow_attr < 0) break;
+        conditions.push_back(Condition{grow_attr, grow_value});
+        std::vector<int64_t> next;
+        for (int64_t r : covered) {
+          if (dataset.code(r, grow_attr) == grow_value) next.push_back(r);
+        }
+        covered = std::move(next);
+        best_precision = grow_precision;
+      }
+      if (conditions.empty()) break;
+
+      int64_t pos = 0;
+      for (int64_t r : covered) {
+        if (dataset.class_code(r) == target) ++pos;
+      }
+      const double precision =
+          covered.empty() ? 0.0
+                          : static_cast<double>(pos) /
+                                static_cast<double>(covered.size());
+      if (precision < options.min_precision || pos < options.min_coverage) {
+        break;
+      }
+
+      ClassRule rule;
+      rule.conditions = conditions;
+      std::sort(rule.conditions.begin(), rule.conditions.end());
+      rule.class_value = target;
+      rule.support_count = pos;
+      rule.body_count = static_cast<int64_t>(covered.size());
+      rules.Add(std::move(rule));
+
+      // Remove covered positives; keep negatives so later rules stay
+      // precise.
+      std::vector<int64_t> remaining;
+      remaining.reserve(active.size());
+      for (int64_t r : active) {
+        bool matches = true;
+        for (const Condition& c : conditions) {
+          if (dataset.code(r, c.attribute) != c.value) {
+            matches = false;
+            break;
+          }
+        }
+        if (!(matches && dataset.class_code(r) == target)) {
+          remaining.push_back(r);
+        }
+      }
+      if (remaining.size() == active.size()) break;  // no progress
+      active = std::move(remaining);
+    }
+  }
+  return rules;
+}
+
+}  // namespace opmap

@@ -1,0 +1,32 @@
+#ifndef OPMAP_BASELINES_RULE_INDUCTION_H_
+#define OPMAP_BASELINES_RULE_INDUCTION_H_
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for the sequential-covering rule-induction baseline.
+struct RuleInductionOptions {
+  /// Laplace-corrected precision a grown rule must reach.
+  double min_precision = 0.6;
+  int max_conditions = 3;
+  int max_rules_per_class = 25;
+  /// A rule must cover at least this many positives to be kept.
+  int64_t min_coverage = 10;
+};
+
+/// CN2-style sequential covering: per class, greedily grow one conjunctive
+/// rule at a time maximizing Laplace precision, remove the positives it
+/// covers, repeat.
+///
+/// Like the decision tree, this is a completeness-problem foil: it finds
+/// just enough rules to cover each class, discarding the context the
+/// rule-cube approach preserves (paper Section III.A).
+Result<RuleSet> InduceRules(const Dataset& dataset,
+                            const RuleInductionOptions& options = {});
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_RULE_INDUCTION_H_

@@ -1,0 +1,53 @@
+#include "opmap/baselines/rule_ranking.h"
+
+#include <algorithm>
+
+namespace opmap {
+
+Result<std::vector<RankedRule>> RankRules(
+    const RuleSet& rules, RuleMeasure measure,
+    const std::vector<int64_t>& class_totals, int top_k) {
+  std::vector<RankedRule> out;
+  out.reserve(rules.size());
+  for (const ClassRule& r : rules.rules()) {
+    if (r.class_value < 0 ||
+        r.class_value >= static_cast<ValueCode>(class_totals.size())) {
+      return Status::InvalidArgument(
+          "rule class outside the provided class totals");
+    }
+    RuleCounts counts;
+    counts.n = rules.num_rows();
+    counts.n_x = r.body_count;
+    counts.n_y = class_totals[static_cast<size_t>(r.class_value)];
+    counts.n_xy = r.support_count;
+    out.push_back(RankedRule{r, EvaluateRuleMeasure(measure, counts)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedRule& a, const RankedRule& b) {
+                     return a.score > b.score;
+                   });
+  if (top_k > 0 && static_cast<int>(out.size()) > top_k) {
+    out.resize(static_cast<size_t>(top_k));
+  }
+  return out;
+}
+
+double LowSupportFraction(const std::vector<RankedRule>& ranked,
+                          int64_t num_rows, double support_fraction,
+                          int top_k) {
+  if (ranked.empty() || num_rows <= 0) return 0.0;
+  const int k = top_k > 0
+                    ? std::min<int>(top_k, static_cast<int>(ranked.size()))
+                    : static_cast<int>(ranked.size());
+  const double threshold = support_fraction * static_cast<double>(num_rows);
+  int low = 0;
+  for (int i = 0; i < k; ++i) {
+    if (static_cast<double>(ranked[static_cast<size_t>(i)].rule.body_count) <
+        threshold) {
+      ++low;
+    }
+  }
+  return static_cast<double>(low) / static_cast<double>(k);
+}
+
+}  // namespace opmap

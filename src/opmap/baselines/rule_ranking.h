@@ -1,0 +1,40 @@
+#ifndef OPMAP_BASELINES_RULE_RANKING_H_
+#define OPMAP_BASELINES_RULE_RANKING_H_
+
+#include <vector>
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/stats/measures.h"
+
+namespace opmap {
+
+/// A rule with its objective-measure score.
+struct RankedRule {
+  ClassRule rule;
+  double score = 0.0;
+};
+
+/// The classic rule-ranking approach the paper argues against
+/// (Section II): score every rule with an objective measure and sort. The
+/// authors' experience is that "almost all top ranked rules represent some
+/// artifacts of the data rather than any useful patterns" — the
+/// baseline-contrast benchmark quantifies this on synthetic data with
+/// known ground truth.
+///
+/// `class_totals` gives sup(y) per class (needed by lift/conviction/chi2);
+/// pass Dataset::ClassCounts() of the mined dataset.
+Result<std::vector<RankedRule>> RankRules(
+    const RuleSet& rules, RuleMeasure measure,
+    const std::vector<int64_t>& class_totals, int top_k = 0);
+
+/// Fraction of the `top_k` ranked rules whose body support is below
+/// `support_fraction` of the dataset — a proxy for "artifact" rules backed
+/// by too little data to act on.
+double LowSupportFraction(const std::vector<RankedRule>& ranked,
+                          int64_t num_rows, double support_fraction,
+                          int top_k);
+
+}  // namespace opmap
+
+#endif  // OPMAP_BASELINES_RULE_RANKING_H_

@@ -1,0 +1,285 @@
+#include "opmap/car/miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace opmap {
+
+namespace {
+
+// Packed (attribute, value) item. Attribute and value each fit in 32 bits.
+using Item = uint64_t;
+
+Item MakeItem(int attr, ValueCode value) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(attr)) << 32) |
+         static_cast<uint32_t>(value);
+}
+
+int ItemAttr(Item it) { return static_cast<int>(it >> 32); }
+ValueCode ItemValue(Item it) {
+  return static_cast<ValueCode>(static_cast<uint32_t>(it));
+}
+
+// A candidate body is a sorted vector of items.
+struct BodyHash {
+  size_t operator()(const std::vector<Item>& body) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (Item it : body) {
+      h ^= it;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using BodyCounts =
+    std::unordered_map<std::vector<Item>, std::vector<int64_t>, BodyHash>;
+
+Condition ToCondition(Item it) { return Condition{ItemAttr(it), ItemValue(it)}; }
+
+}  // namespace
+
+Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
+                                          const CarMinerOptions& options) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "rule mining requires an all-categorical dataset (discretize "
+        "first)");
+  }
+  if (options.min_support < 0 || options.min_support > 1) {
+    return Status::InvalidArgument("min_support must be in [0, 1]");
+  }
+  if (options.min_confidence < 0 || options.min_confidence > 1) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  if (options.max_conditions < 1) {
+    return Status::InvalidArgument("max_conditions must be >= 1");
+  }
+  const int num_classes = schema.num_classes();
+
+  std::unordered_set<int> fixed_attrs;
+  for (const Condition& c : options.fixed_conditions) {
+    if (c.attribute < 0 || c.attribute >= schema.num_attributes() ||
+        schema.is_class(c.attribute)) {
+      return Status::InvalidArgument("invalid fixed condition attribute");
+    }
+    if (c.value < 0 || c.value >= schema.attribute(c.attribute).domain()) {
+      return Status::InvalidArgument("invalid fixed condition value");
+    }
+    if (!fixed_attrs.insert(c.attribute).second) {
+      return Status::InvalidArgument(
+          "fixed conditions must use distinct attributes");
+    }
+  }
+
+  // Rows satisfying the fixed conditions (restricted mining scans only
+  // this sub-population).
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(dataset.num_rows()));
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    bool match = true;
+    for (const Condition& c : options.fixed_conditions) {
+      if (dataset.code(r, c.attribute) != c.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) rows.push_back(r);
+  }
+
+  // The support threshold is relative to the full dataset so that
+  // restricted mining keeps the same absolute bar.
+  const int64_t minsup_count = static_cast<int64_t>(
+      std::ceil(options.min_support * static_cast<double>(dataset.num_rows())));
+
+  // Free attributes usable in rule bodies.
+  std::vector<int> free_attrs;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (!schema.is_class(a) && fixed_attrs.count(a) == 0) {
+      free_attrs.push_back(a);
+    }
+  }
+
+  RuleSet result(dataset.num_rows());
+  std::vector<Condition> fixed_sorted = options.fixed_conditions;
+  std::sort(fixed_sorted.begin(), fixed_sorted.end());
+
+  auto emit_rules = [&](const BodyCounts& level) {
+    for (const auto& [body, counts] : level) {
+      int64_t body_count = 0;
+      for (int64_t c : counts) body_count += c;
+      for (int y = 0; y < num_classes; ++y) {
+        const int64_t sup = counts[static_cast<size_t>(y)];
+        if (sup < minsup_count) continue;
+        const double conf =
+            body_count > 0
+                ? static_cast<double>(sup) / static_cast<double>(body_count)
+                : 0.0;
+        if (conf < options.min_confidence) continue;
+        ClassRule rule;
+        rule.conditions = fixed_sorted;
+        for (Item it : body) rule.conditions.push_back(ToCondition(it));
+        std::sort(rule.conditions.begin(), rule.conditions.end());
+        rule.class_value = static_cast<ValueCode>(y);
+        rule.support_count = sup;
+        rule.body_count = body_count;
+        result.Add(std::move(rule));
+      }
+    }
+  };
+
+  // --- Level 1 ---
+  BodyCounts level;
+  for (int64_t r : rows) {
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    for (int a : free_attrs) {
+      const ValueCode v = dataset.code(r, a);
+      if (v == kNullCode) continue;
+      auto [it, inserted] = level.try_emplace(
+          std::vector<Item>{MakeItem(a, v)},
+          std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+      ++it->second[static_cast<size_t>(y)];
+    }
+  }
+  // With min_support == 0 the complete space must be covered, including
+  // zero-count cells; enumerate every item explicitly.
+  if (minsup_count == 0) {
+    for (int a : free_attrs) {
+      for (ValueCode v = 0; v < schema.attribute(a).domain(); ++v) {
+        level.try_emplace(
+            std::vector<Item>{MakeItem(a, v)},
+            std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+      }
+    }
+  }
+
+  auto prune_infrequent = [&](BodyCounts* lvl) {
+    if (minsup_count == 0) return;  // everything is frequent at threshold 0
+    for (auto it = lvl->begin(); it != lvl->end();) {
+      const int64_t best =
+          *std::max_element(it->second.begin(), it->second.end());
+      if (best < minsup_count) {
+        it = lvl->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  prune_infrequent(&level);
+  emit_rules(level);
+
+  // --- Levels 2..max_conditions ---
+  const int max_free_conditions =
+      options.max_conditions - static_cast<int>(fixed_sorted.size());
+  for (int k = 2; k <= max_free_conditions; ++k) {
+    // Candidate generation: join bodies sharing the first k-2 items, with
+    // the last items on different attributes; prune by downward closure.
+    std::vector<std::vector<Item>> prev_bodies;
+    prev_bodies.reserve(level.size());
+    for (const auto& [body, _] : level) prev_bodies.push_back(body);
+    std::sort(prev_bodies.begin(), prev_bodies.end());
+
+    std::unordered_set<std::vector<Item>, BodyHash> prev_set(
+        prev_bodies.begin(), prev_bodies.end(), prev_bodies.size(),
+        BodyHash());
+
+    BodyCounts next;
+    for (size_t i = 0; i < prev_bodies.size(); ++i) {
+      for (size_t j = i + 1; j < prev_bodies.size(); ++j) {
+        const auto& a = prev_bodies[i];
+        const auto& b = prev_bodies[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+        if (ItemAttr(a.back()) == ItemAttr(b.back())) continue;
+        std::vector<Item> cand = a;
+        cand.push_back(b.back());
+        // Downward closure: all (k-1)-subsets must be frequent.
+        bool ok = true;
+        if (minsup_count > 0) {
+          std::vector<Item> sub(cand.size() - 1);
+          for (size_t drop = 0; drop + 2 < cand.size() && ok; ++drop) {
+            sub.clear();
+            for (size_t m = 0; m < cand.size(); ++m) {
+              if (m != drop) sub.push_back(cand[m]);
+            }
+            ok = prev_set.count(sub) > 0;
+          }
+        }
+        if (ok) {
+          next.try_emplace(
+              std::move(cand),
+              std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
+        }
+      }
+    }
+    if (next.empty()) break;
+
+    // Counting pass.
+    std::vector<Item> row_items;
+    std::vector<Item> probe(static_cast<size_t>(k));
+    std::vector<size_t> idx(static_cast<size_t>(k));
+    for (int64_t r : rows) {
+      const ValueCode y = dataset.class_code(r);
+      if (y == kNullCode) continue;
+      row_items.clear();
+      for (int a : free_attrs) {
+        const ValueCode v = dataset.code(r, a);
+        if (v == kNullCode) continue;
+        row_items.push_back(MakeItem(a, v));
+      }
+      const size_t m = row_items.size();
+      if (m < static_cast<size_t>(k)) continue;
+      // Enumerate k-combinations of the row's items (row_items is sorted
+      // because free_attrs is ascending and items pack attr high).
+      for (size_t t = 0; t < static_cast<size_t>(k); ++t) idx[t] = t;
+      for (;;) {
+        for (size_t t = 0; t < static_cast<size_t>(k); ++t) {
+          probe[t] = row_items[idx[t]];
+        }
+        auto it = next.find(probe);
+        if (it != next.end()) ++it->second[static_cast<size_t>(y)];
+        // Advance combination.
+        int t = k - 1;
+        while (t >= 0 &&
+               idx[static_cast<size_t>(t)] ==
+                   m - static_cast<size_t>(k - t)) {
+          --t;
+        }
+        if (t < 0) break;
+        ++idx[static_cast<size_t>(t)];
+        for (size_t u = static_cast<size_t>(t) + 1;
+             u < static_cast<size_t>(k); ++u) {
+          idx[u] = idx[u - 1] + 1;
+        }
+      }
+    }
+
+    prune_infrequent(&next);
+    emit_rules(next);
+    level = std::move(next);
+  }
+
+  return result;
+}
+
+int64_t CountPossibleRules(const Schema& schema, int k) {
+  // Elementary symmetric polynomial of degree k over attribute domains,
+  // times the number of classes.
+  std::vector<double> e(static_cast<size_t>(k) + 1, 0.0);
+  e[0] = 1.0;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.is_class(a)) continue;
+    const double d = schema.attribute(a).domain();
+    for (int j = std::min<int>(k, schema.num_attributes()); j >= 1; --j) {
+      e[static_cast<size_t>(j)] += e[static_cast<size_t>(j - 1)] * d;
+    }
+  }
+  return static_cast<int64_t>(e[static_cast<size_t>(k)] *
+                              schema.num_classes());
+}
+
+}  // namespace opmap

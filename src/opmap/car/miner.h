@@ -1,0 +1,48 @@
+#ifndef OPMAP_CAR_MINER_H_
+#define OPMAP_CAR_MINER_H_
+
+#include <vector>
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for class-association-rule mining.
+struct CarMinerOptions {
+  /// Minimum rule support sup(X, y) / |D|. Zero materializes the complete
+  /// rule space (the rule-cube setting; see paper Section III.B).
+  double min_support = 0.01;
+  /// Minimum rule confidence sup(X, y) / sup(X).
+  double min_confidence = 0.0;
+  /// Maximum number of conditions in a rule body. The deployed system
+  /// stores only 2-condition rules; longer rules come from restricted
+  /// mining.
+  int max_conditions = 2;
+  /// Restricted mining (paper Section III.B): these conditions are fixed;
+  /// only records satisfying all of them are scanned, and mined rules are
+  /// emitted with the fixed conditions prepended.
+  std::vector<Condition> fixed_conditions;
+};
+
+/// Apriori-style class-association-rule miner (Liu et al.'s CAR setting:
+/// association rules whose head is a class value).
+///
+/// A ruleitem is a pair (body itemset, class). Candidate bodies are grown
+/// level-wise; a body is extended only while at least one of its per-class
+/// counts can still clear the support threshold (downward closure of
+/// ruleitem support).
+///
+/// Requires an all-categorical dataset.
+Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
+                                          const CarMinerOptions& options);
+
+/// Total number of possible rules with exactly `k` conditions — the size of
+/// the complete rule space the rule-cube representation covers. Used to
+/// demonstrate the completeness problem of classifiers.
+int64_t CountPossibleRules(const Schema& schema, int k);
+
+}  // namespace opmap
+
+#endif  // OPMAP_CAR_MINER_H_

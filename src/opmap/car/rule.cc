@@ -1,0 +1,59 @@
+#include "opmap/car/rule.h"
+
+#include <algorithm>
+
+#include "opmap/common/string_util.h"
+
+namespace opmap {
+
+std::string ClassRule::ToString(const Schema& schema,
+                                int64_t num_rows) const {
+  std::string out;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Condition& c = conditions[i];
+    const Attribute& a = schema.attribute(c.attribute);
+    out += a.name();
+    out += "=";
+    out += c.value == kNullCode ? "?" : a.label(c.value);
+  }
+  if (conditions.empty()) out += "(true)";
+  out += " -> ";
+  out += schema.class_attribute().name();
+  out += "=";
+  out += schema.class_attribute().label(class_value);
+  out += " (sup=" + FormatPercent(Support(num_rows), 3) +
+         ", conf=" + FormatPercent(Confidence(), 2) + ")";
+  return out;
+}
+
+void RuleSet::SortByConfidence() {
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ClassRule& a, const ClassRule& b) {
+                     if (a.Confidence() != b.Confidence()) {
+                       return a.Confidence() > b.Confidence();
+                     }
+                     if (a.support_count != b.support_count) {
+                       return a.support_count > b.support_count;
+                     }
+                     return a.conditions.size() < b.conditions.size();
+                   });
+}
+
+RuleSet RuleSet::FilterByClass(ValueCode class_value) const {
+  RuleSet out(num_rows_);
+  for (const auto& r : rules_) {
+    if (r.class_value == class_value) out.Add(r);
+  }
+  return out;
+}
+
+RuleSet RuleSet::FilterByLength(int max_conditions) const {
+  RuleSet out(num_rows_);
+  for (const auto& r : rules_) {
+    if (static_cast<int>(r.conditions.size()) <= max_conditions) out.Add(r);
+  }
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,88 @@
+#ifndef OPMAP_CAR_RULE_H_
+#define OPMAP_CAR_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opmap/data/schema.h"
+
+namespace opmap {
+
+/// One rule condition: attribute = value.
+struct Condition {
+  int attribute = -1;
+  ValueCode value = kNullCode;
+
+  friend bool operator==(const Condition& a, const Condition& b) {
+    return a.attribute == b.attribute && a.value == b.value;
+  }
+  friend bool operator<(const Condition& a, const Condition& b) {
+    if (a.attribute != b.attribute) return a.attribute < b.attribute;
+    return a.value < b.value;
+  }
+};
+
+/// A class association rule X -> y with its counts.
+///
+/// `body_count` is sup(X); `support_count` is sup(X, y). Together with the
+/// dataset size they determine support and confidence — exactly the
+/// quantities stored in rule-cube cells.
+struct ClassRule {
+  std::vector<Condition> conditions;  // sorted by attribute, one per attribute
+  ValueCode class_value = kNullCode;
+  int64_t support_count = 0;
+  int64_t body_count = 0;
+
+  /// sup(X, y) / |D|.
+  double Support(int64_t num_rows) const {
+    return num_rows > 0 ? static_cast<double>(support_count) /
+                              static_cast<double>(num_rows)
+                        : 0.0;
+  }
+
+  /// sup(X, y) / sup(X). Zero-body rules have confidence 0.
+  double Confidence() const {
+    return body_count > 0 ? static_cast<double>(support_count) /
+                                static_cast<double>(body_count)
+                          : 0.0;
+  }
+
+  /// "PhoneModel=ph1, TimeOfCall=morning -> CallDisposition=dropped
+  /// (sup=..., conf=...)".
+  std::string ToString(const Schema& schema, int64_t num_rows) const;
+};
+
+/// A set of mined rules plus the dataset size they were mined from.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(int64_t num_rows) : num_rows_(num_rows) {}
+
+  int64_t num_rows() const { return num_rows_; }
+  const std::vector<ClassRule>& rules() const { return rules_; }
+  std::vector<ClassRule>& mutable_rules() { return rules_; }
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const ClassRule& rule(size_t i) const { return rules_[i]; }
+
+  void Add(ClassRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Sorts rules by descending confidence, breaking ties by descending
+  /// support then ascending length (the CBA total order).
+  void SortByConfidence();
+
+  /// Keeps only rules predicting `class_value`.
+  RuleSet FilterByClass(ValueCode class_value) const;
+
+  /// Keeps only rules with at most `max_conditions` conditions.
+  RuleSet FilterByLength(int max_conditions) const;
+
+ private:
+  int64_t num_rows_ = 0;
+  std::vector<ClassRule> rules_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_CAR_RULE_H_

@@ -1,0 +1,69 @@
+#ifndef OPMAP_CAR_RULE_QUERY_H_
+#define OPMAP_CAR_RULE_QUERY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Declarative filter over a rule set — the post-processing operators of
+/// the related work the paper discusses (Section II: "a set of rule
+/// postprocessing operators ... to allow the user to filter unwanted
+/// rules, select rules of interest and group rules"). All set fields must
+/// match (conjunction).
+struct RuleFilter {
+  /// Keep rules predicting this class.
+  std::optional<ValueCode> class_value;
+  /// Keep rules whose body mentions this attribute (any value).
+  std::optional<int> mentions_attribute;
+  /// Keep rules whose body contains exactly this condition.
+  std::optional<Condition> contains_condition;
+  /// Support (fraction of the mined dataset) bounds.
+  double min_support = 0.0;
+  double max_support = 1.0;
+  /// Confidence bounds.
+  double min_confidence = 0.0;
+  double max_confidence = 1.0;
+  /// Body length bounds (number of conditions).
+  int min_conditions = 0;
+  int max_conditions = 1 << 20;
+};
+
+/// True if `rule` passes `filter` for a dataset of `num_rows` records.
+bool MatchesFilter(const ClassRule& rule, const RuleFilter& filter,
+                   int64_t num_rows);
+
+/// Rules of `rules` passing `filter`, in original order.
+RuleSet SelectRules(const RuleSet& rules, const RuleFilter& filter);
+
+/// Groups rules by the set of attributes in their body. The map key is
+/// the sorted attribute index list; each group keeps original rule order.
+/// This is the "group rules" operator: one group = one rule cube's worth
+/// of rules.
+std::map<std::vector<int>, std::vector<ClassRule>> GroupRulesByAttributes(
+    const RuleSet& rules);
+
+/// Summarizes a rule set: counts per class, per body length, support and
+/// confidence ranges. Rendered by ToString().
+struct RuleSetSummary {
+  int64_t total = 0;
+  std::map<ValueCode, int64_t> per_class;
+  std::map<int, int64_t> per_length;
+  double min_support = 0.0;
+  double max_support = 0.0;
+  double min_confidence = 0.0;
+  double max_confidence = 0.0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+RuleSetSummary SummarizeRules(const RuleSet& rules);
+
+}  // namespace opmap
+
+#endif  // OPMAP_CAR_RULE_QUERY_H_

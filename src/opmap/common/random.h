@@ -1,0 +1,61 @@
+#ifndef OPMAP_COMMON_RANDOM_H_
+#define OPMAP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace opmap {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// Used instead of <random> engines so synthetic workloads are reproducible
+/// byte-for-byte across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Samples an index from the (unnormalized, non-negative) weights.
+  /// Returns weights.size() - 1 if numeric drift exhausts the mass.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Precomputed Zipf(s) sampler over {0, ..., n-1}.
+///
+/// Rank 0 is the most frequent value. s = 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_RANDOM_H_

@@ -1,0 +1,142 @@
+#include "opmap/common/serde.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace opmap {
+
+namespace {
+
+// The formats are defined little-endian; on a big-endian host these
+// helpers would need byte swaps. All current targets are little-endian.
+template <typename T>
+void PutRaw(std::ostream* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->write(buf, sizeof(T));
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(uint8_t v) { PutRaw(out_, v); }
+void BinaryWriter::WriteU32(uint32_t v) { PutRaw(out_, v); }
+void BinaryWriter::WriteU64(uint64_t v) { PutRaw(out_, v); }
+void BinaryWriter::WriteDouble(double v) { PutRaw(out_, v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(int32_t)));
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool BinaryWriter::ok() const { return out_->good(); }
+
+Status BinaryReader::ReadBytes(void* dst, size_t n) {
+  in_->read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::IOError("unexpected end of input");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  uint8_t v;
+  OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v;
+  OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v;
+  OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  OPMAP_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double v;
+  OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > limit_) return Status::IOError("string length exceeds limit");
+  std::string s(static_cast<size_t>(n), '\0');
+  OPMAP_RETURN_NOT_OK(ReadBytes(s.data(), s.size()));
+  return s;
+}
+
+Result<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > limit_ / sizeof(int32_t)) {
+    return Status::IOError("vector length exceeds limit");
+  }
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  OPMAP_RETURN_NOT_OK(ReadBytes(v.data(), v.size() * sizeof(int32_t)));
+  return v;
+}
+
+Result<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > limit_ / sizeof(int64_t)) {
+    return Status::IOError("vector length exceeds limit");
+  }
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  OPMAP_RETURN_NOT_OK(ReadBytes(v.data(), v.size() * sizeof(int64_t)));
+  return v;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > limit_ / sizeof(double)) {
+    return Status::IOError("vector length exceeds limit");
+  }
+  std::vector<double> v(static_cast<size_t>(n));
+  OPMAP_RETURN_NOT_OK(ReadBytes(v.data(), v.size() * sizeof(double)));
+  return v;
+}
+
+Status BinaryReader::ExpectMagic(const char magic[4]) {
+  char buf[4];
+  OPMAP_RETURN_NOT_OK(ReadBytes(buf, 4));
+  if (std::memcmp(buf, magic, 4) != 0) {
+    return Status::IOError("bad magic: not an Opportunity Map file of the "
+                           "expected kind");
+  }
+  return Status::OK();
+}
+
+}  // namespace opmap

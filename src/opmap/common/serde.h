@@ -1,0 +1,71 @@
+#ifndef OPMAP_COMMON_SERDE_H_
+#define OPMAP_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Little-endian binary writer over a std::ostream. Used by the dataset
+/// and cube-store persistence formats (the deployed system generates rule
+/// cubes offline and reloads them interactively).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  /// Length-prefixed UTF-8 string.
+  void WriteString(const std::string& s);
+  void WriteI32Vector(const std::vector<int32_t>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  /// True if every write so far succeeded.
+  bool ok() const;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Little-endian binary reader over a std::istream. All methods return an
+/// error Status on truncated or malformed input instead of asserting, so
+/// corrupt files are reported, not crashed on.
+class BinaryReader {
+ public:
+  /// `limit` caps vector/string lengths to defend against corrupt sizes.
+  explicit BinaryReader(std::istream* in, uint64_t limit = (1ULL << 40))
+      : in_(in), limit_(limit) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<int32_t>> ReadI32Vector();
+  Result<std::vector<int64_t>> ReadI64Vector();
+  Result<std::vector<double>> ReadDoubleVector();
+
+  /// Reads 4 bytes and verifies they equal `magic`.
+  Status ExpectMagic(const char magic[4]);
+
+ private:
+  Status ReadBytes(void* dst, size_t n);
+
+  std::istream* in_;
+  uint64_t limit_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_SERDE_H_

@@ -1,0 +1,144 @@
+#ifndef OPMAP_COMMON_STATUS_H_
+#define OPMAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace opmap {
+
+/// Error categories used across the library. The numeric values are stable
+/// so they can be logged and compared across versions.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome used instead of exceptions across the public API.
+///
+/// A Status is either OK or carries a code plus a message. Functions that
+/// produce a value on success return Result<T> instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+///
+/// Accessing the value of a non-OK Result is a programming error and is
+/// checked with assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit so functions can `return Status::...;`. `status` must be
+  /// non-OK: an OK status carries no value and would leave the Result empty.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the Result.
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace opmap
+
+/// Propagates a non-OK Status from an expression, like arrow's ARROW_RETURN_NOT_OK.
+#define OPMAP_RETURN_NOT_OK(expr)        \
+  do {                                   \
+    ::opmap::Status _st = (expr);        \
+    if (!_st.ok()) return _st;           \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define OPMAP_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto OPMAP_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!OPMAP_CONCAT_(_res_, __LINE__).ok())              \
+    return OPMAP_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(OPMAP_CONCAT_(_res_, __LINE__)).MoveValue()
+
+#define OPMAP_CONCAT_IMPL_(a, b) a##b
+#define OPMAP_CONCAT_(a, b) OPMAP_CONCAT_IMPL_(a, b)
+
+#endif  // OPMAP_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef OPMAP_COMMON_STRING_UTIL_H_
+#define OPMAP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opmap {
+
+/// Splits `s` on `delim`. Consecutive delimiters yield empty fields, matching
+/// CSV semantics ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction as a percentage, e.g. 0.1234 -> "12.34%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+/// True if `s` parses fully as a floating point number.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True if `s` parses fully as a 64-bit signed integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,99 @@
+#include "opmap/compare/alternatives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opmap/stats/contingency.h"
+
+namespace opmap {
+
+const char* ComparisonMeasureName(ComparisonMeasure m) {
+  switch (m) {
+    case ComparisonMeasure::kPaperM:
+      return "paper-M";
+    case ComparisonMeasure::kChiSquare:
+      return "chi-square";
+    case ComparisonMeasure::kAbsoluteDifference:
+      return "abs-difference";
+    case ComparisonMeasure::kKlDivergence:
+      return "kl-divergence";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double ScoreAttribute(const AttributeComparison& cmp, double cf1, double cf2,
+                      ComparisonMeasure measure) {
+  switch (measure) {
+    case ComparisonMeasure::kPaperM:
+      return cmp.interestingness;
+    case ComparisonMeasure::kChiSquare: {
+      // Homogeneity of the target-class counts across values: rows are the
+      // two sub-populations, columns the attribute values.
+      ContingencyTable t(2, static_cast<int>(cmp.values.size()));
+      for (size_t k = 0; k < cmp.values.size(); ++k) {
+        t.set(0, static_cast<int>(k), cmp.values[k].n1_target);
+        t.set(1, static_cast<int>(k), cmp.values[k].n2_target);
+      }
+      return ChiSquareStatistic(t);
+    }
+    case ComparisonMeasure::kAbsoluteDifference: {
+      const double ratio = cf2 / cf1;
+      double score = 0;
+      for (const ValueComparison& v : cmp.values) {
+        score += std::fabs(v.rcf2 - v.rcf1 * ratio) *
+                 static_cast<double>(v.n2);
+      }
+      return score;
+    }
+    case ComparisonMeasure::kKlDivergence: {
+      int64_t total1 = 0, total2 = 0;
+      for (const ValueComparison& v : cmp.values) {
+        total1 += v.n1_target;
+        total2 += v.n2_target;
+      }
+      const double m = static_cast<double>(cmp.values.size());
+      double kl = 0;
+      for (const ValueComparison& v : cmp.values) {
+        const double p = (static_cast<double>(v.n2_target) + 1.0) /
+                         (static_cast<double>(total2) + m);
+        const double q = (static_cast<double>(v.n1_target) + 1.0) /
+                         (static_cast<double>(total1) + m);
+        kl += p * std::log2(p / q);
+      }
+      return std::max(0.0, kl);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<MeasureScore>> RescoreComparison(
+    const ComparisonResult& result, ComparisonMeasure measure) {
+  if (result.cf1 <= 0) {
+    return Status::InvalidArgument(
+        "comparison has zero good-side confidence");
+  }
+  std::vector<MeasureScore> out;
+  out.reserve(result.ranked.size());
+  for (const AttributeComparison& cmp : result.ranked) {
+    out.push_back(MeasureScore{
+        cmp.attribute, ScoreAttribute(cmp, result.cf1, result.cf2, measure)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MeasureScore& a, const MeasureScore& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+int RankIn(const std::vector<MeasureScore>& scores, int attribute) {
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].attribute == attribute) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace opmap

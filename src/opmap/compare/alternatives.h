@@ -1,0 +1,50 @@
+#ifndef OPMAP_COMPARE_ALTERNATIVES_H_
+#define OPMAP_COMPARE_ALTERNATIVES_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/compare/comparator.h"
+
+namespace opmap {
+
+/// Alternative attribute-scoring functions for the comparison task, used
+/// to ablate the paper's measure (Section IV.A) against textbook choices.
+enum class ComparisonMeasure {
+  /// The paper's M (formula (3)): CI-revised excess confidence weighted by
+  /// records, one-sided.
+  kPaperM,
+  /// Chi-square test of homogeneity between the two sub-populations'
+  /// target-class counts across the attribute's values.
+  kChiSquare,
+  /// Two-sided variant of M: |rcf2k - rcf1k * (cf2/cf1)| * N2k summed over
+  /// values (no max(0, .) clamp).
+  kAbsoluteDifference,
+  /// KL divergence (bits) between where the bad population's target-class
+  /// records fall and where the good population's do, with Laplace
+  /// smoothing.
+  kKlDivergence,
+};
+
+const char* ComparisonMeasureName(ComparisonMeasure m);
+
+/// One attribute's score under an alternative measure.
+struct MeasureScore {
+  int attribute = -1;
+  double score = 0.0;
+};
+
+/// Re-scores a finished comparison under `measure`, using the per-value
+/// counts the ComparisonResult already carries. Property attributes keep
+/// their segregation (they are not re-ranked). The result is sorted by
+/// descending score.
+Result<std::vector<MeasureScore>> RescoreComparison(
+    const ComparisonResult& result, ComparisonMeasure measure);
+
+/// Rank (0-based) of `attribute` in a score list, or -1.
+int RankIn(const std::vector<MeasureScore>& scores, int attribute);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMPARE_ALTERNATIVES_H_

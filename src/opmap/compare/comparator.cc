@@ -1,0 +1,676 @@
+#include "opmap/compare/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+int ComparisonResult::RankOf(int attribute) const {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].attribute == attribute) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Per-value counts of one candidate attribute in the two sub-populations.
+struct ValueCountTable {
+  std::vector<int64_t> n1;        // |D1 with value k|
+  std::vector<int64_t> n1_target; // ... of the target class
+  std::vector<int64_t> n2;
+  std::vector<int64_t> n2_target;
+};
+
+Status ValidateSpec(const Schema& schema, const ComparisonSpec& spec) {
+  if (spec.attribute < 0 || spec.attribute >= schema.num_attributes()) {
+    return Status::OutOfRange("comparison attribute out of range");
+  }
+  if (schema.is_class(spec.attribute)) {
+    return Status::InvalidArgument(
+        "comparison attribute cannot be the class attribute");
+  }
+  const Attribute& attr = schema.attribute(spec.attribute);
+  if (!attr.is_categorical()) {
+    return Status::InvalidArgument("comparison attribute must be categorical");
+  }
+  if (spec.value_a < 0 || spec.value_a >= attr.domain() || spec.value_b < 0 ||
+      spec.value_b >= attr.domain()) {
+    return Status::OutOfRange("comparison value out of domain");
+  }
+  if (spec.value_a == spec.value_b) {
+    return Status::InvalidArgument(
+        "the two compared values must be distinct");
+  }
+  if (spec.target_class < 0 ||
+      spec.target_class >= schema.class_attribute().domain()) {
+    return Status::OutOfRange("target class out of range");
+  }
+  if (spec.property_threshold < 0 || spec.property_threshold > 1) {
+    return Status::InvalidArgument("property threshold must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+// Computes the interestingness of one candidate attribute from its value
+// count table (paper formulas (1)-(3) with the Section IV.B revision).
+AttributeComparison CompareAttributeCounts(int attribute,
+                                           const ValueCountTable& t,
+                                           double cf1, double cf2,
+                                           int64_t n_d2,
+                                           const ComparisonSpec& spec) {
+  AttributeComparison out;
+  out.attribute = attribute;
+  const size_t m = t.n1.size();
+  out.values.resize(m);
+  const double ratio = cf2 / cf1;  // cf1 > 0 validated by the caller
+
+  double interestingness = 0.0;
+  int64_t p_count = 0;  // values present in exactly one sub-population
+  int64_t t_count = 0;  // values present in both
+  for (size_t k = 0; k < m; ++k) {
+    ValueComparison& v = out.values[k];
+    v.value = static_cast<ValueCode>(k);
+    v.n1 = t.n1[k];
+    v.n2 = t.n2[k];
+    v.n1_target = t.n1_target[k];
+    v.n2_target = t.n2_target[k];
+    v.cf1 = v.n1 > 0 ? static_cast<double>(v.n1_target) /
+                           static_cast<double>(v.n1)
+                     : 0.0;
+    v.cf2 = v.n2 > 0 ? static_cast<double>(v.n2_target) /
+                           static_cast<double>(v.n2)
+                     : 0.0;
+    if (spec.use_confidence_intervals) {
+      v.e1 = WaldIntervalFromProportion(v.cf1, v.n1, spec.confidence_level)
+                 .margin;
+      v.e2 = WaldIntervalFromProportion(v.cf2, v.n2, spec.confidence_level)
+                 .margin;
+    } else {
+      v.e1 = 0.0;
+      v.e2 = 0.0;
+    }
+    v.rcf1 = std::min(1.0, v.cf1 + v.e1);
+    v.rcf2 = std::max(0.0, v.cf2 - v.e2);
+    v.f = v.rcf2 - v.rcf1 * ratio;
+    v.w = v.f > 0 ? v.f * static_cast<double>(v.n2) : 0.0;
+    interestingness += v.w;
+
+    if ((v.n1 == 0 && v.n2 > 0) || (v.n1 > 0 && v.n2 == 0)) {
+      ++p_count;
+    } else if (v.n1 > 0 && v.n2 > 0) {
+      ++t_count;
+    }
+  }
+  out.interestingness = interestingness;
+  const double denom = cf2 * static_cast<double>(n_d2);
+  out.normalized = denom > 0 ? interestingness / denom : 0.0;
+  out.property_ratio =
+      (p_count + t_count) > 0
+          ? static_cast<double>(p_count) /
+                static_cast<double>(p_count + t_count)
+          : 0.0;
+  out.is_property = spec.detect_property_attributes &&
+                    out.property_ratio > spec.property_threshold;
+  return out;
+}
+
+// Shared tail: orientation, per-attribute loop, ranking, warnings.
+// `count_fn(attr, swapped)` returns the candidate attribute's value count
+// table with n1/n2 oriented so that population 1 is the good side: when
+// `swapped` is true the caller's population A is the bad side.
+template <typename CountFn>
+Result<ComparisonResult> RunComparison(
+    const Schema& schema, const std::vector<int>& candidate_attrs,
+    const ComparisonSpec& original_spec, std::string label_a,
+    std::string label_b, int64_t n_a, int64_t n_a_target, int64_t n_b,
+    int64_t n_b_target, CountFn&& count_fn) {
+  ComparisonResult result;
+  result.spec = original_spec;
+  result.label_a = std::move(label_a);
+  result.label_b = std::move(label_b);
+
+  double cf_a = n_a > 0 ? static_cast<double>(n_a_target) /
+                              static_cast<double>(n_a)
+                        : 0.0;
+  double cf_b = n_b > 0 ? static_cast<double>(n_b_target) /
+                              static_cast<double>(n_b)
+                        : 0.0;
+  // Orient so that the second rule is the worse one (cf1 < cf2).
+  result.swapped = cf_a > cf_b;
+  if (result.swapped) {
+    std::swap(result.spec.value_a, result.spec.value_b);
+    std::swap(result.label_a, result.label_b);
+    std::swap(cf_a, cf_b);
+    std::swap(n_a, n_b);
+  }
+  result.cf1 = cf_a;
+  result.cf2 = cf_b;
+  result.n_d1 = n_a;
+  result.n_d2 = n_b;
+
+  if (result.n_d1 == 0 || result.n_d2 == 0) {
+    return Status::InvalidArgument(
+        "one of the compared sub-populations is empty");
+  }
+  if (result.cf1 <= 0.0) {
+    return Status::InvalidArgument(
+        "rule 1 has zero confidence for the target class; the expected-"
+        "confidence ratio cf2/cf1 is undefined (pick values with non-zero "
+        "target-class incidence)");
+  }
+  if (result.n_d1 < result.spec.min_population ||
+      result.n_d2 < result.spec.min_population) {
+    result.warnings.push_back(
+        "sub-population smaller than min_population (" +
+        std::to_string(result.spec.min_population) +
+        "); interestingness values may not be statistically meaningful");
+  }
+
+  for (int attr : candidate_attrs) {
+    OPMAP_ASSIGN_OR_RETURN(ValueCountTable table,
+                           count_fn(attr, result.swapped));
+    AttributeComparison cmp = CompareAttributeCounts(
+        attr, table, result.cf1, result.cf2, result.n_d2, result.spec);
+    if (cmp.is_property) {
+      result.properties.push_back(std::move(cmp));
+    } else {
+      result.ranked.push_back(std::move(cmp));
+    }
+  }
+  auto by_interestingness = [](const AttributeComparison& x,
+                               const AttributeComparison& y) {
+    return x.interestingness > y.interestingness;
+  };
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   by_interestingness);
+  std::stable_sort(result.properties.begin(), result.properties.end(),
+                   by_interestingness);
+  (void)schema;
+  return result;
+}
+
+}  // namespace
+
+Result<ComparisonResult> Comparator::Compare(const ComparisonSpec& spec) const {
+  const Schema& schema = store_->schema();
+  OPMAP_RETURN_NOT_OK(ValidateSpec(schema, spec));
+
+  // Overall counts of the two rules from the 2-D cube (attribute, class).
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* base_cube,
+                         store_->AttrCube(spec.attribute));
+  auto rule_counts = [&](ValueCode v, int64_t* n, int64_t* n_target) {
+    *n = base_cube->MarginCount({v, 0}, 1);
+    *n_target = base_cube->count({v, spec.target_class});
+  };
+  int64_t n_a, n_a_target, n_b, n_b_target;
+  rule_counts(spec.value_a, &n_a, &n_a_target);
+  rule_counts(spec.value_b, &n_b, &n_b_target);
+
+  std::vector<int> candidates;
+  for (int attr : store_->attributes()) {
+    if (attr != spec.attribute) candidates.push_back(attr);
+  }
+
+  const Attribute& base_attr = schema.attribute(spec.attribute);
+  return RunComparison(
+      schema, candidates, spec, base_attr.label(spec.value_a),
+      base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
+      [&](int attr, bool swapped) -> Result<ValueCountTable> {
+        // These counts are two slices of the 3-D rule cube over
+        // {attribute, attr, class} — the comparison never touches the
+        // original data.
+        OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
+                               store_->PairCube(spec.attribute, attr));
+        const int base_dim = pair->FindDim(spec.attribute);
+        const int attr_dim_3d = pair->FindDim(attr);
+        const int class_dim_3d = 2;
+        // After slicing away base_dim, the remaining dims keep their
+        // relative order.
+        const int attr_dim = attr_dim_3d < base_dim ? attr_dim_3d
+                                                    : attr_dim_3d - 1;
+        const int class_dim = class_dim_3d - 1;  // base_dim is 0 or 1
+
+        ValueCountTable t;
+        const int m = schema.attribute(attr).domain();
+        t.n1.assign(static_cast<size_t>(m), 0);
+        t.n1_target.assign(static_cast<size_t>(m), 0);
+        t.n2.assign(static_cast<size_t>(m), 0);
+        t.n2_target.assign(static_cast<size_t>(m), 0);
+
+        auto fill = [&](ValueCode base_value, std::vector<int64_t>* n,
+                        std::vector<int64_t>* n_target) -> Status {
+          OPMAP_ASSIGN_OR_RETURN(RuleCube sub,
+                                 pair->Slice(base_dim, base_value));
+          std::vector<ValueCode> cell(2, 0);
+          for (ValueCode k = 0; k < m; ++k) {
+            cell[static_cast<size_t>(attr_dim)] = k;
+            int64_t body = 0;
+            for (ValueCode y = 0; y < schema.num_classes(); ++y) {
+              cell[static_cast<size_t>(class_dim)] = y;
+              const int64_t c = sub.count(cell);
+              body += c;
+              if (y == spec.target_class) {
+                (*n_target)[static_cast<size_t>(k)] = c;
+              }
+            }
+            (*n)[static_cast<size_t>(k)] = body;
+          }
+          return Status::OK();
+        };
+        const ValueCode good = swapped ? spec.value_b : spec.value_a;
+        const ValueCode bad = swapped ? spec.value_a : spec.value_b;
+        OPMAP_RETURN_NOT_OK(fill(good, &t.n1, &t.n1_target));
+        OPMAP_RETURN_NOT_OK(fill(bad, &t.n2, &t.n2_target));
+        return t;
+      });
+}
+
+std::string ValueGroup::Label(const Attribute& attribute) const {
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += "|";
+    joined += attribute.label(values[i]);
+  }
+  if (complement) return "not(" + joined + ")";
+  return joined;
+}
+
+Result<ComparisonResult> Comparator::CompareGroups(
+    const GroupComparisonSpec& gspec) const {
+  const Schema& schema = store_->schema();
+  if (gspec.attribute < 0 || gspec.attribute >= schema.num_attributes() ||
+      schema.is_class(gspec.attribute)) {
+    return Status::InvalidArgument("invalid group comparison attribute");
+  }
+  const Attribute& base = schema.attribute(gspec.attribute);
+  if (gspec.target_class < 0 ||
+      gspec.target_class >= schema.class_attribute().domain()) {
+    return Status::OutOfRange("target class out of range");
+  }
+
+  // Resolve each group into a membership mask over the base domain.
+  auto resolve = [&](const ValueGroup& g) -> Result<std::vector<bool>> {
+    if (g.values.empty()) {
+      return Status::InvalidArgument("value group must name at least one "
+                                     "value");
+    }
+    std::vector<bool> member(static_cast<size_t>(base.domain()),
+                             g.complement);
+    for (ValueCode v : g.values) {
+      if (v < 0 || v >= base.domain()) {
+        return Status::OutOfRange("group value out of domain");
+      }
+      member[static_cast<size_t>(v)] = !g.complement;
+    }
+    bool any = false;
+    for (bool m : member) any |= m;
+    if (!any) {
+      return Status::InvalidArgument("value group selects no values");
+    }
+    return member;
+  };
+  OPMAP_ASSIGN_OR_RETURN(std::vector<bool> in_a, resolve(gspec.group_a));
+  OPMAP_ASSIGN_OR_RETURN(std::vector<bool> in_b, resolve(gspec.group_b));
+  for (int v = 0; v < base.domain(); ++v) {
+    if (in_a[static_cast<size_t>(v)] && in_b[static_cast<size_t>(v)]) {
+      return Status::InvalidArgument(
+          "the two compared groups overlap on value '" + base.label(v) +
+          "'");
+    }
+  }
+
+  // Overall rule counts from the 2-D cube, summed over group members.
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* base_cube,
+                         store_->AttrCube(gspec.attribute));
+  int64_t n_a = 0, n_a_target = 0, n_b = 0, n_b_target = 0;
+  for (ValueCode v = 0; v < base.domain(); ++v) {
+    if (!in_a[static_cast<size_t>(v)] && !in_b[static_cast<size_t>(v)]) {
+      continue;
+    }
+    const int64_t body = base_cube->MarginCount({v, 0}, 1);
+    const int64_t target = base_cube->count({v, gspec.target_class});
+    if (in_a[static_cast<size_t>(v)]) {
+      n_a += body;
+      n_a_target += target;
+    } else {
+      n_b += body;
+      n_b_target += target;
+    }
+  }
+
+  // Representative spec for result bookkeeping; labels carry the truth.
+  ComparisonSpec surrogate;
+  surrogate.attribute = gspec.attribute;
+  surrogate.value_a = gspec.group_a.values.front();
+  surrogate.value_b = gspec.group_b.values.front();
+  surrogate.target_class = gspec.target_class;
+  surrogate.confidence_level = gspec.confidence_level;
+  surrogate.use_confidence_intervals = gspec.use_confidence_intervals;
+  surrogate.property_threshold = gspec.property_threshold;
+  surrogate.detect_property_attributes = gspec.detect_property_attributes;
+  surrogate.min_population = gspec.min_population;
+
+  std::vector<int> candidates;
+  for (int attr : store_->attributes()) {
+    if (attr != gspec.attribute) candidates.push_back(attr);
+  }
+
+  return RunComparison(
+      schema, candidates, surrogate, gspec.group_a.Label(base),
+      gspec.group_b.Label(base), n_a, n_a_target, n_b, n_b_target,
+      [&](int attr, bool swapped) -> Result<ValueCountTable> {
+        OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
+                               store_->PairCube(gspec.attribute, attr));
+        const int base_dim = pair->FindDim(gspec.attribute);
+        const int attr_dim = pair->FindDim(attr);
+        const int m = schema.attribute(attr).domain();
+        ValueCountTable t;
+        t.n1.assign(static_cast<size_t>(m), 0);
+        t.n1_target.assign(static_cast<size_t>(m), 0);
+        t.n2.assign(static_cast<size_t>(m), 0);
+        t.n2_target.assign(static_cast<size_t>(m), 0);
+        const std::vector<bool>& good = swapped ? in_b : in_a;
+        const std::vector<bool>& bad = swapped ? in_a : in_b;
+        std::vector<ValueCode> cell(3, 0);
+        for (ValueCode v = 0; v < base.domain(); ++v) {
+          const bool is_good = good[static_cast<size_t>(v)];
+          const bool is_bad = bad[static_cast<size_t>(v)];
+          if (!is_good && !is_bad) continue;
+          cell[static_cast<size_t>(base_dim)] = v;
+          for (ValueCode k = 0; k < m; ++k) {
+            cell[static_cast<size_t>(attr_dim)] = k;
+            int64_t body = 0;
+            int64_t target = 0;
+            for (ValueCode y = 0; y < schema.num_classes(); ++y) {
+              cell[2] = y;
+              const int64_t c = pair->count(cell);
+              body += c;
+              if (y == gspec.target_class) target = c;
+            }
+            if (is_good) {
+              t.n1[static_cast<size_t>(k)] += body;
+              t.n1_target[static_cast<size_t>(k)] += target;
+            } else {
+              t.n2[static_cast<size_t>(k)] += body;
+              t.n2_target[static_cast<size_t>(k)] += target;
+            }
+          }
+        }
+        return t;
+      });
+}
+
+Result<ComparisonResult> Comparator::CompareVsRest(
+    int attribute, ValueCode value, ValueCode target_class) const {
+  GroupComparisonSpec spec;
+  spec.attribute = attribute;
+  spec.group_a = ValueGroup::Of(value);
+  spec.group_b = ValueGroup::AllBut(value);
+  spec.target_class = target_class;
+  return CompareGroups(spec);
+}
+
+Result<std::vector<PairSummary>> Comparator::CompareAllPairs(
+    int attribute, ValueCode target_class, int64_t min_population) const {
+  const Schema& schema = store_->schema();
+  if (attribute < 0 || attribute >= schema.num_attributes() ||
+      schema.is_class(attribute)) {
+    return Status::InvalidArgument("invalid all-pairs attribute");
+  }
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* base_cube,
+                         store_->AttrCube(attribute));
+  const int m = schema.attribute(attribute).domain();
+  std::vector<int64_t> body(static_cast<size_t>(m));
+  std::vector<double> cf(static_cast<size_t>(m));
+  for (ValueCode v = 0; v < m; ++v) {
+    body[static_cast<size_t>(v)] = base_cube->MarginCount({v, 0}, 1);
+    cf[static_cast<size_t>(v)] =
+        body[static_cast<size_t>(v)] > 0
+            ? static_cast<double>(base_cube->count({v, target_class})) /
+                  static_cast<double>(body[static_cast<size_t>(v)])
+            : 0.0;
+  }
+
+  std::vector<PairSummary> out;
+  for (ValueCode a = 0; a < m; ++a) {
+    if (body[static_cast<size_t>(a)] < min_population) continue;
+    for (ValueCode b = a + 1; b < m; ++b) {
+      if (body[static_cast<size_t>(b)] < min_population) continue;
+      PairSummary summary;
+      // Orient good/bad by overall confidence up front so the summary rows
+      // read consistently.
+      const bool a_good = cf[static_cast<size_t>(a)] <=
+                          cf[static_cast<size_t>(b)];
+      summary.value_a = a_good ? a : b;
+      summary.value_b = a_good ? b : a;
+      summary.cf_a = cf[static_cast<size_t>(summary.value_a)];
+      summary.cf_b = cf[static_cast<size_t>(summary.value_b)];
+      ComparisonSpec spec;
+      spec.attribute = attribute;
+      spec.value_a = summary.value_a;
+      spec.value_b = summary.value_b;
+      spec.target_class = target_class;
+      spec.min_population = min_population;
+      auto result = Compare(spec);
+      if (!result.ok() || result->ranked.empty()) {
+        summary.skipped = true;
+      } else {
+        summary.top_attribute = result->ranked[0].attribute;
+        summary.top_interestingness = result->ranked[0].interestingness;
+        summary.top_normalized = result->ranked[0].normalized;
+      }
+      out.push_back(summary);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PairSummary& x, const PairSummary& y) {
+                     if (x.skipped != y.skipped) return !x.skipped;
+                     return x.top_interestingness > y.top_interestingness;
+                   });
+  return out;
+}
+
+Result<std::vector<std::pair<ValueCode, ComparisonResult>>>
+Comparator::CompareAllClasses(int attribute, ValueCode value_a,
+                              ValueCode value_b) const {
+  const Schema& schema = store_->schema();
+  std::vector<std::pair<ValueCode, ComparisonResult>> out;
+  for (ValueCode cls = 0; cls < schema.num_classes(); ++cls) {
+    ComparisonSpec spec;
+    spec.attribute = attribute;
+    spec.value_a = value_a;
+    spec.value_b = value_b;
+    spec.target_class = cls;
+    auto result = Compare(spec);
+    if (!result.ok()) {
+      // Zero-confidence classes are simply undefined for this pair and are
+      // skipped; genuine spec errors (bad attribute, same values, ...)
+      // propagate so typos are not silently eaten.
+      const bool undefined =
+          result.status().code() == StatusCode::kInvalidArgument &&
+          result.status().message().find("zero confidence") !=
+              std::string::npos;
+      if (!undefined) return result.status();
+      continue;
+    }
+    out.emplace_back(cls, std::move(*result));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(
+        "the comparison is undefined for every class (zero confidence on "
+        "the good side everywhere)");
+  }
+  return out;
+}
+
+std::string FormatPairSummaries(const std::vector<PairSummary>& pairs,
+                                const Schema& schema, int attribute,
+                                int max_rows) {
+  const Attribute& base = schema.attribute(attribute);
+  std::string out = "good vs bad        cf1      cf2      top attribute"
+                    "        M\n";
+  int shown = 0;
+  for (const PairSummary& p : pairs) {
+    if (max_rows > 0 && shown >= max_rows) {
+      out += "... " + std::to_string(pairs.size() - static_cast<size_t>(shown)) +
+             " more pairs\n";
+      break;
+    }
+    char line[256];
+    if (p.skipped) {
+      std::snprintf(line, sizeof(line), "%-6s vs %-8s (skipped)\n",
+                    base.label(p.value_a).c_str(),
+                    base.label(p.value_b).c_str());
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%-6s vs %-8s %-8.3f %-8.3f %-20s %10.1f\n",
+                    base.label(p.value_a).c_str(),
+                    base.label(p.value_b).c_str(), p.cf_a, p.cf_b,
+                    schema.attribute(p.top_attribute).name().c_str(),
+                    p.top_interestingness);
+    }
+    out += line;
+    ++shown;
+  }
+  return out;
+}
+
+Result<ComparisonResult> Comparator::CompareByName(
+    const std::string& attribute, const std::string& value_a,
+    const std::string& value_b, const std::string& target_class,
+    ComparisonSpec spec) const {
+  const Schema& schema = store_->schema();
+  OPMAP_ASSIGN_OR_RETURN(spec.attribute, schema.IndexOf(attribute));
+  const Attribute& attr = schema.attribute(spec.attribute);
+  if (!attr.is_categorical()) {
+    return Status::InvalidArgument("comparison attribute must be categorical");
+  }
+  OPMAP_ASSIGN_OR_RETURN(spec.value_a, attr.CodeOf(value_a));
+  OPMAP_ASSIGN_OR_RETURN(spec.value_b, attr.CodeOf(value_b));
+  OPMAP_ASSIGN_OR_RETURN(spec.target_class,
+                         schema.class_attribute().CodeOf(target_class));
+  return Compare(spec);
+}
+
+Result<ComparisonResult> CompareFromDataset(const Dataset& dataset,
+                                            const ComparisonSpec& spec) {
+  const Schema& schema = dataset.schema();
+  OPMAP_RETURN_NOT_OK(ValidateSpec(schema, spec));
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "comparison requires an all-categorical dataset");
+  }
+
+  int64_t n_a = 0, n_a_target = 0, n_b = 0, n_b_target = 0;
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode v = dataset.code(r, spec.attribute);
+    const ValueCode y = dataset.class_code(r);
+    if (y == kNullCode) continue;
+    if (v == spec.value_a) {
+      ++n_a;
+      if (y == spec.target_class) ++n_a_target;
+    } else if (v == spec.value_b) {
+      ++n_b;
+      if (y == spec.target_class) ++n_b_target;
+    }
+  }
+
+  std::vector<int> candidates;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (a != spec.attribute && !schema.is_class(a)) candidates.push_back(a);
+  }
+
+  const Attribute& base_attr = schema.attribute(spec.attribute);
+  return RunComparison(
+      schema, candidates, spec, base_attr.label(spec.value_a),
+      base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
+      [&](int attr, bool swapped) -> Result<ValueCountTable> {
+        ValueCountTable t;
+        const int m = schema.attribute(attr).domain();
+        t.n1.assign(static_cast<size_t>(m), 0);
+        t.n1_target.assign(static_cast<size_t>(m), 0);
+        t.n2.assign(static_cast<size_t>(m), 0);
+        t.n2_target.assign(static_cast<size_t>(m), 0);
+        const ValueCode good = swapped ? spec.value_b : spec.value_a;
+        const ValueCode bad = swapped ? spec.value_a : spec.value_b;
+        for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+          const ValueCode base = dataset.code(r, spec.attribute);
+          const ValueCode y = dataset.class_code(r);
+          if (y == kNullCode) continue;
+          const ValueCode k = dataset.code(r, attr);
+          if (k == kNullCode) continue;
+          if (base == good) {
+            ++t.n1[static_cast<size_t>(k)];
+            if (y == spec.target_class) {
+              ++t.n1_target[static_cast<size_t>(k)];
+            }
+          } else if (base == bad) {
+            ++t.n2[static_cast<size_t>(k)];
+            if (y == spec.target_class) {
+              ++t.n2_target[static_cast<size_t>(k)];
+            }
+          }
+        }
+        return t;
+      });
+}
+
+Result<ComparisonResult> CompareWithinContext(
+    const Dataset& dataset, const std::vector<Condition>& context,
+    const ComparisonSpec& spec) {
+  const Schema& schema = dataset.schema();
+  if (!schema.AllCategorical()) {
+    return Status::InvalidArgument(
+        "contextual comparison requires an all-categorical dataset");
+  }
+  std::vector<bool> seen(static_cast<size_t>(schema.num_attributes()),
+                         false);
+  for (const Condition& c : context) {
+    if (c.attribute < 0 || c.attribute >= schema.num_attributes() ||
+        schema.is_class(c.attribute)) {
+      return Status::InvalidArgument("invalid context attribute");
+    }
+    if (c.attribute == spec.attribute) {
+      return Status::InvalidArgument(
+          "context cannot condition on the comparison attribute");
+    }
+    if (c.value < 0 || c.value >= schema.attribute(c.attribute).domain()) {
+      return Status::OutOfRange("context value out of domain");
+    }
+    if (seen[static_cast<size_t>(c.attribute)]) {
+      return Status::InvalidArgument(
+          "context conditions must use distinct attributes");
+    }
+    seen[static_cast<size_t>(c.attribute)] = true;
+  }
+
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    bool match = true;
+    for (const Condition& c : context) {
+      if (dataset.code(r, c.attribute) != c.value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) rows.push_back(r);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no records satisfy the context");
+  }
+  const Dataset restricted = dataset.TakeRows(rows);
+  OPMAP_ASSIGN_OR_RETURN(ComparisonResult result,
+                         CompareFromDataset(restricted, spec));
+  // Make the context visible in the population labels.
+  std::string suffix;
+  for (const Condition& c : context) {
+    suffix += " & " + schema.attribute(c.attribute).name() + "=" +
+              schema.attribute(c.attribute).label(c.value);
+  }
+  result.label_a += suffix;
+  result.label_b += suffix;
+  return result;
+}
+
+}  // namespace opmap

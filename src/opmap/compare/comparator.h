@@ -1,0 +1,225 @@
+#ifndef OPMAP_COMPARE_COMPARATOR_H_
+#define OPMAP_COMPARE_COMPARATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/car/rule.h"
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/dataset.h"
+#include "opmap/stats/confidence_interval.h"
+
+namespace opmap {
+
+/// Input of the automated comparison (paper Section III.C): two
+/// one-condition rules over the same attribute and a class of interest,
+///   Rule 1: attribute = value_a -> target_class  (cf1)
+///   Rule 2: attribute = value_b -> target_class  (cf2)
+/// The comparator ranks every other attribute by how well it distinguishes
+/// the two sub-populations D1 = {attribute = value_a} and
+/// D2 = {attribute = value_b} with respect to target_class.
+struct ComparisonSpec {
+  int attribute = -1;
+  ValueCode value_a = kNullCode;
+  ValueCode value_b = kNullCode;
+  ValueCode target_class = kNullCode;
+
+  /// Statistical confidence level for the revised confidences
+  /// (Section IV.B). Ignored when use_confidence_intervals is false.
+  ConfidenceLevel confidence_level = ConfidenceLevel::k95;
+  bool use_confidence_intervals = true;
+
+  /// Property-attribute threshold tau (Section IV.C); the deployed system
+  /// uses 0.9.
+  double property_threshold = 0.9;
+
+  /// Detect and segregate property attributes. Disabling this (ablation)
+  /// leaves them in the main ranking.
+  bool detect_property_attributes = true;
+
+  /// Minimum sub-population size for a meaningful analysis. The paper
+  /// leaves sufficiency to the user; sizes below this produce a warning,
+  /// not an error.
+  int64_t min_population = 30;
+};
+
+/// Per-value detail of one attribute comparison: everything needed to
+/// reproduce the side-by-side bars with confidence-interval whiskers of
+/// paper Fig 7.
+struct ValueComparison {
+  ValueCode value = kNullCode;
+  int64_t n1 = 0;         ///< records with this value in D1
+  int64_t n2 = 0;         ///< records with this value in D2 (the paper's N2k)
+  int64_t n1_target = 0;  ///< ... of target_class in D1
+  int64_t n2_target = 0;  ///< ... of target_class in D2
+  double cf1 = 0.0;       ///< confidence in D1 (cf1k)
+  double cf2 = 0.0;       ///< confidence in D2 (cf2k)
+  double e1 = 0.0;        ///< CI margin in D1 (e1k)
+  double e2 = 0.0;        ///< CI margin in D2 (e2k)
+  double rcf1 = 0.0;      ///< revised cf1k + e1k
+  double rcf2 = 0.0;      ///< revised cf2k - e2k (floored at 0)
+  double f = 0.0;         ///< F_k = rcf2 - rcf1 * (cf2/cf1)
+  double w = 0.0;         ///< W_k = max(F_k, 0) * N2k
+};
+
+/// One candidate attribute's comparison outcome.
+struct AttributeComparison {
+  int attribute = -1;
+  /// The paper's interestingness M_i (formula (3)), in units of records.
+  double interestingness = 0.0;
+  /// M_i / (cf2 * |D2|), in [0, 1]: 0 = fully expected, 1 = the theoretical
+  /// maximum of Section IV.A (all excess concentrated in one value at 100%
+  /// confidence).
+  double normalized = 0.0;
+  bool is_property = false;
+  /// P / (P + T) of Section IV.C.
+  double property_ratio = 0.0;
+  std::vector<ValueComparison> values;
+};
+
+/// Full result of one automated comparison.
+struct ComparisonResult {
+  /// The spec actually used. If the user's rules had cf1 >= cf2 the two
+  /// values are swapped so that value_b is always the "bad" one. For
+  /// group/vs-rest comparisons value_a/value_b hold representative codes;
+  /// label_a/label_b are the authoritative display names.
+  ComparisonSpec spec;
+  /// Display label of the good (lower-confidence) sub-population.
+  std::string label_a;
+  /// Display label of the bad sub-population.
+  std::string label_b;
+  bool swapped = false;
+  int64_t n_d1 = 0;
+  int64_t n_d2 = 0;
+  double cf1 = 0.0;  ///< overall confidence of rule 1 (good side)
+  double cf2 = 0.0;  ///< overall confidence of rule 2 (bad side)
+  /// Non-property attributes, ranked by descending interestingness.
+  std::vector<AttributeComparison> ranked;
+  /// Property attributes (separate list, Section IV.C), same order.
+  std::vector<AttributeComparison> properties;
+  std::vector<std::string> warnings;
+
+  /// Rank position (0-based) of `attribute` in `ranked`, or -1.
+  int RankOf(int attribute) const;
+};
+
+/// A sub-population defined by a set of values of one attribute, or the
+/// complement of that set. Generalizes the paper's single-value
+/// sub-populations to families (e.g. a product line) and "everything
+/// else".
+struct ValueGroup {
+  std::vector<ValueCode> values;
+  bool complement = false;
+
+  static ValueGroup Of(ValueCode v) { return ValueGroup{{v}, false}; }
+  static ValueGroup AllBut(ValueCode v) { return ValueGroup{{v}, true}; }
+
+  /// "ph1", "ph1|ph2" or "not ph1".
+  std::string Label(const Attribute& attribute) const;
+};
+
+/// Comparison of two value groups of the same attribute. The group pair
+/// must be disjoint (after resolving complements).
+struct GroupComparisonSpec {
+  int attribute = -1;
+  ValueGroup group_a;
+  ValueGroup group_b;
+  ValueCode target_class = kNullCode;
+  ConfidenceLevel confidence_level = ConfidenceLevel::k95;
+  bool use_confidence_intervals = true;
+  double property_threshold = 0.9;
+  bool detect_property_attributes = true;
+  int64_t min_population = 30;
+};
+
+/// One row of an all-pairs comparison sweep (the paper notes that "many
+/// pairs of phones need to be compared").
+struct PairSummary {
+  ValueCode value_a = kNullCode;  ///< good side (lower confidence)
+  ValueCode value_b = kNullCode;  ///< bad side
+  double cf_a = 0.0;
+  double cf_b = 0.0;
+  int top_attribute = -1;         ///< best distinguishing attribute
+  double top_interestingness = 0.0;
+  double top_normalized = 0.0;
+  bool skipped = false;           ///< true if the pair was not comparable
+};
+
+/// The automated comparison engine. Reads only rule cubes, so its cost is
+/// independent of the original data set size (paper Section V.C).
+class Comparator {
+ public:
+  /// `store` must outlive the comparator and contain pair cubes.
+  explicit Comparator(const CubeStore* store) : store_(store) {}
+
+  /// Runs the comparison of Fig 3: computes M_i for every attribute other
+  /// than spec.attribute and returns them ranked.
+  Result<ComparisonResult> Compare(const ComparisonSpec& spec) const;
+
+  /// Name/label-based convenience wrapper.
+  Result<ComparisonResult> CompareByName(const std::string& attribute,
+                                         const std::string& value_a,
+                                         const std::string& value_b,
+                                         const std::string& target_class,
+                                         ComparisonSpec spec = {}) const;
+
+  /// Compares two value groups of the same attribute (e.g. one product
+  /// family vs another, or a value vs everything else).
+  Result<ComparisonResult> CompareGroups(const GroupComparisonSpec& spec)
+      const;
+
+  /// Convenience: compares `value` against all other values of
+  /// `attribute` ("what makes this value special?").
+  Result<ComparisonResult> CompareVsRest(int attribute, ValueCode value,
+                                         ValueCode target_class) const;
+
+  /// Sweeps every ordered value pair (a, b) of `attribute` with both
+  /// sub-populations at least `min_population` records, returning one
+  /// summary per pair sorted by descending top interestingness. Pairs
+  /// where the comparison is undefined (zero confidence on both sides)
+  /// are marked skipped.
+  Result<std::vector<PairSummary>> CompareAllPairs(
+      int attribute, ValueCode target_class,
+      int64_t min_population = 30) const;
+
+  /// Runs the comparison once per class value (the analyst usually cares
+  /// about every failure class, e.g. dropped AND failed-during-setup).
+  /// Classes for which the comparison is undefined (zero confidence on
+  /// both sides) are omitted. The result vector is indexed by class code
+  /// order of the returned pairs.
+  Result<std::vector<std::pair<ValueCode, ComparisonResult>>>
+  CompareAllClasses(int attribute, ValueCode value_a, ValueCode value_b)
+      const;
+
+ private:
+  const CubeStore* store_;
+};
+
+/// Formats an all-pairs sweep as a table ("good vs bad: top attribute").
+std::string FormatPairSummaries(const std::vector<PairSummary>& pairs,
+                                const Schema& schema, int attribute,
+                                int max_rows = 0);
+
+/// Reference implementation computing the same result with direct dataset
+/// scans instead of rule cubes. Used by tests to cross-check the cube path
+/// and by benchmarks to demonstrate why the system stores cubes.
+Result<ComparisonResult> CompareFromDataset(const Dataset& dataset,
+                                            const ComparisonSpec& spec);
+
+/// Contextual comparison: runs the comparison restricted to records
+/// satisfying every condition in `context` — the natural follow-up query
+/// once a first comparison isolates a condition ("ph3 is bad in the
+/// morning; *within the morning*, what else distinguishes the phones?").
+///
+/// Contexts condition on a third attribute, which exceeds what the stored
+/// 3-D cubes can answer, so this drills back into the data (the same
+/// pattern as the paper's restricted rule mining). Context attributes and
+/// the comparison attribute must be distinct.
+Result<ComparisonResult> CompareWithinContext(
+    const Dataset& dataset, const std::vector<Condition>& context,
+    const ComparisonSpec& spec);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMPARE_COMPARATOR_H_

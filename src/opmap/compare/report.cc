@@ -1,0 +1,122 @@
+#include "opmap/compare/report.h"
+
+#include <algorithm>
+
+#include "opmap/common/string_util.h"
+
+namespace opmap {
+
+std::string FormatAttributeLine(const AttributeComparison& cmp,
+                                const Schema& schema) {
+  std::string out = schema.attribute(cmp.attribute).name();
+  out += "  M=" + FormatDouble(cmp.interestingness, 2);
+  out += "  (normalized " + FormatDouble(cmp.normalized, 4) + ")";
+  if (cmp.is_property) {
+    out += "  [property, ratio " + FormatDouble(cmp.property_ratio, 2) + "]";
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatRule(const Schema& schema, const ComparisonSpec& spec,
+                       const std::string& label, double cf, int64_t n) {
+  const Attribute& attr = schema.attribute(spec.attribute);
+  return attr.name() + "=" + label + " -> " +
+         schema.class_attribute().name() + "=" +
+         schema.class_attribute().label(spec.target_class) + "  cf=" +
+         FormatPercent(cf, 3) + "  (|D|=" + std::to_string(n) + ")";
+}
+
+void AppendValueTable(const AttributeComparison& cmp, const Schema& schema,
+                      std::string* out) {
+  const Attribute& attr = schema.attribute(cmp.attribute);
+  *out += "    value              cf1      cf2      rcf1     rcf2     F"
+          "        W\n";
+  for (const ValueComparison& v : cmp.values) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    %-18s %-8s %-8s %-8s %-8s %-8s %.1f\n",
+                  attr.label(v.value).c_str(),
+                  FormatPercent(v.cf1, 2).c_str(),
+                  FormatPercent(v.cf2, 2).c_str(),
+                  FormatPercent(v.rcf1, 2).c_str(),
+                  FormatPercent(v.rcf2, 2).c_str(),
+                  FormatDouble(v.f, 4).c_str(), v.w);
+    *out += line;
+  }
+}
+
+}  // namespace
+
+std::string FormatComparisonReport(const ComparisonResult& result,
+                                   const Schema& schema,
+                                   const ReportOptions& options) {
+  std::string out;
+  out += "=== Automated comparison ===\n";
+  out += "Rule 1 (good): " + FormatRule(schema, result.spec, result.label_a,
+                                        result.cf1, result.n_d1) +
+         "\n";
+  out += "Rule 2 (bad):  " + FormatRule(schema, result.spec, result.label_b,
+                                        result.cf2, result.n_d2) +
+         "\n";
+  if (result.swapped) {
+    out += "(rules were swapped so that cf1 < cf2)\n";
+  }
+  for (const std::string& w : result.warnings) {
+    out += "warning: " + w + "\n";
+  }
+  out += "\nRanked distinguishing attributes:\n";
+  const int detail =
+      std::min<int>(options.top_attributes,
+                    static_cast<int>(result.ranked.size()));
+  for (int i = 0; i < detail; ++i) {
+    const AttributeComparison& cmp = result.ranked[static_cast<size_t>(i)];
+    out += "  #" + std::to_string(i + 1) + "  " +
+           FormatAttributeLine(cmp, schema) + "\n";
+    AppendValueTable(cmp, schema, &out);
+  }
+  const int more = std::min<int>(
+      detail + options.summary_attributes,
+      static_cast<int>(result.ranked.size()));
+  for (int i = detail; i < more; ++i) {
+    out += "  #" + std::to_string(i + 1) + "  " +
+           FormatAttributeLine(result.ranked[static_cast<size_t>(i)], schema) +
+           "\n";
+  }
+  if (static_cast<int>(result.ranked.size()) > more) {
+    out += "  ... " +
+           std::to_string(result.ranked.size() - static_cast<size_t>(more)) +
+           " more attributes\n";
+  }
+  if (options.include_properties && !result.properties.empty()) {
+    out += "\nProperty attributes (data artifacts, not ranked):\n";
+    for (const AttributeComparison& cmp : result.properties) {
+      out += "  " + FormatAttributeLine(cmp, schema) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ComparisonToCsv(const ComparisonResult& result,
+                            const Schema& schema) {
+  std::string out =
+      "rank,attribute,interestingness,normalized,is_property,property_ratio\n";
+  int rank = 1;
+  for (const AttributeComparison& cmp : result.ranked) {
+    out += std::to_string(rank++) + "," +
+           schema.attribute(cmp.attribute).name() + "," +
+           FormatDouble(cmp.interestingness, 4) + "," +
+           FormatDouble(cmp.normalized, 6) + ",0," +
+           FormatDouble(cmp.property_ratio, 4) + "\n";
+  }
+  for (const AttributeComparison& cmp : result.properties) {
+    out += "," + schema.attribute(cmp.attribute).name() + "," +
+           FormatDouble(cmp.interestingness, 4) + "," +
+           FormatDouble(cmp.normalized, 6) + ",1," +
+           FormatDouble(cmp.property_ratio, 4) + "\n";
+  }
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,40 @@
+#ifndef OPMAP_COMPARE_REPORT_H_
+#define OPMAP_COMPARE_REPORT_H_
+
+#include <string>
+
+#include "opmap/compare/comparator.h"
+#include "opmap/data/schema.h"
+
+namespace opmap {
+
+/// Options for textual comparison reports.
+struct ReportOptions {
+  /// How many top-ranked attributes to print in full detail.
+  int top_attributes = 3;
+  /// How many further attributes to list with scores only.
+  int summary_attributes = 10;
+  /// Include the property-attribute list.
+  bool include_properties = true;
+};
+
+/// Renders a ComparisonResult as a human-readable multi-line report:
+/// the two rules, the ranked attribute list with interestingness values,
+/// and per-value breakdowns (the textual equivalent of paper Fig 7).
+std::string FormatComparisonReport(const ComparisonResult& result,
+                                   const Schema& schema,
+                                   const ReportOptions& options = {});
+
+/// One-line summary of an attribute comparison:
+/// "TimeOfCall  M=123.4  (normalized 0.42)".
+std::string FormatAttributeLine(const AttributeComparison& cmp,
+                                const Schema& schema);
+
+/// CSV export of the ranked list (attribute, M, normalized, is_property,
+/// property_ratio) for plotting outside the library.
+std::string ComparisonToCsv(const ComparisonResult& result,
+                            const Schema& schema);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMPARE_REPORT_H_

@@ -1,0 +1,206 @@
+#include "opmap/core/opportunity_map.h"
+
+#include <utility>
+
+#include "opmap/common/random.h"
+#include "opmap/data/sampling.h"
+#include "opmap/discretize/methods.h"
+
+namespace opmap {
+
+namespace {
+
+std::unique_ptr<Discretizer> MakeDiscretizer(
+    const OpportunityMapOptions& options) {
+  switch (options.discretize_method) {
+    case DiscretizeMethod::kEqualWidth:
+      return std::make_unique<EqualWidthDiscretizer>(options.discretize_bins);
+    case DiscretizeMethod::kEqualFrequency:
+      return std::make_unique<EqualFrequencyDiscretizer>(
+          options.discretize_bins);
+    case DiscretizeMethod::kEntropyMdl:
+      return std::make_unique<EntropyMdlDiscretizer>();
+  }
+  return std::make_unique<EntropyMdlDiscretizer>();
+}
+
+}  // namespace
+
+Result<OpportunityMap> OpportunityMap::FromDataset(
+    Dataset dataset, OpportunityMapOptions options) {
+  // 1. Discretize continuous attributes.
+  if (!dataset.schema().AllCategorical()) {
+    std::unique_ptr<Discretizer> discretizer = MakeDiscretizer(options);
+    if (options.manual_cuts.empty()) {
+      OPMAP_ASSIGN_OR_RETURN(dataset,
+                             DiscretizeDataset(dataset, *discretizer));
+    } else {
+      OPMAP_ASSIGN_OR_RETURN(
+          dataset, DiscretizeDatasetWithOverrides(dataset, options.manual_cuts,
+                                                  discretizer.get()));
+    }
+  }
+
+  // 2. Unbalanced sampling of the majority class(es).
+  if (options.unbalanced_sampling_ratio > 0.0) {
+    Rng rng(options.sampling_seed);
+    OPMAP_ASSIGN_OR_RETURN(
+        dataset,
+        UnbalancedSample(dataset, options.unbalanced_sampling_ratio, rng));
+  }
+
+  // 3. Materialize the rule cubes (the CAR-generator component: every cell
+  // is a zero-threshold class association rule).
+  CubeStoreOptions cube_options;
+  for (const std::string& name : options.cube_attributes) {
+    OPMAP_ASSIGN_OR_RETURN(int attr, dataset.schema().IndexOf(name));
+    cube_options.attributes.push_back(attr);
+  }
+  OPMAP_ASSIGN_OR_RETURN(CubeStore cubes,
+                         CubeBuilder::FromDataset(dataset, cube_options));
+
+  return OpportunityMap(std::move(dataset), std::move(cubes));
+}
+
+Result<OpportunityMap> OpportunityMap::FromCsv(
+    const std::string& path, const CsvReadOptions& csv_options,
+    OpportunityMapOptions options) {
+  OPMAP_ASSIGN_OR_RETURN(Dataset dataset, ReadCsv(path, csv_options));
+  return FromDataset(std::move(dataset), std::move(options));
+}
+
+Result<ComparisonResult> OpportunityMap::Compare(
+    const ComparisonSpec& spec) const {
+  Comparator comparator(&cubes_);
+  return comparator.Compare(spec);
+}
+
+Result<ComparisonResult> OpportunityMap::Compare(
+    const std::string& attribute, const std::string& value_a,
+    const std::string& value_b, const std::string& target_class) const {
+  Comparator comparator(&cubes_);
+  return comparator.CompareByName(attribute, value_a, value_b, target_class);
+}
+
+Result<std::vector<Trend>> OpportunityMap::MineTrends(
+    const TrendOptions& options) const {
+  return ::opmap::MineTrends(cubes_, options);
+}
+
+Result<std::vector<ExceptionCell>> OpportunityMap::MineExceptions(
+    const ExceptionOptions& options) const {
+  return MineAttributeExceptions(cubes_, options);
+}
+
+Result<std::vector<AttributeInfluence>> OpportunityMap::RankInfluence()
+    const {
+  return RankInfluentialAttributes(cubes_);
+}
+
+Result<GeneralImpressions> OpportunityMap::Impressions(
+    const GiOptions& options) const {
+  return MineGeneralImpressions(cubes_, options);
+}
+
+Result<ComparisonResult> OpportunityMap::CompareGroups(
+    const GroupComparisonSpec& spec) const {
+  Comparator comparator(&cubes_);
+  return comparator.CompareGroups(spec);
+}
+
+Result<ComparisonResult> OpportunityMap::CompareVsRest(
+    const std::string& attribute, const std::string& value,
+    const std::string& target_class) const {
+  OPMAP_ASSIGN_OR_RETURN(int attr, schema().IndexOf(attribute));
+  OPMAP_ASSIGN_OR_RETURN(ValueCode v, schema().attribute(attr).CodeOf(value));
+  OPMAP_ASSIGN_OR_RETURN(ValueCode cls,
+                         schema().class_attribute().CodeOf(target_class));
+  Comparator comparator(&cubes_);
+  return comparator.CompareVsRest(attr, v, cls);
+}
+
+Result<std::vector<PairSummary>> OpportunityMap::CompareAllPairs(
+    const std::string& attribute, const std::string& target_class,
+    int64_t min_population) const {
+  OPMAP_ASSIGN_OR_RETURN(int attr, schema().IndexOf(attribute));
+  OPMAP_ASSIGN_OR_RETURN(ValueCode cls,
+                         schema().class_attribute().CodeOf(target_class));
+  Comparator comparator(&cubes_);
+  return comparator.CompareAllPairs(attr, cls, min_population);
+}
+
+Result<ComparisonResult> OpportunityMap::CompareWithin(
+    const std::vector<std::pair<std::string, std::string>>& context,
+    const std::string& attribute, const std::string& value_a,
+    const std::string& value_b, const std::string& target_class) const {
+  if (!has_data_) {
+    return Status::NotFound(
+        "contextual comparison needs the raw data; this session was "
+        "restored from saved cubes only");
+  }
+  std::vector<Condition> conditions;
+  for (const auto& [name, value] : context) {
+    Condition c;
+    OPMAP_ASSIGN_OR_RETURN(c.attribute, schema().IndexOf(name));
+    OPMAP_ASSIGN_OR_RETURN(c.value,
+                           schema().attribute(c.attribute).CodeOf(value));
+    conditions.push_back(c);
+  }
+  ComparisonSpec spec;
+  OPMAP_ASSIGN_OR_RETURN(spec.attribute, schema().IndexOf(attribute));
+  const Attribute& attr = schema().attribute(spec.attribute);
+  OPMAP_ASSIGN_OR_RETURN(spec.value_a, attr.CodeOf(value_a));
+  OPMAP_ASSIGN_OR_RETURN(spec.value_b, attr.CodeOf(value_b));
+  OPMAP_ASSIGN_OR_RETURN(spec.target_class,
+                         schema().class_attribute().CodeOf(target_class));
+  return CompareWithinContext(data_, conditions, spec);
+}
+
+Status OpportunityMap::SaveCubes(const std::string& path) const {
+  return cubes_.SaveToFile(path);
+}
+
+Result<OpportunityMap> OpportunityMap::FromSavedCubes(
+    const std::string& path) {
+  OPMAP_ASSIGN_OR_RETURN(CubeStore cubes, CubeStore::LoadFromFile(path));
+  Dataset empty(cubes.schema());
+  return OpportunityMap(std::move(empty), std::move(cubes),
+                        /*has_data=*/false);
+}
+
+Result<RuleSet> OpportunityMap::MineRestrictedRules(
+    const std::vector<Condition>& fixed, double min_support,
+    double min_confidence, int max_conditions) const {
+  if (!has_data_) {
+    return Status::NotFound(
+        "restricted mining needs the raw data; this session was restored "
+        "from saved cubes only");
+  }
+  CarMinerOptions options;
+  options.fixed_conditions = fixed;
+  options.min_support = min_support;
+  options.min_confidence = min_confidence;
+  options.max_conditions = max_conditions;
+  return MineClassAssociationRules(data_, options);
+}
+
+Result<std::string> OpportunityMap::Overview(
+    const OverviewOptions& options) const {
+  return RenderOverview(cubes_, options);
+}
+
+Result<std::string> OpportunityMap::Detail(const std::string& attribute,
+                                           const DetailOptions& options)
+    const {
+  OPMAP_ASSIGN_OR_RETURN(int attr, schema().IndexOf(attribute));
+  return RenderDetail(cubes_, attr, options);
+}
+
+Result<std::string> OpportunityMap::ComparisonView(
+    const ComparisonResult& result, const std::string& attribute,
+    const CompareViewOptions& options) const {
+  OPMAP_ASSIGN_OR_RETURN(int attr, schema().IndexOf(attribute));
+  return RenderComparisonView(result, schema(), attr, options);
+}
+
+}  // namespace opmap

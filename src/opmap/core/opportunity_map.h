@@ -1,0 +1,142 @@
+#ifndef OPMAP_CORE_OPPORTUNITY_MAP_H_
+#define OPMAP_CORE_OPPORTUNITY_MAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opmap/car/miner.h"
+#include "opmap/common/status.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/csv.h"
+#include "opmap/data/dataset.h"
+#include "opmap/gi/exceptions.h"
+#include "opmap/gi/impressions.h"
+#include "opmap/gi/influence.h"
+#include "opmap/gi/trend.h"
+#include "opmap/viz/views.h"
+
+namespace opmap {
+
+/// Discretization strategies selectable through the facade.
+enum class DiscretizeMethod {
+  kEqualWidth,
+  kEqualFrequency,
+  kEntropyMdl,
+};
+
+/// Pipeline configuration (paper Section V.A lists the components: a
+/// discretizer, a CAR generator, a GI miner, a comparator and a
+/// visualizer).
+struct OpportunityMapOptions {
+  DiscretizeMethod discretize_method = DiscretizeMethod::kEntropyMdl;
+  /// Bin count for the unsupervised discretizers.
+  int discretize_bins = 8;
+  /// Per-attribute manual cut points (attribute name -> cuts); attributes
+  /// listed here bypass the automatic discretizer.
+  std::vector<std::pair<std::string, std::vector<double>>> manual_cuts;
+  /// If > 0, apply unbalanced sampling so no class exceeds this multiple of
+  /// the smallest class (the paper's treatment of the heavy class skew).
+  double unbalanced_sampling_ratio = 0.0;
+  /// Attributes to materialize cubes for (names); empty = all.
+  std::vector<std::string> cube_attributes;
+  uint64_t sampling_seed = 7;
+};
+
+/// End-to-end Opportunity Map session over one data set: load ->
+/// discretize -> (optional) unbalanced sample -> build rule cubes ->
+/// explore (views, GI mining, comparison, restricted rule mining).
+class OpportunityMap {
+ public:
+  /// Runs the offline part of the pipeline (what the deployed system does
+  /// "in the evening"): discretization, sampling, and cube generation.
+  static Result<OpportunityMap> FromDataset(Dataset dataset,
+                                            OpportunityMapOptions options =
+                                                {});
+
+  /// Loads a CSV and runs the pipeline.
+  static Result<OpportunityMap> FromCsv(const std::string& path,
+                                        const CsvReadOptions& csv_options,
+                                        OpportunityMapOptions options = {});
+
+  /// The processed (all-categorical, possibly sampled) dataset.
+  const Dataset& data() const { return data_; }
+  const Schema& schema() const { return data_.schema(); }
+  const CubeStore& cubes() const { return cubes_; }
+
+  // --- Comparator ---------------------------------------------------
+
+  Result<ComparisonResult> Compare(const ComparisonSpec& spec) const;
+  Result<ComparisonResult> Compare(const std::string& attribute,
+                                   const std::string& value_a,
+                                   const std::string& value_b,
+                                   const std::string& target_class) const;
+  Result<ComparisonResult> CompareGroups(const GroupComparisonSpec& spec)
+      const;
+  /// One value against all its siblings ("what makes this value special?").
+  Result<ComparisonResult> CompareVsRest(const std::string& attribute,
+                                         const std::string& value,
+                                         const std::string& target_class)
+      const;
+  /// Summary of every comparable value pair of `attribute`.
+  Result<std::vector<PairSummary>> CompareAllPairs(
+      const std::string& attribute, const std::string& target_class,
+      int64_t min_population = 30) const;
+  /// Contextual comparison: restricts to records where every
+  /// (attribute, value) pair in `context` holds, then compares. Needs the
+  /// raw data (conditions on a third attribute exceed the 3-D cubes).
+  Result<ComparisonResult> CompareWithin(
+      const std::vector<std::pair<std::string, std::string>>& context,
+      const std::string& attribute, const std::string& value_a,
+      const std::string& value_b, const std::string& target_class) const;
+
+  // --- GI miner ------------------------------------------------------
+
+  Result<std::vector<Trend>> MineTrends(const TrendOptions& options = {}) const;
+  Result<std::vector<ExceptionCell>> MineExceptions(
+      const ExceptionOptions& options = {}) const;
+  Result<std::vector<AttributeInfluence>> RankInfluence() const;
+  /// Full GI pass (influence + trends + exceptions [+ interactions]).
+  Result<GeneralImpressions> Impressions(const GiOptions& options = {}) const;
+
+  // --- Persistence (offline cube generation / interactive reload) -----
+
+  /// Saves the rule cubes so future sessions skip the offline step.
+  Status SaveCubes(const std::string& path) const;
+  /// Builds a session directly from a saved cube store. Exploration works
+  /// fully; operations needing raw data (restricted mining) are
+  /// unavailable and report NotFound.
+  static Result<OpportunityMap> FromSavedCubes(const std::string& path);
+
+  // --- Restricted CAR mining (rules with > 2 conditions on demand) ---
+
+  Result<RuleSet> MineRestrictedRules(const std::vector<Condition>& fixed,
+                                      double min_support,
+                                      double min_confidence,
+                                      int max_conditions) const;
+
+  // --- Visualizer ------------------------------------------------------
+
+  Result<std::string> Overview(const OverviewOptions& options = {}) const;
+  Result<std::string> Detail(const std::string& attribute,
+                             const DetailOptions& options = {}) const;
+  Result<std::string> ComparisonView(const ComparisonResult& result,
+                                     const std::string& attribute,
+                                     const CompareViewOptions& options =
+                                         {}) const;
+
+ private:
+  OpportunityMap(Dataset data, CubeStore cubes, bool has_data = true)
+      : data_(std::move(data)), cubes_(std::move(cubes)),
+        has_data_(has_data) {}
+
+  Dataset data_;
+  CubeStore cubes_;
+  /// False when the session was restored from cubes only.
+  bool has_data_ = true;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_CORE_OPPORTUNITY_MAP_H_

@@ -1,0 +1,218 @@
+#include "opmap/core/session.h"
+
+#include <algorithm>
+
+#include "opmap/common/string_util.h"
+#include "opmap/viz/bars.h"
+
+namespace opmap {
+
+ExplorationSession::ExplorationSession(const CubeStore* store)
+    : store_(store) {}
+
+Result<int> ExplorationSession::CurrentDim(
+    const std::string& attribute) const {
+  if (!has_view()) {
+    return Status::InvalidArgument("no current view; open an attribute "
+                                   "first");
+  }
+  const RuleCube& cube = current();
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (cube.dim_name(d) == attribute) return d;
+  }
+  return Status::NotFound("the current view has no dimension '" + attribute +
+                          "'");
+}
+
+Status ExplorationSession::OpenAttribute(const std::string& attribute) {
+  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store_->AttrCube(attr));
+  history_.clear();
+  history_.push_back(Step{*cube, attribute});
+  return Status::OK();
+}
+
+Status ExplorationSession::DrillDown(const std::string& second_attribute) {
+  if (!has_view()) {
+    return Status::InvalidArgument("no current view; open an attribute "
+                                   "first");
+  }
+  const RuleCube& cube = current();
+  if (cube.num_dims() != 2) {
+    return Status::InvalidArgument(
+        "drill-down is only defined on a 2-D (attribute, class) view");
+  }
+  OPMAP_ASSIGN_OR_RETURN(int first,
+                         store_->schema().IndexOf(cube.dim_name(0)));
+  OPMAP_ASSIGN_OR_RETURN(int second,
+                         store_->schema().IndexOf(second_attribute));
+  if (second == first || store_->schema().is_class(second)) {
+    return Status::InvalidArgument("cannot drill into '" + second_attribute +
+                                   "'");
+  }
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
+                         store_->PairCube(first, second));
+  history_.push_back(Step{*pair, "drill " + second_attribute});
+  return Status::OK();
+}
+
+Status ExplorationSession::Slice(const std::string& attribute,
+                                 const std::string& value) {
+  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+  OPMAP_ASSIGN_OR_RETURN(ValueCode v,
+                         store_->schema().attribute(attr).CodeOf(value));
+  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Slice(dim, v));
+  history_.push_back(
+      Step{std::move(next), "slice " + attribute + "=" + value});
+  return Status::OK();
+}
+
+Status ExplorationSession::Dice(const std::string& attribute,
+                                const std::vector<std::string>& values) {
+  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+  std::vector<ValueCode> codes;
+  for (const std::string& value : values) {
+    OPMAP_ASSIGN_OR_RETURN(ValueCode v,
+                           store_->schema().attribute(attr).CodeOf(value));
+    codes.push_back(v);
+  }
+  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Dice(dim, codes));
+  history_.push_back(Step{std::move(next),
+                          "dice " + attribute + " to " +
+                              JoinStrings(values, "|")});
+  return Status::OK();
+}
+
+Status ExplorationSession::RollUp(const std::string& attribute) {
+  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Marginalize(dim));
+  history_.push_back(Step{std::move(next), "roll-up " + attribute});
+  return Status::OK();
+}
+
+Status ExplorationSession::Back() {
+  if (history_.size() <= 1) {
+    return Status::InvalidArgument("nothing to undo");
+  }
+  history_.pop_back();
+  return Status::OK();
+}
+
+void ExplorationSession::Reset() { history_.clear(); }
+
+std::string ExplorationSession::PathString() const {
+  std::string out;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (i > 0) out += " > ";
+    out += history_[i].description;
+  }
+  return out;
+}
+
+Result<std::string> ExplorationSession::Render(
+    const SessionRenderOptions& options) const {
+  if (!has_view()) {
+    return Status::InvalidArgument("no current view; open an attribute "
+                                   "first");
+  }
+  const RuleCube& cube = current();
+  const std::string& class_name = store_->schema().class_attribute().name();
+  const int class_dim = cube.FindDim(store_->schema().class_index());
+
+  std::string out = "view: " + PathString() + "\n";
+  out += "cube: ";
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (d > 0) out += " x ";
+    out += cube.dim_name(d) + "(" + std::to_string(cube.dim_size(d)) + ")";
+  }
+  out += ", " + std::to_string(cube.Total()) + " records\n";
+
+  if (class_dim < 0) {
+    // Pure count view after the class was sliced/rolled away.
+    out += "(class dimension removed; showing counts)\n";
+    std::vector<ValueCode> cell(static_cast<size_t>(cube.num_dims()), 0);
+    int rows = 0;
+    const int64_t total = cube.Total();
+    for (;;) {
+      if (rows++ >= options.max_rows) {
+        out += "...\n";
+        break;
+      }
+      std::string label;
+      for (int d = 0; d < cube.num_dims(); ++d) {
+        if (d > 0) label += ", ";
+        label += cube.label(d, cell[static_cast<size_t>(d)]);
+      }
+      const int64_t count = cube.count(cell);
+      const double frac =
+          total > 0 ? static_cast<double>(count) / static_cast<double>(total)
+                    : 0.0;
+      out += "  " + PadTo(label, 34) + " |" +
+             HorizontalBar(frac, options.bar_width) + "| " +
+             std::to_string(count) + "\n";
+      int d = cube.num_dims() - 1;
+      while (d >= 0 &&
+             cell[static_cast<size_t>(d)] == cube.dim_size(d) - 1) {
+        cell[static_cast<size_t>(d)] = 0;
+        --d;
+      }
+      if (d < 0) break;
+      ++cell[static_cast<size_t>(d)];
+    }
+    return out;
+  }
+
+  // Iterate body coordinates (all dims except the class) and print per-
+  // class confidences.
+  std::vector<int> body_dims;
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (d != class_dim) body_dims.push_back(d);
+  }
+  std::vector<ValueCode> cell(static_cast<size_t>(cube.num_dims()), 0);
+  std::vector<ValueCode> body(body_dims.size(), 0);
+  int rows = 0;
+  for (;;) {
+    for (size_t i = 0; i < body_dims.size(); ++i) {
+      cell[static_cast<size_t>(body_dims[i])] = body[i];
+    }
+    if (rows++ >= options.max_rows) {
+      out += "...\n";
+      break;
+    }
+    std::string label;
+    for (size_t i = 0; i < body_dims.size(); ++i) {
+      if (i > 0) label += ", ";
+      label += cube.label(body_dims[i], body[i]);
+    }
+    if (body_dims.empty()) label = "(all)";
+    cell[static_cast<size_t>(class_dim)] = 0;
+    const int64_t body_count = cube.MarginCount(cell, class_dim);
+    out += PadTo(label, 28) + " n=" + std::to_string(body_count) + "\n";
+    for (ValueCode c = 0; c < cube.dim_size(class_dim); ++c) {
+      cell[static_cast<size_t>(class_dim)] = c;
+      const double cf =
+          body_count > 0 ? static_cast<double>(cube.count(cell)) /
+                               static_cast<double>(body_count)
+                         : 0.0;
+      out += "  " + PadTo(class_name + "=" + cube.label(class_dim, c), 40) +
+             " |" + HorizontalBar(cf, options.bar_width) + "| " +
+             FormatPercent(cf, 2) + "\n";
+    }
+    // Advance the body coordinates.
+    if (body_dims.empty()) break;
+    int i = static_cast<int>(body_dims.size()) - 1;
+    while (i >= 0 &&
+           body[static_cast<size_t>(i)] ==
+               cube.dim_size(body_dims[static_cast<size_t>(i)]) - 1) {
+      body[static_cast<size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 0) break;
+    ++body[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,82 @@
+#ifndef OPMAP_CORE_SESSION_H_
+#define OPMAP_CORE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+
+namespace opmap {
+
+/// Options for rendering the session's current cube.
+struct SessionRenderOptions {
+  /// Maximum body rows (non-class coordinate combinations) to print.
+  int max_rows = 30;
+  int bar_width = 30;
+};
+
+/// Interactive OLAP navigation over a cube store, mirroring how analysts
+/// drive the deployed GUI (paper Section III.B: "OLAP operations, such as
+/// roll-up, drill-down, slice and dice, are used to explore these cubes").
+///
+/// The session holds a *current* rule cube plus the history of operations
+/// that produced it; Back() undoes the last operation. All operations are
+/// closed over rule cubes, so any sequence is valid as long as dimensions
+/// exist.
+class ExplorationSession {
+ public:
+  /// `store` must outlive the session.
+  explicit ExplorationSession(const CubeStore* store);
+
+  /// Opens the 2-D rule cube (attribute, class) as the current view.
+  Status OpenAttribute(const std::string& attribute);
+
+  /// Replaces the current 2-D view with the 3-D pair cube over the
+  /// current attribute, `second_attribute` and the class. Only valid
+  /// from a freshly opened 2-D view (as in the GUI, drill-down adds the
+  /// second dimension).
+  Status DrillDown(const std::string& second_attribute);
+
+  /// Fixes `attribute` to `value` and removes the dimension.
+  Status Slice(const std::string& attribute, const std::string& value);
+
+  /// Restricts `attribute` to the given values.
+  Status Dice(const std::string& attribute,
+              const std::vector<std::string>& values);
+
+  /// Sums out `attribute`.
+  Status RollUp(const std::string& attribute);
+
+  /// Undoes the last operation. Fails when at the initial view.
+  Status Back();
+
+  /// Drops everything; the session has no current view again.
+  void Reset();
+
+  bool has_view() const { return !history_.empty(); }
+  const RuleCube& current() const { return history_.back().cube; }
+
+  /// "PhoneModel > drill TimeOfCall > slice PhoneModel=ph3".
+  std::string PathString() const;
+
+  /// Renders the current cube: per non-class coordinate combination, the
+  /// per-class confidences with bars; capped by options.max_rows.
+  Result<std::string> Render(const SessionRenderOptions& options = {}) const;
+
+ private:
+  struct Step {
+    RuleCube cube;
+    std::string description;
+  };
+
+  // Finds the dimension of the current cube for a named attribute.
+  Result<int> CurrentDim(const std::string& attribute) const;
+
+  const CubeStore* store_;
+  std::vector<Step> history_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_CORE_SESSION_H_

@@ -1,0 +1,107 @@
+#include <cstring>
+#include <fstream>
+
+#include "opmap/common/serde.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/dataset_io.h"
+
+namespace opmap {
+
+namespace {
+
+constexpr char kCubeMagic[4] = {'O', 'P', 'M', 'C'};
+constexpr uint32_t kCubeVersion = 1;
+
+// Serializes one cube's count array. Shape is implied by the store's
+// schema plus the cube's attribute list, so only counts are stored.
+void WriteCubeCounts(const RuleCube& cube, BinaryWriter* w) {
+  w->WriteU64(static_cast<uint64_t>(cube.num_cells()));
+  for (int64_t i = 0; i < cube.num_cells(); ++i) {
+    w->WriteI64(cube.raw_counts()[i]);
+  }
+}
+
+Status ReadCubeCounts(BinaryReader* r, RuleCube* cube) {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t cells, r->ReadU64());
+  if (cells != static_cast<uint64_t>(cube->num_cells())) {
+    return Status::IOError("cube cell count mismatch (file does not match "
+                           "schema)");
+  }
+  for (uint64_t i = 0; i < cells; ++i) {
+    OPMAP_ASSIGN_OR_RETURN(int64_t v, r->ReadI64());
+    if (v < 0) return Status::IOError("negative cube count");
+    cube->raw_counts()[i] = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CubeStore::Save(std::ostream* out) const {
+  BinaryWriter w(out);
+  out->write(kCubeMagic, 4);
+  w.WriteU32(kCubeVersion);
+  WriteSchema(schema_, out);
+  w.WriteU64(attributes_.size());
+  for (int a : attributes_) w.WriteI32(a);
+  w.WriteU8(has_pair_cubes_ ? 1 : 0);
+  w.WriteI64(num_records_);
+  w.WriteI64Vector(class_counts_);
+  for (const RuleCube& cube : attr_cubes_) WriteCubeCounts(cube, &w);
+  for (const RuleCube& cube : pair_cubes_) WriteCubeCounts(cube, &w);
+  if (!w.ok()) return Status::IOError("write failure while saving cubes");
+  return Status::OK();
+}
+
+Status CubeStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return Save(&out);
+}
+
+Result<CubeStore> CubeStore::Load(std::istream* in) {
+  BinaryReader r(in);
+  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kCubeMagic));
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kCubeVersion) {
+    return Status::IOError("unsupported cube store format version " +
+                           std::to_string(version));
+  }
+  OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  OPMAP_ASSIGN_OR_RETURN(uint64_t attr_count, r.ReadU64());
+  CubeStoreOptions options;
+  for (uint64_t i = 0; i < attr_count; ++i) {
+    OPMAP_ASSIGN_OR_RETURN(int32_t a, r.ReadI32());
+    options.attributes.push_back(a);
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint8_t has_pairs, r.ReadU8());
+  options.build_pair_cubes = has_pairs != 0;
+
+  // Allocate the zeroed store with the same layout, then fill counts.
+  OPMAP_ASSIGN_OR_RETURN(CubeBuilder builder,
+                         CubeBuilder::Make(std::move(schema), options));
+  CubeStore store = std::move(builder).Finish();
+
+  OPMAP_ASSIGN_OR_RETURN(store.num_records_, r.ReadI64());
+  if (store.num_records_ < 0) return Status::IOError("negative record count");
+  OPMAP_ASSIGN_OR_RETURN(store.class_counts_, r.ReadI64Vector());
+  if (store.class_counts_.size() !=
+      static_cast<size_t>(store.schema_.num_classes())) {
+    return Status::IOError("class count vector does not match schema");
+  }
+  for (RuleCube& cube : store.attr_cubes_) {
+    OPMAP_RETURN_NOT_OK(ReadCubeCounts(&r, &cube));
+  }
+  for (RuleCube& cube : store.pair_cubes_) {
+    OPMAP_RETURN_NOT_OK(ReadCubeCounts(&r, &cube));
+  }
+  return store;
+}
+
+Result<CubeStore> CubeStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return Load(&in);
+}
+
+}  // namespace opmap

@@ -1,0 +1,211 @@
+#include "opmap/cube/cube_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace opmap {
+
+Result<const RuleCube*> CubeStore::AttrCube(int attr) const {
+  const int slot = AttrSlot(attr);
+  if (slot < 0) {
+    return Status::NotFound("attribute " + std::to_string(attr) +
+                            " is not materialized in the cube store");
+  }
+  return &attr_cubes_[static_cast<size_t>(slot)];
+}
+
+Result<const RuleCube*> CubeStore::PairCube(int a, int b) const {
+  if (!has_pair_cubes_) {
+    return Status::InvalidArgument("pair cubes were not built");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("pair cube needs two distinct attributes");
+  }
+  const int lo_attr = std::min(a, b);
+  const int hi_attr = std::max(a, b);
+  const int sa = AttrSlot(lo_attr);
+  const int sb = AttrSlot(hi_attr);
+  if (sa < 0 || sb < 0) {
+    return Status::NotFound("attribute pair is not materialized");
+  }
+  const int m = static_cast<int>(attributes_.size());
+  // Packed upper triangle: pairs (0,1), (0,2), ..., (0,m-1), (1,2), ...
+  const int64_t idx = static_cast<int64_t>(sa) * (2 * m - sa - 1) / 2 +
+                      (sb - sa - 1);
+  return &pair_cubes_[static_cast<size_t>(idx)];
+}
+
+int64_t CubeStore::NumCubes() const {
+  return static_cast<int64_t>(attr_cubes_.size() + pair_cubes_.size());
+}
+
+int64_t CubeStore::MemoryUsageBytes() const {
+  int64_t bytes = 0;
+  for (const auto& c : attr_cubes_) bytes += c.MemoryUsageBytes();
+  for (const auto& c : pair_cubes_) bytes += c.MemoryUsageBytes();
+  return bytes;
+}
+
+Result<CubeBuilder> CubeBuilder::Make(Schema schema,
+                                      CubeStoreOptions options) {
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("empty schema");
+  }
+  std::vector<int> attrs = options.attributes;
+  if (attrs.empty()) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (!schema.is_class(a) && schema.attribute(a).is_categorical()) {
+        attrs.push_back(a);
+      }
+    }
+  } else {
+    std::unordered_set<int> seen;
+    for (int a : attrs) {
+      if (a < 0 || a >= schema.num_attributes()) {
+        return Status::OutOfRange("cube store attribute out of range");
+      }
+      if (schema.is_class(a)) {
+        return Status::InvalidArgument(
+            "class attribute cannot be a cube store attribute");
+      }
+      if (!schema.attribute(a).is_categorical()) {
+        return Status::InvalidArgument(
+            "continuous attribute '" + schema.attribute(a).name() +
+            "' cannot be materialized; discretize first");
+      }
+      if (!seen.insert(a).second) {
+        return Status::InvalidArgument("duplicate cube store attribute");
+      }
+    }
+    std::sort(attrs.begin(), attrs.end());
+  }
+
+  CubeBuilder builder;
+  CubeStore& store = builder.store_;
+  store.schema_ = std::move(schema);
+  store.attributes_ = std::move(attrs);
+  store.attr_slot_.assign(
+      static_cast<size_t>(store.schema_.num_attributes()), -1);
+  for (size_t i = 0; i < store.attributes_.size(); ++i) {
+    store.attr_slot_[static_cast<size_t>(store.attributes_[i])] =
+        static_cast<int>(i);
+  }
+  store.class_counts_.assign(
+      static_cast<size_t>(store.schema_.num_classes()), 0);
+  store.has_pair_cubes_ = options.build_pair_cubes;
+
+  builder.class_index_ = store.schema_.class_index();
+  builder.num_classes_ = store.schema_.num_classes();
+
+  const int m = static_cast<int>(store.attributes_.size());
+  store.attr_cubes_.reserve(static_cast<size_t>(m));
+  for (int a : store.attributes_) {
+    OPMAP_ASSIGN_OR_RETURN(
+        RuleCube cube,
+        RuleCube::Make(store.schema_, {a, builder.class_index_}));
+    store.attr_cubes_.push_back(std::move(cube));
+    builder.sizes_.push_back(store.schema_.attribute(a).domain());
+  }
+  if (options.build_pair_cubes) {
+    store.pair_cubes_.reserve(static_cast<size_t>(m) *
+                              static_cast<size_t>(m - 1) / 2);
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        OPMAP_ASSIGN_OR_RETURN(
+            RuleCube cube,
+            RuleCube::Make(store.schema_,
+                           {store.attributes_[static_cast<size_t>(i)],
+                            store.attributes_[static_cast<size_t>(j)],
+                            builder.class_index_}));
+        store.pair_cubes_.push_back(std::move(cube));
+      }
+    }
+  }
+
+  // Raw pointers for the hot loop (stable: vectors are fully built).
+  for (auto& c : store.attr_cubes_) builder.attr_raw_.push_back(c.raw_counts());
+  for (auto& c : store.pair_cubes_) builder.pair_raw_.push_back(c.raw_counts());
+  builder.pair_base_.resize(static_cast<size_t>(m));
+  int base = 0;
+  for (int i = 0; i < m; ++i) {
+    builder.pair_base_[static_cast<size_t>(i)] = base;
+    base += m - i - 1;
+  }
+  return builder;
+}
+
+void CubeBuilder::AddRow(const ValueCode* row) {
+  const ValueCode y = row[class_index_];
+  if (y == kNullCode) return;
+  ++store_.num_records_;
+  ++store_.class_counts_[static_cast<size_t>(y)];
+
+  const int m = static_cast<int>(store_.attributes_.size());
+  const int nc = num_classes_;
+  for (int i = 0; i < m; ++i) {
+    const ValueCode vi = row[store_.attributes_[static_cast<size_t>(i)]];
+    if (vi == kNullCode) continue;
+    attr_raw_[static_cast<size_t>(i)][vi * nc + y] += 1;
+    if (!store_.has_pair_cubes_) continue;
+    const int base = pair_base_[static_cast<size_t>(i)];
+    for (int j = i + 1; j < m; ++j) {
+      const ValueCode vj = row[store_.attributes_[static_cast<size_t>(j)]];
+      if (vj == kNullCode) continue;
+      const int sj = sizes_[static_cast<size_t>(j)];
+      pair_raw_[static_cast<size_t>(base + j - i - 1)]
+               [(static_cast<int64_t>(vi) * sj + vj) * nc + y] += 1;
+    }
+  }
+}
+
+Status CubeBuilder::AddDataset(const Dataset& dataset) {
+  const Schema& ds = dataset.schema();
+  const Schema& ss = store_.schema_;
+  if (ds.num_attributes() != ss.num_attributes() ||
+      ds.class_index() != ss.class_index()) {
+    return Status::InvalidArgument("dataset schema does not match cube store");
+  }
+  for (int a : store_.attributes_) {
+    if (!ds.attribute(a).is_categorical() ||
+        ds.attribute(a).domain() != ss.attribute(a).domain()) {
+      return Status::InvalidArgument(
+          "dataset attribute '" + ds.attribute(a).name() +
+          "' does not match the cube store schema");
+    }
+  }
+  const int n = ss.num_attributes();
+  std::vector<const ValueCode*> cols(static_cast<size_t>(n), nullptr);
+  for (int a : store_.attributes_) {
+    cols[static_cast<size_t>(a)] = dataset.categorical_column(a).data();
+  }
+  cols[static_cast<size_t>(class_index_)] =
+      dataset.categorical_column(class_index_).data();
+
+  std::vector<ValueCode> row(static_cast<size_t>(n), kNullCode);
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    for (int a : store_.attributes_) {
+      row[static_cast<size_t>(a)] = cols[static_cast<size_t>(a)][r];
+    }
+    row[static_cast<size_t>(class_index_)] =
+        cols[static_cast<size_t>(class_index_)][r];
+    AddRow(row.data());
+  }
+  return Status::OK();
+}
+
+CubeStore CubeBuilder::Finish() && {
+  attr_raw_.clear();
+  pair_raw_.clear();
+  return std::move(store_);
+}
+
+Result<CubeStore> CubeBuilder::FromDataset(const Dataset& dataset,
+                                           CubeStoreOptions options) {
+  OPMAP_ASSIGN_OR_RETURN(CubeBuilder builder,
+                         CubeBuilder::Make(dataset.schema(), options));
+  OPMAP_RETURN_NOT_OK(builder.AddDataset(dataset));
+  return std::move(builder).Finish();
+}
+
+}  // namespace opmap

@@ -1,0 +1,126 @@
+#ifndef OPMAP_CUBE_CUBE_STORE_H_
+#define OPMAP_CUBE_CUBE_STORE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/rule_cube.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options for cube materialization.
+struct CubeStoreOptions {
+  /// Attributes to include (schema indices, class excluded). Empty = every
+  /// non-class categorical attribute.
+  std::vector<int> attributes;
+  /// Whether to materialize the 3-D (attribute, attribute, class) cubes.
+  /// The 2-D (attribute, class) cubes are always built.
+  bool build_pair_cubes = true;
+};
+
+/// The deployed system's cube inventory: one 2-D rule cube per attribute
+/// and one 3-D rule cube per attribute pair, all with the class attribute
+/// as the last dimension (paper Section III.B: "we store all 3-dimensional
+/// rule cubes").
+///
+/// All post-mining analysis (OLAP exploration, GI mining, the comparator)
+/// reads only this store, which is why comparison time is independent of
+/// the original data size (paper Section V.C).
+class CubeStore {
+ public:
+  const Schema& schema() const { return schema_; }
+
+  /// Attributes included in the store (ascending schema indices).
+  const std::vector<int>& attributes() const { return attributes_; }
+
+  /// Records represented (rows with a non-null class).
+  int64_t num_records() const { return num_records_; }
+
+  /// The 2-D cube (attr, class). `attr` must be included in the store.
+  Result<const RuleCube*> AttrCube(int attr) const;
+
+  /// The 3-D cube over {a, b, class} with dimensions ordered
+  /// (min(a,b), max(a,b), class). Both attributes must be included and
+  /// pair cubes must have been built.
+  Result<const RuleCube*> PairCube(int a, int b) const;
+
+  /// Overall class distribution (counts per class code).
+  const std::vector<int64_t>& class_counts() const { return class_counts_; }
+
+  /// Number of materialized cubes.
+  int64_t NumCubes() const;
+
+  /// Heap bytes held by all cubes.
+  int64_t MemoryUsageBytes() const;
+
+  /// Binary persistence ("OPMC" format): the deployed system generates
+  /// cubes offline (overnight) and reloads them for interactive use.
+  Status Save(std::ostream* out) const;
+  Status SaveToFile(const std::string& path) const;
+  static Result<CubeStore> Load(std::istream* in);
+  static Result<CubeStore> LoadFromFile(const std::string& path);
+
+ private:
+  friend class CubeBuilder;
+
+  CubeStore() = default;
+
+  int AttrSlot(int attr) const {
+    return attr >= 0 && attr < static_cast<int>(attr_slot_.size())
+               ? attr_slot_[static_cast<size_t>(attr)]
+               : -1;
+  }
+
+  Schema schema_;
+  std::vector<int> attributes_;
+  std::vector<int> attr_slot_;  // schema attr -> position in attributes_
+  int64_t num_records_ = 0;
+  std::vector<int64_t> class_counts_;
+  std::vector<RuleCube> attr_cubes_;  // one per included attribute
+  bool has_pair_cubes_ = false;
+  std::vector<RuleCube> pair_cubes_;  // packed upper triangle
+};
+
+/// Builds a CubeStore in one streaming pass. Rows can come from a
+/// materialized Dataset or be pushed one at a time (used for the
+/// record-count scale-up benchmark where 8 M rows never exist in memory at
+/// once).
+class CubeBuilder {
+ public:
+  /// Validates options against the schema and allocates the cubes.
+  static Result<CubeBuilder> Make(Schema schema, CubeStoreOptions options);
+
+  /// Adds one record. `row` holds one code per schema attribute. Rows with
+  /// a null class are ignored; null values skip the affected cubes only.
+  void AddRow(const ValueCode* row);
+
+  /// Adds every row of `dataset` (must match the builder's schema shape).
+  Status AddDataset(const Dataset& dataset);
+
+  /// Finalizes and returns the store. The builder is consumed.
+  CubeStore Finish() &&;
+
+  /// Convenience: build a store over `dataset` in one call.
+  static Result<CubeStore> FromDataset(const Dataset& dataset,
+                                       CubeStoreOptions options = {});
+
+ private:
+  CubeBuilder() = default;
+
+  CubeStore store_;
+  // Hot-path acceleration structures.
+  int class_index_ = -1;
+  int num_classes_ = 0;
+  std::vector<int64_t*> attr_raw_;   // per included attribute
+  std::vector<int64_t*> pair_raw_;   // packed upper triangle
+  std::vector<int> pair_base_;       // slot a -> first pair index of (a, *)
+  std::vector<int> sizes_;           // domain per included attribute
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_CUBE_CUBE_STORE_H_

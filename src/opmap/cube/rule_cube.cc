@@ -1,0 +1,226 @@
+#include "opmap/cube/rule_cube.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace opmap {
+
+Result<RuleCube> RuleCube::Make(const Schema& schema, std::vector<int> dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("a rule cube needs at least one dimension");
+  }
+  std::unordered_set<int> seen;
+  for (int a : dims) {
+    if (a < 0 || a >= schema.num_attributes()) {
+      return Status::OutOfRange("cube dimension attribute out of range");
+    }
+    if (!schema.attribute(a).is_categorical()) {
+      return Status::InvalidArgument("cube dimension '" +
+                                     schema.attribute(a).name() +
+                                     "' is not categorical");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate cube dimension");
+    }
+  }
+  RuleCube cube;
+  cube.dims_ = std::move(dims);
+  int64_t cells = 1;
+  for (int a : cube.dims_) {
+    const Attribute& attr = schema.attribute(a);
+    cube.sizes_.push_back(attr.domain());
+    cube.names_.push_back(attr.name());
+    cube.labels_.push_back(attr.labels());
+    cells *= attr.domain();
+  }
+  cube.strides_.resize(cube.dims_.size());
+  int64_t stride = 1;
+  for (int d = cube.num_dims() - 1; d >= 0; --d) {
+    cube.strides_[static_cast<size_t>(d)] = stride;
+    stride *= cube.sizes_[static_cast<size_t>(d)];
+  }
+  cube.counts_.assign(static_cast<size_t>(cells), 0);
+  return cube;
+}
+
+int RuleCube::FindDim(int attr) const {
+  for (int d = 0; d < num_dims(); ++d) {
+    if (dims_[static_cast<size_t>(d)] == attr) return d;
+  }
+  return -1;
+}
+
+size_t RuleCube::LinearIndex(const std::vector<ValueCode>& cell) const {
+  assert(cell.size() == dims_.size());
+  int64_t idx = 0;
+  for (size_t d = 0; d < cell.size(); ++d) {
+    assert(cell[d] >= 0 && cell[d] < sizes_[d]);
+    idx += strides_[d] * cell[d];
+  }
+  return static_cast<size_t>(idx);
+}
+
+int64_t RuleCube::Total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), int64_t{0});
+}
+
+double RuleCube::Support(const std::vector<ValueCode>& cell) const {
+  const int64_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(count(cell)) / static_cast<double>(total);
+}
+
+int64_t RuleCube::MarginCount(const std::vector<ValueCode>& cell,
+                              int dim) const {
+  assert(dim >= 0 && dim < num_dims());
+  std::vector<ValueCode> probe = cell;
+  int64_t sum = 0;
+  for (ValueCode v = 0; v < sizes_[static_cast<size_t>(dim)]; ++v) {
+    probe[static_cast<size_t>(dim)] = v;
+    sum += count(probe);
+  }
+  return sum;
+}
+
+double RuleCube::Confidence(const std::vector<ValueCode>& cell,
+                            int class_dim) const {
+  const int64_t body = MarginCount(cell, class_dim);
+  if (body == 0) return 0.0;
+  return static_cast<double>(count(cell)) / static_cast<double>(body);
+}
+
+namespace {
+
+// Iterates all cells of a cube shape, invoking fn(cell).
+template <typename Fn>
+void ForEachCell(const std::vector<int>& sizes, Fn&& fn) {
+  std::vector<ValueCode> cell(sizes.size(), 0);
+  if (sizes.empty()) return;
+  for (;;) {
+    fn(cell);
+    int d = static_cast<int>(sizes.size()) - 1;
+    while (d >= 0 && cell[static_cast<size_t>(d)] ==
+                         sizes[static_cast<size_t>(d)] - 1) {
+      cell[static_cast<size_t>(d)] = 0;
+      --d;
+    }
+    if (d < 0) break;
+    ++cell[static_cast<size_t>(d)];
+  }
+}
+
+}  // namespace
+
+Result<RuleCube> RuleCube::Slice(int dim, ValueCode value) const {
+  if (dim < 0 || dim >= num_dims()) {
+    return Status::OutOfRange("slice dimension out of range");
+  }
+  if (value < 0 || value >= sizes_[static_cast<size_t>(dim)]) {
+    return Status::OutOfRange("slice value out of domain");
+  }
+  if (num_dims() == 1) {
+    return Status::InvalidArgument("cannot slice a 1-D cube away");
+  }
+  RuleCube out;
+  for (int d = 0; d < num_dims(); ++d) {
+    if (d == dim) continue;
+    out.dims_.push_back(dims_[static_cast<size_t>(d)]);
+    out.sizes_.push_back(sizes_[static_cast<size_t>(d)]);
+    out.names_.push_back(names_[static_cast<size_t>(d)]);
+    out.labels_.push_back(labels_[static_cast<size_t>(d)]);
+  }
+  out.strides_.resize(out.dims_.size());
+  int64_t stride = 1;
+  for (int d = out.num_dims() - 1; d >= 0; --d) {
+    out.strides_[static_cast<size_t>(d)] = stride;
+    stride *= out.sizes_[static_cast<size_t>(d)];
+  }
+  out.counts_.assign(static_cast<size_t>(stride), 0);
+  ForEachCell(out.sizes_, [&](const std::vector<ValueCode>& cell) {
+    std::vector<ValueCode> src(static_cast<size_t>(num_dims()));
+    int o = 0;
+    for (int d = 0; d < num_dims(); ++d) {
+      src[static_cast<size_t>(d)] =
+          d == dim ? value : cell[static_cast<size_t>(o++)];
+    }
+    out.counts_[out.LinearIndex(cell)] = count(src);
+  });
+  return out;
+}
+
+Result<RuleCube> RuleCube::Dice(int dim,
+                                const std::vector<ValueCode>& values) const {
+  if (dim < 0 || dim >= num_dims()) {
+    return Status::OutOfRange("dice dimension out of range");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("dice needs at least one value");
+  }
+  for (ValueCode v : values) {
+    if (v < 0 || v >= sizes_[static_cast<size_t>(dim)]) {
+      return Status::OutOfRange("dice value out of domain");
+    }
+  }
+  RuleCube out;
+  out.dims_ = dims_;
+  out.sizes_ = sizes_;
+  out.names_ = names_;
+  out.labels_ = labels_;
+  out.sizes_[static_cast<size_t>(dim)] = static_cast<int>(values.size());
+  auto& lbl = out.labels_[static_cast<size_t>(dim)];
+  lbl.clear();
+  for (ValueCode v : values) {
+    lbl.push_back(labels_[static_cast<size_t>(dim)][static_cast<size_t>(v)]);
+  }
+  out.strides_.resize(out.dims_.size());
+  int64_t stride = 1;
+  for (int d = out.num_dims() - 1; d >= 0; --d) {
+    out.strides_[static_cast<size_t>(d)] = stride;
+    stride *= out.sizes_[static_cast<size_t>(d)];
+  }
+  out.counts_.assign(static_cast<size_t>(stride), 0);
+  ForEachCell(out.sizes_, [&](const std::vector<ValueCode>& cell) {
+    std::vector<ValueCode> src = cell;
+    src[static_cast<size_t>(dim)] =
+        values[static_cast<size_t>(cell[static_cast<size_t>(dim)])];
+    out.counts_[out.LinearIndex(cell)] = count(src);
+  });
+  return out;
+}
+
+Result<RuleCube> RuleCube::Marginalize(int dim) const {
+  if (dim < 0 || dim >= num_dims()) {
+    return Status::OutOfRange("roll-up dimension out of range");
+  }
+  if (num_dims() == 1) {
+    return Status::InvalidArgument("cannot roll up a 1-D cube away");
+  }
+  RuleCube out;
+  for (int d = 0; d < num_dims(); ++d) {
+    if (d == dim) continue;
+    out.dims_.push_back(dims_[static_cast<size_t>(d)]);
+    out.sizes_.push_back(sizes_[static_cast<size_t>(d)]);
+    out.names_.push_back(names_[static_cast<size_t>(d)]);
+    out.labels_.push_back(labels_[static_cast<size_t>(d)]);
+  }
+  out.strides_.resize(out.dims_.size());
+  int64_t stride = 1;
+  for (int d = out.num_dims() - 1; d >= 0; --d) {
+    out.strides_[static_cast<size_t>(d)] = stride;
+    stride *= out.sizes_[static_cast<size_t>(d)];
+  }
+  out.counts_.assign(static_cast<size_t>(stride), 0);
+  ForEachCell(sizes_, [&](const std::vector<ValueCode>& cell) {
+    std::vector<ValueCode> dst;
+    dst.reserve(cell.size() - 1);
+    for (int d = 0; d < num_dims(); ++d) {
+      if (d != dim) dst.push_back(cell[static_cast<size_t>(d)]);
+    }
+    out.counts_[out.LinearIndex(dst)] += count(cell);
+  });
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,119 @@
+#ifndef OPMAP_CUBE_RULE_CUBE_H_
+#define OPMAP_CUBE_RULE_CUBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/schema.h"
+
+namespace opmap {
+
+/// A rule cube (paper Section III.B): a dense count tensor over a subset of
+/// attributes. Each cell holds the support count of one rule body+class
+/// combination; supports and confidences of all rules over the cube's
+/// attributes are derived from cell counts.
+///
+/// Unlike OLAP data cubes there are no attribute hierarchies: every
+/// dimension is a flat attribute domain. By convention the class attribute,
+/// when present, is the last dimension (the store always builds cubes this
+/// way), but the type supports any dimension list so that OLAP operations
+/// stay closed.
+class RuleCube {
+ public:
+  /// Creates a zeroed cube over the given schema attribute indices.
+  /// `dims` must be non-empty, distinct, and categorical.
+  static Result<RuleCube> Make(const Schema& schema, std::vector<int> dims);
+
+  /// Number of dimensions.
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+
+  /// Schema attribute index of dimension `d`.
+  int dim_attribute(int d) const { return dims_[static_cast<size_t>(d)]; }
+
+  /// Domain size of dimension `d`.
+  int dim_size(int d) const { return sizes_[static_cast<size_t>(d)]; }
+
+  /// Position of schema attribute `attr` among the dims, or -1.
+  int FindDim(int attr) const;
+
+  /// Total number of cells.
+  int64_t num_cells() const { return static_cast<int64_t>(counts_.size()); }
+
+  /// Sum of all cell counts (number of records represented).
+  int64_t Total() const;
+
+  /// Count at a cell; `cell` has one code per dimension, each in range.
+  int64_t count(const std::vector<ValueCode>& cell) const {
+    return counts_[LinearIndex(cell)];
+  }
+
+  /// Adds `delta` to a cell.
+  void Add(const std::vector<ValueCode>& cell, int64_t delta = 1) {
+    counts_[LinearIndex(cell)] += delta;
+  }
+
+  /// Rule support of a cell: count / total records in the cube.
+  double Support(const std::vector<ValueCode>& cell) const;
+
+  /// Rule confidence of a cell (paper formula (1)): the cell count divided
+  /// by the sum over all values of dimension `class_dim` with the other
+  /// coordinates fixed. `class_dim` is usually the class dimension.
+  double Confidence(const std::vector<ValueCode>& cell, int class_dim) const;
+
+  /// Sum over all values of dimension `dim` with other coordinates fixed
+  /// (the rule-body count when `dim` is the class dimension).
+  int64_t MarginCount(const std::vector<ValueCode>& cell, int dim) const;
+
+  /// OLAP slice: fixes dimension `dim` to `value` and removes it. The
+  /// result has num_dims()-1 dimensions. Slicing the last dimension of a
+  /// 1-D cube is invalid.
+  Result<RuleCube> Slice(int dim, ValueCode value) const;
+
+  /// OLAP dice: restricts dimension `dim` to `values` (codes into the
+  /// original domain). The dimension keeps its position; its domain is
+  /// re-coded to 0..values.size()-1 in the given order, and the labels are
+  /// carried over.
+  Result<RuleCube> Dice(int dim, const std::vector<ValueCode>& values) const;
+
+  /// OLAP roll-up: removes dimension `dim` by summing it out.
+  Result<RuleCube> Marginalize(int dim) const;
+
+  /// Value label of `code` in dimension `d`.
+  const std::string& label(int d, ValueCode code) const {
+    return labels_[static_cast<size_t>(d)][static_cast<size_t>(code)];
+  }
+
+  /// Attribute name of dimension `d`.
+  const std::string& dim_name(int d) const {
+    return names_[static_cast<size_t>(d)];
+  }
+
+  /// Heap bytes held by the count array.
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(counts_.capacity() * sizeof(int64_t));
+  }
+
+  /// Raw mutable count storage, row-major with the last dimension fastest.
+  /// Exposed for the bulk builder's hot loop; cell (i, j, k) of a 3-D cube
+  /// lives at (i * dim_size(1) + j) * dim_size(2) + k.
+  int64_t* raw_counts() { return counts_.data(); }
+  const int64_t* raw_counts() const { return counts_.data(); }
+
+ private:
+  RuleCube() = default;
+
+  size_t LinearIndex(const std::vector<ValueCode>& cell) const;
+
+  std::vector<int> dims_;     // schema attribute indices
+  std::vector<int> sizes_;    // domain size per dim
+  std::vector<int64_t> strides_;
+  std::vector<std::string> names_;                // attribute name per dim
+  std::vector<std::vector<std::string>> labels_;  // value labels per dim
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_CUBE_RULE_CUBE_H_

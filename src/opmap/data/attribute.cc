@@ -1,0 +1,60 @@
+#include "opmap/data/attribute.h"
+
+#include <cassert>
+#include <utility>
+
+namespace opmap {
+
+Attribute::Attribute(std::string name, AttributeKind kind,
+                     std::vector<std::string> labels, bool ordered)
+    : name_(std::move(name)),
+      kind_(kind),
+      ordered_(ordered),
+      labels_(std::move(labels)) {
+  RebuildIndex();
+}
+
+Attribute Attribute::Categorical(std::string name,
+                                 std::vector<std::string> labels,
+                                 bool ordered) {
+  return Attribute(std::move(name), AttributeKind::kCategorical,
+                   std::move(labels), ordered);
+}
+
+Attribute Attribute::Continuous(std::string name) {
+  return Attribute(std::move(name), AttributeKind::kContinuous, {}, false);
+}
+
+void Attribute::RebuildIndex() {
+  label_to_code_.clear();
+  label_to_code_.reserve(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    label_to_code_.emplace(labels_[i], static_cast<ValueCode>(i));
+  }
+}
+
+const std::string& Attribute::label(ValueCode code) const {
+  assert(code >= 0 && code < domain());
+  return labels_[static_cast<size_t>(code)];
+}
+
+Result<ValueCode> Attribute::CodeOf(const std::string& label) const {
+  auto it = label_to_code_.find(label);
+  if (it == label_to_code_.end()) {
+    return Status::NotFound("attribute '" + name_ + "' has no value '" +
+                            label + "'");
+  }
+  return it->second;
+}
+
+ValueCode Attribute::CodeOfOrAdd(const std::string& label) {
+  assert(is_categorical());
+  auto it = label_to_code_.find(label);
+  if (it != label_to_code_.end()) return it->second;
+  const ValueCode code = static_cast<ValueCode>(labels_.size());
+  labels_.push_back(label);
+  label_to_code_.emplace(label, code);
+  return code;
+}
+
+}  // namespace opmap

@@ -1,0 +1,79 @@
+#ifndef OPMAP_DATA_ATTRIBUTE_H_
+#define OPMAP_DATA_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Dictionary code of a categorical value within its attribute.
+using ValueCode = int32_t;
+
+/// Sentinel for a missing categorical value.
+inline constexpr ValueCode kNullCode = -1;
+
+enum class AttributeKind {
+  /// Discrete attribute with a finite dictionary of labels.
+  kCategorical,
+  /// Numeric attribute; must be discretized before rule mining.
+  kContinuous,
+};
+
+/// One column's metadata: name, kind, and (for categorical attributes) the
+/// value dictionary.
+///
+/// Categorical values are dictionary-encoded as dense codes 0..domain()-1.
+/// `ordered` marks attributes whose dictionary order is semantically
+/// meaningful (e.g. discretized intervals, Time-of-Call); the GI miner only
+/// looks for trends on ordered attributes.
+class Attribute {
+ public:
+  /// Creates a categorical attribute with the given value labels.
+  static Attribute Categorical(std::string name,
+                               std::vector<std::string> labels,
+                               bool ordered = false);
+
+  /// Creates a continuous attribute.
+  static Attribute Continuous(std::string name);
+
+  const std::string& name() const { return name_; }
+  AttributeKind kind() const { return kind_; }
+  bool is_categorical() const { return kind_ == AttributeKind::kCategorical; }
+  bool ordered() const { return ordered_; }
+
+  /// Number of distinct values. Zero for continuous attributes.
+  int domain() const { return static_cast<int>(labels_.size()); }
+
+  /// Label for a code. `code` must be in [0, domain()).
+  const std::string& label(ValueCode code) const;
+
+  /// All labels in code order.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Code for `label`, or NotFound.
+  Result<ValueCode> CodeOf(const std::string& label) const;
+
+  /// Code for `label`, adding it to the dictionary if absent. Only valid on
+  /// categorical attributes.
+  ValueCode CodeOfOrAdd(const std::string& label);
+
+ private:
+  Attribute(std::string name, AttributeKind kind,
+            std::vector<std::string> labels, bool ordered);
+
+  void RebuildIndex();
+
+  std::string name_;
+  AttributeKind kind_;
+  bool ordered_ = false;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, ValueCode> label_to_code_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_ATTRIBUTE_H_

@@ -1,0 +1,137 @@
+#ifndef OPMAP_DATA_CALL_LOG_H_
+#define OPMAP_DATA_CALL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "opmap/common/random.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Class codes produced by the call-log generator, mirroring the paper's
+/// final-disposition attribute.
+enum CallDisposition : ValueCode {
+  kEndedSuccessfully = 0,
+  kDroppedWhileInProgress = 1,
+  kFailedDuringSetup = 2,
+};
+
+/// A planted cause: records whose `attribute` equals `value` (and whose
+/// phone model equals `phone_model`, unless -1 = any phone) have their odds
+/// of `target_class` multiplied by `odds_multiplier`.
+///
+/// Planting effects gives the synthetic workload a known ground truth, so
+/// benchmarks can measure whether the comparator ranks the causal attribute
+/// at the top — something the paper's qualitative deployment study could
+/// not quantify.
+struct PlantedEffect {
+  std::string attribute;
+  std::string value;
+  int phone_model = -1;
+  ValueCode target_class = kDroppedWhileInProgress;
+  double odds_multiplier = 1.0;
+};
+
+/// A usage-pattern confounder: for records of `phone_model`, the value of
+/// `attribute` is drawn with Zipf skew `zipf_s` instead of the global
+/// skew. This changes *where* the phone is used without changing any
+/// failure rate — the classic confounder that distribution-based measures
+/// (chi-square, KL) mistake for a cause and the paper's ratio-based M
+/// correctly scores as expected (see bench/ablation_measures).
+struct UsageSkew {
+  std::string attribute;
+  int phone_model = -1;
+  double zipf_s = 2.0;
+};
+
+/// Configuration of the synthetic cellular call-log workload.
+///
+/// Substitutes the proprietary Motorola logs (600+ attributes, 200 GB per
+/// month): highly skewed classes, a phone-model attribute, an ordered
+/// time-of-call attribute, many generic categorical attributes with Zipfian
+/// value skew, and "property" attributes deterministically keyed to the
+/// phone model (e.g. hardware version), reproducing the artifact the
+/// paper's property-attribute detector exists for.
+struct CallLogConfig {
+  int64_t num_records = 100000;
+  /// Total non-class attributes (PhoneModel + TimeOfCall + property attrs +
+  /// generic attrs). Must be >= 2 + num_property_attributes.
+  int num_attributes = 41;
+  int values_per_attribute = 8;
+  int num_phone_models = 10;
+  int num_property_attributes = 1;
+  double base_drop_rate = 0.02;
+  double base_setup_failure_rate = 0.01;
+  /// Per-phone multiplier on the drop odds; resized with 1.0 if shorter
+  /// than num_phone_models.
+  std::vector<double> phone_drop_multiplier;
+  std::vector<PlantedEffect> effects;
+  std::vector<UsageSkew> usage_skews;
+  /// Zipf skew of generic attribute values (0 = uniform).
+  double value_zipf_s = 0.6;
+  /// Zipf skew of phone-model popularity.
+  double phone_zipf_s = 0.8;
+  uint64_t seed = 42;
+};
+
+/// Generates reproducible synthetic call logs.
+///
+/// The schema is: PhoneModel, TimeOfCall (ordered), generic attributes
+/// Attr03.., property attributes HardwareVersion1.., and the class
+/// attribute CallDisposition last.
+class CallLogGenerator {
+ public:
+  /// Validates `config` and resolves planted-effect references.
+  static Result<CallLogGenerator> Make(CallLogConfig config);
+
+  const Schema& schema() const { return schema_; }
+  const CallLogConfig& config() const { return config_; }
+
+  /// Generates the configured number of records into a new Dataset.
+  Dataset Generate() const;
+
+  /// Streams `count` rows to `visit` without materializing a Dataset; the
+  /// row pointer is only valid during the callback. Used by the streaming
+  /// cube builder for large-scale benchmarks.
+  void VisitRows(int64_t count,
+                 const std::function<void(const ValueCode*)>& visit) const;
+
+  /// Index of the attribute expected to best distinguish phones for the
+  /// first planted effect, or -1 if no effects are configured. Ground truth
+  /// for recall benchmarks.
+  int GroundTruthAttribute() const { return ground_truth_attr_; }
+
+ private:
+  CallLogGenerator() = default;
+
+  // Resolved planted effect: schema indices instead of names.
+  struct ResolvedEffect {
+    int attr = -1;
+    ValueCode value = kNullCode;
+    int phone_model = -1;
+    ValueCode target_class = kDroppedWhileInProgress;
+    double odds_multiplier = 1.0;
+  };
+
+  struct ResolvedSkew {
+    int attr = -1;
+    int phone_model = -1;
+    double zipf_s = 2.0;
+  };
+
+  CallLogConfig config_;
+  Schema schema_;
+  std::vector<ResolvedEffect> effects_;
+  std::vector<ResolvedSkew> usage_skews_;
+  int ground_truth_attr_ = -1;
+  int num_generic_ = 0;
+  int first_property_ = 0;  // schema index of the first property attribute
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_CALL_LOG_H_

@@ -1,0 +1,180 @@
+#include "opmap/data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "opmap/common/string_util.h"
+
+namespace opmap {
+
+namespace {
+
+// Raw parse of the whole stream into header + string rows.
+Status ParseRaw(std::istream& in, char delim,
+                std::vector<std::string>* header,
+                std::vector<std::vector<std::string>>* rows) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  *header = SplitString(line, delim);
+  for (auto& h : *header) h = std::string(TrimWhitespace(h));
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TrimWhitespace(line).empty()) continue;
+    auto fields = SplitString(line, delim);
+    if (fields.size() != header->size()) {
+      return Status::IOError("row " + std::to_string(rows->size() + 2) +
+                             " has " + std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(header->size()));
+    }
+    rows->push_back(std::move(fields));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  OPMAP_RETURN_NOT_OK(ParseRaw(in, opts.delimiter, &header, &rows));
+
+  const int ncols = static_cast<int>(header.size());
+  int class_index = -1;
+  for (int i = 0; i < ncols; ++i) {
+    if (header[i] == opts.class_column) class_index = i;
+  }
+  if (class_index < 0) {
+    return Status::InvalidArgument("class column '" + opts.class_column +
+                                   "' not found in header");
+  }
+
+  std::unordered_set<std::string> forced(opts.categorical_columns.begin(),
+                                         opts.categorical_columns.end());
+
+  // Infer column kinds.
+  std::vector<bool> is_categorical(ncols, false);
+  for (int c = 0; c < ncols; ++c) {
+    if (c == class_index || forced.count(header[c]) > 0) {
+      is_categorical[c] = true;
+      continue;
+    }
+    bool all_numeric = true;
+    for (const auto& row : rows) {
+      const auto field = TrimWhitespace(row[c]);
+      if (field.empty() || field == opts.null_token) continue;
+      double v;
+      if (!ParseDouble(field, &v)) {
+        all_numeric = false;
+        break;
+      }
+    }
+    is_categorical[c] = !all_numeric;
+  }
+
+  std::vector<Attribute> attrs;
+  attrs.reserve(ncols);
+  for (int c = 0; c < ncols; ++c) {
+    if (is_categorical[c]) {
+      attrs.push_back(Attribute::Categorical(header[c], {}));
+    } else {
+      attrs.push_back(Attribute::Continuous(header[c]));
+    }
+  }
+  OPMAP_ASSIGN_OR_RETURN(Schema schema,
+                         Schema::Make(std::move(attrs), class_index));
+
+  Dataset dataset{Schema()};
+  {
+    // Build dictionaries while appending; the schema dictionaries must be
+    // complete before the dataset validates codes, so encode first.
+    std::vector<std::vector<Cell>> encoded(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      encoded[r].resize(static_cast<size_t>(ncols));
+      for (int c = 0; c < ncols; ++c) {
+        const auto field = std::string(TrimWhitespace(rows[r][c]));
+        if (is_categorical[c]) {
+          if (field.empty() || field == opts.null_token) {
+            encoded[r][static_cast<size_t>(c)] = Cell::Categorical(kNullCode);
+          } else {
+            Attribute& a = schema.mutable_attribute(c);
+            encoded[r][static_cast<size_t>(c)] =
+                Cell::Categorical(a.CodeOfOrAdd(field));
+            if (a.domain() > opts.max_categorical_domain) {
+              return Status::InvalidArgument(
+                  "column '" + a.name() + "' exceeds max categorical domain " +
+                  std::to_string(opts.max_categorical_domain));
+            }
+          }
+        } else {
+          double v = 0;
+          if (field.empty() || field == opts.null_token) {
+            // Missing numeric values are not supported by the discretizers;
+            // represent them as NaN so downstream code can reject them.
+            v = std::numeric_limits<double>::quiet_NaN();
+          } else if (!ParseDouble(field, &v)) {
+            return Status::IOError("unparsable numeric field '" + field +
+                                   "' in column '" + header[c] + "'");
+          }
+          encoded[r][static_cast<size_t>(c)] = Cell::Numeric(v);
+        }
+      }
+    }
+    dataset = Dataset(std::move(schema));
+    dataset.Reserve(static_cast<int64_t>(encoded.size()));
+    for (const auto& row : encoded) {
+      OPMAP_RETURN_NOT_OK(dataset.AppendRow(row));
+    }
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCsvStream(in, opts);
+}
+
+Status WriteCsvStream(const Dataset& dataset, std::ostream& out,
+                      char delimiter, const std::string& null_token) {
+  const Schema& schema = dataset.schema();
+  for (int c = 0; c < schema.num_attributes(); ++c) {
+    if (c > 0) out << delimiter;
+    out << schema.attribute(c).name();
+  }
+  out << '\n';
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_attributes(); ++c) {
+      if (c > 0) out << delimiter;
+      const Attribute& a = schema.attribute(c);
+      if (a.is_categorical()) {
+        const ValueCode code = dataset.code(r, c);
+        out << (code == kNullCode ? null_token : a.label(code));
+      } else {
+        out << dataset.number(r, c);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure");
+  return Status::OK();
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter, const std::string& null_token) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsvStream(dataset, out, delimiter, null_token);
+}
+
+}  // namespace opmap

@@ -1,0 +1,52 @@
+#ifndef OPMAP_DATA_CSV_H_
+#define OPMAP_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Options controlling CSV ingestion.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Name of the class (target) column. Must exist in the header.
+  std::string class_column;
+  /// Columns to force-treat as categorical even if every value parses as a
+  /// number (e.g. numeric error codes).
+  std::vector<std::string> categorical_columns;
+  /// String treated as a missing value in addition to the empty field.
+  std::string null_token = "?";
+  /// Upper bound on distinct values for a column inferred as categorical;
+  /// numeric columns always become continuous, non-numeric columns exceeding
+  /// the cap are rejected (they would explode the rule space).
+  int max_categorical_domain = 1024;
+};
+
+/// Reads a CSV file with a header row into a Dataset.
+///
+/// Column kinds are inferred: a column whose every non-null field parses as
+/// a number becomes continuous unless listed in `categorical_columns`;
+/// anything else becomes categorical with a dictionary built in first-seen
+/// order. The class column is always categorical.
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts);
+
+/// Same as ReadCsv but from an already-open stream (useful for tests).
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts);
+
+/// Writes `dataset` as CSV with a header row. Categorical cells are written
+/// as their labels, missing values as `null_token`.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter = ',', const std::string& null_token = "?");
+
+/// Stream variant of WriteCsv.
+Status WriteCsvStream(const Dataset& dataset, std::ostream& out,
+                      char delimiter = ',',
+                      const std::string& null_token = "?");
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_CSV_H_

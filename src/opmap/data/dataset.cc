@@ -1,0 +1,162 @@
+#include "opmap/data/dataset.h"
+
+#include <cassert>
+#include <utility>
+
+namespace opmap {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  const int n = schema_.num_attributes();
+  cat_columns_.resize(n);
+  num_columns_.resize(n);
+}
+
+Status Dataset::AppendRow(const std::vector<Cell>& cells) {
+  if (static_cast<int>(cells.size()) != num_attributes()) {
+    return Status::InvalidArgument("row has wrong number of cells");
+  }
+  for (int i = 0; i < num_attributes(); ++i) {
+    const Attribute& a = schema_.attribute(i);
+    if (a.is_categorical()) {
+      const ValueCode c = cells[i].code;
+      if (c != kNullCode && (c < 0 || c >= a.domain())) {
+        return Status::OutOfRange("code out of domain for attribute '" +
+                                  a.name() + "'");
+      }
+    }
+  }
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (schema_.attribute(i).is_categorical()) {
+      cat_columns_[i].push_back(cells[i].code);
+    } else {
+      num_columns_[i].push_back(cells[i].number);
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Dataset::AppendRowUnchecked(const ValueCode* codes) {
+  for (int i = 0; i < num_attributes(); ++i) {
+    cat_columns_[i].push_back(codes[i]);
+  }
+  ++num_rows_;
+}
+
+void Dataset::Reserve(int64_t rows) {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (schema_.attribute(i).is_categorical()) {
+      cat_columns_[i].reserve(static_cast<size_t>(rows));
+    } else {
+      num_columns_[i].reserve(static_cast<size_t>(rows));
+    }
+  }
+}
+
+Status Dataset::SetColumnData(std::vector<std::vector<ValueCode>> cat,
+                              std::vector<std::vector<double>> num) {
+  const int n = num_attributes();
+  if (static_cast<int>(cat.size()) != n ||
+      static_cast<int>(num.size()) != n) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  int64_t rows = -1;
+  for (int i = 0; i < n; ++i) {
+    const Attribute& a = schema_.attribute(i);
+    const auto& col_cat = cat[static_cast<size_t>(i)];
+    const auto& col_num = num[static_cast<size_t>(i)];
+    if (a.is_categorical()) {
+      if (!col_num.empty()) {
+        return Status::InvalidArgument("numeric data for categorical column '" +
+                                       a.name() + "'");
+      }
+      for (ValueCode c : col_cat) {
+        if (c != kNullCode && (c < 0 || c >= a.domain())) {
+          return Status::OutOfRange("code out of domain in column '" +
+                                    a.name() + "'");
+        }
+      }
+      const int64_t len = static_cast<int64_t>(col_cat.size());
+      if (rows >= 0 && len != rows) {
+        return Status::InvalidArgument("ragged columns");
+      }
+      rows = len;
+    } else {
+      if (!col_cat.empty()) {
+        return Status::InvalidArgument(
+            "categorical data for continuous column '" + a.name() + "'");
+      }
+      const int64_t len = static_cast<int64_t>(col_num.size());
+      if (rows >= 0 && len != rows) {
+        return Status::InvalidArgument("ragged columns");
+      }
+      rows = len;
+    }
+  }
+  cat_columns_ = std::move(cat);
+  num_columns_ = std::move(num);
+  num_rows_ = rows < 0 ? 0 : rows;
+  return Status::OK();
+}
+
+Dataset Dataset::TakeRows(const std::vector<int64_t>& rows) const {
+  Dataset out(schema_);
+  out.Reserve(static_cast<int64_t>(rows.size()));
+  for (int i = 0; i < num_attributes(); ++i) {
+    const bool cat = schema_.attribute(i).is_categorical();
+    for (int64_t r : rows) {
+      assert(r >= 0 && r < num_rows_);
+      if (cat) {
+        out.cat_columns_[i].push_back(cat_columns_[i][static_cast<size_t>(r)]);
+      } else {
+        out.num_columns_[i].push_back(num_columns_[i][static_cast<size_t>(r)]);
+      }
+    }
+  }
+  out.num_rows_ = static_cast<int64_t>(rows.size());
+  return out;
+}
+
+Dataset Dataset::DuplicateTimes(int times) const {
+  assert(times >= 1);
+  Dataset out(schema_);
+  out.Reserve(num_rows_ * times);
+  for (int i = 0; i < num_attributes(); ++i) {
+    const bool cat = schema_.attribute(i).is_categorical();
+    for (int t = 0; t < times; ++t) {
+      if (cat) {
+        out.cat_columns_[i].insert(out.cat_columns_[i].end(),
+                                   cat_columns_[i].begin(),
+                                   cat_columns_[i].end());
+      } else {
+        out.num_columns_[i].insert(out.num_columns_[i].end(),
+                                   num_columns_[i].begin(),
+                                   num_columns_[i].end());
+      }
+    }
+  }
+  out.num_rows_ = num_rows_ * times;
+  return out;
+}
+
+std::vector<int64_t> Dataset::ClassCounts() const {
+  std::vector<int64_t> counts(schema_.num_classes(), 0);
+  const auto& col = cat_columns_[schema_.class_index()];
+  for (ValueCode c : col) {
+    if (c != kNullCode) ++counts[static_cast<size_t>(c)];
+  }
+  return counts;
+}
+
+int64_t Dataset::MemoryUsageBytes() const {
+  int64_t bytes = 0;
+  for (const auto& c : cat_columns_) {
+    bytes += static_cast<int64_t>(c.capacity() * sizeof(ValueCode));
+  }
+  for (const auto& c : num_columns_) {
+    bytes += static_cast<int64_t>(c.capacity() * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace opmap

@@ -1,0 +1,110 @@
+#ifndef OPMAP_DATA_DATASET_H_
+#define OPMAP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/attribute.h"
+#include "opmap/data/schema.h"
+
+namespace opmap {
+
+/// One cell of a row being appended: `code` for categorical columns,
+/// `number` for continuous ones. The unused member is ignored.
+struct Cell {
+  ValueCode code = kNullCode;
+  double number = 0.0;
+
+  static Cell Categorical(ValueCode c) { return Cell{c, 0.0}; }
+  static Cell Numeric(double v) { return Cell{kNullCode, v}; }
+};
+
+/// Columnar in-memory table bound to a Schema.
+///
+/// Categorical columns store dictionary codes; continuous columns store
+/// doubles. All rule mining operates on all-categorical datasets (see
+/// Schema::AllCategorical); continuous columns exist only between loading
+/// and discretization.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends one row; `cells` must have one entry per attribute. Categorical
+  /// codes are validated against the attribute domain (kNullCode allowed).
+  Status AppendRow(const std::vector<Cell>& cells);
+
+  /// Appends a row of categorical codes without per-cell validation.
+  /// Requires an all-categorical schema; intended for bulk generators.
+  /// `codes` must have num_attributes() entries in range.
+  void AppendRowUnchecked(const ValueCode* codes);
+
+  /// Reserves storage for `rows` rows in every column.
+  void Reserve(int64_t rows);
+
+  /// Categorical code at (row, attribute). Attribute must be categorical.
+  ValueCode code(int64_t row, int attr) const {
+    return cat_columns_[attr][static_cast<size_t>(row)];
+  }
+
+  /// Numeric value at (row, attribute). Attribute must be continuous.
+  double number(int64_t row, int attr) const {
+    return num_columns_[attr][static_cast<size_t>(row)];
+  }
+
+  /// Class code of `row`.
+  ValueCode class_code(int64_t row) const {
+    return code(row, schema_.class_index());
+  }
+
+  /// Whole categorical column (empty vector for continuous attributes).
+  const std::vector<ValueCode>& categorical_column(int attr) const {
+    return cat_columns_[attr];
+  }
+
+  /// Whole numeric column (empty vector for categorical attributes).
+  const std::vector<double>& numeric_column(int attr) const {
+    return num_columns_[attr];
+  }
+
+  std::vector<ValueCode>& mutable_categorical_column(int attr) {
+    return cat_columns_[attr];
+  }
+
+  /// Replaces all column storage at once (deserialization / bulk import).
+  /// `cat[i]` must be populated exactly for categorical attributes and
+  /// `num[i]` for continuous ones; all populated columns must have equal
+  /// length and codes must be in range (or kNullCode).
+  Status SetColumnData(std::vector<std::vector<ValueCode>> cat,
+                       std::vector<std::vector<double>> num);
+
+  /// New dataset containing the given rows (in order; duplicates allowed).
+  Dataset TakeRows(const std::vector<int64_t>& rows) const;
+
+  /// New dataset with every row repeated `times` times — the paper's
+  /// method for the record-count scale-up experiment (Fig 11).
+  Dataset DuplicateTimes(int times) const;
+
+  /// Count of rows per class value.
+  std::vector<int64_t> ClassCounts() const;
+
+  /// Approximate heap footprint in bytes (column storage only).
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  // Indexed by attribute; exactly one of the two vectors per attribute is
+  // populated, matching the attribute kind.
+  std::vector<std::vector<ValueCode>> cat_columns_;
+  std::vector<std::vector<double>> num_columns_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_DATASET_H_

@@ -1,0 +1,130 @@
+#include "opmap/data/dataset_io.h"
+
+#include <fstream>
+
+#include "opmap/common/serde.h"
+
+namespace opmap {
+
+namespace {
+
+constexpr char kDatasetMagic[4] = {'O', 'P', 'M', 'D'};
+constexpr uint32_t kDatasetVersion = 1;
+
+}  // namespace
+
+void WriteSchema(const Schema& schema, std::ostream* out) {
+  BinaryWriter w(out);
+  w.WriteU32(static_cast<uint32_t>(schema.num_attributes()));
+  w.WriteU32(static_cast<uint32_t>(schema.class_index()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const Attribute& a = schema.attribute(i);
+    w.WriteString(a.name());
+    w.WriteU8(a.is_categorical() ? 1 : 0);
+    w.WriteU8(a.ordered() ? 1 : 0);
+    w.WriteU64(static_cast<uint64_t>(a.domain()));
+    for (const std::string& label : a.labels()) {
+      w.WriteString(label);
+    }
+  }
+}
+
+Result<Schema> ReadSchema(std::istream* in) {
+  BinaryReader r(in);
+  OPMAP_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  OPMAP_ASSIGN_OR_RETURN(uint32_t class_index, r.ReadU32());
+  if (n == 0 || n > (1u << 20)) {
+    return Status::IOError("implausible attribute count in schema");
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    OPMAP_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    OPMAP_ASSIGN_OR_RETURN(uint8_t is_cat, r.ReadU8());
+    OPMAP_ASSIGN_OR_RETURN(uint8_t ordered, r.ReadU8());
+    OPMAP_ASSIGN_OR_RETURN(uint64_t domain, r.ReadU64());
+    if (domain > (1ULL << 24)) {
+      return Status::IOError("implausible domain size in schema");
+    }
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<size_t>(domain));
+    for (uint64_t v = 0; v < domain; ++v) {
+      OPMAP_ASSIGN_OR_RETURN(std::string label, r.ReadString());
+      labels.push_back(std::move(label));
+    }
+    if (is_cat != 0) {
+      attrs.push_back(
+          Attribute::Categorical(std::move(name), std::move(labels),
+                                 ordered != 0));
+    } else {
+      if (domain != 0) {
+        return Status::IOError("continuous attribute with labels");
+      }
+      attrs.push_back(Attribute::Continuous(std::move(name)));
+    }
+  }
+  return Schema::Make(std::move(attrs), static_cast<int>(class_index));
+}
+
+Status SaveDataset(const Dataset& dataset, std::ostream* out) {
+  BinaryWriter w(out);
+  out->write(kDatasetMagic, 4);
+  w.WriteU32(kDatasetVersion);
+  WriteSchema(dataset.schema(), out);
+  w.WriteU64(static_cast<uint64_t>(dataset.num_rows()));
+  for (int i = 0; i < dataset.num_attributes(); ++i) {
+    if (dataset.schema().attribute(i).is_categorical()) {
+      w.WriteI32Vector(dataset.categorical_column(i));
+    } else {
+      w.WriteDoubleVector(dataset.numeric_column(i));
+    }
+  }
+  if (!w.ok()) return Status::IOError("write failure while saving dataset");
+  return Status::OK();
+}
+
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return SaveDataset(dataset, &out);
+}
+
+Result<Dataset> LoadDataset(std::istream* in) {
+  BinaryReader r(in);
+  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kDatasetMagic));
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kDatasetVersion) {
+    return Status::IOError("unsupported dataset format version " +
+                           std::to_string(version));
+  }
+  OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  OPMAP_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
+  const int n = schema.num_attributes();
+  std::vector<std::vector<ValueCode>> cat(static_cast<size_t>(n));
+  std::vector<std::vector<double>> num(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (schema.attribute(i).is_categorical()) {
+      OPMAP_ASSIGN_OR_RETURN(cat[static_cast<size_t>(i)], r.ReadI32Vector());
+      if (cat[static_cast<size_t>(i)].size() != rows) {
+        return Status::IOError("column length mismatch");
+      }
+    } else {
+      OPMAP_ASSIGN_OR_RETURN(num[static_cast<size_t>(i)],
+                             r.ReadDoubleVector());
+      if (num[static_cast<size_t>(i)].size() != rows) {
+        return Status::IOError("column length mismatch");
+      }
+    }
+  }
+  Dataset dataset(std::move(schema));
+  OPMAP_RETURN_NOT_OK(dataset.SetColumnData(std::move(cat), std::move(num)));
+  return dataset;
+}
+
+Result<Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return LoadDataset(&in);
+}
+
+}  // namespace opmap

@@ -1,0 +1,72 @@
+#include "opmap/data/manufacturing.h"
+
+#include <algorithm>
+
+namespace opmap {
+
+Result<ManufacturingGenerator> ManufacturingGenerator::Make(
+    ManufacturingConfig config) {
+  if (config.num_rows < 0) {
+    return Status::InvalidArgument("num_rows must be >= 0");
+  }
+  if (config.base_defect_rate < 0 || config.base_defect_rate > 1) {
+    return Status::InvalidArgument("base_defect_rate must be in [0, 1]");
+  }
+  if (config.bad_line_multiplier < 0 || config.hot_oven_multiplier < 0) {
+    return Status::InvalidArgument("multipliers must be >= 0");
+  }
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Categorical("Line", {"A", "B"}));
+  attrs.push_back(Attribute::Categorical("Shift", {"day", "night"}));
+  attrs.push_back(
+      Attribute::Categorical("Supplier", {"acme", "globex", "initech"}));
+  attrs.push_back(Attribute::Continuous("OvenTempC"));
+  attrs.push_back(Attribute::Continuous("HumidityPct"));
+  attrs.push_back(Attribute::Categorical(
+      "FixtureId",
+      {"FX-A0", "FX-A1", "FX-A2", "FX-B0", "FX-B1", "FX-B2"}));
+  attrs.push_back(Attribute::Categorical("Result", {"pass", "defect"}));
+  OPMAP_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs), 6));
+
+  ManufacturingGenerator gen;
+  gen.config_ = config;
+  gen.schema_ = std::move(schema);
+  return gen;
+}
+
+Dataset ManufacturingGenerator::Generate() const {
+  Dataset out(schema_);
+  out.Reserve(config_.num_rows);
+  Rng rng(config_.seed);
+  std::vector<Cell> row(7);
+  for (int64_t i = 0; i < config_.num_rows; ++i) {
+    const bool line_b = rng.NextBernoulli(0.5);
+    const double temp =
+        config_.temp_mean_c + rng.NextGaussian() * config_.temp_stddev_c;
+    const double humidity = 40.0 + rng.NextGaussian() * 8.0;
+    double defect_rate = config_.base_defect_rate;
+    if (line_b) {
+      defect_rate *= config_.bad_line_multiplier;
+      if (temp > config_.temp_threshold_c) {
+        defect_rate *= config_.hot_oven_multiplier;
+      }
+    }
+    defect_rate = std::clamp(defect_rate, 0.0, 0.95);
+    const bool defect = rng.NextBernoulli(defect_rate);
+    // Fixtures: each line uses its own three fixtures (property attribute).
+    const ValueCode fixture = static_cast<ValueCode>(
+        (line_b ? 3 : 0) + static_cast<int>(rng.NextBounded(3)));
+    row[0] = Cell::Categorical(line_b ? 1 : 0);
+    row[1] = Cell::Categorical(static_cast<ValueCode>(rng.NextBounded(2)));
+    row[2] = Cell::Categorical(static_cast<ValueCode>(rng.NextBounded(3)));
+    row[3] = Cell::Numeric(temp);
+    row[4] = Cell::Numeric(humidity);
+    row[5] = Cell::Categorical(fixture);
+    row[6] = Cell::Categorical(defect ? 1 : 0);
+    // The schema is fixed and codes are in range by construction.
+    (void)out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace opmap

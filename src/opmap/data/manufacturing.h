@@ -1,0 +1,62 @@
+#ifndef OPMAP_DATA_MANUFACTURING_H_
+#define OPMAP_DATA_MANUFACTURING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opmap/common/random.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Synthetic manufacturing quality workload — the paper's introduction
+/// motivates the system for "product designs and/or manufacturing
+/// processes" generally; this generator provides a second engineering
+/// domain with continuous sensor attributes, exercising the CSV +
+/// discretization front of the pipeline (unlike the all-categorical call
+/// logs).
+///
+/// Schema: Line (categorical), Shift, Supplier, OvenTempC (continuous),
+/// HumidityPct (continuous), FixtureId (property attribute keyed to the
+/// line), class Result {pass, defect}.
+///
+/// Planted ground truth: the bad line's defects multiply above the oven
+/// temperature threshold; a fixture attribute is keyed to the line.
+struct ManufacturingConfig {
+  int64_t num_rows = 50000;
+  double base_defect_rate = 0.02;
+  /// Overall multiplier for the bad line (line "B").
+  double bad_line_multiplier = 1.5;
+  /// Extra multiplier for the bad line above `temp_threshold_c`.
+  double hot_oven_multiplier = 8.0;
+  double temp_threshold_c = 195.0;
+  double temp_mean_c = 180.0;
+  double temp_stddev_c = 15.0;
+  uint64_t seed = 2024;
+};
+
+class ManufacturingGenerator {
+ public:
+  static Result<ManufacturingGenerator> Make(ManufacturingConfig config);
+
+  const Schema& schema() const { return schema_; }
+  const ManufacturingConfig& config() const { return config_; }
+
+  /// Generates the configured number of rows (mixed categorical and
+  /// continuous columns; discretize before mining).
+  Dataset Generate() const;
+
+  /// Name of the attribute carrying the planted cause ("OvenTempC").
+  static const char* GroundTruthAttributeName() { return "OvenTempC"; }
+
+ private:
+  ManufacturingGenerator() = default;
+
+  ManufacturingConfig config_;
+  Schema schema_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_MANUFACTURING_H_

@@ -1,0 +1,67 @@
+#include "opmap/data/sampling.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace opmap {
+
+Dataset UniformSample(const Dataset& dataset, int64_t n, Rng& rng) {
+  const int64_t rows = dataset.num_rows();
+  if (n >= rows) return dataset.TakeRows([&] {
+    std::vector<int64_t> all(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }());
+  // Reservoir sampling (algorithm R), then sort to preserve order.
+  std::vector<int64_t> reservoir(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) reservoir[static_cast<size_t>(i)] = i;
+  for (int64_t i = n; i < rows; ++i) {
+    const int64_t j =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(i + 1)));
+    if (j < n) reservoir[static_cast<size_t>(j)] = i;
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return dataset.TakeRows(reservoir);
+}
+
+Result<Dataset> StratifiedSample(const Dataset& dataset,
+                                 const std::vector<double>& keep_fraction,
+                                 Rng& rng) {
+  const int num_classes = dataset.schema().num_classes();
+  if (static_cast<int>(keep_fraction.size()) != num_classes) {
+    return Status::InvalidArgument(
+        "keep_fraction must have one entry per class");
+  }
+  std::vector<int64_t> kept;
+  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
+    const ValueCode c = dataset.class_code(r);
+    if (c == kNullCode) continue;
+    double p = keep_fraction[static_cast<size_t>(c)];
+    p = std::clamp(p, 0.0, 1.0);
+    if (rng.NextBernoulli(p)) kept.push_back(r);
+  }
+  return dataset.TakeRows(kept);
+}
+
+Result<Dataset> UnbalancedSample(const Dataset& dataset, double max_ratio,
+                                 Rng& rng) {
+  if (max_ratio < 1.0) {
+    return Status::InvalidArgument("max_ratio must be >= 1");
+  }
+  const std::vector<int64_t> counts = dataset.ClassCounts();
+  int64_t min_count = std::numeric_limits<int64_t>::max();
+  for (int64_t c : counts) {
+    if (c > 0) min_count = std::min(min_count, c);
+  }
+  if (min_count == std::numeric_limits<int64_t>::max()) {
+    return Status::InvalidArgument("dataset has no labeled rows");
+  }
+  const double cap = static_cast<double>(min_count) * max_ratio;
+  std::vector<double> keep(counts.size(), 1.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > cap) keep[i] = cap / static_cast<double>(counts[i]);
+  }
+  return StratifiedSample(dataset, keep, rng);
+}
+
+}  // namespace opmap

@@ -1,0 +1,32 @@
+#ifndef OPMAP_DATA_SAMPLING_H_
+#define OPMAP_DATA_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opmap/common/random.h"
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Uniform sample of `n` rows without replacement (reservoir sampling). If
+/// `n` >= num_rows the whole dataset is returned. Row order is preserved.
+Dataset UniformSample(const Dataset& dataset, int64_t n, Rng& rng);
+
+/// Per-class keep fractions: each row of class c is kept with probability
+/// `keep_fraction[c]`. Fractions are clamped to [0, 1].
+Result<Dataset> StratifiedSample(const Dataset& dataset,
+                                 const std::vector<double>& keep_fraction,
+                                 Rng& rng);
+
+/// The paper's unbalanced sampling: downsample the majority class(es) so
+/// that no class has more than `max_ratio` times the rows of the smallest
+/// non-empty class. Minority classes (the interesting failure classes) are
+/// kept in full.
+Result<Dataset> UnbalancedSample(const Dataset& dataset, double max_ratio,
+                                 Rng& rng);
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_SAMPLING_H_

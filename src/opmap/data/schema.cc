@@ -1,0 +1,59 @@
+#include "opmap/data/schema.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace opmap {
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes,
+                            int class_index) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  if (class_index < 0 ||
+      class_index >= static_cast<int>(attributes.size())) {
+    return Status::InvalidArgument("class index out of range");
+  }
+  if (!attributes[class_index].is_categorical()) {
+    return Status::InvalidArgument("class attribute must be categorical");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& a : attributes) {
+    if (!names.insert(a.name()).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + a.name() +
+                                     "'");
+    }
+  }
+  Schema s;
+  s.attributes_ = std::move(attributes);
+  s.class_index_ = class_index;
+  return s;
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].name() == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Schema::AllCategorical() const {
+  for (const auto& a : attributes_) {
+    if (!a.is_categorical()) return false;
+  }
+  return true;
+}
+
+Status Schema::ReplaceAttribute(int i, Attribute attr) {
+  if (i < 0 || i >= num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (i == class_index_ && !attr.is_categorical()) {
+    return Status::InvalidArgument(
+        "class attribute must remain categorical");
+  }
+  attributes_[i] = std::move(attr);
+  return Status::OK();
+}
+
+}  // namespace opmap

@@ -1,0 +1,54 @@
+#ifndef OPMAP_DATA_SCHEMA_H_
+#define OPMAP_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/attribute.h"
+
+namespace opmap {
+
+/// Ordered set of attributes plus the designated class (target) attribute.
+///
+/// Every Opportunity Map data set is a classification-style table: one
+/// categorical attribute holds the class (e.g. the call's final
+/// disposition), the rest are explanatory attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// `class_index` must refer to a categorical attribute.
+  static Result<Schema> Make(std::vector<Attribute> attributes,
+                             int class_index);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  Attribute& mutable_attribute(int i) { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  int class_index() const { return class_index_; }
+  const Attribute& class_attribute() const {
+    return attributes_[class_index_];
+  }
+  int num_classes() const { return class_attribute().domain(); }
+  bool is_class(int i) const { return i == class_index_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// True if every attribute is categorical (i.e. ready for rule mining).
+  bool AllCategorical() const;
+
+  /// Replaces attribute `i` (used by discretizers). The class attribute may
+  /// not be replaced with a continuous attribute.
+  Status ReplaceAttribute(int i, Attribute attr);
+
+ private:
+  std::vector<Attribute> attributes_;
+  int class_index_ = -1;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DATA_SCHEMA_H_

@@ -1,0 +1,60 @@
+#ifndef OPMAP_DISCRETIZE_DISCRETIZER_H_
+#define OPMAP_DISCRETIZE_DISCRETIZER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Strategy interface: computes interval cut points for one continuous
+/// column. Implementations: equal-width, equal-frequency, entropy-MDL,
+/// manual.
+///
+/// A result of k cut points c_1 < ... < c_k partitions the line into k+1
+/// intervals (-inf, c_1], (c_1, c_2], ..., (c_k, +inf). Returning no cut
+/// points collapses the column to a single interval.
+class Discretizer {
+ public:
+  virtual ~Discretizer() = default;
+
+  /// Computes cut points for `values`. `class_codes` is aligned to `values`
+  /// and may be used by supervised methods; unsupervised methods ignore it.
+  /// NaN values are rejected.
+  virtual Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes, int num_classes) const = 0;
+
+  /// Short name used in interval labels and logs.
+  virtual std::string name() const = 0;
+};
+
+/// Interval code for `value` under the given sorted cut points.
+ValueCode IntervalOf(double value, const std::vector<double>& cuts);
+
+/// Builds human-readable interval labels, e.g. "(-inf,3.5]", "(3.5,7]",
+/// "(7,+inf)". With no cuts the single label is "(-inf,+inf)".
+std::vector<std::string> IntervalLabels(const std::vector<double>& cuts);
+
+/// Applies `discretizer` to every continuous attribute of `dataset`,
+/// returning an all-categorical dataset whose interval attributes are
+/// marked ordered. Columns containing NaN produce an error.
+Result<Dataset> DiscretizeDataset(const Dataset& dataset,
+                                  const Discretizer& discretizer);
+
+/// Applies per-attribute cut points (by attribute name) and `fallback` for
+/// continuous attributes not listed. This is the system's "manual
+/// discretization option". A null fallback rejects unlisted continuous
+/// attributes.
+Result<Dataset> DiscretizeDatasetWithOverrides(
+    const Dataset& dataset,
+    const std::vector<std::pair<std::string, std::vector<double>>>& overrides,
+    const Discretizer* fallback);
+
+}  // namespace opmap
+
+#endif  // OPMAP_DISCRETIZE_DISCRETIZER_H_

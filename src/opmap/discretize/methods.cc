@@ -1,0 +1,285 @@
+#include "opmap/discretize/methods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "opmap/stats/contingency.h"
+
+namespace opmap {
+
+Result<std::vector<double>> EqualWidthDiscretizer::ComputeCuts(
+    const std::vector<double>& values, const std::vector<ValueCode>&,
+    int) const {
+  if (bins_ < 1) return Status::InvalidArgument("bins must be >= 1");
+  if (values.empty()) return std::vector<double>{};
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (lo == hi || bins_ == 1) return std::vector<double>{};
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<size_t>(bins_ - 1));
+  const double width = (hi - lo) / static_cast<double>(bins_);
+  for (int i = 1; i < bins_; ++i) {
+    cuts.push_back(lo + width * static_cast<double>(i));
+  }
+  return cuts;
+}
+
+Result<std::vector<double>> EqualFrequencyDiscretizer::ComputeCuts(
+    const std::vector<double>& values, const std::vector<ValueCode>&,
+    int) const {
+  if (bins_ < 1) return Status::InvalidArgument("bins must be >= 1");
+  if (values.empty() || bins_ == 1) return std::vector<double>{};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> cuts;
+  const size_t n = sorted.size();
+  for (int b = 1; b < bins_; ++b) {
+    size_t idx = n * static_cast<size_t>(b) / static_cast<size_t>(bins_);
+    if (idx == 0 || idx >= n) continue;
+    // Place the cut between distinct values so ties stay together.
+    const double cut = sorted[idx - 1];
+    if (sorted[idx] == cut) {
+      // Advance to the end of the tie run; skip the cut if it would be the
+      // global maximum.
+      size_t j = idx;
+      while (j < n && sorted[j] == cut) ++j;
+      if (j >= n) continue;
+      cuts.push_back((cut + sorted[j]) / 2.0);
+    } else {
+      cuts.push_back((cut + sorted[idx]) / 2.0);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+namespace {
+
+struct LabeledValue {
+  double value;
+  ValueCode cls;
+};
+
+// Class-count entropy over [begin, end) of sorted labeled values.
+double RangeEntropy(const std::vector<LabeledValue>& v, size_t begin,
+                    size_t end, int num_classes,
+                    std::vector<int64_t>* scratch) {
+  scratch->assign(static_cast<size_t>(num_classes), 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++(*scratch)[static_cast<size_t>(v[i].cls)];
+  }
+  return EntropyBits(*scratch);
+}
+
+int DistinctClasses(const std::vector<LabeledValue>& v, size_t begin,
+                    size_t end, int num_classes,
+                    std::vector<int64_t>* scratch) {
+  scratch->assign(static_cast<size_t>(num_classes), 0);
+  int distinct = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if ((*scratch)[static_cast<size_t>(v[i].cls)]++ == 0) ++distinct;
+  }
+  return distinct;
+}
+
+// Recursive Fayyad-Irani split of [begin, end). Appends accepted cut
+// values to `cuts`.
+void MdlSplit(const std::vector<LabeledValue>& v, size_t begin, size_t end,
+              int num_classes, int max_cuts, std::vector<double>* cuts) {
+  if (end - begin < 2) return;
+  if (max_cuts > 0 && static_cast<int>(cuts->size()) >= max_cuts) return;
+
+  std::vector<int64_t> scratch;
+  const double total_entropy =
+      RangeEntropy(v, begin, end, num_classes, &scratch);
+  const double n = static_cast<double>(end - begin);
+
+  // Scan boundary points (value changes) for the minimum-entropy split.
+  std::vector<int64_t> left_counts(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> right_counts(static_cast<size_t>(num_classes), 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++right_counts[static_cast<size_t>(v[i].cls)];
+  }
+  double best_weighted = total_entropy;
+  size_t best_split = 0;  // first index of the right part; 0 = none
+  double best_left_entropy = 0;
+  double best_right_entropy = 0;
+  for (size_t i = begin; i + 1 < end; ++i) {
+    const size_t ci = static_cast<size_t>(v[i].cls);
+    ++left_counts[ci];
+    --right_counts[ci];
+    if (v[i].value == v[i + 1].value) continue;  // not a boundary
+    const double nl = static_cast<double>(i - begin + 1);
+    const double nr = n - nl;
+    const double hl = EntropyBits(left_counts);
+    const double hr = EntropyBits(right_counts);
+    const double weighted = (nl * hl + nr * hr) / n;
+    if (weighted < best_weighted) {
+      best_weighted = weighted;
+      best_split = i + 1;
+      best_left_entropy = hl;
+      best_right_entropy = hr;
+    }
+  }
+  if (best_split == 0) return;
+
+  // MDL acceptance criterion (Fayyad & Irani 1993).
+  const double gain = total_entropy - best_weighted;
+  const int k = DistinctClasses(v, begin, end, num_classes, &scratch);
+  const int k1 = DistinctClasses(v, begin, best_split, num_classes, &scratch);
+  const int k2 = DistinctClasses(v, best_split, end, num_classes, &scratch);
+  const double left_h =
+      RangeEntropy(v, begin, best_split, num_classes, &scratch);
+  (void)left_h;  // identical to best_left_entropy; kept for clarity in debug
+  const double delta =
+      std::log2(std::pow(3.0, k) - 2.0) -
+      (static_cast<double>(k) * total_entropy -
+       static_cast<double>(k1) * best_left_entropy -
+       static_cast<double>(k2) * best_right_entropy);
+  const double threshold = (std::log2(n - 1.0) + delta) / n;
+  if (gain <= threshold) return;
+
+  cuts->push_back((v[best_split - 1].value + v[best_split].value) / 2.0);
+  MdlSplit(v, begin, best_split, num_classes, max_cuts, cuts);
+  MdlSplit(v, best_split, end, num_classes, max_cuts, cuts);
+}
+
+}  // namespace
+
+Result<std::vector<double>> EntropyMdlDiscretizer::ComputeCuts(
+    const std::vector<double>& values,
+    const std::vector<ValueCode>& class_codes, int num_classes) const {
+  if (values.size() != class_codes.size()) {
+    return Status::InvalidArgument(
+        "entropy-MDL discretization needs class labels aligned with values");
+  }
+  if (num_classes < 1) {
+    return Status::InvalidArgument("num_classes must be >= 1");
+  }
+  std::vector<LabeledValue> v;
+  v.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (class_codes[i] == kNullCode) continue;
+    v.push_back(LabeledValue{values[i], class_codes[i]});
+  }
+  std::sort(v.begin(), v.end(), [](const LabeledValue& a,
+                                   const LabeledValue& b) {
+    return a.value < b.value;
+  });
+  std::vector<double> cuts;
+  MdlSplit(v, 0, v.size(), num_classes, max_cuts_, &cuts);
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+Result<std::vector<double>> ChiMergeDiscretizer::ComputeCuts(
+    const std::vector<double>& values,
+    const std::vector<ValueCode>& class_codes, int num_classes) const {
+  if (values.size() != class_codes.size()) {
+    return Status::InvalidArgument(
+        "ChiMerge needs class labels aligned with values");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("ChiMerge needs at least two classes");
+  }
+  if (threshold_ < 0) {
+    return Status::InvalidArgument("significance threshold must be >= 0");
+  }
+
+  // Start with one interval per distinct value, holding class counts.
+  struct Interval {
+    double upper;  // largest value in the interval
+    std::vector<int64_t> counts;
+  };
+  std::vector<LabeledValue> v;
+  v.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (class_codes[i] == kNullCode) continue;
+    v.push_back(LabeledValue{values[i], class_codes[i]});
+  }
+  if (v.empty()) return std::vector<double>{};
+  std::sort(v.begin(), v.end(),
+            [](const LabeledValue& a, const LabeledValue& b) {
+              return a.value < b.value;
+            });
+  std::vector<Interval> intervals;
+  for (const LabeledValue& lv : v) {
+    if (intervals.empty() || intervals.back().upper != lv.value) {
+      intervals.push_back(Interval{
+          lv.value,
+          std::vector<int64_t>(static_cast<size_t>(num_classes), 0)});
+    }
+    ++intervals.back().counts[static_cast<size_t>(lv.cls)];
+  }
+
+  // Chi-square of two adjacent intervals' class-count rows.
+  auto chi2 = [&](const Interval& a, const Interval& b) {
+    double stat = 0;
+    int64_t na = 0, nb = 0;
+    for (int c = 0; c < num_classes; ++c) {
+      na += a.counts[static_cast<size_t>(c)];
+      nb += b.counts[static_cast<size_t>(c)];
+    }
+    const double n = static_cast<double>(na + nb);
+    if (n == 0) return 0.0;
+    for (int c = 0; c < num_classes; ++c) {
+      const double col = static_cast<double>(
+          a.counts[static_cast<size_t>(c)] +
+          b.counts[static_cast<size_t>(c)]);
+      const double ea = static_cast<double>(na) * col / n;
+      const double eb = static_cast<double>(nb) * col / n;
+      if (ea > 0) {
+        const double da =
+            static_cast<double>(a.counts[static_cast<size_t>(c)]) - ea;
+        stat += da * da / ea;
+      }
+      if (eb > 0) {
+        const double db =
+            static_cast<double>(b.counts[static_cast<size_t>(c)]) - eb;
+        stat += db * db / eb;
+      }
+    }
+    return stat;
+  };
+
+  // Repeatedly merge the weakest adjacent pair.
+  while (intervals.size() > 1) {
+    double min_stat = std::numeric_limits<double>::infinity();
+    size_t min_at = 0;
+    for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+      const double stat = chi2(intervals[i], intervals[i + 1]);
+      if (stat < min_stat) {
+        min_stat = stat;
+        min_at = i;
+      }
+    }
+    const bool over_budget =
+        max_intervals_ > 0 &&
+        static_cast<int>(intervals.size()) > max_intervals_;
+    if (min_stat >= threshold_ && !over_budget) break;
+    // Merge min_at and min_at+1.
+    for (int c = 0; c < num_classes; ++c) {
+      intervals[min_at].counts[static_cast<size_t>(c)] +=
+          intervals[min_at + 1].counts[static_cast<size_t>(c)];
+    }
+    intervals[min_at].upper = intervals[min_at + 1].upper;
+    intervals.erase(intervals.begin() + static_cast<int64_t>(min_at) + 1);
+  }
+
+  std::vector<double> cuts;
+  for (size_t i = 0; i + 1 < intervals.size(); ++i) {
+    cuts.push_back(intervals[i].upper);
+  }
+  return cuts;
+}
+
+Result<std::vector<double>> ManualDiscretizer::ComputeCuts(
+    const std::vector<double>&, const std::vector<ValueCode>&, int) const {
+  return cuts_;
+}
+
+}  // namespace opmap

@@ -1,0 +1,109 @@
+#ifndef OPMAP_DISCRETIZE_METHODS_H_
+#define OPMAP_DISCRETIZE_METHODS_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/discretize/discretizer.h"
+
+namespace opmap {
+
+/// Splits the observed [min, max] range into `bins` equal-width intervals.
+class EqualWidthDiscretizer : public Discretizer {
+ public:
+  explicit EqualWidthDiscretizer(int bins) : bins_(bins) {}
+
+  Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes,
+      int num_classes) const override;
+
+  std::string name() const override { return "equal-width"; }
+
+ private:
+  int bins_;
+};
+
+/// Places cuts at empirical quantiles so each interval holds roughly the
+/// same number of records. Ties never straddle a cut.
+class EqualFrequencyDiscretizer : public Discretizer {
+ public:
+  explicit EqualFrequencyDiscretizer(int bins) : bins_(bins) {}
+
+  Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes,
+      int num_classes) const override;
+
+  std::string name() const override { return "equal-frequency"; }
+
+ private:
+  int bins_;
+};
+
+/// Fayyad & Irani (1993) supervised entropy discretization with the MDL
+/// stopping criterion — the standard choice for class association rule
+/// mining preprocessing.
+class EntropyMdlDiscretizer : public Discretizer {
+ public:
+  /// `max_cuts` caps recursion (0 = unlimited, MDL criterion decides).
+  explicit EntropyMdlDiscretizer(int max_cuts = 0) : max_cuts_(max_cuts) {}
+
+  Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes,
+      int num_classes) const override;
+
+  std::string name() const override { return "entropy-mdl"; }
+
+ private:
+  int max_cuts_;
+};
+
+/// Kerber's ChiMerge (1992): bottom-up supervised discretization that
+/// repeatedly merges the pair of adjacent intervals with the lowest
+/// chi-square statistic until every adjacent pair is significant at the
+/// configured level (or the interval budget is reached).
+class ChiMergeDiscretizer : public Discretizer {
+ public:
+  /// `significance_threshold` is the chi-square value below which adjacent
+  /// intervals are merged (e.g. 4.61 = 90% with 2 degrees of freedom);
+  /// `max_intervals` additionally forces merging down to a budget
+  /// (0 = no budget).
+  explicit ChiMergeDiscretizer(double significance_threshold = 4.61,
+                               int max_intervals = 0)
+      : threshold_(significance_threshold), max_intervals_(max_intervals) {}
+
+  Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes,
+      int num_classes) const override;
+
+  std::string name() const override { return "chi-merge"; }
+
+ private:
+  double threshold_;
+  int max_intervals_;
+};
+
+/// Returns fixed user-supplied cut points for every column; the library's
+/// "manual discretization option".
+class ManualDiscretizer : public Discretizer {
+ public:
+  explicit ManualDiscretizer(std::vector<double> cuts)
+      : cuts_(std::move(cuts)) {}
+
+  Result<std::vector<double>> ComputeCuts(
+      const std::vector<double>& values,
+      const std::vector<ValueCode>& class_codes,
+      int num_classes) const override;
+
+  std::string name() const override { return "manual"; }
+
+ private:
+  std::vector<double> cuts_;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_DISCRETIZE_METHODS_H_

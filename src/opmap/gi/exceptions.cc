@@ -1,0 +1,170 @@
+#include "opmap/gi/exceptions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opmap/stats/multiple_testing.h"
+
+namespace opmap {
+
+namespace {
+
+// Applies the configured selection rule: either the raw significance
+// threshold or BH FDR control over the candidate cells.
+void SelectCells(std::vector<ExceptionCell>* cells,
+                 const ExceptionOptions& options) {
+  if (options.fdr > 0) {
+    std::vector<double> p_values;
+    p_values.reserve(cells->size());
+    const double z = ZValue(options.confidence_level);
+    for (const ExceptionCell& c : *cells) {
+      p_values.push_back(PValueFromMarginMultiples(c.significance, z));
+    }
+    const std::vector<size_t> keep =
+        BenjaminiHochbergSelect(p_values, options.fdr);
+    std::vector<ExceptionCell> selected;
+    selected.reserve(keep.size());
+    for (size_t i : keep) selected.push_back((*cells)[i]);
+    *cells = std::move(selected);
+    return;
+  }
+  cells->erase(std::remove_if(cells->begin(), cells->end(),
+                              [&](const ExceptionCell& c) {
+                                return c.significance <
+                                       options.min_significance;
+                              }),
+               cells->end());
+}
+
+void SortAndTrim(std::vector<ExceptionCell>* cells, int max_results) {
+  std::stable_sort(cells->begin(), cells->end(),
+                   [](const ExceptionCell& a, const ExceptionCell& b) {
+                     return a.significance > b.significance;
+                   });
+  if (max_results > 0 &&
+      static_cast<int>(cells->size()) > max_results) {
+    cells->resize(static_cast<size_t>(max_results));
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ExceptionCell>> MineAttributeExceptions(
+    const CubeStore& store, const ExceptionOptions& options) {
+  std::vector<ExceptionCell> out;
+  const Schema& schema = store.schema();
+  const int64_t total = store.num_records();
+  if (total == 0) return out;
+  const auto& class_counts = store.class_counts();
+
+  for (int attr : store.attributes()) {
+    OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(attr));
+    const int m = cube->dim_size(0);
+    for (ValueCode v = 0; v < m; ++v) {
+      const int64_t body = cube->MarginCount({v, 0}, 1);
+      if (body < options.min_body_count) continue;
+      for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+        const int64_t hits = cube->count({v, c});
+        const double cf =
+            static_cast<double>(hits) / static_cast<double>(body);
+        const double expected =
+            static_cast<double>(class_counts[static_cast<size_t>(c)]) /
+            static_cast<double>(total);
+        const double margin =
+            WaldIntervalFromProportion(cf, body, options.confidence_level)
+                .margin;
+        const double deviation = cf - expected;
+        const double significance =
+            margin > 0 ? std::fabs(deviation) / margin
+                       : (deviation == 0 ? 0.0 : 1e9);
+        ExceptionCell cell;
+        cell.attribute = attr;
+        cell.value = v;
+        cell.class_value = c;
+        cell.body_count = body;
+        cell.confidence = cf;
+        cell.expected = expected;
+        cell.deviation = deviation;
+        cell.significance = significance;
+        out.push_back(cell);
+      }
+    }
+  }
+  SelectCells(&out, options);
+  SortAndTrim(&out, options.max_results);
+  return out;
+}
+
+Result<std::vector<ExceptionCell>> MinePairExceptions(
+    const CubeStore& store, int attr_a, int attr_b,
+    const ExceptionOptions& options) {
+  std::vector<ExceptionCell> out;
+  const Schema& schema = store.schema();
+  const int64_t total = store.num_records();
+  if (total == 0) return out;
+  const auto& class_counts = store.class_counts();
+
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair, store.PairCube(attr_a, attr_b));
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* ca, store.AttrCube(attr_a));
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* cb, store.AttrCube(attr_b));
+  const int da = pair->FindDim(attr_a);
+  const int db = pair->FindDim(attr_b);
+  const int ma = pair->dim_size(da);
+  const int mb = pair->dim_size(db);
+
+  std::vector<ValueCode> cell(3, 0);
+  for (ValueCode va = 0; va < ma; ++va) {
+    for (ValueCode vb = 0; vb < mb; ++vb) {
+      cell[static_cast<size_t>(da)] = va;
+      cell[static_cast<size_t>(db)] = vb;
+      cell[2] = 0;
+      const int64_t body = pair->MarginCount(cell, 2);
+      if (body < options.min_body_count) continue;
+      for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+        cell[2] = c;
+        const int64_t hits = pair->count(cell);
+        const double cf =
+            static_cast<double>(hits) / static_cast<double>(body);
+        const double overall =
+            static_cast<double>(class_counts[static_cast<size_t>(c)]) /
+            static_cast<double>(total);
+        const int64_t body_a = ca->MarginCount({va, 0}, 1);
+        const int64_t body_b = cb->MarginCount({vb, 0}, 1);
+        const double cf_a =
+            body_a > 0 ? static_cast<double>(ca->count({va, c})) /
+                             static_cast<double>(body_a)
+                       : 0.0;
+        const double cf_b =
+            body_b > 0 ? static_cast<double>(cb->count({vb, c})) /
+                             static_cast<double>(body_b)
+                       : 0.0;
+        const double expected =
+            overall > 0 ? std::min(1.0, cf_a * cf_b / overall) : 0.0;
+        const double margin =
+            WaldIntervalFromProportion(cf, body, options.confidence_level)
+                .margin;
+        const double deviation = cf - expected;
+        const double significance =
+            margin > 0 ? std::fabs(deviation) / margin
+                       : (deviation == 0 ? 0.0 : 1e9);
+        ExceptionCell e;
+        e.attribute = attr_a;
+        e.value = va;
+        e.attribute2 = attr_b;
+        e.value2 = vb;
+        e.class_value = c;
+        e.body_count = body;
+        e.confidence = cf;
+        e.expected = expected;
+        e.deviation = deviation;
+        e.significance = significance;
+        out.push_back(e);
+      }
+    }
+  }
+  SelectCells(&out, options);
+  SortAndTrim(&out, options.max_results);
+  return out;
+}
+
+}  // namespace opmap

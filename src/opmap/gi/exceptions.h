@@ -1,0 +1,64 @@
+#ifndef OPMAP_GI_EXCEPTIONS_H_
+#define OPMAP_GI_EXCEPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/stats/confidence_interval.h"
+
+namespace opmap {
+
+/// An exception cell: a rule whose confidence deviates significantly from
+/// its expected value (part of the general-impressions mining of the
+/// authors' earlier system, paper Section III.B / [20]).
+struct ExceptionCell {
+  int attribute = -1;            ///< first (or only) condition attribute
+  ValueCode value = kNullCode;
+  int attribute2 = -1;           ///< second condition attribute, -1 for 1-cond
+  ValueCode value2 = kNullCode;
+  ValueCode class_value = kNullCode;
+  int64_t body_count = 0;
+  double confidence = 0.0;
+  double expected = 0.0;   ///< expected confidence under the baseline model
+  double deviation = 0.0;  ///< confidence - expected
+  /// |deviation| in units of the Wald margin; > 1 means outside the
+  /// interval.
+  double significance = 0.0;
+};
+
+struct ExceptionOptions {
+  ConfidenceLevel confidence_level = ConfidenceLevel::k95;
+  /// Minimum significance (margin multiples) to report.
+  double min_significance = 1.0;
+  /// Minimum body count for a cell to be considered at all.
+  int64_t min_body_count = 30;
+  /// Cap on reported exceptions (0 = unlimited), strongest first.
+  int max_results = 0;
+  /// If > 0, apply Benjamini-Hochberg false-discovery-rate control at this
+  /// level instead of the raw min_significance threshold — scanning
+  /// thousands of cells at a fixed confidence level otherwise produces
+  /// "exceptions" by sheer volume.
+  double fdr = 0.0;
+};
+
+/// One-condition exceptions: for each attribute value, the expected
+/// confidence of each class is the overall class rate; cells outside their
+/// interval are exceptions.
+Result<std::vector<ExceptionCell>> MineAttributeExceptions(
+    const CubeStore& store, const ExceptionOptions& options);
+
+/// Two-condition exceptions over one 3-D cube: the expected confidence of
+/// cell (v1, v2) follows the multiplicative model
+///   E[cf(v1, v2)] = cf(v1) * cf(v2) / cf_overall,
+/// i.e. the two conditions act independently on the class odds; deviations
+/// beyond the interval are exceptions (in the spirit of Sarawagi's
+/// discovery-driven exploration, but on rule cubes without hierarchies).
+Result<std::vector<ExceptionCell>> MinePairExceptions(
+    const CubeStore& store, int attr_a, int attr_b,
+    const ExceptionOptions& options);
+
+}  // namespace opmap
+
+#endif  // OPMAP_GI_EXCEPTIONS_H_

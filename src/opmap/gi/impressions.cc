@@ -1,0 +1,98 @@
+#include "opmap/gi/impressions.h"
+
+#include <algorithm>
+
+#include "opmap/common/string_util.h"
+
+namespace opmap {
+
+Result<std::vector<ExceptionCell>> MineInteractions(
+    const CubeStore& store, const ExceptionOptions& options,
+    int max_results) {
+  std::vector<ExceptionCell> out;
+  const auto& attrs = store.attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      OPMAP_ASSIGN_OR_RETURN(
+          std::vector<ExceptionCell> cells,
+          MinePairExceptions(store, attrs[i], attrs[j], options));
+      out.insert(out.end(), cells.begin(), cells.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExceptionCell& a, const ExceptionCell& b) {
+                     return a.significance > b.significance;
+                   });
+  if (max_results > 0 && static_cast<int>(out.size()) > max_results) {
+    out.resize(static_cast<size_t>(max_results));
+  }
+  return out;
+}
+
+Result<GeneralImpressions> MineGeneralImpressions(const CubeStore& store,
+                                                  const GiOptions& options) {
+  GeneralImpressions gi;
+  OPMAP_ASSIGN_OR_RETURN(gi.influence, RankInfluentialAttributes(store));
+  if (options.top_influence > 0 &&
+      static_cast<int>(gi.influence.size()) > options.top_influence) {
+    gi.influence.resize(static_cast<size_t>(options.top_influence));
+  }
+  OPMAP_ASSIGN_OR_RETURN(gi.trends, MineTrends(store, options.trends));
+  OPMAP_ASSIGN_OR_RETURN(gi.exceptions,
+                         MineAttributeExceptions(store, options.exceptions));
+  if (options.mine_interactions) {
+    OPMAP_ASSIGN_OR_RETURN(
+        gi.interactions,
+        MineInteractions(store, options.exceptions,
+                         options.top_interactions));
+  }
+  return gi;
+}
+
+std::string FormatGeneralImpressions(const GeneralImpressions& gi,
+                                     const Schema& schema) {
+  std::string out = "=== General impressions ===\n";
+  out += "Influential attributes (Cramer's V):\n";
+  for (size_t i = 0; i < gi.influence.size(); ++i) {
+    const AttributeInfluence& inf = gi.influence[i];
+    out += "  " + std::to_string(i + 1) + ". " +
+           schema.attribute(inf.attribute).name() + "  V=" +
+           FormatDouble(inf.cramers_v, 3) + "  p=" +
+           FormatDouble(inf.p_value, 4) + "\n";
+  }
+
+  out += "\nTrends:\n";
+  for (const Trend& t : gi.trends) {
+    out += "  " + schema.attribute(t.attribute).name() + " / " +
+           schema.class_attribute().label(t.class_value) + ": " +
+           TrendDirectionName(t.direction) + " (agreement " +
+           FormatDouble(t.agreement, 2) + ")\n";
+  }
+  if (gi.trends.empty()) out += "  (none)\n";
+
+  auto append_cells = [&](const std::vector<ExceptionCell>& cells) {
+    for (const ExceptionCell& e : cells) {
+      const Attribute& a = schema.attribute(e.attribute);
+      out += "  " + a.name() + "=" + a.label(e.value);
+      if (e.attribute2 >= 0) {
+        const Attribute& b = schema.attribute(e.attribute2);
+        out += ", " + b.name() + "=" + b.label(e.value2);
+      }
+      out += " -> " + schema.class_attribute().label(e.class_value) + ": " +
+             FormatPercent(e.confidence, 2) + " vs expected " +
+             FormatPercent(e.expected, 2) + " (" +
+             FormatDouble(e.significance, 1) + "x margin)\n";
+    }
+    if (cells.empty()) out += "  (none)\n";
+  };
+
+  out += "\nExceptions (one condition):\n";
+  append_cells(gi.exceptions);
+  if (!gi.interactions.empty()) {
+    out += "\nInteractions (two conditions):\n";
+    append_cells(gi.interactions);
+  }
+  return out;
+}
+
+}  // namespace opmap

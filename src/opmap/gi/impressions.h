@@ -1,0 +1,56 @@
+#ifndef OPMAP_GI_IMPRESSIONS_H_
+#define OPMAP_GI_IMPRESSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/gi/exceptions.h"
+#include "opmap/gi/influence.h"
+#include "opmap/gi/trend.h"
+
+namespace opmap {
+
+/// Combined output of the GI miner (the "general impressions" of the
+/// authors' earlier system [20], invoked from the overview screen): which
+/// attributes matter, which class rates trend across ordered values, and
+/// which cells deviate from expectation.
+struct GeneralImpressions {
+  std::vector<AttributeInfluence> influence;
+  std::vector<Trend> trends;
+  std::vector<ExceptionCell> exceptions;
+  /// Strongest two-condition interactions across all pair cubes.
+  std::vector<ExceptionCell> interactions;
+};
+
+struct GiOptions {
+  TrendOptions trends;
+  ExceptionOptions exceptions;
+  /// Cap on influence entries kept (0 = all).
+  int top_influence = 0;
+  /// Mine two-condition interactions across all pair cubes. Quadratic in
+  /// the attribute count; off by default for wide stores.
+  bool mine_interactions = false;
+  /// Cap on interactions kept (strongest first).
+  int top_interactions = 20;
+};
+
+/// Runs the full GI pass over the store.
+Result<GeneralImpressions> MineGeneralImpressions(const CubeStore& store,
+                                                  const GiOptions& options =
+                                                      {});
+
+/// Strongest pair-cube exceptions across every materialized attribute
+/// pair, sorted by significance.
+Result<std::vector<ExceptionCell>> MineInteractions(
+    const CubeStore& store, const ExceptionOptions& options,
+    int max_results);
+
+/// Human-readable multi-section report of a GI pass.
+std::string FormatGeneralImpressions(const GeneralImpressions& gi,
+                                     const Schema& schema);
+
+}  // namespace opmap
+
+#endif  // OPMAP_GI_IMPRESSIONS_H_

@@ -1,0 +1,39 @@
+#include "opmap/gi/influence.h"
+
+#include <algorithm>
+
+#include "opmap/stats/contingency.h"
+
+namespace opmap {
+
+Result<std::vector<AttributeInfluence>> RankInfluentialAttributes(
+    const CubeStore& store) {
+  std::vector<AttributeInfluence> out;
+  const Schema& schema = store.schema();
+  for (int attr : store.attributes()) {
+    OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(attr));
+    const int m = cube->dim_size(0);
+    const int nc = schema.num_classes();
+    ContingencyTable table(m, nc);
+    for (ValueCode v = 0; v < m; ++v) {
+      for (ValueCode c = 0; c < nc; ++c) {
+        table.set(v, c, cube->count({v, c}));
+      }
+    }
+    AttributeInfluence inf;
+    inf.attribute = attr;
+    inf.chi_square = ChiSquareStatistic(table);
+    inf.p_value = ChiSquarePValue(inf.chi_square, (m - 1) * (nc - 1));
+    inf.cramers_v = CramersV(table);
+    inf.information_gain_bits = InformationGainBits(table);
+    out.push_back(inf);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AttributeInfluence& a,
+                      const AttributeInfluence& b) {
+                     return a.cramers_v > b.cramers_v;
+                   });
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,29 @@
+#ifndef OPMAP_GI_INFLUENCE_H_
+#define OPMAP_GI_INFLUENCE_H_
+
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+
+namespace opmap {
+
+/// How strongly one attribute is associated with the class overall — the
+/// "influential attributes" part of general-impression mining.
+struct AttributeInfluence {
+  int attribute = -1;
+  double chi_square = 0.0;
+  double p_value = 1.0;
+  double cramers_v = 0.0;
+  double information_gain_bits = 0.0;
+};
+
+/// Ranks every materialized attribute by association with the class (by
+/// descending Cramer's V, which normalizes for domain size). Computed
+/// entirely from the 2-D rule cubes.
+Result<std::vector<AttributeInfluence>> RankInfluentialAttributes(
+    const CubeStore& store);
+
+}  // namespace opmap
+
+#endif  // OPMAP_GI_INFLUENCE_H_

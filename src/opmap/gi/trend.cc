@@ -1,0 +1,107 @@
+#include "opmap/gi/trend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+const char* TrendDirectionName(TrendDirection d) {
+  switch (d) {
+    case TrendDirection::kNone:
+      return "none";
+    case TrendDirection::kIncreasing:
+      return "increasing";
+    case TrendDirection::kDecreasing:
+      return "decreasing";
+    case TrendDirection::kStable:
+      return "stable";
+  }
+  return "none";
+}
+
+Result<Trend> DetectTrend(const CubeStore& store, int attr,
+                          ValueCode class_value,
+                          const TrendOptions& options) {
+  const Schema& schema = store.schema();
+  if (class_value < 0 || class_value >= schema.num_classes()) {
+    return Status::OutOfRange("class value out of range");
+  }
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(attr));
+
+  Trend trend;
+  trend.attribute = attr;
+  trend.class_value = class_value;
+
+  const int m = cube->dim_size(0);
+  std::vector<ProportionInterval> intervals(static_cast<size_t>(m));
+  trend.confidences.resize(static_cast<size_t>(m));
+  for (ValueCode v = 0; v < m; ++v) {
+    const int64_t body = cube->MarginCount({v, 0}, 1);
+    const int64_t hits = cube->count({v, class_value});
+    intervals[static_cast<size_t>(v)] =
+        WaldInterval(hits, body, options.confidence_level);
+    trend.confidences[static_cast<size_t>(v)] =
+        intervals[static_cast<size_t>(v)].proportion;
+  }
+  if (m < 2) {
+    trend.direction = TrendDirection::kNone;
+    return trend;
+  }
+
+  // Kendall-style agreement over all value pairs; pairs with overlapping
+  // intervals are ties.
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  int64_t pairs = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      ++pairs;
+      const auto& a = intervals[static_cast<size_t>(i)];
+      const auto& b = intervals[static_cast<size_t>(j)];
+      if (a.high < b.low) {
+        ++concordant;
+      } else if (b.high < a.low) {
+        ++discordant;
+      }
+    }
+  }
+  trend.agreement = pairs > 0 ? static_cast<double>(concordant - discordant) /
+                                    static_cast<double>(pairs)
+                              : 0.0;
+
+  const auto [lo, hi] =
+      std::minmax_element(trend.confidences.begin(), trend.confidences.end());
+  double mean = 0;
+  for (double c : trend.confidences) mean += c;
+  mean /= static_cast<double>(m);
+  const double spread = mean > 0 ? (*hi - *lo) / mean : 0.0;
+
+  if (trend.agreement >= options.min_agreement) {
+    trend.direction = TrendDirection::kIncreasing;
+  } else if (-trend.agreement >= options.min_agreement) {
+    trend.direction = TrendDirection::kDecreasing;
+  } else if (spread <= options.stable_spread) {
+    trend.direction = TrendDirection::kStable;
+  } else {
+    trend.direction = TrendDirection::kNone;
+  }
+  return trend;
+}
+
+Result<std::vector<Trend>> MineTrends(const CubeStore& store,
+                                      const TrendOptions& options) {
+  std::vector<Trend> out;
+  const Schema& schema = store.schema();
+  for (int attr : store.attributes()) {
+    if (options.ordered_attributes_only && !schema.attribute(attr).ordered()) {
+      continue;
+    }
+    for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+      OPMAP_ASSIGN_OR_RETURN(Trend t, DetectTrend(store, attr, c, options));
+      if (t.direction != TrendDirection::kNone) out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,60 @@
+#ifndef OPMAP_GI_TREND_H_
+#define OPMAP_GI_TREND_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/stats/confidence_interval.h"
+
+namespace opmap {
+
+/// Direction of a unit trend over an ordered attribute (paper Fig 5: green
+/// increasing, red decreasing, gray stable arrows).
+enum class TrendDirection {
+  kNone,        ///< no consistent pattern
+  kIncreasing,
+  kDecreasing,
+  kStable,
+};
+
+const char* TrendDirectionName(TrendDirection d);
+
+/// A detected trend of one class's confidence across an attribute's
+/// ordered values.
+struct Trend {
+  int attribute = -1;
+  ValueCode class_value = kNullCode;
+  TrendDirection direction = TrendDirection::kNone;
+  /// Confidence of the class per attribute value, in value order.
+  std::vector<double> confidences;
+  /// Kendall-style agreement in [-1, 1]: fraction of concordant steps minus
+  /// discordant steps over all value pairs.
+  double agreement = 0.0;
+};
+
+/// Options for trend mining.
+struct TrendOptions {
+  ConfidenceLevel confidence_level = ConfidenceLevel::k95;
+  /// Minimum |agreement| to call a trend increasing/decreasing.
+  double min_agreement = 0.8;
+  /// Maximum relative spread (max-min)/mean to call a trend stable.
+  double stable_spread = 0.15;
+  /// Only consider attributes marked ordered in the schema.
+  bool ordered_attributes_only = true;
+};
+
+/// Detects the unit trend of `class_value` across the values of `attr`
+/// using the 2-D rule cube (attr, class). Pairs of values whose Wald
+/// intervals overlap count as ties.
+Result<Trend> DetectTrend(const CubeStore& store, int attr,
+                          ValueCode class_value, const TrendOptions& options);
+
+/// Trends for every (attribute, class) combination that qualifies.
+Result<std::vector<Trend>> MineTrends(const CubeStore& store,
+                                      const TrendOptions& options);
+
+}  // namespace opmap
+
+#endif  // OPMAP_GI_TREND_H_

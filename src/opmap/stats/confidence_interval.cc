@@ -1,0 +1,77 @@
+#include "opmap/stats/confidence_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace opmap {
+
+double ZValue(ConfidenceLevel level) {
+  // Paper Table I.
+  switch (level) {
+    case ConfidenceLevel::k90:
+      return 1.645;
+    case ConfidenceLevel::k95:
+      return 1.96;
+    case ConfidenceLevel::k99:
+      return 2.576;
+  }
+  return 1.96;
+}
+
+Result<ConfidenceLevel> ParseConfidenceLevel(const std::string& s) {
+  if (s == "0.90" || s == "0.9" || s == "90") return ConfidenceLevel::k90;
+  if (s == "0.95" || s == "95") return ConfidenceLevel::k95;
+  if (s == "0.99" || s == "99") return ConfidenceLevel::k99;
+  return Status::InvalidArgument("unknown confidence level '" + s +
+                                 "' (expected 0.90, 0.95 or 0.99)");
+}
+
+ProportionInterval WaldIntervalFromProportion(double p, int64_t n,
+                                              ConfidenceLevel level) {
+  ProportionInterval out;
+  out.proportion = p;
+  if (n <= 0) {
+    out.margin = 0.0;
+  } else {
+    const double z = ZValue(level);
+    out.margin = z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  }
+  out.low = std::max(0.0, p - out.margin);
+  out.high = std::min(1.0, p + out.margin);
+  return out;
+}
+
+ProportionInterval WaldInterval(int64_t successes, int64_t n,
+                                ConfidenceLevel level) {
+  const double p =
+      n > 0 ? static_cast<double>(successes) / static_cast<double>(n) : 0.0;
+  return WaldIntervalFromProportion(p, n, level);
+}
+
+ProportionInterval WilsonInterval(int64_t successes, int64_t n,
+                                  ConfidenceLevel level) {
+  ProportionInterval out;
+  if (n <= 0) {
+    out.proportion = 0.0;
+    out.margin = 1.0;
+    out.low = 0.0;
+    out.high = 1.0;
+    return out;
+  }
+  const double z = ZValue(level);
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+  out.proportion = p;
+  out.margin = half;
+  out.low = std::max(0.0, center - half);
+  out.high = std::min(1.0, center + half);
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,52 @@
+#ifndef OPMAP_STATS_CONFIDENCE_INTERVAL_H_
+#define OPMAP_STATS_CONFIDENCE_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Statistical confidence levels supported by the paper's Table I.
+enum class ConfidenceLevel {
+  k90,
+  k95,
+  k99,
+};
+
+/// z value for a confidence level (paper Table I: 1.645, 1.96, 2.576).
+double ZValue(ConfidenceLevel level);
+
+/// Parses "0.90"/"0.95"/"0.99" (or "90"/"95"/"99") into a level.
+Result<ConfidenceLevel> ParseConfidenceLevel(const std::string& s);
+
+/// Two-sided interval for a population proportion.
+struct ProportionInterval {
+  double proportion = 0.0;  ///< point estimate p
+  double margin = 0.0;      ///< e = z * sqrt(p (1-p) / n)
+  double low = 0.0;         ///< max(0, p - e)
+  double high = 0.0;        ///< min(1, p + e)
+};
+
+/// Wald interval for a proportion with `successes` out of `n` trials, as
+/// used by the paper (Section IV.B): e = z * sqrt(p (1-p) / n). With n == 0
+/// (or p in {0, 1}) the margin degenerates to 0, matching the paper's
+/// behaviour where attribute values absent from one sub-population rank
+/// very high and are handled by the property-attribute detector instead of
+/// the interval.
+ProportionInterval WaldInterval(int64_t successes, int64_t n,
+                                ConfidenceLevel level);
+
+/// Same, but from an already-computed proportion.
+ProportionInterval WaldIntervalFromProportion(double p, int64_t n,
+                                              ConfidenceLevel level);
+
+/// Wilson score interval — a more robust alternative for small counts,
+/// provided for ablation against the paper's Wald interval.
+ProportionInterval WilsonInterval(int64_t successes, int64_t n,
+                                  ConfidenceLevel level);
+
+}  // namespace opmap
+
+#endif  // OPMAP_STATS_CONFIDENCE_INTERVAL_H_

@@ -1,0 +1,60 @@
+#ifndef OPMAP_STATS_CONTINGENCY_H_
+#define OPMAP_STATS_CONTINGENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Dense r x c contingency table of counts.
+class ContingencyTable {
+ public:
+  ContingencyTable(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        counts_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  int64_t at(int r, int c) const { return counts_[Index(r, c)]; }
+  void set(int r, int c, int64_t v) { counts_[Index(r, c)] = v; }
+  void add(int r, int c, int64_t v = 1) { counts_[Index(r, c)] += v; }
+
+  int64_t RowTotal(int r) const;
+  int64_t ColTotal(int c) const;
+  int64_t Total() const;
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c);
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<int64_t> counts_;
+};
+
+/// Pearson chi-square statistic of independence for the table. Cells whose
+/// expected count is zero contribute nothing.
+double ChiSquareStatistic(const ContingencyTable& table);
+
+/// Upper-tail p-value for a chi-square statistic with `df` degrees of
+/// freedom, via the regularized upper incomplete gamma function.
+double ChiSquarePValue(double statistic, int df);
+
+/// Cramer's V effect size in [0, 1] for the table.
+double CramersV(const ContingencyTable& table);
+
+/// Shannon entropy (bits) of a count vector.
+double EntropyBits(const std::vector<int64_t>& counts);
+
+/// Information gain (bits) of splitting class counts by the table rows:
+/// H(class) - sum_r (n_r / n) H(class | row r). Columns are classes.
+double InformationGainBits(const ContingencyTable& table);
+
+}  // namespace opmap
+
+#endif  // OPMAP_STATS_CONTINGENCY_H_

@@ -1,0 +1,76 @@
+#include "opmap/stats/measures.h"
+
+#include <cmath>
+#include <limits>
+
+#include "opmap/stats/contingency.h"
+
+namespace opmap {
+
+const char* RuleMeasureName(RuleMeasure m) {
+  switch (m) {
+    case RuleMeasure::kConfidence:
+      return "confidence";
+    case RuleMeasure::kSupport:
+      return "support";
+    case RuleMeasure::kLift:
+      return "lift";
+    case RuleMeasure::kLeverage:
+      return "leverage";
+    case RuleMeasure::kConviction:
+      return "conviction";
+    case RuleMeasure::kChiSquare:
+      return "chi-square";
+  }
+  return "unknown";
+}
+
+Result<RuleMeasure> ParseRuleMeasure(const std::string& name) {
+  for (RuleMeasure m :
+       {RuleMeasure::kConfidence, RuleMeasure::kSupport, RuleMeasure::kLift,
+        RuleMeasure::kLeverage, RuleMeasure::kConviction,
+        RuleMeasure::kChiSquare}) {
+    if (name == RuleMeasureName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown rule measure '" + name + "'");
+}
+
+double EvaluateRuleMeasure(RuleMeasure m, const RuleCounts& c) {
+  const double n = static_cast<double>(c.n);
+  if (n <= 0) return 0.0;
+  const double px = static_cast<double>(c.n_x) / n;
+  const double py = static_cast<double>(c.n_y) / n;
+  const double pxy = static_cast<double>(c.n_xy) / n;
+  const double conf = c.n_x > 0
+                          ? static_cast<double>(c.n_xy) /
+                                static_cast<double>(c.n_x)
+                          : 0.0;
+  switch (m) {
+    case RuleMeasure::kConfidence:
+      return conf;
+    case RuleMeasure::kSupport:
+      return pxy;
+    case RuleMeasure::kLift:
+      return (px > 0 && py > 0) ? pxy / (px * py) : 0.0;
+    case RuleMeasure::kLeverage:
+      return pxy - px * py;
+    case RuleMeasure::kConviction: {
+      if (c.n_x == 0) return 0.0;
+      const double p_not_y = 1.0 - py;
+      const double p_x_not_y = px - pxy;
+      if (p_x_not_y <= 0) return std::numeric_limits<double>::infinity();
+      return px * p_not_y / p_x_not_y;
+    }
+    case RuleMeasure::kChiSquare: {
+      ContingencyTable t(2, 2);
+      t.set(0, 0, c.n_xy);
+      t.set(0, 1, c.n_x - c.n_xy);
+      t.set(1, 0, c.n_y - c.n_xy);
+      t.set(1, 1, c.n - c.n_x - c.n_y + c.n_xy);
+      return ChiSquareStatistic(t);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace opmap

@@ -1,0 +1,45 @@
+#ifndef OPMAP_STATS_MEASURES_H_
+#define OPMAP_STATS_MEASURES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Sufficient statistics of a rule X -> y for objective interestingness
+/// measures: n = |D|, n_x = sup(X), n_y = sup(y), n_xy = sup(X, y).
+struct RuleCounts {
+  int64_t n = 0;
+  int64_t n_x = 0;
+  int64_t n_y = 0;
+  int64_t n_xy = 0;
+};
+
+/// Classic objective rule-interestingness measures, used by the
+/// rule-ranking baseline the paper argues against (Section II): top-ranked
+/// rules tend to be data artifacts.
+enum class RuleMeasure {
+  kConfidence,
+  kSupport,
+  kLift,
+  kLeverage,    // P(x,y) - P(x)P(y)
+  kConviction,  // P(x)P(!y) / P(x,!y)
+  kChiSquare,
+};
+
+/// Human-readable name ("lift", "conviction", ...).
+const char* RuleMeasureName(RuleMeasure m);
+
+/// Parses a measure by its name.
+Result<RuleMeasure> ParseRuleMeasure(const std::string& name);
+
+/// Value of `m` for a rule with the given counts. Degenerate cases (zero
+/// denominators) return 0 except conviction, which returns +inf for
+/// confidence-1 rules as is conventional.
+double EvaluateRuleMeasure(RuleMeasure m, const RuleCounts& counts);
+
+}  // namespace opmap
+
+#endif  // OPMAP_STATS_MEASURES_H_

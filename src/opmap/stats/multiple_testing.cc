@@ -1,0 +1,56 @@
+#include "opmap/stats/multiple_testing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace opmap {
+
+double PValueFromMarginMultiples(double margin_multiples, double z) {
+  // The deviation in standard errors.
+  const double se = std::fabs(margin_multiples) * z;
+  // Two-sided normal tail via erfc.
+  return std::clamp(std::erfc(se / std::sqrt(2.0)), 0.0, 1.0);
+}
+
+std::vector<double> BonferroniAdjust(const std::vector<double>& p_values) {
+  const double m = static_cast<double>(p_values.size());
+  std::vector<double> out(p_values.size());
+  for (size_t i = 0; i < p_values.size(); ++i) {
+    out[i] = std::min(1.0, p_values[i] * m);
+  }
+  return out;
+}
+
+std::vector<double> BenjaminiHochbergAdjust(
+    const std::vector<double>& p_values) {
+  const size_t m = p_values.size();
+  std::vector<double> adjusted(m, 1.0);
+  if (m == 0) return adjusted;
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return p_values[a] < p_values[b];
+  });
+  // Step-up: q_(i) = min over j >= i of p_(j) * m / j.
+  double running_min = 1.0;
+  for (size_t i = m; i-- > 0;) {
+    const double q = p_values[order[i]] * static_cast<double>(m) /
+                     static_cast<double>(i + 1);
+    running_min = std::min(running_min, q);
+    adjusted[order[i]] = std::min(1.0, running_min);
+  }
+  return adjusted;
+}
+
+std::vector<std::size_t> BenjaminiHochbergSelect(
+    const std::vector<double>& p_values, double fdr) {
+  const std::vector<double> adjusted = BenjaminiHochbergAdjust(p_values);
+  std::vector<std::size_t> selected;
+  for (size_t i = 0; i < adjusted.size(); ++i) {
+    if (adjusted[i] <= fdr) selected.push_back(i);
+  }
+  return selected;
+}
+
+}  // namespace opmap

@@ -1,0 +1,32 @@
+#ifndef OPMAP_STATS_MULTIPLE_TESTING_H_
+#define OPMAP_STATS_MULTIPLE_TESTING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace opmap {
+
+/// Multiple-testing corrections for exception mining: scanning thousands
+/// of cube cells at the 0.95 level produces false "exceptions" by volume;
+/// these utilities control for that.
+
+/// Two-sided normal-tail p-value for a deviation of `margin_multiples`
+/// Wald margins at the given z (i.e. the p-value of an observation
+/// z * margin_multiples standard errors from expectation).
+double PValueFromMarginMultiples(double margin_multiples, double z);
+
+/// Bonferroni: adjusted p = min(1, p * m).
+std::vector<double> BonferroniAdjust(const std::vector<double>& p_values);
+
+/// Benjamini-Hochberg step-up adjusted p-values (monotone FDR q-values).
+/// The input need not be sorted; the output is aligned to the input.
+std::vector<double> BenjaminiHochbergAdjust(
+    const std::vector<double>& p_values);
+
+/// Indices whose BH-adjusted p-value is <= `fdr`, in input order.
+std::vector<std::size_t> BenjaminiHochbergSelect(
+    const std::vector<double>& p_values, double fdr);
+
+}  // namespace opmap
+
+#endif  // OPMAP_STATS_MULTIPLE_TESTING_H_

@@ -1,0 +1,67 @@
+#include "opmap/viz/bars.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opmap {
+
+std::string HorizontalBar(double fraction, int width, char fill, char empty) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string out(static_cast<size_t>(width), empty);
+  std::fill(out.begin(), out.begin() + filled, fill);
+  return out;
+}
+
+std::string BarWithWhisker(double fraction, double upper, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  upper = std::clamp(upper, fraction, 1.0);
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  const int whisker = static_cast<int>(std::lround(upper * width));
+  std::string out(static_cast<size_t>(width), '.');
+  std::fill(out.begin(), out.begin() + filled, '#');
+  std::fill(out.begin() + filled, out.begin() + whisker, '~');
+  return out;
+}
+
+std::string Sparkline(const std::vector<double>& values, double max) {
+  static const char* const kRamp[] = {" ", "▁", "▂", "▃",
+                                      "▄", "▅", "▆",
+                                      "▇", "█"};
+  if (max <= 0.0) {
+    for (double v : values) max = std::max(max, v);
+  }
+  std::string out;
+  for (double v : values) {
+    int level = 0;
+    if (max > 0 && v > 0) {
+      level = 1 + static_cast<int>(std::floor(v / max * 7.999));
+      level = std::clamp(level, 1, 8);
+    }
+    out += kRamp[level];
+  }
+  return out;
+}
+
+std::string TrendArrow(TrendDirection direction) {
+  switch (direction) {
+    case TrendDirection::kIncreasing:
+      return "↑";
+    case TrendDirection::kDecreasing:
+      return "↓";
+    case TrendDirection::kStable:
+      return "→";
+    case TrendDirection::kNone:
+      return " ";
+  }
+  return " ";
+}
+
+std::string PadTo(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) {
+    return s.substr(0, static_cast<size_t>(width));
+  }
+  return s + std::string(static_cast<size_t>(width) - s.size(), ' ');
+}
+
+}  // namespace opmap

@@ -1,0 +1,41 @@
+#ifndef OPMAP_VIZ_BARS_H_
+#define OPMAP_VIZ_BARS_H_
+
+#include <string>
+#include <vector>
+
+#include "opmap/gi/trend.h"
+
+namespace opmap {
+
+/// Low-level text drawing helpers shared by the view renderers. All output
+/// is plain UTF-8 text so views render in any terminal and diff cleanly in
+/// tests.
+
+/// Horizontal bar of `width` cells filled proportionally to `fraction`
+/// (clamped to [0, 1]), e.g. "#####.....".
+std::string HorizontalBar(double fraction, int width, char fill = '#',
+                          char empty = '.');
+
+/// Horizontal bar with a confidence-interval whisker: the bar shows the
+/// point estimate, '~' cells extend to the upper interval bound (the grey
+/// region of paper Fig 7). `fraction` and `upper` are relative to the
+/// full width.
+std::string BarWithWhisker(double fraction, double upper, int width);
+
+/// One-row sparkline of `values` scaled to `max` (values.size() cells)
+/// using the Unicode eighth-block ramp. `max` <= 0 autoscales to the
+/// largest value.
+std::string Sparkline(const std::vector<double>& values, double max = 0.0);
+
+/// Unicode arrow for a trend: increasing "↑" (green in the GUI),
+/// decreasing "↓" (red), stable "→" (gray), none " ".
+std::string TrendArrow(TrendDirection direction);
+
+/// Pads or truncates `s` to exactly `width` display columns (ASCII only;
+/// callers keep labels ASCII).
+std::string PadTo(const std::string& s, int width);
+
+}  // namespace opmap
+
+#endif  // OPMAP_VIZ_BARS_H_

@@ -1,0 +1,36 @@
+#include "opmap/viz/color.h"
+
+namespace opmap {
+
+std::string Colorize(const std::string& text, AnsiColor color,
+                     ColorMode mode) {
+  if (mode == ColorMode::kNever || color == AnsiColor::kDefault) {
+    return text;
+  }
+  const char* code = "";
+  switch (color) {
+    case AnsiColor::kRed:
+      code = "\x1b[31m";
+      break;
+    case AnsiColor::kGreen:
+      code = "\x1b[32m";
+      break;
+    case AnsiColor::kYellow:
+      code = "\x1b[33m";
+      break;
+    case AnsiColor::kBlue:
+      code = "\x1b[34m";
+      break;
+    case AnsiColor::kCyan:
+      code = "\x1b[36m";
+      break;
+    case AnsiColor::kGray:
+      code = "\x1b[90m";
+      break;
+    case AnsiColor::kDefault:
+      break;
+  }
+  return std::string(code) + text + "\x1b[0m";
+}
+
+}  // namespace opmap

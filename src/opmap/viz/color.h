@@ -1,0 +1,35 @@
+#ifndef OPMAP_VIZ_COLOR_H_
+#define OPMAP_VIZ_COLOR_H_
+
+#include <string>
+
+namespace opmap {
+
+/// ANSI terminal colors used by the views. The deployed GUI used color
+/// semantically: green/red/gray trend arrows, blue rule bars, light blue
+/// "too many values" flags (paper Section V.B); the text views mirror
+/// that.
+enum class AnsiColor {
+  kDefault,
+  kRed,
+  kGreen,
+  kYellow,
+  kBlue,
+  kCyan,
+  kGray,
+};
+
+/// Whether views emit ANSI escape sequences.
+enum class ColorMode {
+  kNever,
+  kAlways,
+};
+
+/// Wraps `text` in the escape sequence for `color` when `mode` is
+/// kAlways; returns `text` unchanged otherwise.
+std::string Colorize(const std::string& text, AnsiColor color,
+                     ColorMode mode);
+
+}  // namespace opmap
+
+#endif  // OPMAP_VIZ_COLOR_H_

@@ -1,0 +1,28 @@
+#ifndef OPMAP_VIZ_EXPORT_H_
+#define OPMAP_VIZ_EXPORT_H_
+
+#include <string>
+
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/rule_cube.h"
+
+namespace opmap {
+
+/// CSV export of a rule cube: one row per cell with labels, count, support
+/// and (when `class_dim` >= 0) confidence. Columns:
+/// <dim names...>,count,support[,confidence].
+std::string CubeToCsv(const RuleCube& cube, int class_dim = -1);
+
+/// JSON export of a rule cube: {"dims": [...], "cells": [...]}; cells with
+/// zero count are omitted to keep exports of sparse cubes compact.
+std::string CubeToJson(const RuleCube& cube);
+
+/// JSON export of a comparison result, including the full per-value
+/// breakdown of every ranked and property attribute. Intended for external
+/// plotting of Fig 7-style charts.
+std::string ComparisonToJson(const ComparisonResult& result,
+                             const Schema& schema);
+
+}  // namespace opmap
+
+#endif  // OPMAP_VIZ_EXPORT_H_

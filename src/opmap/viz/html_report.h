@@ -1,0 +1,40 @@
+#ifndef OPMAP_VIZ_HTML_REPORT_H_
+#define OPMAP_VIZ_HTML_REPORT_H_
+
+#include <string>
+
+#include "opmap/common/status.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/gi/impressions.h"
+
+namespace opmap {
+
+/// Options for HTML report generation.
+struct HtmlReportOptions {
+  std::string title = "Opportunity Map report";
+  /// How many top-ranked attributes get a full per-value chart.
+  int top_attributes = 5;
+  /// Include the property-attribute section.
+  bool include_properties = true;
+  /// Optional GI section (pass results from MineGeneralImpressions).
+  const GeneralImpressions* impressions = nullptr;
+};
+
+/// Renders a comparison result as a single self-contained HTML document:
+/// the two rules, the ranked attribute table, and per-value side-by-side
+/// bar charts with confidence-interval whiskers drawn as inline SVG — a
+/// shareable equivalent of the GUI screens in paper Figs 6-8. No external
+/// assets or scripts.
+std::string RenderHtmlReport(const ComparisonResult& result,
+                             const Schema& schema,
+                             const HtmlReportOptions& options = {});
+
+/// Writes RenderHtmlReport output to `path`.
+Status WriteHtmlReport(const ComparisonResult& result, const Schema& schema,
+                       const std::string& path,
+                       const HtmlReportOptions& options = {});
+
+}  // namespace opmap
+
+#endif  // OPMAP_VIZ_HTML_REPORT_H_

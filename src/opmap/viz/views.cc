@@ -1,0 +1,273 @@
+#include "opmap/viz/views.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opmap/common/string_util.h"
+#include "opmap/gi/trend.h"
+#include "opmap/viz/bars.h"
+
+namespace opmap {
+
+namespace {
+
+// Confidences of `class_value` across the values of a 2-D (attr, class)
+// cube.
+std::vector<double> ClassConfidences(const RuleCube& cube,
+                                     ValueCode class_value) {
+  std::vector<double> out(static_cast<size_t>(cube.dim_size(0)), 0.0);
+  for (ValueCode v = 0; v < cube.dim_size(0); ++v) {
+    const int64_t body = cube.MarginCount({v, 0}, 1);
+    if (body > 0) {
+      out[static_cast<size_t>(v)] =
+          static_cast<double>(cube.count({v, class_value})) /
+          static_cast<double>(body);
+    }
+  }
+  return out;
+}
+
+// Value distribution (body counts) of a 2-D cube as fractions.
+std::vector<double> ValueDistribution(const RuleCube& cube) {
+  std::vector<double> out(static_cast<size_t>(cube.dim_size(0)), 0.0);
+  const int64_t total = cube.Total();
+  if (total == 0) return out;
+  for (ValueCode v = 0; v < cube.dim_size(0); ++v) {
+    out[static_cast<size_t>(v)] =
+        static_cast<double>(cube.MarginCount({v, 0}, 1)) /
+        static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RenderOverview(const CubeStore& store,
+                                   const OverviewOptions& options) {
+  const Schema& schema = store.schema();
+  const auto& attrs = store.attributes();
+  std::string out;
+  out += "=== Overall visualization: all 2-D rule cubes (" +
+         std::to_string(attrs.size()) + " attributes x " +
+         std::to_string(schema.num_classes()) + " classes, " +
+         std::to_string(store.num_records()) + " records) ===\n";
+
+  // Class distribution strip (the bar left of the Y axis in Fig 5).
+  const auto& class_counts = store.class_counts();
+  out += "class distribution:\n";
+  for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+    const double frac =
+        store.num_records() > 0
+            ? static_cast<double>(class_counts[static_cast<size_t>(c)]) /
+                  static_cast<double>(store.num_records())
+            : 0.0;
+    out += "  " + PadTo(schema.class_attribute().label(c), 26) + " " +
+           HorizontalBar(frac, 20) + " " + FormatPercent(frac, 2) + "\n";
+  }
+  out += "\n";
+
+  const int label_width = 28;
+  for (size_t begin = 0; begin < attrs.size();
+       begin += static_cast<size_t>(options.attributes_per_block)) {
+    const size_t end =
+        std::min(attrs.size(),
+                 begin + static_cast<size_t>(options.attributes_per_block));
+    // Column width: wide enough for the grid and for every attribute name
+    // in this block (the flag '*' marks attributes whose domain exceeds
+    // the grid, Fig 5's light blue).
+    std::vector<std::string> names;
+    int col_width = options.grid_width + 2;
+    for (size_t i = begin; i < end; ++i) {
+      std::string name = schema.attribute(attrs[i]).name();
+      if (schema.attribute(attrs[i]).domain() > options.grid_width) {
+        name += "*";
+      }
+      col_width = std::max(col_width, static_cast<int>(name.size()) + 2);
+      names.push_back(std::move(name));
+    }
+    // Header row: attribute names.
+    out += PadTo("", label_width);
+    for (const std::string& name : names) {
+      out += PadTo(name, col_width);
+    }
+    out += "\n";
+    // Distribution row.
+    out += PadTo("value distribution", label_width);
+    for (size_t i = begin; i < end; ++i) {
+      OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(attrs[i]));
+      std::vector<double> dist = ValueDistribution(*cube);
+      dist.resize(std::min<size_t>(
+          dist.size(), static_cast<size_t>(options.grid_width)));
+      out += Sparkline(dist);
+      out += std::string(
+          static_cast<size_t>(col_width - static_cast<int>(dist.size())),
+          ' ');
+    }
+    out += "\n";
+    // One row per class: confidence thumbnails (one-conditional rules).
+    for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+      out += PadTo(schema.class_attribute().label(c), label_width);
+      // Per-class scaling: find the row's max confidence in this block
+      // (or globally 1.0 when scaling is off).
+      double row_max = options.scale_per_class ? 0.0 : 1.0;
+      std::vector<std::vector<double>> cf(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube,
+                               store.AttrCube(attrs[i]));
+        cf[i - begin] = ClassConfidences(*cube, c);
+        if (options.scale_per_class) {
+          for (double v : cf[i - begin]) row_max = std::max(row_max, v);
+        }
+      }
+      for (size_t i = begin; i < end; ++i) {
+        std::vector<double> vals = cf[i - begin];
+        vals.resize(std::min<size_t>(
+            vals.size(), static_cast<size_t>(options.grid_width)));
+        out += Sparkline(vals, row_max);
+        std::string suffix = " ";
+        if (options.show_trends &&
+            schema.attribute(attrs[i]).ordered()) {
+          OPMAP_ASSIGN_OR_RETURN(
+              Trend t, DetectTrend(store, attrs[i], c, TrendOptions{}));
+          AnsiColor arrow_color = AnsiColor::kDefault;
+          switch (t.direction) {
+            case TrendDirection::kIncreasing:
+              arrow_color = AnsiColor::kGreen;
+              break;
+            case TrendDirection::kDecreasing:
+              arrow_color = AnsiColor::kRed;
+              break;
+            case TrendDirection::kStable:
+              arrow_color = AnsiColor::kGray;
+              break;
+            case TrendDirection::kNone:
+              break;
+          }
+          suffix = Colorize(TrendArrow(t.direction), arrow_color,
+                            options.color);
+        }
+        out += suffix;
+        out += std::string(
+            static_cast<size_t>(col_width - 1 -
+                                static_cast<int>(vals.size())),
+            ' ');
+      }
+      out += "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> RenderDetail(const CubeStore& store, int attribute,
+                                 const DetailOptions& options) {
+  const Schema& schema = store.schema();
+  OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(attribute));
+  const Attribute& attr = schema.attribute(attribute);
+
+  std::string out;
+  out += "=== Detailed visualization: " + attr.name() + " x " +
+         schema.class_attribute().name() + " (2-D rule cube) ===\n";
+  const int64_t total = cube->Total();
+  for (ValueCode c = 0; c < schema.num_classes(); ++c) {
+    out += "class " + schema.class_attribute().label(c) + ":\n";
+    // Scale this class's bars to its maximum confidence for visibility.
+    double max_cf = 0.0;
+    for (ValueCode v = 0; v < attr.domain(); ++v) {
+      const int64_t body = cube->MarginCount({v, 0}, 1);
+      if (body > 0) {
+        max_cf = std::max(max_cf,
+                          static_cast<double>(cube->count({v, c})) /
+                              static_cast<double>(body));
+      }
+    }
+    if (max_cf <= 0) max_cf = 1.0;
+    for (ValueCode v = 0; v < attr.domain(); ++v) {
+      const int64_t body = cube->MarginCount({v, 0}, 1);
+      const int64_t hits = cube->count({v, c});
+      const double cf =
+          body > 0 ? static_cast<double>(hits) / static_cast<double>(body)
+                   : 0.0;
+      out += "  " + PadTo(attr.label(v), 20) + " |" +
+             Colorize(HorizontalBar(cf / max_cf, options.bar_width),
+                      AnsiColor::kBlue, options.color) +
+             "| " + FormatPercent(cf, 2);
+      if (options.show_counts) {
+        out += "  (" + std::to_string(hits) + "/" + std::to_string(body) +
+               ", sup=" +
+               FormatPercent(total > 0 ? static_cast<double>(hits) /
+                                             static_cast<double>(total)
+                                       : 0.0,
+                             3) +
+               ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> RenderComparisonView(const ComparisonResult& result,
+                                         const Schema& schema, int attribute,
+                                         const CompareViewOptions& options) {
+  const AttributeComparison* cmp = nullptr;
+  for (const auto& c : result.ranked) {
+    if (c.attribute == attribute) cmp = &c;
+  }
+  for (const auto& c : result.properties) {
+    if (c.attribute == attribute) cmp = &c;
+  }
+  if (cmp == nullptr) {
+    return Status::NotFound("attribute was not part of the comparison");
+  }
+  const Attribute& attr = schema.attribute(attribute);
+  const Attribute& base = schema.attribute(result.spec.attribute);
+
+  double scale = options.max_confidence;
+  (void)base;
+  if (scale <= 0) {
+    for (const ValueComparison& v : cmp->values) {
+      scale = std::max({scale, v.cf1 + v.e1, v.cf2 + v.e2});
+    }
+    if (scale <= 0) scale = 1.0;
+  }
+
+  std::string out;
+  out += "=== Comparison view: " + attr.name() + "  (" + base.name() + "=" +
+         result.label_a + " vs " + result.label_b + ", class " +
+         schema.class_attribute().label(result.spec.target_class) + ") ===\n";
+  out += "M = " + FormatDouble(cmp->interestingness, 2) + "  normalized = " +
+         FormatDouble(cmp->normalized, 4);
+  if (cmp->is_property) {
+    out += "  " + Colorize(
+                      "[PROPERTY ATTRIBUTE: values do not co-occur across "
+                      "the two sub-populations]",
+                      AnsiColor::kYellow, options.color);
+  }
+  out += "\n('#' = drop rate, '~' = extent of the " +
+         std::string("confidence interval)\n");
+  const std::string& good = result.label_a;
+  const std::string& bad = result.label_b;
+  for (const ValueComparison& v : cmp->values) {
+    out += PadTo(attr.label(v.value), 20) + "\n";
+    out += "  " + PadTo(good, 6) + " |" +
+           Colorize(BarWithWhisker(v.cf1 / scale, (v.cf1 + v.e1) / scale,
+                                   options.bar_width),
+                    AnsiColor::kGreen, options.color) +
+           "| " + FormatPercent(v.cf1, 2) + " ±" + FormatPercent(v.e1, 2) +
+           "  (n=" + std::to_string(v.n1) + ")\n";
+    out += "  " + PadTo(bad, 6) + " |" +
+           Colorize(BarWithWhisker(v.cf2 / scale, (v.cf2 + v.e2) / scale,
+                                   options.bar_width),
+                    AnsiColor::kRed, options.color) +
+           "| " + FormatPercent(v.cf2, 2) + " ±" + FormatPercent(v.e2, 2) +
+           "  (n=" + std::to_string(v.n2) + ")";
+    if (v.w > 0) {
+      out += "   W=" + FormatDouble(v.w, 1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace opmap

@@ -1,0 +1,72 @@
+#ifndef OPMAP_VIZ_VIEWS_H_
+#define OPMAP_VIZ_VIEWS_H_
+
+#include <string>
+
+#include "opmap/common/status.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/viz/color.h"
+
+namespace opmap {
+
+/// Options shared by the overall-mode view (paper Fig 5).
+struct OverviewOptions {
+  /// Attributes per block row; the overall screen is chunked to fit a
+  /// terminal.
+  int attributes_per_block = 6;
+  /// Width of one attribute grid in characters; attributes with more
+  /// values than this are flagged (the GUI's "light blue" marker).
+  int grid_width = 12;
+  /// Scale each class row to its own maximum confidence (the GUI's
+  /// automatic scaling that makes minority classes visible).
+  bool scale_per_class = true;
+  /// Annotate grids with trend arrows for ordered attributes.
+  bool show_trends = true;
+  /// Emit ANSI colors (green/red/gray arrows, as in the GUI).
+  ColorMode color = ColorMode::kNever;
+};
+
+/// Overall visualization mode: every 2-D rule cube as a thumbnail grid —
+/// one column per attribute, one row per class, plus a value-distribution
+/// row. Text equivalent of paper Fig 5.
+Result<std::string> RenderOverview(const CubeStore& store,
+                                   const OverviewOptions& options = {});
+
+/// Options for the detailed 2-D view (paper Fig 6).
+struct DetailOptions {
+  int bar_width = 40;
+  /// Show exact counts and percentages (the detail mode adds what the
+  /// overview omits).
+  bool show_counts = true;
+  ColorMode color = ColorMode::kNever;
+};
+
+/// Detailed visualization of one attribute's 2-D rule cube: per class, a
+/// bar per value with exact counts, confidences and supports.
+Result<std::string> RenderDetail(const CubeStore& store, int attribute,
+                                 const DetailOptions& options = {});
+
+/// Options for the comparison view (paper Figs 7 and 8).
+struct CompareViewOptions {
+  int bar_width = 40;
+  /// Scale bars to this confidence; 0 autoscales to the largest upper
+  /// interval bound in the view.
+  double max_confidence = 0.0;
+  /// Emit ANSI colors (good population green, bad red, property flags
+  /// yellow).
+  ColorMode color = ColorMode::kNever;
+};
+
+/// Side-by-side view of one compared attribute: for every value, the good
+/// and bad sub-population's target-class confidence as bars with '~'
+/// whiskers marking the confidence interval — the text form of Fig 7 (and
+/// Fig 8 when the attribute is a property attribute).
+Result<std::string> RenderComparisonView(const ComparisonResult& result,
+                                         const Schema& schema, int attribute,
+                                         const CompareViewOptions& options =
+                                             {});
+
+}  // namespace opmap
+
+#endif  // OPMAP_VIZ_VIEWS_H_

@@ -1,0 +1,390 @@
+// The `opmap` command-line tool: the Opportunity Map workflow over files.
+//
+//   opmap generate  --records=N [--attributes=N] [--seed=N] --out=data.opmd
+//   opmap csv2data  --in=data.csv --class=COLUMN --out=data.opmd
+//   opmap cubes     --data=data.opmd --out=data.opmc
+//   opmap info      --data=FILE | --cubes=FILE
+//   opmap overview  --cubes=data.opmc [--color]
+//   opmap detail    --cubes=data.opmc --attribute=NAME [--color]
+//   opmap compare   --cubes=data.opmc --attribute=NAME --good=V --bad=V
+//                   --class=LABEL [--json] [--color]
+//   opmap vsrest    --cubes=data.opmc --attribute=NAME --value=V
+//                   --class=LABEL
+//   opmap pairs     --cubes=data.opmc --attribute=NAME --class=LABEL
+//   opmap gi        --cubes=data.opmc [--top=N]
+//
+// `generate` writes synthetic call logs (the library's workload); real
+// data enters via csv2data. Cube generation is the offline step; every
+// other command is interactive and reads only the cube file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "opmap/compare/comparator.h"
+#include "opmap/compare/report.h"
+#include "opmap/core/opportunity_map.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "opmap/data/csv.h"
+#include "opmap/data/dataset_io.h"
+#include "opmap/gi/exceptions.h"
+#include "opmap/gi/influence.h"
+#include "opmap/gi/trend.h"
+#include "opmap/gi/impressions.h"
+#include "opmap/viz/export.h"
+#include "opmap/viz/html_report.h"
+#include "opmap/viz/views.h"
+
+namespace opmap {
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return fallback;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const std::string s = GetString(key);
+    return s.empty() ? fallback : std::strtoll(s.c_str(), nullptr, 10);
+  }
+
+  bool GetBool(const std::string& key) const {
+    for (const auto& a : args_) {
+      if (a == "--" + key) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+[[noreturn]] void Die(const Status& status) {
+  std::fprintf(stderr, "opmap: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).MoveValue();
+}
+
+void RequireFlag(const std::string& value, const char* flag) {
+  if (value.empty()) {
+    std::fprintf(stderr, "opmap: missing required flag --%s\n", flag);
+    std::exit(2);
+  }
+}
+
+CubeStore LoadCubes(const Args& args) {
+  const std::string path = args.GetString("cubes");
+  RequireFlag(path, "cubes");
+  return OrDie(CubeStore::LoadFromFile(path));
+}
+
+ColorMode ColorOf(const Args& args) {
+  return args.GetBool("color") ? ColorMode::kAlways : ColorMode::kNever;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string out = args.GetString("out");
+  RequireFlag(out, "out");
+  CallLogConfig config;
+  config.num_records = args.GetInt("records", 100000);
+  config.num_attributes = static_cast<int>(args.GetInt("attributes", 41));
+  config.num_phone_models = static_cast<int>(args.GetInt("phones", 10));
+  config.num_property_attributes = 1;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.phone_drop_multiplier = {1.0, 1.0, 1.6};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress,
+      args.GetString("no-effect").empty() ? 6.0 : 1.0});
+  CallLogGenerator gen = OrDie(CallLogGenerator::Make(config));
+  Dataset data = gen.Generate();
+  Status st = SaveDatasetToFile(data, out);
+  if (!st.ok()) Die(st);
+  std::printf("wrote %lld records x %d attributes to %s\n",
+              static_cast<long long>(data.num_rows()),
+              data.num_attributes(), out.c_str());
+  return 0;
+}
+
+int CmdCsvToData(const Args& args) {
+  const std::string in = args.GetString("in");
+  const std::string out = args.GetString("out");
+  const std::string class_column = args.GetString("class");
+  RequireFlag(in, "in");
+  RequireFlag(out, "out");
+  RequireFlag(class_column, "class");
+  CsvReadOptions csv;
+  csv.class_column = class_column;
+  Dataset data = OrDie(ReadCsv(in, csv));
+  if (!data.schema().AllCategorical()) {
+    // Discretize through the facade so the binary file is mining-ready.
+    OpportunityMapOptions options;
+    OpportunityMap map =
+        OrDie(OpportunityMap::FromDataset(std::move(data), options));
+    Status st = SaveDatasetToFile(map.data(), out);
+    if (!st.ok()) Die(st);
+    std::printf("wrote %lld discretized records to %s\n",
+                static_cast<long long>(map.data().num_rows()), out.c_str());
+  } else {
+    Status st = SaveDatasetToFile(data, out);
+    if (!st.ok()) Die(st);
+    std::printf("wrote %lld records to %s\n",
+                static_cast<long long>(data.num_rows()), out.c_str());
+  }
+  return 0;
+}
+
+int CmdCubes(const Args& args) {
+  const std::string in = args.GetString("data");
+  const std::string out = args.GetString("out");
+  RequireFlag(in, "data");
+  RequireFlag(out, "out");
+  Dataset data = OrDie(LoadDatasetFromFile(in));
+  CubeStore store = OrDie(CubeBuilder::FromDataset(data));
+  Status st = store.SaveToFile(out);
+  if (!st.ok()) Die(st);
+  std::printf("built %lld cubes over %lld records (%.1f MB) -> %s\n",
+              static_cast<long long>(store.NumCubes()),
+              static_cast<long long>(store.num_records()),
+              static_cast<double>(store.MemoryUsageBytes()) / 1e6,
+              out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (!args.GetString("data").empty()) {
+    Dataset data = OrDie(LoadDatasetFromFile(args.GetString("data")));
+    std::printf("dataset: %lld rows, %d attributes (class: %s)\n",
+                static_cast<long long>(data.num_rows()),
+                data.num_attributes(),
+                data.schema().class_attribute().name().c_str());
+    for (int a = 0; a < data.num_attributes(); ++a) {
+      const Attribute& attr = data.schema().attribute(a);
+      std::printf("  %-24s %s, %d values%s\n", attr.name().c_str(),
+                  attr.is_categorical() ? "categorical" : "continuous",
+                  attr.domain(), attr.ordered() ? ", ordered" : "");
+    }
+    return 0;
+  }
+  CubeStore store = LoadCubes(args);
+  std::printf("cube store: %lld cubes, %zu attributes, %lld records, "
+              "%.1f MB\n",
+              static_cast<long long>(store.NumCubes()),
+              store.attributes().size(),
+              static_cast<long long>(store.num_records()),
+              static_cast<double>(store.MemoryUsageBytes()) / 1e6);
+  return 0;
+}
+
+int CmdOverview(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  OverviewOptions options;
+  options.color = ColorOf(args);
+  std::printf("%s", OrDie(RenderOverview(store, options)).c_str());
+  return 0;
+}
+
+int CmdDetail(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const std::string attr = args.GetString("attribute");
+  RequireFlag(attr, "attribute");
+  const int index = OrDie(store.schema().IndexOf(attr));
+  DetailOptions options;
+  options.color = ColorOf(args);
+  std::printf("%s", OrDie(RenderDetail(store, index, options)).c_str());
+  return 0;
+}
+
+int CmdCompare(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const std::string attr = args.GetString("attribute");
+  const std::string good = args.GetString("good");
+  const std::string bad = args.GetString("bad");
+  const std::string target = args.GetString("class");
+  RequireFlag(attr, "attribute");
+  RequireFlag(good, "good");
+  RequireFlag(bad, "bad");
+  RequireFlag(target, "class");
+  Comparator comparator(&store);
+  ComparisonResult result =
+      OrDie(comparator.CompareByName(attr, good, bad, target));
+  if (args.GetBool("json")) {
+    std::printf("%s\n", ComparisonToJson(result, store.schema()).c_str());
+    return 0;
+  }
+  std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
+  if (!result.ranked.empty()) {
+    CompareViewOptions view;
+    view.color = ColorOf(args);
+    std::printf("\n%s",
+                OrDie(RenderComparisonView(result, store.schema(),
+                                           result.ranked[0].attribute, view))
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdVsRest(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const std::string attr = args.GetString("attribute");
+  const std::string value = args.GetString("value");
+  const std::string target = args.GetString("class");
+  RequireFlag(attr, "attribute");
+  RequireFlag(value, "value");
+  RequireFlag(target, "class");
+  const int index = OrDie(store.schema().IndexOf(attr));
+  const ValueCode v = OrDie(store.schema().attribute(index).CodeOf(value));
+  const ValueCode cls =
+      OrDie(store.schema().class_attribute().CodeOf(target));
+  Comparator comparator(&store);
+  ComparisonResult result = OrDie(comparator.CompareVsRest(index, v, cls));
+  std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
+  return 0;
+}
+
+int CmdPairs(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const std::string attr = args.GetString("attribute");
+  const std::string target = args.GetString("class");
+  RequireFlag(attr, "attribute");
+  RequireFlag(target, "class");
+  const int index = OrDie(store.schema().IndexOf(attr));
+  const ValueCode cls =
+      OrDie(store.schema().class_attribute().CodeOf(target));
+  Comparator comparator(&store);
+  auto pairs = OrDie(comparator.CompareAllPairs(index, cls));
+  std::printf("%s", FormatPairSummaries(pairs, store.schema(), index,
+                                        static_cast<int>(
+                                            args.GetInt("top", 20)))
+                        .c_str());
+  return 0;
+}
+
+int CmdGi(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const int top = static_cast<int>(args.GetInt("top", 10));
+  const Schema& schema = store.schema();
+
+  std::printf("Influential attributes:\n");
+  auto influence = OrDie(RankInfluentialAttributes(store));
+  for (int i = 0; i < top && i < static_cast<int>(influence.size()); ++i) {
+    const auto& inf = influence[static_cast<size_t>(i)];
+    std::printf("  %2d. %-24s V=%.3f chi2=%.1f p=%.2g\n", i + 1,
+                schema.attribute(inf.attribute).name().c_str(),
+                inf.cramers_v, inf.chi_square, inf.p_value);
+  }
+
+  std::printf("\nTrends (ordered attributes):\n");
+  auto trends = OrDie(MineTrends(store, TrendOptions{}));
+  for (const Trend& t : trends) {
+    std::printf("  %s / %s: %s\n",
+                schema.attribute(t.attribute).name().c_str(),
+                schema.class_attribute().label(t.class_value).c_str(),
+                TrendDirectionName(t.direction));
+  }
+  if (trends.empty()) std::printf("  (none)\n");
+
+  std::printf("\nStrongest exceptions:\n");
+  ExceptionOptions eopts;
+  eopts.min_significance = 2.0;
+  eopts.max_results = top;
+  auto exceptions = OrDie(MineAttributeExceptions(store, eopts));
+  for (const auto& e : exceptions) {
+    const Attribute& a = schema.attribute(e.attribute);
+    std::printf("  %s=%s -> %s: %.2f%% vs expected %.2f%%\n",
+                a.name().c_str(), a.label(e.value).c_str(),
+                schema.class_attribute().label(e.class_value).c_str(),
+                e.confidence * 100, e.expected * 100);
+  }
+  if (exceptions.empty()) std::printf("  (none)\n");
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  CubeStore store = LoadCubes(args);
+  const std::string attr = args.GetString("attribute");
+  const std::string good = args.GetString("good");
+  const std::string bad = args.GetString("bad");
+  const std::string target = args.GetString("class");
+  const std::string out = args.GetString("out");
+  RequireFlag(attr, "attribute");
+  RequireFlag(good, "good");
+  RequireFlag(bad, "bad");
+  RequireFlag(target, "class");
+  RequireFlag(out, "out");
+  Comparator comparator(&store);
+  ComparisonResult result =
+      OrDie(comparator.CompareByName(attr, good, bad, target));
+  HtmlReportOptions options;
+  options.title = attr + ": " + good + " vs " + bad + " (" + target + ")";
+  GeneralImpressions gi;
+  if (args.GetBool("gi")) {
+    gi = OrDie(MineGeneralImpressions(store, GiOptions{}));
+    options.impressions = &gi;
+  }
+  Status st = WriteHtmlReport(result, store.schema(), out, options);
+  if (!st.ok()) Die(st);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: opmap <command> [flags]\n"
+      "commands:\n"
+      "  generate  --records=N [--attributes=N] [--seed=N] --out=FILE\n"
+      "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd\n"
+      "  cubes     --data=FILE.opmd --out=FILE.opmc\n"
+      "  info      --data=FILE | --cubes=FILE\n"
+      "  overview  --cubes=FILE [--color]\n"
+      "  detail    --cubes=FILE --attribute=NAME [--color]\n"
+      "  compare   --cubes=FILE --attribute=NAME --good=V --bad=V "
+      "--class=LABEL [--json] [--color]\n"
+      "  vsrest    --cubes=FILE --attribute=NAME --value=V --class=LABEL\n"
+      "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N]\n"
+      "  gi        --cubes=FILE [--top=N]\n"
+      "  report    --cubes=FILE --attribute=NAME --good=V --bad=V "
+      "--class=LABEL --out=FILE.html [--gi]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "csv2data") return CmdCsvToData(args);
+  if (cmd == "cubes") return CmdCubes(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "overview") return CmdOverview(args);
+  if (cmd == "detail") return CmdDetail(args);
+  if (cmd == "compare") return CmdCompare(args);
+  if (cmd == "vsrest") return CmdVsRest(args);
+  if (cmd == "pairs") return CmdPairs(args);
+  if (cmd == "gi") return CmdGi(args);
+  if (cmd == "report") return CmdReport(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) { return opmap::Run(argc, argv); }

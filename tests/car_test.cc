@@ -1,0 +1,315 @@
+#include <map>
+
+#include "gtest/gtest.h"
+#include "opmap/car/miner.h"
+#include "opmap/car/rule.h"
+#include "opmap/car/rule_query.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+Schema SmallSchema() {
+  return MakeSchema({{"A", {"a0", "a1"}},
+                     {"B", {"b0", "b1", "b2"}},
+                     {"C", {"yes", "no"}}});
+}
+
+Dataset SmallDataset() {
+  Dataset d(SmallSchema());
+  // 40 rows with a planted pattern: A=a1,B=b0 is mostly "yes".
+  AppendRows(&d, {1, 0, 0}, 12);
+  AppendRows(&d, {1, 0, 1}, 2);
+  AppendRows(&d, {0, 1, 1}, 10);
+  AppendRows(&d, {0, 2, 0}, 6);
+  AppendRows(&d, {1, 2, 1}, 6);
+  AppendRows(&d, {0, 0, 0}, 4);
+  return d;
+}
+
+// Brute-force support/confidence for a rule, used as ground truth.
+void BruteForce(const Dataset& d, const std::vector<Condition>& conds,
+                ValueCode cls, int64_t* sup, int64_t* body) {
+  *sup = 0;
+  *body = 0;
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    bool match = true;
+    for (const Condition& c : conds) {
+      if (d.code(r, c.attribute) != c.value) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++*body;
+    if (d.class_code(r) == cls) ++*sup;
+  }
+}
+
+TEST(CarMiner, CountsMatchBruteForce) {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.0;
+  opts.min_confidence = 0.0;
+  opts.max_conditions = 2;
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  ASSERT_FALSE(rules.empty());
+  for (const ClassRule& r : rules.rules()) {
+    int64_t sup, body;
+    BruteForce(d, r.conditions, r.class_value, &sup, &body);
+    EXPECT_EQ(r.support_count, sup) << r.ToString(d.schema(), d.num_rows());
+    EXPECT_EQ(r.body_count, body) << r.ToString(d.schema(), d.num_rows());
+  }
+}
+
+TEST(CarMiner, ZeroThresholdCoversCompleteSpace) {
+  // With min-sup = min-conf = 0 every possible 1- and 2-condition rule is
+  // materialized (paper Section III.B: no holes in the knowledge space).
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.0;
+  opts.max_conditions = 2;
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  const int64_t expected = CountPossibleRules(d.schema(), 1) +
+                           CountPossibleRules(d.schema(), 2);
+  EXPECT_EQ(static_cast<int64_t>(rules.size()), expected);
+}
+
+TEST(CarMiner, CountPossibleRulesFormula) {
+  const Schema schema = SmallSchema();
+  // 1-cond: (2 + 3) values * 2 classes = 10.
+  EXPECT_EQ(CountPossibleRules(schema, 1), 10);
+  // 2-cond: 2*3 value pairs * 2 classes = 12.
+  EXPECT_EQ(CountPossibleRules(schema, 2), 12);
+  EXPECT_EQ(CountPossibleRules(schema, 3), 0);  // only two attributes
+}
+
+TEST(CarMiner, MinSupportPrunes) {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.25;  // 10 of 40 rows
+  opts.max_conditions = 2;
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  for (const ClassRule& r : rules.rules()) {
+    EXPECT_GE(r.support_count, 10);
+  }
+  // The planted A=a1,B=b0 -> yes rule (12 rows) must be found.
+  bool found = false;
+  for (const ClassRule& r : rules.rules()) {
+    if (r.conditions.size() == 2 && r.class_value == 0 &&
+        r.support_count == 12) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CarMiner, MinConfidencePrunes) {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.05;
+  opts.min_confidence = 0.8;
+  opts.max_conditions = 2;
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  for (const ClassRule& r : rules.rules()) {
+    EXPECT_GE(r.Confidence(), 0.8);
+  }
+}
+
+TEST(CarMiner, RestrictedMiningPrependsFixedConditions) {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.0;
+  opts.max_conditions = 2;
+  opts.fixed_conditions = {Condition{0, 1}};  // A = a1
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  for (const ClassRule& r : rules.rules()) {
+    ASSERT_FALSE(r.conditions.empty());
+    EXPECT_EQ(r.conditions[0].attribute, 0);
+    EXPECT_EQ(r.conditions[0].value, 1);
+    int64_t sup, body;
+    BruteForce(d, r.conditions, r.class_value, &sup, &body);
+    EXPECT_EQ(r.support_count, sup);
+    EXPECT_EQ(r.body_count, body);
+  }
+}
+
+TEST(CarMiner, ThreeConditionRules) {
+  Schema schema = MakeSchema({{"A", {"a0", "a1"}},
+                              {"B", {"b0", "b1"}},
+                              {"C", {"c0", "c1"}},
+                              {"Y", {"y", "n"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 0, 0, 0}, 20);
+  AppendRows(&d, {0, 0, 1, 1}, 20);
+  AppendRows(&d, {1, 1, 0, 0}, 20);
+  AppendRows(&d, {1, 1, 1, 1}, 20);
+  CarMinerOptions opts;
+  opts.min_support = 0.1;
+  opts.max_conditions = 3;
+  ASSERT_OK_AND_ASSIGN(RuleSet rules, MineClassAssociationRules(d, opts));
+  bool found3 = false;
+  for (const ClassRule& r : rules.rules()) {
+    if (r.conditions.size() == 3) {
+      found3 = true;
+      int64_t sup, body;
+      BruteForce(d, r.conditions, r.class_value, &sup, &body);
+      EXPECT_EQ(r.support_count, sup);
+      EXPECT_EQ(r.body_count, body);
+    }
+  }
+  EXPECT_TRUE(found3);
+}
+
+TEST(CarMiner, RejectsBadOptions) {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 1.5;
+  EXPECT_FALSE(MineClassAssociationRules(d, opts).ok());
+  opts = {};
+  opts.max_conditions = 0;
+  EXPECT_FALSE(MineClassAssociationRules(d, opts).ok());
+  opts = {};
+  opts.fixed_conditions = {Condition{2, 0}};  // class attribute
+  EXPECT_FALSE(MineClassAssociationRules(d, opts).ok());
+  opts = {};
+  opts.fixed_conditions = {Condition{0, 9}};  // value out of domain
+  EXPECT_FALSE(MineClassAssociationRules(d, opts).ok());
+}
+
+TEST(ClassRule, SupportConfidenceToString) {
+  ClassRule r;
+  r.conditions = {Condition{0, 1}};
+  r.class_value = 0;
+  r.support_count = 12;
+  r.body_count = 14;
+  EXPECT_NEAR(r.Support(40), 0.3, 1e-12);
+  EXPECT_NEAR(r.Confidence(), 12.0 / 14.0, 1e-12);
+  const std::string s = r.ToString(SmallSchema(), 40);
+  EXPECT_NE(s.find("A=a1"), std::string::npos);
+  EXPECT_NE(s.find("C=yes"), std::string::npos);
+}
+
+RuleSet MinedSmall() {
+  Dataset d = SmallDataset();
+  CarMinerOptions opts;
+  opts.min_support = 0.0;
+  opts.max_conditions = 2;
+  auto rules = MineClassAssociationRules(d, opts);
+  EXPECT_TRUE(rules.ok());
+  return rules.MoveValue();
+}
+
+TEST(RuleQuery, FilterByClassAndBounds) {
+  RuleSet rules = MinedSmall();
+  RuleFilter filter;
+  filter.class_value = 0;  // "yes"
+  filter.min_support = 0.1;
+  RuleSet selected = SelectRules(rules, filter);
+  ASSERT_FALSE(selected.empty());
+  for (const ClassRule& r : selected.rules()) {
+    EXPECT_EQ(r.class_value, 0);
+    EXPECT_GE(r.Support(rules.num_rows()), 0.1);
+  }
+  // Tight confidence window.
+  RuleFilter conf;
+  conf.min_confidence = 0.99;
+  const RuleSet confident = SelectRules(rules, conf);
+  for (const ClassRule& r : confident.rules()) {
+    EXPECT_GE(r.Confidence(), 0.99);
+  }
+}
+
+TEST(RuleQuery, FilterByAttributeAndCondition) {
+  RuleSet rules = MinedSmall();
+  RuleFilter mentions;
+  mentions.mentions_attribute = 1;  // B
+  RuleSet selected = SelectRules(rules, mentions);
+  ASSERT_FALSE(selected.empty());
+  for (const ClassRule& r : selected.rules()) {
+    bool found = false;
+    for (const Condition& c : r.conditions) {
+      if (c.attribute == 1) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  RuleFilter exact;
+  exact.contains_condition = Condition{0, 1};  // A = a1
+  const RuleSet exact_rules = SelectRules(rules, exact);
+  for (const ClassRule& r : exact_rules.rules()) {
+    bool found = false;
+    for (const Condition& c : r.conditions) {
+      if (c == Condition{0, 1}) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RuleQuery, FilterByLength) {
+  RuleSet rules = MinedSmall();
+  RuleFilter one;
+  one.max_conditions = 1;
+  const RuleSet short_rules = SelectRules(rules, one);
+  for (const ClassRule& r : short_rules.rules()) {
+    EXPECT_LE(r.conditions.size(), 1u);
+  }
+  RuleFilter two;
+  two.min_conditions = 2;
+  const RuleSet long_rules = SelectRules(rules, two);
+  for (const ClassRule& r : long_rules.rules()) {
+    EXPECT_GE(r.conditions.size(), 2u);
+  }
+}
+
+TEST(RuleQuery, GroupByAttributesMatchesCubes) {
+  RuleSet rules = MinedSmall();
+  const auto groups = GroupRulesByAttributes(rules);
+  // With two non-class attributes A, B: groups {A}, {B}, {A,B}.
+  EXPECT_EQ(groups.size(), 3u);
+  ASSERT_TRUE(groups.count({0, 1}) > 0);
+  // The {A,B} group has one rule per (value pair, class) = the pair cube.
+  EXPECT_EQ(groups.at({0, 1}).size(), 2u * 3u * 2u);
+}
+
+TEST(RuleQuery, Summary) {
+  RuleSet rules = MinedSmall();
+  const RuleSetSummary s = SummarizeRules(rules);
+  EXPECT_EQ(s.total, static_cast<int64_t>(rules.size()));
+  int64_t per_class_total = 0;
+  for (const auto& [cls, count] : s.per_class) per_class_total += count;
+  EXPECT_EQ(per_class_total, s.total);
+  EXPECT_LE(s.min_support, s.max_support);
+  EXPECT_LE(s.min_confidence, s.max_confidence);
+  const std::string text = s.ToString(SmallSchema());
+  EXPECT_NE(text.find("rules"), std::string::npos);
+  EXPECT_NE(text.find("yes="), std::string::npos);
+  // Empty set summary.
+  EXPECT_EQ(SummarizeRules(RuleSet(0)).total, 0);
+}
+
+TEST(RuleSet, SortAndFilter) {
+  RuleSet rules(100);
+  ClassRule high;
+  high.class_value = 0;
+  high.support_count = 10;
+  high.body_count = 10;  // conf 1.0
+  ClassRule low;
+  low.class_value = 1;
+  low.support_count = 5;
+  low.body_count = 20;  // conf 0.25
+  rules.Add(low);
+  rules.Add(high);
+  rules.SortByConfidence();
+  EXPECT_DOUBLE_EQ(rules.rule(0).Confidence(), 1.0);
+  EXPECT_EQ(rules.FilterByClass(1).size(), 1u);
+  ClassRule long_rule = high;
+  long_rule.conditions = {Condition{0, 0}, Condition{1, 0}};
+  rules.Add(long_rule);
+  EXPECT_EQ(rules.FilterByLength(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the `opmap` CLI: generate -> cubes -> every
+# interactive command. Run by ctest with the binary path as $1.
+set -euo pipefail
+
+OPMAP="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+"$OPMAP" >/dev/null 2>&1 && fail "no-arg invocation should exit non-zero"
+
+"$OPMAP" generate --records=20000 --attributes=12 --out="$DIR/d.opmd" \
+    | grep -q "wrote 20000 records" || fail "generate"
+
+"$OPMAP" info --data="$DIR/d.opmd" | grep -q "PhoneModel" || fail "info data"
+
+"$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/d.opmc" \
+    | grep -q "built" || fail "cubes"
+
+"$OPMAP" info --cubes="$DIR/d.opmc" | grep -q "cube store" || fail "info cubes"
+
+"$OPMAP" overview --cubes="$DIR/d.opmc" | grep -q "Overall visualization" \
+    || fail "overview"
+
+"$OPMAP" detail --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    | grep -q "ph01" || fail "detail"
+
+"$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress \
+    | grep -q "TimeOfCall" || fail "compare"
+
+"$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress --json \
+    | grep -q '"ranked"' || fail "compare --json"
+
+"$OPMAP" vsrest --cubes="$DIR/d.opmc" --attribute=TimeOfCall \
+    --value=morning --class=dropped-while-in-progress \
+    | grep -q "not(morning)" || fail "vsrest"
+
+"$OPMAP" pairs --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --class=dropped-while-in-progress | grep -q "good vs bad" || fail "pairs"
+
+"$OPMAP" gi --cubes="$DIR/d.opmc" | grep -q "Influential attributes" \
+    || fail "gi"
+
+# CSV ingestion path.
+cat > "$DIR/t.csv" <<EOF
+phone,rssi,result
+a,-70,ok
+a,-95,bad
+b,-72,ok
+b,-96,bad
+a,-71,ok
+b,-80,ok
+a,-97,bad
+b,-73,ok
+EOF
+"$OPMAP" csv2data --in="$DIR/t.csv" --class=result --out="$DIR/t.opmd" \
+    | grep -q "discretized" || fail "csv2data"
+"$OPMAP" cubes --data="$DIR/t.opmd" --out="$DIR/t.opmc" >/dev/null \
+    || fail "cubes from csv data"
+
+# Error paths exit non-zero with a message.
+"$OPMAP" detail --cubes="$DIR/d.opmc" --attribute=NoSuch >/dev/null 2>&1 \
+    && fail "bad attribute should fail"
+"$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel --good=ph01 \
+    >/dev/null 2>&1 && fail "missing flags should fail"
+"$OPMAP" overview --cubes="$DIR/does-not-exist" >/dev/null 2>&1 \
+    && fail "missing file should fail"
+
+echo "PASS"
+
+# HTML report generation (appended check; runs after the main PASS line is
+# printed only if everything above succeeded).
+"$OPMAP" report --cubes="$DIR/d.opmc" --attribute=PhoneModel --good=ph01 \
+    --bad=ph03 --class=dropped-while-in-progress --out="$DIR/r.html" --gi \
+    >/dev/null || fail "report"
+grep -q "<svg" "$DIR/r.html" || fail "report svg content"
+grep -q "General impressions" "$DIR/r.html" || fail "report gi section"
+echo "PASS report"

@@ -1,0 +1,350 @@
+#include "opmap/compare/comparator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "opmap/compare/report.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+// Schema used by most tests: PhoneModel x TimeOfCall x a filler attribute
+// x class {ok, drop}.
+Schema PhoneSchema() {
+  return MakeSchema({{"PhoneModel", {"ph1", "ph2"}},
+                     {"TimeOfCall", {"morning", "afternoon", "evening"}},
+                     {"Filler", {"x", "y"}},
+                     {"Class", {"ok", "drop"}}});
+}
+
+constexpr ValueCode kPh1 = 0;
+constexpr ValueCode kPh2 = 1;
+constexpr ValueCode kMorning = 0;
+constexpr ValueCode kAfternoon = 1;
+constexpr ValueCode kEvening = 2;
+constexpr ValueCode kOk = 0;
+constexpr ValueCode kDrop = 1;
+
+// Adds `total` calls for (phone, time) of which `drops` dropped; filler
+// alternates to stay uninformative.
+void AddCalls(Dataset* d, ValueCode phone, ValueCode time, int64_t total,
+              int64_t drops) {
+  AppendRows(d, {phone, time, 0, kDrop}, drops / 2);
+  AppendRows(d, {phone, time, 1, kDrop}, drops - drops / 2);
+  const int64_t oks = total - drops;
+  AppendRows(d, {phone, time, 0, kOk}, oks / 2);
+  AppendRows(d, {phone, time, 1, kOk}, oks - oks / 2);
+}
+
+ComparisonSpec PhoneSpec(bool use_ci) {
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = kPh1;
+  spec.value_b = kPh2;
+  spec.target_class = kDrop;
+  spec.use_confidence_intervals = use_ci;
+  spec.min_population = 0;
+  return spec;
+}
+
+// --- Fig 4(A): the fully expected situation has interestingness 0. ---
+TEST(Comparator, BoundaryMinimumIsZero) {
+  Dataset d(PhoneSchema());
+  // ph1 drops 2%, ph2 drops 4%, uniformly across all times: the ratio
+  // cf2k/cf1k equals cf2/cf1 = 2 for every value.
+  for (ValueCode t : {kMorning, kAfternoon, kEvening}) {
+    AddCalls(&d, kPh1, t, 1000, 20);
+    AddCalls(&d, kPh2, t, 1000, 40);
+  }
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       CompareFromDataset(d, PhoneSpec(false)));
+  ASSERT_FALSE(r.swapped);
+  EXPECT_DOUBLE_EQ(r.cf1, 0.02);
+  EXPECT_DOUBLE_EQ(r.cf2, 0.04);
+  const int rank = r.RankOf(1);  // TimeOfCall
+  ASSERT_GE(rank, 0);
+  EXPECT_NEAR(r.ranked[static_cast<size_t>(rank)].interestingness, 0.0, 1e-9);
+  EXPECT_NEAR(r.ranked[static_cast<size_t>(rank)].normalized, 0.0, 1e-9);
+}
+
+// --- Fig 4(B): maximal concentration attains normalized interestingness
+// close to its theoretical maximum. ---
+TEST(Comparator, BoundaryMaximumConcentration) {
+  Dataset d(PhoneSchema());
+  // ph1: drops spread, evening has the lowest (zero) drop rate.
+  AddCalls(&d, kPh1, kMorning, 1000, 30);
+  AddCalls(&d, kPh1, kAfternoon, 1000, 30);
+  AddCalls(&d, kPh1, kEvening, 1000, 0);
+  // ph2: all drops in the evening, and every evening call drops.
+  AddCalls(&d, kPh2, kMorning, 1000, 0);
+  AddCalls(&d, kPh2, kAfternoon, 1000, 0);
+  AddCalls(&d, kPh2, kEvening, 120, 120);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       CompareFromDataset(d, PhoneSpec(false)));
+  const int rank = r.RankOf(1);
+  ASSERT_EQ(rank, 0);  // TimeOfCall must rank first
+  const AttributeComparison& cmp = r.ranked[0];
+  // N2k = cf2 * |D2| for the evening value and rcf2k = 1, rcf1k = 0, so
+  // M = (1 - 0) * cf2 * |D2| -> normalized = 1.
+  EXPECT_NEAR(cmp.normalized, 1.0, 1e-9);
+}
+
+// --- Fig 2(B): the distinguishing attribute outranks a filler. ---
+TEST(Comparator, InterestingAttributeOutranksFiller) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, kPh1, kMorning, 2000, 40);
+  AddCalls(&d, kPh1, kAfternoon, 2000, 40);
+  AddCalls(&d, kPh1, kEvening, 2000, 40);
+  // ph2 is fine in the afternoon/evening but terrible in the morning.
+  AddCalls(&d, kPh2, kMorning, 2000, 200);
+  AddCalls(&d, kPh2, kAfternoon, 2000, 40);
+  AddCalls(&d, kPh2, kEvening, 2000, 40);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       CompareFromDataset(d, PhoneSpec(true)));
+  ASSERT_EQ(r.ranked.size(), 2u);
+  EXPECT_EQ(r.ranked[0].attribute, 1);  // TimeOfCall first
+  EXPECT_GT(r.ranked[0].interestingness, r.ranked[1].interestingness);
+  // The morning value carries the contribution.
+  const ValueComparison& morning = r.ranked[0].values[kMorning];
+  EXPECT_GT(morning.w, 0.0);
+  EXPECT_GT(morning.f, 0.0);
+}
+
+// --- Orientation: swapping the two rules yields the same ranking. ---
+TEST(Comparator, AutoOrientationSwaps) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, kPh1, kMorning, 1000, 10);
+  AddCalls(&d, kPh1, kAfternoon, 1000, 10);
+  AddCalls(&d, kPh1, kEvening, 1000, 10);
+  AddCalls(&d, kPh2, kMorning, 1000, 80);
+  AddCalls(&d, kPh2, kAfternoon, 1000, 20);
+  AddCalls(&d, kPh2, kEvening, 1000, 20);
+
+  ComparisonSpec forward = PhoneSpec(true);
+  ComparisonSpec backward = forward;
+  std::swap(backward.value_a, backward.value_b);
+
+  ASSERT_OK_AND_ASSIGN(ComparisonResult rf, CompareFromDataset(d, forward));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult rb, CompareFromDataset(d, backward));
+  EXPECT_FALSE(rf.swapped);
+  EXPECT_TRUE(rb.swapped);
+  EXPECT_EQ(rb.spec.value_a, forward.value_a);
+  EXPECT_EQ(rb.spec.value_b, forward.value_b);
+  ASSERT_EQ(rf.ranked.size(), rb.ranked.size());
+  for (size_t i = 0; i < rf.ranked.size(); ++i) {
+    EXPECT_EQ(rf.ranked[i].attribute, rb.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(rf.ranked[i].interestingness,
+                     rb.ranked[i].interestingness);
+  }
+}
+
+// --- Property attributes are segregated (Section IV.C). ---
+TEST(Comparator, PropertyAttributeSegregated) {
+  Schema schema = MakeSchema({{"PhoneModel", {"ph1", "ph2"}},
+                              {"HardwareVersion", {"v1", "v2"}},
+                              {"TimeOfCall", {"m", "a", "e"}},
+                              {"Class", {"ok", "drop"}}});
+  Dataset d(schema);
+  // Hardware version is keyed to the phone: ph1 only v1, ph2 only v2.
+  for (ValueCode t : {0, 1, 2}) {
+    AppendRows(&d, {kPh1, 0, t, kDrop}, 5);
+    AppendRows(&d, {kPh1, 0, t, kOk}, 495);
+    AppendRows(&d, {kPh2, 1, t, kDrop}, 20);
+    AppendRows(&d, {kPh2, 1, t, kOk}, 480);
+  }
+  ComparisonSpec spec = PhoneSpec(false);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, CompareFromDataset(d, spec));
+  ASSERT_EQ(r.properties.size(), 1u);
+  EXPECT_EQ(r.properties[0].attribute, 1);
+  EXPECT_DOUBLE_EQ(r.properties[0].property_ratio, 1.0);
+  // Without detection it lands in the ranking (ablation behaviour), at the
+  // top because cf1k = 0 for its v2 value.
+  spec.detect_property_attributes = false;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r2, CompareFromDataset(d, spec));
+  EXPECT_TRUE(r2.properties.empty());
+  EXPECT_EQ(r2.ranked[0].attribute, 1);
+}
+
+// --- The cube-based comparator agrees exactly with the dataset scan. ---
+TEST(Comparator, CubePathMatchesDatasetPath) {
+  CallLogConfig config;
+  config.num_records = 20000;
+  config.num_attributes = 12;
+  config.num_phone_models = 6;
+  config.phone_drop_multiplier = {1.0, 2.5};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", /*phone_model=*/1, kDroppedWhileInProgress,
+      5.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen,
+                       CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  spec.min_population = 0;
+
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult from_cubes, comparator.Compare(spec));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult from_data,
+                       CompareFromDataset(d, spec));
+
+  ASSERT_EQ(from_cubes.ranked.size(), from_data.ranked.size());
+  ASSERT_EQ(from_cubes.properties.size(), from_data.properties.size());
+  EXPECT_DOUBLE_EQ(from_cubes.cf1, from_data.cf1);
+  EXPECT_DOUBLE_EQ(from_cubes.cf2, from_data.cf2);
+  for (size_t i = 0; i < from_cubes.ranked.size(); ++i) {
+    EXPECT_EQ(from_cubes.ranked[i].attribute, from_data.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(from_cubes.ranked[i].interestingness,
+                     from_data.ranked[i].interestingness);
+    for (size_t k = 0; k < from_cubes.ranked[i].values.size(); ++k) {
+      const ValueComparison& a = from_cubes.ranked[i].values[k];
+      const ValueComparison& b = from_data.ranked[i].values[k];
+      EXPECT_EQ(a.n1, b.n1);
+      EXPECT_EQ(a.n2, b.n2);
+      EXPECT_EQ(a.n1_target, b.n1_target);
+      EXPECT_EQ(a.n2_target, b.n2_target);
+      EXPECT_DOUBLE_EQ(a.w, b.w);
+    }
+  }
+}
+
+// --- The planted cause is recovered at rank 1 on generated data. ---
+TEST(Comparator, RecoversPlantedCause) {
+  CallLogConfig config;
+  config.num_records = 60000;
+  config.num_attributes = 20;
+  config.num_phone_models = 8;
+  config.num_property_attributes = 1;
+  config.phone_drop_multiplier = {1.0, 1.0, 2.0};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", /*phone_model=*/2, kDroppedWhileInProgress,
+      8.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen,
+                       CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+
+  ComparisonSpec spec;
+  spec.attribute = 0;       // PhoneModel
+  spec.value_a = 0;         // ph1 (good)
+  spec.value_b = 2;         // ph3 (bad: multiplier + planted morning effect)
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.Compare(spec));
+  EXPECT_EQ(r.ranked[0].attribute, gen.GroundTruthAttribute());
+  // The hardware-version attribute must be segregated as a property.
+  ASSERT_EQ(r.properties.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(int hw, store.schema().IndexOf("HardwareVersion1"));
+  EXPECT_EQ(r.properties[0].attribute, hw);
+}
+
+// --- Error handling. ---
+TEST(Comparator, RejectsInvalidSpecs) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, kPh1, kMorning, 100, 2);
+  AddCalls(&d, kPh2, kMorning, 100, 4);
+
+  ComparisonSpec spec = PhoneSpec(true);
+  spec.value_b = spec.value_a;
+  EXPECT_FALSE(CompareFromDataset(d, spec).ok());
+
+  spec = PhoneSpec(true);
+  spec.attribute = 3;  // the class attribute
+  EXPECT_FALSE(CompareFromDataset(d, spec).ok());
+
+  spec = PhoneSpec(true);
+  spec.target_class = 9;
+  EXPECT_FALSE(CompareFromDataset(d, spec).ok());
+
+  // Zero confidence on the good side: cf2/cf1 undefined.
+  Dataset zero(PhoneSchema());
+  AddCalls(&zero, kPh1, kMorning, 100, 0);
+  AddCalls(&zero, kPh2, kMorning, 100, 4);
+  EXPECT_FALSE(CompareFromDataset(zero, PhoneSpec(true)).ok());
+}
+
+TEST(Comparator, WarnsOnSmallPopulations) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, kPh1, kMorning, 10, 1);
+  AddCalls(&d, kPh2, kMorning, 10, 2);
+  ComparisonSpec spec = PhoneSpec(true);
+  spec.min_population = 30;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, CompareFromDataset(d, spec));
+  EXPECT_FALSE(r.warnings.empty());
+}
+
+TEST(Comparator, CompareByNameResolvesLabels) {
+  CallLogConfig config;
+  config.num_records = 5000;
+  config.num_attributes = 6;
+  config.num_phone_models = 4;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen,
+                       CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  auto result = comparator.CompareByName("PhoneModel", "ph01", "ph02",
+                                         "dropped-while-in-progress");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->ranked.empty());
+  EXPECT_FALSE(
+      comparator.CompareByName("NoSuchAttr", "a", "b", "drop").ok());
+}
+
+// --- CI adjustment shrinks small-sample contributions (Section IV.B). ---
+TEST(Comparator, ConfidenceIntervalsAreConservative) {
+  Dataset d(PhoneSchema());
+  // Small counts: 3/30 vs 1/30 in the morning looks dramatic but is noise.
+  AddCalls(&d, kPh1, kMorning, 30, 1);
+  AddCalls(&d, kPh1, kAfternoon, 3000, 60);
+  AddCalls(&d, kPh1, kEvening, 3000, 60);
+  AddCalls(&d, kPh2, kMorning, 30, 3);
+  AddCalls(&d, kPh2, kAfternoon, 3000, 120);
+  AddCalls(&d, kPh2, kEvening, 3000, 120);
+
+  ASSERT_OK_AND_ASSIGN(ComparisonResult with_ci,
+                       CompareFromDataset(d, PhoneSpec(true)));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult without_ci,
+                       CompareFromDataset(d, PhoneSpec(false)));
+  const int idx_with = with_ci.RankOf(1);
+  const int idx_without = without_ci.RankOf(1);
+  ASSERT_GE(idx_with, 0);
+  ASSERT_GE(idx_without, 0);
+  EXPECT_LE(
+      with_ci.ranked[static_cast<size_t>(idx_with)].interestingness,
+      without_ci.ranked[static_cast<size_t>(idx_without)].interestingness);
+}
+
+// --- Report rendering smoke checks. ---
+TEST(ComparatorReport, FormatsReportAndCsv) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, kPh1, kMorning, 1000, 10);
+  AddCalls(&d, kPh1, kAfternoon, 1000, 10);
+  AddCalls(&d, kPh1, kEvening, 1000, 10);
+  AddCalls(&d, kPh2, kMorning, 1000, 80);
+  AddCalls(&d, kPh2, kAfternoon, 1000, 20);
+  AddCalls(&d, kPh2, kEvening, 1000, 20);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       CompareFromDataset(d, PhoneSpec(true)));
+  const std::string report = FormatComparisonReport(r, d.schema());
+  EXPECT_NE(report.find("TimeOfCall"), std::string::npos);
+  EXPECT_NE(report.find("Ranked distinguishing attributes"),
+            std::string::npos);
+  const std::string csv = ComparisonToCsv(r, d.schema());
+  EXPECT_NE(csv.find("rank,attribute"), std::string::npos);
+  EXPECT_NE(csv.find("TimeOfCall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,439 @@
+// Tests for the group / vs-rest / all-pairs extensions of the comparator.
+
+#include "gtest/gtest.h"
+#include "opmap/compare/alternatives.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+Schema PhoneSchema() {
+  return MakeSchema({{"PhoneModel", {"ph1", "ph2", "ph3", "ph4"}},
+                     {"TimeOfCall", {"morning", "afternoon", "evening"}},
+                     {"Class", {"ok", "drop"}}});
+}
+
+void AddCalls(Dataset* d, ValueCode phone, ValueCode time, int64_t total,
+              int64_t drops) {
+  AppendRows(d, {phone, time, 1}, drops);
+  AppendRows(d, {phone, time, 0}, total - drops);
+}
+
+// ph1/ph2 form the good family; ph3/ph4 the bad one, whose extra drops
+// concentrate in the morning.
+CubeStore FamilyStore() {
+  Dataset d(PhoneSchema());
+  for (ValueCode phone : {0, 1}) {
+    for (ValueCode t : {0, 1, 2}) AddCalls(&d, phone, t, 1000, 20);
+  }
+  for (ValueCode phone : {2, 3}) {
+    AddCalls(&d, phone, 0, 1000, 150);
+    AddCalls(&d, phone, 1, 1000, 20);
+    AddCalls(&d, phone, 2, 1000, 20);
+  }
+  auto store = CubeBuilder::FromDataset(d);
+  EXPECT_TRUE(store.ok());
+  return store.MoveValue();
+}
+
+TEST(ValueGroup, Labels) {
+  const Attribute attr = Attribute::Categorical("p", {"a", "b", "c"});
+  EXPECT_EQ(ValueGroup::Of(1).Label(attr), "b");
+  EXPECT_EQ(ValueGroup::AllBut(1).Label(attr), "not(b)");
+  EXPECT_EQ((ValueGroup{{0, 2}, false}).Label(attr), "a|c");
+  EXPECT_EQ((ValueGroup{{0, 2}, true}).Label(attr), "not(a|c)");
+}
+
+TEST(CompareGroups, FamilyVsFamilyFindsCause) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  GroupComparisonSpec spec;
+  spec.attribute = 0;
+  spec.group_a = ValueGroup{{0, 1}, false};  // good family
+  spec.group_b = ValueGroup{{2, 3}, false};  // bad family
+  spec.target_class = 1;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.CompareGroups(spec));
+  EXPECT_EQ(r.label_a, "ph1|ph2");
+  EXPECT_EQ(r.label_b, "ph3|ph4");
+  EXPECT_FALSE(r.swapped);
+  EXPECT_EQ(r.n_d1, 6000);
+  EXPECT_EQ(r.n_d2, 6000);
+  ASSERT_EQ(r.ranked.size(), 1u);  // only TimeOfCall is a candidate
+  EXPECT_EQ(r.ranked[0].attribute, 1);
+  // The morning value carries the contribution.
+  double max_w = 0;
+  ValueCode max_v = -1;
+  for (const ValueComparison& v : r.ranked[0].values) {
+    if (v.w > max_w) {
+      max_w = v.w;
+      max_v = v.value;
+    }
+  }
+  EXPECT_EQ(max_v, 0);
+}
+
+TEST(CompareGroups, MatchesSingleValueCompare) {
+  // Group {v} vs {w} must equal the classic single-value comparison.
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+
+  ComparisonSpec single;
+  single.attribute = 0;
+  single.value_a = 0;
+  single.value_b = 2;
+  single.target_class = 1;
+  single.min_population = 0;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult rs, comparator.Compare(single));
+
+  GroupComparisonSpec group;
+  group.attribute = 0;
+  group.group_a = ValueGroup::Of(0);
+  group.group_b = ValueGroup::Of(2);
+  group.target_class = 1;
+  group.min_population = 0;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult rg, comparator.CompareGroups(group));
+
+  EXPECT_DOUBLE_EQ(rs.cf1, rg.cf1);
+  EXPECT_DOUBLE_EQ(rs.cf2, rg.cf2);
+  ASSERT_EQ(rs.ranked.size(), rg.ranked.size());
+  for (size_t i = 0; i < rs.ranked.size(); ++i) {
+    EXPECT_EQ(rs.ranked[i].attribute, rg.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(rs.ranked[i].interestingness,
+                     rg.ranked[i].interestingness);
+    for (size_t k = 0; k < rs.ranked[i].values.size(); ++k) {
+      EXPECT_EQ(rs.ranked[i].values[k].n1, rg.ranked[i].values[k].n1);
+      EXPECT_EQ(rs.ranked[i].values[k].n2, rg.ranked[i].values[k].n2);
+    }
+  }
+}
+
+TEST(CompareGroups, SwapsWhenGroupAIsWorse) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  GroupComparisonSpec spec;
+  spec.attribute = 0;
+  spec.group_a = ValueGroup{{2, 3}, false};  // bad family given first
+  spec.group_b = ValueGroup{{0, 1}, false};
+  spec.target_class = 1;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.CompareGroups(spec));
+  EXPECT_TRUE(r.swapped);
+  EXPECT_EQ(r.label_a, "ph1|ph2");
+  EXPECT_EQ(r.label_b, "ph3|ph4");
+  EXPECT_LT(r.cf1, r.cf2);
+}
+
+TEST(CompareGroups, RejectsOverlapAndEmptyGroups) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  GroupComparisonSpec spec;
+  spec.attribute = 0;
+  spec.target_class = 1;
+  spec.group_a = ValueGroup{{0, 1}, false};
+  spec.group_b = ValueGroup{{1, 2}, false};  // overlaps on ph2
+  EXPECT_FALSE(comparator.CompareGroups(spec).ok());
+
+  spec.group_a = ValueGroup{{}, false};  // empty
+  spec.group_b = ValueGroup::Of(0);
+  EXPECT_FALSE(comparator.CompareGroups(spec).ok());
+
+  spec.group_a = ValueGroup::Of(0);
+  spec.group_b = ValueGroup{{9}, false};  // out of domain
+  EXPECT_FALSE(comparator.CompareGroups(spec).ok());
+
+  // Complement overlap: {0} vs not(1) overlap on 0.
+  spec.group_a = ValueGroup::Of(0);
+  spec.group_b = ValueGroup::AllBut(1);
+  EXPECT_FALSE(comparator.CompareGroups(spec).ok());
+}
+
+TEST(CompareVsRest, EquivalentToComplementGroups) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       comparator.CompareVsRest(0, 2, 1));
+  // ph3 vs everything else: ph3 is the bad side.
+  EXPECT_EQ(r.label_b, "ph3");
+  EXPECT_EQ(r.label_a, "not(ph3)");
+  EXPECT_EQ(r.n_d1 + r.n_d2, store.num_records());
+  EXPECT_EQ(r.ranked[0].attribute, 1);
+}
+
+TEST(CompareVsRest, TimeDimensionFindsPhone) {
+  // The symmetric query: what makes mornings bad? Answer: the bad family.
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r,
+                       comparator.CompareVsRest(1, 0, 1));
+  EXPECT_EQ(r.label_b, "morning");
+  ASSERT_EQ(r.ranked.size(), 1u);
+  EXPECT_EQ(r.ranked[0].attribute, 0);  // PhoneModel explains the mornings
+  // ph3 and ph4 both carry contributions.
+  EXPECT_GT(r.ranked[0].values[2].w, 0.0);
+  EXPECT_GT(r.ranked[0].values[3].w, 0.0);
+}
+
+TEST(CompareAllPairs, RanksPairsByContrast) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(auto pairs, comparator.CompareAllPairs(0, 1, 10));
+  ASSERT_EQ(pairs.size(), 6u);  // C(4,2)
+  // Top pairs must cross the family boundary (good phone vs bad phone).
+  const PairSummary& top = pairs[0];
+  EXPECT_FALSE(top.skipped);
+  EXPECT_LT(top.value_a, 2);
+  EXPECT_GE(top.value_b, 2);
+  EXPECT_EQ(top.top_attribute, 1);
+  EXPECT_LE(top.cf_a, top.cf_b);
+  // Within-family pairs have near-zero contrast and sort last among the
+  // non-skipped ones.
+  const PairSummary& last = pairs.back();
+  EXPECT_LT(last.top_interestingness, top.top_interestingness);
+  // Formatting smoke test.
+  const std::string table =
+      FormatPairSummaries(pairs, store.schema(), 0, 3);
+  EXPECT_NE(table.find("good vs bad"), std::string::npos);
+  EXPECT_NE(table.find("more pairs"), std::string::npos);
+}
+
+TEST(CompareAllPairs, RespectsMinPopulation) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, 0, 0, 1000, 10);
+  AddCalls(&d, 1, 0, 1000, 30);
+  AddCalls(&d, 2, 0, 5, 1);  // tiny population, must be excluded
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(auto pairs, comparator.CompareAllPairs(0, 1, 100));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].value_a, 0);
+  EXPECT_EQ(pairs[0].value_b, 1);
+}
+
+TEST(CompareAllPairs, MarksUncomparablePairsSkipped) {
+  Dataset d(PhoneSchema());
+  AddCalls(&d, 0, 0, 1000, 5);
+  AddCalls(&d, 1, 0, 1000, 0);  // perfect phone: cf = 0, ratio undefined
+  AddCalls(&d, 2, 0, 1000, 50);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(auto pairs, comparator.CompareAllPairs(0, 1, 100));
+  ASSERT_EQ(pairs.size(), 3u);
+  // Every pair involving the zero-confidence phone on the good side is
+  // uncomparable (the expected-confidence ratio cf2/cf1 is undefined).
+  int skipped = 0;
+  for (const auto& p : pairs) skipped += p.skipped ? 1 : 0;
+  EXPECT_EQ(skipped, 2);
+  EXPECT_FALSE(pairs[0].skipped);  // ph1 vs ph3 is comparable
+  EXPECT_EQ(pairs[0].value_a, 0);
+  EXPECT_EQ(pairs[0].value_b, 2);
+  EXPECT_TRUE(pairs.back().skipped);  // skipped pairs sort last
+}
+
+// --- All-classes sweep. ---
+
+TEST(CompareAllClasses, OneResultPerFailureClass) {
+  CallLogConfig config;
+  config.num_records = 40000;
+  config.num_attributes = 10;
+  config.phone_drop_multiplier = {1.0, 1.0, 2.0};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress, 5.0});
+  config.effects.push_back(PlantedEffect{
+      "Attr004", "v0", 2, kFailedDuringSetup, 6.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  ASSERT_OK_AND_ASSIGN(auto per_class, comparator.CompareAllClasses(0, 0, 2));
+  // All three classes comparable here (success class included).
+  ASSERT_EQ(per_class.size(), 3u);
+  // Each failure class points at its own planted cause.
+  ASSERT_OK_AND_ASSIGN(int attr004, store.schema().IndexOf("Attr004"));
+  for (const auto& [cls, result] : per_class) {
+    if (cls == kDroppedWhileInProgress) {
+      EXPECT_EQ(result.ranked[0].attribute, 1);  // TimeOfCall
+    } else if (cls == kFailedDuringSetup) {
+      EXPECT_EQ(result.ranked[0].attribute, attr004);
+    }
+    EXPECT_EQ(result.spec.target_class, cls);
+  }
+  // Spec errors propagate.
+  EXPECT_FALSE(comparator.CompareAllClasses(0, 0, 0).ok());
+  EXPECT_FALSE(comparator.CompareAllClasses(99, 0, 1).ok());
+}
+
+// --- Degenerate domains. ---
+
+TEST(Comparator, SingleValueAttributeScoresZeroWithoutCi) {
+  // A candidate attribute with one value carries no information: its only
+  // value's ratio equals the overall ratio exactly, so F = 0 and M = 0.
+  Schema schema = MakeSchema({{"PhoneModel", {"ph1", "ph2"}},
+                              {"Constant", {"only"}},
+                              {"Class", {"ok", "drop"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 0, 1}, 20);
+  AppendRows(&d, {0, 0, 0}, 980);
+  AppendRows(&d, {1, 0, 1}, 40);
+  AppendRows(&d, {1, 0, 0}, 960);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = 1;
+  spec.use_confidence_intervals = false;
+  spec.min_population = 0;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.Compare(spec));
+  ASSERT_EQ(r.ranked.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.ranked[0].interestingness, 0.0);
+}
+
+// --- Contextual comparison (drill-down follow-up query). ---
+
+TEST(CompareWithinContext, RestrictsToContextRows) {
+  // Outside the morning the phones are identical; the planted second
+  // factor (Weather=rain hurts ph3 only in the morning) is invisible to a
+  // global comparison but dominant within the morning context.
+  Schema schema = MakeSchema({{"PhoneModel", {"ph1", "ph3"}},
+                              {"TimeOfCall", {"morning", "evening"}},
+                              {"Weather", {"clear", "rain"}},
+                              {"Class", {"ok", "drop"}}});
+  Dataset d(schema);
+  auto add = [&](ValueCode phone, ValueCode time, ValueCode weather,
+                 int64_t total, int64_t drops) {
+    AppendRows(&d, {phone, time, weather, 1}, drops);
+    AppendRows(&d, {phone, time, weather, 0}, total - drops);
+  };
+  for (ValueCode w : {0, 1}) {
+    add(0, 1, w, 2000, 40);  // evening: both phones 2%
+    add(1, 1, w, 2000, 40);
+    add(0, 0, w, 2000, 40);  // ph1 mornings: 2%
+  }
+  add(1, 0, 0, 2000, 60);   // ph3 morning clear: 3%
+  add(1, 0, 1, 2000, 300);  // ph3 morning rain: 15%
+
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = 1;
+  spec.min_population = 0;
+
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult within,
+      CompareWithinContext(d, {Condition{1, 0}}, spec));  // morning only
+  ASSERT_OK_AND_ASSIGN(int weather, schema.IndexOf("Weather"));
+  EXPECT_EQ(within.ranked[0].attribute, weather);
+  EXPECT_EQ(within.n_d1 + within.n_d2, 8000);  // morning records only
+  EXPECT_NE(within.label_b.find("TimeOfCall=morning"), std::string::npos);
+
+  // Context validation.
+  EXPECT_FALSE(
+      CompareWithinContext(d, {Condition{0, 0}}, spec).ok());  // base attr
+  EXPECT_FALSE(
+      CompareWithinContext(d, {Condition{3, 0}}, spec).ok());  // class
+  EXPECT_FALSE(
+      CompareWithinContext(d, {Condition{1, 9}}, spec).ok());  // bad value
+  EXPECT_FALSE(CompareWithinContext(
+                   d, {Condition{1, 0}, Condition{1, 1}}, spec)
+                   .ok());  // duplicate attr (and empty intersection)
+}
+
+TEST(CompareWithinContext, EmptyContextMatchesPlainComparison) {
+  CallLogConfig config;
+  config.num_records = 10000;
+  config.num_attributes = 8;
+  config.phone_drop_multiplier = {1.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  spec.min_population = 0;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult plain, CompareFromDataset(d, spec));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult ctx,
+                       CompareWithinContext(d, {}, spec));
+  ASSERT_EQ(plain.ranked.size(), ctx.ranked.size());
+  for (size_t i = 0; i < plain.ranked.size(); ++i) {
+    EXPECT_EQ(plain.ranked[i].attribute, ctx.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(plain.ranked[i].interestingness,
+                     ctx.ranked[i].interestingness);
+  }
+}
+
+// --- Alternative measures (ablation support). ---
+
+TEST(Alternatives, MeasureNames) {
+  EXPECT_STREQ(ComparisonMeasureName(ComparisonMeasure::kPaperM), "paper-M");
+  EXPECT_STREQ(ComparisonMeasureName(ComparisonMeasure::kChiSquare),
+               "chi-square");
+  EXPECT_STREQ(
+      ComparisonMeasureName(ComparisonMeasure::kAbsoluteDifference),
+      "abs-difference");
+  EXPECT_STREQ(ComparisonMeasureName(ComparisonMeasure::kKlDivergence),
+               "kl-divergence");
+}
+
+TEST(Alternatives, PaperMRescoreMatchesOriginalRanking) {
+  CubeStore store = FamilyStore();
+  Comparator comparator(&store);
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 2;
+  spec.target_class = 1;
+  spec.min_population = 0;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.Compare(spec));
+  ASSERT_OK_AND_ASSIGN(auto scores,
+                       RescoreComparison(r, ComparisonMeasure::kPaperM));
+  ASSERT_EQ(scores.size(), r.ranked.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i].attribute, r.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(scores[i].score, r.ranked[i].interestingness);
+  }
+}
+
+TEST(Alternatives, AllMeasuresAgreeOnStrongSignal) {
+  // With one attribute carrying all the contrast, every measure ranks it
+  // first (they differ on subtler data; see bench/ablation_measures).
+  CallLogConfig config;
+  config.num_records = 60000;
+  config.num_attributes = 12;
+  config.phone_drop_multiplier = {1.0, 1.0, 1.8};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress, 8.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  Comparator comparator(&store);
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 2;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult r, comparator.Compare(spec));
+  for (ComparisonMeasure m :
+       {ComparisonMeasure::kPaperM, ComparisonMeasure::kChiSquare,
+        ComparisonMeasure::kAbsoluteDifference,
+        ComparisonMeasure::kKlDivergence}) {
+    ASSERT_OK_AND_ASSIGN(auto scores, RescoreComparison(r, m));
+    EXPECT_EQ(RankIn(scores, gen.GroundTruthAttribute()), 0)
+        << "measure " << ComparisonMeasureName(m);
+    // Scores are sorted and non-negative.
+    for (size_t i = 1; i < scores.size(); ++i) {
+      EXPECT_GE(scores[i - 1].score, scores[i].score);
+    }
+  }
+  EXPECT_EQ(RankIn({}, 0), -1);
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,240 @@
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "opmap/core/opportunity_map.h"
+#include "opmap/data/call_log.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+// Writes a small mixed CSV for pipeline tests and returns its path.
+std::string WriteTempCsv() {
+  const std::string path = ::testing::TempDir() + "/opmap_core_test.csv";
+  std::ofstream out(path);
+  out << "phone,rssi,disposition\n";
+  // Both phones drop at low rssi, ph2 much more often.
+  for (int i = 0; i < 400; ++i) {
+    const bool ph2 = i % 2 == 1;
+    const double rssi = -60.0 - (i % 50);
+    const bool low = rssi < -90;
+    const bool drop = low && (ph2 ? i % 3 == 0 : i % 12 == 0);
+    out << (ph2 ? "ph2" : "ph1") << "," << rssi << ","
+        << (drop ? "drop" : "ok") << "\n";
+  }
+  return path;
+}
+
+TEST(OpportunityMap, PipelineFromCsv) {
+  const std::string path = WriteTempCsv();
+  CsvReadOptions csv;
+  csv.class_column = "disposition";
+  OpportunityMapOptions opts;
+  opts.discretize_method = DiscretizeMethod::kEqualFrequency;
+  opts.discretize_bins = 4;
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromCsv(path, csv, opts));
+  EXPECT_TRUE(map.schema().AllCategorical());
+  EXPECT_EQ(map.data().num_rows(), 400);
+  EXPECT_GT(map.cubes().NumCubes(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(OpportunityMap, CompareByNameThroughFacade) {
+  const std::string path = WriteTempCsv();
+  CsvReadOptions csv;
+  csv.class_column = "disposition";
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromCsv(path, csv, {}));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result,
+                       map.Compare("phone", "ph1", "ph2", "drop"));
+  ASSERT_FALSE(result.ranked.empty());
+  // rssi must be the top distinguishing attribute.
+  ASSERT_OK_AND_ASSIGN(int rssi, map.schema().IndexOf("rssi"));
+  EXPECT_EQ(result.ranked[0].attribute, rssi);
+  std::remove(path.c_str());
+}
+
+TEST(OpportunityMap, ManualCutsRespected) {
+  const std::string path = WriteTempCsv();
+  CsvReadOptions csv;
+  csv.class_column = "disposition";
+  OpportunityMapOptions opts;
+  opts.manual_cuts = {{"rssi", {-90.0, -75.0}}};
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromCsv(path, csv, opts));
+  ASSERT_OK_AND_ASSIGN(int rssi, map.schema().IndexOf("rssi"));
+  EXPECT_EQ(map.schema().attribute(rssi).domain(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(OpportunityMap, UnbalancedSamplingShrinksMajority) {
+  CallLogConfig config;
+  config.num_records = 40000;
+  config.num_attributes = 8;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset full = gen.Generate();
+  const auto full_counts = full.ClassCounts();
+
+  OpportunityMapOptions opts;
+  opts.unbalanced_sampling_ratio = 5.0;
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromDataset(std::move(full), opts));
+  const auto counts = map.data().ClassCounts();
+  // Minority classes kept; majority capped near 5x the smallest class.
+  int64_t smallest = counts[0];
+  for (int64_t c : counts) {
+    if (c > 0) smallest = std::min(smallest, c);
+  }
+  EXPECT_LT(counts[kEndedSuccessfully],
+            full_counts[kEndedSuccessfully]);
+  EXPECT_LT(static_cast<double>(counts[kEndedSuccessfully]),
+            5.6 * static_cast<double>(smallest));
+}
+
+TEST(OpportunityMap, GiAndViewsThroughFacade) {
+  CallLogConfig config;
+  config.num_records = 20000;
+  config.num_attributes = 8;
+  config.phone_drop_multiplier = {1.0, 3.0};
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromDataset(gen.Generate(), {}));
+
+  ASSERT_OK_AND_ASSIGN(auto trends, map.MineTrends());
+  (void)trends;  // may be empty; just must not fail
+  ASSERT_OK_AND_ASSIGN(auto exceptions, map.MineExceptions());
+  EXPECT_FALSE(exceptions.empty());  // the bad phone is an exception
+  ASSERT_OK_AND_ASSIGN(auto influence, map.RankInfluence());
+  EXPECT_EQ(influence.size(), map.cubes().attributes().size());
+
+  ASSERT_OK_AND_ASSIGN(std::string overview, map.Overview());
+  EXPECT_NE(overview.find("PhoneModel"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(std::string detail, map.Detail("PhoneModel"));
+  EXPECT_NE(detail.find("ph01"), std::string::npos);
+  EXPECT_FALSE(map.Detail("NoSuch").ok());
+
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult cmp,
+      map.Compare("PhoneModel", "ph01", "ph02",
+                  "dropped-while-in-progress"));
+  ASSERT_OK_AND_ASSIGN(std::string view,
+                       map.ComparisonView(cmp, "TimeOfCall"));
+  EXPECT_NE(view.find("TimeOfCall"), std::string::npos);
+}
+
+TEST(OpportunityMap, GroupAndVsRestAndPairsThroughFacade) {
+  CallLogConfig config;
+  config.num_records = 30000;
+  config.num_attributes = 10;
+  config.phone_drop_multiplier = {1.0, 1.0, 2.5};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress, 5.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromDataset(gen.Generate(), {}));
+
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult vs_rest,
+      map.CompareVsRest("PhoneModel", "ph03", "dropped-while-in-progress"));
+  EXPECT_EQ(vs_rest.label_b, "ph03");
+  EXPECT_EQ(vs_rest.ranked[0].attribute, gen.GroundTruthAttribute());
+
+  ASSERT_OK_AND_ASSIGN(
+      auto pairs,
+      map.CompareAllPairs("PhoneModel", "dropped-while-in-progress"));
+  EXPECT_FALSE(pairs.empty());
+
+  GroupComparisonSpec gspec;
+  ASSERT_OK_AND_ASSIGN(gspec.attribute, map.schema().IndexOf("PhoneModel"));
+  gspec.group_a = ValueGroup{{0, 1}, false};
+  gspec.group_b = ValueGroup::Of(2);
+  ASSERT_OK_AND_ASSIGN(
+      gspec.target_class,
+      map.schema().class_attribute().CodeOf("dropped-while-in-progress"));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult groups, map.CompareGroups(gspec));
+  EXPECT_EQ(groups.label_a, "ph01|ph02");
+
+  ASSERT_OK_AND_ASSIGN(GeneralImpressions gi, map.Impressions());
+  EXPECT_FALSE(gi.influence.empty());
+}
+
+TEST(OpportunityMap, CompareWithinContextThroughFacade) {
+  CallLogConfig config;
+  config.num_records = 40000;
+  config.num_attributes = 10;
+  config.phone_drop_multiplier = {1.0, 1.0, 1.8};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 2, kDroppedWhileInProgress, 6.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromDataset(gen.Generate(), {}));
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult within,
+      map.CompareWithin({{"TimeOfCall", "morning"}}, "PhoneModel", "ph01",
+                        "ph03", "dropped-while-in-progress"));
+  // Within the morning, ph03's rate is much higher than ph01's.
+  EXPECT_GT(within.cf2, 3.0 * within.cf1);
+  EXPECT_NE(within.label_b.find("TimeOfCall=morning"), std::string::npos);
+  EXPECT_FALSE(
+      map.CompareWithin({{"NoSuch", "x"}}, "PhoneModel", "ph01", "ph03",
+                        "dropped-while-in-progress")
+          .ok());
+}
+
+TEST(OpportunityMap, SaveAndRestoreCubes) {
+  CallLogConfig config;
+  config.num_records = 10000;
+  config.num_attributes = 8;
+  config.phone_drop_multiplier = {1.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap original,
+                       OpportunityMap::FromDataset(gen.Generate(), {}));
+  const std::string path = ::testing::TempDir() + "/opmap_core_cubes.opmc";
+  ASSERT_OK(original.SaveCubes(path));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap restored,
+                       OpportunityMap::FromSavedCubes(path));
+  // The interactive path works identically on the restored session.
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult a,
+      original.Compare("PhoneModel", "ph01", "ph02",
+                       "dropped-while-in-progress"));
+  ASSERT_OK_AND_ASSIGN(
+      ComparisonResult b,
+      restored.Compare("PhoneModel", "ph01", "ph02",
+                       "dropped-while-in-progress"));
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].attribute, b.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(a.ranked[i].interestingness,
+                     b.ranked[i].interestingness);
+  }
+  // Raw-data operations are unavailable and say so.
+  auto mined = restored.MineRestrictedRules({Condition{0, 0}}, 0.01, 0.0, 3);
+  EXPECT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(OpportunityMap, RestrictedMining) {
+  CallLogConfig config;
+  config.num_records = 10000;
+  config.num_attributes = 6;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(OpportunityMap map,
+                       OpportunityMap::FromDataset(gen.Generate(), {}));
+  // Fix PhoneModel = ph01 and mine 3-condition rules beneath it.
+  ASSERT_OK_AND_ASSIGN(RuleSet rules,
+                       map.MineRestrictedRules({Condition{0, 0}}, 0.001, 0.0,
+                                               3));
+  ASSERT_FALSE(rules.empty());
+  for (const ClassRule& r : rules.rules()) {
+    EXPECT_EQ(r.conditions[0].attribute, 0);
+    EXPECT_EQ(r.conditions[0].value, 0);
+    EXPECT_LE(r.conditions.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace opmap

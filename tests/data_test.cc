@@ -1,0 +1,392 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "opmap/common/random.h"
+#include "opmap/data/attribute.h"
+#include "opmap/data/call_log.h"
+#include "opmap/data/csv.h"
+#include "opmap/data/dataset.h"
+#include "opmap/data/manufacturing.h"
+#include "opmap/data/sampling.h"
+#include "opmap/data/schema.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+TEST(Attribute, CategoricalDictionary) {
+  Attribute a = Attribute::Categorical("color", {"red", "green"});
+  EXPECT_TRUE(a.is_categorical());
+  EXPECT_EQ(a.domain(), 2);
+  EXPECT_EQ(a.label(0), "red");
+  ASSERT_OK_AND_ASSIGN(ValueCode c, a.CodeOf("green"));
+  EXPECT_EQ(c, 1);
+  EXPECT_FALSE(a.CodeOf("blue").ok());
+  EXPECT_EQ(a.CodeOfOrAdd("blue"), 2);
+  EXPECT_EQ(a.domain(), 3);
+  EXPECT_EQ(a.CodeOfOrAdd("blue"), 2);  // idempotent
+}
+
+TEST(Attribute, ContinuousHasNoDomain) {
+  Attribute a = Attribute::Continuous("rssi");
+  EXPECT_FALSE(a.is_categorical());
+  EXPECT_EQ(a.domain(), 0);
+}
+
+TEST(Schema, ValidatesConstruction) {
+  EXPECT_FALSE(Schema::Make({}, 0).ok());
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Continuous("x"));
+  attrs.push_back(Attribute::Categorical("c", {"a", "b"}));
+  EXPECT_FALSE(Schema::Make(attrs, 0).ok());  // continuous class
+  EXPECT_FALSE(Schema::Make(attrs, 5).ok());  // out of range
+  ASSERT_OK_AND_ASSIGN(Schema s, Schema::Make(attrs, 1));
+  EXPECT_EQ(s.class_index(), 1);
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_FALSE(s.AllCategorical());
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Categorical("x", {"a"}));
+  attrs.push_back(Attribute::Categorical("x", {"b"}));
+  EXPECT_FALSE(Schema::Make(attrs, 1).ok());
+}
+
+TEST(Schema, IndexOf) {
+  Schema s = MakeSchema({{"p", {"1", "2"}}, {"c", {"y", "n"}}});
+  ASSERT_OK_AND_ASSIGN(int i, s.IndexOf("p"));
+  EXPECT_EQ(i, 0);
+  EXPECT_FALSE(s.IndexOf("zz").ok());
+}
+
+TEST(Dataset, AppendValidatesCells) {
+  Schema s = MakeSchema({{"p", {"1", "2"}}, {"c", {"y", "n"}}});
+  Dataset d(s);
+  EXPECT_OK(d.AppendRow({Cell::Categorical(1), Cell::Categorical(0)}));
+  EXPECT_FALSE(d.AppendRow({Cell::Categorical(5), Cell::Categorical(0)}).ok());
+  EXPECT_FALSE(d.AppendRow({Cell::Categorical(0)}).ok());  // wrong arity
+  EXPECT_OK(d.AppendRow({Cell::Categorical(kNullCode), Cell::Categorical(1)}));
+  EXPECT_EQ(d.num_rows(), 2);
+  EXPECT_EQ(d.code(0, 0), 1);
+  EXPECT_EQ(d.code(1, 0), kNullCode);
+}
+
+TEST(Dataset, TakeRowsAndDuplicate) {
+  Schema s = MakeSchema({{"p", {"1", "2", "3"}}, {"c", {"y", "n"}}});
+  Dataset d(s);
+  AppendRows(&d, {0, 0}, 1);
+  AppendRows(&d, {1, 1}, 1);
+  AppendRows(&d, {2, 0}, 1);
+  Dataset taken = d.TakeRows({2, 0});
+  ASSERT_EQ(taken.num_rows(), 2);
+  EXPECT_EQ(taken.code(0, 0), 2);
+  EXPECT_EQ(taken.code(1, 0), 0);
+  Dataset dup = d.DuplicateTimes(3);
+  EXPECT_EQ(dup.num_rows(), 9);
+  EXPECT_EQ(dup.code(3, 0), d.code(0, 0));
+  EXPECT_EQ(dup.ClassCounts()[0], 6);
+}
+
+TEST(Dataset, ClassCountsSkipNull) {
+  Schema s = MakeSchema({{"p", {"1"}}, {"c", {"y", "n"}}});
+  Dataset d(s);
+  AppendRows(&d, {0, 0}, 3);
+  AppendRows(&d, {0, 1}, 2);
+  ASSERT_OK(
+      d.AppendRow({Cell::Categorical(0), Cell::Categorical(kNullCode)}));
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(Csv, RoundTripAndInference) {
+  const std::string csv =
+      "phone,rssi,disposition\n"
+      "ph1,-80.5,ok\n"
+      "ph2,-92.1,drop\n"
+      "ph1,-85.0,ok\n";
+  std::istringstream in(csv);
+  CsvReadOptions opts;
+  opts.class_column = "disposition";
+  ASSERT_OK_AND_ASSIGN(Dataset d, ReadCsvStream(in, opts));
+  EXPECT_EQ(d.num_rows(), 3);
+  EXPECT_TRUE(d.schema().attribute(0).is_categorical());
+  EXPECT_FALSE(d.schema().attribute(1).is_categorical());
+  EXPECT_EQ(d.schema().class_index(), 2);
+  EXPECT_DOUBLE_EQ(d.number(1, 1), -92.1);
+  EXPECT_EQ(d.schema().attribute(0).label(d.code(1, 0)), "ph2");
+
+  std::ostringstream out;
+  ASSERT_OK(WriteCsvStream(d, out));
+  EXPECT_NE(out.str().find("phone,rssi,disposition"), std::string::npos);
+  EXPECT_NE(out.str().find("ph2"), std::string::npos);
+}
+
+TEST(Csv, ForcedCategoricalAndNulls) {
+  const std::string csv =
+      "code,c\n"
+      "1,y\n"
+      "?,n\n"
+      "2,y\n";
+  std::istringstream in(csv);
+  CsvReadOptions opts;
+  opts.class_column = "c";
+  opts.categorical_columns = {"code"};
+  ASSERT_OK_AND_ASSIGN(Dataset d, ReadCsvStream(in, opts));
+  EXPECT_TRUE(d.schema().attribute(0).is_categorical());
+  EXPECT_EQ(d.code(1, 0), kNullCode);
+  EXPECT_EQ(d.schema().attribute(0).domain(), 2);
+}
+
+TEST(Csv, Errors) {
+  CsvReadOptions opts;
+  opts.class_column = "missing";
+  {
+    std::istringstream in("a,b\n1,2\n");
+    EXPECT_FALSE(ReadCsvStream(in, opts).ok());
+  }
+  opts.class_column = "b";
+  {
+    std::istringstream in("a,b\n1\n");  // ragged row
+    EXPECT_FALSE(ReadCsvStream(in, opts).ok());
+  }
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadCsvStream(in, opts).ok());
+  }
+}
+
+TEST(Sampling, UniformSampleSizeAndOrder) {
+  Schema s = MakeSchema({{"p", {"1"}}, {"c", {"y", "n"}}});
+  Dataset d(s);
+  for (int i = 0; i < 100; ++i) {
+    AppendRows(&d, {0, static_cast<ValueCode>(i % 2)}, 1);
+  }
+  Rng rng(3);
+  Dataset sampled = UniformSample(d, 10, rng);
+  EXPECT_EQ(sampled.num_rows(), 10);
+  Dataset all = UniformSample(d, 1000, rng);
+  EXPECT_EQ(all.num_rows(), 100);
+}
+
+TEST(Sampling, UnbalancedCapsMajority) {
+  Schema s = MakeSchema({{"p", {"1"}}, {"c", {"ok", "drop"}}});
+  Dataset d(s);
+  AppendRows(&d, {0, 0}, 9600);
+  AppendRows(&d, {0, 1}, 400);
+  Rng rng(5);
+  ASSERT_OK_AND_ASSIGN(Dataset sampled, UnbalancedSample(d, 4.0, rng));
+  const auto counts = sampled.ClassCounts();
+  EXPECT_EQ(counts[1], 400);  // minority kept in full
+  EXPECT_NEAR(static_cast<double>(counts[0]), 1600.0, 150.0);
+  EXPECT_FALSE(UnbalancedSample(d, 0.5, rng).ok());
+}
+
+TEST(CallLog, SchemaLayout) {
+  CallLogConfig config;
+  config.num_attributes = 10;
+  config.num_property_attributes = 2;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  const Schema& s = gen.schema();
+  EXPECT_EQ(s.num_attributes(), 11);  // 10 + class
+  EXPECT_EQ(s.attribute(0).name(), "PhoneModel");
+  EXPECT_EQ(s.attribute(1).name(), "TimeOfCall");
+  EXPECT_TRUE(s.attribute(1).ordered());
+  EXPECT_EQ(s.attribute(8).name(), "HardwareVersion1");
+  EXPECT_EQ(s.attribute(9).name(), "HardwareVersion2");
+  EXPECT_EQ(s.class_attribute().name(), "CallDisposition");
+  EXPECT_EQ(s.num_classes(), 3);
+}
+
+TEST(CallLog, DeterministicForSeed) {
+  CallLogConfig config;
+  config.num_records = 500;
+  config.num_attributes = 8;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator g1, CallLogGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator g2, CallLogGenerator::Make(config));
+  Dataset a = g1.Generate();
+  Dataset b = g2.Generate();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_attributes(); ++c) {
+      ASSERT_EQ(a.code(r, c), b.code(r, c));
+    }
+  }
+}
+
+TEST(CallLog, ClassesAreSkewed) {
+  CallLogConfig config;
+  config.num_records = 50000;
+  config.num_attributes = 8;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  const auto counts = d.ClassCounts();
+  EXPECT_GT(counts[kEndedSuccessfully], 20 * counts[kDroppedWhileInProgress]);
+  EXPECT_GT(counts[kDroppedWhileInProgress], 0);
+  EXPECT_GT(counts[kFailedDuringSetup], 0);
+}
+
+TEST(CallLog, PropertyAttributeKeyedToPhone) {
+  CallLogConfig config;
+  config.num_records = 2000;
+  config.num_attributes = 8;
+  config.num_property_attributes = 1;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(int hw, d.schema().IndexOf("HardwareVersion1"));
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(d.code(r, hw), d.code(r, 0));  // same code as phone model
+  }
+}
+
+TEST(CallLog, PlantedEffectRaisesRate) {
+  CallLogConfig config;
+  config.num_records = 80000;
+  config.num_attributes = 8;
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", /*phone_model=*/-1,
+      kDroppedWhileInProgress, 6.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(ValueCode morning,
+                       d.schema().attribute(1).CodeOf("morning"));
+  int64_t m_total = 0, m_drop = 0, o_total = 0, o_drop = 0;
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    const bool is_morning = d.code(r, 1) == morning;
+    const bool dropped = d.class_code(r) == kDroppedWhileInProgress;
+    (is_morning ? m_total : o_total) += 1;
+    if (dropped) (is_morning ? m_drop : o_drop) += 1;
+  }
+  const double m_rate = static_cast<double>(m_drop) / m_total;
+  const double o_rate = static_cast<double>(o_drop) / o_total;
+  EXPECT_GT(m_rate, 3.0 * o_rate);
+}
+
+TEST(CallLog, UsageSkewShiftsDistributionNotRates) {
+  CallLogConfig config;
+  config.num_records = 60000;
+  config.num_attributes = 8;
+  config.value_zipf_s = 0.0;  // uniform global usage
+  config.usage_skews.push_back(UsageSkew{"Attr003", 1, 3.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(int attr, d.schema().IndexOf("Attr003"));
+  // For phone 1 the first value dominates; for phone 0 it is ~uniform.
+  int64_t ph0_total = 0, ph0_v0 = 0, ph1_total = 0, ph1_v0 = 0;
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    if (d.code(r, 0) == 0) {
+      ++ph0_total;
+      if (d.code(r, attr) == 0) ++ph0_v0;
+    } else if (d.code(r, 0) == 1) {
+      ++ph1_total;
+      if (d.code(r, attr) == 0) ++ph1_v0;
+    }
+  }
+  const double ph0_frac = static_cast<double>(ph0_v0) / ph0_total;
+  const double ph1_frac = static_cast<double>(ph1_v0) / ph1_total;
+  EXPECT_NEAR(ph0_frac, 1.0 / 8.0, 0.02);
+  EXPECT_GT(ph1_frac, 0.5);
+}
+
+TEST(CallLog, UsageSkewValidation) {
+  CallLogConfig config;
+  config.usage_skews.push_back(UsageSkew{"NoSuch", 0, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.usage_skews.push_back(UsageSkew{"PhoneModel", 0, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.usage_skews.push_back(UsageSkew{"HardwareVersion1", 0, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.usage_skews.push_back(UsageSkew{"TimeOfCall", 99, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+}
+
+TEST(CallLog, StreamingMatchesGenerate) {
+  CallLogConfig config;
+  config.num_records = 300;
+  config.num_attributes = 6;
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  int64_t row = 0;
+  gen.VisitRows(config.num_records, [&](const ValueCode* codes) {
+    for (int a = 0; a < d.num_attributes(); ++a) {
+      ASSERT_EQ(codes[a], d.code(row, a));
+    }
+    ++row;
+  });
+  EXPECT_EQ(row, d.num_rows());
+}
+
+TEST(Manufacturing, GeneratesMixedSchemaWithPlantedCause) {
+  ManufacturingConfig config;
+  config.num_rows = 40000;
+  ASSERT_OK_AND_ASSIGN(ManufacturingGenerator gen,
+                       ManufacturingGenerator::Make(config));
+  Dataset d = gen.Generate();
+  EXPECT_EQ(d.num_rows(), 40000);
+  EXPECT_FALSE(d.schema().AllCategorical());  // sensor columns continuous
+  ASSERT_OK_AND_ASSIGN(int temp, d.schema().IndexOf("OvenTempC"));
+  ASSERT_OK_AND_ASSIGN(int line, d.schema().IndexOf("Line"));
+  ASSERT_OK_AND_ASSIGN(int fixture, d.schema().IndexOf("FixtureId"));
+
+  // The planted cause: line B defects concentrate above the threshold.
+  int64_t hot_b = 0, hot_b_defects = 0, cool_b = 0, cool_b_defects = 0;
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    if (d.code(r, line) != 1) continue;
+    const bool hot = d.number(r, temp) > config.temp_threshold_c;
+    const bool defect = d.class_code(r) == 1;
+    (hot ? hot_b : cool_b) += 1;
+    if (defect) (hot ? hot_b_defects : cool_b_defects) += 1;
+    // Fixture is keyed to the line: B only uses FX-B*.
+    EXPECT_GE(d.code(r, fixture), 3);
+  }
+  ASSERT_GT(hot_b, 0);
+  const double hot_rate = static_cast<double>(hot_b_defects) / hot_b;
+  const double cool_rate = static_cast<double>(cool_b_defects) / cool_b;
+  EXPECT_GT(hot_rate, 4.0 * cool_rate);
+}
+
+TEST(Manufacturing, DeterministicAndValidated) {
+  ManufacturingConfig config;
+  config.num_rows = 500;
+  ASSERT_OK_AND_ASSIGN(ManufacturingGenerator g1,
+                       ManufacturingGenerator::Make(config));
+  ASSERT_OK_AND_ASSIGN(ManufacturingGenerator g2,
+                       ManufacturingGenerator::Make(config));
+  Dataset a = g1.Generate();
+  Dataset b = g2.Generate();
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.code(r, 0), b.code(r, 0));
+    ASSERT_DOUBLE_EQ(a.number(r, 3), b.number(r, 3));
+  }
+  config.base_defect_rate = 1.5;
+  EXPECT_FALSE(ManufacturingGenerator::Make(config).ok());
+  config = {};
+  config.num_rows = -1;
+  EXPECT_FALSE(ManufacturingGenerator::Make(config).ok());
+}
+
+TEST(CallLog, RejectsBadConfigs) {
+  CallLogConfig config;
+  config.num_phone_models = 1;
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.num_attributes = 1;
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.effects.push_back(PlantedEffect{"NoSuch", "v", -1, 1, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());
+  config = {};
+  config.effects.push_back(
+      PlantedEffect{"TimeOfCall", "morning", -1, kEndedSuccessfully, 2.0});
+  EXPECT_FALSE(CallLogGenerator::Make(config).ok());  // non-failure class
+}
+
+}  // namespace
+}  // namespace opmap

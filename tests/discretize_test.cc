@@ -1,0 +1,249 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "opmap/discretize/discretizer.h"
+#include "opmap/discretize/methods.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+TEST(IntervalOf, MapsValuesToIntervals) {
+  const std::vector<double> cuts = {1.0, 5.0};
+  EXPECT_EQ(IntervalOf(0.0, cuts), 0);
+  EXPECT_EQ(IntervalOf(1.0, cuts), 0);   // boundary belongs to the left
+  EXPECT_EQ(IntervalOf(1.001, cuts), 1);
+  EXPECT_EQ(IntervalOf(5.0, cuts), 1);
+  EXPECT_EQ(IntervalOf(9.0, cuts), 2);
+  EXPECT_EQ(IntervalOf(3.0, {}), 0);
+}
+
+TEST(IntervalLabels, HumanReadable) {
+  const auto labels = IntervalLabels({1.5, 3.0});
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "(-inf,1.500000]");
+  EXPECT_EQ(labels[1], "(1.500000,3.000000]");
+  EXPECT_EQ(labels[2], "(3.000000,+inf)");
+  EXPECT_EQ(IntervalLabels({}).size(), 1u);
+}
+
+TEST(EqualWidth, SplitsRange) {
+  EqualWidthDiscretizer d(4);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts({0, 1, 2, 3, 4, 5, 6, 7, 8},
+                                                {}, 0));
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_DOUBLE_EQ(cuts[0], 2.0);
+  EXPECT_DOUBLE_EQ(cuts[1], 4.0);
+  EXPECT_DOUBLE_EQ(cuts[2], 6.0);
+}
+
+TEST(EqualWidth, DegenerateColumn) {
+  EqualWidthDiscretizer d(4);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts({3, 3, 3}, {}, 0));
+  EXPECT_TRUE(cuts.empty());
+  ASSERT_OK_AND_ASSIGN(cuts, d.ComputeCuts({}, {}, 0));
+  EXPECT_TRUE(cuts.empty());
+  EXPECT_FALSE(EqualWidthDiscretizer(0).ComputeCuts({1, 2}, {}, 0).ok());
+}
+
+TEST(EqualFrequency, BalancedBins) {
+  EqualFrequencyDiscretizer d(3);
+  std::vector<double> values;
+  for (int i = 0; i < 90; ++i) values.push_back(i);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, {}, 0));
+  ASSERT_EQ(cuts.size(), 2u);
+  // Each interval should hold ~30 values.
+  int counts[3] = {0, 0, 0};
+  for (double v : values) ++counts[IntervalOf(v, cuts)];
+  EXPECT_EQ(counts[0], 30);
+  EXPECT_EQ(counts[1], 30);
+  EXPECT_EQ(counts[2], 30);
+}
+
+TEST(EqualFrequency, TiesDoNotStraddle) {
+  EqualFrequencyDiscretizer d(2);
+  // 10 copies of 1 followed by one 2: the cut must not split the ties.
+  std::vector<double> values(10, 1.0);
+  values.push_back(2.0);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, {}, 0));
+  for (double c : cuts) {
+    EXPECT_GT(c, 1.0);
+    EXPECT_LT(c, 2.0);
+  }
+}
+
+TEST(EntropyMdl, FindsClassBoundary) {
+  // Class flips exactly at 50: a single cut near 49.5 is expected.
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(i);
+    classes.push_back(i < 50 ? 0 : 1);
+  }
+  EntropyMdlDiscretizer d;
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, classes, 2));
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_NEAR(cuts[0], 49.5, 0.01);
+}
+
+TEST(EntropyMdl, NoCutOnNoise) {
+  // Class independent of value: MDL should refuse to cut.
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(i);
+    classes.push_back(i % 2);
+  }
+  EntropyMdlDiscretizer d;
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, classes, 2));
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(EntropyMdl, RespectsMaxCuts) {
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(i);
+    classes.push_back((i / 100) % 3);  // three clean segments
+  }
+  EntropyMdlDiscretizer unlimited;
+  ASSERT_OK_AND_ASSIGN(auto cuts, unlimited.ComputeCuts(values, classes, 3));
+  EXPECT_EQ(cuts.size(), 2u);
+  EntropyMdlDiscretizer capped(1);
+  ASSERT_OK_AND_ASSIGN(cuts, capped.ComputeCuts(values, classes, 3));
+  EXPECT_EQ(cuts.size(), 1u);
+}
+
+TEST(EntropyMdl, RequiresAlignedClasses) {
+  EntropyMdlDiscretizer d;
+  EXPECT_FALSE(d.ComputeCuts({1, 2, 3}, {0, 1}, 2).ok());
+}
+
+Dataset MixedDataset() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Continuous("rssi"));
+  attrs.push_back(Attribute::Categorical("phone", {"ph1", "ph2"}));
+  attrs.push_back(Attribute::Categorical("c", {"ok", "drop"}));
+  auto schema = Schema::Make(std::move(attrs), 2);
+  EXPECT_TRUE(schema.ok());
+  Dataset d(schema.MoveValue());
+  // Strong rssi/class relationship: rssi < 0 -> drop.
+  for (int i = 0; i < 200; ++i) {
+    const double rssi = i - 100;
+    const ValueCode cls = rssi < 0 ? 1 : 0;
+    auto st = d.AppendRow({Cell::Numeric(rssi),
+                           Cell::Categorical(static_cast<ValueCode>(i % 2)),
+                           Cell::Categorical(cls)});
+    EXPECT_TRUE(st.ok());
+  }
+  return d;
+}
+
+TEST(DiscretizeDataset, ReplacesContinuousColumns) {
+  Dataset d = MixedDataset();
+  EntropyMdlDiscretizer method;
+  ASSERT_OK_AND_ASSIGN(Dataset out, DiscretizeDataset(d, method));
+  EXPECT_TRUE(out.schema().AllCategorical());
+  EXPECT_EQ(out.num_rows(), d.num_rows());
+  const Attribute& rssi = out.schema().attribute(0);
+  EXPECT_TRUE(rssi.ordered());
+  EXPECT_GE(rssi.domain(), 2);
+  // Categorical columns pass through untouched.
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(out.code(r, 1), d.code(r, 1));
+    EXPECT_EQ(out.code(r, 2), d.code(r, 2));
+  }
+}
+
+TEST(DiscretizeDataset, RejectsNaN) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Continuous("x"));
+  attrs.push_back(Attribute::Categorical("c", {"a", "b"}));
+  auto schema = Schema::Make(std::move(attrs), 1);
+  ASSERT_TRUE(schema.ok());
+  Dataset d(schema.MoveValue());
+  ASSERT_OK(d.AppendRow({Cell::Numeric(std::nan("")), Cell::Categorical(0)}));
+  EqualWidthDiscretizer method(2);
+  EXPECT_FALSE(DiscretizeDataset(d, method).ok());
+}
+
+TEST(DiscretizeDataset, ManualOverrides) {
+  Dataset d = MixedDataset();
+  ASSERT_OK_AND_ASSIGN(
+      Dataset out,
+      DiscretizeDatasetWithOverrides(d, {{"rssi", {-50.0, 0.0, 50.0}}},
+                                     nullptr));
+  EXPECT_EQ(out.schema().attribute(0).domain(), 4);
+  // Unlisted continuous attribute with no fallback fails.
+  EXPECT_FALSE(DiscretizeDatasetWithOverrides(d, {}, nullptr).ok());
+}
+
+TEST(ChiMerge, FindsClassBoundary) {
+  // Class flips at 50: one strong boundary should survive merging.
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(i);
+    classes.push_back(i < 100 ? 0 : 1);
+  }
+  ChiMergeDiscretizer d(/*significance_threshold=*/4.61);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, classes, 2));
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_NEAR(cuts[0], 99.0, 1.0);
+}
+
+TEST(ChiMerge, MergesEverythingOnNoise) {
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(i);
+    classes.push_back(i % 2);  // class independent of value
+  }
+  ChiMergeDiscretizer d(4.61);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, classes, 2));
+  EXPECT_LE(cuts.size(), 2u);  // near-total merging
+}
+
+TEST(ChiMerge, RespectsIntervalBudget) {
+  std::vector<double> values;
+  std::vector<ValueCode> classes;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(i);
+    classes.push_back((i / 100) % 2);  // four clean segments
+  }
+  // Threshold 0 means "never merge for significance reasons"; the budget
+  // alone drives merging down to exactly two intervals (one cut), and the
+  // weakest boundaries are merged away first.
+  ChiMergeDiscretizer d(/*significance_threshold=*/0.0, /*max_intervals=*/2);
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts(values, classes, 2));
+  EXPECT_EQ(cuts.size(), 1u);
+  // Without a budget, threshold 0 keeps every boundary candidate intact...
+  ChiMergeDiscretizer keep(/*significance_threshold=*/0.0);
+  ASSERT_OK_AND_ASSIGN(auto all, keep.ComputeCuts(values, classes, 2));
+  EXPECT_GE(all.size(), 3u);
+  // ...and a huge threshold merges everything into one interval.
+  ChiMergeDiscretizer merge_all(/*significance_threshold=*/1e9);
+  ASSERT_OK_AND_ASSIGN(auto none, merge_all.ComputeCuts(values, classes, 2));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ChiMerge, Validation) {
+  ChiMergeDiscretizer d(4.61);
+  EXPECT_FALSE(d.ComputeCuts({1, 2}, {0}, 2).ok());   // misaligned
+  EXPECT_FALSE(d.ComputeCuts({1, 2}, {0, 1}, 1).ok()); // one class
+  ChiMergeDiscretizer bad(-1.0);
+  EXPECT_FALSE(bad.ComputeCuts({1, 2}, {0, 1}, 2).ok());
+  // Empty after null filtering.
+  ASSERT_OK_AND_ASSIGN(auto cuts,
+                       d.ComputeCuts({1.0}, {kNullCode}, 2));
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(ManualDiscretizer, ReturnsFixedCuts) {
+  ManualDiscretizer d({1.0, 2.0});
+  ASSERT_OK_AND_ASSIGN(auto cuts, d.ComputeCuts({5, 6}, {}, 0));
+  EXPECT_EQ(cuts, (std::vector<double>{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Smoke test for the example binaries: each must run at a reduced scale and
+# print the markers that indicate its scenario worked. Arguments: the four
+# example binary paths (quickstart, call_log_analysis,
+# manufacturing_defects, explorer).
+set -euo pipefail
+
+QUICKSTART="$1"
+CALL_LOG="$2"
+MANUFACTURING="$3"
+EXPLORER="$4"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+out="$("$QUICKSTART")"
+echo "$out" | grep -q "Ranked distinguishing attributes" \
+    || fail "quickstart report"
+echo "$out" | grep -q "TimeOfCall" || fail "quickstart finds TimeOfCall"
+echo "$out" | grep -q "morning" || fail "quickstart morning breakdown"
+
+out="$("$CALL_LOG" --records=30000 --attributes=12)"
+echo "$out" | grep -q "Overall visualization" || fail "call_log overview"
+echo "$out" | grep -q "Most influential attributes" || fail "call_log GI"
+echo "$out" | grep -q "Restricted mining under" || fail "call_log drilldown"
+echo "$out" | grep -q "#1  TimeOfCall" || fail "call_log planted cause"
+
+out="$("$MANUFACTURING" --rows=20000)"
+echo "$out" | grep -q "OvenTempC" || fail "manufacturing cause"
+echo "$out" | grep -q "PROPERTY ATTRIBUTE\|property" \
+    || fail "manufacturing property attribute"
+
+out="$(printf 'open PhoneModel\ndrill TimeOfCall\nslice PhoneModel ph03\nback\ncompare PhoneModel ph01 ph03 dropped-while-in-progress\nview TimeOfCall\nbogus\nquit\n' \
+    | "$EXPLORER" --records=20000 --attributes=10)"
+echo "$out" | grep -q "view: PhoneModel > drill TimeOfCall" \
+    || fail "explorer olap path"
+echo "$out" | grep -q "Ranked distinguishing attributes" \
+    || fail "explorer compare"
+echo "$out" | grep -q "unknown command 'bogus'" || fail "explorer errors"
+
+echo "PASS"

@@ -1,0 +1,293 @@
+#include "gtest/gtest.h"
+#include "opmap/common/random.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/gi/exceptions.h"
+#include "opmap/gi/impressions.h"
+#include "opmap/gi/influence.h"
+#include "opmap/gi/trend.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+
+Schema TrendSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Categorical(
+      "Hour", {"h0", "h1", "h2", "h3"}, /*ordered=*/true));
+  attrs.push_back(Attribute::Categorical("Noise", {"x", "y"}));
+  attrs.push_back(Attribute::Categorical("Class", {"ok", "drop"}));
+  auto s = Schema::Make(std::move(attrs), 2);
+  EXPECT_TRUE(s.ok());
+  return s.MoveValue();
+}
+
+// Adds calls at `hour` with the given drop count out of `total`.
+void AddHour(Dataset* d, ValueCode hour, int64_t total, int64_t drops) {
+  AppendRows(d, {hour, 0, 1}, drops / 2);
+  AppendRows(d, {hour, 1, 1}, drops - drops / 2);
+  AppendRows(d, {hour, 0, 0}, (total - drops) / 2);
+  AppendRows(d, {hour, 1, 0}, (total - drops) - (total - drops) / 2);
+}
+
+TEST(Trend, DetectsIncreasing) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 4000, 40);
+  AddHour(&d, 1, 4000, 120);
+  AddHour(&d, 2, 4000, 280);
+  AddHour(&d, 3, 4000, 500);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(Trend t, DetectTrend(store, 0, 1, TrendOptions{}));
+  EXPECT_EQ(t.direction, TrendDirection::kIncreasing);
+  EXPECT_GT(t.agreement, 0.8);
+  ASSERT_EQ(t.confidences.size(), 4u);
+  EXPECT_LT(t.confidences[0], t.confidences[3]);
+}
+
+TEST(Trend, DetectsDecreasingOnComplementClass) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 4000, 40);
+  AddHour(&d, 1, 4000, 120);
+  AddHour(&d, 2, 4000, 280);
+  AddHour(&d, 3, 4000, 500);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(Trend t, DetectTrend(store, 0, 0, TrendOptions{}));
+  EXPECT_EQ(t.direction, TrendDirection::kDecreasing);
+}
+
+TEST(Trend, DetectsStable) {
+  Dataset d(TrendSchema());
+  for (ValueCode h = 0; h < 4; ++h) AddHour(&d, h, 4000, 100);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(Trend t, DetectTrend(store, 0, 1, TrendOptions{}));
+  EXPECT_EQ(t.direction, TrendDirection::kStable);
+}
+
+TEST(Trend, NoiseIsNotATrend) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 4000, 100);
+  AddHour(&d, 1, 4000, 400);
+  AddHour(&d, 2, 4000, 60);
+  AddHour(&d, 3, 4000, 300);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(Trend t, DetectTrend(store, 0, 1, TrendOptions{}));
+  EXPECT_EQ(t.direction, TrendDirection::kNone);
+}
+
+TEST(Trend, MineTrendsFiltersUnordered) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 4000, 40);
+  AddHour(&d, 1, 4000, 120);
+  AddHour(&d, 2, 4000, 280);
+  AddHour(&d, 3, 4000, 500);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(auto trends, MineTrends(store, TrendOptions{}));
+  for (const Trend& t : trends) {
+    EXPECT_EQ(t.attribute, 0);  // only the ordered Hour attribute
+  }
+  EXPECT_GE(trends.size(), 2u);  // drop increasing + ok decreasing
+  TrendOptions all;
+  all.ordered_attributes_only = false;
+  ASSERT_OK_AND_ASSIGN(auto more, MineTrends(store, all));
+  EXPECT_GE(more.size(), trends.size());
+}
+
+TEST(Exceptions, FlagsDeviantValue) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 5000, 50);
+  AddHour(&d, 1, 5000, 50);
+  AddHour(&d, 2, 5000, 50);
+  AddHour(&d, 3, 5000, 400);  // 8% vs 1% baseline
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions opts;
+  opts.min_significance = 2.0;
+  ASSERT_OK_AND_ASSIGN(auto cells, MineAttributeExceptions(store, opts));
+  ASSERT_FALSE(cells.empty());
+  // The strongest exception must be h3's drop rate.
+  EXPECT_EQ(cells[0].attribute, 0);
+  EXPECT_EQ(cells[0].value, 3);
+  EXPECT_EQ(cells[0].class_value, 1);
+  EXPECT_GT(cells[0].deviation, 0.0);
+}
+
+TEST(Exceptions, MinBodyCountFilters) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 10, 8);  // wild rate but tiny population
+  AddHour(&d, 1, 5000, 50);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions opts;
+  opts.min_body_count = 100;
+  ASSERT_OK_AND_ASSIGN(auto cells, MineAttributeExceptions(store, opts));
+  for (const auto& c : cells) {
+    EXPECT_GE(c.body_count, 100);
+  }
+}
+
+TEST(Exceptions, PairExceptionsFindSuppressedInteraction) {
+  // All (hour, noise) cells drop at 10% except (h1, y), which drops at
+  // 0.5% — a protective interaction the multiplicative expectation model
+  // cannot explain away (a single *hot* cell, by contrast, is perfectly
+  // consistent with two independent odds factors).
+  Dataset d(TrendSchema());
+  auto add_cell = [&](ValueCode h, ValueCode n, int64_t drops) {
+    AppendRows(&d, {h, n, 1}, drops);
+    AppendRows(&d, {h, n, 0}, 2500 - drops);
+  };
+  add_cell(0, 0, 250);
+  add_cell(0, 1, 250);
+  add_cell(1, 0, 250);
+  add_cell(1, 1, 12);  // suppressed cell
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions opts;
+  opts.min_significance = 2.0;
+  ASSERT_OK_AND_ASSIGN(auto cells, MinePairExceptions(store, 0, 1, opts));
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells[0].value, 1);        // Hour = h1
+  EXPECT_EQ(cells[0].value2, 1);       // Noise = y
+  EXPECT_EQ(cells[0].class_value, 1);  // drop
+  EXPECT_LT(cells[0].deviation, 0.0);  // far below expectation
+}
+
+TEST(Exceptions, PairExceptionsQuietOnIndependentData) {
+  // Class odds factorize exactly over the two attributes: no exceptions.
+  Dataset d(TrendSchema());
+  auto add_cell = [&](ValueCode h, ValueCode n, int64_t drops) {
+    AppendRows(&d, {h, n, 1}, drops);
+    AppendRows(&d, {h, n, 0}, 10000 - drops);
+  };
+  // Hour h1 doubles the rate, noise y triples it: cell rates 1/2/3/6 %.
+  add_cell(0, 0, 100);
+  add_cell(1, 0, 200);
+  add_cell(0, 1, 300);
+  add_cell(1, 1, 600);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions opts;
+  opts.min_significance = 3.0;
+  ASSERT_OK_AND_ASSIGN(auto cells, MinePairExceptions(store, 0, 1, opts));
+  EXPECT_TRUE(cells.empty());
+}
+
+TEST(Influence, RanksCorrelatedAttributeFirst) {
+  // Hour strongly determines the class; Noise is independent.
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 3000, 30);
+  AddHour(&d, 3, 3000, 900);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ASSERT_OK_AND_ASSIGN(auto ranking, RankInfluentialAttributes(store));
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].attribute, 0);
+  EXPECT_GT(ranking[0].cramers_v, ranking[1].cramers_v);
+  EXPECT_LT(ranking[0].p_value, 0.01);
+  EXPECT_GT(ranking[0].information_gain_bits,
+            ranking[1].information_gain_bits);
+}
+
+TEST(Exceptions, FdrControlIsStricterThanRawThreshold) {
+  // Many attribute values near the baseline plus one genuine deviation:
+  // the raw 1-margin threshold fires on noise; BH keeps the real one.
+  Dataset d(TrendSchema());
+  Rng rng(77);
+  // Baseline 2% drops over many random-ish cells.
+  for (ValueCode h = 0; h < 4; ++h) {
+    const int64_t drops = 78 + static_cast<int64_t>(rng.NextBounded(8));
+    AddHour(&d, h, 4000, drops);
+  }
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+
+  ExceptionOptions raw;
+  raw.min_significance = 0.2;  // permissive raw threshold
+  ASSERT_OK_AND_ASSIGN(auto raw_cells, MineAttributeExceptions(store, raw));
+
+  ExceptionOptions fdr;
+  fdr.fdr = 0.05;
+  ASSERT_OK_AND_ASSIGN(auto fdr_cells, MineAttributeExceptions(store, fdr));
+  // FDR control reports no more than the permissive raw threshold.
+  EXPECT_LE(fdr_cells.size(), raw_cells.size());
+  // And every FDR-selected cell is strongly significant.
+  for (const auto& c : fdr_cells) {
+    EXPECT_GT(c.significance, 1.0);
+  }
+}
+
+TEST(Exceptions, FdrKeepsGenuineDeviation) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 5000, 50);
+  AddHour(&d, 1, 5000, 50);
+  AddHour(&d, 2, 5000, 50);
+  AddHour(&d, 3, 5000, 400);  // genuine exception
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions fdr;
+  fdr.fdr = 0.01;
+  ASSERT_OK_AND_ASSIGN(auto cells, MineAttributeExceptions(store, fdr));
+  ASSERT_FALSE(cells.empty());
+  EXPECT_EQ(cells[0].attribute, 0);
+  EXPECT_EQ(cells[0].value, 3);
+}
+
+TEST(Impressions, CombinedPassAndReport) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 4000, 40);
+  AddHour(&d, 1, 4000, 120);
+  AddHour(&d, 2, 4000, 280);
+  AddHour(&d, 3, 4000, 500);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  GiOptions options;
+  options.exceptions.min_significance = 2.0;
+  options.mine_interactions = true;
+  ASSERT_OK_AND_ASSIGN(GeneralImpressions gi,
+                       MineGeneralImpressions(store, options));
+  EXPECT_EQ(gi.influence.size(), 2u);
+  EXPECT_FALSE(gi.trends.empty());
+  EXPECT_FALSE(gi.exceptions.empty());
+  const std::string report = FormatGeneralImpressions(gi, store.schema());
+  EXPECT_NE(report.find("Influential attributes"), std::string::npos);
+  EXPECT_NE(report.find("Trends"), std::string::npos);
+  EXPECT_NE(report.find("Exceptions"), std::string::npos);
+  EXPECT_NE(report.find("Hour"), std::string::npos);
+}
+
+TEST(Impressions, TopInfluenceCapRespected) {
+  Dataset d(TrendSchema());
+  AddHour(&d, 0, 2000, 20);
+  AddHour(&d, 3, 2000, 200);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  GiOptions options;
+  options.top_influence = 1;
+  ASSERT_OK_AND_ASSIGN(GeneralImpressions gi,
+                       MineGeneralImpressions(store, options));
+  EXPECT_EQ(gi.influence.size(), 1u);
+  EXPECT_TRUE(gi.interactions.empty());  // off by default
+}
+
+TEST(Impressions, InteractionsFindCrossAttributeCell) {
+  // Same suppressed-cell construction as the pair-exception test, found
+  // through the all-pairs sweep.
+  Dataset d(TrendSchema());
+  auto add_cell = [&](ValueCode h, ValueCode n, int64_t drops) {
+    AppendRows(&d, {h, n, 1}, drops);
+    AppendRows(&d, {h, n, 0}, 2500 - drops);
+  };
+  add_cell(0, 0, 250);
+  add_cell(0, 1, 250);
+  add_cell(1, 0, 250);
+  add_cell(1, 1, 12);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  ExceptionOptions opts;
+  opts.min_significance = 2.0;
+  ASSERT_OK_AND_ASSIGN(auto cells, MineInteractions(store, opts, 5));
+  ASSERT_FALSE(cells.empty());
+  EXPECT_LE(cells.size(), 5u);
+  EXPECT_EQ(cells[0].attribute, 0);
+  EXPECT_EQ(cells[0].attribute2, 1);
+}
+
+TEST(TrendDirectionName, Names) {
+  EXPECT_STREQ(TrendDirectionName(TrendDirection::kIncreasing), "increasing");
+  EXPECT_STREQ(TrendDirectionName(TrendDirection::kDecreasing), "decreasing");
+  EXPECT_STREQ(TrendDirectionName(TrendDirection::kStable), "stable");
+  EXPECT_STREQ(TrendDirectionName(TrendDirection::kNone), "none");
+}
+
+}  // namespace
+}  // namespace opmap

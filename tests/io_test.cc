@@ -1,0 +1,266 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "opmap/common/serde.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "opmap/data/dataset_io.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+TEST(Serde, ScalarRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU8(7);
+  w.WriteU32(123456);
+  w.WriteU64(1ULL << 40);
+  w.WriteI32(-42);
+  w.WriteI64(-(1LL << 40));
+  w.WriteDouble(3.14159);
+  w.WriteString("hello");
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(&buf);
+  ASSERT_OK_AND_ASSIGN(uint8_t u8, r.ReadU8());
+  EXPECT_EQ(u8, 7);
+  ASSERT_OK_AND_ASSIGN(uint32_t u32, r.ReadU32());
+  EXPECT_EQ(u32, 123456u);
+  ASSERT_OK_AND_ASSIGN(uint64_t u64, r.ReadU64());
+  EXPECT_EQ(u64, 1ULL << 40);
+  ASSERT_OK_AND_ASSIGN(int32_t i32, r.ReadI32());
+  EXPECT_EQ(i32, -42);
+  ASSERT_OK_AND_ASSIGN(int64_t i64, r.ReadI64());
+  EXPECT_EQ(i64, -(1LL << 40));
+  ASSERT_OK_AND_ASSIGN(double d, r.ReadDouble());
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  ASSERT_OK_AND_ASSIGN(std::string s, r.ReadString());
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Serde, VectorRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  const std::vector<int32_t> i32 = {1, -2, kNullCode};
+  const std::vector<int64_t> i64 = {10, -20};
+  const std::vector<double> dbl = {0.5, -1.5};
+  w.WriteI32Vector(i32);
+  w.WriteI64Vector(i64);
+  w.WriteDoubleVector(dbl);
+  BinaryReader r(&buf);
+  ASSERT_OK_AND_ASSIGN(auto ri32, r.ReadI32Vector());
+  EXPECT_EQ(ri32, i32);
+  ASSERT_OK_AND_ASSIGN(auto ri64, r.ReadI64Vector());
+  EXPECT_EQ(ri64, i64);
+  ASSERT_OK_AND_ASSIGN(auto rdbl, r.ReadDoubleVector());
+  EXPECT_EQ(rdbl, dbl);
+}
+
+TEST(Serde, TruncationIsAnError) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU64(99);  // claims a 99-byte string follows
+  BinaryReader r(&buf);
+  EXPECT_FALSE(r.ReadString().ok());
+
+  std::stringstream empty;
+  BinaryReader r2(&empty);
+  EXPECT_FALSE(r2.ReadU32().ok());
+}
+
+TEST(Serde, LengthLimitDefendsAgainstCorruptSizes) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU64(1ULL << 50);
+  BinaryReader r(&buf, /*limit=*/1 << 20);
+  EXPECT_FALSE(r.ReadI64Vector().ok());
+}
+
+TEST(Serde, MagicMismatch) {
+  std::stringstream buf;
+  buf.write("XXXX", 4);
+  BinaryReader r(&buf);
+  EXPECT_FALSE(r.ExpectMagic("OPMD").ok());
+}
+
+Dataset MixedDataset() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::Categorical("phone", {"ph1", "ph2"}));
+  attrs.push_back(Attribute::Continuous("rssi"));
+  attrs.push_back(
+      Attribute::Categorical("hour", {"h0", "h1", "h2"}, /*ordered=*/true));
+  attrs.push_back(Attribute::Categorical("c", {"ok", "drop"}));
+  auto schema = Schema::Make(std::move(attrs), 3);
+  EXPECT_TRUE(schema.ok());
+  Dataset d(schema.MoveValue());
+  for (int i = 0; i < 100; ++i) {
+    auto st = d.AppendRow(
+        {Cell::Categorical(static_cast<ValueCode>(i % 2)),
+         Cell::Numeric(-80.0 - i * 0.25),
+         Cell::Categorical(i % 7 == 0 ? kNullCode
+                                      : static_cast<ValueCode>(i % 3)),
+         Cell::Categorical(static_cast<ValueCode>(i % 10 == 0 ? 1 : 0))});
+    EXPECT_TRUE(st.ok());
+  }
+  return d;
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  Dataset original = MixedDataset();
+  std::stringstream buf;
+  ASSERT_OK(SaveDataset(original, &buf));
+  ASSERT_OK_AND_ASSIGN(Dataset loaded, LoadDataset(&buf));
+
+  ASSERT_EQ(loaded.num_rows(), original.num_rows());
+  ASSERT_EQ(loaded.num_attributes(), original.num_attributes());
+  EXPECT_EQ(loaded.schema().class_index(), original.schema().class_index());
+  for (int a = 0; a < original.num_attributes(); ++a) {
+    const Attribute& oa = original.schema().attribute(a);
+    const Attribute& la = loaded.schema().attribute(a);
+    EXPECT_EQ(la.name(), oa.name());
+    EXPECT_EQ(la.is_categorical(), oa.is_categorical());
+    EXPECT_EQ(la.ordered(), oa.ordered());
+    EXPECT_EQ(la.labels(), oa.labels());
+  }
+  for (int64_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(loaded.code(r, 0), original.code(r, 0));
+    EXPECT_DOUBLE_EQ(loaded.number(r, 1), original.number(r, 1));
+    EXPECT_EQ(loaded.code(r, 2), original.code(r, 2));
+    EXPECT_EQ(loaded.code(r, 3), original.code(r, 3));
+  }
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  Dataset original = MixedDataset();
+  const std::string path = ::testing::TempDir() + "/opmap_io_test.opmd";
+  ASSERT_OK(SaveDatasetToFile(original, path));
+  ASSERT_OK_AND_ASSIGN(Dataset loaded, LoadDatasetFromFile(path));
+  EXPECT_EQ(loaded.num_rows(), original.num_rows());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDatasetFromFile(path).ok());
+}
+
+TEST(DatasetIo, RejectsCorruptInput) {
+  Dataset original = MixedDataset();
+  std::stringstream buf;
+  ASSERT_OK(SaveDataset(original, &buf));
+  std::string bytes = buf.str();
+  // Corrupt the magic.
+  bytes[0] = 'X';
+  std::stringstream bad(bytes);
+  EXPECT_FALSE(LoadDataset(&bad).ok());
+  // Truncate.
+  std::stringstream truncated(buf.str().substr(0, buf.str().size() / 2));
+  EXPECT_FALSE(LoadDataset(&truncated).ok());
+}
+
+TEST(DatasetIo, VersionCheck) {
+  std::stringstream buf;
+  buf.write("OPMD", 4);
+  BinaryWriter w(&buf);
+  w.WriteU32(999);  // future version
+  EXPECT_FALSE(LoadDataset(&buf).ok());
+}
+
+TEST(SetColumnData, Validation) {
+  Schema schema = MakeSchema({{"a", {"x", "y"}}, {"c", {"p", "q"}}});
+  Dataset d(schema);
+  // Wrong column count.
+  EXPECT_FALSE(d.SetColumnData({{0, 1}}, {{}}).ok());
+  // Ragged columns.
+  EXPECT_FALSE(d.SetColumnData({{0, 1}, {0}}, {{}, {}}).ok());
+  // Out-of-domain code.
+  EXPECT_FALSE(d.SetColumnData({{0, 9}, {0, 0}}, {{}, {}}).ok());
+  // Numeric data for a categorical column.
+  EXPECT_FALSE(d.SetColumnData({{0}, {0}}, {{1.0}, {}}).ok());
+  // Valid.
+  ASSERT_OK(d.SetColumnData({{0, 1, kNullCode}, {0, 1, 0}}, {{}, {}}));
+  EXPECT_EQ(d.num_rows(), 3);
+  EXPECT_EQ(d.code(2, 0), kNullCode);
+}
+
+TEST(CubeIo, RoundTripPreservesCountsAndComparisons) {
+  CallLogConfig config;
+  config.num_records = 15000;
+  config.num_attributes = 10;
+  config.phone_drop_multiplier = {1.0, 2.5};
+  config.effects.push_back(PlantedEffect{
+      "TimeOfCall", "morning", 1, kDroppedWhileInProgress, 5.0});
+  ASSERT_OK_AND_ASSIGN(CallLogGenerator gen, CallLogGenerator::Make(config));
+  Dataset d = gen.Generate();
+  ASSERT_OK_AND_ASSIGN(CubeStore original, CubeBuilder::FromDataset(d));
+
+  std::stringstream buf;
+  ASSERT_OK(original.Save(&buf));
+  ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::Load(&buf));
+
+  EXPECT_EQ(loaded.num_records(), original.num_records());
+  EXPECT_EQ(loaded.NumCubes(), original.NumCubes());
+  EXPECT_EQ(loaded.class_counts(), original.class_counts());
+
+  // Every cell of every cube must match.
+  for (int a : original.attributes()) {
+    ASSERT_OK_AND_ASSIGN(const RuleCube* oc, original.AttrCube(a));
+    ASSERT_OK_AND_ASSIGN(const RuleCube* lc, loaded.AttrCube(a));
+    ASSERT_EQ(oc->num_cells(), lc->num_cells());
+    for (int64_t i = 0; i < oc->num_cells(); ++i) {
+      ASSERT_EQ(oc->raw_counts()[i], lc->raw_counts()[i]);
+    }
+  }
+
+  // The interactive path on the loaded store reproduces the comparison
+  // bit-for-bit (the deployed system's save-overnight/load-in-the-morning
+  // cycle).
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  Comparator co(&original);
+  Comparator cl(&loaded);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult ro, co.Compare(spec));
+  ASSERT_OK_AND_ASSIGN(ComparisonResult rl, cl.Compare(spec));
+  ASSERT_EQ(ro.ranked.size(), rl.ranked.size());
+  for (size_t i = 0; i < ro.ranked.size(); ++i) {
+    EXPECT_EQ(ro.ranked[i].attribute, rl.ranked[i].attribute);
+    EXPECT_DOUBLE_EQ(ro.ranked[i].interestingness,
+                     rl.ranked[i].interestingness);
+  }
+}
+
+TEST(CubeIo, RejectsCorruptInput) {
+  Schema schema = MakeSchema({{"a", {"x", "y"}}, {"c", {"p", "q"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 0}, 5);
+  AppendRows(&d, {1, 1}, 5);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  std::stringstream buf;
+  ASSERT_OK(store.Save(&buf));
+  std::string bytes = buf.str();
+  bytes[1] = 'Z';
+  std::stringstream bad(bytes);
+  EXPECT_FALSE(CubeStore::Load(&bad).ok());
+  std::stringstream truncated(buf.str().substr(0, 20));
+  EXPECT_FALSE(CubeStore::Load(&truncated).ok());
+}
+
+TEST(CubeIo, FileRoundTrip) {
+  Schema schema = MakeSchema({{"a", {"x", "y"}}, {"c", {"p", "q"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 1}, 7);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+  const std::string path = ::testing::TempDir() + "/opmap_io_test.opmc";
+  ASSERT_OK(store.SaveToFile(path));
+  ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::LoadFromFile(path));
+  ASSERT_OK_AND_ASSIGN(const RuleCube* cube, loaded.AttrCube(0));
+  EXPECT_EQ(cube->count({0, 1}), 7);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,138 @@
+#include "opmap/core/session.h"
+
+#include "gtest/gtest.h"
+#include "opmap/cube/cube_store.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+Schema SessionSchema() {
+  return MakeSchema({{"PhoneModel", {"ph1", "ph2"}},
+                     {"TimeOfCall", {"morning", "evening"}},
+                     {"Class", {"ok", "drop"}}});
+}
+
+CubeStore MakeStore() {
+  Dataset d(SessionSchema());
+  AppendRows(&d, {0, 0, 0}, 90);
+  AppendRows(&d, {0, 0, 1}, 10);
+  AppendRows(&d, {0, 1, 0}, 95);
+  AppendRows(&d, {0, 1, 1}, 5);
+  AppendRows(&d, {1, 0, 0}, 60);
+  AppendRows(&d, {1, 0, 1}, 40);
+  AppendRows(&d, {1, 1, 0}, 95);
+  AppendRows(&d, {1, 1, 1}, 5);
+  auto store = CubeBuilder::FromDataset(d);
+  EXPECT_TRUE(store.ok());
+  return store.MoveValue();
+}
+
+TEST(ExplorationSession, RequiresOpenView) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  EXPECT_FALSE(session.has_view());
+  EXPECT_FALSE(session.DrillDown("TimeOfCall").ok());
+  EXPECT_FALSE(session.Slice("PhoneModel", "ph1").ok());
+  EXPECT_FALSE(session.Render().ok());
+  EXPECT_FALSE(session.Back().ok());
+}
+
+TEST(ExplorationSession, OpenShowsTwoDimensionalCube) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  ASSERT_TRUE(session.has_view());
+  EXPECT_EQ(session.current().num_dims(), 2);
+  EXPECT_EQ(session.PathString(), "PhoneModel");
+  ASSERT_OK_AND_ASSIGN(std::string view, session.Render());
+  EXPECT_NE(view.find("ph1"), std::string::npos);
+  EXPECT_NE(view.find("Class=drop"), std::string::npos);
+  EXPECT_FALSE(session.OpenAttribute("NoSuch").ok());
+}
+
+TEST(ExplorationSession, DrillSliceRollFlow) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  ASSERT_OK(session.DrillDown("TimeOfCall"));
+  EXPECT_EQ(session.current().num_dims(), 3);
+  // The 3-D cell counts come straight from the pair cube.
+  EXPECT_EQ(session.current().count({1, 0, 1}), 40);
+
+  ASSERT_OK(session.Slice("PhoneModel", "ph2"));
+  EXPECT_EQ(session.current().num_dims(), 2);
+  EXPECT_EQ(session.current().count({0, 1}), 40);  // morning drops of ph2
+  EXPECT_EQ(session.PathString(),
+            "PhoneModel > drill TimeOfCall > slice PhoneModel=ph2");
+
+  ASSERT_OK(session.RollUp("TimeOfCall"));
+  EXPECT_EQ(session.current().num_dims(), 1);
+  EXPECT_EQ(session.current().count({1}), 45);  // all drops of ph2
+
+  // Back undoes one step at a time.
+  ASSERT_OK(session.Back());
+  EXPECT_EQ(session.current().num_dims(), 2);
+  ASSERT_OK(session.Back());
+  ASSERT_OK(session.Back());
+  EXPECT_EQ(session.PathString(), "PhoneModel");
+  EXPECT_FALSE(session.Back().ok());
+}
+
+TEST(ExplorationSession, DiceRestrictsValues) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("TimeOfCall"));
+  ASSERT_OK(session.Dice("TimeOfCall", {"morning"}));
+  EXPECT_EQ(session.current().dim_size(0), 1);
+  EXPECT_EQ(session.current().Total(), 200);  // all morning calls
+  EXPECT_FALSE(session.Dice("TimeOfCall", {"no-such-value"}).ok());
+}
+
+TEST(ExplorationSession, DrillDownValidation) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  EXPECT_FALSE(session.DrillDown("PhoneModel").ok());  // same attribute
+  EXPECT_FALSE(session.DrillDown("Class").ok());       // class attribute
+  ASSERT_OK(session.DrillDown("TimeOfCall"));
+  EXPECT_FALSE(session.DrillDown("TimeOfCall").ok());  // already 3-D
+}
+
+TEST(ExplorationSession, RenderAfterClassRemoved) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  ASSERT_OK(session.Slice("Class", "drop"));
+  ASSERT_OK_AND_ASSIGN(std::string view, session.Render());
+  EXPECT_NE(view.find("class dimension removed"), std::string::npos);
+  EXPECT_NE(view.find("ph2"), std::string::npos);
+  // Counts view shows the drop counts per phone.
+  EXPECT_NE(view.find("45"), std::string::npos);
+}
+
+TEST(ExplorationSession, ResetClearsEverything) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  session.Reset();
+  EXPECT_FALSE(session.has_view());
+  EXPECT_EQ(session.PathString(), "");
+}
+
+TEST(ExplorationSession, RowCapTruncatesRender) {
+  CubeStore store = MakeStore();
+  ExplorationSession session(&store);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+  ASSERT_OK(session.DrillDown("TimeOfCall"));
+  SessionRenderOptions options;
+  options.max_rows = 1;
+  ASSERT_OK_AND_ASSIGN(std::string view, session.Render(options));
+  EXPECT_NE(view.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opmap

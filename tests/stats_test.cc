@@ -1,0 +1,219 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "opmap/stats/confidence_interval.h"
+#include "opmap/stats/contingency.h"
+#include "opmap/stats/measures.h"
+#include "opmap/stats/multiple_testing.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+// --- Table I of the paper. ---
+TEST(ConfidenceInterval, ZValueTable) {
+  EXPECT_DOUBLE_EQ(ZValue(ConfidenceLevel::k90), 1.645);
+  EXPECT_DOUBLE_EQ(ZValue(ConfidenceLevel::k95), 1.96);
+  EXPECT_DOUBLE_EQ(ZValue(ConfidenceLevel::k99), 2.576);
+}
+
+TEST(ConfidenceInterval, ParseLevels) {
+  ASSERT_OK_AND_ASSIGN(ConfidenceLevel l, ParseConfidenceLevel("0.95"));
+  EXPECT_EQ(l, ConfidenceLevel::k95);
+  ASSERT_OK_AND_ASSIGN(l, ParseConfidenceLevel("90"));
+  EXPECT_EQ(l, ConfidenceLevel::k90);
+  EXPECT_FALSE(ParseConfidenceLevel("0.80").ok());
+}
+
+TEST(ConfidenceInterval, WaldFormula) {
+  // e = z * sqrt(p(1-p)/n): p=0.5, n=100, z=1.96 -> e = 0.098.
+  const ProportionInterval ci = WaldInterval(50, 100, ConfidenceLevel::k95);
+  EXPECT_DOUBLE_EQ(ci.proportion, 0.5);
+  EXPECT_NEAR(ci.margin, 0.098, 1e-9);
+  EXPECT_NEAR(ci.low, 0.402, 1e-9);
+  EXPECT_NEAR(ci.high, 0.598, 1e-9);
+}
+
+TEST(ConfidenceInterval, WaldMarginShrinksWithN) {
+  const double m10 = WaldInterval(3, 10, ConfidenceLevel::k95).margin;
+  const double m1000 = WaldInterval(300, 1000, ConfidenceLevel::k95).margin;
+  EXPECT_GT(m10, m1000);
+}
+
+TEST(ConfidenceInterval, WaldMarginGrowsWithLevel) {
+  const double m90 = WaldInterval(30, 100, ConfidenceLevel::k90).margin;
+  const double m95 = WaldInterval(30, 100, ConfidenceLevel::k95).margin;
+  const double m99 = WaldInterval(30, 100, ConfidenceLevel::k99).margin;
+  EXPECT_LT(m90, m95);
+  EXPECT_LT(m95, m99);
+}
+
+TEST(ConfidenceInterval, WaldDegenerateCases) {
+  // n = 0 and p in {0,1} give zero margins (paper behaviour: handled by the
+  // property-attribute mechanism, not the interval).
+  EXPECT_DOUBLE_EQ(WaldInterval(0, 0, ConfidenceLevel::k95).margin, 0.0);
+  EXPECT_DOUBLE_EQ(WaldInterval(0, 50, ConfidenceLevel::k95).margin, 0.0);
+  EXPECT_DOUBLE_EQ(WaldInterval(50, 50, ConfidenceLevel::k95).margin, 0.0);
+  const ProportionInterval ci = WaldInterval(1, 2, ConfidenceLevel::k99);
+  EXPECT_GE(ci.low, 0.0);
+  EXPECT_LE(ci.high, 1.0);
+}
+
+TEST(ConfidenceInterval, WilsonIsBoundedAndNonDegenerate) {
+  const ProportionInterval w = WilsonInterval(0, 20, ConfidenceLevel::k95);
+  EXPECT_GT(w.high, 0.0);  // Wilson never collapses at p=0
+  EXPECT_GE(w.low, 0.0);
+  const ProportionInterval empty = WilsonInterval(0, 0, ConfidenceLevel::k95);
+  EXPECT_DOUBLE_EQ(empty.low, 0.0);
+  EXPECT_DOUBLE_EQ(empty.high, 1.0);
+}
+
+TEST(Contingency, TotalsAndAccess) {
+  ContingencyTable t(2, 3);
+  t.set(0, 0, 10);
+  t.add(0, 1, 5);
+  t.add(1, 2, 7);
+  EXPECT_EQ(t.RowTotal(0), 15);
+  EXPECT_EQ(t.ColTotal(2), 7);
+  EXPECT_EQ(t.Total(), 22);
+}
+
+TEST(Contingency, ChiSquareZeroUnderIndependence) {
+  // Perfectly proportional table -> statistic 0.
+  ContingencyTable t(2, 2);
+  t.set(0, 0, 40);
+  t.set(0, 1, 60);
+  t.set(1, 0, 20);
+  t.set(1, 1, 30);
+  EXPECT_NEAR(ChiSquareStatistic(t), 0.0, 1e-9);
+  EXPECT_NEAR(CramersV(t), 0.0, 1e-6);
+}
+
+TEST(Contingency, ChiSquareKnownValue) {
+  // Classic 2x2: ((a*d-b*c)^2 * n) / (row/col products).
+  ContingencyTable t(2, 2);
+  t.set(0, 0, 30);
+  t.set(0, 1, 10);
+  t.set(1, 0, 10);
+  t.set(1, 1, 30);
+  const double n = 80, expected = 11.25;  // (30*30-10*10)^2*80 / (40^4)
+  (void)n;
+  EXPECT_NEAR(ChiSquareStatistic(t), expected * 1.7777777778, 1e-6);
+}
+
+TEST(Contingency, PValueSanity) {
+  EXPECT_NEAR(ChiSquarePValue(0.0, 1), 1.0, 1e-9);
+  // chi2 = 3.841 with df=1 is the 95th percentile.
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1), 0.05, 0.002);
+  EXPECT_LT(ChiSquarePValue(20.0, 1), 1e-4);
+  EXPECT_DOUBLE_EQ(ChiSquarePValue(5.0, 0), 1.0);
+}
+
+TEST(Contingency, EntropyBits) {
+  EXPECT_DOUBLE_EQ(EntropyBits({10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(EntropyBits({10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyBits({}), 0.0);
+  EXPECT_NEAR(EntropyBits({1, 1, 1, 1}), 2.0, 1e-12);
+}
+
+TEST(Contingency, InformationGain) {
+  // Perfect split: rows fully determine the class.
+  ContingencyTable t(2, 2);
+  t.set(0, 0, 50);
+  t.set(1, 1, 50);
+  EXPECT_NEAR(InformationGainBits(t), 1.0, 1e-12);
+  // Useless split.
+  ContingencyTable u(2, 2);
+  u.set(0, 0, 25);
+  u.set(0, 1, 25);
+  u.set(1, 0, 25);
+  u.set(1, 1, 25);
+  EXPECT_NEAR(InformationGainBits(u), 0.0, 1e-12);
+}
+
+TEST(Measures, NamesRoundTrip) {
+  for (RuleMeasure m :
+       {RuleMeasure::kConfidence, RuleMeasure::kSupport, RuleMeasure::kLift,
+        RuleMeasure::kLeverage, RuleMeasure::kConviction,
+        RuleMeasure::kChiSquare}) {
+    ASSERT_OK_AND_ASSIGN(RuleMeasure parsed,
+                         ParseRuleMeasure(RuleMeasureName(m)));
+    EXPECT_EQ(parsed, m);
+  }
+  EXPECT_FALSE(ParseRuleMeasure("bogus").ok());
+}
+
+TEST(Measures, KnownValues) {
+  // n=100, n_x=20, n_y=50, n_xy=15: conf=0.75, sup=0.15, lift=1.5.
+  RuleCounts c{100, 20, 50, 15};
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kConfidence, c), 0.75);
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kSupport, c), 0.15);
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kLift, c), 1.5);
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kLeverage, c),
+                   0.15 - 0.2 * 0.5);
+  // conviction = P(x)P(!y)/P(x,!y) = 0.2*0.5/0.05 = 2.
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kConviction, c), 2.0);
+  EXPECT_GT(EvaluateRuleMeasure(RuleMeasure::kChiSquare, c), 0.0);
+}
+
+TEST(Measures, DegenerateCases) {
+  RuleCounts zero{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(EvaluateRuleMeasure(RuleMeasure::kLift, zero), 0.0);
+  // Confidence-1 rule: conviction is +inf.
+  RuleCounts perfect{100, 10, 50, 10};
+  EXPECT_TRUE(std::isinf(
+      EvaluateRuleMeasure(RuleMeasure::kConviction, perfect)));
+}
+
+TEST(MultipleTesting, PValueFromMarginMultiples) {
+  // 1 margin multiple at z=1.96 is a 1.96-sigma deviation: p ~ 0.05.
+  EXPECT_NEAR(PValueFromMarginMultiples(1.0, 1.96), 0.05, 0.002);
+  EXPECT_NEAR(PValueFromMarginMultiples(0.0, 1.96), 1.0, 1e-12);
+  EXPECT_LT(PValueFromMarginMultiples(3.0, 1.96), 1e-6);
+  // Sign-invariant.
+  EXPECT_DOUBLE_EQ(PValueFromMarginMultiples(-2.0, 1.96),
+                   PValueFromMarginMultiples(2.0, 1.96));
+}
+
+TEST(MultipleTesting, Bonferroni) {
+  const auto adj = BonferroniAdjust({0.01, 0.04, 0.5});
+  EXPECT_DOUBLE_EQ(adj[0], 0.03);
+  EXPECT_DOUBLE_EQ(adj[1], 0.12);
+  EXPECT_DOUBLE_EQ(adj[2], 1.0);  // clamped
+}
+
+TEST(MultipleTesting, BenjaminiHochbergKnownExample) {
+  // Classic example: p = {0.01, 0.02, 0.03, 0.04, 0.05} with m=5.
+  // q_(i) = min_j>=i p_(j)*m/j -> {0.05, 0.05, 0.05, 0.05, 0.05}.
+  const auto adj =
+      BenjaminiHochbergAdjust({0.01, 0.02, 0.03, 0.04, 0.05});
+  for (double q : adj) EXPECT_NEAR(q, 0.05, 1e-12);
+  // Selection at FDR 0.05 keeps everything; at 0.04 keeps nothing.
+  EXPECT_EQ(
+      BenjaminiHochbergSelect({0.01, 0.02, 0.03, 0.04, 0.05}, 0.05).size(),
+      5u);
+  EXPECT_TRUE(
+      BenjaminiHochbergSelect({0.01, 0.02, 0.03, 0.04, 0.05}, 0.04).empty());
+}
+
+TEST(MultipleTesting, BhIsMonotoneAndOrderInvariant) {
+  const std::vector<double> p = {0.5, 0.001, 0.2, 0.03};
+  const auto adj = BenjaminiHochbergAdjust(p);
+  // Adjusted values are >= raw values and <= 1.
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(adj[i], p[i] - 1e-15);
+    EXPECT_LE(adj[i], 1.0);
+  }
+  // A smaller raw p never gets a larger adjusted value.
+  for (size_t i = 0; i < p.size(); ++i) {
+    for (size_t j = 0; j < p.size(); ++j) {
+      if (p[i] < p[j]) {
+        EXPECT_LE(adj[i], adj[j] + 1e-15);
+      }
+    }
+  }
+  EXPECT_TRUE(BenjaminiHochbergAdjust({}).empty());
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,237 @@
+#include "gtest/gtest.h"
+#include <fstream>
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "opmap/viz/bars.h"
+#include "opmap/viz/color.h"
+#include "opmap/viz/export.h"
+#include "opmap/viz/html_report.h"
+#include "opmap/viz/views.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+TEST(Bars, HorizontalBar) {
+  EXPECT_EQ(HorizontalBar(0.0, 4), "....");
+  EXPECT_EQ(HorizontalBar(0.5, 4), "##..");
+  EXPECT_EQ(HorizontalBar(1.0, 4), "####");
+  EXPECT_EQ(HorizontalBar(2.0, 4), "####");   // clamped
+  EXPECT_EQ(HorizontalBar(-1.0, 4), "....");  // clamped
+}
+
+TEST(Bars, BarWithWhisker) {
+  const std::string b = BarWithWhisker(0.5, 0.75, 8);
+  EXPECT_EQ(b, "####~~..");
+  EXPECT_EQ(BarWithWhisker(0.5, 0.25, 8), "####....");  // upper >= fraction
+}
+
+TEST(Bars, Sparkline) {
+  const std::string s = Sparkline({0.0, 0.5, 1.0}, 1.0);
+  // Zero maps to a blank, max maps to a full block.
+  EXPECT_EQ(s.substr(0, 1), " ");
+  EXPECT_NE(s.find("█"), std::string::npos);
+  EXPECT_EQ(Sparkline({}, 1.0), "");
+  // Autoscaling: largest value gets the full block.
+  EXPECT_NE(Sparkline({1.0, 3.0}).find("█"), std::string::npos);
+}
+
+TEST(Color, ColorizeWrapsOnlyWhenEnabled) {
+  EXPECT_EQ(Colorize("x", AnsiColor::kRed, ColorMode::kNever), "x");
+  EXPECT_EQ(Colorize("x", AnsiColor::kRed, ColorMode::kAlways),
+            "\x1b[31mx\x1b[0m");
+  EXPECT_EQ(Colorize("x", AnsiColor::kDefault, ColorMode::kAlways), "x");
+  EXPECT_EQ(Colorize("x", AnsiColor::kGreen, ColorMode::kAlways),
+            "\x1b[32mx\x1b[0m");
+  EXPECT_EQ(Colorize("x", AnsiColor::kGray, ColorMode::kAlways),
+            "\x1b[90mx\x1b[0m");
+}
+
+TEST(Bars, TrendArrowAndPad) {
+  EXPECT_EQ(TrendArrow(TrendDirection::kIncreasing), "↑");
+  EXPECT_EQ(TrendArrow(TrendDirection::kDecreasing), "↓");
+  EXPECT_EQ(TrendArrow(TrendDirection::kStable), "→");
+  EXPECT_EQ(TrendArrow(TrendDirection::kNone), " ");
+  EXPECT_EQ(PadTo("ab", 4), "ab  ");
+  EXPECT_EQ(PadTo("abcdef", 4), "abcd");
+}
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CallLogConfig config;
+    config.num_records = 20000;
+    config.num_attributes = 8;
+    config.num_phone_models = 4;
+    config.phone_drop_multiplier = {1.0, 3.0};
+    config.effects.push_back(PlantedEffect{
+        "TimeOfCall", "morning", 1, kDroppedWhileInProgress, 5.0});
+    auto gen = CallLogGenerator::Make(config);
+    ASSERT_TRUE(gen.ok());
+    dataset_ = std::make_unique<Dataset>(gen->Generate());
+    auto store = CubeBuilder::FromDataset(*dataset_);
+    ASSERT_TRUE(store.ok());
+    store_ = std::make_unique<CubeStore>(std::move(store).MoveValue());
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<CubeStore> store_;
+};
+
+TEST_F(ViewsTest, OverviewContainsAllAttributesAndClasses) {
+  ASSERT_OK_AND_ASSIGN(std::string view, RenderOverview(*store_));
+  EXPECT_NE(view.find("PhoneModel"), std::string::npos);
+  EXPECT_NE(view.find("TimeOfCall"), std::string::npos);
+  EXPECT_NE(view.find("ended-successfully"), std::string::npos);
+  EXPECT_NE(view.find("dropped-while-in-progress"), std::string::npos);
+  EXPECT_NE(view.find("class distribution"), std::string::npos);
+}
+
+TEST_F(ViewsTest, OverviewFlagsWideAttributes) {
+  OverviewOptions opts;
+  opts.grid_width = 3;  // narrower than every domain
+  ASSERT_OK_AND_ASSIGN(std::string view, RenderOverview(*store_, opts));
+  EXPECT_NE(view.find("PhoneModel*"), std::string::npos);
+}
+
+TEST_F(ViewsTest, DetailShowsCountsAndPercentages) {
+  ASSERT_OK_AND_ASSIGN(std::string view, RenderDetail(*store_, 0));
+  EXPECT_NE(view.find("Detailed visualization: PhoneModel"),
+            std::string::npos);
+  EXPECT_NE(view.find("ph01"), std::string::npos);
+  EXPECT_NE(view.find("sup="), std::string::npos);
+  EXPECT_NE(view.find("%"), std::string::npos);
+}
+
+TEST_F(ViewsTest, ComparisonViewShowsBarsAndWhiskers) {
+  Comparator comparator(store_.get());
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result, comparator.Compare(spec));
+  ASSERT_OK_AND_ASSIGN(
+      std::string view,
+      RenderComparisonView(result, store_->schema(), 1 /*TimeOfCall*/));
+  EXPECT_NE(view.find("Comparison view: TimeOfCall"), std::string::npos);
+  EXPECT_NE(view.find("morning"), std::string::npos);
+  EXPECT_NE(view.find("ph01"), std::string::npos);
+  EXPECT_NE(view.find("ph02"), std::string::npos);
+  EXPECT_NE(view.find("±"), std::string::npos);
+  // Property view variant (Fig 8).
+  ASSERT_OK_AND_ASSIGN(int hw, store_->schema().IndexOf("HardwareVersion1"));
+  ASSERT_OK_AND_ASSIGN(std::string prop_view,
+                       RenderComparisonView(result, store_->schema(), hw));
+  EXPECT_NE(prop_view.find("PROPERTY ATTRIBUTE"), std::string::npos);
+  // Unknown attribute errors.
+  EXPECT_FALSE(
+      RenderComparisonView(result, store_->schema(), 0).ok());
+}
+
+TEST_F(ViewsTest, ColorModeEmitsAnsiOnlyWhenEnabled) {
+  DetailOptions plain;
+  ASSERT_OK_AND_ASSIGN(std::string no_color, RenderDetail(*store_, 0, plain));
+  EXPECT_EQ(no_color.find("\x1b["), std::string::npos);
+  DetailOptions colored;
+  colored.color = ColorMode::kAlways;
+  ASSERT_OK_AND_ASSIGN(std::string with_color,
+                       RenderDetail(*store_, 0, colored));
+  EXPECT_NE(with_color.find("\x1b["), std::string::npos);
+
+  Comparator comparator(store_.get());
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result, comparator.Compare(spec));
+  CompareViewOptions view;
+  view.color = ColorMode::kAlways;
+  ASSERT_OK_AND_ASSIGN(
+      std::string cmp_view,
+      RenderComparisonView(result, store_->schema(), 1, view));
+  EXPECT_NE(cmp_view.find("\x1b[32m"), std::string::npos);  // green good bar
+  EXPECT_NE(cmp_view.find("\x1b[31m"), std::string::npos);  // red bad bar
+}
+
+TEST_F(ViewsTest, CubeExports) {
+  ASSERT_OK_AND_ASSIGN(const RuleCube* cube, store_->AttrCube(0));
+  const std::string csv = CubeToCsv(*cube, 1);
+  EXPECT_NE(csv.find("PhoneModel,CallDisposition,count,support,confidence"),
+            std::string::npos);
+  EXPECT_NE(csv.find("ph01"), std::string::npos);
+  const std::string json = CubeToJson(*cube);
+  EXPECT_NE(json.find("\"dims\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+}
+
+TEST_F(ViewsTest, HtmlReportIsSelfContained) {
+  Comparator comparator(store_.get());
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result, comparator.Compare(spec));
+
+  HtmlReportOptions options;
+  options.title = "Test <report> & more";
+  const std::string html =
+      RenderHtmlReport(result, store_->schema(), options);
+  // Structure.
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Ranked distinguishing attributes"),
+            std::string::npos);
+  EXPECT_NE(html.find("TimeOfCall"), std::string::npos);
+  // Title is escaped.
+  EXPECT_NE(html.find("Test &lt;report&gt; &amp; more"), std::string::npos);
+  EXPECT_EQ(html.find("<report>"), std::string::npos);
+  // Property section present.
+  EXPECT_NE(html.find("property attribute"), std::string::npos);
+  // No external references.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+}
+
+TEST_F(ViewsTest, HtmlReportWithImpressionsAndFile) {
+  Comparator comparator(store_.get());
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result, comparator.Compare(spec));
+  ASSERT_OK_AND_ASSIGN(GeneralImpressions gi,
+                       MineGeneralImpressions(*store_, {}));
+  HtmlReportOptions options;
+  options.impressions = &gi;
+  const std::string path = ::testing::TempDir() + "/opmap_report.html";
+  ASSERT_OK(WriteHtmlReport(result, store_->schema(), path, options));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("General impressions"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ViewsTest, ComparisonJsonExport) {
+  Comparator comparator(store_.get());
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = kDroppedWhileInProgress;
+  ASSERT_OK_AND_ASSIGN(ComparisonResult result, comparator.Compare(spec));
+  const std::string json = ComparisonToJson(result, store_->schema());
+  EXPECT_NE(json.find("\"ranked\""), std::string::npos);
+  EXPECT_NE(json.find("\"properties\""), std::string::npos);
+  EXPECT_NE(json.find("TimeOfCall"), std::string::npos);
+  EXPECT_NE(json.find("\"cf1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opmap
