@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ci_effect.dir/ablation_ci_effect.cc.o"
+  "CMakeFiles/ablation_ci_effect.dir/ablation_ci_effect.cc.o.d"
+  "ablation_ci_effect"
+  "ablation_ci_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ci_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recall.dir/ablation_recall.cc.o"
+  "CMakeFiles/ablation_recall.dir/ablation_recall.cc.o.d"
+  "ablation_recall"
+  "ablation_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_accuracy.dir/baseline_accuracy.cc.o"
+  "CMakeFiles/baseline_accuracy.dir/baseline_accuracy.cc.o.d"
+  "baseline_accuracy"
+  "baseline_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_contrast.dir/baseline_contrast.cc.o"
+  "CMakeFiles/baseline_contrast.dir/baseline_contrast.cc.o.d"
+  "baseline_contrast"
+  "baseline_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

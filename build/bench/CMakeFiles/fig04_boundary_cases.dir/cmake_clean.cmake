@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_boundary_cases.dir/fig04_boundary_cases.cc.o"
+  "CMakeFiles/fig04_boundary_cases.dir/fig04_boundary_cases.cc.o.d"
+  "fig04_boundary_cases"
+  "fig04_boundary_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_boundary_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cubegen_attributes.dir/fig10_cubegen_attributes.cc.o"
+  "CMakeFiles/fig10_cubegen_attributes.dir/fig10_cubegen_attributes.cc.o.d"
+  "fig10_cubegen_attributes"
+  "fig10_cubegen_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cubegen_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cubegen_records.dir/fig11_cubegen_records.cc.o"
+  "CMakeFiles/fig11_cubegen_records.dir/fig11_cubegen_records.cc.o.d"
+  "fig11_cubegen_records"
+  "fig11_cubegen_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cubegen_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

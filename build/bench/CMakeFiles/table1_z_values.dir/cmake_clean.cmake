@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_z_values.dir/table1_z_values.cc.o"
+  "CMakeFiles/table1_z_values.dir/table1_z_values.cc.o.d"
+  "table1_z_values"
+  "table1_z_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_z_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

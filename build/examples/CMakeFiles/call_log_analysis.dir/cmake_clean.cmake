@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_log_analysis.dir/call_log_analysis.cpp.o"
+  "CMakeFiles/call_log_analysis.dir/call_log_analysis.cpp.o.d"
+  "call_log_analysis"
+  "call_log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manufacturing_defects.dir/manufacturing_defects.cpp.o"
+  "CMakeFiles/manufacturing_defects.dir/manufacturing_defects.cpp.o.d"
+  "manufacturing_defects"
+  "manufacturing_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manufacturing_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

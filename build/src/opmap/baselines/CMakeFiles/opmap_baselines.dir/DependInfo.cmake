@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opmap/baselines/cba.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/cba.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/cba.cc.o.d"
+  "/root/repo/src/opmap/baselines/cube_exceptions.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/cube_exceptions.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/cube_exceptions.cc.o.d"
+  "/root/repo/src/opmap/baselines/decision_tree.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/decision_tree.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/decision_tree.cc.o.d"
+  "/root/repo/src/opmap/baselines/evaluation.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/evaluation.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/evaluation.cc.o.d"
+  "/root/repo/src/opmap/baselines/naive_bayes.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/naive_bayes.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/opmap/baselines/rule_induction.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/rule_induction.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/rule_induction.cc.o.d"
+  "/root/repo/src/opmap/baselines/rule_ranking.cc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/rule_ranking.cc.o" "gcc" "src/opmap/baselines/CMakeFiles/opmap_baselines.dir/rule_ranking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/car/CMakeFiles/opmap_car.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/cube/CMakeFiles/opmap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/stats/CMakeFiles/opmap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/data/CMakeFiles/opmap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

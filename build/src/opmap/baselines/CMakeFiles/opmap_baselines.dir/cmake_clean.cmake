@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_baselines.dir/cba.cc.o"
+  "CMakeFiles/opmap_baselines.dir/cba.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/cube_exceptions.cc.o"
+  "CMakeFiles/opmap_baselines.dir/cube_exceptions.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/decision_tree.cc.o"
+  "CMakeFiles/opmap_baselines.dir/decision_tree.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/evaluation.cc.o"
+  "CMakeFiles/opmap_baselines.dir/evaluation.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/naive_bayes.cc.o"
+  "CMakeFiles/opmap_baselines.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/rule_induction.cc.o"
+  "CMakeFiles/opmap_baselines.dir/rule_induction.cc.o.d"
+  "CMakeFiles/opmap_baselines.dir/rule_ranking.cc.o"
+  "CMakeFiles/opmap_baselines.dir/rule_ranking.cc.o.d"
+  "libopmap_baselines.a"
+  "libopmap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_car.dir/miner.cc.o"
+  "CMakeFiles/opmap_car.dir/miner.cc.o.d"
+  "CMakeFiles/opmap_car.dir/rule.cc.o"
+  "CMakeFiles/opmap_car.dir/rule.cc.o.d"
+  "CMakeFiles/opmap_car.dir/rule_query.cc.o"
+  "CMakeFiles/opmap_car.dir/rule_query.cc.o.d"
+  "libopmap_car.a"
+  "libopmap_car.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_car.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for opmap_car.
+# This may be replaced when dependencies are built.

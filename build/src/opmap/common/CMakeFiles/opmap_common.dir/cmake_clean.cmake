@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_common.dir/random.cc.o"
+  "CMakeFiles/opmap_common.dir/random.cc.o.d"
+  "CMakeFiles/opmap_common.dir/serde.cc.o"
+  "CMakeFiles/opmap_common.dir/serde.cc.o.d"
+  "CMakeFiles/opmap_common.dir/status.cc.o"
+  "CMakeFiles/opmap_common.dir/status.cc.o.d"
+  "CMakeFiles/opmap_common.dir/string_util.cc.o"
+  "CMakeFiles/opmap_common.dir/string_util.cc.o.d"
+  "libopmap_common.a"
+  "libopmap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_compare.dir/alternatives.cc.o"
+  "CMakeFiles/opmap_compare.dir/alternatives.cc.o.d"
+  "CMakeFiles/opmap_compare.dir/comparator.cc.o"
+  "CMakeFiles/opmap_compare.dir/comparator.cc.o.d"
+  "CMakeFiles/opmap_compare.dir/report.cc.o"
+  "CMakeFiles/opmap_compare.dir/report.cc.o.d"
+  "libopmap_compare.a"
+  "libopmap_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_core.dir/opportunity_map.cc.o"
+  "CMakeFiles/opmap_core.dir/opportunity_map.cc.o.d"
+  "CMakeFiles/opmap_core.dir/session.cc.o"
+  "CMakeFiles/opmap_core.dir/session.cc.o.d"
+  "libopmap_core.a"
+  "libopmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

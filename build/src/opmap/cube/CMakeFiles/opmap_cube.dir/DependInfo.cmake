@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opmap/cube/cube_io.cc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/cube_io.cc.o" "gcc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/cube_io.cc.o.d"
+  "/root/repo/src/opmap/cube/cube_store.cc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/cube_store.cc.o" "gcc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/cube_store.cc.o.d"
+  "/root/repo/src/opmap/cube/rule_cube.cc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/rule_cube.cc.o" "gcc" "src/opmap/cube/CMakeFiles/opmap_cube.dir/rule_cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/data/CMakeFiles/opmap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_cube.dir/cube_io.cc.o"
+  "CMakeFiles/opmap_cube.dir/cube_io.cc.o.d"
+  "CMakeFiles/opmap_cube.dir/cube_store.cc.o"
+  "CMakeFiles/opmap_cube.dir/cube_store.cc.o.d"
+  "CMakeFiles/opmap_cube.dir/rule_cube.cc.o"
+  "CMakeFiles/opmap_cube.dir/rule_cube.cc.o.d"
+  "libopmap_cube.a"
+  "libopmap_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

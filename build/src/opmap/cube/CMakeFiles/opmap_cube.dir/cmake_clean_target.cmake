@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopmap_cube.a"
+)

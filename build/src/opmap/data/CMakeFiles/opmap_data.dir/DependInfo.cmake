@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opmap/data/attribute.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/attribute.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/attribute.cc.o.d"
+  "/root/repo/src/opmap/data/call_log.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/call_log.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/call_log.cc.o.d"
+  "/root/repo/src/opmap/data/csv.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/csv.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/csv.cc.o.d"
+  "/root/repo/src/opmap/data/dataset.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/dataset.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/dataset.cc.o.d"
+  "/root/repo/src/opmap/data/dataset_io.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/dataset_io.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/opmap/data/manufacturing.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/manufacturing.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/manufacturing.cc.o.d"
+  "/root/repo/src/opmap/data/sampling.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/sampling.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/sampling.cc.o.d"
+  "/root/repo/src/opmap/data/schema.cc" "src/opmap/data/CMakeFiles/opmap_data.dir/schema.cc.o" "gcc" "src/opmap/data/CMakeFiles/opmap_data.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

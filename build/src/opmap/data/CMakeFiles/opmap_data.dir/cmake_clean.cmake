@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_data.dir/attribute.cc.o"
+  "CMakeFiles/opmap_data.dir/attribute.cc.o.d"
+  "CMakeFiles/opmap_data.dir/call_log.cc.o"
+  "CMakeFiles/opmap_data.dir/call_log.cc.o.d"
+  "CMakeFiles/opmap_data.dir/csv.cc.o"
+  "CMakeFiles/opmap_data.dir/csv.cc.o.d"
+  "CMakeFiles/opmap_data.dir/dataset.cc.o"
+  "CMakeFiles/opmap_data.dir/dataset.cc.o.d"
+  "CMakeFiles/opmap_data.dir/dataset_io.cc.o"
+  "CMakeFiles/opmap_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/opmap_data.dir/manufacturing.cc.o"
+  "CMakeFiles/opmap_data.dir/manufacturing.cc.o.d"
+  "CMakeFiles/opmap_data.dir/sampling.cc.o"
+  "CMakeFiles/opmap_data.dir/sampling.cc.o.d"
+  "CMakeFiles/opmap_data.dir/schema.cc.o"
+  "CMakeFiles/opmap_data.dir/schema.cc.o.d"
+  "libopmap_data.a"
+  "libopmap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opmap/discretize/discretizer.cc" "src/opmap/discretize/CMakeFiles/opmap_discretize.dir/discretizer.cc.o" "gcc" "src/opmap/discretize/CMakeFiles/opmap_discretize.dir/discretizer.cc.o.d"
+  "/root/repo/src/opmap/discretize/methods.cc" "src/opmap/discretize/CMakeFiles/opmap_discretize.dir/methods.cc.o" "gcc" "src/opmap/discretize/CMakeFiles/opmap_discretize.dir/methods.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/data/CMakeFiles/opmap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/stats/CMakeFiles/opmap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

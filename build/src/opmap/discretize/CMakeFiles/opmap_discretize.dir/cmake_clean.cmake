@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_discretize.dir/discretizer.cc.o"
+  "CMakeFiles/opmap_discretize.dir/discretizer.cc.o.d"
+  "CMakeFiles/opmap_discretize.dir/methods.cc.o"
+  "CMakeFiles/opmap_discretize.dir/methods.cc.o.d"
+  "libopmap_discretize.a"
+  "libopmap_discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

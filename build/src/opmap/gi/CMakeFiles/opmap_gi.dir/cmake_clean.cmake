@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_gi.dir/exceptions.cc.o"
+  "CMakeFiles/opmap_gi.dir/exceptions.cc.o.d"
+  "CMakeFiles/opmap_gi.dir/impressions.cc.o"
+  "CMakeFiles/opmap_gi.dir/impressions.cc.o.d"
+  "CMakeFiles/opmap_gi.dir/influence.cc.o"
+  "CMakeFiles/opmap_gi.dir/influence.cc.o.d"
+  "CMakeFiles/opmap_gi.dir/trend.cc.o"
+  "CMakeFiles/opmap_gi.dir/trend.cc.o.d"
+  "libopmap_gi.a"
+  "libopmap_gi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_gi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

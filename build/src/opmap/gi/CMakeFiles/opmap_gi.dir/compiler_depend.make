@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opmap_gi.
+# This may be replaced when dependencies are built.

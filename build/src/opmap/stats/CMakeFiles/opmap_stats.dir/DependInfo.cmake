@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opmap/stats/confidence_interval.cc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/confidence_interval.cc.o" "gcc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/confidence_interval.cc.o.d"
+  "/root/repo/src/opmap/stats/contingency.cc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/contingency.cc.o" "gcc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/opmap/stats/measures.cc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/measures.cc.o" "gcc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/measures.cc.o.d"
+  "/root/repo/src/opmap/stats/multiple_testing.cc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/multiple_testing.cc.o" "gcc" "src/opmap/stats/CMakeFiles/opmap_stats.dir/multiple_testing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

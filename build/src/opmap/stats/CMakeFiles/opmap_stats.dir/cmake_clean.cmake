@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_stats.dir/confidence_interval.cc.o"
+  "CMakeFiles/opmap_stats.dir/confidence_interval.cc.o.d"
+  "CMakeFiles/opmap_stats.dir/contingency.cc.o"
+  "CMakeFiles/opmap_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/opmap_stats.dir/measures.cc.o"
+  "CMakeFiles/opmap_stats.dir/measures.cc.o.d"
+  "CMakeFiles/opmap_stats.dir/multiple_testing.cc.o"
+  "CMakeFiles/opmap_stats.dir/multiple_testing.cc.o.d"
+  "libopmap_stats.a"
+  "libopmap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap_viz.dir/bars.cc.o"
+  "CMakeFiles/opmap_viz.dir/bars.cc.o.d"
+  "CMakeFiles/opmap_viz.dir/color.cc.o"
+  "CMakeFiles/opmap_viz.dir/color.cc.o.d"
+  "CMakeFiles/opmap_viz.dir/export.cc.o"
+  "CMakeFiles/opmap_viz.dir/export.cc.o.d"
+  "CMakeFiles/opmap_viz.dir/html_report.cc.o"
+  "CMakeFiles/opmap_viz.dir/html_report.cc.o.d"
+  "CMakeFiles/opmap_viz.dir/views.cc.o"
+  "CMakeFiles/opmap_viz.dir/views.cc.o.d"
+  "libopmap_viz.a"
+  "libopmap_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opmap.dir/opmap_main.cc.o"
+  "CMakeFiles/opmap.dir/opmap_main.cc.o.d"
+  "opmap"
+  "opmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

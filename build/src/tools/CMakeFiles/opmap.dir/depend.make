@@ -1,0 +1,2 @@
+# Empty dependencies file for opmap.
+# This may be replaced when dependencies are built.

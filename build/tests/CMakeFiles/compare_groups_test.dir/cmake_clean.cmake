@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_groups_test.dir/compare_groups_test.cc.o"
+  "CMakeFiles/compare_groups_test.dir/compare_groups_test.cc.o.d"
+  "compare_groups_test"
+  "compare_groups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

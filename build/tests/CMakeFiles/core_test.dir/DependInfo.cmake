@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opmap/core/CMakeFiles/opmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/baselines/CMakeFiles/opmap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/viz/CMakeFiles/opmap_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/compare/CMakeFiles/opmap_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/gi/CMakeFiles/opmap_gi.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/cube/CMakeFiles/opmap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/car/CMakeFiles/opmap_car.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/discretize/CMakeFiles/opmap_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/stats/CMakeFiles/opmap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/data/CMakeFiles/opmap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/opmap/common/CMakeFiles/opmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

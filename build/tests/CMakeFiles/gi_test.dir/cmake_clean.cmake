@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gi_test.dir/gi_test.cc.o"
+  "CMakeFiles/gi_test.dir/gi_test.cc.o.d"
+  "gi_test"
+  "gi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
