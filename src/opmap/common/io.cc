@@ -1,0 +1,518 @@
+#include "opmap/common/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "opmap/common/serde.h"
+
+namespace opmap {
+
+// ---------------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Reflected CRC32C table, generated once at startup.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const uint32_t* t = Table().t;
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// POSIX Env
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t n) override {
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write to", path_));
+      }
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    // Unbuffered: every Append already reached the OS.
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(size_t n, std::string* out, bool* eof) override {
+    *eof = false;
+    const size_t old = out->size();
+    out->resize(old + n);
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd_, out->data() + old + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        out->resize(old + got);
+        return Status::IOError(ErrnoMessage("read from", path_));
+      }
+      if (r == 0) {
+        *eof = true;
+        break;
+      }
+      got += static_cast<size_t>(r);
+    }
+    out->resize(old + got);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for writing", path));
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(fd, path));
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for reading", path));
+    }
+    return std::unique_ptr<SequentialFile>(
+        new PosixSequentialFile(fd, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("cannot rename '" + from + "' to '" + to +
+                             "': " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("cannot delete", path));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  void SleepMicros(int64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out,
+                        uint64_t max_bytes) {
+  if (env == nullptr) env = Env::Default();
+  out->clear();
+  OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
+                         env->NewSequentialFile(path));
+  constexpr size_t kChunk = 1 << 16;
+  bool eof = false;
+  while (!eof) {
+    if (out->size() > max_bytes) {
+      return Status::OutOfRange("file '" + path + "' exceeds the " +
+                                std::to_string(max_bytes) +
+                                "-byte read limit");
+    }
+    OPMAP_RETURN_NOT_OK(file->Read(kChunk, out, &eof));
+  }
+  if (out->size() > max_bytes) {
+    return Status::OutOfRange("file '" + path + "' exceeds the " +
+                              std::to_string(max_bytes) + "-byte read limit");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+// ---------------------------------------------------------------------------
+
+// Not in the anonymous namespace: these must match the friend declarations
+// in FaultInjectingEnv, which name them at opmap scope.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const char* data, size_t n) override;
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+class FaultInjectingSequentialFile : public SequentialFile {
+ public:
+  FaultInjectingSequentialFile(std::unique_ptr<SequentialFile> base,
+                               FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, std::string* out, bool* eof) override;
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectingEnv::FailAt(FaultOp op, int64_t nth, bool fail_forever) {
+  armed_op_ = static_cast<int>(op);
+  armed_at_ = nth;
+  fail_forever_ = fail_forever;
+}
+
+void FaultInjectingEnv::Reset() {
+  armed_op_ = -1;
+  armed_at_ = 0;
+  fail_forever_ = false;
+  injected_ = 0;
+  std::memset(counts_, 0, sizeof(counts_));
+}
+
+int64_t FaultInjectingEnv::OpCount(FaultOp op) const {
+  return counts_[static_cast<int>(op)];
+}
+
+int64_t FaultInjectingEnv::TotalOps() const {
+  int64_t total = 0;
+  for (int64_t c : counts_) total += c;
+  return total;
+}
+
+Status FaultInjectingEnv::Tick(FaultOp op) {
+  const int64_t n = ++counts_[static_cast<int>(op)];
+  if (armed_op_ == static_cast<int>(op) &&
+      (n == armed_at_ || (fail_forever_ && n >= armed_at_))) {
+    ++injected_;
+    const char* names[kNumFaultOps] = {"open-write", "open-read", "write",
+                                       "read",       "sync",      "rename",
+                                       "delete"};
+    return Status::IOError(std::string("injected ") +
+                           names[static_cast<int>(op)] + " failure #" +
+                           std::to_string(n));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingWritableFile::Append(const char* data, size_t n) {
+  OPMAP_RETURN_NOT_OK(env_->Tick(FaultOp::kWrite));
+  return base_->Append(data, n);
+}
+
+Status FaultInjectingWritableFile::Sync() {
+  OPMAP_RETURN_NOT_OK(env_->Tick(FaultOp::kSync));
+  return base_->Sync();
+}
+
+Status FaultInjectingSequentialFile::Read(size_t n, std::string* out,
+                                          bool* eof) {
+  OPMAP_RETURN_NOT_OK(env_->Tick(FaultOp::kRead));
+  return base_->Read(n, out, eof);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kOpenWrite));
+  OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(std::move(base), this));
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
+    const std::string& path) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kOpenRead));
+  OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> base,
+                         base_->NewSequentialFile(path));
+  return std::unique_ptr<SequentialFile>(
+      new FaultInjectingSequentialFile(std::move(base), this));
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kRename));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kDelete));
+  return base_->DeleteFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+void FaultInjectingEnv::SleepMicros(int64_t) {
+  // Backoff sleeps are elided so fault-injection tests run at full speed.
+}
+
+// ---------------------------------------------------------------------------
+// Retry + atomic replace
+// ---------------------------------------------------------------------------
+
+Status RetryWithBackoff(Env* env, const RetryPolicy& policy,
+                        const std::function<Status()>& op) {
+  if (env == nullptr) env = Env::Default();
+  Status last;
+  int64_t backoff = policy.initial_backoff_micros;
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      env->SleepMicros(backoff);
+      backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                     policy.backoff_multiplier);
+    }
+    last = op();
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+  }
+  return last;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       const std::string& contents,
+                       const RetryPolicy& policy) {
+  if (env == nullptr) env = Env::Default();
+  const std::string tmp = path + ".tmp";
+  return RetryWithBackoff(env, policy, [&]() -> Status {
+    Status st = [&]() -> Status {
+      OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             env->NewWritableFile(tmp));
+      OPMAP_RETURN_NOT_OK(file->Append(contents));
+      OPMAP_RETURN_NOT_OK(file->Flush());
+      OPMAP_RETURN_NOT_OK(file->Sync());
+      OPMAP_RETURN_NOT_OK(file->Close());
+      return env->RenameFile(tmp, path);
+    }();
+    if (!st.ok() && env->FileExists(tmp)) {
+      // Best effort: never leave a stale temp file behind. The target path
+      // still holds the previous snapshot (or nothing) either way.
+      env->DeleteFile(tmp);
+    }
+    return st;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed section container
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Byte offset of the header CRC field: magic + version + section count.
+constexpr size_t kHeaderCrcOffset = 4 + 4 + 4;
+
+void PutU32At(std::string* s, size_t offset, uint32_t v) {
+  std::memcpy(s->data() + offset, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::string SerializeContainer(const char magic[4], uint32_t version,
+                               const std::vector<Section>& sections) {
+  std::ostringstream header;
+  header.write(magic, 4);
+  BinaryWriter w(&header);
+  w.WriteU32(version);
+  w.WriteU32(static_cast<uint32_t>(sections.size()));
+  w.WriteU32(0);  // header CRC placeholder, patched below
+  for (const Section& s : sections) {
+    w.WriteString(s.name);
+    w.WriteU64(s.payload.size());
+    w.WriteU64(s.record_count);
+    w.WriteU32(Crc32c(s.payload.data(), s.payload.size()));
+  }
+  std::string out = header.str();
+  PutU32At(&out, kHeaderCrcOffset, Crc32c(out.data(), out.size()));
+  for (const Section& s : sections) out += s.payload;
+  return out;
+}
+
+Result<std::vector<Section>> ParseContainer(const std::string& bytes,
+                                            const char magic[4],
+                                            uint32_t expected_version) {
+  std::istringstream in(bytes);
+  BinaryReader r(&in, /*limit=*/bytes.size());
+  OPMAP_RETURN_NOT_OK(r.ExpectMagic(magic));
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != expected_version) {
+    return Status::IOError("unsupported container version " +
+                           std::to_string(version));
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  if (count > (1u << 10)) {
+    return Status::IOError("container header corrupt: implausible section "
+                           "count " + std::to_string(count));
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint32_t stored_header_crc, r.ReadU32());
+
+  struct Entry {
+    std::string name;
+    uint64_t size;
+    uint64_t record_count;
+    uint32_t crc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    OPMAP_ASSIGN_OR_RETURN(e.name, r.ReadString());
+    OPMAP_ASSIGN_OR_RETURN(e.size, r.ReadU64());
+    OPMAP_ASSIGN_OR_RETURN(e.record_count, r.ReadU64());
+    OPMAP_ASSIGN_OR_RETURN(e.crc, r.ReadU32());
+    entries.push_back(std::move(e));
+  }
+
+  // Verify the header before trusting any size it declares.
+  const auto header_end = static_cast<size_t>(in.tellg());
+  std::string header(bytes, 0, header_end);
+  PutU32At(&header, kHeaderCrcOffset, 0);
+  if (Crc32c(header.data(), header.size()) != stored_header_crc) {
+    return Status::IOError("container header CRC mismatch (the section "
+                           "table is corrupt)");
+  }
+
+  std::vector<Section> sections;
+  sections.reserve(entries.size());
+  size_t offset = header_end;
+  for (const Entry& e : entries) {
+    if (e.size > bytes.size() - offset) {
+      return Status::IOError("section '" + e.name + "' truncated: header "
+                             "declares " + std::to_string(e.size) +
+                             " bytes, " +
+                             std::to_string(bytes.size() - offset) +
+                             " remain");
+    }
+    Section s;
+    s.name = e.name;
+    s.record_count = e.record_count;
+    s.payload.assign(bytes, offset, static_cast<size_t>(e.size));
+    offset += static_cast<size_t>(e.size);
+    if (Crc32c(s.payload.data(), s.payload.size()) != e.crc) {
+      return Status::IOError("section '" + e.name + "' CRC mismatch: the "
+                             "file is corrupt");
+    }
+    sections.push_back(std::move(s));
+  }
+  if (offset != bytes.size()) {
+    return Status::IOError("container has " +
+                           std::to_string(bytes.size() - offset) +
+                           " trailing bytes after the last section");
+  }
+  return sections;
+}
+
+Result<const Section*> FindSection(const std::vector<Section>& sections,
+                                   const std::string& name) {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return Status::IOError("container is missing the '" + name + "' section");
+}
+
+}  // namespace opmap

@@ -1,0 +1,214 @@
+#ifndef OPMAP_COMMON_IO_H_
+#define OPMAP_COMMON_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). Used by the v2
+/// container format to detect bit rot in persisted cube stores and dataset
+/// snapshots. Software table-driven implementation; `crc` chains calls so
+/// large payloads can be checksummed incrementally.
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+// ---------------------------------------------------------------------------
+// Env seam: every filesystem touch of the persistence layer goes through an
+// Env so tests can interpose a FaultInjectingEnv and deterministically fail
+// the Nth read/write/rename/fsync. Mirrors leveldb's Env in miniature.
+// ---------------------------------------------------------------------------
+
+/// Append-only file handle. Writers must Flush+Sync before Close to get
+/// crash durability; Close reports deferred write errors.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const char* data, size_t n) = 0;
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+  /// Pushes buffered bytes to the OS.
+  virtual Status Flush() = 0;
+  /// Flush + fsync: bytes survive power loss once this returns OK.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Forward-only reader with bounded reads: Read returns at most `n` bytes
+/// (short reads only at end of file), so a corrupt length field can never
+/// force an unbounded allocation.
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  /// Reads up to `n` bytes, appending to `out`. Sets `*eof` when the end
+  /// of the file was reached.
+  virtual Status Read(size_t n, std::string* out, bool* eof) = 0;
+};
+
+/// Abstract filesystem. `Env::Default()` is the real POSIX filesystem; the
+/// persistence layer takes an Env* (nullptr = default) everywhere so fault
+/// injection and future remote backends need no code changes.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide POSIX environment. Never deleted.
+  static Env* Default();
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Backoff sleeps route through the Env so tests run at full speed.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Reads the whole file into `out` in bounded chunks. Fails with
+/// kOutOfRange if the file exceeds `max_bytes` instead of exhausting
+/// memory on a corrupt or hostile input.
+Status ReadFileToString(Env* env, const std::string& path, std::string* out,
+                        uint64_t max_bytes = 1ULL << 32);
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Filesystem operations a FaultInjectingEnv can fail.
+enum class FaultOp : int {
+  kOpenWrite = 0,
+  kOpenRead = 1,
+  kWrite = 2,
+  kRead = 3,
+  kSync = 4,
+  kRename = 5,
+  kDelete = 6,
+};
+constexpr int kNumFaultOps = 7;
+
+/// Wraps a base Env and deterministically fails operations: the Nth
+/// occurrence (1-based, counted across the env's lifetime) of the armed
+/// FaultOp returns kIOError. With `fail_forever`, every occurrence from the
+/// Nth on fails — use this to model a persistently broken disk (retries must
+/// eventually surface the error); without it exactly one failure is injected
+/// — use this to model a transient error that a retry absorbs.
+class FaultInjectingEnv : public Env {
+ public:
+  /// `base` must outlive this env; nullptr means Env::Default().
+  explicit FaultInjectingEnv(Env* base = nullptr);
+
+  /// Arms the env: the `nth` occurrence of `op` fails (n >= 1).
+  void FailAt(FaultOp op, int64_t nth, bool fail_forever = false);
+  /// Disarms and resets all counters.
+  void Reset();
+
+  /// Operations of `op` attempted so far (failed ones included).
+  int64_t OpCount(FaultOp op) const;
+  /// Total operations attempted across all kinds.
+  int64_t TotalOps() const;
+  /// Injected failures delivered so far.
+  int64_t InjectedFailures() const { return injected_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  void SleepMicros(int64_t micros) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+  friend class FaultInjectingSequentialFile;
+
+  /// Bumps the counter for `op`; returns the injected error when armed and
+  /// the counter hits (or passed, with fail_forever) the armed index.
+  Status Tick(FaultOp op);
+
+  Env* base_;
+  int64_t counts_[kNumFaultOps] = {};
+  int armed_op_ = -1;
+  int64_t armed_at_ = 0;
+  bool fail_forever_ = false;
+  int64_t injected_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Retry + atomic replace
+// ---------------------------------------------------------------------------
+
+/// Exponential backoff for transient I/O errors (NFS blips, EINTR-ish
+/// conditions). Only kIOError is considered transient; other codes fail
+/// immediately.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 4.0;
+};
+
+/// Runs `op` until it returns OK, a non-transient code, or attempts are
+/// exhausted; sleeps through `env` between attempts.
+Status RetryWithBackoff(Env* env, const RetryPolicy& policy,
+                        const std::function<Status()>& op);
+
+/// Crash-safe whole-file replace: writes `contents` to `path + ".tmp"`,
+/// flushes, fsyncs, closes, then atomically renames over `path`. On any
+/// failure the temp file is cleaned up (best effort) and the previous file
+/// at `path` — if any — is left untouched, so no failure point leaves a
+/// partially written file visible at the target path. The whole sequence is
+/// retried per `policy`.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       const std::string& contents,
+                       const RetryPolicy& policy = RetryPolicy{});
+
+// ---------------------------------------------------------------------------
+// Checksummed section container (on-disk format v2)
+// ---------------------------------------------------------------------------
+
+/// One named, independently checksummed region of a container file.
+struct Section {
+  /// Short ASCII name ("schema", "attr_cubes"); named in corruption errors.
+  std::string name;
+  /// Advisory element count (rows, cubes) surfaced in the header so `info`
+  /// style tooling can report sizes without parsing payloads.
+  uint64_t record_count = 0;
+  std::string payload;
+};
+
+/// Serializes a v2 container:
+///
+///   magic[4] | version u32 | section_count u32 | header_crc u32 |
+///   per section: name string, payload_size u64, record_count u64,
+///                payload_crc u32 | payloads back to back
+///
+/// `header_crc` covers magic through the section table (with its own field
+/// zeroed), each `payload_crc` covers one payload, so any flipped bit is
+/// attributable to a named part of the file.
+std::string SerializeContainer(const char magic[4], uint32_t version,
+                               const std::vector<Section>& sections);
+
+/// Parses and fully verifies a v2 container. Errors name the corrupt part:
+/// "container header CRC mismatch", "section 'schema' CRC mismatch",
+/// "section 'attr_cubes' truncated". `expected_version` is the only version
+/// accepted (callers dispatch v1 before calling this).
+Result<std::vector<Section>> ParseContainer(const std::string& bytes,
+                                            const char magic[4],
+                                            uint32_t expected_version);
+
+/// Returns the section named `name` or a kNotFound error naming it.
+Result<const Section*> FindSection(const std::vector<Section>& sections,
+                                   const std::string& name);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_IO_H_

@@ -132,11 +132,18 @@ class Result {
   } while (false)
 
 /// Assigns the value of a Result expression to `lhs`, propagating errors.
-#define OPMAP_ASSIGN_OR_RETURN(lhs, expr)      \
-  auto OPMAP_CONCAT_(_res_, __LINE__) = (expr);          \
-  if (!OPMAP_CONCAT_(_res_, __LINE__).ok())              \
-    return OPMAP_CONCAT_(_res_, __LINE__).status();      \
-  lhs = std::move(OPMAP_CONCAT_(_res_, __LINE__)).MoveValue()
+///
+/// The temporary is named with __COUNTER__ (unique per expansion), not
+/// __LINE__, so two expansions can share a line — e.g. when another macro
+/// expands to several OPMAP_ASSIGN_OR_RETURNs.
+#define OPMAP_ASSIGN_OR_RETURN(lhs, expr) \
+  OPMAP_ASSIGN_OR_RETURN_IMPL_(           \
+      OPMAP_CONCAT_(opmap_internal_result_, __COUNTER__), lhs, expr)
+
+#define OPMAP_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                 \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).MoveValue()
 
 #define OPMAP_CONCAT_IMPL_(a, b) a##b
 #define OPMAP_CONCAT_(a, b) OPMAP_CONCAT_IMPL_(a, b)

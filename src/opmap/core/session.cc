@@ -24,83 +24,109 @@ Result<int> ExplorationSession::CurrentDim(
                           "'");
 }
 
+Status ExplorationSession::Record(const std::string& op, Status status) {
+  if (status.ok()) {
+    last_error_ = Status::OK();
+    return status;
+  }
+  std::string context = op;
+  if (has_view()) context += " (at view: " + PathString() + ")";
+  last_error_ = Status(status.code(), context + ": " + status.message());
+  return last_error_;
+}
+
 Status ExplorationSession::OpenAttribute(const std::string& attribute) {
-  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
-  OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store_->AttrCube(attr));
-  history_.clear();
-  history_.push_back(Step{*cube, attribute});
-  return Status::OK();
+  return Record("open " + attribute, [&]() -> Status {
+    OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+    OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store_->AttrCube(attr));
+    history_.clear();
+    history_.push_back(Step{*cube, attribute});
+    return Status::OK();
+  }());
 }
 
 Status ExplorationSession::DrillDown(const std::string& second_attribute) {
-  if (!has_view()) {
-    return Status::InvalidArgument("no current view; open an attribute "
-                                   "first");
-  }
-  const RuleCube& cube = current();
-  if (cube.num_dims() != 2) {
-    return Status::InvalidArgument(
-        "drill-down is only defined on a 2-D (attribute, class) view");
-  }
-  OPMAP_ASSIGN_OR_RETURN(int first,
-                         store_->schema().IndexOf(cube.dim_name(0)));
-  OPMAP_ASSIGN_OR_RETURN(int second,
-                         store_->schema().IndexOf(second_attribute));
-  if (second == first || store_->schema().is_class(second)) {
-    return Status::InvalidArgument("cannot drill into '" + second_attribute +
-                                   "'");
-  }
-  OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
-                         store_->PairCube(first, second));
-  history_.push_back(Step{*pair, "drill " + second_attribute});
-  return Status::OK();
+  return Record("drill " + second_attribute, [&]() -> Status {
+    if (!has_view()) {
+      return Status::InvalidArgument("no current view; open an attribute "
+                                     "first");
+    }
+    const RuleCube& cube = current();
+    if (cube.num_dims() != 2) {
+      return Status::InvalidArgument(
+          "drill-down is only defined on a 2-D (attribute, class) view");
+    }
+    OPMAP_ASSIGN_OR_RETURN(int first,
+                           store_->schema().IndexOf(cube.dim_name(0)));
+    OPMAP_ASSIGN_OR_RETURN(int second,
+                           store_->schema().IndexOf(second_attribute));
+    if (second == first || store_->schema().is_class(second)) {
+      return Status::InvalidArgument("cannot drill into '" +
+                                     second_attribute + "'");
+    }
+    OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
+                           store_->PairCube(first, second));
+    history_.push_back(Step{*pair, "drill " + second_attribute});
+    return Status::OK();
+  }());
 }
 
 Status ExplorationSession::Slice(const std::string& attribute,
                                  const std::string& value) {
-  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
-  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
-  OPMAP_ASSIGN_OR_RETURN(ValueCode v,
-                         store_->schema().attribute(attr).CodeOf(value));
-  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Slice(dim, v));
-  history_.push_back(
-      Step{std::move(next), "slice " + attribute + "=" + value});
-  return Status::OK();
+  return Record("slice " + attribute + "=" + value, [&]() -> Status {
+    OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+    OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+    OPMAP_ASSIGN_OR_RETURN(ValueCode v,
+                           store_->schema().attribute(attr).CodeOf(value));
+    OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Slice(dim, v));
+    history_.push_back(
+        Step{std::move(next), "slice " + attribute + "=" + value});
+    return Status::OK();
+  }());
 }
 
 Status ExplorationSession::Dice(const std::string& attribute,
                                 const std::vector<std::string>& values) {
-  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
-  OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
-  std::vector<ValueCode> codes;
-  for (const std::string& value : values) {
-    OPMAP_ASSIGN_OR_RETURN(ValueCode v,
-                           store_->schema().attribute(attr).CodeOf(value));
-    codes.push_back(v);
-  }
-  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Dice(dim, codes));
-  history_.push_back(Step{std::move(next),
-                          "dice " + attribute + " to " +
-                              JoinStrings(values, "|")});
-  return Status::OK();
+  return Record("dice " + attribute, [&]() -> Status {
+    OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+    OPMAP_ASSIGN_OR_RETURN(int attr, store_->schema().IndexOf(attribute));
+    std::vector<ValueCode> codes;
+    for (const std::string& value : values) {
+      OPMAP_ASSIGN_OR_RETURN(ValueCode v,
+                             store_->schema().attribute(attr).CodeOf(value));
+      codes.push_back(v);
+    }
+    OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Dice(dim, codes));
+    history_.push_back(Step{std::move(next),
+                            "dice " + attribute + " to " +
+                                JoinStrings(values, "|")});
+    return Status::OK();
+  }());
 }
 
 Status ExplorationSession::RollUp(const std::string& attribute) {
-  OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
-  OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Marginalize(dim));
-  history_.push_back(Step{std::move(next), "roll-up " + attribute});
-  return Status::OK();
+  return Record("roll-up " + attribute, [&]() -> Status {
+    OPMAP_ASSIGN_OR_RETURN(int dim, CurrentDim(attribute));
+    OPMAP_ASSIGN_OR_RETURN(RuleCube next, current().Marginalize(dim));
+    history_.push_back(Step{std::move(next), "roll-up " + attribute});
+    return Status::OK();
+  }());
 }
 
 Status ExplorationSession::Back() {
-  if (history_.size() <= 1) {
-    return Status::InvalidArgument("nothing to undo");
-  }
-  history_.pop_back();
-  return Status::OK();
+  return Record("back", [&]() -> Status {
+    if (history_.size() <= 1) {
+      return Status::InvalidArgument("nothing to undo");
+    }
+    history_.pop_back();
+    return Status::OK();
+  }());
 }
 
-void ExplorationSession::Reset() { history_.clear(); }
+void ExplorationSession::Reset() {
+  history_.clear();
+  last_error_ = Status::OK();
+}
 
 std::string ExplorationSession::PathString() const {
   std::string out;

@@ -54,6 +54,12 @@ class ExplorationSession {
   /// Drops everything; the session has no current view again.
   void Reset();
 
+  /// The most recent non-OK status returned by a navigation operation,
+  /// annotated with the operation and the view it failed on. Interactive
+  /// frontends surface this instead of threading every Status upward.
+  /// OK when no operation has failed since the last successful one.
+  const Status& last_error() const { return last_error_; }
+
   bool has_view() const { return !history_.empty(); }
   const RuleCube& current() const { return history_.back().cube; }
 
@@ -73,8 +79,13 @@ class ExplorationSession {
   // Finds the dimension of the current cube for a named attribute.
   Result<int> CurrentDim(const std::string& attribute) const;
 
+  // Stores (and annotates) a failed operation's status for last_error();
+  // clears the slot on success. Returns the annotated status.
+  Status Record(const std::string& op, Status status);
+
   const CubeStore* store_;
   std::vector<Step> history_;
+  Status last_error_;
 };
 
 }  // namespace opmap

@@ -1,6 +1,7 @@
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
+#include "opmap/common/io.h"
 #include "opmap/common/serde.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/dataset_io.h"
@@ -10,7 +11,22 @@ namespace opmap {
 namespace {
 
 constexpr char kCubeMagic[4] = {'O', 'P', 'M', 'C'};
-constexpr uint32_t kCubeVersion = 1;
+constexpr uint32_t kCubeVersionV1 = 1;
+constexpr uint32_t kCubeVersionV2 = 2;
+
+// v2 container section names; corruption errors cite these.
+constexpr char kSectionSchema[] = "schema";
+constexpr char kSectionMeta[] = "meta";
+constexpr char kSectionAttrCubes[] = "attr_cubes";
+constexpr char kSectionPairCubes[] = "pair_cubes";
+
+// Prefixes a load error with the section it came from so operators know
+// which part of the snapshot is damaged.
+Status InSection(const char* section, Status st) {
+  if (st.ok()) return st;
+  return Status(st.code(),
+                "section '" + std::string(section) + "': " + st.message());
+}
 
 // Serializes one cube's count array. Shape is implied by the store's
 // schema plus the cube's attribute list, so only counts are stored.
@@ -37,71 +53,182 @@ Status ReadCubeCounts(BinaryReader* r, RuleCube* cube) {
 
 }  // namespace
 
-Status CubeStore::Save(std::ostream* out) const {
-  BinaryWriter w(out);
-  out->write(kCubeMagic, 4);
-  w.WriteU32(kCubeVersion);
-  WriteSchema(schema_, out);
-  w.WriteU64(attributes_.size());
-  for (int a : attributes_) w.WriteI32(a);
-  w.WriteU8(has_pair_cubes_ ? 1 : 0);
-  w.WriteI64(num_records_);
-  w.WriteI64Vector(class_counts_);
-  for (const RuleCube& cube : attr_cubes_) WriteCubeCounts(cube, &w);
-  for (const RuleCube& cube : pair_cubes_) WriteCubeCounts(cube, &w);
-  if (!w.ok()) return Status::IOError("write failure while saving cubes");
-  return Status::OK();
-}
-
-Status CubeStore::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  return Save(&out);
-}
-
-Result<CubeStore> CubeStore::Load(std::istream* in) {
-  BinaryReader r(in);
-  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kCubeMagic));
-  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kCubeVersion) {
-    return Status::IOError("unsupported cube store format version " +
-                           std::to_string(version));
-  }
-  OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
-  OPMAP_ASSIGN_OR_RETURN(uint64_t attr_count, r.ReadU64());
+// Reads the store body that follows the schema in both versions: the
+// attribute list, pair flag, record count, class counts and cube counts.
+// v1 lays these fields out back to back after the schema; v2 splits them
+// into the "meta" and cube sections but keeps the field encoding.
+Status CubeStore::ReadMeta(BinaryReader* r, Schema schema, CubeStore* out) {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t attr_count, r->ReadU64());
   CubeStoreOptions options;
   for (uint64_t i = 0; i < attr_count; ++i) {
-    OPMAP_ASSIGN_OR_RETURN(int32_t a, r.ReadI32());
+    OPMAP_ASSIGN_OR_RETURN(int32_t a, r->ReadI32());
     options.attributes.push_back(a);
   }
-  OPMAP_ASSIGN_OR_RETURN(uint8_t has_pairs, r.ReadU8());
+  OPMAP_ASSIGN_OR_RETURN(uint8_t has_pairs, r->ReadU8());
   options.build_pair_cubes = has_pairs != 0;
 
   // Allocate the zeroed store with the same layout, then fill counts.
   OPMAP_ASSIGN_OR_RETURN(CubeBuilder builder,
                          CubeBuilder::Make(std::move(schema), options));
-  CubeStore store = std::move(builder).Finish();
+  *out = std::move(builder).Finish();
 
-  OPMAP_ASSIGN_OR_RETURN(store.num_records_, r.ReadI64());
-  if (store.num_records_ < 0) return Status::IOError("negative record count");
-  OPMAP_ASSIGN_OR_RETURN(store.class_counts_, r.ReadI64Vector());
-  if (store.class_counts_.size() !=
-      static_cast<size_t>(store.schema_.num_classes())) {
+  OPMAP_ASSIGN_OR_RETURN(out->num_records_, r->ReadI64());
+  if (out->num_records_ < 0) return Status::IOError("negative record count");
+  OPMAP_ASSIGN_OR_RETURN(out->class_counts_, r->ReadI64Vector());
+  if (out->class_counts_.size() !=
+      static_cast<size_t>(out->schema_.num_classes())) {
     return Status::IOError("class count vector does not match schema");
   }
-  for (RuleCube& cube : store.attr_cubes_) {
-    OPMAP_RETURN_NOT_OK(ReadCubeCounts(&r, &cube));
+  return Status::OK();
+}
+
+Result<CubeStore> CubeStore::LoadV2(const std::string& bytes) {
+  OPMAP_ASSIGN_OR_RETURN(std::vector<Section> sections,
+                         ParseContainer(bytes, kCubeMagic, kCubeVersionV2));
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* schema_sec,
+                         FindSection(sections, kSectionSchema));
+  std::istringstream schema_in(schema_sec->payload);
+  Result<Schema> schema = ReadSchema(&schema_in);
+  if (!schema.ok()) return InSection(kSectionSchema, schema.status());
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* meta_sec,
+                         FindSection(sections, kSectionMeta));
+  std::istringstream meta_in(meta_sec->payload);
+  BinaryReader meta_reader(&meta_in, meta_sec->payload.size());
+  CubeStore store;
+  OPMAP_RETURN_NOT_OK(InSection(
+      kSectionMeta,
+      ReadMeta(&meta_reader, std::move(schema).MoveValue(), &store)));
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* attr_sec,
+                         FindSection(sections, kSectionAttrCubes));
+  if (attr_sec->record_count != store.attr_cubes_.size()) {
+    return Status::IOError("section 'attr_cubes' holds " +
+                           std::to_string(attr_sec->record_count) +
+                           " cubes, schema implies " +
+                           std::to_string(store.attr_cubes_.size()));
   }
+  std::istringstream attr_in(attr_sec->payload);
+  BinaryReader attr_reader(&attr_in, attr_sec->payload.size());
+  for (RuleCube& cube : store.attr_cubes_) {
+    OPMAP_RETURN_NOT_OK(
+        InSection(kSectionAttrCubes, ReadCubeCounts(&attr_reader, &cube)));
+  }
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* pair_sec,
+                         FindSection(sections, kSectionPairCubes));
+  if (pair_sec->record_count != store.pair_cubes_.size()) {
+    return Status::IOError("section 'pair_cubes' holds " +
+                           std::to_string(pair_sec->record_count) +
+                           " cubes, schema implies " +
+                           std::to_string(store.pair_cubes_.size()));
+  }
+  std::istringstream pair_in(pair_sec->payload);
+  BinaryReader pair_reader(&pair_in, pair_sec->payload.size());
   for (RuleCube& cube : store.pair_cubes_) {
-    OPMAP_RETURN_NOT_OK(ReadCubeCounts(&r, &cube));
+    OPMAP_RETURN_NOT_OK(
+        InSection(kSectionPairCubes, ReadCubeCounts(&pair_reader, &cube)));
   }
   return store;
 }
 
-Result<CubeStore> CubeStore::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  return Load(&in);
+// Seed format: all fields back to back with no checksums. `r` is
+// positioned just past the magic and version.
+Result<CubeStore> CubeStore::LoadV1(BinaryReader* r, std::istream* in) {
+  OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
+  CubeStore store;
+  OPMAP_RETURN_NOT_OK(ReadMeta(r, std::move(schema), &store));
+  for (RuleCube& cube : store.attr_cubes_) {
+    OPMAP_RETURN_NOT_OK(ReadCubeCounts(r, &cube));
+  }
+  for (RuleCube& cube : store.pair_cubes_) {
+    OPMAP_RETURN_NOT_OK(ReadCubeCounts(r, &cube));
+  }
+  return store;
+}
+
+Status CubeStore::Save(std::ostream* out) const {
+  std::vector<Section> sections;
+
+  {
+    std::ostringstream schema_out;
+    WriteSchema(schema_, &schema_out);
+    sections.push_back(Section{kSectionSchema,
+                               static_cast<uint64_t>(attributes_.size()),
+                               schema_out.str()});
+  }
+  {
+    std::ostringstream meta_out;
+    BinaryWriter w(&meta_out);
+    w.WriteU64(attributes_.size());
+    for (int a : attributes_) w.WriteI32(a);
+    w.WriteU8(has_pair_cubes_ ? 1 : 0);
+    w.WriteI64(num_records_);
+    w.WriteI64Vector(class_counts_);
+    sections.push_back(Section{kSectionMeta,
+                               static_cast<uint64_t>(num_records_),
+                               meta_out.str()});
+  }
+  {
+    std::ostringstream cubes_out;
+    BinaryWriter w(&cubes_out);
+    for (const RuleCube& cube : attr_cubes_) WriteCubeCounts(cube, &w);
+    sections.push_back(Section{kSectionAttrCubes, attr_cubes_.size(),
+                               cubes_out.str()});
+  }
+  {
+    std::ostringstream cubes_out;
+    BinaryWriter w(&cubes_out);
+    for (const RuleCube& cube : pair_cubes_) WriteCubeCounts(cube, &w);
+    sections.push_back(Section{kSectionPairCubes, pair_cubes_.size(),
+                               cubes_out.str()});
+  }
+
+  const std::string bytes =
+      SerializeContainer(kCubeMagic, kCubeVersionV2, sections);
+  out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out->flush();
+  if (!out->good()) {
+    return Status::IOError("write failure while saving cubes (disk full or "
+                           "stream closed)");
+  }
+  return Status::OK();
+}
+
+Status CubeStore::SaveToFile(const std::string& path, Env* env) const {
+  std::ostringstream buf;
+  OPMAP_RETURN_NOT_OK(Save(&buf));
+  return AtomicWriteFile(env, path, buf.str());
+}
+
+Result<CubeStore> CubeStore::LoadFromBytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  BinaryReader r(&in, bytes.size());
+  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kCubeMagic));
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version == kCubeVersionV1) return LoadV1(&r, &in);
+  if (version == kCubeVersionV2) return LoadV2(bytes);
+  return Status::IOError("unsupported cube store format version " +
+                         std::to_string(version));
+}
+
+Result<CubeStore> CubeStore::Load(std::istream* in) {
+  std::ostringstream buf;
+  buf << in->rdbuf();
+  if (in->bad()) return Status::IOError("read failure while loading cubes");
+  return LoadFromBytes(buf.str());
+}
+
+Result<CubeStore> CubeStore::LoadFromFile(const std::string& path, Env* env) {
+  std::string bytes;
+  OPMAP_RETURN_NOT_OK(ReadFileToString(env, path, &bytes));
+  Result<CubeStore> store = LoadFromBytes(bytes);
+  if (!store.ok()) {
+    return Status(store.status().code(),
+                  "cube store '" + path + "': " + store.status().message());
+  }
+  return store;
 }
 
 }  // namespace opmap

@@ -99,6 +99,38 @@ Result<CubeBuilder> CubeBuilder::Make(Schema schema,
   builder.num_classes_ = store.schema_.num_classes();
 
   const int m = static_cast<int>(store.attributes_.size());
+
+  // Enforce the memory budget before allocating anything: a wide schema
+  // with large domains can demand terabytes of pair cubes, and the server
+  // should answer kOutOfRange, not die in the allocator.
+  if (options.max_memory_bytes > 0) {
+    const int64_t nc = store.schema_.num_classes();
+    int64_t projected = 0;
+    for (int i = 0; i < m; ++i) {
+      const int64_t di =
+          store.schema_.attribute(store.attributes_[static_cast<size_t>(i)])
+              .domain();
+      projected += di * nc * static_cast<int64_t>(sizeof(int64_t));
+      if (options.build_pair_cubes) {
+        for (int j = i + 1; j < m; ++j) {
+          const int64_t dj =
+              store.schema_
+                  .attribute(store.attributes_[static_cast<size_t>(j)])
+                  .domain();
+          projected += di * dj * nc * static_cast<int64_t>(sizeof(int64_t));
+        }
+      }
+      if (projected > options.max_memory_bytes) {
+        return Status::OutOfRange(
+            "cube materialization needs more than the " +
+            std::to_string(options.max_memory_bytes) +
+            "-byte memory budget (" + std::to_string(projected) +
+            "+ bytes projected); raise the budget or materialize fewer "
+            "attributes");
+      }
+    }
+  }
+
   store.attr_cubes_.reserve(static_cast<size_t>(m));
   for (int a : store.attributes_) {
     OPMAP_ASSIGN_OR_RETURN(

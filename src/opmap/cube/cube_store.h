@@ -12,6 +12,9 @@
 
 namespace opmap {
 
+class BinaryReader;
+class Env;
+
 /// Options for cube materialization.
 struct CubeStoreOptions {
   /// Attributes to include (schema indices, class excluded). Empty = every
@@ -20,6 +23,9 @@ struct CubeStoreOptions {
   /// Whether to materialize the 3-D (attribute, attribute, class) cubes.
   /// The 2-D (attribute, class) cubes are always built.
   bool build_pair_cubes = true;
+  /// Upper bound on cube memory in bytes; materialization that would exceed
+  /// it fails with kOutOfRange before allocating anything. 0 = unlimited.
+  int64_t max_memory_bytes = 0;
 };
 
 /// The deployed system's cube inventory: one 2-D rule cube per attribute
@@ -57,17 +63,29 @@ class CubeStore {
   /// Heap bytes held by all cubes.
   int64_t MemoryUsageBytes() const;
 
-  /// Binary persistence ("OPMC" format): the deployed system generates
-  /// cubes offline (overnight) and reloads them for interactive use.
+  /// Binary persistence ("OPMC" format, version 2): the deployed system
+  /// generates cubes offline (overnight) and reloads them for interactive
+  /// use. Writers emit the checksummed v2 section container; readers accept
+  /// v1 (seed format, no checksums) and v2. SaveToFile is crash-safe:
+  /// write-to-temp, fsync, atomic rename through `env` (nullptr =
+  /// Env::Default()), so no failure mid-save corrupts an existing file.
   Status Save(std::ostream* out) const;
-  Status SaveToFile(const std::string& path) const;
+  Status SaveToFile(const std::string& path, Env* env = nullptr) const;
   static Result<CubeStore> Load(std::istream* in);
-  static Result<CubeStore> LoadFromFile(const std::string& path);
+  static Result<CubeStore> LoadFromBytes(const std::string& bytes);
+  static Result<CubeStore> LoadFromFile(const std::string& path,
+                                        Env* env = nullptr);
 
  private:
   friend class CubeBuilder;
 
   CubeStore() = default;
+
+  // Version-specific load paths (cube_io.cc). ReadMeta fills everything
+  // that is not schema or cube counts.
+  static Status ReadMeta(BinaryReader* r, Schema schema, CubeStore* out);
+  static Result<CubeStore> LoadV1(BinaryReader* r, std::istream* in);
+  static Result<CubeStore> LoadV2(const std::string& bytes);
 
   int AttrSlot(int attr) const {
     return attr >= 0 && attr < static_cast<int>(attr_slot_.size())

@@ -12,26 +12,67 @@ namespace opmap {
 
 namespace {
 
-// Raw parse of the whole stream into header + string rows.
-Status ParseRaw(std::istream& in, char delim,
+// Records a skipped row in the report, keeping only the first few messages.
+void RecordSkip(IngestReport* report, int64_t line, const std::string& why) {
+  ++report->rows_skipped;
+  if (report->sample_errors.size() < IngestReport::kMaxSampleErrors) {
+    report->sample_errors.push_back("line " + std::to_string(line) + ": " +
+                                    why);
+  }
+}
+
+// Returns the reason a data row is malformed, or empty if it is fine.
+std::string RowProblem(const std::vector<std::string>& fields,
+                       size_t expected, const CsvReadOptions& opts) {
+  if (fields.size() != expected) {
+    return "has " + std::to_string(fields.size()) + " fields, expected " +
+           std::to_string(expected);
+  }
+  for (const auto& f : fields) {
+    if (f.size() > opts.max_field_length) {
+      return "field of " + std::to_string(f.size()) +
+             " bytes exceeds the " +
+             std::to_string(opts.max_field_length) + "-byte limit";
+    }
+  }
+  return "";
+}
+
+// Raw parse of the whole stream into header + string rows. In recovery
+// mode malformed rows are skipped and tallied in `report`; in strict mode
+// the first malformed row aborts.
+Status ParseRaw(std::istream& in, const CsvReadOptions& opts,
                 std::vector<std::string>* header,
-                std::vector<std::vector<std::string>>* rows) {
+                std::vector<std::vector<std::string>>* rows,
+                IngestReport* report) {
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IOError("empty CSV input");
   }
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  *header = SplitString(line, delim);
+  *header = SplitString(line, opts.delimiter);
   for (auto& h : *header) h = std::string(TrimWhitespace(h));
+  if (header->size() > static_cast<size_t>(opts.max_columns)) {
+    // A corrupt header poisons every row; never recoverable.
+    return Status::OutOfRange("header has " +
+                              std::to_string(header->size()) +
+                              " columns, limit is " +
+                              std::to_string(opts.max_columns));
+  }
+  int64_t lineno = 1;
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (TrimWhitespace(line).empty()) continue;
-    auto fields = SplitString(line, delim);
-    if (fields.size() != header->size()) {
-      return Status::IOError("row " + std::to_string(rows->size() + 2) +
-                             " has " + std::to_string(fields.size()) +
-                             " fields, expected " +
-                             std::to_string(header->size()));
+    auto fields = SplitString(line, opts.delimiter);
+    const std::string problem = RowProblem(fields, header->size(), opts);
+    if (!problem.empty()) {
+      if (!opts.recover) {
+        return Status::IOError("row at line " + std::to_string(lineno) +
+                               " " + problem);
+      }
+      RecordSkip(report, lineno, problem);
+      continue;
     }
     rows->push_back(std::move(fields));
   }
@@ -40,10 +81,26 @@ Status ParseRaw(std::istream& in, char delim,
 
 }  // namespace
 
-Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts) {
+std::string IngestReport::Summary() const {
+  if (rows_skipped == 0) {
+    return "ok: " + std::to_string(rows_read) + " rows";
+  }
+  std::string s = std::to_string(rows_read) + " rows, " +
+                  std::to_string(rows_skipped) + " skipped";
+  if (!sample_errors.empty()) {
+    s += " (first error: " + sample_errors.front() + ")";
+  }
+  return s;
+}
+
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts,
+                              IngestReport* report) {
+  IngestReport local;
+  if (report == nullptr) report = &local;
+  *report = IngestReport{};
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
-  OPMAP_RETURN_NOT_OK(ParseRaw(in, opts.delimiter, &header, &rows));
+  OPMAP_RETURN_NOT_OK(ParseRaw(in, opts, &header, &rows, report));
 
   const int ncols = static_cast<int>(header.size());
   int class_index = -1;
@@ -132,15 +189,17 @@ Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts) {
       OPMAP_RETURN_NOT_OK(dataset.AppendRow(row));
     }
   }
+  report->rows_read = dataset.num_rows();
   return dataset;
 }
 
-Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts) {
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts,
+                        IngestReport* report) {
   std::ifstream in(path);
   if (!in) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  return ReadCsvStream(in, opts);
+  return ReadCsvStream(in, opts, report);
 }
 
 Status WriteCsvStream(const Dataset& dataset, std::ostream& out,

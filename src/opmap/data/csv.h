@@ -24,6 +24,32 @@ struct CsvReadOptions {
   /// numeric columns always become continuous, non-numeric columns exceeding
   /// the cap are rejected (they would explode the rule space).
   int max_categorical_domain = 1024;
+  /// Recovery mode: malformed rows (wrong field count, oversized fields)
+  /// are skipped and counted in the IngestReport instead of aborting the
+  /// whole ingest. Default is strict: the first malformed row fails.
+  bool recover = false;
+  /// Resource guards, enforced in both modes: a single field longer than
+  /// this or a header wider than this is malformed (strict: error;
+  /// recover: row skipped — an oversized header always errors).
+  size_t max_field_length = 1 << 20;
+  int max_columns = 4096;
+};
+
+/// Per-file ingestion outcome, filled when the caller passes a report to
+/// ReadCsv / ReadCsvStream. In recovery mode this is how skipped damage is
+/// surfaced; in strict mode it still carries the accepted-row count.
+struct IngestReport {
+  /// Rows accepted into the dataset.
+  int64_t rows_read = 0;
+  /// Malformed rows skipped (recovery mode only; strict mode fails first).
+  int64_t rows_skipped = 0;
+  /// First few skip reasons, each prefixed with the 1-based line number.
+  std::vector<std::string> sample_errors;
+  /// Cap on sample_errors retained.
+  static constexpr size_t kMaxSampleErrors = 10;
+
+  /// "ok: N rows" or "N rows, M skipped (first error: ...)".
+  std::string Summary() const;
 };
 
 /// Reads a CSV file with a header row into a Dataset.
@@ -31,11 +57,15 @@ struct CsvReadOptions {
 /// Column kinds are inferred: a column whose every non-null field parses as
 /// a number becomes continuous unless listed in `categorical_columns`;
 /// anything else becomes categorical with a dictionary built in first-seen
-/// order. The class column is always categorical.
-Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts);
+/// order. The class column is always categorical. `report` (optional)
+/// receives per-file ingest statistics; it is required reading after a
+/// recovery-mode ingest.
+Result<Dataset> ReadCsv(const std::string& path, const CsvReadOptions& opts,
+                        IngestReport* report = nullptr);
 
 /// Same as ReadCsv but from an already-open stream (useful for tests).
-Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts);
+Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts,
+                              IngestReport* report = nullptr);
 
 /// Writes `dataset` as CSV with a header row. Categorical cells are written
 /// as their labels, missing values as `null_token`.

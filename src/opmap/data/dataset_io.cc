@@ -1,7 +1,8 @@
 #include "opmap/data/dataset_io.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "opmap/common/io.h"
 #include "opmap/common/serde.h"
 
 namespace opmap {
@@ -9,7 +10,71 @@ namespace opmap {
 namespace {
 
 constexpr char kDatasetMagic[4] = {'O', 'P', 'M', 'D'};
-constexpr uint32_t kDatasetVersion = 1;
+constexpr uint32_t kDatasetVersionV1 = 1;
+constexpr uint32_t kDatasetVersionV2 = 2;
+
+// v2 container section names; corruption errors cite these.
+constexpr char kSectionSchema[] = "schema";
+constexpr char kSectionColumns[] = "columns";
+
+Status InSection(const char* section, Status st) {
+  if (st.ok()) return st;
+  return Status(st.code(),
+                "section '" + std::string(section) + "': " + st.message());
+}
+
+// Reads the column block (row count + one column per attribute) that both
+// versions share, and assembles the dataset.
+Result<Dataset> ReadColumns(BinaryReader* r, Schema schema) {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t rows, r->ReadU64());
+  const int n = schema.num_attributes();
+  std::vector<std::vector<ValueCode>> cat(static_cast<size_t>(n));
+  std::vector<std::vector<double>> num(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (schema.attribute(i).is_categorical()) {
+      OPMAP_ASSIGN_OR_RETURN(cat[static_cast<size_t>(i)], r->ReadI32Vector());
+      if (cat[static_cast<size_t>(i)].size() != rows) {
+        return Status::IOError("column length mismatch");
+      }
+    } else {
+      OPMAP_ASSIGN_OR_RETURN(num[static_cast<size_t>(i)],
+                             r->ReadDoubleVector());
+      if (num[static_cast<size_t>(i)].size() != rows) {
+        return Status::IOError("column length mismatch");
+      }
+    }
+  }
+  Dataset dataset(std::move(schema));
+  OPMAP_RETURN_NOT_OK(dataset.SetColumnData(std::move(cat), std::move(num)));
+  return dataset;
+}
+
+Result<Dataset> LoadV2(const std::string& bytes) {
+  OPMAP_ASSIGN_OR_RETURN(
+      std::vector<Section> sections,
+      ParseContainer(bytes, kDatasetMagic, kDatasetVersionV2));
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* schema_sec,
+                         FindSection(sections, kSectionSchema));
+  std::istringstream schema_in(schema_sec->payload);
+  Result<Schema> schema = ReadSchema(&schema_in);
+  if (!schema.ok()) return InSection(kSectionSchema, schema.status());
+
+  OPMAP_ASSIGN_OR_RETURN(const Section* cols_sec,
+                         FindSection(sections, kSectionColumns));
+  std::istringstream cols_in(cols_sec->payload);
+  BinaryReader cols_reader(&cols_in, cols_sec->payload.size());
+  Result<Dataset> dataset =
+      ReadColumns(&cols_reader, std::move(schema).MoveValue());
+  if (!dataset.ok()) return InSection(kSectionColumns, dataset.status());
+  if (static_cast<uint64_t>(dataset->num_rows()) != cols_sec->record_count) {
+    return Status::IOError("section 'columns' holds " +
+                           std::to_string(dataset->num_rows()) +
+                           " rows, header declares " +
+                           std::to_string(cols_sec->record_count));
+  }
+  return dataset;
+}
 
 }  // namespace
 
@@ -67,64 +132,78 @@ Result<Schema> ReadSchema(std::istream* in) {
 }
 
 Status SaveDataset(const Dataset& dataset, std::ostream* out) {
-  BinaryWriter w(out);
-  out->write(kDatasetMagic, 4);
-  w.WriteU32(kDatasetVersion);
-  WriteSchema(dataset.schema(), out);
-  w.WriteU64(static_cast<uint64_t>(dataset.num_rows()));
-  for (int i = 0; i < dataset.num_attributes(); ++i) {
-    if (dataset.schema().attribute(i).is_categorical()) {
-      w.WriteI32Vector(dataset.categorical_column(i));
-    } else {
-      w.WriteDoubleVector(dataset.numeric_column(i));
-    }
+  std::vector<Section> sections;
+  {
+    std::ostringstream schema_out;
+    WriteSchema(dataset.schema(), &schema_out);
+    sections.push_back(
+        Section{kSectionSchema,
+                static_cast<uint64_t>(dataset.num_attributes()),
+                schema_out.str()});
   }
-  if (!w.ok()) return Status::IOError("write failure while saving dataset");
+  {
+    std::ostringstream cols_out;
+    BinaryWriter w(&cols_out);
+    w.WriteU64(static_cast<uint64_t>(dataset.num_rows()));
+    for (int i = 0; i < dataset.num_attributes(); ++i) {
+      if (dataset.schema().attribute(i).is_categorical()) {
+        w.WriteI32Vector(dataset.categorical_column(i));
+      } else {
+        w.WriteDoubleVector(dataset.numeric_column(i));
+      }
+    }
+    sections.push_back(Section{kSectionColumns,
+                               static_cast<uint64_t>(dataset.num_rows()),
+                               cols_out.str()});
+  }
+  const std::string bytes =
+      SerializeContainer(kDatasetMagic, kDatasetVersionV2, sections);
+  out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out->flush();
+  if (!out->good()) {
+    return Status::IOError("write failure while saving dataset (disk full "
+                           "or stream closed)");
+  }
   return Status::OK();
 }
 
-Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  return SaveDataset(dataset, &out);
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path,
+                         Env* env) {
+  std::ostringstream buf;
+  OPMAP_RETURN_NOT_OK(SaveDataset(dataset, &buf));
+  return AtomicWriteFile(env, path, buf.str());
+}
+
+Result<Dataset> LoadDatasetFromBytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  BinaryReader r(&in, bytes.size());
+  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kDatasetMagic));
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version == kDatasetVersionV1) {
+    OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(&in));
+    return ReadColumns(&r, std::move(schema));
+  }
+  if (version == kDatasetVersionV2) return LoadV2(bytes);
+  return Status::IOError("unsupported dataset format version " +
+                         std::to_string(version));
 }
 
 Result<Dataset> LoadDataset(std::istream* in) {
-  BinaryReader r(in);
-  OPMAP_RETURN_NOT_OK(r.ExpectMagic(kDatasetMagic));
-  OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kDatasetVersion) {
-    return Status::IOError("unsupported dataset format version " +
-                           std::to_string(version));
-  }
-  OPMAP_ASSIGN_OR_RETURN(Schema schema, ReadSchema(in));
-  OPMAP_ASSIGN_OR_RETURN(uint64_t rows, r.ReadU64());
-  const int n = schema.num_attributes();
-  std::vector<std::vector<ValueCode>> cat(static_cast<size_t>(n));
-  std::vector<std::vector<double>> num(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    if (schema.attribute(i).is_categorical()) {
-      OPMAP_ASSIGN_OR_RETURN(cat[static_cast<size_t>(i)], r.ReadI32Vector());
-      if (cat[static_cast<size_t>(i)].size() != rows) {
-        return Status::IOError("column length mismatch");
-      }
-    } else {
-      OPMAP_ASSIGN_OR_RETURN(num[static_cast<size_t>(i)],
-                             r.ReadDoubleVector());
-      if (num[static_cast<size_t>(i)].size() != rows) {
-        return Status::IOError("column length mismatch");
-      }
-    }
-  }
-  Dataset dataset(std::move(schema));
-  OPMAP_RETURN_NOT_OK(dataset.SetColumnData(std::move(cat), std::move(num)));
-  return dataset;
+  std::ostringstream buf;
+  buf << in->rdbuf();
+  if (in->bad()) return Status::IOError("read failure while loading dataset");
+  return LoadDatasetFromBytes(buf.str());
 }
 
-Result<Dataset> LoadDatasetFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  return LoadDataset(&in);
+Result<Dataset> LoadDatasetFromFile(const std::string& path, Env* env) {
+  std::string bytes;
+  OPMAP_RETURN_NOT_OK(ReadFileToString(env, path, &bytes));
+  Result<Dataset> dataset = LoadDatasetFromBytes(bytes);
+  if (!dataset.ok()) {
+    return Status(dataset.status().code(),
+                  "dataset '" + path + "': " + dataset.status().message());
+  }
+  return dataset;
 }
 
 }  // namespace opmap

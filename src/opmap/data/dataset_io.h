@@ -9,10 +9,15 @@
 
 namespace opmap {
 
-/// Binary dataset persistence ("OPMD" format, version 1): schema
+class Env;
+
+/// Binary dataset persistence ("OPMD" format, version 2): schema
 /// (attribute names, kinds, dictionaries, ordered flags, class index)
-/// followed by raw column data. Roughly 10x faster to load than CSV and
-/// preserves dictionary code assignments exactly.
+/// followed by raw column data, each in an independently CRC32C-checksummed
+/// container section. Roughly 10x faster to load than CSV and preserves
+/// dictionary code assignments exactly. Readers also accept the seed's
+/// unchecksummed version-1 files; SaveDatasetToFile replaces the target
+/// atomically (write-to-temp + fsync + rename through `env`).
 
 /// Serializes `schema` into `writer`'s stream (shared with the cube-store
 /// format).
@@ -22,10 +27,13 @@ void WriteSchema(const Schema& schema, std::ostream* out);
 Result<Schema> ReadSchema(std::istream* in);
 
 Status SaveDataset(const Dataset& dataset, std::ostream* out);
-Status SaveDatasetToFile(const Dataset& dataset, const std::string& path);
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path,
+                         Env* env = nullptr);
 
 Result<Dataset> LoadDataset(std::istream* in);
-Result<Dataset> LoadDatasetFromFile(const std::string& path);
+Result<Dataset> LoadDatasetFromBytes(const std::string& bytes);
+Result<Dataset> LoadDatasetFromFile(const std::string& path,
+                                    Env* env = nullptr);
 
 }  // namespace opmap
 

@@ -72,9 +72,26 @@ class Args {
   std::vector<std::string> args_;
 };
 
+// Distinct exit codes so scripted pipelines can tell corruption from
+// misuse: 0 ok, 1 other error, 2 usage, 3 I/O (unreadable or corrupt
+// file), 4 bad name/value, 5 resource limit exceeded.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+      return 3;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kOutOfRange:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
 [[noreturn]] void Die(const Status& status) {
   std::fprintf(stderr, "opmap: %s\n", status.ToString().c_str());
-  std::exit(1);
+  std::exit(ExitCodeFor(status));
 }
 
 template <typename T>
@@ -130,9 +147,22 @@ int CmdCsvToData(const Args& args) {
   RequireFlag(in, "in");
   RequireFlag(out, "out");
   RequireFlag(class_column, "class");
+  if (args.GetBool("strict") && args.GetBool("recover")) {
+    std::fprintf(stderr, "opmap: --strict and --recover are exclusive\n");
+    return 2;
+  }
   CsvReadOptions csv;
   csv.class_column = class_column;
-  Dataset data = OrDie(ReadCsv(in, csv));
+  csv.recover = args.GetBool("recover");
+  IngestReport report;
+  Dataset data = OrDie(ReadCsv(in, csv, &report));
+  if (report.rows_skipped > 0) {
+    std::fprintf(stderr, "opmap: ingest of %s: %s\n", in.c_str(),
+                 report.Summary().c_str());
+    for (const std::string& e : report.sample_errors) {
+      std::fprintf(stderr, "opmap:   %s\n", e.c_str());
+    }
+  }
   if (!data.schema().AllCategorical()) {
     // Discretize through the facade so the binary file is mining-ready.
     OpportunityMapOptions options;
@@ -351,7 +381,8 @@ int Usage() {
       "usage: opmap <command> [flags]\n"
       "commands:\n"
       "  generate  --records=N [--attributes=N] [--seed=N] --out=FILE\n"
-      "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd\n"
+      "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd "
+      "[--strict|--recover]\n"
       "  cubes     --data=FILE.opmd --out=FILE.opmc\n"
       "  info      --data=FILE | --cubes=FILE\n"
       "  overview  --cubes=FILE [--color]\n"
@@ -362,7 +393,9 @@ int Usage() {
       "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N]\n"
       "  gi        --cubes=FILE [--top=N]\n"
       "  report    --cubes=FILE --attribute=NAME --good=V --bad=V "
-      "--class=LABEL --out=FILE.html [--gi]\n");
+      "--class=LABEL --out=FILE.html [--gi]\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 I/O or corrupt file, "
+      "4 bad name/value, 5 resource limit\n");
   return 2;
 }
 

@@ -57,6 +57,23 @@ TEST(Result, AssignOrReturnPropagates) {
   EXPECT_FALSE(Doubler(0).ok());
 }
 
+// Compile test: OPMAP_ASSIGN_OR_RETURN must work twice in one scope even
+// when both expansions land on the same source line, as happens when
+// another macro expands to several of them. The former __LINE__-based
+// temporary redeclared the same name and failed to compile.
+#define OPMAP_TEST_SUM_TWO(a, b)                     \
+  OPMAP_ASSIGN_OR_RETURN(int va, ParsePositive(a)); \
+  OPMAP_ASSIGN_OR_RETURN(int vb, ParsePositive(b)); \
+  return va + vb
+
+Result<int> SumViaNestedMacro(int a, int b) { OPMAP_TEST_SUM_TWO(a, b); }
+
+TEST(Result, AssignOrReturnComposesInsideNestedMacros) {
+  EXPECT_EQ(*SumViaNestedMacro(1, 2), 6);  // ParsePositive doubles inputs.
+  EXPECT_FALSE(SumViaNestedMacro(-1, 2).ok());
+  EXPECT_FALSE(SumViaNestedMacro(1, -2).ok());
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(123);
   Rng b(123);

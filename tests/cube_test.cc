@@ -168,6 +168,24 @@ TEST(CubeStore, RejectsBadOptions) {
   EXPECT_FALSE(CubeBuilder::FromDataset(d, opts).ok());
 }
 
+TEST(CubeStore, MemoryBudgetRejectsOversizedMaterialization) {
+  Dataset d = SmallDataset();
+  CubeStoreOptions opts;
+  opts.max_memory_bytes = 16;  // far below what any cube needs
+  Result<CubeStore> r = CubeBuilder::FromDataset(d, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(r.status().message().find("memory budget"), std::string::npos);
+}
+
+TEST(CubeStore, MemoryBudgetAllowsReasonableMaterialization) {
+  Dataset d = SmallDataset();
+  CubeStoreOptions opts;
+  opts.max_memory_bytes = 1 << 20;
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d, opts));
+  EXPECT_EQ(store.num_records(), d.num_rows());
+}
+
 TEST(CubeStore, NullValuesSkipAffectedCubesOnly) {
   Dataset d(Fig1Schema());
   ASSERT_OK(d.AppendRow({Cell::Categorical(kNullCode), Cell::Categorical(0),

@@ -160,6 +160,69 @@ TEST(Csv, Errors) {
   }
 }
 
+TEST(Csv, RecoveryModeSkipsAndCountsMalformedRows) {
+  const std::string csv =
+      "phone,rssi,disposition\n"
+      "ph1,-80.5,ok\n"
+      "ph2,-92.1\n"            // ragged: skipped
+      "ph1,-85.0,ok\n"
+      "ph2,-90.0,drop,extra\n"  // too many fields: skipped
+      "ph2,-88.0,drop\n";
+  std::istringstream in(csv);
+  CsvReadOptions opts;
+  opts.class_column = "disposition";
+  opts.recover = true;
+  IngestReport report;
+  ASSERT_OK_AND_ASSIGN(Dataset d, ReadCsvStream(in, opts, &report));
+  EXPECT_EQ(d.num_rows(), 3);
+  EXPECT_EQ(report.rows_read, 3);
+  EXPECT_EQ(report.rows_skipped, 2);
+  ASSERT_EQ(report.sample_errors.size(), 2u);
+  EXPECT_NE(report.sample_errors[0].find("line 3"), std::string::npos);
+  EXPECT_NE(report.sample_errors[1].find("line 5"), std::string::npos);
+  EXPECT_NE(report.Summary().find("2 skipped"), std::string::npos);
+}
+
+TEST(Csv, StrictModeStillFailsFastAndFillsReport) {
+  const std::string csv = "a,c\n1,y\n1\n";
+  std::istringstream in(csv);
+  CsvReadOptions opts;
+  opts.class_column = "c";
+  IngestReport report;
+  EXPECT_FALSE(ReadCsvStream(in, opts, &report).ok());
+  EXPECT_EQ(report.rows_skipped, 0);
+}
+
+TEST(Csv, FieldLengthGuard) {
+  CsvReadOptions opts;
+  opts.class_column = "c";
+  opts.max_field_length = 8;
+  const std::string csv =
+      "a,c\nshort,y\naveryveryverylongfield,n\nok,y\n";
+  {
+    std::istringstream in(csv);
+    EXPECT_FALSE(ReadCsvStream(in, opts).ok());
+  }
+  {
+    std::istringstream in(csv);
+    opts.recover = true;
+    IngestReport report;
+    ASSERT_OK_AND_ASSIGN(Dataset d, ReadCsvStream(in, opts, &report));
+    EXPECT_EQ(d.num_rows(), 2);
+    EXPECT_EQ(report.rows_skipped, 1);
+  }
+}
+
+TEST(Csv, ColumnCountGuard) {
+  CsvReadOptions opts;
+  opts.class_column = "c";
+  opts.max_columns = 3;
+  std::istringstream in("a,b,x,y,c\n1,2,3,4,y\n");
+  Result<Dataset> r = ReadCsvStream(in, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(Sampling, UniformSampleSizeAndOrder) {
   Schema s = MakeSchema({{"p", {"1"}}, {"c", {"y", "n"}}});
   Dataset d(s);

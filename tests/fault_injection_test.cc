@@ -1,0 +1,468 @@
+// Robustness suite for the hardened persistence layer: deterministic fault
+// injection against every filesystem touch of a cube-store save, bit-flip
+// and truncation sweeps over the checksummed v2 containers, and
+// compatibility with the seed's unchecksummed v1 files.
+
+#include <cstdio>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "opmap/common/io.h"
+#include "opmap/common/serde.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/dataset_io.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+using test::AppendRows;
+using test::MakeSchema;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+Dataset SmallDataset(int64_t bump = 0) {
+  Schema schema = MakeSchema(
+      {{"a", {"x", "y"}}, {"b", {"p", "q", "r"}}, {"c", {"ok", "bad"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 0, 0}, 5 + bump);
+  AppendRows(&d, {1, 1, 1}, 4);
+  AppendRows(&d, {0, 2, 1}, 3);
+  return d;
+}
+
+CubeStore SmallStore(int64_t bump = 0) {
+  auto store = CubeBuilder::FromDataset(SmallDataset(bump));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return store.MoveValue();
+}
+
+std::string SerializeStore(const CubeStore& store) {
+  std::ostringstream buf;
+  auto st = store.Save(&buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return buf.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C and container primitives
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswer) {
+  // The standard CRC-32C check value for the ASCII digits "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "opportunity map rule cubes";
+  const uint32_t one_shot = Crc32c(data.data(), data.size());
+  const uint32_t first = Crc32c(data.data(), 10);
+  EXPECT_EQ(Crc32c(data.data() + 10, data.size() - 10, first), one_shot);
+}
+
+TEST(Container, RoundTrip) {
+  const char magic[4] = {'T', 'E', 'S', 'T'};
+  std::vector<Section> sections;
+  sections.push_back(Section{"alpha", 3, "payload-one"});
+  sections.push_back(Section{"beta", 0, ""});
+  sections.push_back(Section{"gamma", 42, std::string(1000, '\7')});
+  const std::string bytes = SerializeContainer(magic, 2, sections);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Section> parsed,
+                       ParseContainer(bytes, magic, 2));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].name, "alpha");
+  EXPECT_EQ(parsed[0].record_count, 3u);
+  EXPECT_EQ(parsed[0].payload, "payload-one");
+  EXPECT_EQ(parsed[1].payload, "");
+  EXPECT_EQ(parsed[2].payload, std::string(1000, '\7'));
+
+  ASSERT_OK_AND_ASSIGN(const Section* gamma, FindSection(parsed, "gamma"));
+  EXPECT_EQ(gamma->record_count, 42u);
+  EXPECT_FALSE(FindSection(parsed, "missing").ok());
+}
+
+TEST(Container, CorruptPayloadNamesTheSection) {
+  const char magic[4] = {'T', 'E', 'S', 'T'};
+  std::vector<Section> sections;
+  sections.push_back(Section{"first", 0, std::string(64, 'A')});
+  sections.push_back(Section{"second", 0, std::string(64, 'B')});
+  std::string bytes = SerializeContainer(magic, 1, sections);
+
+  // Payloads are laid out back to back at the tail; flip one byte in each.
+  std::string corrupt_second = bytes;
+  corrupt_second[bytes.size() - 1] ^= 0x10;
+  Result<std::vector<Section>> r2 = ParseContainer(corrupt_second, magic, 1);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("'second'"), std::string::npos)
+      << r2.status().ToString();
+
+  std::string corrupt_first = bytes;
+  corrupt_first[bytes.size() - 65] ^= 0x10;
+  Result<std::vector<Section>> r1 = ParseContainer(corrupt_first, magic, 1);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("'first'"), std::string::npos)
+      << r1.status().ToString();
+}
+
+TEST(Container, CorruptHeaderIsCaught) {
+  const char magic[4] = {'T', 'E', 'S', 'T'};
+  std::string bytes =
+      SerializeContainer(magic, 1, {Section{"only", 7, "data"}});
+  // Byte 12 onward is the section table (magic, version, count, crc first).
+  std::string corrupt = bytes;
+  corrupt[16] ^= 0x01;
+  EXPECT_FALSE(ParseContainer(corrupt, magic, 1).ok());
+}
+
+TEST(Container, TrailingBytesRejected) {
+  const char magic[4] = {'T', 'E', 'S', 'T'};
+  std::string bytes =
+      SerializeContainer(magic, 1, {Section{"only", 0, "data"}});
+  bytes += "junk";
+  EXPECT_FALSE(ParseContainer(bytes, magic, 1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: no failure point may leave a corrupt file visible
+// ---------------------------------------------------------------------------
+
+// Every failure point during a save over an existing snapshot must leave
+// the previous snapshot readable (acceptance criterion a).
+TEST(FaultInjection, SaveOverExistingFileNeverCorruptsIt) {
+  const std::string path = TempPath("fault_existing.opmc");
+  const CubeStore previous = SmallStore(0);
+  ASSERT_OK(previous.SaveToFile(path));
+
+  // Dry run through a counting env to learn how many ops one save costs.
+  FaultInjectingEnv counter;
+  const CubeStore next = SmallStore(10);
+  ASSERT_OK(next.SaveToFile(path, &counter));
+  ASSERT_OK(previous.SaveToFile(path));  // restore the "previous" snapshot
+
+  const FaultOp kWriteSideOps[] = {FaultOp::kOpenWrite, FaultOp::kWrite,
+                                   FaultOp::kSync, FaultOp::kRename};
+  int failure_points = 0;
+  for (FaultOp op : kWriteSideOps) {
+    FaultInjectingEnv probe;
+    // Ops per save of this kind (counted fresh per op so indices line up).
+    ASSERT_OK(next.SaveToFile(TempPath("fault_probe.opmc"), &probe));
+    const int64_t per_save = probe.OpCount(op);
+    for (int64_t nth = 1; nth <= per_save; ++nth) {
+      FaultInjectingEnv env;
+      env.FailAt(op, nth, /*fail_forever=*/true);
+      Status st = next.SaveToFile(path, &env);
+      ASSERT_FALSE(st.ok())
+          << "op " << static_cast<int>(op) << " #" << nth;
+      ++failure_points;
+      // The file visible at the target path must still be the previous,
+      // fully valid snapshot.
+      ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::LoadFromFile(path));
+      EXPECT_EQ(loaded.num_records(), previous.num_records())
+          << "corrupt or wrong snapshot after failing op "
+          << static_cast<int>(op) << " #" << nth;
+    }
+  }
+  EXPECT_GE(failure_points, 3) << "sweep exercised too few failure points";
+  std::remove(path.c_str());
+}
+
+// Saving to a fresh path that fails mid-way must not leave any file there.
+TEST(FaultInjection, FailedSaveToFreshPathLeavesNoTargetFile) {
+  const CubeStore store = SmallStore();
+
+  FaultInjectingEnv counter;
+  ASSERT_OK(store.SaveToFile(TempPath("fault_count.opmc"), &counter));
+  const int64_t writes = counter.OpCount(FaultOp::kWrite);
+  ASSERT_GE(writes, 1);
+
+  for (int64_t nth = 1; nth <= writes; ++nth) {
+    const std::string path =
+        TempPath("fault_fresh_" + std::to_string(nth) + ".opmc");
+    FaultInjectingEnv env;
+    env.FailAt(FaultOp::kWrite, nth, /*fail_forever=*/true);
+    ASSERT_FALSE(store.SaveToFile(path, &env).ok());
+    EXPECT_FALSE(Env::Default()->FileExists(path))
+        << "failed save published a file at the target path";
+  }
+}
+
+// A transient failure (exactly one injected error) is absorbed by the
+// retry-with-backoff policy and the save still lands intact.
+TEST(FaultInjection, RetryAbsorbsTransientWriteFailure) {
+  const std::string path = TempPath("fault_retry.opmc");
+  const CubeStore store = SmallStore();
+
+  FaultInjectingEnv env;
+  env.FailAt(FaultOp::kWrite, 1, /*fail_forever=*/false);
+  ASSERT_OK(store.SaveToFile(path, &env));
+  EXPECT_EQ(env.InjectedFailures(), 1);
+
+  ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::LoadFromFile(path));
+  EXPECT_EQ(loaded.num_records(), store.num_records());
+  std::remove(path.c_str());
+}
+
+// A persistently failing disk exhausts the retries and surfaces the error.
+TEST(FaultInjection, PersistentFailureExhaustsRetries) {
+  const CubeStore store = SmallStore();
+  FaultInjectingEnv env;
+  env.FailAt(FaultOp::kSync, 1, /*fail_forever=*/true);
+  Status st = store.SaveToFile(TempPath("fault_persistent.opmc"), &env);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_GE(env.InjectedFailures(), 2) << "retry did not re-attempt";
+}
+
+// Read-side faults surface as errors, never as partially loaded stores.
+TEST(FaultInjection, ReadFailuresSurfaceAsErrors) {
+  const std::string path = TempPath("fault_read.opmc");
+  const CubeStore store = SmallStore();
+  ASSERT_OK(store.SaveToFile(path));
+
+  FaultInjectingEnv counter;
+  ASSERT_OK_AND_ASSIGN(CubeStore ok_load,
+                       CubeStore::LoadFromFile(path, &counter));
+  EXPECT_EQ(ok_load.num_records(), store.num_records());
+  const int64_t reads = counter.OpCount(FaultOp::kRead);
+  ASSERT_GE(reads, 1);
+
+  for (int64_t nth = 1; nth <= reads; ++nth) {
+    FaultInjectingEnv env;
+    env.FailAt(FaultOp::kRead, nth, /*fail_forever=*/true);
+    EXPECT_FALSE(CubeStore::LoadFromFile(path, &env).ok())
+        << "read failure #" << nth << " was swallowed";
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption sweeps (acceptance criterion b)
+// ---------------------------------------------------------------------------
+
+// Every single-bit flip anywhere in a v2 cube snapshot must be caught.
+TEST(CorruptionSweep, EveryBitFlipInCubeFileIsCaught) {
+  const CubeStore store = SmallStore();
+  const std::string bytes = SerializeStore(store);
+  ASSERT_GT(bytes.size(), 100u);
+
+  bool saw_section_error = false;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      Result<CubeStore> r = CubeStore::LoadFromBytes(flipped);
+      ASSERT_FALSE(r.ok())
+          << "bit " << bit << " of byte " << i << " flipped silently";
+      if (r.status().message().find("section '") != std::string::npos) {
+        saw_section_error = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_section_error)
+      << "no corruption was attributed to a named section";
+}
+
+// Same sweep for dataset snapshots.
+TEST(CorruptionSweep, EveryBitFlipInDatasetFileIsCaught) {
+  const Dataset d = SmallDataset();
+  std::ostringstream buf;
+  ASSERT_OK(SaveDataset(d, &buf));
+  const std::string bytes = buf.str();
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_FALSE(LoadDatasetFromBytes(flipped).ok())
+          << "bit " << bit << " of byte " << i << " flipped silently";
+    }
+  }
+}
+
+// Every truncation of a v2 cube snapshot must be caught.
+TEST(CorruptionSweep, EveryTruncationIsCaught) {
+  const CubeStore store = SmallStore();
+  const std::string bytes = SerializeStore(store);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(CubeStore::LoadFromBytes(bytes.substr(0, len)).ok())
+        << "truncation to " << len << " bytes loaded silently";
+  }
+}
+
+// Random multi-byte corruption, fixed seed: a fuzz loop over save/corrupt/
+// load that must never produce a wrong-valued cube (silent success with
+// altered counts would be the catastrophic outcome).
+TEST(CorruptionSweep, RandomCorruptionFuzzNeverYieldsWrongCounts) {
+  const CubeStore store = SmallStore();
+  const std::string bytes = SerializeStore(store);
+  ASSERT_OK_AND_ASSIGN(const RuleCube* reference, store.AttrCube(0));
+
+  uint64_t rng = 0x9E3779B97F4A7C15ull;  // fixed seed, splitmix64 steps
+  auto next = [&rng]() {
+    rng += 0x9E3779B97F4A7C15ull;
+    uint64_t z = rng;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupt = bytes;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      corrupt[next() % corrupt.size()] ^= static_cast<char>(next() % 255 + 1);
+    }
+    Result<CubeStore> r = CubeStore::LoadFromBytes(corrupt);
+    if (!r.ok()) continue;  // caught: good
+    // Only acceptable OK outcome: the edits cancelled out to the original
+    // bytes (xor with 0 is excluded, so this cannot happen) — if a load
+    // succeeds the counts must still be byte-identical to the original.
+    ASSERT_OK_AND_ASSIGN(const RuleCube* cube, r->AttrCube(0));
+    for (int64_t i = 0; i < reference->num_cells(); ++i) {
+      ASSERT_EQ(cube->raw_counts()[i], reference->raw_counts()[i])
+          << "corruption trial " << trial << " loaded with wrong counts";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v1 compatibility (acceptance criterion c)
+// ---------------------------------------------------------------------------
+
+// Replicates the seed's v1 writer byte for byte, independent of the
+// library's current save path, and proves the new loader still accepts it.
+std::string WriteV1CubeFile(const CubeStore& store) {
+  std::ostringstream out;
+  out.write("OPMC", 4);
+  BinaryWriter w(&out);
+  w.WriteU32(1);  // version
+  WriteSchema(store.schema(), &out);
+  w.WriteU64(store.attributes().size());
+  for (int a : store.attributes()) w.WriteI32(a);
+  w.WriteU8(1);  // has pair cubes (FromDataset builds them by default)
+  w.WriteI64(store.num_records());
+  w.WriteI64Vector(store.class_counts());
+  auto write_cube = [&w](const RuleCube& cube) {
+    w.WriteU64(static_cast<uint64_t>(cube.num_cells()));
+    for (int64_t i = 0; i < cube.num_cells(); ++i) {
+      w.WriteI64(cube.raw_counts()[i]);
+    }
+  };
+  for (int a : store.attributes()) {
+    auto cube = store.AttrCube(a);
+    EXPECT_TRUE(cube.ok());
+    write_cube(**cube);
+  }
+  const auto& attrs = store.attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      auto cube = store.PairCube(attrs[i], attrs[j]);
+      EXPECT_TRUE(cube.ok());
+      write_cube(**cube);
+    }
+  }
+  return out.str();
+}
+
+TEST(V1Compat, SeedCubeFilesStillLoad) {
+  const CubeStore store = SmallStore();
+  const std::string v1 = WriteV1CubeFile(store);
+
+  ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::LoadFromBytes(v1));
+  EXPECT_EQ(loaded.num_records(), store.num_records());
+  EXPECT_EQ(loaded.NumCubes(), store.NumCubes());
+  EXPECT_EQ(loaded.class_counts(), store.class_counts());
+  for (int a : store.attributes()) {
+    ASSERT_OK_AND_ASSIGN(const RuleCube* oc, store.AttrCube(a));
+    ASSERT_OK_AND_ASSIGN(const RuleCube* lc, loaded.AttrCube(a));
+    ASSERT_EQ(oc->num_cells(), lc->num_cells());
+    for (int64_t i = 0; i < oc->num_cells(); ++i) {
+      EXPECT_EQ(oc->raw_counts()[i], lc->raw_counts()[i]);
+    }
+  }
+}
+
+TEST(V1Compat, SeedDatasetFilesStillLoad) {
+  const Dataset d = SmallDataset();
+  std::ostringstream out;
+  out.write("OPMD", 4);
+  BinaryWriter w(&out);
+  w.WriteU32(1);  // version
+  WriteSchema(d.schema(), &out);
+  w.WriteU64(static_cast<uint64_t>(d.num_rows()));
+  for (int i = 0; i < d.num_attributes(); ++i) {
+    if (d.schema().attribute(i).is_categorical()) {
+      w.WriteI32Vector(d.categorical_column(i));
+    } else {
+      w.WriteDoubleVector(d.numeric_column(i));
+    }
+  }
+
+  ASSERT_OK_AND_ASSIGN(Dataset loaded, LoadDatasetFromBytes(out.str()));
+  ASSERT_EQ(loaded.num_rows(), d.num_rows());
+  for (int64_t r = 0; r < d.num_rows(); ++r) {
+    for (int c = 0; c < d.num_attributes(); ++c) {
+      EXPECT_EQ(loaded.code(r, c), d.code(r, c));
+    }
+  }
+}
+
+// Corrupting a v1 file is still detected by the structural checks (no CRC
+// exists in that format, but truncation and framing damage must fail).
+TEST(V1Compat, TruncatedV1FileIsRejected) {
+  const CubeStore store = SmallStore();
+  const std::string v1 = WriteV1CubeFile(store);
+  for (size_t len = 0; len < v1.size(); len += 7) {
+    EXPECT_FALSE(CubeStore::LoadFromBytes(v1.substr(0, len)).ok())
+        << "v1 truncation to " << len << " bytes loaded silently";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Env plumbing
+// ---------------------------------------------------------------------------
+
+TEST(EnvTest, ReadFileToStringEnforcesBound) {
+  const std::string path = TempPath("bounded_read.bin");
+  ASSERT_OK(AtomicWriteFile(nullptr, path, std::string(4096, 'x')));
+  std::string content;
+  ASSERT_OK(ReadFileToString(nullptr, path, &content));
+  EXPECT_EQ(content.size(), 4096u);
+  Status st = ReadFileToString(nullptr, path, &content, /*max_bytes=*/100);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, AtomicWriteFileReplacesAtomically) {
+  const std::string path = TempPath("atomic_replace.bin");
+  ASSERT_OK(AtomicWriteFile(nullptr, path, "first"));
+  ASSERT_OK(AtomicWriteFile(nullptr, path, "second"));
+  std::string content;
+  ASSERT_OK(ReadFileToString(nullptr, path, &content));
+  EXPECT_EQ(content, "second");
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(EnvTest, RetryWithBackoffStopsOnNonTransientCodes) {
+  int calls = 0;
+  Status st = RetryWithBackoff(nullptr, RetryPolicy{},
+                               [&calls]() -> Status {
+                                 ++calls;
+                                 return Status::InvalidArgument("permanent");
+                               });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1) << "non-transient errors must not be retried";
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan and runs the full test suite under the
+# sanitizers, so the fault-injection and corruption paths are exercised
+# with memory and UB checking on. Usage: tools/ci_sanitize.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOPMAP_SANITIZE=ON \
+  -DOPMAP_BUILD_BENCHMARKS=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan failures fatal instead of log-only; ASan's
+# detect_leaks stays on by default where the platform supports it.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="strict_string_checks=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
