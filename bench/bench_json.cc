@@ -1,0 +1,68 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace opmap::bench {
+
+namespace {
+
+std::string FormatRecord(const BenchRecord& record) {
+  // op names are benchmark-internal identifiers ([a-z0-9_/=] only), so no
+  // JSON string escaping is needed; keep the writer dependency-free.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
+                "\"items_per_s\": %.1f}",
+                record.op.c_str(), record.threads, record.wall_ms,
+                record.items_per_s);
+  return buf;
+}
+
+}  // namespace
+
+Status AppendBenchRecord(const std::string& path,
+                         const BenchRecord& record) {
+  std::string body;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      body = ss.str();
+    }
+  }
+  // Strip trailing whitespace and the closing bracket of an existing
+  // array; anything else (missing or empty file) starts a new array.
+  while (!body.empty() &&
+         (body.back() == '\n' || body.back() == ' ' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  if (!body.empty() && body.back() == ']') {
+    body.pop_back();
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+    if (body.back() != '[') body += ",";
+    body += "\n";
+  } else {
+    body = "[\n";
+  }
+  body += FormatRecord(record);
+  body += "\n]\n";
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open benchmark trajectory file: " + path);
+  }
+  out << body;
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing benchmark trajectory file: " +
+                           path);
+  }
+  return Status::OK();
+}
+
+}  // namespace opmap::bench

@@ -1,0 +1,27 @@
+#ifndef OPMAP_BENCH_BENCH_JSON_H_
+#define OPMAP_BENCH_BENCH_JSON_H_
+
+#include <string>
+
+#include "opmap/common/status.h"
+
+namespace opmap::bench {
+
+/// One measurement in the benchmark trajectory file (BENCH_parallel.json):
+/// which operation ran, at how many threads, and how fast.
+struct BenchRecord {
+  std::string op;           ///< e.g. "fig10/cubegen/attrs=160"
+  int threads = 1;          ///< worker-thread setting (1 = serial)
+  double wall_ms = 0.0;     ///< wall-clock time of the operation
+  double items_per_s = 0.0; ///< op-specific throughput (records/s, ...)
+};
+
+/// Appends `record` to the JSON array at `path`, creating the file if
+/// missing. Read-modify-write keeps the file a well-formed array even
+/// though each benchmark binary appends independently; concurrent writers
+/// are not supported (run_bench.sh runs them sequentially).
+Status AppendBenchRecord(const std::string& path, const BenchRecord& record);
+
+}  // namespace opmap::bench
+
+#endif  // OPMAP_BENCH_BENCH_JSON_H_

@@ -1,0 +1,128 @@
+// Micro-benchmarks of the parallel execution layer: sharded cube
+// materialization, comparator fan-out, all-pairs sweep, and CAR-miner
+// counting, each at a configurable thread count. Intended to be run at
+// 1 / 2 / N threads by tools/run_bench.sh so BENCH_parallel.json captures
+// the scaling trajectory on the current machine.
+//
+// Flags: --records=N (default 100000), --attributes=N (default 64),
+//        --threads=N (default auto), --json=FILE.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "opmap/car/miner.h"
+#include "opmap/common/stopwatch.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/cube/cube_store.h"
+
+namespace opmap {
+namespace {
+
+void Report(const std::string& json, const std::string& op, int threads,
+            double wall_ms, double items_per_s) {
+  std::printf("%-28s threads=%-3d %10.2f ms %14.1f items/s\n", op.c_str(),
+              threads, wall_ms, items_per_s);
+  if (!json.empty()) {
+    bench::CheckOk(
+        bench::AppendBenchRecord(json,
+                                 {op, threads, wall_ms, items_per_s}),
+        "bench json");
+  }
+}
+
+void Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int64_t records = flags.GetInt("records", 100000);
+  const int attrs = static_cast<int>(flags.GetInt("attributes", 64));
+  const ParallelOptions parallel = bench::ThreadsOf(flags);
+  const int threads = EffectiveThreads(parallel);
+  const std::string json = flags.GetString("json");
+
+  bench::PrintHeader("parallel", "parallel execution layer micro-benchmarks");
+  std::printf("records=%lld attributes=%d threads=%d\n\n",
+              static_cast<long long>(records), attrs, threads);
+
+  CallLogGenerator gen = bench::ValueOrDie(
+      CallLogGenerator::Make(bench::StandardWorkload(attrs, records)),
+      "generator");
+  Dataset dataset = gen.Generate();
+
+  // Raw ParallelFor dispatch overhead over a trivially cheap body.
+  {
+    constexpr int64_t kItems = 1 << 20;
+    std::vector<int64_t> sink(static_cast<size_t>(kItems), 0);
+    Stopwatch watch;
+    ParallelFor(
+        0, kItems, /*grain=*/4096,
+        [&](int64_t i) { sink[static_cast<size_t>(i)] = i * i; }, parallel);
+    const double ms = watch.ElapsedMillis();
+    Report(json, "parallel_for/square", threads, ms, kItems / ms * 1e3);
+  }
+
+  // Sharded cube materialization (the AddDataset fast path).
+  CubeStore store = [&] {
+    CubeStoreOptions options;
+    options.parallel = parallel;
+    Stopwatch watch;
+    CubeStore built = bench::ValueOrDie(
+        CubeBuilder::FromDataset(dataset, options), "cube build");
+    const double ms = watch.ElapsedMillis();
+    Report(json, "cube/add_dataset", threads, ms,
+           static_cast<double>(records) / ms * 1e3);
+    return built;
+  }();
+
+  // Comparator candidate fan-out (reads only the cubes).
+  {
+    Comparator comparator(&store, parallel);
+    ComparisonSpec spec;
+    spec.attribute = 0;  // PhoneModel
+    spec.value_a = 0;
+    spec.value_b = 2;
+    spec.target_class = kDroppedWhileInProgress;
+    constexpr int kReps = 20;
+    (void)bench::ValueOrDie(comparator.Compare(spec), "warmup");
+    Stopwatch watch;
+    for (int i = 0; i < kReps; ++i) {
+      (void)bench::ValueOrDie(comparator.Compare(spec), "compare");
+    }
+    const double ms = watch.ElapsedMillis() / kReps;
+    Report(json, "compare/fanout", threads, ms, 1e3 / ms);
+  }
+
+  // All-pairs sweep over the phone-model attribute.
+  {
+    Comparator comparator(&store, parallel);
+    Stopwatch watch;
+    auto pairs = bench::ValueOrDie(
+        comparator.CompareAllPairs(0, kDroppedWhileInProgress), "pairs");
+    const double ms = watch.ElapsedMillis();
+    Report(json, "compare/all_pairs", threads, ms,
+           static_cast<double>(pairs.size()) / ms * 1e3);
+  }
+
+  // CAR-miner level-wise counting.
+  {
+    CarMinerOptions options;
+    options.min_support = 0.01;
+    options.max_conditions = 2;
+    options.parallel = parallel;
+    Stopwatch watch;
+    RuleSet rules = bench::ValueOrDie(
+        MineClassAssociationRules(dataset, options), "car");
+    const double ms = watch.ElapsedMillis();
+    Report(json, "car/mine", threads, ms,
+           static_cast<double>(records) / ms * 1e3);
+    (void)rules;
+  }
+}
+
+}  // namespace
+}  // namespace opmap
+
+int main(int argc, char** argv) {
+  opmap::Main(argc, argv);
+  return 0;
+}

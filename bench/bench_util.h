@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
 #include "opmap/data/call_log.h"
 
@@ -17,6 +18,15 @@ class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value = "") const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return default_value;
   }
 
   int64_t GetInt(const std::string& key, int64_t default_value) const {
@@ -50,6 +60,15 @@ class Flags {
  private:
   std::vector<std::string> args_;
 };
+
+/// --threads=N from the flags (0/absent = auto: OPMAP_THREADS env var,
+/// else hardware). All parallel paths are bit-identical to serial, so the
+/// setting only affects timing.
+inline ParallelOptions ThreadsOf(const Flags& flags) {
+  ParallelOptions parallel;
+  parallel.num_threads = static_cast<int>(flags.GetInt("threads", 0));
+  return parallel;
+}
 
 /// Aborts with a message if `status` is not OK. Benchmarks are binaries;
 /// failing fast with a readable message beats Status plumbing in main().

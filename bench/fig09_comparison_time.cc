@@ -5,12 +5,15 @@
 // because the comparator reads only rule cubes.
 //
 // Flags: --records=N (default 20000; does NOT affect the comparison time,
-//        which is the point), --reps=N (default 50).
+//        which is the point), --reps=N (default 50), --threads=N (default
+//        auto), --json=FILE (append measurements to the trajectory file).
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "opmap/common/stopwatch.h"
 #include "opmap/compare/comparator.h"
@@ -19,8 +22,9 @@
 namespace opmap {
 namespace {
 
-double MeasureComparisonMillis(const CubeStore& store, int reps) {
-  Comparator comparator(&store);
+double MeasureComparisonMillis(const CubeStore& store, int reps,
+                               const ParallelOptions& parallel) {
+  Comparator comparator(&store, parallel);
   ComparisonSpec spec;
   spec.attribute = 0;  // PhoneModel
   spec.value_a = 0;
@@ -48,6 +52,8 @@ void Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const int64_t records = flags.GetInt("records", 20000);
   const int reps = static_cast<int>(flags.GetInt("reps", 50));
+  const ParallelOptions parallel = bench::ThreadsOf(flags);
+  const std::string json = flags.GetString("json");
 
   bench::PrintHeader(
       "Fig 9", "comparison computation time vs number of attributes");
@@ -66,9 +72,16 @@ void Main(int argc, char** argv) {
         bench::ValueOrDie(CubeBuilder::Make(gen.schema(), {}), "builder");
     gen.VisitRows(records, [&](const ValueCode* row) { builder.AddRow(row); });
     CubeStore store = std::move(builder).Finish();
-    const double ms = MeasureComparisonMillis(store, reps);
+    const double ms = MeasureComparisonMillis(store, reps, parallel);
     series.emplace_back(attrs, ms);
     std::printf("%-12d %-18.3f %-16.5f\n", attrs, ms, ms / attrs);
+    if (!json.empty()) {
+      bench::CheckOk(
+          bench::AppendBenchRecord(
+              json, {"fig09/compare/attrs=" + std::to_string(attrs),
+                     EffectiveThreads(parallel), ms, 1e3 / ms}),
+          "bench json");
+    }
   }
 
   // The paper's Section V.C claim: "the computation time is not affected
@@ -84,7 +97,7 @@ void Main(int argc, char** argv) {
     gen.VisitRows(n, [&](const ValueCode* row) { builder.AddRow(row); });
     CubeStore store = std::move(builder).Finish();
     std::printf("%-12lld %-18.3f\n", static_cast<long long>(n),
-                MeasureComparisonMillis(store, reps));
+                MeasureComparisonMillis(store, reps, parallel));
   }
 
   const double slope_first = series[0].second / series[0].first;

@@ -4,11 +4,15 @@
 // quadratically with the attribute count) on 2 M records; generation is an
 // offline step ("done in the evening").
 //
-// Flags: --records=N (default 200000; pass 2000000 for paper scale).
+// Flags: --records=N (default 200000; pass 2000000 for paper scale),
+//        --threads=N (default auto), --json=FILE (append measurements to
+//        the benchmark trajectory file).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "opmap/common/stopwatch.h"
 #include "opmap/cube/cube_store.h"
@@ -19,6 +23,8 @@ namespace {
 void Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const int64_t records = flags.GetInt("records", 200000);
+  const ParallelOptions parallel = bench::ThreadsOf(flags);
+  const std::string json = flags.GetString("json");
 
   bench::PrintHeader("Fig 10",
                      "rule-cube generation time vs number of attributes");
@@ -39,11 +45,20 @@ void Main(int argc, char** argv) {
   for (int attrs : {40, 80, 120, 160}) {
     CubeStoreOptions options;
     for (int a = 0; a < attrs; ++a) options.attributes.push_back(a);
+    options.parallel = parallel;
     Stopwatch watch;
     CubeStore store = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
     const double seconds = watch.ElapsedSeconds();
     series.emplace_back(attrs, seconds);
+    if (!json.empty()) {
+      bench::CheckOk(
+          bench::AppendBenchRecord(
+              json, {"fig10/cubegen/attrs=" + std::to_string(attrs),
+                     EffectiveThreads(parallel), seconds * 1e3,
+                     static_cast<double>(records) / seconds}),
+          "bench json");
+    }
     int64_t cells = 0;
     for (int a : store.attributes()) {
       cells += bench::ValueOrDie(store.AttrCube(a), "cube")->num_cells();

@@ -5,11 +5,14 @@
 // never has to exist in memory.
 //
 // Flags: --base-records=N (default 250000; paper used 2000000),
-//        --attributes=N (default 160).
+//        --attributes=N (default 160), --threads=N (default auto),
+//        --json=FILE (append measurements to the trajectory file).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "opmap/common/stopwatch.h"
 #include "opmap/cube/cube_store.h"
@@ -21,6 +24,8 @@ void Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const int64_t base = flags.GetInt("base-records", 150000);
   const int attrs = static_cast<int>(flags.GetInt("attributes", 160));
+  const ParallelOptions parallel = bench::ThreadsOf(flags);
+  const std::string json = flags.GetString("json");
 
   bench::PrintHeader("Fig 11",
                      "rule-cube generation time vs number of records");
@@ -38,8 +43,10 @@ void Main(int argc, char** argv) {
               "krec/s");
   std::vector<std::pair<int64_t, double>> series;
   for (int times = 1; times <= 4; ++times) {
-    CubeBuilder builder =
-        bench::ValueOrDie(CubeBuilder::Make(dataset.schema(), {}), "builder");
+    CubeStoreOptions options;
+    options.parallel = parallel;
+    CubeBuilder builder = bench::ValueOrDie(
+        CubeBuilder::Make(dataset.schema(), options), "builder");
     Stopwatch watch;
     for (int pass = 0; pass < times; ++pass) {
       bench::CheckOk(builder.AddDataset(dataset), "add pass");
@@ -48,6 +55,14 @@ void Main(int argc, char** argv) {
     const double seconds = watch.ElapsedSeconds();
     const int64_t records = store.num_records();
     series.emplace_back(records, seconds);
+    if (!json.empty()) {
+      bench::CheckOk(
+          bench::AppendBenchRecord(
+              json, {"fig11/cubegen/records=" + std::to_string(records),
+                     EffectiveThreads(parallel), seconds * 1e3,
+                     static_cast<double>(records) / seconds}),
+          "bench json");
+    }
     std::printf("%-14lld %-12d %-14.2f %-20.1f\n",
                 static_cast<long long>(records), times, seconds,
                 static_cast<double>(records) / 1e3 / seconds);

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "opmap/common/parallel.h"
+
 namespace opmap {
 
 namespace {
@@ -38,6 +40,29 @@ using BodyCounts =
     std::unordered_map<std::vector<Item>, std::vector<int64_t>, BodyHash>;
 
 Condition ToCondition(Item it) { return Condition{ItemAttr(it), ItemValue(it)}; }
+
+// Shards a counting pass over `num_rows` rows: the configured thread count,
+// clamped so tiny inputs stay serial (shard buffers are not free).
+int PlanRowShards(int64_t num_rows, const ParallelOptions& parallel) {
+  constexpr int64_t kMinRowsPerShard = 2048;
+  if (num_rows < 2 * kMinRowsPerShard) return 1;
+  const int64_t shards =
+      std::min<int64_t>(EffectiveThreads(parallel),
+                        num_rows / kMinRowsPerShard);
+  return static_cast<int>(std::max<int64_t>(shards, 1));
+}
+
+// Merges shard 1..n-1 of `shard_counts` into shard 0 by element-wise
+// addition and returns shard 0.
+std::vector<int64_t>& MergeShardCounts(
+    std::vector<std::vector<int64_t>>* shard_counts) {
+  std::vector<int64_t>& total = (*shard_counts)[0];
+  for (size_t s = 1; s < shard_counts->size(); ++s) {
+    const std::vector<int64_t>& part = (*shard_counts)[s];
+    for (size_t i = 0; i < total.size(); ++i) total[i] += part[i];
+  }
+  return total;
+}
 
 }  // namespace
 
@@ -132,28 +157,57 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
   };
 
   // --- Level 1 ---
-  BodyCounts level;
-  for (int64_t r : rows) {
-    const ValueCode y = dataset.class_code(r);
-    if (y == kNullCode) continue;
-    for (int a : free_attrs) {
-      const ValueCode v = dataset.code(r, a);
-      if (v == kNullCode) continue;
-      auto [it, inserted] = level.try_emplace(
-          std::vector<Item>{MakeItem(a, v)},
-          std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
-      ++it->second[static_cast<size_t>(y)];
-    }
+  // Counted densely: every (free attribute, value, class) cell has a fixed
+  // slot, so rows can be sharded across the thread pool into private
+  // buffers and merged by addition. The level map is then populated in
+  // enumeration order (attribute, then value), which makes both the map
+  // contents and the downstream rule emission order independent of the
+  // thread count.
+  const size_t num_free = free_attrs.size();
+  std::vector<int64_t> item_offset(num_free + 1, 0);
+  for (size_t i = 0; i < num_free; ++i) {
+    item_offset[i + 1] =
+        item_offset[i] + schema.attribute(free_attrs[i]).domain();
   }
-  // With min_support == 0 the complete space must be covered, including
-  // zero-count cells; enumerate every item explicitly.
-  if (minsup_count == 0) {
-    for (int a : free_attrs) {
-      for (ValueCode v = 0; v < schema.attribute(a).domain(); ++v) {
-        level.try_emplace(
-            std::vector<Item>{MakeItem(a, v)},
-            std::vector<int64_t>(static_cast<size_t>(num_classes), 0));
-      }
+  const int64_t num_items = item_offset[num_free];
+
+  const int64_t num_selected = static_cast<int64_t>(rows.size());
+  const int level1_shards = PlanRowShards(num_selected, options.parallel);
+  std::vector<std::vector<int64_t>> shard_counts(
+      static_cast<size_t>(level1_shards),
+      std::vector<int64_t>(
+          static_cast<size_t>(num_items * num_classes), 0));
+  ParallelForShards(
+      0, num_selected, level1_shards,
+      [&](int shard, int64_t lo, int64_t hi) {
+        int64_t* counts = shard_counts[static_cast<size_t>(shard)].data();
+        for (int64_t ri = lo; ri < hi; ++ri) {
+          const int64_t r = rows[static_cast<size_t>(ri)];
+          const ValueCode y = dataset.class_code(r);
+          if (y == kNullCode) continue;
+          for (size_t i = 0; i < num_free; ++i) {
+            const ValueCode v = dataset.code(r, free_attrs[i]);
+            if (v == kNullCode) continue;
+            ++counts[(item_offset[i] + v) * num_classes + y];
+          }
+        }
+      });
+  const std::vector<int64_t>& item_counts = MergeShardCounts(&shard_counts);
+
+  BodyCounts level;
+  for (size_t i = 0; i < num_free; ++i) {
+    const int a = free_attrs[i];
+    for (ValueCode v = 0; v < schema.attribute(a).domain(); ++v) {
+      const int64_t* cell =
+          item_counts.data() + (item_offset[i] + v) * num_classes;
+      int64_t total = 0;
+      for (int y = 0; y < num_classes; ++y) total += cell[y];
+      // Items absent from the data only matter when min_support == 0,
+      // where the complete rule space (zero-count cells included) must be
+      // covered.
+      if (total == 0 && minsup_count > 0) continue;
+      level.try_emplace(std::vector<Item>{MakeItem(a, v)},
+                        std::vector<int64_t>(cell, cell + num_classes));
     }
   }
 
@@ -218,44 +272,74 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
     }
     if (next.empty()) break;
 
-    // Counting pass.
-    std::vector<Item> row_items;
-    std::vector<Item> probe(static_cast<size_t>(k));
-    std::vector<size_t> idx(static_cast<size_t>(k));
-    for (int64_t r : rows) {
-      const ValueCode y = dataset.class_code(r);
-      if (y == kNullCode) continue;
-      row_items.clear();
-      for (int a : free_attrs) {
-        const ValueCode v = dataset.code(r, a);
-        if (v == kNullCode) continue;
-        row_items.push_back(MakeItem(a, v));
-      }
-      const size_t m = row_items.size();
-      if (m < static_cast<size_t>(k)) continue;
-      // Enumerate k-combinations of the row's items (row_items is sorted
-      // because free_attrs is ascending and items pack attr high).
-      for (size_t t = 0; t < static_cast<size_t>(k); ++t) idx[t] = t;
-      for (;;) {
-        for (size_t t = 0; t < static_cast<size_t>(k); ++t) {
-          probe[t] = row_items[idx[t]];
-        }
-        auto it = next.find(probe);
-        if (it != next.end()) ++it->second[static_cast<size_t>(y)];
-        // Advance combination.
-        int t = k - 1;
-        while (t >= 0 &&
-               idx[static_cast<size_t>(t)] ==
-                   m - static_cast<size_t>(k - t)) {
-          --t;
-        }
-        if (t < 0) break;
-        ++idx[static_cast<size_t>(t)];
-        for (size_t u = static_cast<size_t>(t) + 1;
-             u < static_cast<size_t>(k); ++u) {
-          idx[u] = idx[u - 1] + 1;
-        }
-      }
+    // Counting pass. The candidate set is frozen (generation above is
+    // serial and deterministic), so each candidate gets a fixed slot and
+    // rows are sharded into private count buffers exactly like level 1.
+    // Workers only read the shared slot index; merged totals are written
+    // back into the map keyed by body, so the result cannot depend on the
+    // thread count.
+    std::unordered_map<std::vector<Item>, int64_t, BodyHash> cand_slot;
+    cand_slot.reserve(next.size());
+    int64_t num_cands = 0;
+    for (const auto& [body, _] : next) cand_slot.emplace(body, num_cands++);
+
+    const int levelk_shards = PlanRowShards(num_selected, options.parallel);
+    std::vector<std::vector<int64_t>> cand_counts(
+        static_cast<size_t>(levelk_shards),
+        std::vector<int64_t>(
+            static_cast<size_t>(num_cands * num_classes), 0));
+    ParallelForShards(
+        0, num_selected, levelk_shards,
+        [&](int shard, int64_t lo, int64_t hi) {
+          int64_t* counts = cand_counts[static_cast<size_t>(shard)].data();
+          std::vector<Item> row_items;
+          std::vector<Item> probe(static_cast<size_t>(k));
+          std::vector<size_t> idx(static_cast<size_t>(k));
+          for (int64_t ri = lo; ri < hi; ++ri) {
+            const int64_t r = rows[static_cast<size_t>(ri)];
+            const ValueCode y = dataset.class_code(r);
+            if (y == kNullCode) continue;
+            row_items.clear();
+            for (int a : free_attrs) {
+              const ValueCode v = dataset.code(r, a);
+              if (v == kNullCode) continue;
+              row_items.push_back(MakeItem(a, v));
+            }
+            const size_t m = row_items.size();
+            if (m < static_cast<size_t>(k)) continue;
+            // Enumerate k-combinations of the row's items (row_items is
+            // sorted because free_attrs is ascending and items pack attr
+            // high).
+            for (size_t t = 0; t < static_cast<size_t>(k); ++t) idx[t] = t;
+            for (;;) {
+              for (size_t t = 0; t < static_cast<size_t>(k); ++t) {
+                probe[t] = row_items[idx[t]];
+              }
+              auto it = cand_slot.find(probe);
+              if (it != cand_slot.end()) {
+                ++counts[it->second * num_classes + y];
+              }
+              // Advance combination.
+              int t = k - 1;
+              while (t >= 0 &&
+                     idx[static_cast<size_t>(t)] ==
+                         m - static_cast<size_t>(k - t)) {
+                --t;
+              }
+              if (t < 0) break;
+              ++idx[static_cast<size_t>(t)];
+              for (size_t u = static_cast<size_t>(t) + 1;
+                   u < static_cast<size_t>(k); ++u) {
+                idx[u] = idx[u - 1] + 1;
+              }
+            }
+          }
+        });
+    const std::vector<int64_t>& merged = MergeShardCounts(&cand_counts);
+    for (auto& [body, counts] : next) {
+      const int64_t* cell =
+          merged.data() + cand_slot.at(body) * num_classes;
+      counts.assign(cell, cell + num_classes);
     }
 
     prune_infrequent(&next);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "opmap/car/rule.h"
+#include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
 #include "opmap/data/dataset.h"
 
@@ -24,6 +25,11 @@ struct CarMinerOptions {
   /// only records satisfying all of them are scanned, and mined rules are
   /// emitted with the fixed conditions prepended.
   std::vector<Condition> fixed_conditions;
+  /// Worker count for the level-wise counting passes. Rows are sharded
+  /// into private count buffers and merged by addition; candidate
+  /// generation and rule emission stay serial, so the mined rule set is
+  /// bit-identical to a serial run for any thread count.
+  ParallelOptions parallel;
 };
 
 /// Apriori-style class-association-rule miner (Liu et al.'s CAR setting:

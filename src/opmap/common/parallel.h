@@ -1,0 +1,96 @@
+#ifndef OPMAP_COMMON_PARALLEL_H_
+#define OPMAP_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Threading configuration plumbed through the public APIs (cube
+/// materialization, the comparator, the CAR miner).
+///
+/// Every parallel section in the library is shard-and-merge with exact
+/// integer merge semantics, so results are bit-identical to the serial
+/// path for any thread count; `num_threads` is purely a performance knob.
+struct ParallelOptions {
+  /// Worker count for parallel sections. 0 = auto: the OPMAP_THREADS
+  /// environment variable when set to a positive integer, otherwise the
+  /// hardware concurrency. 1 = the exact serial code path (no pool, no
+  /// sharding). N > 1 = at most N concurrent workers.
+  int num_threads = 0;
+};
+
+/// Hard cap on workers per parallel section; requests above it are clamped.
+inline constexpr int kMaxThreads = 64;
+
+/// Parses a thread-count string ("0", "4"). Shared by the CLI `--threads`
+/// flag and the OPMAP_THREADS environment variable. Rejects negatives,
+/// empty strings, trailing garbage, and values above 1024 with
+/// kInvalidArgument.
+Result<int> ParseThreadCount(const std::string& text);
+
+/// The worker count a parallel section would use for `options`: the
+/// explicit `num_threads` if positive, else the OPMAP_THREADS default,
+/// else the hardware concurrency; always in [1, kMaxThreads].
+int EffectiveThreads(const ParallelOptions& options = {});
+
+/// A lazily-started shared worker pool. The first parallel section spins
+/// up workers on demand (never more than kMaxThreads - 1: the submitting
+/// thread always participates); serial programs never pay for a pool.
+///
+/// Re-entrant use is safe: a task that itself enters a parallel section
+/// runs that section inline on its own thread, so nested parallelism can
+/// never deadlock the pool or oversubscribe the machine.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are joined at process exit.
+  static ThreadPool* Shared();
+
+  /// Workers currently started (grows on demand).
+  int num_workers() const;
+
+  /// Runs task(0), ..., task(num_tasks - 1) across the pool and the
+  /// calling thread, blocking until every task finished. Tasks are claimed
+  /// dynamically, so callers must not rely on any task-to-thread mapping.
+  ///
+  /// If tasks throw, the exception from the lowest task index is rethrown
+  /// on the calling thread after all tasks settled; once any task has
+  /// thrown, tasks not yet started are skipped.
+  void Run(int num_tasks, const std::function<void(int)>& task);
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool() = default;
+  struct Impl;
+  Impl* impl();
+
+  Impl* impl_ = nullptr;
+};
+
+/// Element-wise parallel for: calls fn(i) for every i in [begin, end),
+/// chunked so each submitted task covers at least `grain` consecutive
+/// indices (grain < 1 is treated as 1). With EffectiveThreads(options)
+/// <= 1, or a range not worth splitting, this is a plain serial loop.
+/// Exceptions propagate as in ThreadPool::Run; in the serial path the
+/// loop stops at the first throw.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& fn,
+                 const ParallelOptions& options = {});
+
+/// Splits [begin, end) into exactly `num_shards` contiguous ranges (some
+/// possibly empty when the range is short) and runs
+/// fn(shard, shard_begin, shard_end) for each. Shard boundaries depend
+/// only on the range and the shard count — never on the pool size or
+/// scheduling — which is what makes shard-and-merge aggregation
+/// reproducible. num_shards < 1 is treated as 1; with one shard fn runs
+/// inline on the calling thread.
+void ParallelForShards(int64_t begin, int64_t end, int num_shards,
+                       const std::function<void(int, int64_t, int64_t)>& fn);
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_PARALLEL_H_

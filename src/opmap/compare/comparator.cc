@@ -6,10 +6,28 @@
 namespace opmap {
 
 int ComparisonResult::RankOf(int attribute) const {
+  if (!rank_index.empty()) {
+    return attribute >= 0 &&
+                   attribute < static_cast<int>(rank_index.size())
+               ? rank_index[static_cast<size_t>(attribute)]
+               : -1;
+  }
   for (size_t i = 0; i < ranked.size(); ++i) {
     if (ranked[i].attribute == attribute) return static_cast<int>(i);
   }
   return -1;
+}
+
+void ComparisonResult::RebuildRankIndex() {
+  int max_attr = -1;
+  for (const AttributeComparison& c : ranked) {
+    max_attr = std::max(max_attr, c.attribute);
+  }
+  rank_index.assign(static_cast<size_t>(max_attr + 1), -1);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    rank_index[static_cast<size_t>(ranked[i].attribute)] =
+        static_cast<int>(i);
+  }
 }
 
 namespace {
@@ -115,16 +133,24 @@ AttributeComparison CompareAttributeCounts(int attribute,
   return out;
 }
 
-// Shared tail: orientation, per-attribute loop, ranking, warnings.
+// Shared tail: orientation, per-attribute fan-out, ranking, warnings.
 // `count_fn(attr, swapped)` returns the candidate attribute's value count
 // table with n1/n2 oriented so that population 1 is the good side: when
-// `swapped` is true the caller's population A is the bad side.
+// `swapped` is true the caller's population A is the bad side. It must be
+// safe to call concurrently for distinct attributes (all count_fns here
+// only read the cube store or the dataset).
+//
+// Candidates are scored across the thread pool (`parallel`) and collected
+// in candidate order, so the ranking — including the stable-sort tie
+// order — is identical for any thread count; errors surface as the first
+// failing candidate in candidate order, exactly like the serial loop.
 template <typename CountFn>
 Result<ComparisonResult> RunComparison(
     const Schema& schema, const std::vector<int>& candidate_attrs,
     const ComparisonSpec& original_spec, std::string label_a,
     std::string label_b, int64_t n_a, int64_t n_a_target, int64_t n_b,
-    int64_t n_b_target, CountFn&& count_fn) {
+    int64_t n_b_target, const ParallelOptions& parallel,
+    CountFn&& count_fn) {
   ComparisonResult result;
   result.spec = original_spec;
   result.label_a = std::move(label_a);
@@ -167,11 +193,28 @@ Result<ComparisonResult> RunComparison(
         "); interestingness values may not be statistically meaningful");
   }
 
-  for (int attr : candidate_attrs) {
-    OPMAP_ASSIGN_OR_RETURN(ValueCountTable table,
-                           count_fn(attr, result.swapped));
-    AttributeComparison cmp = CompareAttributeCounts(
-        attr, table, result.cf1, result.cf2, result.n_d2, result.spec);
+  const int64_t num_candidates =
+      static_cast<int64_t>(candidate_attrs.size());
+  std::vector<AttributeComparison> scored(
+      static_cast<size_t>(num_candidates));
+  std::vector<Status> failures(static_cast<size_t>(num_candidates));
+  ParallelFor(
+      0, num_candidates, /*grain=*/1,
+      [&](int64_t i) {
+        const int attr = candidate_attrs[static_cast<size_t>(i)];
+        Result<ValueCountTable> table = count_fn(attr, result.swapped);
+        if (!table.ok()) {
+          failures[static_cast<size_t>(i)] = table.status();
+          return;
+        }
+        scored[static_cast<size_t>(i)] = CompareAttributeCounts(
+            attr, *table, result.cf1, result.cf2, result.n_d2, result.spec);
+      },
+      parallel);
+  for (const Status& st : failures) {
+    if (!st.ok()) return st;
+  }
+  for (AttributeComparison& cmp : scored) {
     if (cmp.is_property) {
       result.properties.push_back(std::move(cmp));
     } else {
@@ -186,6 +229,7 @@ Result<ComparisonResult> RunComparison(
                    by_interestingness);
   std::stable_sort(result.properties.begin(), result.properties.end(),
                    by_interestingness);
+  result.RebuildRankIndex();
   (void)schema;
   return result;
 }
@@ -216,6 +260,7 @@ Result<ComparisonResult> Comparator::Compare(const ComparisonSpec& spec) const {
   return RunComparison(
       schema, candidates, spec, base_attr.label(spec.value_a),
       base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
+      ResolveParallel(spec.parallel),
       [&](int attr, bool swapped) -> Result<ValueCountTable> {
         // These counts are two slices of the 3-D rule cube over
         // {attribute, attr, class} — the comparison never touches the
@@ -350,6 +395,7 @@ Result<ComparisonResult> Comparator::CompareGroups(
   surrogate.property_threshold = gspec.property_threshold;
   surrogate.detect_property_attributes = gspec.detect_property_attributes;
   surrogate.min_population = gspec.min_population;
+  surrogate.parallel = gspec.parallel;
 
   std::vector<int> candidates;
   for (int attr : store_->attributes()) {
@@ -359,6 +405,7 @@ Result<ComparisonResult> Comparator::CompareGroups(
   return RunComparison(
       schema, candidates, surrogate, gspec.group_a.Label(base),
       gspec.group_b.Label(base), n_a, n_a_target, n_b, n_b_target,
+      ResolveParallel(gspec.parallel),
       [&](int attr, bool swapped) -> Result<ValueCountTable> {
         OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
                                store_->PairCube(gspec.attribute, attr));
@@ -432,37 +479,50 @@ Result<std::vector<PairSummary>> Comparator::CompareAllPairs(
             : 0.0;
   }
 
-  std::vector<PairSummary> out;
+  // Collect eligible pairs first, then fan the per-pair comparisons out
+  // across the pool. Each slot is written by exactly one task and the
+  // output order is the pair enumeration order, so the sweep is
+  // bit-identical to the serial loop for any thread count. The nested
+  // Compare calls run inline on pool threads (no oversubscription).
+  std::vector<std::pair<ValueCode, ValueCode>> eligible;
   for (ValueCode a = 0; a < m; ++a) {
     if (body[static_cast<size_t>(a)] < min_population) continue;
     for (ValueCode b = a + 1; b < m; ++b) {
       if (body[static_cast<size_t>(b)] < min_population) continue;
-      PairSummary summary;
-      // Orient good/bad by overall confidence up front so the summary rows
-      // read consistently.
-      const bool a_good = cf[static_cast<size_t>(a)] <=
-                          cf[static_cast<size_t>(b)];
-      summary.value_a = a_good ? a : b;
-      summary.value_b = a_good ? b : a;
-      summary.cf_a = cf[static_cast<size_t>(summary.value_a)];
-      summary.cf_b = cf[static_cast<size_t>(summary.value_b)];
-      ComparisonSpec spec;
-      spec.attribute = attribute;
-      spec.value_a = summary.value_a;
-      spec.value_b = summary.value_b;
-      spec.target_class = target_class;
-      spec.min_population = min_population;
-      auto result = Compare(spec);
-      if (!result.ok() || result->ranked.empty()) {
-        summary.skipped = true;
-      } else {
-        summary.top_attribute = result->ranked[0].attribute;
-        summary.top_interestingness = result->ranked[0].interestingness;
-        summary.top_normalized = result->ranked[0].normalized;
-      }
-      out.push_back(summary);
+      eligible.emplace_back(a, b);
     }
   }
+  std::vector<PairSummary> out(eligible.size());
+  ParallelFor(
+      0, static_cast<int64_t>(eligible.size()), /*grain=*/1,
+      [&](int64_t i) {
+        const ValueCode a = eligible[static_cast<size_t>(i)].first;
+        const ValueCode b = eligible[static_cast<size_t>(i)].second;
+        PairSummary& summary = out[static_cast<size_t>(i)];
+        // Orient good/bad by overall confidence up front so the summary
+        // rows read consistently.
+        const bool a_good = cf[static_cast<size_t>(a)] <=
+                            cf[static_cast<size_t>(b)];
+        summary.value_a = a_good ? a : b;
+        summary.value_b = a_good ? b : a;
+        summary.cf_a = cf[static_cast<size_t>(summary.value_a)];
+        summary.cf_b = cf[static_cast<size_t>(summary.value_b)];
+        ComparisonSpec spec;
+        spec.attribute = attribute;
+        spec.value_a = summary.value_a;
+        spec.value_b = summary.value_b;
+        spec.target_class = target_class;
+        spec.min_population = min_population;
+        auto result = Compare(spec);
+        if (!result.ok() || result->ranked.empty()) {
+          summary.skipped = true;
+        } else {
+          summary.top_attribute = result->ranked[0].attribute;
+          summary.top_interestingness = result->ranked[0].interestingness;
+          summary.top_normalized = result->ranked[0].normalized;
+        }
+      },
+      ResolveParallel({}));
   std::stable_sort(out.begin(), out.end(),
                    [](const PairSummary& x, const PairSummary& y) {
                      if (x.skipped != y.skipped) return !x.skipped;
@@ -585,6 +645,7 @@ Result<ComparisonResult> CompareFromDataset(const Dataset& dataset,
   return RunComparison(
       schema, candidates, spec, base_attr.label(spec.value_a),
       base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
+      spec.parallel,
       [&](int attr, bool swapped) -> Result<ValueCountTable> {
         ValueCountTable t;
         const int m = schema.attribute(attr).domain();

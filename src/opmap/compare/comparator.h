@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "opmap/car/rule.h"
+#include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/dataset.h"
@@ -42,6 +43,12 @@ struct ComparisonSpec {
   /// leaves sufficiency to the user; sizes below this produce a warning,
   /// not an error.
   int64_t min_population = 30;
+
+  /// Candidate attributes are scored across the shared thread pool and
+  /// collected in deterministic attribute order, so rankings (including
+  /// tie order) are identical for any thread count. num_threads == 0
+  /// inherits the Comparator's default.
+  ParallelOptions parallel;
 };
 
 /// Per-value detail of one attribute comparison: everything needed to
@@ -100,8 +107,19 @@ struct ComparisonResult {
   std::vector<AttributeComparison> properties;
   std::vector<std::string> warnings;
 
-  /// Rank position (0-based) of `attribute` in `ranked`, or -1.
+  /// Attribute -> rank position in `ranked` (-1 = absent). Populated by
+  /// the comparator via RebuildRankIndex so RankOf is O(1); viz/report
+  /// callers look ranks up repeatedly.
+  std::vector<int> rank_index;
+
+  /// Rank position (0-based) of `attribute` in `ranked`, or -1. O(1) when
+  /// the rank index is populated; falls back to a linear scan on
+  /// hand-assembled results.
   int RankOf(int attribute) const;
+
+  /// Rebuilds `rank_index` from `ranked`. Call after mutating `ranked`
+  /// by hand; comparator entry points do this for every result.
+  void RebuildRankIndex();
 };
 
 /// A sub-population defined by a set of values of one attribute, or the
@@ -131,6 +149,8 @@ struct GroupComparisonSpec {
   double property_threshold = 0.9;
   bool detect_property_attributes = true;
   int64_t min_population = 30;
+  /// See ComparisonSpec::parallel.
+  ParallelOptions parallel;
 };
 
 /// One row of an all-pairs comparison sweep (the paper notes that "many
@@ -151,7 +171,11 @@ struct PairSummary {
 class Comparator {
  public:
   /// `store` must outlive the comparator and contain pair cubes.
-  explicit Comparator(const CubeStore* store) : store_(store) {}
+  /// `parallel` is the default threading for every comparison run through
+  /// this instance; a spec whose own parallel.num_threads is non-zero
+  /// overrides it per call.
+  explicit Comparator(const CubeStore* store, ParallelOptions parallel = {})
+      : store_(store), parallel_(parallel) {}
 
   /// Runs the comparison of Fig 3: computes M_i for every attribute other
   /// than spec.attribute and returns them ranked.
@@ -193,7 +217,13 @@ class Comparator {
       const;
 
  private:
+  // Comparator-level default applied to specs that leave parallel at auto.
+  ParallelOptions ResolveParallel(const ParallelOptions& spec_parallel) const {
+    return spec_parallel.num_threads != 0 ? spec_parallel : parallel_;
+  }
+
   const CubeStore* store_;
+  ParallelOptions parallel_;
 };
 
 /// Formats an all-pairs sweep as a table ("good vs bad: top attribute").

@@ -56,10 +56,13 @@ Result<OpportunityMap> OpportunityMap::FromDataset(
     OPMAP_ASSIGN_OR_RETURN(int attr, dataset.schema().IndexOf(name));
     cube_options.attributes.push_back(attr);
   }
+  cube_options.parallel = options.parallel;
   OPMAP_ASSIGN_OR_RETURN(CubeStore cubes,
                          CubeBuilder::FromDataset(dataset, cube_options));
 
-  return OpportunityMap(std::move(dataset), std::move(cubes));
+  OpportunityMap map(std::move(dataset), std::move(cubes));
+  map.set_parallel(options.parallel);
+  return map;
 }
 
 Result<OpportunityMap> OpportunityMap::FromCsv(
@@ -71,14 +74,14 @@ Result<OpportunityMap> OpportunityMap::FromCsv(
 
 Result<ComparisonResult> OpportunityMap::Compare(
     const ComparisonSpec& spec) const {
-  Comparator comparator(&cubes_);
+  Comparator comparator(&cubes_, parallel_);
   return comparator.Compare(spec);
 }
 
 Result<ComparisonResult> OpportunityMap::Compare(
     const std::string& attribute, const std::string& value_a,
     const std::string& value_b, const std::string& target_class) const {
-  Comparator comparator(&cubes_);
+  Comparator comparator(&cubes_, parallel_);
   return comparator.CompareByName(attribute, value_a, value_b, target_class);
 }
 
@@ -104,7 +107,7 @@ Result<GeneralImpressions> OpportunityMap::Impressions(
 
 Result<ComparisonResult> OpportunityMap::CompareGroups(
     const GroupComparisonSpec& spec) const {
-  Comparator comparator(&cubes_);
+  Comparator comparator(&cubes_, parallel_);
   return comparator.CompareGroups(spec);
 }
 
@@ -115,7 +118,7 @@ Result<ComparisonResult> OpportunityMap::CompareVsRest(
   OPMAP_ASSIGN_OR_RETURN(ValueCode v, schema().attribute(attr).CodeOf(value));
   OPMAP_ASSIGN_OR_RETURN(ValueCode cls,
                          schema().class_attribute().CodeOf(target_class));
-  Comparator comparator(&cubes_);
+  Comparator comparator(&cubes_, parallel_);
   return comparator.CompareVsRest(attr, v, cls);
 }
 
@@ -125,7 +128,7 @@ Result<std::vector<PairSummary>> OpportunityMap::CompareAllPairs(
   OPMAP_ASSIGN_OR_RETURN(int attr, schema().IndexOf(attribute));
   OPMAP_ASSIGN_OR_RETURN(ValueCode cls,
                          schema().class_attribute().CodeOf(target_class));
-  Comparator comparator(&cubes_);
+  Comparator comparator(&cubes_, parallel_);
   return comparator.CompareAllPairs(attr, cls, min_population);
 }
 
@@ -153,6 +156,7 @@ Result<ComparisonResult> OpportunityMap::CompareWithin(
   OPMAP_ASSIGN_OR_RETURN(spec.value_b, attr.CodeOf(value_b));
   OPMAP_ASSIGN_OR_RETURN(spec.target_class,
                          schema().class_attribute().CodeOf(target_class));
+  spec.parallel = parallel_;
   return CompareWithinContext(data_, conditions, spec);
 }
 
@@ -181,6 +185,7 @@ Result<RuleSet> OpportunityMap::MineRestrictedRules(
   options.min_support = min_support;
   options.min_confidence = min_confidence;
   options.max_conditions = max_conditions;
+  options.parallel = parallel_;
   return MineClassAssociationRules(data_, options);
 }
 

@@ -42,6 +42,11 @@ struct OpportunityMapOptions {
   /// Attributes to materialize cubes for (names); empty = all.
   std::vector<std::string> cube_attributes;
   uint64_t sampling_seed = 7;
+  /// Threading for cube materialization and every comparison / restricted
+  /// mining call made through the session. All parallel paths are
+  /// bit-identical to serial execution (see docs/PERFORMANCE.md);
+  /// num_threads == 0 defers to OPMAP_THREADS / hardware.
+  ParallelOptions parallel;
 };
 
 /// End-to-end Opportunity Map session over one data set: load ->
@@ -64,6 +69,12 @@ class OpportunityMap {
   const Dataset& data() const { return data_; }
   const Schema& schema() const { return data_.schema(); }
   const CubeStore& cubes() const { return cubes_; }
+
+  /// Threading default for subsequent analysis calls. The setter exists
+  /// mainly for sessions restored via FromSavedCubes, which have no
+  /// OpportunityMapOptions to inherit from.
+  const ParallelOptions& parallel() const { return parallel_; }
+  void set_parallel(ParallelOptions parallel) { parallel_ = parallel; }
 
   // --- Comparator ---------------------------------------------------
 
@@ -135,6 +146,7 @@ class OpportunityMap {
   CubeStore cubes_;
   /// False when the session was restored from cubes only.
   bool has_data_ = true;
+  ParallelOptions parallel_;
 };
 
 }  // namespace opmap

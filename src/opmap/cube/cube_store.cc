@@ -82,6 +82,8 @@ Result<CubeBuilder> CubeBuilder::Make(Schema schema,
   }
 
   CubeBuilder builder;
+  builder.parallel_ = options.parallel;
+  builder.max_memory_bytes_ = options.max_memory_bytes;
   CubeStore& store = builder.store_;
   store.schema_ = std::move(schema);
   store.attributes_ = std::move(attrs);
@@ -156,8 +158,16 @@ Result<CubeBuilder> CubeBuilder::Make(Schema schema,
   }
 
   // Raw pointers for the hot loop (stable: vectors are fully built).
-  for (auto& c : store.attr_cubes_) builder.attr_raw_.push_back(c.raw_counts());
-  for (auto& c : store.pair_cubes_) builder.pair_raw_.push_back(c.raw_counts());
+  for (auto& c : store.attr_cubes_) {
+    builder.attr_raw_.push_back(c.raw_counts());
+    builder.attr_cells_.push_back(c.num_cells());
+    builder.total_cells_ += c.num_cells();
+  }
+  for (auto& c : store.pair_cubes_) {
+    builder.pair_raw_.push_back(c.raw_counts());
+    builder.pair_cells_.push_back(c.num_cells());
+    builder.total_cells_ += c.num_cells();
+  }
   builder.pair_base_.resize(static_cast<size_t>(m));
   int base = 0;
   for (int i = 0; i < m; ++i) {
@@ -191,6 +201,57 @@ void CubeBuilder::AddRow(const ValueCode* row) {
   }
 }
 
+void CubeBuilder::CountRange(const ColumnView& view, int64_t row_begin,
+                             int64_t row_end, int64_t* const* attr_ptrs,
+                             int64_t* const* pair_ptrs, int64_t* class_counts,
+                             int64_t* num_records) const {
+  const int m = static_cast<int>(store_.attributes_.size());
+  const int nc = num_classes_;
+  const bool pairs = store_.has_pair_cubes_;
+  const ValueCode* const class_col = view.class_col;
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const ValueCode y = class_col[r];
+    if (y == kNullCode) continue;
+    ++*num_records;
+    ++class_counts[y];
+    for (int i = 0; i < m; ++i) {
+      const ValueCode vi = view.cols[static_cast<size_t>(i)][r];
+      if (vi == kNullCode) continue;
+      attr_ptrs[i][vi * nc + y] += 1;
+      if (!pairs) continue;
+      const int base = pair_base_[static_cast<size_t>(i)];
+      for (int j = i + 1; j < m; ++j) {
+        const ValueCode vj = view.cols[static_cast<size_t>(j)][r];
+        if (vj == kNullCode) continue;
+        const int sj = sizes_[static_cast<size_t>(j)];
+        pair_ptrs[base + j - i - 1]
+                 [(static_cast<int64_t>(vi) * sj + vj) * nc + y] += 1;
+      }
+    }
+  }
+}
+
+int CubeBuilder::PlanShards(int64_t num_rows) const {
+  int shards = EffectiveThreads(parallel_);
+  // Tiny inputs are not worth a fork/join (the result is identical either
+  // way; this is purely a fixed-cost cutoff).
+  if (num_rows < 2048) shards = 1;
+  shards = static_cast<int>(
+      std::min<int64_t>(shards, std::max<int64_t>(num_rows, 1)));
+  if (shards > 1 && max_memory_bytes_ > 0) {
+    // Each extra shard allocates a private copy of all cube buffers; stay
+    // within the same budget that gated materialization itself.
+    const int64_t copy_bytes =
+        total_cells_ * static_cast<int64_t>(sizeof(int64_t));
+    const int64_t headroom = max_memory_bytes_ - store_.MemoryUsageBytes();
+    const int64_t extra_copies =
+        copy_bytes > 0 ? std::max<int64_t>(headroom, 0) / copy_bytes : 0;
+    shards = static_cast<int>(
+        std::min<int64_t>(shards, 1 + extra_copies));
+  }
+  return std::max(shards, 1);
+}
+
 Status CubeBuilder::AddDataset(const Dataset& dataset) {
   const Schema& ds = dataset.schema();
   const Schema& ss = store_.schema_;
@@ -206,22 +267,79 @@ Status CubeBuilder::AddDataset(const Dataset& dataset) {
           "' does not match the cube store schema");
     }
   }
-  const int n = ss.num_attributes();
-  std::vector<const ValueCode*> cols(static_cast<size_t>(n), nullptr);
+  const int64_t n = dataset.num_rows();
+  ColumnView view;
+  view.class_col = dataset.categorical_column(class_index_).data();
+  view.cols.reserve(store_.attributes_.size());
   for (int a : store_.attributes_) {
-    cols[static_cast<size_t>(a)] = dataset.categorical_column(a).data();
+    view.cols.push_back(dataset.categorical_column(a).data());
   }
-  cols[static_cast<size_t>(class_index_)] =
-      dataset.categorical_column(class_index_).data();
 
-  std::vector<ValueCode> row(static_cast<size_t>(n), kNullCode);
-  for (int64_t r = 0; r < dataset.num_rows(); ++r) {
-    for (int a : store_.attributes_) {
-      row[static_cast<size_t>(a)] = cols[static_cast<size_t>(a)][r];
+  const int shards = PlanShards(n);
+  if (shards <= 1) {
+    CountRange(view, 0, n, attr_raw_.data(), pair_raw_.data(),
+               store_.class_counts_.data(), &store_.num_records_);
+    return Status::OK();
+  }
+
+  // Shard-and-merge: shard 0 counts straight into the store's buffers;
+  // every other shard counts into a private flat buffer (all cubes
+  // concatenated) that is merged below. Integer addition commutes, so the
+  // merged counts are bit-identical to a serial pass for any shard count.
+  struct ShardState {
+    std::vector<int64_t> cells;          // total_cells_ zeros
+    std::vector<int64_t> class_counts;
+    int64_t num_records = 0;
+    std::vector<int64_t*> attr_ptrs;
+    std::vector<int64_t*> pair_ptrs;
+  };
+  std::vector<ShardState> privates(static_cast<size_t>(shards - 1));
+  for (ShardState& s : privates) {
+    s.cells.assign(static_cast<size_t>(total_cells_), 0);
+    s.class_counts.assign(store_.class_counts_.size(), 0);
+    int64_t* cursor = s.cells.data();
+    s.attr_ptrs.reserve(attr_cells_.size());
+    for (int64_t cells : attr_cells_) {
+      s.attr_ptrs.push_back(cursor);
+      cursor += cells;
     }
-    row[static_cast<size_t>(class_index_)] =
-        cols[static_cast<size_t>(class_index_)][r];
-    AddRow(row.data());
+    s.pair_ptrs.reserve(pair_cells_.size());
+    for (int64_t cells : pair_cells_) {
+      s.pair_ptrs.push_back(cursor);
+      cursor += cells;
+    }
+  }
+
+  ParallelForShards(0, n, shards, [&](int shard, int64_t lo, int64_t hi) {
+    if (shard == 0) {
+      CountRange(view, lo, hi, attr_raw_.data(), pair_raw_.data(),
+                 store_.class_counts_.data(), &store_.num_records_);
+    } else {
+      ShardState& s = privates[static_cast<size_t>(shard - 1)];
+      CountRange(view, lo, hi, s.attr_ptrs.data(), s.pair_ptrs.data(),
+                 s.class_counts.data(), &s.num_records);
+    }
+  });
+
+  // Element-wise merge (auto-vectorizes: two dense int64 arrays).
+  for (const ShardState& s : privates) {
+    store_.num_records_ += s.num_records;
+    for (size_t c = 0; c < store_.class_counts_.size(); ++c) {
+      store_.class_counts_[c] += s.class_counts[c];
+    }
+    const int64_t* src = s.cells.data();
+    for (size_t i = 0; i < attr_raw_.size(); ++i) {
+      int64_t* dst = attr_raw_[i];
+      const int64_t cells = attr_cells_[i];
+      for (int64_t c = 0; c < cells; ++c) dst[c] += src[c];
+      src += cells;
+    }
+    for (size_t i = 0; i < pair_raw_.size(); ++i) {
+      int64_t* dst = pair_raw_[i];
+      const int64_t cells = pair_cells_[i];
+      for (int64_t c = 0; c < cells; ++c) dst[c] += src[c];
+      src += cells;
+    }
   }
   return Status::OK();
 }

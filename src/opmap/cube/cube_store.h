@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
 #include "opmap/cube/rule_cube.h"
 #include "opmap/data/dataset.h"
@@ -25,7 +26,15 @@ struct CubeStoreOptions {
   bool build_pair_cubes = true;
   /// Upper bound on cube memory in bytes; materialization that would exceed
   /// it fails with kOutOfRange before allocating anything. 0 = unlimited.
+  /// Parallel materialization allocates one private shard copy of the cube
+  /// buffers per extra worker; the shard count is clamped so base + shard
+  /// copies stay within this budget (see docs/PERFORMANCE.md).
   int64_t max_memory_bytes = 0;
+  /// Worker count for AddDataset. Rows are split into per-worker shards,
+  /// each counted into private buffers and merged by element-wise
+  /// addition, so the store is bit-identical to a serial build for any
+  /// thread count.
+  ParallelOptions parallel;
 };
 
 /// The deployed system's cube inventory: one 2-D rule cube per attribute
@@ -117,6 +126,10 @@ class CubeBuilder {
   void AddRow(const ValueCode* row);
 
   /// Adds every row of `dataset` (must match the builder's schema shape).
+  /// Iterates the dataset's columns directly (no per-row copy) and shards
+  /// the row range across the thread pool per the builder's
+  /// ParallelOptions; counts are merged exactly, so the result does not
+  /// depend on the thread count.
   Status AddDataset(const Dataset& dataset);
 
   /// Finalizes and returns the store. The builder is consumed.
@@ -129,6 +142,24 @@ class CubeBuilder {
  private:
   CubeBuilder() = default;
 
+  // Columns of the dataset being counted, resolved once per AddDataset.
+  struct ColumnView {
+    const ValueCode* class_col = nullptr;
+    std::vector<const ValueCode*> cols;  // one per included attribute slot
+  };
+
+  // Counts rows [row_begin, row_end) of `view` into the given buffers.
+  // `attr_ptrs`/`pair_ptrs` are per-cube count arrays (the store's own or
+  // a shard's private copy); `class_counts` has one slot per class.
+  void CountRange(const ColumnView& view, int64_t row_begin, int64_t row_end,
+                  int64_t* const* attr_ptrs, int64_t* const* pair_ptrs,
+                  int64_t* class_counts, int64_t* num_records) const;
+
+  // Shards AddDataset would use for `num_rows` rows: the configured thread
+  // count clamped by the row count and the remaining memory budget (each
+  // extra shard costs one private copy of the cube buffers).
+  int PlanShards(int64_t num_rows) const;
+
   CubeStore store_;
   // Hot-path acceleration structures.
   int class_index_ = -1;
@@ -137,6 +168,12 @@ class CubeBuilder {
   std::vector<int64_t*> pair_raw_;   // packed upper triangle
   std::vector<int> pair_base_;       // slot a -> first pair index of (a, *)
   std::vector<int> sizes_;           // domain per included attribute
+  // Parallel materialization state.
+  ParallelOptions parallel_;
+  int64_t max_memory_bytes_ = 0;
+  std::vector<int64_t> attr_cells_;  // cells per attribute cube
+  std::vector<int64_t> pair_cells_;  // cells per pair cube
+  int64_t total_cells_ = 0;          // sum of the two, for shard buffers
 };
 
 }  // namespace opmap

@@ -117,6 +117,16 @@ ColorMode ColorOf(const Args& args) {
   return args.GetBool("color") ? ColorMode::kAlways : ColorMode::kNever;
 }
 
+// --threads=N worker override; absent = auto (OPMAP_THREADS / hardware).
+// Bad values die with the InvalidArgument exit code (4), like other bad
+// flag values.
+ParallelOptions ThreadsOf(const Args& args) {
+  const std::string text = args.GetString("threads");
+  ParallelOptions parallel;
+  if (!text.empty()) parallel.num_threads = OrDie(ParseThreadCount(text));
+  return parallel;
+}
+
 int CmdGenerate(const Args& args) {
   const std::string out = args.GetString("out");
   RequireFlag(out, "out");
@@ -187,7 +197,9 @@ int CmdCubes(const Args& args) {
   RequireFlag(in, "data");
   RequireFlag(out, "out");
   Dataset data = OrDie(LoadDatasetFromFile(in));
-  CubeStore store = OrDie(CubeBuilder::FromDataset(data));
+  CubeStoreOptions options;
+  options.parallel = ThreadsOf(args);
+  CubeStore store = OrDie(CubeBuilder::FromDataset(data, options));
   Status st = store.SaveToFile(out);
   if (!st.ok()) Die(st);
   std::printf("built %lld cubes over %lld records (%.1f MB) -> %s\n",
@@ -252,7 +264,7 @@ int CmdCompare(const Args& args) {
   RequireFlag(good, "good");
   RequireFlag(bad, "bad");
   RequireFlag(target, "class");
-  Comparator comparator(&store);
+  Comparator comparator(&store, ThreadsOf(args));
   ComparisonResult result =
       OrDie(comparator.CompareByName(attr, good, bad, target));
   if (args.GetBool("json")) {
@@ -283,7 +295,7 @@ int CmdVsRest(const Args& args) {
   const ValueCode v = OrDie(store.schema().attribute(index).CodeOf(value));
   const ValueCode cls =
       OrDie(store.schema().class_attribute().CodeOf(target));
-  Comparator comparator(&store);
+  Comparator comparator(&store, ThreadsOf(args));
   ComparisonResult result = OrDie(comparator.CompareVsRest(index, v, cls));
   std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
   return 0;
@@ -298,7 +310,7 @@ int CmdPairs(const Args& args) {
   const int index = OrDie(store.schema().IndexOf(attr));
   const ValueCode cls =
       OrDie(store.schema().class_attribute().CodeOf(target));
-  Comparator comparator(&store);
+  Comparator comparator(&store, ThreadsOf(args));
   auto pairs = OrDie(comparator.CompareAllPairs(index, cls));
   std::printf("%s", FormatPairSummaries(pairs, store.schema(), index,
                                         static_cast<int>(
@@ -359,7 +371,7 @@ int CmdReport(const Args& args) {
   RequireFlag(bad, "bad");
   RequireFlag(target, "class");
   RequireFlag(out, "out");
-  Comparator comparator(&store);
+  Comparator comparator(&store, ThreadsOf(args));
   ComparisonResult result =
       OrDie(comparator.CompareByName(attr, good, bad, target));
   HtmlReportOptions options;
@@ -383,17 +395,21 @@ int Usage() {
       "  generate  --records=N [--attributes=N] [--seed=N] --out=FILE\n"
       "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd "
       "[--strict|--recover]\n"
-      "  cubes     --data=FILE.opmd --out=FILE.opmc\n"
+      "  cubes     --data=FILE.opmd --out=FILE.opmc [--threads=N]\n"
       "  info      --data=FILE | --cubes=FILE\n"
       "  overview  --cubes=FILE [--color]\n"
       "  detail    --cubes=FILE --attribute=NAME [--color]\n"
       "  compare   --cubes=FILE --attribute=NAME --good=V --bad=V "
-      "--class=LABEL [--json] [--color]\n"
-      "  vsrest    --cubes=FILE --attribute=NAME --value=V --class=LABEL\n"
-      "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N]\n"
+      "--class=LABEL [--json] [--color] [--threads=N]\n"
+      "  vsrest    --cubes=FILE --attribute=NAME --value=V --class=LABEL "
+      "[--threads=N]\n"
+      "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N] "
+      "[--threads=N]\n"
       "  gi        --cubes=FILE [--top=N]\n"
       "  report    --cubes=FILE --attribute=NAME --good=V --bad=V "
-      "--class=LABEL --out=FILE.html [--gi]\n"
+      "--class=LABEL --out=FILE.html [--gi] [--threads=N]\n"
+      "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
+      "env var, else hardware); results are identical at any setting\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 I/O or corrupt file, "
       "4 bad name/value, 5 resource limit\n");
   return 2;

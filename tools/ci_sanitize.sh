@@ -1,20 +1,41 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan+UBSan and runs the full test suite under the
-# sanitizers, so the fault-injection and corruption paths are exercised
-# with memory and UB checking on. Usage: tools/ci_sanitize.sh [build-dir]
+# Builds the tree with sanitizers and runs the full test suite under them.
+#
+#   tools/ci_sanitize.sh [build-dir] [mode]
+#     mode = address (default): ASan+UBSan — memory errors, UB, leaks; the
+#            fault-injection and corruption paths run with checking on.
+#     mode = thread: TSan — data races in the parallel execution layer
+#            (sharded cube builds, comparator fan-out, CAR counting).
+#            ASan and TSan are mutually exclusive builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+MODE="${2:-address}"
+
+case "$MODE" in
+  address|thread) ;;
+  *)
+    echo "ci_sanitize.sh: unknown mode '$MODE' (address|thread)" >&2
+    exit 2
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DOPMAP_SANITIZE=ON \
+  -DOPMAP_SANITIZE="$MODE" \
   -DOPMAP_BUILD_BENCHMARKS=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# halt_on_error makes UBSan failures fatal instead of log-only; ASan's
-# detect_leaks stays on by default where the platform supports it.
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-export ASAN_OPTIONS="strict_string_checks=1"
+if [[ "$MODE" == "thread" ]]; then
+  # Make races fatal, and run the suite with the thread pool forced on so
+  # every shard-and-merge path actually executes concurrently.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  export OPMAP_THREADS=4
+else
+  # halt_on_error makes UBSan failures fatal instead of log-only; ASan's
+  # detect_leaks stays on by default where the platform supports it.
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  export ASAN_OPTIONS="strict_string_checks=1"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

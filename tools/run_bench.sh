@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the parallel-execution benchmark trajectory: the paper-figure
+# benches (Fig 9/10/11) plus the parallel micro-benchmarks, each at
+# 1 / 2 / N worker threads (N = hardware concurrency), appending every
+# measurement to BENCH_parallel.json at the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir] [records]
+#   build-dir  cmake build directory with benchmarks built (default: build)
+#   records    workload size knob for a quicker or fuller run
+#              (default: 100000)
+#
+# All parallel paths are bit-identical to serial execution, so thread
+# count only changes timing; see docs/PERFORMANCE.md for how to read the
+# output file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+RECORDS="${2:-100000}"
+OUT="BENCH_parallel.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_parallel" ]]; then
+  echo "run_bench.sh: $BUILD_DIR/bench/bench_parallel not found;" >&2
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+HW=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
+THREAD_SET="1 2"
+if [[ "$HW" -gt 2 ]]; then
+  THREAD_SET="$THREAD_SET $HW"
+fi
+
+rm -f "$OUT"
+echo "writing trajectory to $OUT (threads: $THREAD_SET; hardware: $HW)"
+
+for t in $THREAD_SET; do
+  echo "--- threads=$t ---"
+  "$BUILD_DIR/bench/bench_parallel" \
+    --records="$RECORDS" --threads="$t" --json="$OUT"
+  "$BUILD_DIR/bench/fig09_comparison_time" \
+    --records=5000 --reps=10 --threads="$t" --json="$OUT"
+  "$BUILD_DIR/bench/fig10_cubegen_attributes" \
+    --records="$RECORDS" --threads="$t" --json="$OUT"
+  "$BUILD_DIR/bench/fig11_cubegen_records" \
+    --base-records=$((RECORDS / 2)) --threads="$t" --json="$OUT"
+done
+
+echo
+echo "wrote $(grep -c '"op"' "$OUT") measurements to $OUT"
