@@ -5,7 +5,12 @@
 // the scaling trajectory on the current machine.
 //
 // Flags: --records=N (default 100000), --attributes=N (default 64),
-//        --threads=N (default auto), --json=FILE.
+//        --threads=N (default auto), --json=FILE,
+//        --kernel=reference|blocked (run ONLY the counting benches —
+//        cube/add_dataset and car/mine — with that kernel, suffixing op
+//        names with "/reference" or "/blocked"; this is how
+//        tools/run_bench.sh produces the before/after pairs in
+//        BENCH_counting.json).
 
 #include <cstdio>
 #include <string>
@@ -39,10 +44,14 @@ void Main(int argc, char** argv) {
   const ParallelOptions parallel = bench::ThreadsOf(flags);
   const int threads = EffectiveThreads(parallel);
   const std::string json = flags.GetString("json");
+  CountKernel kernel = CountKernel::kBlocked;
+  std::string op_suffix;
+  const bool kernel_pinned = bench::KernelOf(flags, &kernel, &op_suffix);
 
   bench::PrintHeader("parallel", "parallel execution layer micro-benchmarks");
-  std::printf("records=%lld attributes=%d threads=%d\n\n",
-              static_cast<long long>(records), attrs, threads);
+  std::printf("records=%lld attributes=%d threads=%d%s\n\n",
+              static_cast<long long>(records), attrs, threads,
+              op_suffix.c_str());
 
   CallLogGenerator gen = bench::ValueOrDie(
       CallLogGenerator::Make(bench::StandardWorkload(attrs, records)),
@@ -50,7 +59,9 @@ void Main(int argc, char** argv) {
   Dataset dataset = gen.Generate();
 
   // Raw ParallelFor dispatch overhead over a trivially cheap body.
-  {
+  // Skipped when a kernel is pinned: the counting comparison only needs
+  // the two counting benches below.
+  if (!kernel_pinned) {
     constexpr int64_t kItems = 1 << 20;
     std::vector<int64_t> sink(static_cast<size_t>(kItems), 0);
     Stopwatch watch;
@@ -65,17 +76,18 @@ void Main(int argc, char** argv) {
   CubeStore store = [&] {
     CubeStoreOptions options;
     options.parallel = parallel;
+    options.kernel = kernel;
     Stopwatch watch;
     CubeStore built = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
     const double ms = watch.ElapsedMillis();
-    Report(json, "cube/add_dataset", threads, ms,
+    Report(json, "cube/add_dataset" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     return built;
   }();
 
   // Comparator candidate fan-out (reads only the cubes).
-  {
+  if (!kernel_pinned) {
     Comparator comparator(&store, parallel);
     ComparisonSpec spec;
     spec.attribute = 0;  // PhoneModel
@@ -93,7 +105,7 @@ void Main(int argc, char** argv) {
   }
 
   // All-pairs sweep over the phone-model attribute.
-  {
+  if (!kernel_pinned) {
     Comparator comparator(&store, parallel);
     Stopwatch watch;
     auto pairs = bench::ValueOrDie(
@@ -109,11 +121,12 @@ void Main(int argc, char** argv) {
     options.min_support = 0.01;
     options.max_conditions = 2;
     options.parallel = parallel;
+    options.kernel = kernel;
     Stopwatch watch;
     RuleSet rules = bench::ValueOrDie(
         MineClassAssociationRules(dataset, options), "car");
     const double ms = watch.ElapsedMillis();
-    Report(json, "car/mine", threads, ms,
+    Report(json, "car/mine" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     (void)rules;
   }

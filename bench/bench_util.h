@@ -9,6 +9,7 @@
 
 #include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
+#include "opmap/cube/count_kernels.h"
 #include "opmap/data/call_log.h"
 
 namespace opmap::bench {
@@ -68,6 +69,30 @@ inline ParallelOptions ThreadsOf(const Flags& flags) {
   ParallelOptions parallel;
   parallel.num_threads = static_cast<int>(flags.GetInt("threads", 0));
   return parallel;
+}
+
+/// --kernel=reference|blocked counting-kernel selection for the
+/// before/after benches. Returns true when the flag was passed, setting
+/// `*kernel` and `*suffix` ("/reference" or "/blocked", appended to op
+/// names so BENCH_counting.json holds comparable record pairs). Absent
+/// flag leaves both untouched (library default, no suffix); anything else
+/// aborts.
+inline bool KernelOf(const Flags& flags, CountKernel* kernel,
+                     std::string* suffix) {
+  const std::string name = flags.GetString("kernel");
+  if (name.empty()) return false;
+  if (name == "reference") {
+    *kernel = CountKernel::kReference;
+  } else if (name == "blocked") {
+    *kernel = CountKernel::kBlocked;
+  } else {
+    std::fprintf(stderr,
+                 "FATAL: --kernel=%s (expected reference or blocked)\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  *suffix = "/" + name;
+  return true;
 }
 
 /// Aborts with a message if `status` is not OK. Benchmarks are binaries;

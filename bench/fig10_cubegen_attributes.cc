@@ -6,7 +6,10 @@
 //
 // Flags: --records=N (default 200000; pass 2000000 for paper scale),
 //        --threads=N (default auto), --json=FILE (append measurements to
-//        the benchmark trajectory file).
+//        the benchmark trajectory file),
+//        --kernel=reference|blocked (pin the counting kernel and suffix
+//        op names with "/reference" or "/blocked" so run_bench.sh can
+//        emit before/after pairs into BENCH_counting.json).
 
 #include <cstdio>
 #include <string>
@@ -25,6 +28,9 @@ void Main(int argc, char** argv) {
   const int64_t records = flags.GetInt("records", 200000);
   const ParallelOptions parallel = bench::ThreadsOf(flags);
   const std::string json = flags.GetString("json");
+  CountKernel kernel = CountKernel::kBlocked;
+  std::string op_suffix;
+  bench::KernelOf(flags, &kernel, &op_suffix);
 
   bench::PrintHeader("Fig 10",
                      "rule-cube generation time vs number of attributes");
@@ -46,6 +52,7 @@ void Main(int argc, char** argv) {
     CubeStoreOptions options;
     for (int a = 0; a < attrs; ++a) options.attributes.push_back(a);
     options.parallel = parallel;
+    options.kernel = kernel;
     Stopwatch watch;
     CubeStore store = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
@@ -54,7 +61,8 @@ void Main(int argc, char** argv) {
     if (!json.empty()) {
       bench::CheckOk(
           bench::AppendBenchRecord(
-              json, {"fig10/cubegen/attrs=" + std::to_string(attrs),
+              json, {"fig10/cubegen/attrs=" + std::to_string(attrs) +
+                         op_suffix,
                      EffectiveThreads(parallel), seconds * 1e3,
                      static_cast<double>(records) / seconds}),
           "bench json");

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "opmap/common/parallel.h"
+#include "opmap/cube/count_kernels.h"
 
 namespace opmap {
 
@@ -62,6 +65,68 @@ std::vector<int64_t>& MergeShardCounts(
     for (size_t i = 0; i < total.size(); ++i) total[i] += part[i];
   }
   return total;
+}
+
+// Level-2 candidates of one attribute pair, grouped so the blocked pass
+// can count the whole pair densely and read the candidate cells out.
+struct PairGroup {
+  int col_a = 0;  // indices into the packed column set (free-attr order)
+  int col_b = 0;
+  // One entry per candidate body on this pair: (value_a, value_b, slot).
+  struct Cand {
+    ValueCode va;
+    ValueCode vb;
+    int64_t slot;
+  };
+  std::vector<Cand> cands;
+};
+
+// Dense pair buffers above this many cells fall back to a per-group hash
+// probe (exact same counts): adversarial domain pairs must not allocate
+// unbounded scratch.
+constexpr int64_t kMaxDensePairCells = int64_t{1} << 22;
+
+// Counts one level-2 pair group over all selected rows, writing each
+// candidate's per-class counts into its fixed `merged` slots. Groups
+// touch disjoint slots, so groups can run concurrently without merge.
+void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
+                    int num_classes, std::vector<int64_t>* dense_scratch,
+                    int64_t* merged) {
+  const PackedColumn& a = packed.column(group.col_a);
+  const PackedColumn& b = packed.column(group.col_b);
+  const PackedColumn& cls = packed.class_column();
+  const int64_t nc = num_classes;
+  const int64_t db = b.sentinel();  // sentinel == domain
+  const int64_t cells = static_cast<int64_t>(a.sentinel()) * db * nc;
+  const int64_t n = packed.num_rows();
+  if (cells > 0 && cells <= kMaxDensePairCells) {
+    dense_scratch->assign(static_cast<size_t>(cells), 0);
+    CountPairBlocked(a, b, cls, num_classes, 0, n, dense_scratch->data());
+    for (const PairGroup::Cand& c : group.cands) {
+      const int64_t* cell =
+          dense_scratch->data() +
+          (static_cast<int64_t>(c.va) * db + c.vb) * nc;
+      int64_t* out = merged + c.slot * nc;
+      for (int64_t y = 0; y < nc; ++y) out[y] = cell[y];
+    }
+    return;
+  }
+  // Sparse fallback: probe a (value_a, value_b) -> slot map per row.
+  std::unordered_map<int64_t, int64_t> slot_of;
+  slot_of.reserve(group.cands.size());
+  for (const PairGroup::Cand& c : group.cands) {
+    slot_of.emplace(static_cast<int64_t>(c.va) * db + c.vb, c.slot);
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    const uint32_t va = a.Get(r);
+    const uint32_t vb = b.Get(r);
+    const uint32_t y = cls.Get(r);
+    if (va == a.sentinel() || vb == b.sentinel() || y == cls.sentinel()) {
+      continue;
+    }
+    const auto it = slot_of.find(static_cast<int64_t>(va) * db + vb);
+    if (it != slot_of.end()) ++merged[it->second * nc + y];
+  }
 }
 
 }  // namespace
@@ -171,6 +236,15 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
   }
   const int64_t num_items = item_offset[num_free];
 
+  // Blocked kernel: re-encode the selected rows of every free attribute
+  // (and the class) once, then stream the packed columns in the level-1
+  // and level-2 counting passes below. The counts are bit-identical to
+  // the reference row loop; the packed set is scratch for this pass only.
+  const bool blocked = options.kernel == CountKernel::kBlocked &&
+                       BlockedKernelSupported(schema, free_attrs);
+  PackedColumnSet packed;
+  if (blocked) packed = PackedColumnSet::Build(dataset, free_attrs, &rows);
+
   const int64_t num_selected = static_cast<int64_t>(rows.size());
   const int level1_shards = PlanRowShards(num_selected, options.parallel);
   std::vector<std::vector<int64_t>> shard_counts(
@@ -181,6 +255,16 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
       0, num_selected, level1_shards,
       [&](int shard, int64_t lo, int64_t hi) {
         int64_t* counts = shard_counts[static_cast<size_t>(shard)].data();
+        if (blocked) {
+          // Per attribute, stream two packed columns into that
+          // attribute's slice of the item-count buffer.
+          for (size_t i = 0; i < num_free; ++i) {
+            CountAttrBlocked(packed.column(static_cast<int>(i)),
+                             packed.class_column(), num_classes, lo, hi,
+                             counts + item_offset[i] * num_classes);
+          }
+          return;
+        }
         for (int64_t ri = lo; ri < hi; ++ri) {
           const int64_t r = rows[static_cast<size_t>(ri)];
           const ValueCode y = dataset.class_code(r);
@@ -282,6 +366,57 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
     cand_slot.reserve(next.size());
     int64_t num_cands = 0;
     for (const auto& [body, _] : next) cand_slot.emplace(body, num_cands++);
+
+    if (blocked && k == 2) {
+      // Blocked level-2 pass: candidates grouped by attribute pair; each
+      // group counts its pair densely over the packed columns (or hash-
+      // probes when the pair's dense buffer would be too large) and
+      // writes its candidates' fixed slots. Slots are disjoint across
+      // groups, so groups fan out across the pool without a merge, and
+      // the counts are exact either way — bit-identical to the
+      // combination-enumeration loop below.
+      std::vector<int> attr_to_free(
+          static_cast<size_t>(schema.num_attributes()), -1);
+      for (size_t i = 0; i < num_free; ++i) {
+        attr_to_free[static_cast<size_t>(free_attrs[i])] =
+            static_cast<int>(i);
+      }
+      std::map<std::pair<int, int>, PairGroup> group_of;
+      for (const auto& [body, slot] : cand_slot) {
+        const int ca = attr_to_free[static_cast<size_t>(ItemAttr(body[0]))];
+        const int cb = attr_to_free[static_cast<size_t>(ItemAttr(body[1]))];
+        PairGroup& g = group_of[{ca, cb}];
+        g.col_a = ca;
+        g.col_b = cb;
+        g.cands.push_back({ItemValue(body[0]), ItemValue(body[1]), slot});
+      }
+      std::vector<PairGroup> groups;
+      groups.reserve(group_of.size());
+      for (auto& [_, g] : group_of) groups.push_back(std::move(g));
+
+      std::vector<int64_t> merged(
+          static_cast<size_t>(num_cands * num_classes), 0);
+      const int group_shards = EffectiveThreads(options.parallel);
+      ParallelForShards(
+          0, static_cast<int64_t>(groups.size()), group_shards,
+          [&](int shard, int64_t lo, int64_t hi) {
+            (void)shard;
+            std::vector<int64_t> dense_scratch;
+            for (int64_t g = lo; g < hi; ++g) {
+              CountPairGroup(groups[static_cast<size_t>(g)], packed,
+                             num_classes, &dense_scratch, merged.data());
+            }
+          });
+      for (auto& [body, counts] : next) {
+        const int64_t* cell =
+            merged.data() + cand_slot.at(body) * num_classes;
+        counts.assign(cell, cell + num_classes);
+      }
+      prune_infrequent(&next);
+      emit_rules(next);
+      level = std::move(next);
+      continue;
+    }
 
     const int levelk_shards = PlanRowShards(num_selected, options.parallel);
     std::vector<std::vector<int64_t>> cand_counts(

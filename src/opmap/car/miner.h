@@ -6,6 +6,7 @@
 #include "opmap/car/rule.h"
 #include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
+#include "opmap/cube/count_kernels.h"
 #include "opmap/data/dataset.h"
 
 namespace opmap {
@@ -30,6 +31,12 @@ struct CarMinerOptions {
   /// generation and rule emission stay serial, so the mined rule set is
   /// bit-identical to a serial run for any thread count.
   ParallelOptions parallel;
+  /// Counting kernel for the level-1 and level-2 passes. The blocked
+  /// kernel streams packed columns built once per mining pass instead of
+  /// hash-probing item combinations row by row; levels 3+ always use the
+  /// reference combination-enumeration path. Both kernels mine
+  /// bit-identical rule sets.
+  CountKernel kernel = CountKernel::kBlocked;
 };
 
 /// Apriori-style class-association-rule miner (Liu et al.'s CAR setting:

@@ -1,0 +1,314 @@
+#include "opmap/cube/count_kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace opmap {
+
+namespace {
+
+constexpr int64_t kMaxBlockRows = 1 << 20;
+
+// Packs one code: kNullCode becomes the sentinel (== domain), everything
+// else is already in [0, domain).
+inline uint32_t PackCode(ValueCode v, uint32_t sentinel) {
+  return v == kNullCode ? sentinel : static_cast<uint32_t>(v);
+}
+
+int WidthFor(int domain) {
+  // domain + 1 distinct codes: the dictionary plus the null sentinel.
+  const int64_t codes = static_cast<int64_t>(domain) + 1;
+  if (codes <= 256) return 1;
+  if (codes <= 65536) return 2;
+  return 4;
+}
+
+template <typename T>
+void PackInto(const ValueCode* src, const int64_t* rows, int64_t n,
+              uint32_t sentinel, uint8_t* dst_bytes) {
+  T* dst = reinterpret_cast<T*>(dst_bytes);
+  if (rows == nullptr) {
+    for (int64_t r = 0; r < n; ++r) {
+      dst[r] = static_cast<T>(PackCode(src[r], sentinel));
+    }
+  } else {
+    for (int64_t r = 0; r < n; ++r) {
+      dst[r] = static_cast<T>(PackCode(src[rows[r]], sentinel));
+    }
+  }
+}
+
+// Widens the class column of a tile into int32 (-1 for null): every
+// attribute's fuse pass reads this buffer instead of re-decoding the
+// class column per attribute.
+template <typename T>
+void WidenClassTile(const T* cls, T sentinel, int64_t len, int32_t* ybuf,
+                    int64_t* class_counts, int64_t* num_records) {
+  int64_t records = 0;
+  for (int64_t k = 0; k < len; ++k) {
+    const T y = cls[k];
+    if (y == sentinel) {
+      ybuf[k] = -1;
+    } else {
+      ybuf[k] = static_cast<int32_t>(y);
+      ++class_counts[y];
+      ++records;
+    }
+  }
+  *num_records += records;
+}
+
+// Computes the fused `v * nc + y` index of one attribute for a tile
+// (-1 when either code is null) and applies the attribute's 2-D cube
+// increments on the way: the fused index IS the 2-D cube cell.
+template <typename T>
+void FuseTile(const T* col, T sentinel, const int32_t* ybuf, int32_t nc,
+              int64_t len, int32_t* fused, int64_t* attr_counts) {
+  for (int64_t k = 0; k < len; ++k) {
+    const T v = col[k];
+    const int32_t y = ybuf[k];
+    if (v == sentinel || y < 0) {
+      fused[k] = -1;
+    } else {
+      const int32_t f = static_cast<int32_t>(v) * nc + y;
+      fused[k] = f;
+      ++attr_counts[f];
+    }
+  }
+}
+
+// The pair inner loop: streams attribute i's packed codes and attribute
+// j's fused indices, writing one pair buffer. Cell (vi, vj, y) lives at
+// vi * (domain_j * nc) + (vj * nc + y) == vi * stride_j + fused_j.
+template <typename T>
+void PairTile(const T* col_i, T sentinel, const int32_t* fused_j,
+              int64_t stride_j, int64_t len, int64_t* buf) {
+  for (int64_t k = 0; k < len; ++k) {
+    const T v = col_i[k];
+    const int32_t f = fused_j[k];
+    if (v == sentinel || f < 0) continue;
+    ++buf[static_cast<int64_t>(v) * stride_j + f];
+  }
+}
+
+// Dispatches fn<T>(typed pointer, typed sentinel) on the column's width.
+template <typename Fn>
+void WithTyped(const PackedColumn& col, int64_t offset, Fn&& fn) {
+  switch (col.width()) {
+    case 1:
+      fn(col.u8() + offset, static_cast<uint8_t>(col.sentinel()));
+      break;
+    case 2:
+      fn(col.u16() + offset, static_cast<uint16_t>(col.sentinel()));
+      break;
+    default:
+      fn(col.u32() + offset, col.sentinel());
+      break;
+  }
+}
+
+}  // namespace
+
+Result<int64_t> ParseBlockRows(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("block-rows value is empty");
+  }
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("block-rows value '" + text +
+                                     "' is not a positive integer");
+    }
+  }
+  if (text.size() > 7) {
+    return Status::InvalidArgument("block-rows value '" + text +
+                                   "' is out of range [1, 1048576]");
+  }
+  const int64_t value = std::strtoll(text.c_str(), nullptr, 10);
+  if (value < 1 || value > kMaxBlockRows) {
+    return Status::InvalidArgument("block-rows value '" + text +
+                                   "' is out of range [1, 1048576]");
+  }
+  return value;
+}
+
+int64_t ResolveBlockRows(int64_t requested) {
+  if (requested > 0) return std::min<int64_t>(requested, kMaxBlockRows);
+  const char* env = std::getenv("OPMAP_BLOCK_ROWS");
+  if (env != nullptr) {
+    Result<int64_t> parsed = ParseBlockRows(env);
+    // Invalid environment values are ignored (the library stays usable;
+    // the CLI validates its own flag loudly), like OPMAP_THREADS.
+    if (parsed.ok()) return parsed.value();
+  }
+  return kDefaultBlockRows;
+}
+
+PackedColumn PackedColumn::Pack(const ValueCode* src, int64_t n, int domain) {
+  return PackGather(src, nullptr, n, domain);
+}
+
+PackedColumn PackedColumn::PackGather(const ValueCode* src,
+                                      const int64_t* rows, int64_t n,
+                                      int domain) {
+  PackedColumn col;
+  col.num_rows_ = n;
+  col.width_ = WidthFor(domain);
+  col.sentinel_ = static_cast<uint32_t>(domain);
+  col.bytes_.resize(static_cast<size_t>(n) * static_cast<size_t>(col.width_));
+  switch (col.width_) {
+    case 1:
+      PackInto<uint8_t>(src, rows, n, col.sentinel_, col.bytes_.data());
+      break;
+    case 2:
+      PackInto<uint16_t>(src, rows, n, col.sentinel_, col.bytes_.data());
+      break;
+    default:
+      PackInto<uint32_t>(src, rows, n, col.sentinel_, col.bytes_.data());
+      break;
+  }
+  return col;
+}
+
+uint32_t PackedColumn::Get(int64_t r) const {
+  switch (width_) {
+    case 1:
+      return u8()[r];
+    case 2:
+      return u16()[r];
+    default:
+      return u32()[r];
+  }
+}
+
+PackedColumnSet PackedColumnSet::Build(const Dataset& dataset,
+                                       const std::vector<int>& attrs,
+                                       const std::vector<int64_t>* rows) {
+  PackedColumnSet set;
+  const int64_t n =
+      rows != nullptr ? static_cast<int64_t>(rows->size()) : dataset.num_rows();
+  const int64_t* row_data = rows != nullptr ? rows->data() : nullptr;
+  set.num_rows_ = n;
+  set.columns_.reserve(attrs.size());
+  for (int a : attrs) {
+    set.columns_.push_back(PackedColumn::PackGather(
+        dataset.categorical_column(a).data(), row_data, n,
+        dataset.schema().attribute(a).domain()));
+  }
+  const int cls = dataset.schema().class_index();
+  set.class_column_ = PackedColumn::PackGather(
+      dataset.categorical_column(cls).data(), row_data, n,
+      dataset.schema().num_classes());
+  return set;
+}
+
+int64_t PackedColumnSet::MemoryUsageBytes() const {
+  int64_t bytes = class_column_.MemoryUsageBytes();
+  for (const PackedColumn& c : columns_) bytes += c.MemoryUsageBytes();
+  return bytes;
+}
+
+int64_t PackedColumnSet::ProjectedBytes(const Schema& schema,
+                                        const std::vector<int>& attrs,
+                                        int64_t rows) {
+  int64_t bytes = rows * WidthFor(schema.num_classes());
+  for (int a : attrs) {
+    bytes += rows * WidthFor(schema.attribute(a).domain());
+  }
+  return bytes;
+}
+
+bool BlockedKernelSupported(const Schema& schema,
+                            const std::vector<int>& attrs) {
+  const int64_t nc = schema.num_classes();
+  for (int a : attrs) {
+    const int64_t fused_max =
+        static_cast<int64_t>(schema.attribute(a).domain()) * nc + nc;
+    if (fused_max > std::numeric_limits<int32_t>::max()) return false;
+  }
+  return true;
+}
+
+void CountRangeBlocked(const BlockedCountArgs& args, int64_t row_begin,
+                       int64_t row_end) {
+  const PackedColumnSet& cols = *args.columns;
+  const int m = cols.num_columns();
+  const int32_t nc = args.num_classes;
+  const int64_t block = std::max<int64_t>(args.block_rows, 1);
+
+  // Per-tile scratch: the widened class codes and one fused-index row per
+  // attribute. Sized once; tiles reuse it.
+  std::vector<int32_t> ybuf(static_cast<size_t>(block));
+  std::vector<int32_t> fused(static_cast<size_t>(m) *
+                             static_cast<size_t>(block));
+
+  for (int64_t t0 = row_begin; t0 < row_end; t0 += block) {
+    const int64_t len = std::min(block, row_end - t0);
+
+    WithTyped(cols.class_column(), t0, [&](auto* cls, auto sentinel) {
+      WidenClassTile(cls, sentinel, len, ybuf.data(), args.class_counts,
+                     args.num_records);
+    });
+
+    for (int i = 0; i < m; ++i) {
+      int32_t* fused_i = fused.data() + static_cast<int64_t>(i) * block;
+      WithTyped(cols.column(i), t0, [&](auto* col, auto sentinel) {
+        FuseTile(col, sentinel, ybuf.data(), nc, len, fused_i,
+                 args.attr_ptrs[i]);
+      });
+    }
+
+    if (!args.build_pairs) continue;
+    int pair = 0;
+    for (int i = 0; i < m; ++i) {
+      WithTyped(cols.column(i), t0, [&](auto* col_i, auto sentinel_i) {
+        for (int j = i + 1; j < m; ++j, ++pair) {
+          const int64_t stride_j = static_cast<int64_t>(args.sizes[j]) * nc;
+          PairTile(col_i, sentinel_i,
+                   fused.data() + static_cast<int64_t>(j) * block, stride_j,
+                   len, args.pair_ptrs[pair]);
+        }
+      });
+    }
+  }
+}
+
+void CountAttrBlocked(const PackedColumn& col, const PackedColumn& cls,
+                      int num_classes, int64_t row_begin, int64_t row_end,
+                      int64_t* counts) {
+  const int64_t nc = num_classes;
+  WithTyped(col, row_begin, [&](auto* v, auto v_sentinel) {
+    WithTyped(cls, row_begin, [&](auto* y, auto y_sentinel) {
+      const int64_t len = row_end - row_begin;
+      for (int64_t k = 0; k < len; ++k) {
+        if (v[k] == v_sentinel || y[k] == y_sentinel) continue;
+        ++counts[static_cast<int64_t>(v[k]) * nc + y[k]];
+      }
+    });
+  });
+}
+
+void CountPairBlocked(const PackedColumn& a, const PackedColumn& b,
+                      const PackedColumn& cls, int num_classes,
+                      int64_t row_begin, int64_t row_end, int64_t* counts) {
+  const int64_t nc = num_classes;
+  const int64_t domain_b = b.sentinel();
+  WithTyped(a, row_begin, [&](auto* va, auto a_sentinel) {
+    WithTyped(b, row_begin, [&](auto* vb, auto b_sentinel) {
+      WithTyped(cls, row_begin, [&](auto* y, auto y_sentinel) {
+        const int64_t len = row_end - row_begin;
+        for (int64_t k = 0; k < len; ++k) {
+          if (va[k] == a_sentinel || vb[k] == b_sentinel ||
+              y[k] == y_sentinel) {
+            continue;
+          }
+          ++counts[(static_cast<int64_t>(va[k]) * domain_b + vb[k]) * nc +
+                   y[k]];
+        }
+      });
+    });
+  });
+}
+
+}  // namespace opmap

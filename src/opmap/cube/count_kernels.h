@@ -1,0 +1,175 @@
+#ifndef OPMAP_CUBE_COUNT_KERNELS_H_
+#define OPMAP_CUBE_COUNT_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Which counting kernel the bulk paths (CubeBuilder::AddDataset, the CAR
+/// miner's level-1/2 passes) run. Both kernels produce bit-identical
+/// counts for every input and thread count; the choice is purely a
+/// performance knob, and the reference kernel is retained so tests can
+/// pin the blocked kernel against the seed implementation.
+enum class CountKernel {
+  /// Cache-blocked kernel over packed value codes (the default): rows are
+  /// processed in tiles, and inside a tile each attribute pair streams
+  /// exactly two packed columns into one pair buffer.
+  kBlocked,
+  /// The seed row-at-a-time scatter loop.
+  kReference,
+};
+
+/// Rows per tile when nothing overrides it (see ResolveBlockRows).
+inline constexpr int64_t kDefaultBlockRows = 4096;
+
+/// Parses a tile-size string for the CLI `--block-rows` flag and the
+/// OPMAP_BLOCK_ROWS environment variable. Accepts integers in
+/// [1, 1048576]; rejects zero, negatives, empty strings, trailing
+/// garbage, and out-of-range values with kInvalidArgument.
+Result<int64_t> ParseBlockRows(const std::string& text);
+
+/// The tile size a blocked kernel should use: `requested` when positive,
+/// else the OPMAP_BLOCK_ROWS environment variable when it parses (invalid
+/// values are ignored, like OPMAP_THREADS), else kDefaultBlockRows.
+int64_t ResolveBlockRows(int64_t requested);
+
+/// One categorical column re-encoded to the narrowest unsigned integer
+/// type that holds `domain + 1` codes: uint8_t up to domain 255, uint16_t
+/// up to 65535, uint32_t beyond. kNullCode is remapped to the reserved
+/// sentinel `domain`, so kernels test one unsigned compare instead of a
+/// signed null check and the working set shrinks up to 4x.
+class PackedColumn {
+ public:
+  /// An empty column (no rows); real columns come from Pack/PackGather.
+  PackedColumn() = default;
+
+  /// Packs `src[0..n)` (codes in [0, domain) or kNullCode).
+  static PackedColumn Pack(const ValueCode* src, int64_t n, int domain);
+
+  /// Packs `src[rows[0]], ..., src[rows[n-1])` — the gather form used by
+  /// restricted mining, where only a row subset is scanned.
+  static PackedColumn PackGather(const ValueCode* src, const int64_t* rows,
+                                 int64_t n, int domain);
+
+  int64_t num_rows() const { return num_rows_; }
+  int width() const { return width_; }          ///< bytes per code: 1, 2, 4
+  uint32_t sentinel() const { return sentinel_; }  ///< null code == domain
+
+  const uint8_t* u8() const { return bytes_.data(); }
+  const uint16_t* u16() const {
+    return reinterpret_cast<const uint16_t*>(bytes_.data());
+  }
+  const uint32_t* u32() const {
+    return reinterpret_cast<const uint32_t*>(bytes_.data());
+  }
+
+  /// Code at `r` widened back to uint32_t (sentinel() for null).
+  uint32_t Get(int64_t r) const;
+
+  /// Heap bytes held by the packed code array.
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(bytes_.capacity());
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int64_t num_rows_ = 0;
+  int width_ = 1;
+  uint32_t sentinel_ = 0;
+};
+
+/// The packed re-encoding of a set of categorical columns plus the class
+/// column, built once per AddDataset / mining pass and then streamed by
+/// every tile of the blocked kernels.
+class PackedColumnSet {
+ public:
+  /// An empty set (no columns); real sets come from Build.
+  PackedColumnSet() = default;
+
+  /// Packs `attrs` (schema indices of categorical attributes) and the
+  /// class column of `dataset`. With `rows` non-null, only that row
+  /// subset is packed, in order (restricted mining); otherwise all rows.
+  static PackedColumnSet Build(const Dataset& dataset,
+                               const std::vector<int>& attrs,
+                               const std::vector<int64_t>* rows = nullptr);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const { return num_rows_; }
+  const PackedColumn& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const PackedColumn& class_column() const { return class_column_; }
+
+  /// Heap bytes of all packed columns — the scratch the memory-budget
+  /// shard clamp must account for (see CubeBuilder::PlanShards).
+  int64_t MemoryUsageBytes() const;
+
+  /// Bytes Build() would allocate for `attrs` + class over `rows` rows,
+  /// without building anything. Used to pre-check memory budgets.
+  static int64_t ProjectedBytes(const Schema& schema,
+                                const std::vector<int>& attrs, int64_t rows);
+
+ private:
+  std::vector<PackedColumn> columns_;
+  PackedColumn class_column_;
+  int64_t num_rows_ = 0;
+};
+
+/// Inputs of one blocked cube-counting pass over a row range. All
+/// pointers are borrowed; `attr_ptrs[i]` is the (domain_i x num_classes)
+/// count array of attribute slot i and `pair_ptrs` the packed upper
+/// triangle of (domain_i x domain_j x num_classes) pair arrays, exactly
+/// as CubeBuilder lays them out.
+struct BlockedCountArgs {
+  const PackedColumnSet* columns = nullptr;
+  int num_classes = 0;
+  bool build_pairs = true;
+  const int* sizes = nullptr;  ///< domain per attribute slot
+  int64_t block_rows = kDefaultBlockRows;
+  int64_t* const* attr_ptrs = nullptr;
+  int64_t* const* pair_ptrs = nullptr;
+  int64_t* class_counts = nullptr;
+  int64_t* num_records = nullptr;
+};
+
+/// The cache-blocked cube-counting kernel: counts rows
+/// [row_begin, row_end) of `args.columns` into the given buffers,
+/// bit-identically to the reference row loop. Rows are processed in
+/// tiles of `args.block_rows`; inside a tile, the fused `v * nc + y`
+/// index of every attribute is computed once (updating the 2-D cube on
+/// the way), then each pair (i, j) streams attribute i's packed codes and
+/// attribute j's fused indices into the single (i, j) pair buffer.
+void CountRangeBlocked(const BlockedCountArgs& args, int64_t row_begin,
+                       int64_t row_end);
+
+/// True when the blocked kernels can run for these shapes: every fused
+/// index `domain * num_classes + class` must fit an int32_t. Callers fall
+/// back to the reference kernel otherwise (results are identical either
+/// way).
+bool BlockedKernelSupported(const Schema& schema,
+                            const std::vector<int>& attrs);
+
+/// Counts one packed column against the class column over rows
+/// [row_begin, row_end): counts[v * num_classes + y] += 1 for every row
+/// where neither code is the null sentinel. The CAR miner's level-1 pass.
+void CountAttrBlocked(const PackedColumn& col, const PackedColumn& cls,
+                      int num_classes, int64_t row_begin, int64_t row_end,
+                      int64_t* counts);
+
+/// Dense (value_a, value_b, class) counting of one attribute pair over
+/// rows [row_begin, row_end): counts[(va * domain_b + vb) * num_classes
+/// + y] += 1 for every row where no code is null. `counts` must hold
+/// domain_a x domain_b x num_classes zero-initialized cells. The CAR
+/// miner's level-2 pass reads candidate cells out of this buffer.
+void CountPairBlocked(const PackedColumn& a, const PackedColumn& b,
+                      const PackedColumn& cls, int num_classes,
+                      int64_t row_begin, int64_t row_end, int64_t* counts);
+
+}  // namespace opmap
+
+#endif  // OPMAP_CUBE_COUNT_KERNELS_H_

@@ -41,9 +41,16 @@ int64_t CubeStore::NumCubes() const {
 }
 
 int64_t CubeStore::MemoryUsageBytes() const {
+  // Count the store's own bookkeeping alongside the cube buffers so the
+  // memory-budget shard clamp works from a base figure that is not
+  // understated (the clamp additionally charges packed-column scratch;
+  // see CubeBuilder::PlanShards).
   int64_t bytes = 0;
   for (const auto& c : attr_cubes_) bytes += c.MemoryUsageBytes();
   for (const auto& c : pair_cubes_) bytes += c.MemoryUsageBytes();
+  bytes += static_cast<int64_t>(class_counts_.capacity() * sizeof(int64_t));
+  bytes += static_cast<int64_t>(attributes_.capacity() * sizeof(int));
+  bytes += static_cast<int64_t>(attr_slot_.capacity() * sizeof(int));
   return bytes;
 }
 
@@ -84,6 +91,8 @@ Result<CubeBuilder> CubeBuilder::Make(Schema schema,
   CubeBuilder builder;
   builder.parallel_ = options.parallel;
   builder.max_memory_bytes_ = options.max_memory_bytes;
+  builder.kernel_ = options.kernel;
+  builder.block_rows_ = ResolveBlockRows(options.block_rows);
   CubeStore& store = builder.store_;
   store.schema_ = std::move(schema);
   store.attributes_ = std::move(attrs);
@@ -205,6 +214,20 @@ void CubeBuilder::CountRange(const ColumnView& view, int64_t row_begin,
                              int64_t row_end, int64_t* const* attr_ptrs,
                              int64_t* const* pair_ptrs, int64_t* class_counts,
                              int64_t* num_records) const {
+  if (view.packed != nullptr) {
+    BlockedCountArgs args;
+    args.columns = view.packed;
+    args.num_classes = num_classes_;
+    args.build_pairs = store_.has_pair_cubes_;
+    args.sizes = sizes_.data();
+    args.block_rows = block_rows_;
+    args.attr_ptrs = attr_ptrs;
+    args.pair_ptrs = pair_ptrs;
+    args.class_counts = class_counts;
+    args.num_records = num_records;
+    CountRangeBlocked(args, row_begin, row_end);
+    return;
+  }
   const int m = static_cast<int>(store_.attributes_.size());
   const int nc = num_classes_;
   const bool pairs = store_.has_pair_cubes_;
@@ -231,7 +254,15 @@ void CubeBuilder::CountRange(const ColumnView& view, int64_t row_begin,
   }
 }
 
-int CubeBuilder::PlanShards(int64_t num_rows) const {
+int64_t CubeBuilder::TileScratchBytes() const {
+  // One blocked CountRange call widens the class codes and keeps one
+  // fused-index row per attribute, all int32, for one tile.
+  const int64_t m = static_cast<int64_t>(store_.attributes_.size());
+  return (m + 1) * block_rows_ * static_cast<int64_t>(sizeof(int32_t));
+}
+
+int CubeBuilder::PlanShards(int64_t num_rows, int64_t reserved_bytes,
+                            int64_t per_shard_bytes) const {
   int shards = EffectiveThreads(parallel_);
   // Tiny inputs are not worth a fork/join (the result is identical either
   // way; this is purely a fixed-cost cutoff).
@@ -239,11 +270,15 @@ int CubeBuilder::PlanShards(int64_t num_rows) const {
   shards = static_cast<int>(
       std::min<int64_t>(shards, std::max<int64_t>(num_rows, 1)));
   if (shards > 1 && max_memory_bytes_ > 0) {
-    // Each extra shard allocates a private copy of all cube buffers; stay
-    // within the same budget that gated materialization itself.
+    // Each extra shard allocates a private copy of all cube buffers plus
+    // its own tile scratch; stay within the same budget that gated
+    // materialization itself, net of the scratch already reserved for
+    // this pass (packed columns and shard 0's tiles).
     const int64_t copy_bytes =
-        total_cells_ * static_cast<int64_t>(sizeof(int64_t));
-    const int64_t headroom = max_memory_bytes_ - store_.MemoryUsageBytes();
+        total_cells_ * static_cast<int64_t>(sizeof(int64_t)) +
+        per_shard_bytes;
+    const int64_t headroom =
+        max_memory_bytes_ - store_.MemoryUsageBytes() - reserved_bytes;
     const int64_t extra_copies =
         copy_bytes > 0 ? std::max<int64_t>(headroom, 0) / copy_bytes : 0;
     shards = static_cast<int>(
@@ -275,7 +310,31 @@ Status CubeBuilder::AddDataset(const Dataset& dataset) {
     view.cols.push_back(dataset.categorical_column(a).data());
   }
 
-  const int shards = PlanShards(n);
+  // The blocked kernel needs packed-column scratch for the whole pass
+  // plus tile scratch per shard. When the memory budget cannot absorb
+  // that, fall back to the reference kernel — the counts are identical,
+  // only slower — instead of overshooting the budget.
+  bool blocked = kernel_ == CountKernel::kBlocked &&
+                 BlockedKernelSupported(ss, store_.attributes_);
+  int64_t reserved = 0;
+  if (blocked) {
+    const int64_t packed_bytes =
+        PackedColumnSet::ProjectedBytes(ss, store_.attributes_, n);
+    reserved = packed_bytes + TileScratchBytes();  // shard 0's tiles
+    if (max_memory_bytes_ > 0 &&
+        store_.MemoryUsageBytes() + reserved > max_memory_bytes_) {
+      blocked = false;
+      reserved = 0;
+    }
+  }
+  PackedColumnSet packed;
+  if (blocked) {
+    packed = PackedColumnSet::Build(dataset, store_.attributes_);
+    view.packed = &packed;
+  }
+
+  const int shards =
+      PlanShards(n, reserved, blocked ? TileScratchBytes() : 0);
   if (shards <= 1) {
     CountRange(view, 0, n, attr_raw_.data(), pair_raw_.data(),
                store_.class_counts_.data(), &store_.num_records_);

@@ -8,6 +8,7 @@
 
 #include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
+#include "opmap/cube/count_kernels.h"
 #include "opmap/cube/rule_cube.h"
 #include "opmap/data/dataset.h"
 
@@ -35,6 +36,14 @@ struct CubeStoreOptions {
   /// addition, so the store is bit-identical to a serial build for any
   /// thread count.
   ParallelOptions parallel;
+  /// Counting kernel for AddDataset. Both kernels count bit-identically;
+  /// kReference is the seed row-at-a-time loop, retained for testing.
+  /// The blocked kernel falls back to the reference kernel when its
+  /// packed-column scratch would not fit `max_memory_bytes`.
+  CountKernel kernel = CountKernel::kBlocked;
+  /// Rows per tile for the blocked kernel. 0 = the OPMAP_BLOCK_ROWS
+  /// environment variable when valid, else 4096 (kDefaultBlockRows).
+  int64_t block_rows = 0;
 };
 
 /// The deployed system's cube inventory: one 2-D rule cube per attribute
@@ -143,9 +152,12 @@ class CubeBuilder {
   CubeBuilder() = default;
 
   // Columns of the dataset being counted, resolved once per AddDataset.
+  // `packed` is set when the blocked kernel runs this pass: the packed
+  // re-encoding built once per AddDataset and streamed by every shard.
   struct ColumnView {
     const ValueCode* class_col = nullptr;
     std::vector<const ValueCode*> cols;  // one per included attribute slot
+    const PackedColumnSet* packed = nullptr;
   };
 
   // Counts rows [row_begin, row_end) of `view` into the given buffers.
@@ -156,9 +168,16 @@ class CubeBuilder {
                   int64_t* class_counts, int64_t* num_records) const;
 
   // Shards AddDataset would use for `num_rows` rows: the configured thread
-  // count clamped by the row count and the remaining memory budget (each
-  // extra shard costs one private copy of the cube buffers).
-  int PlanShards(int64_t num_rows) const;
+  // count clamped by the row count and the remaining memory budget.
+  // `reserved_bytes` is scratch already charged against the budget this
+  // pass (packed columns); each extra shard costs one private copy of the
+  // cube buffers plus `per_shard_bytes` of tile scratch.
+  int PlanShards(int64_t num_rows, int64_t reserved_bytes,
+                 int64_t per_shard_bytes) const;
+
+  // Tile scratch one blocked CountRange call allocates: the widened class
+  // codes plus one fused-index row per attribute.
+  int64_t TileScratchBytes() const;
 
   CubeStore store_;
   // Hot-path acceleration structures.
@@ -171,6 +190,8 @@ class CubeBuilder {
   // Parallel materialization state.
   ParallelOptions parallel_;
   int64_t max_memory_bytes_ = 0;
+  CountKernel kernel_ = CountKernel::kBlocked;
+  int64_t block_rows_ = kDefaultBlockRows;
   std::vector<int64_t> attr_cells_;  // cells per attribute cube
   std::vector<int64_t> pair_cells_;  // cells per pair cube
   int64_t total_cells_ = 0;          // sum of the two, for shard buffers

@@ -149,7 +149,13 @@ std::vector<int64_t> Dataset::ClassCounts() const {
 }
 
 int64_t Dataset::MemoryUsageBytes() const {
-  int64_t bytes = 0;
+  // Element storage plus the per-column vector headers, so callers that
+  // budget against this figure (e.g. the cube builder's shard clamp, which
+  // additionally charges packed-column scratch via
+  // PackedColumnSet::ProjectedBytes) never work from an understated base.
+  int64_t bytes = static_cast<int64_t>(
+      cat_columns_.capacity() * sizeof(std::vector<ValueCode>) +
+      num_columns_.capacity() * sizeof(std::vector<double>));
   for (const auto& c : cat_columns_) {
     bytes += static_cast<int64_t>(c.capacity() * sizeof(ValueCode));
   }

@@ -93,7 +93,9 @@ class Dataset {
   /// Count of rows per class value.
   std::vector<int64_t> ClassCounts() const;
 
-  /// Approximate heap footprint in bytes (column storage only).
+  /// Approximate heap footprint in bytes: column storage plus the
+  /// per-column vector headers. Packed-column scratch derived from a
+  /// dataset is charged separately (PackedColumnSet::MemoryUsageBytes).
   int64_t MemoryUsageBytes() const;
 
  private:

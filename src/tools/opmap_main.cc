@@ -127,6 +127,23 @@ ParallelOptions ThreadsOf(const Args& args) {
   return parallel;
 }
 
+// --block-rows=N tile-size override for the blocked counting kernel;
+// absent = auto (OPMAP_BLOCK_ROWS env var, else 4096). Bad values die
+// with the InvalidArgument exit code (4), like --threads.
+int64_t BlockRowsOf(const Args& args) {
+  const std::string text = args.GetString("block-rows");
+  if (text.empty()) return 0;
+  return OrDie(ParseBlockRows(text));
+}
+
+// Cube-build options shared by every command that builds a store.
+CubeStoreOptions BuildOptionsOf(const Args& args) {
+  CubeStoreOptions options;
+  options.parallel = ThreadsOf(args);
+  options.block_rows = BlockRowsOf(args);
+  return options;
+}
+
 int CmdGenerate(const Args& args) {
   const std::string out = args.GetString("out");
   RequireFlag(out, "out");
@@ -197,9 +214,7 @@ int CmdCubes(const Args& args) {
   RequireFlag(in, "data");
   RequireFlag(out, "out");
   Dataset data = OrDie(LoadDatasetFromFile(in));
-  CubeStoreOptions options;
-  options.parallel = ThreadsOf(args);
-  CubeStore store = OrDie(CubeBuilder::FromDataset(data, options));
+  CubeStore store = OrDie(CubeBuilder::FromDataset(data, BuildOptionsOf(args)));
   Status st = store.SaveToFile(out);
   if (!st.ok()) Die(st);
   std::printf("built %lld cubes over %lld records (%.1f MB) -> %s\n",
@@ -360,7 +375,14 @@ int CmdGi(const Args& args) {
 }
 
 int CmdReport(const Args& args) {
-  CubeStore store = LoadCubes(args);
+  // Reports either read a prebuilt store (--cubes) or build one in
+  // memory from a dataset (--data), where --threads/--block-rows apply.
+  CubeStore store =
+      args.GetString("cubes").empty() && !args.GetString("data").empty()
+          ? OrDie(CubeBuilder::FromDataset(
+                OrDie(LoadDatasetFromFile(args.GetString("data"))),
+                BuildOptionsOf(args)))
+          : LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string good = args.GetString("good");
   const std::string bad = args.GetString("bad");
@@ -395,7 +417,8 @@ int Usage() {
       "  generate  --records=N [--attributes=N] [--seed=N] --out=FILE\n"
       "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd "
       "[--strict|--recover]\n"
-      "  cubes     --data=FILE.opmd --out=FILE.opmc [--threads=N]\n"
+      "  cubes     --data=FILE.opmd --out=FILE.opmc [--threads=N] "
+      "[--block-rows=N]\n"
       "  info      --data=FILE | --cubes=FILE\n"
       "  overview  --cubes=FILE [--color]\n"
       "  detail    --cubes=FILE --attribute=NAME [--color]\n"
@@ -406,10 +429,15 @@ int Usage() {
       "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N] "
       "[--threads=N]\n"
       "  gi        --cubes=FILE [--top=N]\n"
-      "  report    --cubes=FILE --attribute=NAME --good=V --bad=V "
-      "--class=LABEL --out=FILE.html [--gi] [--threads=N]\n"
+      "  report    --cubes=FILE|--data=FILE.opmd --attribute=NAME "
+      "--good=V --bad=V "
+      "--class=LABEL --out=FILE.html [--gi] [--threads=N] "
+      "[--block-rows=N]\n"
       "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
       "env var, else hardware); results are identical at any setting\n"
+      "--block-rows=N sets the counting-kernel tile size in rows "
+      "(default: OPMAP_BLOCK_ROWS env var, else 4096); results are "
+      "identical at any setting\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 I/O or corrupt file, "
       "4 bad name/value, 5 resource limit\n");
   return 2;

@@ -21,6 +21,18 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
 
 "$OPMAP" info --cubes="$DIR/d.opmc" | grep -q "cube store" || fail "info cubes"
 
+# Blocked-kernel tile size: any --block-rows value must yield a
+# byte-identical store; invalid values exit 4 like --threads.
+"$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/d7.opmc" --block-rows=7 \
+    >/dev/null || fail "cubes --block-rows"
+cmp -s "$DIR/d.opmc" "$DIR/d7.opmc" || fail "--block-rows=7 store differs"
+rc=0; "$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/x.opmc" \
+    --block-rows=0 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "--block-rows=0 should exit 4 (got $rc)"
+rc=0; "$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/x.opmc" \
+    --block-rows=abc >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "--block-rows=abc should exit 4 (got $rc)"
+
 "$OPMAP" overview --cubes="$DIR/d.opmc" | grep -q "Overall visualization" \
     || fail "overview"
 
@@ -79,4 +91,11 @@ echo "PASS"
     >/dev/null || fail "report"
 grep -q "<svg" "$DIR/r.html" || fail "report svg content"
 grep -q "General impressions" "$DIR/r.html" || fail "report gi section"
+
+# report can also build the store in memory from --data, where
+# --block-rows applies.
+"$OPMAP" report --data="$DIR/d.opmd" --attribute=PhoneModel --good=ph01 \
+    --bad=ph03 --class=dropped-while-in-progress --out="$DIR/r2.html" \
+    --block-rows=512 >/dev/null || fail "report --data"
+grep -q "<svg" "$DIR/r2.html" || fail "report --data svg content"
 echo "PASS report"

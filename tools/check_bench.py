@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Guards the counting-kernel benchmark file (BENCH_counting.json).
+
+The file holds before/after record pairs: every op name ends in
+"/reference" (the seed row-at-a-time loop) or "/blocked" (the
+cache-blocked kernel over packed value codes), and both variants of an op
+are measured at the same thread count and workload. This script prints
+the blocked-over-reference speedup for every pair and exits non-zero if
+the blocked kernel is SLOWER than the reference on the cube/add_dataset
+pair — the regression the blocked kernel exists to prevent.
+
+Usage: tools/check_bench.py [BENCH_counting.json]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_counting.json"
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            records = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    # op base name -> {kernel: wall_ms}; later records win so re-runs of
+    # an append-only file judge the freshest measurement.
+    pairs: dict[str, dict[str, float]] = {}
+    for rec in records:
+        op = rec.get("op", "")
+        for kernel in ("reference", "blocked"):
+            suffix = "/" + kernel
+            if op.endswith(suffix):
+                base = op[: -len(suffix)]
+                pairs.setdefault(base, {})[kernel] = float(rec["wall_ms"])
+
+    if not pairs:
+        print(f"check_bench: no /reference|/blocked op pairs in {path}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for base in sorted(pairs):
+        times = pairs[base]
+        if "reference" not in times or "blocked" not in times:
+            print(f"{base:40s} INCOMPLETE (have: {sorted(times)})")
+            continue
+        speedup = times["reference"] / times["blocked"]
+        print(f"{base:40s} reference={times['reference']:10.2f} ms  "
+              f"blocked={times['blocked']:10.2f} ms  "
+              f"speedup={speedup:5.2f}x")
+        if base == "cube/add_dataset" and speedup < 1.0:
+            print(f"check_bench: FAIL: blocked kernel is slower than the "
+                  f"reference on {base} ({speedup:.2f}x)", file=sys.stderr)
+            failed = True
+
+    if "cube/add_dataset" not in pairs:
+        print("check_bench: FAIL: no cube/add_dataset pair to guard",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

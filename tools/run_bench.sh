@@ -48,3 +48,21 @@ done
 
 echo
 echo "wrote $(grep -c '"op"' "$OUT") measurements to $OUT"
+
+# Counting-kernel before/after pairs: the same counting benches pinned to
+# the seed reference loop and to the cache-blocked kernel, single-threaded
+# so the record pairs isolate the kernel change. tools/check_bench.py
+# guards the resulting file.
+COUNTING_OUT="BENCH_counting.json"
+rm -f "$COUNTING_OUT"
+for kern in reference blocked; do
+  echo "--- counting kernel=$kern (threads=1) ---"
+  "$BUILD_DIR/bench/bench_parallel" \
+    --records="$RECORDS" --threads=1 --kernel="$kern" --json="$COUNTING_OUT"
+  "$BUILD_DIR/bench/fig10_cubegen_attributes" \
+    --records="$RECORDS" --threads=1 --kernel="$kern" --json="$COUNTING_OUT"
+done
+
+echo
+echo "wrote $(grep -c '"op"' "$COUNTING_OUT") measurements to $COUNTING_OUT"
+python3 tools/check_bench.py "$COUNTING_OUT"
