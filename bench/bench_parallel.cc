@@ -10,7 +10,11 @@
 //        cube/add_dataset and car/mine — with that kernel, suffixing op
 //        names with "/reference" or "/blocked"; this is how
 //        tools/run_bench.sh produces the before/after pairs in
-//        BENCH_counting.json).
+//        BENCH_counting.json),
+//        --serving (run ONLY the serving-path benches — eager v2 load vs
+//        lazy v3 mapped load, heap after each, and a cold vs warm cached
+//        all-pairs sweep; this is how tools/run_bench.sh produces
+//        BENCH_serving.json, guarded by tools/check_bench.py).
 
 #include <cstdio>
 #include <string>
@@ -20,6 +24,7 @@
 #include "opmap/car/miner.h"
 #include "opmap/common/stopwatch.h"
 #include "opmap/compare/comparator.h"
+#include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
 
 namespace opmap {
@@ -35,6 +40,93 @@ void Report(const std::string& json, const std::string& op, int threads,
                                  {op, threads, wall_ms, items_per_s}),
         "bench json");
   }
+}
+
+// Serving-path benchmarks: how fast a prebuilt cube file comes up and how
+// the shared result cache pays off on repeated queries.
+//
+// Op semantics (BENCH_serving.json):
+//   store/load_v2            eager checksummed load, items/s = cubes/s
+//   store/load_v3_mmap       lazy mapped load (payloads untouched),
+//                            items/s = cubes/s
+//   store/heap_after_load_*  wall_ms = private heap MB after the load,
+//                            items_per_s = the raw byte count. Mapped v3
+//                            payloads are NOT private heap — they stay in
+//                            the shared, evictable page cache, reported by
+//                            store/mapped_resident_v3 (page-cache-resident
+//                            mapping bytes; hot here since the bench just
+//                            wrote the file).
+//   compare/cold             all-pairs sweep, empty cache (all misses)
+//   compare/warm_cached      the same sweep repeated (all hits)
+void RunServing(const Dataset& dataset, const ParallelOptions& parallel,
+                int threads, const std::string& json) {
+  CubeStoreOptions build_options;
+  build_options.parallel = parallel;
+  CubeStore built = bench::ValueOrDie(
+      CubeBuilder::FromDataset(dataset, build_options), "cube build");
+
+  const std::string v2_path = "bench_serving_v2.opmc";
+  const std::string v3_path = "bench_serving_v3.opmc";
+  bench::CheckOk(
+      built.SaveToFile(v2_path, nullptr, CubeStore::SaveFormat::kV2),
+      "save v2");
+  bench::CheckOk(
+      built.SaveToFile(v3_path, nullptr, CubeStore::SaveFormat::kV3Aligned),
+      "save v3");
+
+  {
+    Stopwatch watch;
+    CubeStore store =
+        bench::ValueOrDie(CubeStore::LoadFromFile(v2_path), "load v2");
+    const double ms = watch.ElapsedMillis();
+    Report(json, "store/load_v2", threads, ms,
+           static_cast<double>(store.NumCubes()) / ms * 1e3);
+    const double bytes = static_cast<double>(store.MemoryUsageBytes());
+    Report(json, "store/heap_after_load_v2", threads, bytes / 1e6, bytes);
+  }
+
+  {
+    Stopwatch watch;
+    CubeStore store =
+        bench::ValueOrDie(CubeStore::LoadFromFile(v3_path), "load v3");
+    const double ms = watch.ElapsedMillis();
+    Report(json, "store/load_v3_mmap", threads, ms,
+           static_cast<double>(store.NumCubes()) / ms * 1e3);
+    const double bytes = static_cast<double>(store.MemoryUsageBytes());
+    Report(json, "store/heap_after_load_v3_mmap", threads, bytes / 1e6,
+           bytes);
+    const MappingStats m = store.GetMappingStats();
+    const double resident =
+        static_cast<double>(m.bytes_resident > 0 ? m.bytes_resident : 0);
+    Report(json, "store/mapped_resident_v3", threads, resident / 1e6,
+           resident);
+
+    // Cold vs warm cached all-pairs sweep over the mapped store. The warm
+    // sweep re-issues identical comparison specs, so every per-pair
+    // comparison is a cache hit; only the summary rows are rebuilt.
+    Comparator comparator(&store, parallel);
+    QueryCache cache;
+    comparator.set_cache(&cache);
+    Stopwatch cold_watch;
+    auto cold = bench::ValueOrDie(
+        comparator.CompareAllPairs(0, kDroppedWhileInProgress), "cold");
+    const double cold_ms = cold_watch.ElapsedMillis();
+    Report(json, "compare/cold", threads, cold_ms,
+           static_cast<double>(cold.size()) / cold_ms * 1e3);
+
+    constexpr int kWarmReps = 5;
+    Stopwatch warm_watch;
+    for (int i = 0; i < kWarmReps; ++i) {
+      (void)bench::ValueOrDie(
+          comparator.CompareAllPairs(0, kDroppedWhileInProgress), "warm");
+    }
+    const double warm_ms = warm_watch.ElapsedMillis() / kWarmReps;
+    Report(json, "compare/warm_cached", threads, warm_ms,
+           static_cast<double>(cold.size()) / warm_ms * 1e3);
+  }
+
+  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
 }
 
 void Main(int argc, char** argv) {
@@ -57,6 +149,11 @@ void Main(int argc, char** argv) {
       CallLogGenerator::Make(bench::StandardWorkload(attrs, records)),
       "generator");
   Dataset dataset = gen.Generate();
+
+  if (flags.GetBool("serving", false)) {
+    RunServing(dataset, parallel, threads, json);
+    return;
+  }
 
   // Raw ParallelFor dispatch overhead over a trivially cheap body.
   // Skipped when a kernel is pinned: the counting comparison only needs

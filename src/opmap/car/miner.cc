@@ -90,8 +90,8 @@ constexpr int64_t kMaxDensePairCells = int64_t{1} << 22;
 // candidate's per-class counts into its fixed `merged` slots. Groups
 // touch disjoint slots, so groups can run concurrently without merge.
 void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
-                    int num_classes, std::vector<int64_t>* dense_scratch,
-                    int64_t* merged) {
+                    int num_classes, int64_t block_rows,
+                    std::vector<int64_t>* dense_scratch, int64_t* merged) {
   const PackedColumn& a = packed.column(group.col_a);
   const PackedColumn& b = packed.column(group.col_b);
   const PackedColumn& cls = packed.class_column();
@@ -101,7 +101,13 @@ void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
   const int64_t n = packed.num_rows();
   if (cells > 0 && cells <= kMaxDensePairCells) {
     dense_scratch->assign(static_cast<size_t>(cells), 0);
-    CountPairBlocked(a, b, cls, num_classes, 0, n, dense_scratch->data());
+    // Row-tiled so each pass streams a cache-resident slice of the packed
+    // columns; counts are additive over row ranges, so the tile size never
+    // changes the totals.
+    for (int64_t t0 = 0; t0 < n; t0 += block_rows) {
+      CountPairBlocked(a, b, cls, num_classes, t0,
+                       std::min(n, t0 + block_rows), dense_scratch->data());
+    }
     for (const PairGroup::Cand& c : group.cands) {
       const int64_t* cell =
           dense_scratch->data() +
@@ -242,6 +248,7 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
   // the reference row loop; the packed set is scratch for this pass only.
   const bool blocked = options.kernel == CountKernel::kBlocked &&
                        BlockedKernelSupported(schema, free_attrs);
+  const int64_t block_rows = ResolveBlockRows(options.block_rows);
   PackedColumnSet packed;
   if (blocked) packed = PackedColumnSet::Build(dataset, free_attrs, &rows);
 
@@ -256,12 +263,16 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
       [&](int shard, int64_t lo, int64_t hi) {
         int64_t* counts = shard_counts[static_cast<size_t>(shard)].data();
         if (blocked) {
-          // Per attribute, stream two packed columns into that
-          // attribute's slice of the item-count buffer.
-          for (size_t i = 0; i < num_free; ++i) {
-            CountAttrBlocked(packed.column(static_cast<int>(i)),
-                             packed.class_column(), num_classes, lo, hi,
-                             counts + item_offset[i] * num_classes);
+          // Row-tiled: per tile, stream every attribute's packed column
+          // against the class column while the tile's rows are still
+          // cache-resident.
+          for (int64_t t0 = lo; t0 < hi; t0 += block_rows) {
+            const int64_t t1 = std::min(hi, t0 + block_rows);
+            for (size_t i = 0; i < num_free; ++i) {
+              CountAttrBlocked(packed.column(static_cast<int>(i)),
+                               packed.class_column(), num_classes, t0, t1,
+                               counts + item_offset[i] * num_classes);
+            }
           }
           return;
         }
@@ -404,7 +415,8 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
             std::vector<int64_t> dense_scratch;
             for (int64_t g = lo; g < hi; ++g) {
               CountPairGroup(groups[static_cast<size_t>(g)], packed,
-                             num_classes, &dense_scratch, merged.data());
+                             num_classes, block_rows, &dense_scratch,
+                             merged.data());
             }
           });
       for (auto& [body, counts] : next) {

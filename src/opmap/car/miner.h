@@ -37,6 +37,12 @@ struct CarMinerOptions {
   /// reference combination-enumeration path. Both kernels mine
   /// bit-identical rule sets.
   CountKernel kernel = CountKernel::kBlocked;
+  /// Row-tile size for the blocked level-1/level-2 counting passes; counts
+  /// are accumulated tile by tile so the working set stays cache-resident.
+  /// Purely a performance knob — counts are additive over row ranges, so
+  /// every tile size mines the identical rule set. 0 resolves to the
+  /// OPMAP_BLOCK_ROWS environment variable, else the built-in default.
+  int64_t block_rows = 0;
 };
 
 /// Apriori-style class-association-rule miner (Liu et al.'s CAR setting:

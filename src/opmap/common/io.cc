@@ -3,9 +3,15 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <sys/stat.h>
+#endif
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <new>
 #include <sstream>
 #include <thread>
 
@@ -145,6 +151,77 @@ class PosixSequentialFile : public SequentialFile {
   std::string path_;
 };
 
+// Read-into-buffer fallback region: the whole file copied into a 64-byte-
+// aligned heap buffer. Fully resident by construction.
+class HeapMappedRegion : public MappedRegion {
+ public:
+  explicit HeapMappedRegion(const std::string& bytes) {
+    size_ = bytes.size();
+    if (size_ > 0) {
+      buf_ = static_cast<char*>(::operator new(
+          size_, std::align_val_t(kAlignedPayloadAlignment)));
+      std::memcpy(buf_, bytes.data(), size_);
+    }
+    data_ = buf_;
+  }
+
+  ~HeapMappedRegion() override {
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t(kAlignedPayloadAlignment));
+    }
+  }
+
+  bool is_mmap() const override { return false; }
+  int64_t ResidentBytes() const override {
+    return static_cast<int64_t>(size_);
+  }
+
+ private:
+  char* buf_ = nullptr;
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+// Real mmap region: pages fault in on first touch, so an unqueried cube's
+// payload costs no read I/O and no private memory.
+class PosixMappedRegion : public MappedRegion {
+ public:
+  PosixMappedRegion(void* addr, size_t size) {
+    data_ = static_cast<const char*>(addr);
+    size_ = size;
+  }
+
+  ~PosixMappedRegion() override {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+  }
+
+  bool is_mmap() const override { return true; }
+
+  int64_t ResidentBytes() const override {
+#if defined(__linux__)
+    if (size_ == 0) return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0) return -1;
+    const size_t pages =
+        (size_ + static_cast<size_t>(page) - 1) / static_cast<size_t>(page);
+    std::vector<unsigned char> vec(pages);
+    if (::mincore(const_cast<char*>(data_), size_, vec.data()) != 0) {
+      return -1;
+    }
+    int64_t resident_pages = 0;
+    for (unsigned char v : vec) resident_pages += (v & 1);
+    int64_t bytes = resident_pages * page;
+    return bytes < static_cast<int64_t>(size_)
+               ? bytes
+               : static_cast<int64_t>(size_);
+#else
+    return -1;
+#endif
+  }
+};
+#endif  // defined(__unix__) || defined(__APPLE__)
+
 class PosixEnv : public Env {
  public:
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -166,6 +243,38 @@ class PosixEnv : public Env {
     }
     return std::unique_ptr<SequentialFile>(
         new PosixSequentialFile(fd, path));
+  }
+
+  Result<std::unique_ptr<MappedRegion>> MapFile(
+      const std::string& path) override {
+#if defined(__unix__) || defined(__APPLE__)
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for mapping", path));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const Status err = Status::IOError(ErrnoMessage("cannot stat", path));
+      ::close(fd);
+      return err;
+    }
+    const auto size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap rejects zero-length mappings; the heap fallback models an
+      // empty region fine.
+      ::close(fd);
+      return Env::MapFile(path);
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      // Filesystem without mmap support: read-into-buffer fallback.
+      return Env::MapFile(path);
+    }
+    return std::unique_ptr<MappedRegion>(new PosixMappedRegion(addr, size));
+#else
+    return Env::MapFile(path);
+#endif
   }
 
   Status RenameFile(const std::string& from, const std::string& to) override {
@@ -197,6 +306,15 @@ class PosixEnv : public Env {
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv;
   return env;
+}
+
+Result<std::unique_ptr<MappedRegion>> Env::MapFile(const std::string& path) {
+  // Portable fallback: read the whole file through this Env's sequential
+  // reader into an aligned heap buffer. Derived Envs that can map for real
+  // (PosixEnv) override this.
+  std::string bytes;
+  OPMAP_RETURN_NOT_OK(ReadFileToString(this, path, &bytes));
+  return std::unique_ptr<MappedRegion>(new HeapMappedRegion(bytes));
 }
 
 Status ReadFileToString(Env* env, const std::string& path, std::string* out,
@@ -291,7 +409,7 @@ Status FaultInjectingEnv::Tick(FaultOp op) {
     ++injected_;
     const char* names[kNumFaultOps] = {"open-write", "open-read", "write",
                                        "read",       "sync",      "rename",
-                                       "delete"};
+                                       "delete",     "map"};
     return Status::IOError(std::string("injected ") +
                            names[static_cast<int>(op)] + " failure #" +
                            std::to_string(n));
@@ -331,6 +449,15 @@ Result<std::unique_ptr<SequentialFile>> FaultInjectingEnv::NewSequentialFile(
                          base_->NewSequentialFile(path));
   return std::unique_ptr<SequentialFile>(
       new FaultInjectingSequentialFile(std::move(base), this));
+}
+
+Result<std::unique_ptr<MappedRegion>> FaultInjectingEnv::MapFile(
+    const std::string& path) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kMap));
+  // Deliberately the base-class heap fallback over THIS env (never a real
+  // mmap): the bytes then flow through the fault-injecting sequential
+  // reader, so armed kOpenRead/kRead faults reach the mapping path too.
+  return Env::MapFile(path);
 }
 
 Status FaultInjectingEnv::RenameFile(const std::string& from,
@@ -510,6 +637,190 @@ Result<std::vector<Section>> ParseContainer(const std::string& bytes,
 Result<const Section*> FindSection(const std::vector<Section>& sections,
                                    const std::string& name) {
   for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return Status::IOError("container is missing the '" + name + "' section");
+}
+
+// ---------------------------------------------------------------------------
+// Aligned section container (v3)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+size_t AlignUpToPayload(size_t n) {
+  return (n + kAlignedPayloadAlignment - 1) & ~(kAlignedPayloadAlignment - 1);
+}
+
+// Bounds-checked little-endian cursor over an in-memory (mapped) header.
+// BinaryReader works over istreams; the mapping path must not copy the file
+// into one, so this mirrors its encodings over a raw byte range.
+class MemCursor {
+ public:
+  MemCursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t pos() const { return pos_; }
+
+  Status ReadBytes(void* dst, size_t n) {
+    if (n > size_ - pos_) {
+      return Status::IOError("container header truncated");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint32_t> ReadU32() {
+    uint32_t v = 0;
+    OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    uint64_t v = 0;
+    OPMAP_RETURN_NOT_OK(ReadBytes(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    OPMAP_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (n > size_ - pos_) {
+      return Status::IOError("container header truncated");
+    }
+    std::string s(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeAlignedContainer(const char magic[4], uint32_t version,
+                                      const std::vector<Section>& sections) {
+  // The table length depends only on the section names, so every payload
+  // offset is computable before writing a byte.
+  size_t table_size = 4 + 4 + 4 + 4;  // magic, version, count, header CRC
+  for (const Section& s : sections) {
+    table_size += 8 + s.name.size();  // length-prefixed name
+    table_size += 8 + 8 + 4 + 8;      // size, record_count, crc, offset
+  }
+  std::vector<uint64_t> offsets;
+  offsets.reserve(sections.size());
+  size_t cursor = AlignUpToPayload(table_size);
+  for (const Section& s : sections) {
+    offsets.push_back(cursor);
+    cursor = AlignUpToPayload(cursor + s.payload.size());
+  }
+
+  std::ostringstream header;
+  header.write(magic, 4);
+  BinaryWriter w(&header);
+  w.WriteU32(version);
+  w.WriteU32(static_cast<uint32_t>(sections.size()));
+  w.WriteU32(0);  // header CRC placeholder, patched below
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const Section& s = sections[i];
+    w.WriteString(s.name);
+    w.WriteU64(s.payload.size());
+    w.WriteU64(s.record_count);
+    w.WriteU32(Crc32c(s.payload.data(), s.payload.size()));
+    w.WriteU64(offsets[i]);
+  }
+  std::string out = header.str();
+  PutU32At(&out, kHeaderCrcOffset, Crc32c(out.data(), out.size()));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out.resize(static_cast<size_t>(offsets[i]), '\0');  // alignment padding
+    out += sections[i].payload;
+  }
+  return out;
+}
+
+Result<std::vector<AlignedSection>> ParseAlignedContainer(
+    const char* data, size_t size, const char magic[4],
+    uint32_t expected_version, size_t* header_size) {
+  MemCursor cur(data, size);
+  char got[4];
+  OPMAP_RETURN_NOT_OK(cur.ReadBytes(got, 4));
+  if (std::memcmp(got, magic, 4) != 0) {
+    return Status::IOError("bad magic: not a recognized container file");
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint32_t version, cur.ReadU32());
+  if (version != expected_version) {
+    return Status::IOError("unsupported container version " +
+                           std::to_string(version));
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint32_t count, cur.ReadU32());
+  if (count > (1u << 10)) {
+    return Status::IOError("container header corrupt: implausible section "
+                           "count " + std::to_string(count));
+  }
+  OPMAP_ASSIGN_OR_RETURN(uint32_t stored_header_crc, cur.ReadU32());
+
+  std::vector<AlignedSection> sections;
+  sections.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AlignedSection s;
+    OPMAP_ASSIGN_OR_RETURN(s.name, cur.ReadString());
+    OPMAP_ASSIGN_OR_RETURN(s.size, cur.ReadU64());
+    OPMAP_ASSIGN_OR_RETURN(s.record_count, cur.ReadU64());
+    OPMAP_ASSIGN_OR_RETURN(s.crc, cur.ReadU32());
+    OPMAP_ASSIGN_OR_RETURN(s.offset, cur.ReadU64());
+    sections.push_back(std::move(s));
+  }
+
+  // Verify the header before trusting any offset it declares.
+  const size_t header_end = cur.pos();
+  std::string header(data, header_end);
+  PutU32At(&header, kHeaderCrcOffset, 0);
+  if (Crc32c(header.data(), header.size()) != stored_header_crc) {
+    return Status::IOError("container header CRC mismatch (the section "
+                           "table is corrupt)");
+  }
+
+  // Range-check every payload against the file, but read none of them:
+  // payload CRCs are verified lazily via VerifyAlignedPayload.
+  uint64_t end = header_end;
+  for (const AlignedSection& s : sections) {
+    if (s.offset % kAlignedPayloadAlignment != 0) {
+      return Status::IOError("section '" + s.name + "' payload offset " +
+                             std::to_string(s.offset) + " is not " +
+                             std::to_string(kAlignedPayloadAlignment) +
+                             "-byte aligned");
+    }
+    if (s.offset < header_end || s.size > size || s.offset > size - s.size) {
+      return Status::IOError(
+          "section '" + s.name + "' truncated: header declares bytes [" +
+          std::to_string(s.offset) + ", " +
+          std::to_string(s.offset + s.size) + ") in a " +
+          std::to_string(size) + "-byte file");
+    }
+    if (s.offset + s.size > end) end = s.offset + s.size;
+  }
+  if (end != size) {
+    return Status::IOError("container has " + std::to_string(size - end) +
+                           " trailing bytes after the last section");
+  }
+  if (header_size != nullptr) *header_size = header_end;
+  return sections;
+}
+
+Status VerifyAlignedPayload(const char* data, const AlignedSection& section) {
+  if (Crc32c(data + section.offset, static_cast<size_t>(section.size)) !=
+      section.crc) {
+    return Status::IOError("section '" + section.name +
+                           "' CRC mismatch: the file is corrupt");
+  }
+  return Status::OK();
+}
+
+Result<const AlignedSection*> FindAlignedSection(
+    const std::vector<AlignedSection>& sections, const std::string& name) {
+  for (const AlignedSection& s : sections) {
     if (s.name == name) return &s;
   }
   return Status::IOError("container is missing the '" + name + "' section");

@@ -50,6 +50,28 @@ class SequentialFile {
   virtual Status Read(size_t n, std::string* out, bool* eof) = 0;
 };
 
+/// A read-only byte range backed either by a real memory mapping (zero
+/// copies, pages faulted in on first touch) or by an aligned heap buffer
+/// (the read-into-buffer fallback). `data()` is 64-byte aligned in both
+/// cases, so int64 count arrays laid out on aligned offsets inside the
+/// region can be read in place.
+class MappedRegion {
+ public:
+  virtual ~MappedRegion() = default;
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when backed by mmap (pages load lazily); false for the heap
+  /// fallback (the whole file was read up front).
+  virtual bool is_mmap() const = 0;
+  /// Bytes of the region currently resident in physical memory, or -1 when
+  /// the platform cannot tell. Heap-backed regions are fully resident.
+  virtual int64_t ResidentBytes() const = 0;
+
+ protected:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Abstract filesystem. `Env::Default()` is the real POSIX filesystem; the
 /// persistence layer takes an Env* (nullptr = default) everywhere so fault
 /// injection and future remote backends need no code changes.
@@ -64,6 +86,14 @@ class Env {
       const std::string& path) = 0;
   virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
       const std::string& path) = 0;
+  /// Maps `path` read-only. The base implementation reads the whole file
+  /// through NewSequentialFile into a 64-byte-aligned heap buffer (so any
+  /// Env works, and FaultInjectingEnv read faults apply); PosixEnv
+  /// overrides it with a real mmap and falls back to the heap path when
+  /// mmap is unavailable. The region is immutable and independent of this
+  /// Env's lifetime.
+  virtual Result<std::unique_ptr<MappedRegion>> MapFile(
+      const std::string& path);
   /// Atomically replaces `to` with `from` (POSIX rename semantics).
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
@@ -92,8 +122,9 @@ enum class FaultOp : int {
   kSync = 4,
   kRename = 5,
   kDelete = 6,
+  kMap = 7,
 };
-constexpr int kNumFaultOps = 7;
+constexpr int kNumFaultOps = 8;
 
 /// Wraps a base Env and deterministically fails operations: the Nth
 /// occurrence (1-based, counted across the env's lifetime) of the armed
@@ -121,6 +152,11 @@ class FaultInjectingEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
   Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  /// Ticks FaultOp::kMap, then maps through the BASE Env's heap fallback
+  /// (never a real mmap), so kRead/kOpenRead faults also reach the mapping
+  /// path deterministically.
+  Result<std::unique_ptr<MappedRegion>> MapFile(
       const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
@@ -208,6 +244,64 @@ Result<std::vector<Section>> ParseContainer(const std::string& bytes,
 /// Returns the section named `name` or a kNotFound error naming it.
 Result<const Section*> FindSection(const std::vector<Section>& sections,
                                    const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Aligned section container (on-disk format v3)
+// ---------------------------------------------------------------------------
+
+/// Every v3 payload starts on a multiple of this file offset, so a payload
+/// holding little-endian int64 counts can be read in place from a mapping.
+constexpr size_t kAlignedPayloadAlignment = 64;
+
+/// One section of an aligned container, described by the (verified) header.
+/// Unlike `Section` this holds no payload copy — `offset`/`size` locate the
+/// bytes inside the mapped file, and `crc` lets callers verify a payload
+/// lazily, on first use, via VerifyAlignedPayload.
+struct AlignedSection {
+  std::string name;
+  uint64_t record_count = 0;
+  /// Absolute file offset of the payload; multiple of
+  /// kAlignedPayloadAlignment.
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  /// CRC32C of the payload bytes.
+  uint32_t crc = 0;
+};
+
+/// Serializes a v3 aligned container:
+///
+///   magic[4] | version u32 | section_count u32 | header_crc u32 |
+///   per section: name string, payload_size u64, record_count u64,
+///                payload_crc u32, payload_offset u64 |
+///   zero padding | payloads, each starting at its 64-byte-aligned offset
+///
+/// Field encodings match the v2 container (little-endian, length-prefixed
+/// names); the additions are the explicit per-section `payload_offset` and
+/// the alignment padding between the table and the payloads (and between
+/// payloads). `header_crc` covers magic through the section table with its
+/// own field zeroed, exactly as in v2.
+std::string SerializeAlignedContainer(const char magic[4], uint32_t version,
+                                      const std::vector<Section>& sections);
+
+/// Parses a v3 aligned container header from an in-memory (typically
+/// mapped) file. Verifies the magic, version, header CRC, and that every
+/// declared payload range is aligned and inside `size` — but does NOT touch
+/// payload bytes: callers verify each payload lazily with
+/// VerifyAlignedPayload before first use. `header_size`, when non-null,
+/// receives the byte length of the header + section table (eager loaders
+/// use it to check that alignment padding is all zeros).
+Result<std::vector<AlignedSection>> ParseAlignedContainer(
+    const char* data, size_t size, const char magic[4],
+    uint32_t expected_version, size_t* header_size = nullptr);
+
+/// CRC-checks one payload of an aligned container against its header entry.
+/// `data` is the start of the container (the same pointer handed to
+/// ParseAlignedContainer). Errors name the section.
+Status VerifyAlignedPayload(const char* data, const AlignedSection& section);
+
+/// Returns the aligned section named `name` or a kIOError naming it.
+Result<const AlignedSection*> FindAlignedSection(
+    const std::vector<AlignedSection>& sections, const std::string& name);
 
 }  // namespace opmap
 

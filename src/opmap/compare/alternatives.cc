@@ -23,6 +23,14 @@ const char* ComparisonMeasureName(ComparisonMeasure m) {
 
 namespace {
 
+// Per-thread contingency scratch reused across attributes: rescoring a
+// whole ranking allocates nothing once the widest domain has been seen.
+ContingencyTable& LocalContingency(int rows, int cols) {
+  thread_local ContingencyTable table(0, 0);
+  table.Reset(rows, cols);
+  return table;
+}
+
 double ScoreAttribute(const AttributeComparison& cmp, double cf1, double cf2,
                       ComparisonMeasure measure) {
   switch (measure) {
@@ -31,7 +39,8 @@ double ScoreAttribute(const AttributeComparison& cmp, double cf1, double cf2,
     case ComparisonMeasure::kChiSquare: {
       // Homogeneity of the target-class counts across values: rows are the
       // two sub-populations, columns the attribute values.
-      ContingencyTable t(2, static_cast<int>(cmp.values.size()));
+      ContingencyTable& t =
+          LocalContingency(2, static_cast<int>(cmp.values.size()));
       for (size_t k = 0; k < cmp.values.size(); ++k) {
         t.set(0, static_cast<int>(k), cmp.values[k].n1_target);
         t.set(1, static_cast<int>(k), cmp.values[k].n2_target);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace opmap {
 
@@ -38,7 +39,23 @@ struct ValueCountTable {
   std::vector<int64_t> n1_target; // ... of the target class
   std::vector<int64_t> n2;
   std::vector<int64_t> n2_target;
+
+  // Re-shapes to `m` zeroed slots per vector, reusing capacity.
+  void Reset(size_t m) {
+    n1.assign(m, 0);
+    n1_target.assign(m, 0);
+    n2.assign(m, 0);
+    n2_target.assign(m, 0);
+  }
 };
+
+// Per-thread scratch table reused across candidates (and across whole
+// comparisons): after the first candidate of each domain size warms the
+// capacity up, the counting hot loop performs no heap allocations.
+ValueCountTable& LocalCountTable() {
+  thread_local ValueCountTable table;
+  return table;
+}
 
 Status ValidateSpec(const Schema& schema, const ComparisonSpec& spec) {
   if (spec.attribute < 0 || spec.attribute >= schema.num_attributes()) {
@@ -134,11 +151,12 @@ AttributeComparison CompareAttributeCounts(int attribute,
 }
 
 // Shared tail: orientation, per-attribute fan-out, ranking, warnings.
-// `count_fn(attr, swapped)` returns the candidate attribute's value count
-// table with n1/n2 oriented so that population 1 is the good side: when
-// `swapped` is true the caller's population A is the bad side. It must be
-// safe to call concurrently for distinct attributes (all count_fns here
-// only read the cube store or the dataset).
+// `count_fn(attr, swapped, table)` fills the candidate attribute's value
+// count table (a per-thread scratch, already shaped by the callee) with
+// n1/n2 oriented so that population 1 is the good side: when `swapped` is
+// true the caller's population A is the bad side. It must be safe to call
+// concurrently for distinct attributes (all count_fns here only read the
+// cube store or the dataset).
 //
 // Candidates are scored across the thread pool (`parallel`) and collected
 // in candidate order, so the ranking — including the stable-sort tie
@@ -202,13 +220,14 @@ Result<ComparisonResult> RunComparison(
       0, num_candidates, /*grain=*/1,
       [&](int64_t i) {
         const int attr = candidate_attrs[static_cast<size_t>(i)];
-        Result<ValueCountTable> table = count_fn(attr, result.swapped);
-        if (!table.ok()) {
-          failures[static_cast<size_t>(i)] = table.status();
+        ValueCountTable& table = LocalCountTable();
+        const Status st = count_fn(attr, result.swapped, &table);
+        if (!st.ok()) {
+          failures[static_cast<size_t>(i)] = st;
           return;
         }
         scored[static_cast<size_t>(i)] = CompareAttributeCounts(
-            attr, *table, result.cf1, result.cf2, result.n_d2, result.spec);
+            attr, table, result.cf1, result.cf2, result.n_d2, result.spec);
       },
       parallel);
   for (const Status& st : failures) {
@@ -261,54 +280,103 @@ Result<ComparisonResult> Comparator::Compare(const ComparisonSpec& spec) const {
       schema, candidates, spec, base_attr.label(spec.value_a),
       base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
       ResolveParallel(spec.parallel),
-      [&](int attr, bool swapped) -> Result<ValueCountTable> {
+      [&](int attr, bool swapped, ValueCountTable* t) -> Status {
         // These counts are two slices of the 3-D rule cube over
-        // {attribute, attr, class} — the comparison never touches the
-        // original data.
+        // {attribute, attr, class}, read in place through the cube's
+        // strides — no sub-cube is materialized and nothing is allocated
+        // once the scratch table has warmed up. The comparison never
+        // touches the original data.
         OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
                                store_->PairCube(spec.attribute, attr));
         const int base_dim = pair->FindDim(spec.attribute);
-        const int attr_dim_3d = pair->FindDim(attr);
-        const int class_dim_3d = 2;
-        // After slicing away base_dim, the remaining dims keep their
-        // relative order.
-        const int attr_dim = attr_dim_3d < base_dim ? attr_dim_3d
-                                                    : attr_dim_3d - 1;
-        const int class_dim = class_dim_3d - 1;  // base_dim is 0 or 1
-
-        ValueCountTable t;
+        const int attr_dim = pair->FindDim(attr);
         const int m = schema.attribute(attr).domain();
-        t.n1.assign(static_cast<size_t>(m), 0);
-        t.n1_target.assign(static_cast<size_t>(m), 0);
-        t.n2.assign(static_cast<size_t>(m), 0);
-        t.n2_target.assign(static_cast<size_t>(m), 0);
+        t->Reset(static_cast<size_t>(m));
+        const int64_t* raw = pair->raw_counts();
+        const int64_t s_base = pair->dim_stride(base_dim);
+        const int64_t s_attr = pair->dim_stride(attr_dim);
+        const int64_t s_class = pair->dim_stride(2);
+        const ValueCode num_classes = schema.num_classes();
 
-        auto fill = [&](ValueCode base_value, std::vector<int64_t>* n,
-                        std::vector<int64_t>* n_target) -> Status {
-          OPMAP_ASSIGN_OR_RETURN(RuleCube sub,
-                                 pair->Slice(base_dim, base_value));
-          std::vector<ValueCode> cell(2, 0);
+        auto fill = [&](ValueCode base_value, int64_t* n,
+                        int64_t* n_target) {
+          const int64_t* base_ptr =
+              raw + static_cast<int64_t>(base_value) * s_base;
           for (ValueCode k = 0; k < m; ++k) {
-            cell[static_cast<size_t>(attr_dim)] = k;
+            const int64_t* p = base_ptr + static_cast<int64_t>(k) * s_attr;
             int64_t body = 0;
-            for (ValueCode y = 0; y < schema.num_classes(); ++y) {
-              cell[static_cast<size_t>(class_dim)] = y;
-              const int64_t c = sub.count(cell);
+            for (ValueCode y = 0; y < num_classes; ++y) {
+              const int64_t c = p[static_cast<int64_t>(y) * s_class];
               body += c;
               if (y == spec.target_class) {
-                (*n_target)[static_cast<size_t>(k)] = c;
+                n_target[static_cast<size_t>(k)] = c;
               }
             }
-            (*n)[static_cast<size_t>(k)] = body;
+            n[static_cast<size_t>(k)] = body;
           }
-          return Status::OK();
         };
         const ValueCode good = swapped ? spec.value_b : spec.value_a;
         const ValueCode bad = swapped ? spec.value_a : spec.value_b;
-        OPMAP_RETURN_NOT_OK(fill(good, &t.n1, &t.n1_target));
-        OPMAP_RETURN_NOT_OK(fill(bad, &t.n2, &t.n2_target));
-        return t;
+        fill(good, t->n1.data(), t->n1_target.data());
+        fill(bad, t->n2.data(), t->n2_target.data());
+        return Status::OK();
       });
+}
+
+std::string ComparisonCacheKey(const ComparisonSpec& spec) {
+  // "cmp|" namespaces comparison entries within a shared QueryCache; the
+  // %.17g round-trips every double exactly.
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "cmp|a=%d|va=%d|vb=%d|y=%d|cl=%d|ci=%d|pt=%.17g|dp=%d|"
+                "mp=%lld",
+                spec.attribute, static_cast<int>(spec.value_a),
+                static_cast<int>(spec.value_b),
+                static_cast<int>(spec.target_class),
+                static_cast<int>(spec.confidence_level),
+                spec.use_confidence_intervals ? 1 : 0,
+                spec.property_threshold,
+                spec.detect_property_attributes ? 1 : 0,
+                static_cast<long long>(spec.min_population));
+  return buf;
+}
+
+int64_t ApproxResultBytes(const ComparisonResult& result) {
+  int64_t bytes = static_cast<int64_t>(sizeof(ComparisonResult));
+  bytes += static_cast<int64_t>(result.label_a.size() +
+                                result.label_b.size());
+  auto attr_bytes = [](const std::vector<AttributeComparison>& list) {
+    int64_t b = 0;
+    for (const AttributeComparison& cmp : list) {
+      b += static_cast<int64_t>(sizeof(AttributeComparison)) +
+           static_cast<int64_t>(cmp.values.size() *
+                                sizeof(ValueComparison));
+    }
+    return b;
+  };
+  bytes += attr_bytes(result.ranked);
+  bytes += attr_bytes(result.properties);
+  for (const std::string& w : result.warnings) {
+    bytes += static_cast<int64_t>(w.size());
+  }
+  bytes += static_cast<int64_t>(result.rank_index.size() * sizeof(int));
+  return bytes;
+}
+
+Result<std::shared_ptr<const ComparisonResult>> Comparator::CompareCached(
+    const ComparisonSpec& spec) const {
+  if (cache_ == nullptr) {
+    OPMAP_ASSIGN_OR_RETURN(ComparisonResult result, Compare(spec));
+    return std::make_shared<const ComparisonResult>(std::move(result));
+  }
+  const std::string key = ComparisonCacheKey(spec);
+  if (std::shared_ptr<const ComparisonResult> hit = cache_->Lookup(key)) {
+    return hit;
+  }
+  OPMAP_ASSIGN_OR_RETURN(ComparisonResult result, Compare(spec));
+  auto shared = std::make_shared<const ComparisonResult>(std::move(result));
+  cache_->Insert(key, shared);
+  return shared;
 }
 
 std::string ValueGroup::Label(const Attribute& attribute) const {
@@ -406,45 +474,42 @@ Result<ComparisonResult> Comparator::CompareGroups(
       schema, candidates, surrogate, gspec.group_a.Label(base),
       gspec.group_b.Label(base), n_a, n_a_target, n_b, n_b_target,
       ResolveParallel(gspec.parallel),
-      [&](int attr, bool swapped) -> Result<ValueCountTable> {
+      [&](int attr, bool swapped, ValueCountTable* t) -> Status {
         OPMAP_ASSIGN_OR_RETURN(const RuleCube* pair,
                                store_->PairCube(gspec.attribute, attr));
         const int base_dim = pair->FindDim(gspec.attribute);
         const int attr_dim = pair->FindDim(attr);
         const int m = schema.attribute(attr).domain();
-        ValueCountTable t;
-        t.n1.assign(static_cast<size_t>(m), 0);
-        t.n1_target.assign(static_cast<size_t>(m), 0);
-        t.n2.assign(static_cast<size_t>(m), 0);
-        t.n2_target.assign(static_cast<size_t>(m), 0);
+        t->Reset(static_cast<size_t>(m));
+        const int64_t* raw = pair->raw_counts();
+        const int64_t s_base = pair->dim_stride(base_dim);
+        const int64_t s_attr = pair->dim_stride(attr_dim);
+        const int64_t s_class = pair->dim_stride(2);
+        const ValueCode num_classes = schema.num_classes();
         const std::vector<bool>& good = swapped ? in_b : in_a;
         const std::vector<bool>& bad = swapped ? in_a : in_b;
-        std::vector<ValueCode> cell(3, 0);
         for (ValueCode v = 0; v < base.domain(); ++v) {
           const bool is_good = good[static_cast<size_t>(v)];
           const bool is_bad = bad[static_cast<size_t>(v)];
           if (!is_good && !is_bad) continue;
-          cell[static_cast<size_t>(base_dim)] = v;
+          const int64_t* vp = raw + static_cast<int64_t>(v) * s_base;
+          int64_t* n = is_good ? t->n1.data() : t->n2.data();
+          int64_t* n_target =
+              is_good ? t->n1_target.data() : t->n2_target.data();
           for (ValueCode k = 0; k < m; ++k) {
-            cell[static_cast<size_t>(attr_dim)] = k;
+            const int64_t* p = vp + static_cast<int64_t>(k) * s_attr;
             int64_t body = 0;
             int64_t target = 0;
-            for (ValueCode y = 0; y < schema.num_classes(); ++y) {
-              cell[2] = y;
-              const int64_t c = pair->count(cell);
+            for (ValueCode y = 0; y < num_classes; ++y) {
+              const int64_t c = p[static_cast<int64_t>(y) * s_class];
               body += c;
               if (y == gspec.target_class) target = c;
             }
-            if (is_good) {
-              t.n1[static_cast<size_t>(k)] += body;
-              t.n1_target[static_cast<size_t>(k)] += target;
-            } else {
-              t.n2[static_cast<size_t>(k)] += body;
-              t.n2_target[static_cast<size_t>(k)] += target;
-            }
+            n[static_cast<size_t>(k)] += body;
+            n_target[static_cast<size_t>(k)] += target;
           }
         }
-        return t;
+        return Status::OK();
       });
 }
 
@@ -513,13 +578,18 @@ Result<std::vector<PairSummary>> Comparator::CompareAllPairs(
         spec.value_b = summary.value_b;
         spec.target_class = target_class;
         spec.min_population = min_population;
-        auto result = Compare(spec);
-        if (!result.ok() || result->ranked.empty()) {
+        // Through the cache when one is attached: repeated sweeps (and
+        // sweeps overlapping earlier single comparisons) serve pairs from
+        // memory, and the concurrent per-pair tasks exercise the cache's
+        // thread safety.
+        auto result = CompareCached(spec);
+        if (!result.ok() || (*result)->ranked.empty()) {
           summary.skipped = true;
         } else {
-          summary.top_attribute = result->ranked[0].attribute;
-          summary.top_interestingness = result->ranked[0].interestingness;
-          summary.top_normalized = result->ranked[0].normalized;
+          const ComparisonResult& cmp = **result;
+          summary.top_attribute = cmp.ranked[0].attribute;
+          summary.top_interestingness = cmp.ranked[0].interestingness;
+          summary.top_normalized = cmp.ranked[0].normalized;
         }
       },
       ResolveParallel({}));
@@ -646,13 +716,9 @@ Result<ComparisonResult> CompareFromDataset(const Dataset& dataset,
       schema, candidates, spec, base_attr.label(spec.value_a),
       base_attr.label(spec.value_b), n_a, n_a_target, n_b, n_b_target,
       spec.parallel,
-      [&](int attr, bool swapped) -> Result<ValueCountTable> {
-        ValueCountTable t;
+      [&](int attr, bool swapped, ValueCountTable* t) -> Status {
         const int m = schema.attribute(attr).domain();
-        t.n1.assign(static_cast<size_t>(m), 0);
-        t.n1_target.assign(static_cast<size_t>(m), 0);
-        t.n2.assign(static_cast<size_t>(m), 0);
-        t.n2_target.assign(static_cast<size_t>(m), 0);
+        t->Reset(static_cast<size_t>(m));
         const ValueCode good = swapped ? spec.value_b : spec.value_a;
         const ValueCode bad = swapped ? spec.value_a : spec.value_b;
         for (int64_t r = 0; r < dataset.num_rows(); ++r) {
@@ -662,18 +728,18 @@ Result<ComparisonResult> CompareFromDataset(const Dataset& dataset,
           const ValueCode k = dataset.code(r, attr);
           if (k == kNullCode) continue;
           if (base == good) {
-            ++t.n1[static_cast<size_t>(k)];
+            ++t->n1[static_cast<size_t>(k)];
             if (y == spec.target_class) {
-              ++t.n1_target[static_cast<size_t>(k)];
+              ++t->n1_target[static_cast<size_t>(k)];
             }
           } else if (base == bad) {
-            ++t.n2[static_cast<size_t>(k)];
+            ++t->n2[static_cast<size_t>(k)];
             if (y == spec.target_class) {
-              ++t.n2_target[static_cast<size_t>(k)];
+              ++t->n2_target[static_cast<size_t>(k)];
             }
           }
         }
-        return t;
+        return Status::OK();
       });
 }
 

@@ -1,6 +1,7 @@
 #ifndef OPMAP_COMPARE_COMPARATOR_H_
 #define OPMAP_COMPARE_COMPARATOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,34 @@ struct PairSummary {
   bool skipped = false;           ///< true if the pair was not comparable
 };
 
+/// Cache of finished comparison results, shared across queries (and, via
+/// CompareAllPairs' fan-out, across pool threads — implementations must be
+/// thread-safe). The concrete LRU lives in opmap/core (QueryCache); the
+/// interface is declared here so the comparator can consult a cache
+/// without a compare -> core dependency cycle.
+class ComparisonCache {
+ public:
+  virtual ~ComparisonCache() = default;
+
+  /// Returns the cached result for `key`, or null on a miss.
+  virtual std::shared_ptr<const ComparisonResult> Lookup(
+      const std::string& key) = 0;
+
+  /// Stores `result` under `key`.
+  virtual void Insert(const std::string& key,
+                      std::shared_ptr<const ComparisonResult> result) = 0;
+};
+
+/// Canonical cache key of a comparison spec: every result-affecting field
+/// in a fixed order. Deliberately excludes `parallel` (results are
+/// bit-identical at any thread count) and deliberately preserves the
+/// value_a/value_b input order — Compare(a, b) and Compare(b, a) differ in
+/// `swapped` and label orientation, so they must not share an entry.
+std::string ComparisonCacheKey(const ComparisonSpec& spec);
+
+/// Approximate heap bytes held by a result, for cache size accounting.
+int64_t ApproxResultBytes(const ComparisonResult& result);
+
 /// The automated comparison engine. Reads only rule cubes, so its cost is
 /// independent of the original data set size (paper Section V.C).
 class Comparator {
@@ -177,9 +206,23 @@ class Comparator {
   explicit Comparator(const CubeStore* store, ParallelOptions parallel = {})
       : store_(store), parallel_(parallel) {}
 
+  /// Attaches a shared result cache consulted by CompareCached (and by
+  /// CompareAllPairs' per-pair comparisons). `cache` must outlive the
+  /// comparator; null detaches. The owner is responsible for invalidating
+  /// the cache when the store changes (see QueryCache::BumpEpoch).
+  void set_cache(ComparisonCache* cache) { cache_ = cache; }
+  ComparisonCache* cache() const { return cache_; }
+
   /// Runs the comparison of Fig 3: computes M_i for every attribute other
   /// than spec.attribute and returns them ranked.
   Result<ComparisonResult> Compare(const ComparisonSpec& spec) const;
+
+  /// Compare() through the attached cache: returns the cached result when
+  /// the canonical key hits, otherwise computes, caches and returns it.
+  /// Without a cache this is Compare() wrapped in a shared_ptr. The
+  /// returned result stays valid after eviction or invalidation.
+  Result<std::shared_ptr<const ComparisonResult>> CompareCached(
+      const ComparisonSpec& spec) const;
 
   /// Name/label-based convenience wrapper.
   Result<ComparisonResult> CompareByName(const std::string& attribute,
@@ -224,6 +267,7 @@ class Comparator {
 
   const CubeStore* store_;
   ParallelOptions parallel_;
+  ComparisonCache* cache_ = nullptr;
 };
 
 /// Formats an all-pairs sweep as a table ("good vs bad: top attribute").

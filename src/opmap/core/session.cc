@@ -1,11 +1,165 @@
 #include "opmap/core/session.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
 
 #include "opmap/common/string_util.h"
 #include "opmap/viz/bars.h"
 
 namespace opmap {
+
+QueryCache::QueryCache(int64_t max_bytes)
+    : max_bytes_(max_bytes > 0 ? max_bytes : 0) {}
+
+std::shared_ptr<const ComparisonResult> QueryCache::Lookup(
+    const std::string& key) {
+  // Comparison keys ("cmp|...") only ever hold ComparisonResult values
+  // (Insert below), so the downcast is safe.
+  return std::static_pointer_cast<const ComparisonResult>(LookupAny(key));
+}
+
+void QueryCache::Insert(const std::string& key,
+                        std::shared_ptr<const ComparisonResult> result) {
+  const int64_t bytes = result ? ApproxResultBytes(*result) : 0;
+  InsertAny(key, std::move(result), bytes);
+}
+
+std::shared_ptr<const void> QueryCache::LookupAny(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front, no alloc
+  return it->second->value;
+}
+
+void QueryCache::InsertAny(const std::string& key,
+                           std::shared_ptr<const void> value,
+                           int64_t bytes) {
+  if (value == nullptr || bytes < 0) return;
+  if (bytes > max_bytes_) return;  // would evict everything else for one entry
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (a racing miss recomputed the same descriptor).
+    bytes_ += bytes - it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value), bytes});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+  }
+  EvictWhileOverLocked();
+}
+
+void QueryCache::EvictWhileOverLocked() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void QueryCache::BumpEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  ++epoch_;
+}
+
+QueryCacheStats QueryCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.bytes = bytes_;
+  stats.max_bytes = max_bytes_;
+  stats.epoch = epoch_;
+  return stats;
+}
+
+QueryEngine::QueryEngine(const CubeStore* store, int64_t cache_bytes,
+                         ParallelOptions parallel)
+    : store_(store), parallel_(parallel), cache_(cache_bytes),
+      comparator_(store, parallel) {
+  comparator_.set_cache(&cache_);
+}
+
+void QueryEngine::SetStore(const CubeStore* store) {
+  store_ = store;
+  comparator_ = Comparator(store, parallel_);
+  comparator_.set_cache(&cache_);
+  cache_.BumpEpoch();
+}
+
+void QueryEngine::SetParallel(ParallelOptions parallel) {
+  parallel_ = parallel;
+  comparator_ = Comparator(store_, parallel_);
+  comparator_.set_cache(&cache_);
+  cache_.BumpEpoch();
+}
+
+Result<std::shared_ptr<const ComparisonResult>> QueryEngine::Compare(
+    const ComparisonSpec& spec) const {
+  return comparator_.CompareCached(spec);
+}
+
+Result<std::vector<PairSummary>> QueryEngine::CompareAllPairs(
+    int attribute, ValueCode target_class, int64_t min_population) const {
+  return comparator_.CompareAllPairs(attribute, target_class,
+                                     min_population);
+}
+
+std::string QueryEngine::GiCacheKey(const GiOptions& options) {
+  char buf[224];
+  std::snprintf(
+      buf, sizeof(buf),
+      "gi|tcl=%d|ta=%.17g|ts=%.17g|to=%d|ecl=%d|es=%.17g|eb=%lld|em=%d|"
+      "ef=%.17g|ti=%d|mi=%d|tn=%d",
+      static_cast<int>(options.trends.confidence_level),
+      options.trends.min_agreement, options.trends.stable_spread,
+      options.trends.ordered_attributes_only ? 1 : 0,
+      static_cast<int>(options.exceptions.confidence_level),
+      options.exceptions.min_significance,
+      static_cast<long long>(options.exceptions.min_body_count),
+      options.exceptions.max_results, options.exceptions.fdr,
+      options.top_influence, options.mine_interactions ? 1 : 0,
+      options.top_interactions);
+  return buf;
+}
+
+int64_t QueryEngine::ApproxGiBytes(const GeneralImpressions& gi) {
+  return static_cast<int64_t>(
+      sizeof(GeneralImpressions) +
+      gi.influence.size() * sizeof(AttributeInfluence) +
+      gi.trends.size() * sizeof(Trend) +
+      gi.exceptions.size() * sizeof(ExceptionCell) +
+      gi.interactions.size() * sizeof(ExceptionCell));
+}
+
+Result<std::shared_ptr<const GeneralImpressions>> QueryEngine::Gi(
+    const GiOptions& options) const {
+  const std::string key = GiCacheKey(options);
+  if (std::shared_ptr<const void> hit = cache_.LookupAny(key)) {
+    return std::static_pointer_cast<const GeneralImpressions>(hit);
+  }
+  OPMAP_ASSIGN_OR_RETURN(GeneralImpressions gi,
+                         MineGeneralImpressions(*store_, options));
+  auto shared = std::make_shared<const GeneralImpressions>(std::move(gi));
+  cache_.InsertAny(key, shared, ApproxGiBytes(*shared));
+  return shared;
+}
 
 ExplorationSession::ExplorationSession(const CubeStore* store)
     : store_(store) {}
@@ -143,6 +297,25 @@ Result<std::string> ExplorationSession::Render(
     return Status::InvalidArgument("no current view; open an attribute "
                                    "first");
   }
+  if (cache_ == nullptr) return RenderUncached(options);
+  // The operation path plus render options fully determine the output for
+  // a given store; store changes are handled by the cache owner's epoch
+  // bump.
+  const std::string key = "view|" + PathString() +
+                          "|rows=" + std::to_string(options.max_rows) +
+                          "|bar=" + std::to_string(options.bar_width);
+  if (std::shared_ptr<const void> hit = cache_->LookupAny(key)) {
+    return *std::static_pointer_cast<const std::string>(hit);
+  }
+  OPMAP_ASSIGN_OR_RETURN(std::string out, RenderUncached(options));
+  auto shared = std::make_shared<const std::string>(std::move(out));
+  cache_->InsertAny(key, shared,
+                    static_cast<int64_t>(key.size() + shared->size()));
+  return *shared;
+}
+
+Result<std::string> ExplorationSession::RenderUncached(
+    const SessionRenderOptions& options) const {
   const RuleCube& cube = current();
   const std::string& class_name = store_->schema().class_attribute().name();
   const int class_dim = cube.FindDim(store_->schema().class_index());

@@ -1,13 +1,151 @@
 #ifndef OPMAP_CORE_SESSION_H_
 #define OPMAP_CORE_SESSION_H_
 
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "opmap/common/status.h"
+#include "opmap/compare/comparator.h"
 #include "opmap/cube/cube_store.h"
+#include "opmap/gi/impressions.h"
 
 namespace opmap {
+
+/// Observability counters of one QueryCache. hits/misses/evictions are
+/// monotonic over the cache's lifetime (they survive invalidation);
+/// entries/bytes describe the current contents.
+struct QueryCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  /// Approximate bytes of the cached values (caller-declared costs).
+  int64_t bytes = 0;
+  int64_t max_bytes = 0;
+  /// Invalidation epoch: bumped (and the contents dropped) whenever the
+  /// served store or the query options change.
+  uint64_t epoch = 0;
+};
+
+/// Size-bounded, thread-safe LRU over canonicalized query descriptors —
+/// the serving layer's shared result cache. Keys are opaque strings whose
+/// leading "<kind>|" tag namespaces the descriptor (comparison spec
+/// "cmp|...", GI request "gi|...", rendered slice/dice view "view|..."),
+/// so one cache can hold every query type without collisions.
+///
+/// Values are held as shared_ptr<const void>: a lookup hands out a
+/// reference that stays valid after eviction or invalidation, so readers
+/// never block writers beyond the bookkeeping mutex. The typed
+/// ComparisonCache overrides let a Comparator consult the cache from its
+/// CompareAllPairs fan-out, which is the concurrency this class is
+/// designed (and TSan-tested) for.
+class QueryCache : public ComparisonCache {
+ public:
+  /// `max_bytes` bounds the sum of declared value costs; inserting past
+  /// the bound evicts least-recently-used entries. 0 disables caching
+  /// (every lookup misses, inserts are dropped).
+  explicit QueryCache(int64_t max_bytes = kDefaultMaxBytes);
+
+  static constexpr int64_t kDefaultMaxBytes = int64_t{64} << 20;
+
+  // ComparisonCache interface (keys from ComparisonCacheKey).
+  std::shared_ptr<const ComparisonResult> Lookup(
+      const std::string& key) override;
+  void Insert(const std::string& key,
+              std::shared_ptr<const ComparisonResult> result) override;
+
+  /// Untyped variants for non-comparison descriptors. The caller must use
+  /// a distinct key namespace per value type; the cache itself is
+  /// type-agnostic. `bytes` is the value's approximate cost against
+  /// max_bytes (values costing more than max_bytes are not cached).
+  std::shared_ptr<const void> LookupAny(const std::string& key);
+  void InsertAny(const std::string& key, std::shared_ptr<const void> value,
+                 int64_t bytes);
+
+  /// Epoch-based invalidation: drops every entry and increments the
+  /// epoch. Call whenever the underlying store or the options baked into
+  /// cached results change. Outstanding shared_ptrs from earlier lookups
+  /// remain valid.
+  void BumpEpoch();
+
+  QueryCacheStats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const void> value;
+    int64_t bytes = 0;
+  };
+
+  // Evicts from the LRU tail until bytes_ fits max_bytes_. mu_ held.
+  void EvictWhileOverLocked();
+
+  const int64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+/// The serving facade: one loaded store, a comparator wired to a shared
+/// QueryCache, and cached GI mining — the object an interactive frontend
+/// holds per cube file. Query methods are safe to call concurrently with
+/// each other; SetStore/SetParallel are not (reconfigure from one thread,
+/// like swapping the store itself).
+class QueryEngine {
+ public:
+  /// `store` must outlive the engine (and every result handed out while
+  /// it is served). `cache_bytes` bounds the shared cache; 0 disables it.
+  explicit QueryEngine(const CubeStore* store,
+                       int64_t cache_bytes = QueryCache::kDefaultMaxBytes,
+                       ParallelOptions parallel = {});
+
+  /// Replaces the served store and invalidates every cached result.
+  void SetStore(const CubeStore* store);
+
+  /// Replaces the default threading. Results are bit-identical at any
+  /// thread count, but the epoch is bumped anyway so the invalidation
+  /// rule stays simple: any reconfiguration drops the cache.
+  void SetParallel(ParallelOptions parallel);
+
+  /// Cached comparison (see Comparator::CompareCached).
+  Result<std::shared_ptr<const ComparisonResult>> Compare(
+      const ComparisonSpec& spec) const;
+
+  /// All-pairs sweep whose per-pair comparisons run through the cache.
+  Result<std::vector<PairSummary>> CompareAllPairs(
+      int attribute, ValueCode target_class,
+      int64_t min_population = 30) const;
+
+  /// Cached GI pass over the store.
+  Result<std::shared_ptr<const GeneralImpressions>> Gi(
+      const GiOptions& options = {}) const;
+
+  const CubeStore* store() const { return store_; }
+  const Comparator& comparator() const { return comparator_; }
+  QueryCache* cache() { return &cache_; }
+  QueryCacheStats GetCacheStats() const { return cache_.GetStats(); }
+
+ private:
+  static std::string GiCacheKey(const GiOptions& options);
+  static int64_t ApproxGiBytes(const GeneralImpressions& gi);
+
+  const CubeStore* store_;
+  ParallelOptions parallel_;
+  // Mutable: const query methods record hits/misses and insert results —
+  // the cache is bookkeeping, not logical engine state.
+  mutable QueryCache cache_;
+  Comparator comparator_;
+};
 
 /// Options for rendering the session's current cube.
 struct SessionRenderOptions {
@@ -28,6 +166,12 @@ class ExplorationSession {
  public:
   /// `store` must outlive the session.
   explicit ExplorationSession(const CubeStore* store);
+
+  /// Attaches a shared cache for rendered views: Render() results are
+  /// cached under the session's operation path ("view|<path>|..."), which
+  /// fully determines the output for a given store. The cache owner must
+  /// BumpEpoch() when the store changes. Null detaches.
+  void set_cache(QueryCache* cache) { cache_ = cache; }
 
   /// Opens the 2-D rule cube (attribute, class) as the current view.
   Status OpenAttribute(const std::string& attribute);
@@ -67,7 +211,8 @@ class ExplorationSession {
   std::string PathString() const;
 
   /// Renders the current cube: per non-class coordinate combination, the
-  /// per-class confidences with bars; capped by options.max_rows.
+  /// per-class confidences with bars; capped by options.max_rows. Served
+  /// from the attached cache when the same path was rendered before.
   Result<std::string> Render(const SessionRenderOptions& options = {}) const;
 
  private:
@@ -79,6 +224,10 @@ class ExplorationSession {
   // Finds the dimension of the current cube for a named attribute.
   Result<int> CurrentDim(const std::string& attribute) const;
 
+  // Render() without the cache layer.
+  Result<std::string> RenderUncached(const SessionRenderOptions& options)
+      const;
+
   // Stores (and annotates) a failed operation's status for last_error();
   // clears the slot on success. Returns the annotated status.
   Status Record(const std::string& op, Status status);
@@ -86,6 +235,7 @@ class ExplorationSession {
   const CubeStore* store_;
   std::vector<Step> history_;
   Status last_error_;
+  QueryCache* cache_ = nullptr;
 };
 
 }  // namespace opmap

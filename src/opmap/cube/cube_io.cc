@@ -1,4 +1,7 @@
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 
 #include "opmap/common/io.h"
@@ -13,12 +16,19 @@ namespace {
 constexpr char kCubeMagic[4] = {'O', 'P', 'M', 'C'};
 constexpr uint32_t kCubeVersionV1 = 1;
 constexpr uint32_t kCubeVersionV2 = 2;
+constexpr uint32_t kCubeVersionV3 = 3;
 
-// v2 container section names; corruption errors cite these.
+// Container section names; corruption errors cite these. v2 stores schema,
+// meta and the length-prefixed cube payloads; v3 keeps schema/meta and
+// replaces the cube sections with a per-cube CRC index plus one blob of
+// 64-byte-aligned raw count arrays that can be served straight from a file
+// mapping (docs/FORMATS.md).
 constexpr char kSectionSchema[] = "schema";
 constexpr char kSectionMeta[] = "meta";
 constexpr char kSectionAttrCubes[] = "attr_cubes";
 constexpr char kSectionPairCubes[] = "pair_cubes";
+constexpr char kSectionCubeIndex[] = "cube_index";
+constexpr char kSectionCubeData[] = "cube_data";
 
 // Prefixes a load error with the section it came from so operators know
 // which part of the snapshot is damaged.
@@ -28,8 +38,9 @@ Status InSection(const char* section, Status st) {
                 "section '" + std::string(section) + "': " + st.message());
 }
 
-// Serializes one cube's count array. Shape is implied by the store's
-// schema plus the cube's attribute list, so only counts are stored.
+// Serializes one cube's count array (v1/v2 encoding). Shape is implied by
+// the store's schema plus the cube's attribute list, so only counts are
+// stored.
 void WriteCubeCounts(const RuleCube& cube, BinaryWriter* w) {
   w->WriteU64(static_cast<uint64_t>(cube.num_cells()));
   for (int64_t i = 0; i < cube.num_cells(); ++i) {
@@ -51,12 +62,43 @@ Status ReadCubeCounts(BinaryReader* r, RuleCube* cube) {
   return Status::OK();
 }
 
+void AppendAlignmentPadding(std::string* s) {
+  const size_t rem = s->size() % kAlignedPayloadAlignment;
+  if (rem != 0) s->append(kAlignedPayloadAlignment - rem, '\0');
+}
+
+std::string PayloadString(const char* data, const AlignedSection& s) {
+  return std::string(data + s.offset, static_cast<size_t>(s.size));
+}
+
 }  // namespace
+
+// Lazy v3 serving state: the mapping plus one first-touch verification slot
+// per cube. `state` is 0 until the cube's payload CRC has been checked,
+// then 1 (ok) or 2 (corrupt) forever; the mutex serializes the check itself
+// so concurrent queries CRC each payload at most once.
+struct CubeStore::Mapped {
+  std::unique_ptr<MappedRegion> region;
+  struct Entry {
+    uint64_t offset = 0;  // absolute file offset of the count array
+    uint64_t size = 0;    // bytes
+    uint32_t crc = 0;
+    std::atomic<int> state{0};
+  };
+  std::unique_ptr<Entry[]> entries;
+  int64_t num_entries = 0;
+  std::mutex mu;
+};
+
+CubeStore::CubeStore() = default;
+CubeStore::~CubeStore() = default;
+CubeStore::CubeStore(CubeStore&&) noexcept = default;
+CubeStore& CubeStore::operator=(CubeStore&&) noexcept = default;
 
 // Reads the store body that follows the schema in both versions: the
 // attribute list, pair flag, record count, class counts and cube counts.
-// v1 lays these fields out back to back after the schema; v2 splits them
-// into the "meta" and cube sections but keeps the field encoding.
+// v1 lays these fields out back to back after the schema; v2/v3 split them
+// into the "meta" and cube sections but keep the field encoding.
 Status CubeStore::ReadMeta(BinaryReader* r, Schema schema, CubeStore* out) {
   OPMAP_ASSIGN_OR_RETURN(uint64_t attr_count, r->ReadU64());
   CubeStoreOptions options;
@@ -148,7 +190,265 @@ Result<CubeStore> CubeStore::LoadV1(BinaryReader* r, std::istream* in) {
   return store;
 }
 
-Status CubeStore::Save(std::ostream* out) const {
+// Parses the schema, meta and cube_index sections of a v3 container into a
+// zeroed store plus one index entry per cube. The caller must have
+// CRC-verified those three sections already; cube_data payload bytes are
+// not touched. Validates every index entry against the store's shape and
+// the cube_data range.
+Status CubeStore::ParseV3Skeleton(const char* data,
+                                  const std::vector<AlignedSection>& sections,
+                                  CubeStore* store,
+                                  std::vector<V3CubeEntry>* entries) {
+  OPMAP_ASSIGN_OR_RETURN(const AlignedSection* schema_sec,
+                         FindAlignedSection(sections, kSectionSchema));
+  const std::string schema_payload = PayloadString(data, *schema_sec);
+  std::istringstream schema_in(schema_payload);
+  Result<Schema> schema = ReadSchema(&schema_in);
+  if (!schema.ok()) return InSection(kSectionSchema, schema.status());
+
+  OPMAP_ASSIGN_OR_RETURN(const AlignedSection* meta_sec,
+                         FindAlignedSection(sections, kSectionMeta));
+  const std::string meta_payload = PayloadString(data, *meta_sec);
+  std::istringstream meta_in(meta_payload);
+  BinaryReader meta_reader(&meta_in, meta_payload.size());
+  OPMAP_RETURN_NOT_OK(InSection(
+      kSectionMeta,
+      ReadMeta(&meta_reader, std::move(schema).MoveValue(), store)));
+
+  OPMAP_ASSIGN_OR_RETURN(const AlignedSection* index_sec,
+                         FindAlignedSection(sections, kSectionCubeIndex));
+  OPMAP_ASSIGN_OR_RETURN(const AlignedSection* data_sec,
+                         FindAlignedSection(sections, kSectionCubeData));
+  const int64_t num_cubes = store->NumCubes();
+  if (index_sec->record_count != static_cast<uint64_t>(num_cubes)) {
+    return Status::IOError("section 'cube_index' holds " +
+                           std::to_string(index_sec->record_count) +
+                           " cubes, schema implies " +
+                           std::to_string(num_cubes));
+  }
+  const std::string index_payload = PayloadString(data, *index_sec);
+  std::istringstream index_in(index_payload);
+  BinaryReader index_reader(&index_in, index_payload.size());
+
+  entries->clear();
+  entries->reserve(static_cast<size_t>(num_cubes));
+  const int64_t num_attr = static_cast<int64_t>(store->attr_cubes_.size());
+  for (int64_t i = 0; i < num_cubes; ++i) {
+    const RuleCube& cube =
+        i < num_attr
+            ? store->attr_cubes_[static_cast<size_t>(i)]
+            : store->pair_cubes_[static_cast<size_t>(i - num_attr)];
+    V3CubeEntry e;
+    uint64_t rel_offset = 0;
+    {
+      Result<uint64_t> r = index_reader.ReadU64();
+      if (!r.ok()) return InSection(kSectionCubeIndex, r.status());
+      rel_offset = r.value();
+    }
+    {
+      Result<uint64_t> r = index_reader.ReadU64();
+      if (!r.ok()) return InSection(kSectionCubeIndex, r.status());
+      e.cells = r.value();
+    }
+    {
+      Result<uint32_t> r = index_reader.ReadU32();
+      if (!r.ok()) return InSection(kSectionCubeIndex, r.status());
+      e.crc = r.value();
+    }
+    if (e.cells != static_cast<uint64_t>(cube.num_cells())) {
+      return Status::IOError("cube " + std::to_string(i) +
+                             ": cell count mismatch (file does not match "
+                             "schema)");
+    }
+    if (rel_offset % kAlignedPayloadAlignment != 0) {
+      return Status::IOError("cube " + std::to_string(i) +
+                             ": payload offset is not aligned");
+    }
+    const uint64_t bytes = e.cells * sizeof(int64_t);
+    if (bytes > data_sec->size || rel_offset > data_sec->size - bytes) {
+      return Status::IOError("cube " + std::to_string(i) +
+                             ": payload range exceeds the 'cube_data' "
+                             "section");
+    }
+    e.abs_offset = data_sec->offset + rel_offset;
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+// Full eager verification + copy: used by LoadFromBytes on v3 and by
+// LoadFromFile with use_mmap=false. Verifies every section payload CRC and
+// that all alignment padding is zero, so any single-bit flip anywhere in
+// the file is caught (parity with the v2 loader), then copies counts into
+// owned cubes.
+Result<CubeStore> CubeStore::LoadV3Eager(const std::string& bytes) {
+  size_t header_size = 0;
+  OPMAP_ASSIGN_OR_RETURN(
+      std::vector<AlignedSection> sections,
+      ParseAlignedContainer(bytes.data(), bytes.size(), kCubeMagic,
+                            kCubeVersionV3, &header_size));
+  for (const AlignedSection& s : sections) {
+    OPMAP_RETURN_NOT_OK(VerifyAlignedPayload(bytes.data(), s));
+  }
+  // Padding between the table and the payloads is outside every CRC; it
+  // must be all zeros or the file was tampered with.
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> covered;
+    covered.emplace_back(0, header_size);
+    for (const AlignedSection& s : sections) {
+      covered.emplace_back(s.offset, s.offset + s.size);
+    }
+    std::sort(covered.begin(), covered.end());
+    uint64_t pos = 0;
+    for (const auto& [begin, end] : covered) {
+      for (uint64_t i = pos; i < begin; ++i) {
+        if (bytes[static_cast<size_t>(i)] != '\0') {
+          return Status::IOError("container padding byte " +
+                                 std::to_string(i) +
+                                 " is nonzero: the file is corrupt");
+        }
+      }
+      if (end > pos) pos = end;
+    }
+  }
+
+  CubeStore store;
+  std::vector<V3CubeEntry> entries;
+  OPMAP_RETURN_NOT_OK(
+      ParseV3Skeleton(bytes.data(), sections, &store, &entries));
+  const auto num_attr = static_cast<int64_t>(store.attr_cubes_.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const V3CubeEntry& e = entries[i];
+    RuleCube& cube = static_cast<int64_t>(i) < num_attr
+                         ? store.attr_cubes_[i]
+                         : store.pair_cubes_[i - static_cast<size_t>(num_attr)];
+    const char* src = bytes.data() + e.abs_offset;
+    const size_t nbytes = static_cast<size_t>(e.cells) * sizeof(int64_t);
+    // The cube's own CRC was already covered by the cube_data section CRC;
+    // re-check it so an internally inconsistent index fails here like it
+    // would on the lazy path.
+    if (Crc32c(src, nbytes) != e.crc) {
+      return Status::IOError("cube " + std::to_string(i) +
+                             " payload CRC mismatch: the file is corrupt");
+    }
+    std::memcpy(cube.raw_counts(), src, nbytes);
+    for (int64_t c = 0; c < cube.num_cells(); ++c) {
+      if (cube.raw_counts()[c] < 0) {
+        return Status::IOError("negative cube count");
+      }
+    }
+  }
+  return store;
+}
+
+// Lazy mapped load: O(#cubes) after verifying only the header and the three
+// metadata sections. Cube count payloads are never read here — each is
+// CRC-verified on its first AttrCube/PairCube access.
+Result<CubeStore> CubeStore::LoadV3Mapped(const std::string& path, Env* env) {
+  OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
+                         env->MapFile(path));
+  OPMAP_ASSIGN_OR_RETURN(
+      std::vector<AlignedSection> sections,
+      ParseAlignedContainer(region->data(), region->size(), kCubeMagic,
+                            kCubeVersionV3));
+  for (const char* name :
+       {kSectionSchema, kSectionMeta, kSectionCubeIndex}) {
+    OPMAP_ASSIGN_OR_RETURN(const AlignedSection* sec,
+                           FindAlignedSection(sections, name));
+    OPMAP_RETURN_NOT_OK(VerifyAlignedPayload(region->data(), *sec));
+  }
+
+  CubeStore store;
+  std::vector<V3CubeEntry> entries;
+  OPMAP_RETURN_NOT_OK(
+      ParseV3Skeleton(region->data(), sections, &store, &entries));
+
+  // Point every cube at the mapping: replace the zeroed owned cubes from
+  // ReadMeta with views of the same shape. No payload byte is touched.
+  const auto num_attr = static_cast<int64_t>(store.attr_cubes_.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    RuleCube& cube = static_cast<int64_t>(i) < num_attr
+                         ? store.attr_cubes_[i]
+                         : store.pair_cubes_[i - static_cast<size_t>(num_attr)];
+    std::vector<int> dims;
+    dims.reserve(static_cast<size_t>(cube.num_dims()));
+    for (int d = 0; d < cube.num_dims(); ++d) {
+      dims.push_back(cube.dim_attribute(d));
+    }
+    const auto* counts = reinterpret_cast<const int64_t*>(
+        region->data() + entries[i].abs_offset);
+    OPMAP_ASSIGN_OR_RETURN(
+        RuleCube view,
+        RuleCube::MakeView(store.schema_, std::move(dims), counts,
+                           cube.num_cells()));
+    cube = std::move(view);
+  }
+
+  auto mapped = std::make_unique<Mapped>();
+  mapped->num_entries = static_cast<int64_t>(entries.size());
+  mapped->entries = std::make_unique<Mapped::Entry[]>(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    mapped->entries[i].offset = entries[i].abs_offset;
+    mapped->entries[i].size = entries[i].cells * sizeof(int64_t);
+    mapped->entries[i].crc = entries[i].crc;
+  }
+  mapped->region = std::move(region);
+  store.mapped_ = std::move(mapped);
+  return store;
+}
+
+Status CubeStore::VerifyMappedCube(int64_t index) const {
+  if (mapped_ == nullptr) return Status::OK();
+  Mapped::Entry& e = mapped_->entries[index];
+  int s = e.state.load(std::memory_order_acquire);
+  if (s == 0) {
+    std::lock_guard<std::mutex> lock(mapped_->mu);
+    s = e.state.load(std::memory_order_relaxed);
+    if (s == 0) {
+      const char* p = mapped_->region->data() + e.offset;
+      bool ok = Crc32c(p, static_cast<size_t>(e.size)) == e.crc;
+      if (ok) {
+        const auto* counts = reinterpret_cast<const int64_t*>(p);
+        for (uint64_t c = 0; c < e.size / sizeof(int64_t); ++c) {
+          if (counts[c] < 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      s = ok ? 1 : 2;
+      e.state.store(s, std::memory_order_release);
+    }
+  }
+  if (s == 2) {
+    const auto num_attr = static_cast<int64_t>(attr_cubes_.size());
+    const std::string which =
+        index < num_attr
+            ? "attr cube " + std::to_string(index)
+            : "pair cube " + std::to_string(index - num_attr);
+    return Status::IOError(which + " payload CRC mismatch: the mapped cube "
+                           "store is corrupt");
+  }
+  return Status::OK();
+}
+
+MappingStats CubeStore::GetMappingStats() const {
+  MappingStats stats;
+  if (mapped_ == nullptr) return stats;
+  stats.mapped = true;
+  stats.is_mmap = mapped_->region->is_mmap();
+  stats.bytes_mapped = static_cast<int64_t>(mapped_->region->size());
+  stats.bytes_resident = mapped_->region->ResidentBytes();
+  stats.cubes_total = mapped_->num_entries;
+  for (int64_t i = 0; i < mapped_->num_entries; ++i) {
+    if (mapped_->entries[i].state.load(std::memory_order_acquire) == 1) {
+      ++stats.cubes_verified;
+    }
+  }
+  return stats;
+}
+
+Status CubeStore::Save(std::ostream* out, SaveFormat format) const {
   std::vector<Section> sections;
 
   {
@@ -170,23 +470,50 @@ Status CubeStore::Save(std::ostream* out) const {
                                static_cast<uint64_t>(num_records_),
                                meta_out.str()});
   }
-  {
-    std::ostringstream cubes_out;
-    BinaryWriter w(&cubes_out);
-    for (const RuleCube& cube : attr_cubes_) WriteCubeCounts(cube, &w);
-    sections.push_back(Section{kSectionAttrCubes, attr_cubes_.size(),
-                               cubes_out.str()});
-  }
-  {
-    std::ostringstream cubes_out;
-    BinaryWriter w(&cubes_out);
-    for (const RuleCube& cube : pair_cubes_) WriteCubeCounts(cube, &w);
-    sections.push_back(Section{kSectionPairCubes, pair_cubes_.size(),
-                               cubes_out.str()});
+
+  std::string bytes;
+  if (format == SaveFormat::kV2) {
+    {
+      std::ostringstream cubes_out;
+      BinaryWriter w(&cubes_out);
+      for (const RuleCube& cube : attr_cubes_) WriteCubeCounts(cube, &w);
+      sections.push_back(Section{kSectionAttrCubes, attr_cubes_.size(),
+                                 cubes_out.str()});
+    }
+    {
+      std::ostringstream cubes_out;
+      BinaryWriter w(&cubes_out);
+      for (const RuleCube& cube : pair_cubes_) WriteCubeCounts(cube, &w);
+      sections.push_back(Section{kSectionPairCubes, pair_cubes_.size(),
+                                 cubes_out.str()});
+    }
+    bytes = SerializeContainer(kCubeMagic, kCubeVersionV2, sections);
+  } else {
+    // v3: per-cube CRC index + one blob of raw count arrays, each padded
+    // to a 64-byte file offset so a mapping can serve them in place.
+    std::ostringstream index_out;
+    BinaryWriter iw(&index_out);
+    std::string data;
+    const uint64_t num_cubes = attr_cubes_.size() + pair_cubes_.size();
+    auto add_cube = [&](const RuleCube& cube) {
+      AppendAlignmentPadding(&data);
+      const auto* counts =
+          reinterpret_cast<const char*>(cube.raw_counts());
+      const size_t nbytes =
+          static_cast<size_t>(cube.num_cells()) * sizeof(int64_t);
+      iw.WriteU64(data.size());  // offset relative to cube_data start
+      iw.WriteU64(static_cast<uint64_t>(cube.num_cells()));
+      iw.WriteU32(Crc32c(counts, nbytes));
+      data.append(counts, nbytes);
+    };
+    for (const RuleCube& cube : attr_cubes_) add_cube(cube);
+    for (const RuleCube& cube : pair_cubes_) add_cube(cube);
+    sections.push_back(
+        Section{kSectionCubeIndex, num_cubes, index_out.str()});
+    sections.push_back(Section{kSectionCubeData, num_cubes, std::move(data)});
+    bytes = SerializeAlignedContainer(kCubeMagic, kCubeVersionV3, sections);
   }
 
-  const std::string bytes =
-      SerializeContainer(kCubeMagic, kCubeVersionV2, sections);
   out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out->flush();
   if (!out->good()) {
@@ -196,9 +523,10 @@ Status CubeStore::Save(std::ostream* out) const {
   return Status::OK();
 }
 
-Status CubeStore::SaveToFile(const std::string& path, Env* env) const {
+Status CubeStore::SaveToFile(const std::string& path, Env* env,
+                             SaveFormat format) const {
   std::ostringstream buf;
-  OPMAP_RETURN_NOT_OK(Save(&buf));
+  OPMAP_RETURN_NOT_OK(Save(&buf, format));
   return AtomicWriteFile(env, path, buf.str());
 }
 
@@ -209,6 +537,7 @@ Result<CubeStore> CubeStore::LoadFromBytes(const std::string& bytes) {
   OPMAP_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
   if (version == kCubeVersionV1) return LoadV1(&r, &in);
   if (version == kCubeVersionV2) return LoadV2(bytes);
+  if (version == kCubeVersionV3) return LoadV3Eager(bytes);
   return Status::IOError("unsupported cube store format version " +
                          std::to_string(version));
 }
@@ -220,10 +549,39 @@ Result<CubeStore> CubeStore::Load(std::istream* in) {
   return LoadFromBytes(buf.str());
 }
 
-Result<CubeStore> CubeStore::LoadFromFile(const std::string& path, Env* env) {
-  std::string bytes;
-  OPMAP_RETURN_NOT_OK(ReadFileToString(env, path, &bytes));
-  Result<CubeStore> store = LoadFromBytes(bytes);
+Result<CubeStore> CubeStore::LoadFromFile(const std::string& path, Env* env,
+                                          const CubeLoadOptions& options) {
+  if (env == nullptr) env = Env::Default();
+
+  // Peek the magic + version to pick a load path without reading the body.
+  // Short or unrecognizable heads fall through to the eager path, which
+  // reports the proper magic/truncation error.
+  uint32_t version = 0;
+  {
+    Result<std::unique_ptr<SequentialFile>> file = env->NewSequentialFile(path);
+    if (!file.ok()) {
+      return Status(file.status().code(),
+                    "cube store '" + path + "': " + file.status().message());
+    }
+    std::string head;
+    bool eof = false;
+    Status st = file.value()->Read(8, &head, &eof);
+    if (!st.ok()) {
+      return Status(st.code(), "cube store '" + path + "': " + st.message());
+    }
+    if (head.size() == 8 && std::memcmp(head.data(), kCubeMagic, 4) == 0) {
+      std::memcpy(&version, head.data() + 4, sizeof(version));
+    }
+  }
+
+  Result<CubeStore> store = [&]() -> Result<CubeStore> {
+    if (version == kCubeVersionV3 && options.use_mmap) {
+      return LoadV3Mapped(path, env);
+    }
+    std::string bytes;
+    OPMAP_RETURN_NOT_OK(ReadFileToString(env, path, &bytes));
+    return LoadFromBytes(bytes);
+  }();
   if (!store.ok()) {
     return Status(store.status().code(),
                   "cube store '" + path + "': " + store.status().message());

@@ -12,6 +12,8 @@ Result<const RuleCube*> CubeStore::AttrCube(int attr) const {
     return Status::NotFound("attribute " + std::to_string(attr) +
                             " is not materialized in the cube store");
   }
+  // First touch of a lazily mapped cube CRC-verifies its payload.
+  OPMAP_RETURN_NOT_OK(VerifyMappedCube(slot));
   return &attr_cubes_[static_cast<size_t>(slot)];
 }
 
@@ -33,6 +35,9 @@ Result<const RuleCube*> CubeStore::PairCube(int a, int b) const {
   // Packed upper triangle: pairs (0,1), (0,2), ..., (0,m-1), (1,2), ...
   const int64_t idx = static_cast<int64_t>(sa) * (2 * m - sa - 1) / 2 +
                       (sb - sa - 1);
+  // First touch of a lazily mapped cube CRC-verifies its payload.
+  OPMAP_RETURN_NOT_OK(
+      VerifyMappedCube(static_cast<int64_t>(attr_cubes_.size()) + idx));
   return &pair_cubes_[static_cast<size_t>(idx)];
 }
 

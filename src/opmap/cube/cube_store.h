@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@ namespace opmap {
 
 class BinaryReader;
 class Env;
+struct AlignedSection;
 
 /// Options for cube materialization.
 struct CubeStoreOptions {
@@ -46,6 +48,34 @@ struct CubeStoreOptions {
   int64_t block_rows = 0;
 };
 
+/// How CubeStore::LoadFromFile maps v3 files. v1/v2 files always load
+/// eagerly regardless of these options.
+struct CubeLoadOptions {
+  /// Map the file (Env::MapFile) and serve cube counts in place: the load
+  /// returns in O(#cubes) after verifying only the header, schema, meta and
+  /// cube index; each cube's payload is CRC-verified lazily on its first
+  /// AttrCube/PairCube access. When false the whole file is read, verified
+  /// and copied into owned cubes up front.
+  bool use_mmap = true;
+};
+
+/// Serving-path observability: how much of a lazily-loaded store has
+/// actually been touched. All zeros/false for eagerly loaded or built
+/// stores.
+struct MappingStats {
+  /// True when the store serves cube counts from a lazy v3 mapping.
+  bool mapped = false;
+  /// True when the mapping is a real mmap (false: aligned heap fallback).
+  bool is_mmap = false;
+  /// Size of the mapped file.
+  int64_t bytes_mapped = 0;
+  /// Bytes of the mapping currently resident in memory, or -1 if unknown.
+  int64_t bytes_resident = 0;
+  int64_t cubes_total = 0;
+  /// Cubes whose payloads have been CRC-verified (touched) so far.
+  int64_t cubes_verified = 0;
+};
+
 /// The deployed system's cube inventory: one 2-D rule cube per attribute
 /// and one 3-D rule cube per attribute pair, all with the class attribute
 /// as the last dimension (paper Section III.B: "we store all 3-dimensional
@@ -56,6 +86,11 @@ struct CubeStoreOptions {
 /// the original data size (paper Section V.C).
 class CubeStore {
  public:
+  // Out of line: the lazy-mapping state is an incomplete type here.
+  ~CubeStore();
+  CubeStore(CubeStore&&) noexcept;
+  CubeStore& operator=(CubeStore&&) noexcept;
+
   const Schema& schema() const { return schema_; }
 
   /// Attributes included in the store (ascending schema indices).
@@ -78,32 +113,69 @@ class CubeStore {
   /// Number of materialized cubes.
   int64_t NumCubes() const;
 
-  /// Heap bytes held by all cubes.
+  /// Heap bytes held by all cubes. Cube views over a mapped file hold no
+  /// heap counts, so a lazily loaded store reports only its bookkeeping —
+  /// the count payloads stay in the (shared, evictable) page cache.
   int64_t MemoryUsageBytes() const;
 
-  /// Binary persistence ("OPMC" format, version 2): the deployed system
-  /// generates cubes offline (overnight) and reloads them for interactive
-  /// use. Writers emit the checksummed v2 section container; readers accept
-  /// v1 (seed format, no checksums) and v2. SaveToFile is crash-safe:
-  /// write-to-temp, fsync, atomic rename through `env` (nullptr =
-  /// Env::Default()), so no failure mid-save corrupts an existing file.
-  Status Save(std::ostream* out) const;
-  Status SaveToFile(const std::string& path, Env* env = nullptr) const;
+  /// Serving-path observability for lazily loaded stores.
+  MappingStats GetMappingStats() const;
+
+  /// On-disk format selector. v2 is the checksummed stream container; v3
+  /// adds 64-byte-aligned raw count payloads plus a per-cube CRC index so
+  /// files can be mapped and served zero-copy (docs/FORMATS.md).
+  enum class SaveFormat { kV2, kV3Aligned };
+
+  /// Binary persistence ("OPMC" format): the deployed system generates
+  /// cubes offline (overnight) and reloads them for interactive use.
+  /// `Save` defaults to the v2 stream container; `SaveToFile` defaults to
+  /// v3 so files are mmap-servable. Readers accept v1 (seed format, no
+  /// checksums), v2 and v3. SaveToFile is crash-safe: write-to-temp,
+  /// fsync, atomic rename through `env` (nullptr = Env::Default()), so no
+  /// failure mid-save corrupts an existing file.
+  Status Save(std::ostream* out, SaveFormat format = SaveFormat::kV2) const;
+  Status SaveToFile(const std::string& path, Env* env = nullptr,
+                    SaveFormat format = SaveFormat::kV3Aligned) const;
   static Result<CubeStore> Load(std::istream* in);
   static Result<CubeStore> LoadFromBytes(const std::string& bytes);
+  /// Loads a store. v3 files are mapped and served lazily per `options`;
+  /// v1/v2 files are read and verified eagerly.
   static Result<CubeStore> LoadFromFile(const std::string& path,
-                                        Env* env = nullptr);
+                                        Env* env = nullptr,
+                                        const CubeLoadOptions& options = {});
 
  private:
   friend class CubeBuilder;
 
-  CubeStore() = default;
+  CubeStore();  // out of line: the lazy-mapping state is incomplete here
 
   // Version-specific load paths (cube_io.cc). ReadMeta fills everything
   // that is not schema or cube counts.
   static Status ReadMeta(BinaryReader* r, Schema schema, CubeStore* out);
   static Result<CubeStore> LoadV1(BinaryReader* r, std::istream* in);
   static Result<CubeStore> LoadV2(const std::string& bytes);
+  static Result<CubeStore> LoadV3Eager(const std::string& bytes);
+  static Result<CubeStore> LoadV3Mapped(const std::string& path, Env* env);
+
+  // One parsed v3 cube-index entry, in store order (attribute cubes first,
+  // then the packed pair-cube triangle).
+  struct V3CubeEntry {
+    uint64_t abs_offset = 0;  // absolute file offset of the count array
+    uint64_t cells = 0;
+    uint32_t crc = 0;
+  };
+  // Parses the schema/meta/cube_index sections of a v3 container (already
+  // CRC-verified by the caller) into a zeroed store plus one index entry
+  // per cube; cube_data payload bytes are not touched.
+  static Status ParseV3Skeleton(const char* data,
+                                const std::vector<AlignedSection>& sections,
+                                CubeStore* store,
+                                std::vector<V3CubeEntry>* entries);
+
+  // First-touch payload verification for lazily loaded stores: CRC-checks
+  // cube `index` (attr cubes first, then pair cubes) once, caching the
+  // verdict. No-op for eager stores. Thread-safe.
+  Status VerifyMappedCube(int64_t index) const;
 
   int AttrSlot(int attr) const {
     return attr >= 0 && attr < static_cast<int>(attr_slot_.size())
@@ -119,6 +191,13 @@ class CubeStore {
   std::vector<RuleCube> attr_cubes_;  // one per included attribute
   bool has_pair_cubes_ = false;
   std::vector<RuleCube> pair_cubes_;  // packed upper triangle
+
+  // Lazy v3 serving state (cube_io.cc); null for built/eager stores.
+  // Mutable: first-touch verification caches its verdict through const
+  // accessors. Makes CubeStore move-only, which every call site already
+  // respects.
+  struct Mapped;
+  mutable std::unique_ptr<Mapped> mapped_;
 };
 
 /// Builds a CubeStore in one streaming pass. Rows can come from a

@@ -8,6 +8,35 @@
 namespace opmap {
 
 Result<RuleCube> RuleCube::Make(const Schema& schema, std::vector<int> dims) {
+  RuleCube cube;
+  OPMAP_ASSIGN_OR_RETURN(int64_t cells,
+                         BuildShape(schema, std::move(dims), &cube));
+  cube.counts_.assign(static_cast<size_t>(cells), 0);
+  return cube;
+}
+
+Result<RuleCube> RuleCube::MakeView(const Schema& schema,
+                                    std::vector<int> dims,
+                                    const int64_t* counts,
+                                    int64_t num_cells) {
+  if (counts == nullptr) {
+    return Status::InvalidArgument("cube view needs a count array");
+  }
+  RuleCube cube;
+  OPMAP_ASSIGN_OR_RETURN(int64_t cells,
+                         BuildShape(schema, std::move(dims), &cube));
+  if (cells != num_cells) {
+    return Status::InvalidArgument(
+        "cube view holds " + std::to_string(num_cells) +
+        " cells, shape implies " + std::to_string(cells));
+  }
+  cube.extern_counts_ = counts;
+  cube.extern_cells_ = num_cells;
+  return cube;
+}
+
+Result<int64_t> RuleCube::BuildShape(const Schema& schema,
+                                     std::vector<int> dims, RuleCube* cube) {
   if (dims.empty()) {
     return Status::InvalidArgument("a rule cube needs at least one dimension");
   }
@@ -25,24 +54,22 @@ Result<RuleCube> RuleCube::Make(const Schema& schema, std::vector<int> dims) {
       return Status::InvalidArgument("duplicate cube dimension");
     }
   }
-  RuleCube cube;
-  cube.dims_ = std::move(dims);
+  cube->dims_ = std::move(dims);
   int64_t cells = 1;
-  for (int a : cube.dims_) {
+  for (int a : cube->dims_) {
     const Attribute& attr = schema.attribute(a);
-    cube.sizes_.push_back(attr.domain());
-    cube.names_.push_back(attr.name());
-    cube.labels_.push_back(attr.labels());
+    cube->sizes_.push_back(attr.domain());
+    cube->names_.push_back(attr.name());
+    cube->labels_.push_back(attr.labels());
     cells *= attr.domain();
   }
-  cube.strides_.resize(cube.dims_.size());
+  cube->strides_.resize(cube->dims_.size());
   int64_t stride = 1;
-  for (int d = cube.num_dims() - 1; d >= 0; --d) {
-    cube.strides_[static_cast<size_t>(d)] = stride;
-    stride *= cube.sizes_[static_cast<size_t>(d)];
+  for (int d = cube->num_dims() - 1; d >= 0; --d) {
+    cube->strides_[static_cast<size_t>(d)] = stride;
+    stride *= cube->sizes_[static_cast<size_t>(d)];
   }
-  cube.counts_.assign(static_cast<size_t>(cells), 0);
-  return cube;
+  return cells;
 }
 
 int RuleCube::FindDim(int attr) const {
@@ -63,7 +90,8 @@ size_t RuleCube::LinearIndex(const std::vector<ValueCode>& cell) const {
 }
 
 int64_t RuleCube::Total() const {
-  return std::accumulate(counts_.begin(), counts_.end(), int64_t{0});
+  const int64_t* p = raw_counts();
+  return std::accumulate(p, p + num_cells(), int64_t{0});
 }
 
 double RuleCube::Support(const std::vector<ValueCode>& cell) const {

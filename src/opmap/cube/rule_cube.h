@@ -26,6 +26,19 @@ class RuleCube {
   /// `dims` must be non-empty, distinct, and categorical.
   static Result<RuleCube> Make(const Schema& schema, std::vector<int> dims);
 
+  /// Creates a read-only view over an external count array (typically a
+  /// mapped cube-store file): no counts are copied or allocated. `counts`
+  /// must hold exactly the cube's cell count in row-major order and must
+  /// outlive the view and every copy of it. Views answer every read-side
+  /// query identically to an owning cube; mutating them (Add, mutable
+  /// raw_counts) is invalid.
+  static Result<RuleCube> MakeView(const Schema& schema,
+                                   std::vector<int> dims,
+                                   const int64_t* counts, int64_t num_cells);
+
+  /// True when the counts live in external storage (MakeView).
+  bool is_view() const { return extern_counts_ != nullptr; }
+
   /// Number of dimensions.
   int num_dims() const { return static_cast<int>(dims_.size()); }
 
@@ -39,17 +52,19 @@ class RuleCube {
   int FindDim(int attr) const;
 
   /// Total number of cells.
-  int64_t num_cells() const { return static_cast<int64_t>(counts_.size()); }
+  int64_t num_cells() const {
+    return is_view() ? extern_cells_ : static_cast<int64_t>(counts_.size());
+  }
 
   /// Sum of all cell counts (number of records represented).
   int64_t Total() const;
 
   /// Count at a cell; `cell` has one code per dimension, each in range.
   int64_t count(const std::vector<ValueCode>& cell) const {
-    return counts_[LinearIndex(cell)];
+    return raw_counts()[LinearIndex(cell)];
   }
 
-  /// Adds `delta` to a cell.
+  /// Adds `delta` to a cell. Owning cubes only.
   void Add(const std::vector<ValueCode>& cell, int64_t delta = 1) {
     counts_[LinearIndex(cell)] += delta;
   }
@@ -90,19 +105,33 @@ class RuleCube {
     return names_[static_cast<size_t>(d)];
   }
 
-  /// Heap bytes held by the count array.
+  /// Heap bytes held by the count array. Views hold none — their counts
+  /// stay in the file mapping.
   int64_t MemoryUsageBytes() const {
     return static_cast<int64_t>(counts_.capacity() * sizeof(int64_t));
   }
 
+  /// Row-major stride of dimension `d` in cells (the last dimension has
+  /// stride 1): cell codes dot strides = linear index. Exposed for the
+  /// comparator's allocation-free fill loops, which walk pair-cube counts
+  /// directly instead of materializing slices.
+  int64_t dim_stride(int d) const { return strides_[static_cast<size_t>(d)]; }
+
   /// Raw mutable count storage, row-major with the last dimension fastest.
   /// Exposed for the bulk builder's hot loop; cell (i, j, k) of a 3-D cube
-  /// lives at (i * dim_size(1) + j) * dim_size(2) + k.
+  /// lives at (i * dim_size(1) + j) * dim_size(2) + k. Owning cubes only.
   int64_t* raw_counts() { return counts_.data(); }
-  const int64_t* raw_counts() const { return counts_.data(); }
+  const int64_t* raw_counts() const {
+    return is_view() ? extern_counts_ : counts_.data();
+  }
 
  private:
   RuleCube() = default;
+
+  // Shared shape construction for Make/MakeView: validates `dims` and
+  // fills everything except count storage. Returns the total cell count.
+  static Result<int64_t> BuildShape(const Schema& schema,
+                                    std::vector<int> dims, RuleCube* cube);
 
   size_t LinearIndex(const std::vector<ValueCode>& cell) const;
 
@@ -111,7 +140,9 @@ class RuleCube {
   std::vector<int64_t> strides_;
   std::vector<std::string> names_;                // attribute name per dim
   std::vector<std::vector<std::string>> labels_;  // value labels per dim
-  std::vector<int64_t> counts_;
+  std::vector<int64_t> counts_;                   // empty in view mode
+  const int64_t* extern_counts_ = nullptr;        // view mode storage
+  int64_t extern_cells_ = 0;
 };
 
 }  // namespace opmap

@@ -22,6 +22,15 @@ class ContingencyTable {
   void set(int r, int c, int64_t v) { counts_[Index(r, c)] = v; }
   void add(int r, int c, int64_t v = 1) { counts_[Index(r, c)] += v; }
 
+  /// Re-shapes to rows x cols and zeroes every cell, reusing the existing
+  /// allocation when it is large enough. Lets hot loops keep one table as
+  /// per-thread scratch instead of constructing a fresh one per call.
+  void Reset(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    counts_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0);
+  }
+
   int64_t RowTotal(int r) const;
   int64_t ColTotal(int c) const;
   int64_t Total() const;

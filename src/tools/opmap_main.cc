@@ -12,20 +12,29 @@
 //                   --class=LABEL
 //   opmap pairs     --cubes=data.opmc --attribute=NAME --class=LABEL
 //   opmap gi        --cubes=data.opmc [--top=N]
+//   opmap mine      --data=data.opmd [--min-support=F] [--min-confidence=F]
+//                   [--max-conditions=N] [--top=N]
 //
 // `generate` writes synthetic call logs (the library's workload); real
 // data enters via csv2data. Cube generation is the offline step; every
-// other command is interactive and reads only the cube file.
+// other command is interactive and reads only the cube file (`mine` reads
+// the dataset directly for rule sets the cubes don't materialize).
+//
+// Every command rejects flags it does not understand (exit 4, naming the
+// flag) so typos fail loudly instead of silently using defaults.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "opmap/car/miner.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/compare/report.h"
 #include "opmap/core/opportunity_map.h"
+#include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/call_log.h"
 #include "opmap/data/csv.h"
@@ -68,6 +77,49 @@ class Args {
     return false;
   }
 
+  double GetDouble(const std::string& key, double fallback) const {
+    const std::string s = GetString(key);
+    if (s.empty()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') {
+      std::fprintf(stderr, "opmap: bad value for --%s: '%s'\n", key.c_str(),
+                   s.c_str());
+      std::exit(4);
+    }
+    return v;
+  }
+
+  /// Exits with code 4 (bad name/value) naming the first flag that is not
+  /// in `allowed`, or code 2 for a stray non-flag argument. Every command
+  /// calls this first so typos fail instead of silently using defaults.
+  void RejectUnknown(const char* cmd,
+                     std::initializer_list<const char*> allowed) const {
+    for (const auto& a : args_) {
+      if (a.rfind("--", 0) != 0) {
+        std::fprintf(stderr,
+                     "opmap: unexpected argument '%s' for command '%s'\n",
+                     a.c_str(), cmd);
+        std::exit(2);
+      }
+      const size_t eq = a.find('=');
+      const std::string name =
+          a.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+      bool known = false;
+      for (const char* f : allowed) {
+        if (name == f) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "opmap: unknown flag --%s for command '%s'\n",
+                     name.c_str(), cmd);
+        std::exit(4);
+      }
+    }
+  }
+
  private:
   std::vector<std::string> args_;
 };
@@ -107,10 +159,67 @@ void RequireFlag(const std::string& value, const char* flag) {
   }
 }
 
+// --mmap=on|off selects lazy mapped serving vs eager load for v3 cube
+// files (v1/v2 always load eagerly). Default on.
+CubeLoadOptions LoadOptionsOf(const Args& args) {
+  CubeLoadOptions options;
+  const std::string mmap = args.GetString("mmap");
+  if (mmap.empty() || mmap == "on") {
+    options.use_mmap = true;
+  } else if (mmap == "off") {
+    options.use_mmap = false;
+  } else {
+    std::fprintf(stderr, "opmap: bad value for --mmap: '%s' (want on|off)\n",
+                 mmap.c_str());
+    std::exit(4);
+  }
+  return options;
+}
+
+// --cache-mb=N bounds the query-result cache; 0 (the CLI default) runs
+// uncached, since a one-shot process rarely repeats a query.
+int64_t CacheBytesOf(const Args& args) {
+  const int64_t mb = args.GetInt("cache-mb", 0);
+  if (mb < 0) {
+    std::fprintf(stderr, "opmap: bad value for --cache-mb: must be >= 0\n");
+    std::exit(4);
+  }
+  return mb << 20;
+}
+
+// --verbose serving-path observability, on stderr so piped stdout stays
+// clean: how much of the mapped file was actually touched, and how the
+// result cache fared.
+void PrintServingStats(const Args& args, const CubeStore& store,
+                       const QueryCache* cache) {
+  if (!args.GetBool("verbose")) return;
+  const MappingStats m = store.GetMappingStats();
+  std::fprintf(stderr,
+               "serving: mapped=%s mmap=%s bytes_mapped=%lld "
+               "bytes_resident=%lld cubes_verified=%lld/%lld\n",
+               m.mapped ? "yes" : "no", m.is_mmap ? "yes" : "no",
+               static_cast<long long>(m.bytes_mapped),
+               static_cast<long long>(m.bytes_resident),
+               static_cast<long long>(m.cubes_verified),
+               static_cast<long long>(m.cubes_total));
+  if (cache != nullptr) {
+    const QueryCacheStats c = cache->GetStats();
+    std::fprintf(stderr,
+                 "cache: hits=%lld misses=%lld evictions=%lld entries=%lld "
+                 "bytes=%lld/%lld\n",
+                 static_cast<long long>(c.hits),
+                 static_cast<long long>(c.misses),
+                 static_cast<long long>(c.evictions),
+                 static_cast<long long>(c.entries),
+                 static_cast<long long>(c.bytes),
+                 static_cast<long long>(c.max_bytes));
+  }
+}
+
 CubeStore LoadCubes(const Args& args) {
   const std::string path = args.GetString("cubes");
   RequireFlag(path, "cubes");
-  return OrDie(CubeStore::LoadFromFile(path));
+  return OrDie(CubeStore::LoadFromFile(path, nullptr, LoadOptionsOf(args)));
 }
 
 ColorMode ColorOf(const Args& args) {
@@ -145,6 +254,8 @@ CubeStoreOptions BuildOptionsOf(const Args& args) {
 }
 
 int CmdGenerate(const Args& args) {
+  args.RejectUnknown("generate", {"records", "attributes", "phones", "seed",
+                                  "out", "no-effect"});
   const std::string out = args.GetString("out");
   RequireFlag(out, "out");
   CallLogConfig config;
@@ -168,6 +279,7 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdCsvToData(const Args& args) {
+  args.RejectUnknown("csv2data", {"in", "out", "class", "strict", "recover"});
   const std::string in = args.GetString("in");
   const std::string out = args.GetString("out");
   const std::string class_column = args.GetString("class");
@@ -209,6 +321,7 @@ int CmdCsvToData(const Args& args) {
 }
 
 int CmdCubes(const Args& args) {
+  args.RejectUnknown("cubes", {"data", "out", "threads", "block-rows"});
   const std::string in = args.GetString("data");
   const std::string out = args.GetString("out");
   RequireFlag(in, "data");
@@ -226,6 +339,7 @@ int CmdCubes(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
+  args.RejectUnknown("info", {"data", "cubes", "mmap", "verbose"});
   if (!args.GetString("data").empty()) {
     Dataset data = OrDie(LoadDatasetFromFile(args.GetString("data")));
     std::printf("dataset: %lld rows, %d attributes (class: %s)\n",
@@ -247,18 +361,23 @@ int CmdInfo(const Args& args) {
               store.attributes().size(),
               static_cast<long long>(store.num_records()),
               static_cast<double>(store.MemoryUsageBytes()) / 1e6);
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
 int CmdOverview(const Args& args) {
+  args.RejectUnknown("overview", {"cubes", "color", "mmap", "verbose"});
   CubeStore store = LoadCubes(args);
   OverviewOptions options;
   options.color = ColorOf(args);
   std::printf("%s", OrDie(RenderOverview(store, options)).c_str());
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
 int CmdDetail(const Args& args) {
+  args.RejectUnknown("detail",
+                     {"cubes", "attribute", "color", "mmap", "verbose"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   RequireFlag(attr, "attribute");
@@ -266,10 +385,14 @@ int CmdDetail(const Args& args) {
   DetailOptions options;
   options.color = ColorOf(args);
   std::printf("%s", OrDie(RenderDetail(store, index, options)).c_str());
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
 int CmdCompare(const Args& args) {
+  args.RejectUnknown("compare",
+                     {"cubes", "attribute", "good", "bad", "class", "json",
+                      "color", "threads", "mmap", "verbose"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string good = args.GetString("good");
@@ -284,6 +407,7 @@ int CmdCompare(const Args& args) {
       OrDie(comparator.CompareByName(attr, good, bad, target));
   if (args.GetBool("json")) {
     std::printf("%s\n", ComparisonToJson(result, store.schema()).c_str());
+    PrintServingStats(args, store, nullptr);
     return 0;
   }
   std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
@@ -295,10 +419,13 @@ int CmdCompare(const Args& args) {
                                            result.ranked[0].attribute, view))
                     .c_str());
   }
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
 int CmdVsRest(const Args& args) {
+  args.RejectUnknown("vsrest", {"cubes", "attribute", "value", "class",
+                                "threads", "mmap", "verbose"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string value = args.GetString("value");
@@ -313,10 +440,13 @@ int CmdVsRest(const Args& args) {
   Comparator comparator(&store, ThreadsOf(args));
   ComparisonResult result = OrDie(comparator.CompareVsRest(index, v, cls));
   std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
 int CmdPairs(const Args& args) {
+  args.RejectUnknown("pairs", {"cubes", "attribute", "class", "top",
+                               "threads", "mmap", "cache-mb", "verbose"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string target = args.GetString("class");
@@ -326,55 +456,103 @@ int CmdPairs(const Args& args) {
   const ValueCode cls =
       OrDie(store.schema().class_attribute().CodeOf(target));
   Comparator comparator(&store, ThreadsOf(args));
+  const int64_t cache_bytes = CacheBytesOf(args);
+  QueryCache cache(cache_bytes);
+  if (cache_bytes > 0) comparator.set_cache(&cache);
   auto pairs = OrDie(comparator.CompareAllPairs(index, cls));
   std::printf("%s", FormatPairSummaries(pairs, store.schema(), index,
                                         static_cast<int>(
                                             args.GetInt("top", 20)))
                         .c_str());
+  PrintServingStats(args, store, cache_bytes > 0 ? &cache : nullptr);
   return 0;
 }
 
 int CmdGi(const Args& args) {
+  args.RejectUnknown("gi",
+                     {"cubes", "top", "threads", "mmap", "cache-mb",
+                      "verbose"});
   CubeStore store = LoadCubes(args);
   const int top = static_cast<int>(args.GetInt("top", 10));
   const Schema& schema = store.schema();
 
+  // The full GI pass runs through the query engine so --cache-mb applies
+  // (an interactive frontend re-issuing the pass hits the cache).
+  GiOptions options;
+  options.top_influence = top;
+  options.exceptions.min_significance = 2.0;
+  options.exceptions.max_results = top;
+  QueryEngine engine(&store, CacheBytesOf(args), ThreadsOf(args));
+  auto gi = OrDie(engine.Gi(options));
+
   std::printf("Influential attributes:\n");
-  auto influence = OrDie(RankInfluentialAttributes(store));
-  for (int i = 0; i < top && i < static_cast<int>(influence.size()); ++i) {
-    const auto& inf = influence[static_cast<size_t>(i)];
+  for (int i = 0; i < top && i < static_cast<int>(gi->influence.size());
+       ++i) {
+    const auto& inf = gi->influence[static_cast<size_t>(i)];
     std::printf("  %2d. %-24s V=%.3f chi2=%.1f p=%.2g\n", i + 1,
                 schema.attribute(inf.attribute).name().c_str(),
                 inf.cramers_v, inf.chi_square, inf.p_value);
   }
 
   std::printf("\nTrends (ordered attributes):\n");
-  auto trends = OrDie(MineTrends(store, TrendOptions{}));
-  for (const Trend& t : trends) {
+  for (const Trend& t : gi->trends) {
     std::printf("  %s / %s: %s\n",
                 schema.attribute(t.attribute).name().c_str(),
                 schema.class_attribute().label(t.class_value).c_str(),
                 TrendDirectionName(t.direction));
   }
-  if (trends.empty()) std::printf("  (none)\n");
+  if (gi->trends.empty()) std::printf("  (none)\n");
 
   std::printf("\nStrongest exceptions:\n");
-  ExceptionOptions eopts;
-  eopts.min_significance = 2.0;
-  eopts.max_results = top;
-  auto exceptions = OrDie(MineAttributeExceptions(store, eopts));
-  for (const auto& e : exceptions) {
+  for (const auto& e : gi->exceptions) {
     const Attribute& a = schema.attribute(e.attribute);
     std::printf("  %s=%s -> %s: %.2f%% vs expected %.2f%%\n",
                 a.name().c_str(), a.label(e.value).c_str(),
                 schema.class_attribute().label(e.class_value).c_str(),
                 e.confidence * 100, e.expected * 100);
   }
-  if (exceptions.empty()) std::printf("  (none)\n");
+  if (gi->exceptions.empty()) std::printf("  (none)\n");
+  PrintServingStats(args, store, engine.cache());
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  args.RejectUnknown("mine",
+                     {"data", "min-support", "min-confidence",
+                      "max-conditions", "threads", "block-rows", "top"});
+  const std::string in = args.GetString("data");
+  RequireFlag(in, "data");
+  Dataset data = OrDie(LoadDatasetFromFile(in));
+  CarMinerOptions options;
+  options.min_support = args.GetDouble("min-support", 0.01);
+  options.min_confidence = args.GetDouble("min-confidence", 0.0);
+  options.max_conditions =
+      static_cast<int>(args.GetInt("max-conditions", 2));
+  options.parallel = ThreadsOf(args);
+  options.block_rows = BlockRowsOf(args);
+  RuleSet rules = OrDie(MineClassAssociationRules(data, options));
+  rules.SortByConfidence();
+  const int top = static_cast<int>(args.GetInt("top", 20));
+  std::printf("mined %zu rules from %lld records "
+              "(min-support=%g, min-confidence=%g, max-conditions=%d)\n",
+              rules.size(), static_cast<long long>(rules.num_rows()),
+              options.min_support, options.min_confidence,
+              options.max_conditions);
+  for (size_t i = 0;
+       i < rules.size() && i < static_cast<size_t>(top > 0 ? top : 0);
+       ++i) {
+    std::printf("  %s\n",
+                rules.rule(i).ToString(data.schema(),
+                                       rules.num_rows()).c_str());
+  }
   return 0;
 }
 
 int CmdReport(const Args& args) {
+  args.RejectUnknown("report",
+                     {"cubes", "data", "attribute", "good", "bad", "class",
+                      "out", "gi", "threads", "block-rows", "mmap",
+                      "verbose"});
   // Reports either read a prebuilt store (--cubes) or build one in
   // memory from a dataset (--data), where --threads/--block-rows apply.
   CubeStore store =
@@ -406,6 +584,7 @@ int CmdReport(const Args& args) {
   Status st = WriteHtmlReport(result, store.schema(), out, options);
   if (!st.ok()) Die(st);
   std::printf("wrote %s\n", out.c_str());
+  PrintServingStats(args, store, nullptr);
   return 0;
 }
 
@@ -427,17 +606,24 @@ int Usage() {
       "  vsrest    --cubes=FILE --attribute=NAME --value=V --class=LABEL "
       "[--threads=N]\n"
       "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N] "
-      "[--threads=N]\n"
-      "  gi        --cubes=FILE [--top=N]\n"
+      "[--threads=N] [--cache-mb=N]\n"
+      "  gi        --cubes=FILE [--top=N] [--threads=N] [--cache-mb=N]\n"
       "  report    --cubes=FILE|--data=FILE.opmd --attribute=NAME "
       "--good=V --bad=V "
       "--class=LABEL --out=FILE.html [--gi] [--threads=N] "
       "[--block-rows=N]\n"
+      "  mine      --data=FILE.opmd [--min-support=F] [--min-confidence=F] "
+      "[--max-conditions=N] [--threads=N] [--block-rows=N] [--top=N]\n"
       "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
       "env var, else hardware); results are identical at any setting\n"
       "--block-rows=N sets the counting-kernel tile size in rows "
       "(default: OPMAP_BLOCK_ROWS env var, else 4096); results are "
       "identical at any setting\n"
+      "--mmap=on|off maps v3 cube files and verifies cubes lazily on "
+      "first access (default on); results are identical either way\n"
+      "--cache-mb=N bounds the query-result cache (default 0 = off)\n"
+      "--verbose prints serving stats (mapping + cache) on stderr\n"
+      "unknown flags are rejected (exit 4, naming the flag)\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 I/O or corrupt file, "
       "4 bad name/value, 5 resource limit\n");
   return 2;
@@ -458,6 +644,7 @@ int Run(int argc, char** argv) {
   if (cmd == "pairs") return CmdPairs(args);
   if (cmd == "gi") return CmdGi(args);
   if (cmd == "report") return CmdReport(args);
+  if (cmd == "mine" || cmd == "car") return CmdMine(args);
   return Usage();
 }
 

@@ -99,3 +99,43 @@ grep -q "General impressions" "$DIR/r.html" || fail "report gi section"
     --block-rows=512 >/dev/null || fail "report --data"
 grep -q "<svg" "$DIR/r2.html" || fail "report --data svg content"
 echo "PASS report"
+
+# ---- zero-copy serving, query cache, mine ----
+
+# Unknown flags exit 4 and name the offending flag, on every command.
+rc=0; out=$("$OPMAP" overview --cubes="$DIR/d.opmc" --bogus=1 2>&1) || rc=$?
+[ "$rc" -eq 4 ] || fail "unknown flag should exit 4 (got $rc)"
+echo "$out" | grep -q -- "--bogus" || fail "unknown-flag error should name it"
+rc=0; "$OPMAP" generate --records=10 --out="$DIR/x.opmd" --nope=1 \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "generate unknown flag should exit 4 (got $rc)"
+rc=0; "$OPMAP" mine --data="$DIR/d.opmd" --kernel=fast >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "mine unknown flag should exit 4 (got $rc)"
+
+# --mmap=off (eager load) must serve byte-identical answers; bad values
+# exit 4.
+a=$("$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress)
+b=$("$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress --mmap=off)
+[ "$a" = "$b" ] || fail "--mmap=off changed the comparison output"
+rc=0; "$OPMAP" overview --cubes="$DIR/d.opmc" --mmap=sideways \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "--mmap=sideways should exit 4 (got $rc)"
+
+# --verbose emits mapping and cache stats on stderr.
+"$OPMAP" pairs --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --class=dropped-while-in-progress --cache-mb=8 --verbose \
+    >/dev/null 2>"$DIR/stats.txt" || fail "pairs --cache-mb --verbose"
+grep -q "serving: mapped=" "$DIR/stats.txt" || fail "verbose serving stats"
+grep -q "cache: hits=" "$DIR/stats.txt" || fail "verbose cache stats"
+
+# mine: the CAR miner from the CLI; any --block-rows tile size yields the
+# identical rule list.
+m0=$("$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=5) \
+    || fail "mine"
+echo "$m0" | grep -q "mined " || fail "mine summary line"
+m7=$("$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=5 \
+    --block-rows=7) || fail "mine --block-rows"
+[ "$m0" = "$m7" ] || fail "mine --block-rows=7 changed the rules"
+echo "PASS serving"

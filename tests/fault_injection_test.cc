@@ -4,7 +4,11 @@
 // compatibility with the seed's unchecksummed v1 files.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "opmap/common/io.h"
@@ -462,6 +466,185 @@ TEST(EnvTest, RetryWithBackoffStopsOnNonTransientCodes) {
                                });
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(calls, 1) << "non-transient errors must not be retried";
+}
+
+// ---------------------------------------------------------------------------
+// v3 aligned container: corruption sweeps over the eager and mapped paths
+// ---------------------------------------------------------------------------
+
+std::string SerializeStoreV3(const CubeStore& store) {
+  const std::string path = TempPath("serialize_v3_tmp.opmc");
+  auto st = store.SaveToFile(path);  // SaveToFile defaults to kV3Aligned
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  std::string bytes;
+  auto read = ReadFileToString(nullptr, path, &bytes);
+  EXPECT_TRUE(read.ok()) << read.ToString();
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// Plain unsynced write: the sweeps below exercise the *read* path against
+// pre-made corrupt images, so AtomicWriteFile's fsync dance is pure cost.
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Flattens every materialized attr and pair cube of `store` into one count
+// vector; on a mapped store this forces lazy verification of each payload.
+Result<std::vector<int64_t>> DumpAllCounts(const CubeStore& store) {
+  std::vector<int64_t> out;
+  const int num_attrs = store.schema().num_attributes();
+  for (int a = 0; a < num_attrs; ++a) {
+    if (store.schema().is_class(a)) continue;
+    OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.AttrCube(a));
+    out.insert(out.end(), cube->raw_counts(),
+               cube->raw_counts() + cube->num_cells());
+  }
+  for (int a = 0; a < num_attrs; ++a) {
+    if (store.schema().is_class(a)) continue;
+    for (int b = a + 1; b < num_attrs; ++b) {
+      if (store.schema().is_class(b)) continue;
+      OPMAP_ASSIGN_OR_RETURN(const RuleCube* cube, store.PairCube(a, b));
+      out.insert(out.end(), cube->raw_counts(),
+                 cube->raw_counts() + cube->num_cells());
+    }
+  }
+  return out;
+}
+
+// The eager loader verifies every byte of a v3 image up front (section
+// CRCs, per-cube payload CRCs, zeroed alignment padding), so no single-bit
+// corruption anywhere in the file may load (acceptance criterion b, v3).
+TEST(V3CorruptionSweep, EveryBitFlipFailsEagerLoad) {
+  const std::string bytes = SerializeStoreV3(SmallStore());
+  ASSERT_OK(CubeStore::LoadFromBytes(bytes).status());
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[i] ^= static_cast<char>(1 << bit);
+      ASSERT_FALSE(CubeStore::LoadFromBytes(flipped).ok())
+          << "flip of byte " << i << " bit " << bit
+          << " produced a loadable store";
+    }
+  }
+}
+
+TEST(V3CorruptionSweep, EveryTruncationFailsEagerLoad) {
+  const std::string bytes = SerializeStoreV3(SmallStore());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ASSERT_FALSE(CubeStore::LoadFromBytes(bytes.substr(0, len)).ok())
+        << "truncation to " << len << " bytes produced a loadable store";
+  }
+}
+
+// The mapped loader defers payload verification to first cube access, so a
+// corrupt image may *load* — but it must never serve wrong counts: every
+// flip and truncation either fails the load, fails the first access to a
+// damaged cube, or (flips in lazily-skipped padding) leaves every count
+// byte-identical to the clean baseline.
+TEST(V3CorruptionSweep, MappedLoadNeverServesWrongCounts) {
+  const CubeStore original = SmallStore();
+  const std::string bytes = SerializeStoreV3(original);
+  ASSERT_OK_AND_ASSIGN(std::vector<int64_t> baseline,
+                       DumpAllCounts(original));
+  const std::string path = TempPath("v3_mapped_sweep.opmc");
+
+  WriteRaw(path, bytes);
+  {
+    ASSERT_OK_AND_ASSIGN(CubeStore mapped, CubeStore::LoadFromFile(path));
+    ASSERT_OK_AND_ASSIGN(std::vector<int64_t> counts, DumpAllCounts(mapped));
+    ASSERT_EQ(counts, baseline) << "clean mapped load disagrees with source";
+  }
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] ^= static_cast<char>(1 << (i % 8));
+    WriteRaw(path, flipped);
+    Result<CubeStore> mapped = CubeStore::LoadFromFile(path);
+    if (!mapped.ok()) continue;  // rejected at load time: fine
+    Result<std::vector<int64_t>> counts = DumpAllCounts(*mapped);
+    if (!counts.ok()) continue;  // rejected at first cube access: fine
+    EXPECT_EQ(*counts, baseline)
+        << "flip of byte " << i << " served corrupt counts";
+  }
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteRaw(path, bytes.substr(0, len));
+    Result<CubeStore> mapped = CubeStore::LoadFromFile(path);
+    if (!mapped.ok()) continue;
+    Result<std::vector<int64_t>> counts = DumpAllCounts(*mapped);
+    if (!counts.ok()) continue;
+    EXPECT_EQ(*counts, baseline)
+        << "truncation to " << len << " served corrupt counts";
+  }
+  std::remove(path.c_str());
+}
+
+// Acceptance: a corrupt payload in a cube the query never touches must not
+// block the mapped load or poison the cubes that *are* queried; only the
+// damaged cube's own accessor fails, and it fails on every retry.
+TEST(V3Acceptance, CorruptUnqueriedCubePayloadStillServesOthers) {
+  Schema schema = MakeSchema({{"a", {"x", "y"}},
+                              {"b", {"p", "q", "r"}},
+                              {"c", {"u", "v"}},
+                              {"outcome", {"ok", "bad"}}});
+  Dataset d(schema);
+  AppendRows(&d, {0, 0, 0, 0}, 6);
+  AppendRows(&d, {1, 1, 1, 1}, 5);
+  AppendRows(&d, {0, 2, 1, 1}, 4);
+  AppendRows(&d, {1, 0, 0, 1}, 3);
+  ASSERT_OK_AND_ASSIGN(CubeStore store, CubeBuilder::FromDataset(d));
+
+  // The v3 writer pads *before* each cube payload, so the file's last byte
+  // is the final count byte of the last pair cube (b,c): corrupt just it.
+  std::string bytes = SerializeStoreV3(store);
+  bytes[bytes.size() - 1] ^= 0x01;
+  const std::string path = TempPath("v3_corrupt_tail.opmc");
+  WriteRaw(path, bytes);
+
+  CubeLoadOptions eager;
+  eager.use_mmap = false;
+  EXPECT_FALSE(CubeStore::LoadFromFile(path, nullptr, eager).ok())
+      << "the eager load verifies every payload and must reject the file";
+
+  ASSERT_OK_AND_ASSIGN(CubeStore mapped, CubeStore::LoadFromFile(path));
+  const MappingStats at_load = mapped.GetMappingStats();
+  EXPECT_TRUE(at_load.mapped);
+  EXPECT_EQ(at_load.cubes_verified, 0)
+      << "the mapped load must not have touched any payload";
+
+  auto expect_same = [](const RuleCube* want, const RuleCube* got) {
+    ASSERT_EQ(got->num_cells(), want->num_cells());
+    EXPECT_EQ(std::memcmp(got->raw_counts(), want->raw_counts(),
+                          static_cast<size_t>(want->num_cells()) *
+                              sizeof(int64_t)),
+              0);
+  };
+  for (int a = 0; a < 3; ++a) {
+    ASSERT_OK_AND_ASSIGN(const RuleCube* want, store.AttrCube(a));
+    ASSERT_OK_AND_ASSIGN(const RuleCube* got, mapped.AttrCube(a));
+    expect_same(want, got);
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      if (a == 1 && b == 2) continue;  // the deliberately damaged cube
+      ASSERT_OK_AND_ASSIGN(const RuleCube* want, store.PairCube(a, b));
+      ASSERT_OK_AND_ASSIGN(const RuleCube* got, mapped.PairCube(a, b));
+      expect_same(want, got);
+    }
+  }
+
+  // The damaged cube fails its lazy CRC check, and the failure is sticky.
+  EXPECT_FALSE(mapped.PairCube(1, 2).ok());
+  EXPECT_FALSE(mapped.PairCube(1, 2).ok());
+
+  const MappingStats after = mapped.GetMappingStats();
+  EXPECT_EQ(after.cubes_verified, after.cubes_total - 1)
+      << "every cube but the damaged one should have verified";
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
+#include <cstdint>
+#include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "gtest/gtest.h"
+#include "opmap/common/io.h"
 #include "opmap/common/serde.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/cube/cube_store.h"
@@ -259,6 +263,100 @@ TEST(CubeIo, FileRoundTrip) {
   ASSERT_OK_AND_ASSIGN(CubeStore loaded, CubeStore::LoadFromFile(path));
   ASSERT_OK_AND_ASSIGN(const RuleCube* cube, loaded.AttrCube(0));
   EXPECT_EQ(cube->count({0, 1}), 7);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Env::MapFile / MappedRegion
+// ---------------------------------------------------------------------------
+
+TEST(MapFile, ServesFileBytesAligned) {
+  const std::string path = ::testing::TempDir() + "/opmap_map_test.bin";
+  const std::string payload = "mapped bytes: hello opportunity map";
+  ASSERT_OK(AtomicWriteFile(nullptr, path, payload));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MappedRegion> region,
+                       Env::Default()->MapFile(path));
+  ASSERT_EQ(region->size(), payload.size());
+  EXPECT_EQ(std::string(region->data(), region->size()), payload);
+  // Both the mmap path (page-aligned) and the heap fallback guarantee
+  // 64-byte alignment, so in-place int64 reads are always safe.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(region->data()) %
+                kAlignedPayloadAlignment,
+            0u);
+  // ResidentBytes is [0, size] or -1 (platform cannot tell) — never junk.
+  const int64_t resident = region->ResidentBytes();
+  EXPECT_GE(resident, -1);
+  EXPECT_LE(resident, static_cast<int64_t>(region->size()));
+
+  // The region is independent of the file: deleting the file does not
+  // invalidate the bytes already mapped (POSIX keeps the inode alive).
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(region->data(), region->size()), payload);
+}
+
+TEST(MapFile, EmptyFileYieldsEmptyRegion) {
+  // mmap rejects zero-length mappings; the Env must serve an empty heap
+  // region instead of failing or crashing.
+  const std::string path = ::testing::TempDir() + "/opmap_map_empty.bin";
+  ASSERT_OK(AtomicWriteFile(nullptr, path, ""));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MappedRegion> region,
+                       Env::Default()->MapFile(path));
+  EXPECT_EQ(region->size(), 0u);
+  EXPECT_FALSE(region->is_mmap());
+  EXPECT_EQ(region->ResidentBytes(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(MapFile, MissingFileFails) {
+  EXPECT_FALSE(
+      Env::Default()->MapFile(::testing::TempDir() + "/no_such_file").ok());
+}
+
+TEST(MapFile, HeapFallbackMatchesPosixMapping) {
+  // The base-class fallback (read into an aligned buffer) must serve the
+  // exact same bytes as the real mapping — it is the portability seam the
+  // fault-injecting env routes through.
+  const std::string path = ::testing::TempDir() + "/opmap_map_fb.bin";
+  std::string payload(8192, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31);
+  }
+  ASSERT_OK(AtomicWriteFile(nullptr, path, payload));
+
+  FaultInjectingEnv env;  // unarmed: maps through the heap fallback
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MappedRegion> heap, env.MapFile(path));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<MappedRegion> posix,
+                       Env::Default()->MapFile(path));
+  ASSERT_EQ(heap->size(), posix->size());
+  EXPECT_EQ(std::memcmp(heap->data(), posix->data(), heap->size()), 0);
+  EXPECT_FALSE(heap->is_mmap());
+  EXPECT_EQ(env.OpCount(FaultOp::kMap), 1);
+  std::remove(path.c_str());
+}
+
+TEST(MapFile, MapAndReadFaultsSurface) {
+  const std::string path = ::testing::TempDir() + "/opmap_map_fault.bin";
+  ASSERT_OK(AtomicWriteFile(nullptr, path, std::string(1024, 'm')));
+
+  {
+    FaultInjectingEnv env;
+    env.FailAt(FaultOp::kMap, 1);
+    EXPECT_FALSE(env.MapFile(path).ok());
+    EXPECT_OK(env.MapFile(path).status());  // one-shot fault: next succeeds
+  }
+  {
+    // The fallback reads through the env's own sequential reader, so armed
+    // read-path faults reach the mapping too.
+    FaultInjectingEnv env;
+    env.FailAt(FaultOp::kOpenRead, 1);
+    EXPECT_FALSE(env.MapFile(path).ok());
+  }
+  {
+    FaultInjectingEnv env;
+    env.FailAt(FaultOp::kRead, 1);
+    EXPECT_FALSE(env.MapFile(path).ok());
+  }
   std::remove(path.c_str());
 }
 

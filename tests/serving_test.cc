@@ -1,0 +1,182 @@
+// Serving-path equivalence suite: the same queries must produce
+// byte-identical output whether the store was loaded from a v1, v2 or v3
+// file, eagerly or through the lazy v3 mapping, at any thread count, with
+// the shared result cache on or off (acceptance criterion of the zero-copy
+// serving change). Each configuration runs every query twice so the cached
+// second pass is compared against the baseline too.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "opmap/common/serde.h"
+#include "opmap/compare/comparator.h"
+#include "opmap/compare/report.h"
+#include "opmap/core/session.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/call_log.h"
+#include "opmap/data/dataset_io.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+Dataset ServingDataset() {
+  CallLogConfig config;
+  config.num_records = 4000;
+  config.num_attributes = 6;
+  config.values_per_attribute = 4;
+  config.num_phone_models = 5;
+  config.seed = 7;
+  auto generator = CallLogGenerator::Make(config);
+  EXPECT_TRUE(generator.ok()) << generator.status().ToString();
+  return generator->Generate();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// The seed's v1 format, written independently of the library's save path
+// (same replica as in fault_injection_test.cc).
+std::string WriteV1CubeBytes(const CubeStore& store) {
+  std::ostringstream out;
+  out.write("OPMC", 4);
+  BinaryWriter w(&out);
+  w.WriteU32(1);  // version
+  WriteSchema(store.schema(), &out);
+  w.WriteU64(store.attributes().size());
+  for (int a : store.attributes()) w.WriteI32(a);
+  w.WriteU8(1);  // has pair cubes
+  w.WriteI64(store.num_records());
+  w.WriteI64Vector(store.class_counts());
+  auto write_cube = [&w](const RuleCube& cube) {
+    w.WriteU64(static_cast<uint64_t>(cube.num_cells()));
+    for (int64_t i = 0; i < cube.num_cells(); ++i) {
+      w.WriteI64(cube.raw_counts()[i]);
+    }
+  };
+  for (int a : store.attributes()) {
+    auto cube = store.AttrCube(a);
+    EXPECT_TRUE(cube.ok());
+    write_cube(**cube);
+  }
+  const auto& attrs = store.attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      auto cube = store.PairCube(attrs[i], attrs[j]);
+      EXPECT_TRUE(cube.ok());
+      write_cube(**cube);
+    }
+  }
+  return out.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(ServingEquivalence, ByteIdenticalAcrossFormatsThreadsAndCache) {
+  const Dataset data = ServingDataset();
+  ASSERT_OK_AND_ASSIGN(CubeStore built, CubeBuilder::FromDataset(data));
+  const Schema& schema = built.schema();
+  const std::string attr0 = schema.attribute(0).name();
+  const std::string attr1 = schema.attribute(1).name();
+
+  ComparisonSpec spec;
+  spec.attribute = 0;
+  spec.value_a = 0;
+  spec.value_b = 1;
+  spec.target_class = 1;
+
+  // Baseline answers from the freshly built store: serial, uncached.
+  Comparator baseline(&built);
+  ASSERT_OK_AND_ASSIGN(ComparisonResult base_result, baseline.Compare(spec));
+  const std::string base_report = FormatComparisonReport(base_result, schema);
+  ASSERT_OK_AND_ASSIGN(std::vector<PairSummary> base_pairs,
+                       baseline.CompareAllPairs(0, spec.target_class));
+  const std::string base_table = FormatPairSummaries(base_pairs, schema, 0);
+  ExplorationSession base_session(&built);
+  ASSERT_OK(base_session.OpenAttribute(attr0));
+  ASSERT_OK(base_session.DrillDown(attr1));
+  ASSERT_OK_AND_ASSIGN(std::string base_view, base_session.Render());
+
+  const std::string v1_path = TempPath("serving_v1.opmc");
+  const std::string v2_path = TempPath("serving_v2.opmc");
+  const std::string v3_path = TempPath("serving_v3.opmc");
+  WriteRaw(v1_path, WriteV1CubeBytes(built));
+  ASSERT_OK(built.SaveToFile(v2_path, nullptr, CubeStore::SaveFormat::kV2));
+  ASSERT_OK(built.SaveToFile(v3_path));  // defaults to kV3Aligned
+
+  CubeLoadOptions eager;
+  eager.use_mmap = false;
+  std::vector<std::pair<std::string, CubeStore>> variants;
+  {
+    ASSERT_OK_AND_ASSIGN(CubeStore s, CubeStore::LoadFromFile(v1_path));
+    variants.emplace_back("v1", std::move(s));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(CubeStore s, CubeStore::LoadFromFile(v2_path));
+    variants.emplace_back("v2", std::move(s));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(CubeStore s,
+                         CubeStore::LoadFromFile(v3_path, nullptr, eager));
+    variants.emplace_back("v3-eager", std::move(s));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(CubeStore s, CubeStore::LoadFromFile(v3_path));
+    ASSERT_TRUE(s.GetMappingStats().mapped);
+    variants.emplace_back("v3-mmap", std::move(s));
+  }
+
+  for (const auto& [name, store] : variants) {
+    for (int threads : {1, 2, 8}) {
+      for (int64_t cache_bytes : {int64_t{0}, int64_t{8} << 20}) {
+        SCOPED_TRACE(name + " threads=" + std::to_string(threads) +
+                     " cache_bytes=" + std::to_string(cache_bytes));
+        ParallelOptions parallel;
+        parallel.num_threads = threads;
+        QueryEngine engine(&store, cache_bytes, parallel);
+
+        // Twice: the second pass is a cache hit when the cache is on, and
+        // must still be byte-identical.
+        for (int rep = 0; rep < 2; ++rep) {
+          ASSERT_OK_AND_ASSIGN(auto result, engine.Compare(spec));
+          EXPECT_EQ(FormatComparisonReport(*result, schema), base_report);
+        }
+        ASSERT_OK_AND_ASSIGN(std::vector<PairSummary> pairs,
+                             engine.CompareAllPairs(0, spec.target_class));
+        EXPECT_EQ(FormatPairSummaries(pairs, schema, 0), base_table);
+
+        QueryCache view_cache(cache_bytes);
+        ExplorationSession session(&store);
+        if (cache_bytes > 0) session.set_cache(&view_cache);
+        ASSERT_OK(session.OpenAttribute(attr0));
+        ASSERT_OK(session.DrillDown(attr1));
+        for (int rep = 0; rep < 2; ++rep) {
+          ASSERT_OK_AND_ASSIGN(std::string view, session.Render());
+          EXPECT_EQ(view, base_view);
+        }
+      }
+    }
+  }
+
+  // The mapped variant answered every query above, so its lazy
+  // verification must have covered the cubes the queries touched.
+  EXPECT_GT(variants.back().second.GetMappingStats().cubes_verified, 0);
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
+}
+
+}  // namespace
+}  // namespace opmap

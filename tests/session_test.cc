@@ -1,5 +1,12 @@
 #include "opmap/core/session.h"
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "gtest/gtest.h"
 #include "opmap/cube/cube_store.h"
 #include "test_util.h"
@@ -132,6 +139,197 @@ TEST(ExplorationSession, RowCapTruncatesRender) {
   options.max_rows = 1;
   ASSERT_OK_AND_ASSIGN(std::string view, session.Render(options));
   EXPECT_NE(view.find("..."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// QueryCache
+// ---------------------------------------------------------------------------
+
+TEST(QueryCache, CountsHitsMissesAndEvictions) {
+  QueryCache cache(/*max_bytes=*/100);
+  EXPECT_EQ(cache.LookupAny("view|a"), nullptr);  // miss
+  cache.InsertAny("view|a", std::make_shared<const int>(1), 60);
+  EXPECT_NE(cache.LookupAny("view|a"), nullptr);  // hit
+  cache.InsertAny("view|b", std::make_shared<const int>(2), 60);  // evicts a
+  EXPECT_EQ(cache.LookupAny("view|a"), nullptr);  // miss
+  EXPECT_NE(cache.LookupAny("view|b"), nullptr);  // hit
+
+  const QueryCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 60);
+  EXPECT_EQ(stats.max_bytes, 100);
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsedFirst) {
+  QueryCache cache(100);
+  cache.InsertAny("a", std::make_shared<const int>(1), 40);
+  cache.InsertAny("b", std::make_shared<const int>(2), 40);
+  EXPECT_NE(cache.LookupAny("a"), nullptr);  // a becomes MRU
+  cache.InsertAny("c", std::make_shared<const int>(3), 40);
+  EXPECT_EQ(cache.LookupAny("b"), nullptr) << "b was LRU and must go first";
+  EXPECT_NE(cache.LookupAny("a"), nullptr);
+  EXPECT_NE(cache.LookupAny("c"), nullptr);
+}
+
+TEST(QueryCache, ZeroBytesDisablesAndOversizedValuesAreSkipped) {
+  QueryCache off(0);
+  off.InsertAny("k", std::make_shared<const int>(1), 8);
+  EXPECT_EQ(off.LookupAny("k"), nullptr);
+  EXPECT_EQ(off.GetStats().entries, 0);
+
+  QueryCache tiny(16);
+  tiny.InsertAny("big", std::make_shared<const int>(1), 64);
+  EXPECT_EQ(tiny.GetStats().entries, 0)
+      << "a value larger than the whole cache must not be admitted";
+}
+
+TEST(QueryCache, BumpEpochDropsEntriesButKeepsOutstandingHandles) {
+  QueryCache cache(int64_t{1} << 20);
+  cache.InsertAny("k", std::make_shared<const std::string>("payload"), 64);
+  auto handle =
+      std::static_pointer_cast<const std::string>(cache.LookupAny("k"));
+  ASSERT_NE(handle, nullptr);
+
+  const uint64_t before = cache.GetStats().epoch;
+  cache.BumpEpoch();
+  EXPECT_EQ(cache.GetStats().epoch, before + 1);
+  EXPECT_EQ(cache.GetStats().entries, 0);
+  EXPECT_EQ(cache.LookupAny("k"), nullptr);
+  EXPECT_EQ(*handle, "payload") << "earlier lookups outlive invalidation";
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine
+// ---------------------------------------------------------------------------
+
+ComparisonSpec PhoneSpec() {
+  ComparisonSpec spec;
+  spec.attribute = 0;     // PhoneModel
+  spec.value_a = 0;       // ph1
+  spec.value_b = 1;       // ph2
+  spec.target_class = 1;  // drop
+  return spec;
+}
+
+TEST(QueryEngine, SecondCompareIsServedFromTheCache) {
+  CubeStore store = MakeStore();
+  QueryEngine engine(&store);
+  ASSERT_OK_AND_ASSIGN(auto first, engine.Compare(PhoneSpec()));
+  ASSERT_OK_AND_ASSIGN(auto second, engine.Compare(PhoneSpec()));
+  EXPECT_EQ(first.get(), second.get())
+      << "the repeat query must return the cached result object";
+  const QueryCacheStats stats = engine.GetCacheStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(QueryEngine, SetStoreInvalidatesCachedResults) {
+  CubeStore store = MakeStore();
+  QueryEngine engine(&store);
+  ASSERT_OK_AND_ASSIGN(auto first, engine.Compare(PhoneSpec()));
+  const uint64_t epoch = engine.GetCacheStats().epoch;
+
+  CubeStore replacement = MakeStore();
+  engine.SetStore(&replacement);
+  EXPECT_EQ(engine.GetCacheStats().epoch, epoch + 1);
+  EXPECT_EQ(engine.GetCacheStats().entries, 0);
+  ASSERT_OK_AND_ASSIGN(auto recomputed, engine.Compare(PhoneSpec()));
+  EXPECT_NE(first.get(), recomputed.get())
+      << "a swapped store must not serve results computed on the old one";
+}
+
+TEST(QueryEngine, GiIsCachedPerOptionSet) {
+  CubeStore store = MakeStore();
+  QueryEngine engine(&store);
+  ASSERT_OK_AND_ASSIGN(auto first, engine.Gi());
+  ASSERT_OK_AND_ASSIGN(auto second, engine.Gi());
+  EXPECT_EQ(first.get(), second.get());
+
+  GiOptions narrower;
+  narrower.top_influence = 1;
+  ASSERT_OK_AND_ASSIGN(auto other, engine.Gi(narrower));
+  EXPECT_NE(first.get(), other.get())
+      << "different options are a different cache descriptor";
+}
+
+TEST(QueryEngine, AllPairsFanOutMatchesUncachedAndThenHits) {
+  CubeStore store = MakeStore();
+  ParallelOptions parallel;
+  parallel.num_threads = 4;
+  QueryEngine cached(&store, QueryCache::kDefaultMaxBytes, parallel);
+  QueryEngine uncached(&store, 0, parallel);
+
+  ASSERT_OK_AND_ASSIGN(auto with, cached.CompareAllPairs(0, 1));
+  ASSERT_OK_AND_ASSIGN(auto without, uncached.CompareAllPairs(0, 1));
+  const Schema& schema = store.schema();
+  EXPECT_EQ(FormatPairSummaries(with, schema, 0),
+            FormatPairSummaries(without, schema, 0));
+
+  const QueryCacheStats before = cached.GetCacheStats();
+  ASSERT_OK_AND_ASSIGN(auto again, cached.CompareAllPairs(0, 1));
+  const QueryCacheStats after = cached.GetCacheStats();
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses)
+      << "the repeat sweep must be served entirely from the cache";
+  EXPECT_EQ(FormatPairSummaries(again, schema, 0),
+            FormatPairSummaries(with, schema, 0));
+}
+
+// The concurrency shape TSan runs against: many threads issuing the same
+// query through one shared cache.
+TEST(QueryEngine, ConcurrentComparesThroughOneCacheAreSafe) {
+  CubeStore store = MakeStore();
+  QueryEngine engine(&store);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&engine, &failures] {
+      for (int i = 0; i < 50; ++i) {
+        auto result = engine.Compare(PhoneSpec());
+        if (!result.ok() || (*result)->ranked.empty()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  const QueryCacheStats stats = engine.GetCacheStats();
+  EXPECT_EQ(stats.hits + stats.misses, 200)
+      << "every call does exactly one lookup";
+}
+
+// ---------------------------------------------------------------------------
+// Cached rendering
+// ---------------------------------------------------------------------------
+
+TEST(ExplorationSession, RenderServedFromCacheUntilThePathChanges) {
+  CubeStore store = MakeStore();
+  QueryCache cache(int64_t{1} << 20);
+  ExplorationSession session(&store);
+  session.set_cache(&cache);
+  ASSERT_OK(session.OpenAttribute("PhoneModel"));
+
+  ASSERT_OK_AND_ASSIGN(std::string first, session.Render());
+  EXPECT_EQ(cache.GetStats().misses, 1);
+  ASSERT_OK_AND_ASSIGN(std::string second, session.Render());
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(cache.GetStats().hits, 1);
+
+  // Different render options are a different descriptor.
+  SessionRenderOptions capped;
+  capped.max_rows = 1;
+  ASSERT_OK_AND_ASSIGN(std::string narrow, session.Render(capped));
+  EXPECT_EQ(cache.GetStats().misses, 2);
+
+  // Navigating changes the path, so the next render recomputes.
+  ASSERT_OK(session.DrillDown("TimeOfCall"));
+  ASSERT_OK_AND_ASSIGN(std::string drilled, session.Render());
+  EXPECT_NE(drilled, first);
+  EXPECT_EQ(cache.GetStats().misses, 3);
 }
 
 }  // namespace

@@ -1,23 +1,104 @@
 #!/usr/bin/env python3
-"""Guards the counting-kernel benchmark file (BENCH_counting.json).
+"""Guards the benchmark JSON files against performance regressions.
 
-The file holds before/after record pairs: every op name ends in
+Two kinds of files are understood, auto-detected per file:
+
+Counting-kernel pairs (BENCH_counting.json): every op name ends in
 "/reference" (the seed row-at-a-time loop) or "/blocked" (the
-cache-blocked kernel over packed value codes), and both variants of an op
-are measured at the same thread count and workload. This script prints
-the blocked-over-reference speedup for every pair and exits non-zero if
-the blocked kernel is SLOWER than the reference on the cube/add_dataset
-pair — the regression the blocked kernel exists to prevent.
+cache-blocked kernel over packed value codes), both variants measured at
+the same thread count and workload. The script prints the
+blocked-over-reference speedup for every pair and fails if the blocked
+kernel is SLOWER than the reference on the cube/add_dataset or car/mine
+pair — the regressions the blocked kernel exists to prevent.
 
-Usage: tools/check_bench.py [BENCH_counting.json]
+Serving-path ops (BENCH_serving.json, from bench_parallel --serving):
+fails if the lazy v3 mapped load is slower than the eager v2 load
+(store/load_v3_mmap vs store/load_v2), or if the warm cached all-pairs
+sweep is not at least 2x faster than the cold one (compare/warm_cached
+vs compare/cold) — the wins the mapped format and the result cache
+exist to deliver.
+
+Usage: tools/check_bench.py [FILE...]   (default: BENCH_counting.json)
+Exit: 0 all guards pass, 1 a guard failed, 2 unreadable/unrecognized
+input.
 """
 
 import json
 import sys
 
+KERNELS = ("reference", "blocked")
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_counting.json"
+# Counting op pairs where blocked slower than reference is a failure.
+GUARDED_PAIRS = ("cube/add_dataset", "car/mine")
+
+# Minimum speedup of the warm cached sweep over the cold one.
+MIN_WARM_SPEEDUP = 2.0
+
+
+def check_kernel_pairs(path: str, pairs: dict) -> bool:
+    """Prints every pair's speedup; returns True when a guard failed."""
+    failed = False
+    for base in sorted(pairs):
+        times = pairs[base]
+        if any(k not in times for k in KERNELS):
+            print(f"{base:40s} INCOMPLETE (have: {sorted(times)})")
+            continue
+        speedup = times["reference"] / times["blocked"]
+        print(f"{base:40s} reference={times['reference']:10.2f} ms  "
+              f"blocked={times['blocked']:10.2f} ms  "
+              f"speedup={speedup:5.2f}x")
+        if base in GUARDED_PAIRS and speedup < 1.0:
+            print(f"check_bench: FAIL: blocked kernel is slower than the "
+                  f"reference on {base} ({speedup:.2f}x)", file=sys.stderr)
+            failed = True
+    for base in GUARDED_PAIRS:
+        if base not in pairs:
+            print(f"check_bench: FAIL: no {base} pair to guard in {path}",
+                  file=sys.stderr)
+            failed = True
+    return failed
+
+
+def check_serving_ops(path: str, wall_ms: dict) -> bool:
+    """Guards the mapped-load and cached-sweep wins; True when failed."""
+    failed = False
+
+    def require(op: str) -> float:
+        nonlocal failed
+        if op not in wall_ms:
+            print(f"check_bench: FAIL: no {op} record in {path}",
+                  file=sys.stderr)
+            failed = True
+            return float("nan")
+        return wall_ms[op]
+
+    load_v2 = require("store/load_v2")
+    load_v3 = require("store/load_v3_mmap")
+    if not failed and load_v3 > load_v2:
+        print(f"check_bench: FAIL: mapped v3 load is slower than eager v2 "
+              f"({load_v3:.2f} ms vs {load_v2:.2f} ms)", file=sys.stderr)
+        failed = True
+    elif not failed:
+        print(f"{'store/load_v3_mmap over load_v2':40s} "
+              f"v2={load_v2:10.2f} ms  v3={load_v3:10.2f} ms  "
+              f"speedup={load_v2 / load_v3:5.2f}x")
+
+    cold = require("compare/cold")
+    warm = require("compare/warm_cached")
+    if cold == cold and warm == warm:  # both present (not NaN)
+        speedup = cold / warm if warm > 0 else float("inf")
+        print(f"{'compare/warm_cached over cold':40s} "
+              f"cold={cold:10.2f} ms  warm={warm:10.2f} ms  "
+              f"speedup={speedup:5.2f}x")
+        if speedup < MIN_WARM_SPEEDUP:
+            print(f"check_bench: FAIL: warm cached sweep is only "
+                  f"{speedup:.2f}x the cold sweep (need >= "
+                  f"{MIN_WARM_SPEEDUP:.0f}x)", file=sys.stderr)
+            failed = True
+    return failed
+
+
+def check_file(path: str) -> int:
     try:
         with open(path, "r", encoding="utf-8") as f:
             records = json.load(f)
@@ -27,40 +108,37 @@ def main() -> int:
 
     # op base name -> {kernel: wall_ms}; later records win so re-runs of
     # an append-only file judge the freshest measurement.
-    pairs: dict[str, dict[str, float]] = {}
+    pairs: dict = {}
+    serving: dict = {}
     for rec in records:
         op = rec.get("op", "")
-        for kernel in ("reference", "blocked"):
+        for kernel in KERNELS:
             suffix = "/" + kernel
             if op.endswith(suffix):
                 base = op[: -len(suffix)]
                 pairs.setdefault(base, {})[kernel] = float(rec["wall_ms"])
+        if op.startswith(("store/", "compare/")):
+            serving[op] = float(rec["wall_ms"])
 
-    if not pairs:
-        print(f"check_bench: no /reference|/blocked op pairs in {path}",
+    if not pairs and not serving:
+        print(f"check_bench: no kernel pairs or serving ops in {path}",
               file=sys.stderr)
         return 2
 
     failed = False
-    for base in sorted(pairs):
-        times = pairs[base]
-        if "reference" not in times or "blocked" not in times:
-            print(f"{base:40s} INCOMPLETE (have: {sorted(times)})")
-            continue
-        speedup = times["reference"] / times["blocked"]
-        print(f"{base:40s} reference={times['reference']:10.2f} ms  "
-              f"blocked={times['blocked']:10.2f} ms  "
-              f"speedup={speedup:5.2f}x")
-        if base == "cube/add_dataset" and speedup < 1.0:
-            print(f"check_bench: FAIL: blocked kernel is slower than the "
-                  f"reference on {base} ({speedup:.2f}x)", file=sys.stderr)
-            failed = True
-
-    if "cube/add_dataset" not in pairs:
-        print("check_bench: FAIL: no cube/add_dataset pair to guard",
-              file=sys.stderr)
-        failed = True
+    if pairs:
+        failed |= check_kernel_pairs(path, pairs)
+    if serving and not pairs:
+        failed |= check_serving_ops(path, serving)
     return 1 if failed else 0
+
+
+def main() -> int:
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["BENCH_counting.json"]
+    worst = 0
+    for path in paths:
+        worst = max(worst, check_file(path))
+    return worst
 
 
 if __name__ == "__main__":

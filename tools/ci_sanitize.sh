@@ -3,9 +3,12 @@
 #
 #   tools/ci_sanitize.sh [build-dir] [mode]
 #     mode = address (default): ASan+UBSan — memory errors, UB, leaks; the
-#            fault-injection and corruption paths run with checking on.
+#            fault-injection, corruption and v3 mapped-serving paths run
+#            with checking on.
 #     mode = thread: TSan — data races in the parallel execution layer
-#            (sharded cube builds, comparator fan-out, CAR counting).
+#            (sharded cube builds, comparator fan-out, CAR counting, the
+#            shared query cache under CompareAllPairs, lazy per-cube
+#            verification of mapped stores).
 #            ASan and TSan are mutually exclusive builds.
 set -euo pipefail
 

@@ -65,4 +65,17 @@ done
 
 echo
 echo "wrote $(grep -c '"op"' "$COUNTING_OUT") measurements to $COUNTING_OUT"
-python3 tools/check_bench.py "$COUNTING_OUT"
+
+# Serving-path ops: eager v2 load vs lazy v3 mapped load, heap after each,
+# and a cold vs warm cached all-pairs sweep, single-threaded so the pairs
+# isolate the format and the cache. tools/check_bench.py guards both
+# resulting files.
+SERVING_OUT="BENCH_serving.json"
+rm -f "$SERVING_OUT"
+echo "--- serving (threads=1) ---"
+"$BUILD_DIR/bench/bench_parallel" \
+  --records="$RECORDS" --threads=1 --serving --json="$SERVING_OUT"
+
+echo
+echo "wrote $(grep -c '"op"' "$SERVING_OUT") measurements to $SERVING_OUT"
+python3 tools/check_bench.py "$COUNTING_OUT" "$SERVING_OUT"
