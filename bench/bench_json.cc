@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "opmap/common/metrics.h"
 
 namespace opmap::bench {
 
@@ -11,19 +14,28 @@ namespace {
 std::string FormatRecord(const BenchRecord& record) {
   // op names are benchmark-internal identifiers ([a-z0-9_/=] only), so no
   // JSON string escaping is needed; keep the writer dependency-free.
-  char buf[256];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
-                "\"items_per_s\": %.1f}",
-                record.op.c_str(), record.threads, record.wall_ms,
+                "\", \"threads\": %d, \"hardware_concurrency\": %d, "
+                "\"wall_ms\": %.3f, \"items_per_s\": %.1f, \"stats\": ",
+                record.threads, record.hardware_concurrency, record.wall_ms,
                 record.items_per_s);
-  return buf;
+  return "  {\"op\": \"" + record.op + buf + record.stats_json + "}";
 }
 
 }  // namespace
 
 Status AppendBenchRecord(const std::string& path,
-                         const BenchRecord& record) {
+                         const BenchRecord& in) {
+  BenchRecord record = in;
+  if (record.hardware_concurrency == 0) {
+    record.hardware_concurrency =
+        static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (record.stats_json.empty()) {
+    record.stats_json =
+        FormatMetricsJson(MetricsRegistry::Global()->Snapshot());
+  }
   std::string body;
   {
     std::ifstream in(path);

@@ -14,6 +14,15 @@ struct BenchRecord {
   int threads = 1;          ///< worker-thread setting (1 = serial)
   double wall_ms = 0.0;     ///< wall-clock time of the operation
   double items_per_s = 0.0; ///< op-specific throughput (records/s, ...)
+  /// Host parallelism captured with the measurement; 0 = filled with
+  /// std::thread::hardware_concurrency() at append time. check_bench.py
+  /// skips thread-scaling guards when this is 1 (speedups are
+  /// unobservable on one core).
+  int hardware_concurrency = 0;
+  /// Process metrics snapshot embedded as the record's "stats" object
+  /// (a FormatMetricsJson string); empty = snapshot at append time. The
+  /// actual thread-pool size rides along as the pool.workers gauge.
+  std::string stats_json;
 };
 
 /// Appends `record` to the JSON array at `path`, creating the file if

@@ -22,7 +22,6 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "opmap/car/miner.h"
-#include "opmap/common/stopwatch.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
@@ -35,10 +34,12 @@ void Report(const std::string& json, const std::string& op, int threads,
   std::printf("%-28s threads=%-3d %10.2f ms %14.1f items/s\n", op.c_str(),
               threads, wall_ms, items_per_s);
   if (!json.empty()) {
-    bench::CheckOk(
-        bench::AppendBenchRecord(json,
-                                 {op, threads, wall_ms, items_per_s}),
-        "bench json");
+    bench::BenchRecord record;
+    record.op = op;
+    record.threads = threads;
+    record.wall_ms = wall_ms;
+    record.items_per_s = items_per_s;
+    bench::CheckOk(bench::AppendBenchRecord(json, record), "bench json");
   }
 }
 
@@ -75,10 +76,10 @@ void RunServing(const Dataset& dataset, const ParallelOptions& parallel,
       "save v3");
 
   {
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     CubeStore store =
         bench::ValueOrDie(CubeStore::LoadFromFile(v2_path), "load v2");
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "store/load_v2", threads, ms,
            static_cast<double>(store.NumCubes()) / ms * 1e3);
     const double bytes = static_cast<double>(store.MemoryUsageBytes());
@@ -86,10 +87,10 @@ void RunServing(const Dataset& dataset, const ParallelOptions& parallel,
   }
 
   {
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     CubeStore store =
         bench::ValueOrDie(CubeStore::LoadFromFile(v3_path), "load v3");
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "store/load_v3_mmap", threads, ms,
            static_cast<double>(store.NumCubes()) / ms * 1e3);
     const double bytes = static_cast<double>(store.MemoryUsageBytes());
@@ -107,20 +108,20 @@ void RunServing(const Dataset& dataset, const ParallelOptions& parallel,
     Comparator comparator(&store, parallel);
     QueryCache cache;
     comparator.set_cache(&cache);
-    Stopwatch cold_watch;
+    const int64_t cold_start_us = MonotonicMicros();
     auto cold = bench::ValueOrDie(
         comparator.CompareAllPairs(0, kDroppedWhileInProgress), "cold");
-    const double cold_ms = cold_watch.ElapsedMillis();
+    const double cold_ms = bench::MillisSince(cold_start_us);
     Report(json, "compare/cold", threads, cold_ms,
            static_cast<double>(cold.size()) / cold_ms * 1e3);
 
     constexpr int kWarmReps = 5;
-    Stopwatch warm_watch;
+    const int64_t warm_start_us = MonotonicMicros();
     for (int i = 0; i < kWarmReps; ++i) {
       (void)bench::ValueOrDie(
           comparator.CompareAllPairs(0, kDroppedWhileInProgress), "warm");
     }
-    const double warm_ms = warm_watch.ElapsedMillis() / kWarmReps;
+    const double warm_ms = bench::MillisSince(warm_start_us) / kWarmReps;
     Report(json, "compare/warm_cached", threads, warm_ms,
            static_cast<double>(cold.size()) / warm_ms * 1e3);
   }
@@ -161,11 +162,11 @@ void Main(int argc, char** argv) {
   if (!kernel_pinned) {
     constexpr int64_t kItems = 1 << 20;
     std::vector<int64_t> sink(static_cast<size_t>(kItems), 0);
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     ParallelFor(
         0, kItems, /*grain=*/4096,
         [&](int64_t i) { sink[static_cast<size_t>(i)] = i * i; }, parallel);
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "parallel_for/square", threads, ms, kItems / ms * 1e3);
   }
 
@@ -174,10 +175,10 @@ void Main(int argc, char** argv) {
     CubeStoreOptions options;
     options.parallel = parallel;
     options.kernel = kernel;
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     CubeStore built = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "cube/add_dataset" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     return built;
@@ -193,21 +194,21 @@ void Main(int argc, char** argv) {
     spec.target_class = kDroppedWhileInProgress;
     constexpr int kReps = 20;
     (void)bench::ValueOrDie(comparator.Compare(spec), "warmup");
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     for (int i = 0; i < kReps; ++i) {
       (void)bench::ValueOrDie(comparator.Compare(spec), "compare");
     }
-    const double ms = watch.ElapsedMillis() / kReps;
+    const double ms = bench::MillisSince(start_us) / kReps;
     Report(json, "compare/fanout", threads, ms, 1e3 / ms);
   }
 
   // All-pairs sweep over the phone-model attribute.
   if (!kernel_pinned) {
     Comparator comparator(&store, parallel);
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     auto pairs = bench::ValueOrDie(
         comparator.CompareAllPairs(0, kDroppedWhileInProgress), "pairs");
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "compare/all_pairs", threads, ms,
            static_cast<double>(pairs.size()) / ms * 1e3);
   }
@@ -219,10 +220,10 @@ void Main(int argc, char** argv) {
     options.max_conditions = 2;
     options.parallel = parallel;
     options.kernel = kernel;
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     RuleSet rules = bench::ValueOrDie(
         MineClassAssociationRules(dataset, options), "car");
-    const double ms = watch.ElapsedMillis();
+    const double ms = bench::MillisSince(start_us);
     Report(json, "car/mine" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     (void)rules;

@@ -9,6 +9,7 @@
 
 #include "opmap/common/parallel.h"
 #include "opmap/common/status.h"
+#include "opmap/common/trace.h"
 #include "opmap/cube/count_kernels.h"
 #include "opmap/data/call_log.h"
 
@@ -61,6 +62,17 @@ class Flags {
  private:
   std::vector<std::string> args_;
 };
+
+/// Bench timing on the trace layer's monotonic clock (the process-wide
+/// time source shared with spans and latency histograms). Stamp a start
+/// with MonotonicMicros(), read the elapsed time with these.
+inline double MillisSince(int64_t start_us) {
+  return static_cast<double>(MonotonicMicros() - start_us) / 1e3;
+}
+
+inline double SecondsSince(int64_t start_us) {
+  return static_cast<double>(MonotonicMicros() - start_us) / 1e6;
+}
 
 /// --threads=N from the flags (0/absent = auto: OPMAP_THREADS env var,
 /// else hardware). All parallel paths are bit-identical to serial, so the

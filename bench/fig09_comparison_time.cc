@@ -15,7 +15,6 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
-#include "opmap/common/stopwatch.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/cube/cube_store.h"
 
@@ -37,13 +36,13 @@ double MeasureComparisonMillis(const CubeStore& store, int reps,
   // Best of three batches to suppress scheduler/frequency noise.
   double best = 1e300;
   for (int batch = 0; batch < 3; ++batch) {
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     for (int i = 0; i < reps; ++i) {
       auto result = comparator.Compare(spec);
       bench::CheckOk(result.status().ok() ? Status::OK() : result.status(),
                      "comparison");
     }
-    best = std::min(best, watch.ElapsedMillis() / reps);
+    best = std::min(best, bench::MillisSince(start_us) / reps);
   }
   return best;
 }
@@ -76,11 +75,12 @@ void Main(int argc, char** argv) {
     series.emplace_back(attrs, ms);
     std::printf("%-12d %-18.3f %-16.5f\n", attrs, ms, ms / attrs);
     if (!json.empty()) {
-      bench::CheckOk(
-          bench::AppendBenchRecord(
-              json, {"fig09/compare/attrs=" + std::to_string(attrs),
-                     EffectiveThreads(parallel), ms, 1e3 / ms}),
-          "bench json");
+      bench::BenchRecord record;
+      record.op = "fig09/compare/attrs=" + std::to_string(attrs);
+      record.threads = EffectiveThreads(parallel);
+      record.wall_ms = ms;
+      record.items_per_s = 1e3 / ms;
+      bench::CheckOk(bench::AppendBenchRecord(json, record), "bench json");
     }
   }
 

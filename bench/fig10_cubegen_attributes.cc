@@ -17,7 +17,6 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
-#include "opmap/common/stopwatch.h"
 #include "opmap/cube/cube_store.h"
 
 namespace opmap {
@@ -53,19 +52,19 @@ void Main(int argc, char** argv) {
     for (int a = 0; a < attrs; ++a) options.attributes.push_back(a);
     options.parallel = parallel;
     options.kernel = kernel;
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     CubeStore store = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
-    const double seconds = watch.ElapsedSeconds();
+    const double seconds = bench::SecondsSince(start_us);
     series.emplace_back(attrs, seconds);
     if (!json.empty()) {
-      bench::CheckOk(
-          bench::AppendBenchRecord(
-              json, {"fig10/cubegen/attrs=" + std::to_string(attrs) +
-                         op_suffix,
-                     EffectiveThreads(parallel), seconds * 1e3,
-                     static_cast<double>(records) / seconds}),
-          "bench json");
+      bench::BenchRecord record;
+      record.op =
+          "fig10/cubegen/attrs=" + std::to_string(attrs) + op_suffix;
+      record.threads = EffectiveThreads(parallel);
+      record.wall_ms = seconds * 1e3;
+      record.items_per_s = static_cast<double>(records) / seconds;
+      bench::CheckOk(bench::AppendBenchRecord(json, record), "bench json");
     }
     int64_t cells = 0;
     for (int a : store.attributes()) {

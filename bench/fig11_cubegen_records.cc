@@ -14,7 +14,6 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
-#include "opmap/common/stopwatch.h"
 #include "opmap/cube/cube_store.h"
 
 namespace opmap {
@@ -47,21 +46,21 @@ void Main(int argc, char** argv) {
     options.parallel = parallel;
     CubeBuilder builder = bench::ValueOrDie(
         CubeBuilder::Make(dataset.schema(), options), "builder");
-    Stopwatch watch;
+    const int64_t start_us = MonotonicMicros();
     for (int pass = 0; pass < times; ++pass) {
       bench::CheckOk(builder.AddDataset(dataset), "add pass");
     }
     CubeStore store = std::move(builder).Finish();
-    const double seconds = watch.ElapsedSeconds();
+    const double seconds = bench::SecondsSince(start_us);
     const int64_t records = store.num_records();
     series.emplace_back(records, seconds);
     if (!json.empty()) {
-      bench::CheckOk(
-          bench::AppendBenchRecord(
-              json, {"fig11/cubegen/records=" + std::to_string(records),
-                     EffectiveThreads(parallel), seconds * 1e3,
-                     static_cast<double>(records) / seconds}),
-          "bench json");
+      bench::BenchRecord record;
+      record.op = "fig11/cubegen/records=" + std::to_string(records);
+      record.threads = EffectiveThreads(parallel);
+      record.wall_ms = seconds * 1e3;
+      record.items_per_s = static_cast<double>(records) / seconds;
+      bench::CheckOk(bench::AppendBenchRecord(json, record), "bench json");
     }
     std::printf("%-14lld %-12d %-14.2f %-20.1f\n",
                 static_cast<long long>(records), times, seconds,

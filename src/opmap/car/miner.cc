@@ -7,7 +7,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "opmap/common/metrics.h"
 #include "opmap/common/parallel.h"
+#include "opmap/common/trace.h"
 #include "opmap/cube/count_kernels.h"
 
 namespace opmap {
@@ -139,6 +141,8 @@ void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
 
 Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
                                           const CarMinerOptions& options) {
+  OPMAP_TRACE_SPAN("car.mine");
+  const int64_t mine_start_us = MonotonicMicros();
   const Schema& schema = dataset.schema();
   if (!schema.AllCategorical()) {
     return Status::InvalidArgument(
@@ -222,6 +226,9 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
         rule.class_value = static_cast<ValueCode>(y);
         rule.support_count = sup;
         rule.body_count = body_count;
+        static Counter* const rules_emitted =
+            MetricsRegistry::Global()->counter("car.rules_emitted");
+        rules_emitted->Increment();
         result.Add(std::move(rule));
       }
     }
@@ -241,6 +248,9 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
         item_offset[i] + schema.attribute(free_attrs[i]).domain();
   }
   const int64_t num_items = item_offset[num_free];
+  static Counter* const candidates_evaluated =
+      MetricsRegistry::Global()->counter("car.candidates_evaluated");
+  candidates_evaluated->Increment(num_items);
 
   // Blocked kernel: re-encode the selected rows of every free attribute
   // (and the class) once, then stream the packed columns in the level-1
@@ -366,6 +376,12 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
       }
     }
     if (next.empty()) break;
+    candidates_evaluated->Increment(static_cast<int64_t>(next.size()));
+    if (k == 2) {
+      static Counter* const pairs_counted =
+          MetricsRegistry::Global()->counter("car.pairs_counted");
+      pairs_counted->Increment(static_cast<int64_t>(next.size()));
+    }
 
     // Counting pass. The candidate set is frozen (generation above is
     // serial and deterministic), so each candidate gets a fixed slot and
@@ -494,6 +510,9 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
     level = std::move(next);
   }
 
+  static Histogram* const latency =
+      MetricsRegistry::Global()->histogram("query.mine_us");
+  latency->Record(MonotonicMicros() - mine_start_us);
   return result;
 }
 

@@ -15,9 +15,39 @@
 #include <sstream>
 #include <thread>
 
+#include "opmap/common/metrics.h"
 #include "opmap/common/serde.h"
+#include "opmap/common/trace.h"
 
 namespace opmap {
+
+namespace {
+
+// Hot-path metric handles, resolved once. Byte counters are bumped per
+// syscall-sized operation (never per byte), CRC verifications per
+// section.
+Counter* IoBytesRead() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("io.bytes_read");
+  return c;
+}
+Counter* IoBytesWritten() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("io.bytes_written");
+  return c;
+}
+Counter* IoBytesMapped() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("io.bytes_mapped");
+  return c;
+}
+Counter* IoCrcVerified() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("io.crc_verified");
+  return c;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CRC32C
@@ -76,6 +106,7 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(const char* data, size_t n) override {
+    IoBytesWritten()->Increment(static_cast<int64_t>(n));
     while (n > 0) {
       const ssize_t w = ::write(fd_, data, n);
       if (w < 0) {
@@ -143,6 +174,7 @@ class PosixSequentialFile : public SequentialFile {
       got += static_cast<size_t>(r);
     }
     out->resize(old + got);
+    IoBytesRead()->Increment(static_cast<int64_t>(got));
     return Status::OK();
   }
 
@@ -248,6 +280,7 @@ class PosixEnv : public Env {
   Result<std::unique_ptr<MappedRegion>> MapFile(
       const std::string& path) override {
 #if defined(__unix__) || defined(__APPLE__)
+    OPMAP_TRACE_SPAN("io.map_file");
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
       return Status::IOError(ErrnoMessage("cannot open for mapping", path));
@@ -271,6 +304,7 @@ class PosixEnv : public Env {
       // Filesystem without mmap support: read-into-buffer fallback.
       return Env::MapFile(path);
     }
+    IoBytesMapped()->Increment(static_cast<int64_t>(size));
     return std::unique_ptr<MappedRegion>(new PosixMappedRegion(addr, size));
 #else
     return Env::MapFile(path);
@@ -312,13 +346,16 @@ Result<std::unique_ptr<MappedRegion>> Env::MapFile(const std::string& path) {
   // Portable fallback: read the whole file through this Env's sequential
   // reader into an aligned heap buffer. Derived Envs that can map for real
   // (PosixEnv) override this.
+  OPMAP_TRACE_SPAN("io.map_file");
   std::string bytes;
   OPMAP_RETURN_NOT_OK(ReadFileToString(this, path, &bytes));
+  IoBytesMapped()->Increment(static_cast<int64_t>(bytes.size()));
   return std::unique_ptr<MappedRegion>(new HeapMappedRegion(bytes));
 }
 
 Status ReadFileToString(Env* env, const std::string& path, std::string* out,
                         uint64_t max_bytes) {
+  OPMAP_TRACE_SPAN("io.read_file");
   if (env == nullptr) env = Env::Default();
   out->clear();
   OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<SequentialFile> file,
@@ -407,6 +444,9 @@ Status FaultInjectingEnv::Tick(FaultOp op) {
   if (armed_op_ == static_cast<int>(op) &&
       (n == armed_at_ || (fail_forever_ && n >= armed_at_))) {
     ++injected_;
+    static Counter* const trips =
+        MetricsRegistry::Global()->counter("io.fault_injections");
+    trips->Increment();
     const char* names[kNumFaultOps] = {"open-write", "open-read", "write",
                                        "read",       "sync",      "rename",
                                        "delete",     "map"};
@@ -491,6 +531,9 @@ Status RetryWithBackoff(Env* env, const RetryPolicy& policy,
   const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      static Counter* const retries =
+          MetricsRegistry::Global()->counter("io.retries");
+      retries->Increment();
       env->SleepMicros(backoff);
       backoff = static_cast<int64_t>(static_cast<double>(backoff) *
                                      policy.backoff_multiplier);
@@ -504,6 +547,7 @@ Status RetryWithBackoff(Env* env, const RetryPolicy& policy,
 Status AtomicWriteFile(Env* env, const std::string& path,
                        const std::string& contents,
                        const RetryPolicy& policy) {
+  OPMAP_TRACE_SPAN("io.atomic_write");
   if (env == nullptr) env = Env::Default();
   const std::string tmp = path + ".tmp";
   return RetryWithBackoff(env, policy, [&]() -> Status {
@@ -599,6 +643,7 @@ Result<std::vector<Section>> ParseContainer(const std::string& bytes,
   const auto header_end = static_cast<size_t>(in.tellg());
   std::string header(bytes, 0, header_end);
   PutU32At(&header, kHeaderCrcOffset, 0);
+  IoCrcVerified()->Increment();
   if (Crc32c(header.data(), header.size()) != stored_header_crc) {
     return Status::IOError("container header CRC mismatch (the section "
                            "table is corrupt)");
@@ -620,6 +665,7 @@ Result<std::vector<Section>> ParseContainer(const std::string& bytes,
     s.record_count = e.record_count;
     s.payload.assign(bytes, offset, static_cast<size_t>(e.size));
     offset += static_cast<size_t>(e.size);
+    IoCrcVerified()->Increment();
     if (Crc32c(s.payload.data(), s.payload.size()) != e.crc) {
       return Status::IOError("section '" + e.name + "' CRC mismatch: the "
                              "file is corrupt");
@@ -777,6 +823,7 @@ Result<std::vector<AlignedSection>> ParseAlignedContainer(
   const size_t header_end = cur.pos();
   std::string header(data, header_end);
   PutU32At(&header, kHeaderCrcOffset, 0);
+  IoCrcVerified()->Increment();
   if (Crc32c(header.data(), header.size()) != stored_header_crc) {
     return Status::IOError("container header CRC mismatch (the section "
                            "table is corrupt)");
@@ -810,6 +857,7 @@ Result<std::vector<AlignedSection>> ParseAlignedContainer(
 }
 
 Status VerifyAlignedPayload(const char* data, const AlignedSection& section) {
+  IoCrcVerified()->Increment();
   if (Crc32c(data + section.offset, static_cast<size_t>(section.size)) !=
       section.crc) {
     return Status::IOError("section '" + section.name +

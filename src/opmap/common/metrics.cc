@@ -1,0 +1,205 @@
+#include "opmap/common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace opmap {
+
+namespace {
+
+// Bucket index for a value: its bit width (0 for 0, i for [2^(i-1),
+// 2^i - 1]).
+int BucketIndex(int64_t value) {
+  int idx = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v != 0) {
+    v >>= 1;
+    ++idx;
+  }
+  return std::min(idx, Histogram::kNumBuckets - 1);
+}
+
+// Inclusive value range covered by bucket `i`.
+void BucketRange(int i, double* lo, double* hi) {
+  if (i == 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  *lo = std::ldexp(1.0, i - 1);
+  *hi = std::ldexp(1.0, i) - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < value && !max_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  int64_t counts[kNumBuckets];
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // 1-based rank of the percentile element (nearest-rank definition).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p / 100.0 * total)));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] >= rank) {
+      double lo, hi;
+      BucketRange(i, &lo, &hi);
+      // Interpolate by rank position inside the bucket.
+      const double frac = counts[i] > 1
+                              ? static_cast<double>(rank - seen - 1) /
+                                    static_cast<double>(counts[i] - 1)
+                              : 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  double lo, hi;
+  BucketRange(kNumBuckets - 1, &lo, &hi);
+  return hi;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // Per-query-class latency histograms are always present so --stats can
+  // show the full set even when a run exercised only one class.
+  histogram("query.compare_us");
+  histogram("query.gi_us");
+  histogram("query.render_us");
+  histogram("query.mine_us");
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramStats s;
+    s.count = h->Count();
+    s.sum = h->Sum();
+    s.max = h->Max();
+    s.p50 = h->Percentile(50);
+    s.p90 = h->Percentile(90);
+    s.p99 = h->Percentile(99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  out += "-- counters --\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof(line), "%-32s %" PRId64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  out += "-- gauges --\n";
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof(line), "%-32s %" PRId64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  out += "-- histograms (us) --\n";
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s count=%-8" PRId64 " p50=%-10.0f p90=%-10.0f "
+                  "p99=%-10.0f max=%" PRId64 "\n",
+                  name.c_str(), h.count, h.p50, h.p90, h.p99, h.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  char buf[160];
+  bool first = true;
+  auto emit = [&](const std::string& key, const char* value_text) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value_text;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    emit(name, buf);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    emit(name, buf);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, h.count);
+    emit(name + ".count", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", h.p50);
+    emit(name + ".p50", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f", h.p99);
+    emit(name + ".p99", buf);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace opmap

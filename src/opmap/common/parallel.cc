@@ -12,9 +12,31 @@
 #include <thread>
 #include <vector>
 
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+
 namespace opmap {
 
 namespace {
+
+// Pool metric handles, resolved once. Tasks are chunk-sized (a parallel
+// section submits at most threads*4 of them), so per-task bumps are
+// cheap.
+Counter* PoolTasksQueued() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("pool.tasks_queued");
+  return c;
+}
+Counter* PoolTasksExecuted() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("pool.tasks_executed");
+  return c;
+}
+Counter* PoolTasksInline() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("pool.tasks_inline");
+  return c;
+}
 
 // Set while a thread is executing a pool task; nested parallel sections on
 // such a thread run inline instead of re-entering the pool.
@@ -96,6 +118,7 @@ struct ThreadPool::Impl {
         const int i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= limit) return done.load(std::memory_order_acquire) == limit;
         if (!failed.load(std::memory_order_relaxed)) {
+          PoolTasksExecuted()->Increment();
           try {
             fn(i);
           } catch (...) {
@@ -146,9 +169,17 @@ struct ThreadPool::Impl {
   void EnsureWorkers(int target) {
     target = std::min(target, kMaxThreads - 1);
     std::lock_guard<std::mutex> lock(mu);
+    if (static_cast<int>(workers.size()) >= target) return;
+    const int64_t start_us = MonotonicMicros();
     while (static_cast<int>(workers.size()) < target) {
       workers.emplace_back([this] { WorkerLoop(); });
     }
+    static Histogram* const start_latency =
+        MetricsRegistry::Global()->histogram("pool.start_us");
+    start_latency->Record(MonotonicMicros() - start_us);
+    static Gauge* const size_gauge =
+        MetricsRegistry::Global()->gauge("pool.workers");
+    size_gauge->SetMax(static_cast<int64_t>(workers.size()));
   }
 
   ~Impl() {
@@ -185,11 +216,13 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& task) {
   if (num_tasks == 1 || tls_in_pool_task) {
     // Inline: single task, or a nested section on a pool thread (running
     // it inline is what makes nesting deadlock-free).
+    PoolTasksInline()->Increment(num_tasks);
     for (int i = 0; i < num_tasks; ++i) task(i);
     return;
   }
   Impl* pool = impl();
   pool->EnsureWorkers(num_tasks - 1);
+  PoolTasksQueued()->Increment(num_tasks);
 
   auto job = std::make_shared<Impl::Job>(task, num_tasks);
   {
@@ -253,11 +286,13 @@ void ParallelForShards(int64_t begin, int64_t end, int num_shards,
   num_shards = std::max(num_shards, 1);
   const int64_t n = std::max<int64_t>(end - begin, 0);
   if (num_shards == 1) {
+    OPMAP_TRACE_SPAN("parallel.shard");
     fn(0, begin, begin + n);
     return;
   }
   const int64_t shards = num_shards;
   ThreadPool::Shared()->Run(num_shards, [&](int s) {
+    OPMAP_TRACE_SPAN("parallel.shard");
     const int64_t lo = begin + n * s / shards;
     const int64_t hi = begin + n * (s + 1) / shards;
     fn(s, lo, hi);

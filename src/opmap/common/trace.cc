@@ -1,0 +1,171 @@
+#include "opmap/common/trace.h"
+
+#include <time.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace opmap {
+
+namespace {
+
+// Per-thread event buffer cap; overflow increments the dropped counter
+// instead of growing without bound.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+std::atomic<int64_t> g_dropped_events{0};
+
+}  // namespace
+
+int64_t MonotonicMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               origin)
+      .count();
+}
+
+double MonotonicSeconds() {
+  return static_cast<double>(MonotonicMicros()) * 1e-6;
+}
+
+int64_t ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+#else
+  return 0;
+#endif
+}
+
+// Owned by exactly one recording thread; the tracer keeps a pointer for
+// dumping. The mutex only contends when a snapshot/dump overlaps
+// recording.
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() { start_us_ = MonotonicMicros(); }
+
+Tracer* Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::Enable() {
+  // Re-anchor so trace timestamps start near zero for this run.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    start_us_ = MonotonicMicros();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+int& Tracer::ThreadDepth() {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  static thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    buffer = new ThreadBuffer();  // kept alive for dumping; never freed
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  return buffer;
+}
+
+void Tracer::Record(const char* name, int64_t ts_us, int64_t dur_us,
+                    int64_t cpu_us, int depth) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.tid = buffer->tid;
+  event.depth = depth;
+  event.ts_us = ts_us - start_us_;
+  event.dur_us = dur_us;
+  event.cpu_us = cpu_us;
+  buffer->events.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::SnapshotEvents() const {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (ThreadBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return events;
+}
+
+int64_t Tracer::DroppedEvents() const {
+  return g_dropped_events.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::ToJson() const {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"opmap\", "
+                  "\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                  "\"ts\": %" PRId64 ", \"dur\": %" PRId64
+                  ", \"args\": {\"cpu_us\": %" PRId64 ", \"depth\": %d}}",
+                  first ? "" : ",", e.name, e.tid, e.ts_us, e.dur_us,
+                  e.cpu_us, e.depth);
+    out += buf;
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to trace output file " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+    start_us_ = MonotonicMicros();
+  }
+  for (ThreadBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+  g_dropped_events.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace opmap

@@ -1,0 +1,128 @@
+#ifndef OPMAP_COMMON_TRACE_H_
+#define OPMAP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+/// Monotonic wall clock, microseconds since an arbitrary process-local
+/// epoch. The single time source shared by the tracer, the metrics
+/// histograms, and the bench harnesses.
+int64_t MonotonicMicros();
+
+/// MonotonicMicros() in seconds, for bench reporting.
+double MonotonicSeconds();
+
+/// CPU time consumed by the calling thread, microseconds. Returns 0 when
+/// the platform cannot tell.
+int64_t ThreadCpuMicros();
+
+/// One completed span. `name` must be a string literal (spans never copy
+/// it).
+struct TraceEvent {
+  const char* name;
+  int tid;        // small sequential id per recording thread
+  int depth;      // nesting depth at entry (outermost span = 1)
+  int64_t ts_us;  // start, relative to tracer start
+  int64_t dur_us;
+  int64_t cpu_us;  // thread CPU time consumed inside the span
+};
+
+/// Process-wide span collector. Disabled by default: a TraceSpan on a
+/// disabled tracer costs one relaxed atomic load and a branch. When
+/// enabled, completed spans accumulate in per-thread buffers (bounded;
+/// overflow counts as dropped) and can be dumped as Chrome trace_event
+/// JSON (chrome://tracing, https://ui.perfetto.dev).
+class Tracer {
+ public:
+  static Tracer* Global();
+
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// All completed spans so far, merged across threads. Used by tests and
+  /// the JSON writer; ordering is per-thread append order.
+  std::vector<TraceEvent> SnapshotEvents() const;
+
+  /// Spans discarded because a thread buffer hit its cap.
+  int64_t DroppedEvents() const;
+
+  /// Chrome trace_event JSON for the collected spans.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (plain fopen/fwrite; the trace file is a
+  /// diagnostic artifact, not durable data).
+  Status WriteJson(const std::string& path) const;
+
+  /// Discards collected spans (buffers stay registered).
+  void Clear();
+
+  // Internal: called by ~TraceSpan.
+  void Record(const char* name, int64_t ts_us, int64_t dur_us, int64_t cpu_us,
+              int depth);
+  // Internal: per-thread span nesting depth, for TraceSpan bookkeeping.
+  static int& ThreadDepth();
+
+ private:
+  Tracer();
+  struct ThreadBuffer;
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  int64_t start_us_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<ThreadBuffer*> buffers_;  // never freed; threads are few
+  int next_tid_ = 1;
+};
+
+/// RAII scoped span. Construct with a string literal name; the span
+/// records wall and thread-CPU time from construction to destruction.
+/// Only completed spans are recorded, and only when the tracer was
+/// enabled at construction. Use via OPMAP_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Tracer::Global()->enabled()) return;
+    name_ = name;
+    depth_ = ++Tracer::ThreadDepth();
+    start_us_ = MonotonicMicros();
+    cpu_start_us_ = ThreadCpuMicros();
+  }
+
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    Tracer::Global()->Record(name_, start_us_, MonotonicMicros() - start_us_,
+                             ThreadCpuMicros() - cpu_start_us_, depth_);
+    --Tracer::ThreadDepth();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int depth_ = 0;
+  int64_t start_us_ = 0;
+  int64_t cpu_start_us_ = 0;
+};
+
+#define OPMAP_TRACE_CONCAT2(a, b) a##b
+#define OPMAP_TRACE_CONCAT(a, b) OPMAP_TRACE_CONCAT2(a, b)
+
+/// Opens a scoped trace span named `name` (a string literal, by
+/// convention `layer.operation`, e.g. "cube.count_range") covering the
+/// rest of the enclosing block.
+#define OPMAP_TRACE_SPAN(name) \
+  ::opmap::TraceSpan OPMAP_TRACE_CONCAT(opmap_trace_span_, __LINE__)(name)
+
+}  // namespace opmap
+
+#endif  // OPMAP_COMMON_TRACE_H_

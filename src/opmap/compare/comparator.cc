@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+
 namespace opmap {
 
 int ComparisonResult::RankOf(int attribute) const {
@@ -211,8 +214,12 @@ Result<ComparisonResult> RunComparison(
         "); interestingness values may not be statistically meaningful");
   }
 
+  OPMAP_TRACE_SPAN("compare.run");
   const int64_t num_candidates =
       static_cast<int64_t>(candidate_attrs.size());
+  static Counter* const candidates_evaluated =
+      MetricsRegistry::Global()->counter("compare.candidates_evaluated");
+  candidates_evaluated->Increment(num_candidates);
   std::vector<AttributeComparison> scored(
       static_cast<size_t>(num_candidates));
   std::vector<Status> failures(static_cast<size_t>(num_candidates));
@@ -365,18 +372,28 @@ int64_t ApproxResultBytes(const ComparisonResult& result) {
 
 Result<std::shared_ptr<const ComparisonResult>> Comparator::CompareCached(
     const ComparisonSpec& spec) const {
+  // One query.compare_us sample per query, cache hits included — this is
+  // the latency a caller observes, not the compute cost alone.
+  OPMAP_TRACE_SPAN("compare.query");
+  static Histogram* const latency =
+      MetricsRegistry::Global()->histogram("query.compare_us");
+  const int64_t start_us = MonotonicMicros();
+  auto record = [&](auto result) {
+    latency->Record(MonotonicMicros() - start_us);
+    return result;
+  };
   if (cache_ == nullptr) {
     OPMAP_ASSIGN_OR_RETURN(ComparisonResult result, Compare(spec));
-    return std::make_shared<const ComparisonResult>(std::move(result));
+    return record(std::make_shared<const ComparisonResult>(std::move(result)));
   }
   const std::string key = ComparisonCacheKey(spec);
   if (std::shared_ptr<const ComparisonResult> hit = cache_->Lookup(key)) {
-    return hit;
+    return record(hit);
   }
   OPMAP_ASSIGN_OR_RETURN(ComparisonResult result, Compare(spec));
   auto shared = std::make_shared<const ComparisonResult>(std::move(result));
   cache_->Insert(key, shared);
-  return shared;
+  return record(shared);
 }
 
 std::string ValueGroup::Label(const Attribute& attribute) const {
@@ -525,6 +542,7 @@ Result<ComparisonResult> Comparator::CompareVsRest(
 
 Result<std::vector<PairSummary>> Comparator::CompareAllPairs(
     int attribute, ValueCode target_class, int64_t min_population) const {
+  OPMAP_TRACE_SPAN("compare.all_pairs");
   const Schema& schema = store_->schema();
   if (attribute < 0 || attribute >= schema.num_attributes() ||
       schema.is_class(attribute)) {
@@ -557,6 +575,9 @@ Result<std::vector<PairSummary>> Comparator::CompareAllPairs(
       eligible.emplace_back(a, b);
     }
   }
+  static Counter* const pairs_compared =
+      MetricsRegistry::Global()->counter("compare.pairs_compared");
+  pairs_compared->Increment(static_cast<int64_t>(eligible.size()));
   std::vector<PairSummary> out(eligible.size());
   ParallelFor(
       0, static_cast<int64_t>(eligible.size()), /*grain=*/1,

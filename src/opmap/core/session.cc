@@ -5,9 +5,31 @@
 #include <utility>
 
 #include "opmap/common/string_util.h"
+#include "opmap/common/trace.h"
 #include "opmap/viz/bars.h"
 
 namespace opmap {
+
+namespace {
+
+// Process-wide aggregates over every QueryCache instance; the
+// per-instance members back GetStats.
+Counter* CacheHitsTotal() {
+  static Counter* const c = MetricsRegistry::Global()->counter("cache.hits");
+  return c;
+}
+Counter* CacheMissesTotal() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("cache.misses");
+  return c;
+}
+Counter* CacheEvictionsTotal() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("cache.evictions");
+  return c;
+}
+
+}  // namespace
 
 QueryCache::QueryCache(int64_t max_bytes)
     : max_bytes_(max_bytes > 0 ? max_bytes : 0) {}
@@ -26,13 +48,16 @@ void QueryCache::Insert(const std::string& key,
 }
 
 std::shared_ptr<const void> QueryCache::LookupAny(const std::string& key) {
+  OPMAP_TRACE_SPAN("cache.lookup");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.Increment();
+    CacheMissesTotal()->Increment();
     return nullptr;
   }
-  ++hits_;
+  hits_.Increment();
+  CacheHitsTotal()->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front, no alloc
   return it->second->value;
 }
@@ -42,6 +67,7 @@ void QueryCache::InsertAny(const std::string& key,
                            int64_t bytes) {
   if (value == nullptr || bytes < 0) return;
   if (bytes > max_bytes_) return;  // would evict everything else for one entry
+  OPMAP_TRACE_SPAN("cache.insert");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -64,7 +90,8 @@ void QueryCache::EvictWhileOverLocked() {
     bytes_ -= victim.bytes;
     index_.erase(victim.key);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.Increment();
+    CacheEvictionsTotal()->Increment();
   }
 }
 
@@ -73,19 +100,22 @@ void QueryCache::BumpEpoch() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
-  ++epoch_;
+  epoch_.Increment();
+  static Counter* const bumps =
+      MetricsRegistry::Global()->counter("cache.epoch_bumps");
+  bumps->Increment();
 }
 
 QueryCacheStats QueryCache::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryCacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.evictions = evictions_;
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.evictions = evictions_.Value();
   stats.entries = static_cast<int64_t>(lru_.size());
   stats.bytes = bytes_;
   stats.max_bytes = max_bytes_;
-  stats.epoch = epoch_;
+  stats.epoch = static_cast<uint64_t>(epoch_.Value());
   return stats;
 }
 
@@ -150,14 +180,20 @@ int64_t QueryEngine::ApproxGiBytes(const GeneralImpressions& gi) {
 
 Result<std::shared_ptr<const GeneralImpressions>> QueryEngine::Gi(
     const GiOptions& options) const {
+  OPMAP_TRACE_SPAN("query.gi");
+  static Histogram* const latency =
+      MetricsRegistry::Global()->histogram("query.gi_us");
+  const int64_t start_us = MonotonicMicros();
   const std::string key = GiCacheKey(options);
   if (std::shared_ptr<const void> hit = cache_.LookupAny(key)) {
+    latency->Record(MonotonicMicros() - start_us);
     return std::static_pointer_cast<const GeneralImpressions>(hit);
   }
   OPMAP_ASSIGN_OR_RETURN(GeneralImpressions gi,
                          MineGeneralImpressions(*store_, options));
   auto shared = std::make_shared<const GeneralImpressions>(std::move(gi));
   cache_.InsertAny(key, shared, ApproxGiBytes(*shared));
+  latency->Record(MonotonicMicros() - start_us);
   return shared;
 }
 
@@ -297,7 +333,15 @@ Result<std::string> ExplorationSession::Render(
     return Status::InvalidArgument("no current view; open an attribute "
                                    "first");
   }
-  if (cache_ == nullptr) return RenderUncached(options);
+  OPMAP_TRACE_SPAN("query.render");
+  static Histogram* const latency =
+      MetricsRegistry::Global()->histogram("query.render_us");
+  const int64_t start_us = MonotonicMicros();
+  auto record = [&](Result<std::string> out) {
+    latency->Record(MonotonicMicros() - start_us);
+    return out;
+  };
+  if (cache_ == nullptr) return record(RenderUncached(options));
   // The operation path plus render options fully determine the output for
   // a given store; store changes are handled by the cache owner's epoch
   // bump.
@@ -305,13 +349,13 @@ Result<std::string> ExplorationSession::Render(
                           "|rows=" + std::to_string(options.max_rows) +
                           "|bar=" + std::to_string(options.bar_width);
   if (std::shared_ptr<const void> hit = cache_->LookupAny(key)) {
-    return *std::static_pointer_cast<const std::string>(hit);
+    return record(*std::static_pointer_cast<const std::string>(hit));
   }
   OPMAP_ASSIGN_OR_RETURN(std::string out, RenderUncached(options));
   auto shared = std::make_shared<const std::string>(std::move(out));
   cache_->InsertAny(key, shared,
                     static_cast<int64_t>(key.size() + shared->size()));
-  return *shared;
+  return record(*shared);
 }
 
 Result<std::string> ExplorationSession::RenderUncached(

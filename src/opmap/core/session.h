@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "opmap/common/metrics.h"
 #include "opmap/common/status.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/cube/cube_store.h"
@@ -90,10 +91,13 @@ class QueryCache : public ComparisonCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   int64_t bytes_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
-  uint64_t epoch_ = 0;
+  // Per-instance counters on the shared metrics primitives (GetStats is a
+  // thin read of these); every bump also feeds the process-wide registry
+  // under cache.* so --stats aggregates across caches.
+  Counter hits_;
+  Counter misses_;
+  Counter evictions_;
+  Counter epoch_;
 };
 
 /// The serving facade: one loaded store, a comparator wired to a shared

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "opmap/common/io.h"
+#include "opmap/common/metrics.h"
 #include "opmap/common/serde.h"
+#include "opmap/common/trace.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/dataset_io.h"
 
@@ -345,6 +347,7 @@ Result<CubeStore> CubeStore::LoadV3Eager(const std::string& bytes) {
 // metadata sections. Cube count payloads are never read here — each is
 // CRC-verified on its first AttrCube/PairCube access.
 Result<CubeStore> CubeStore::LoadV3Mapped(const std::string& path, Env* env) {
+  OPMAP_TRACE_SPAN("cube.load_mapped");
   OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<MappedRegion> region,
                          env->MapFile(path));
   OPMAP_ASSIGN_OR_RETURN(
@@ -402,9 +405,13 @@ Status CubeStore::VerifyMappedCube(int64_t index) const {
   Mapped::Entry& e = mapped_->entries[index];
   int s = e.state.load(std::memory_order_acquire);
   if (s == 0) {
+    OPMAP_TRACE_SPAN("cube.verify");
     std::lock_guard<std::mutex> lock(mapped_->mu);
     s = e.state.load(std::memory_order_relaxed);
     if (s == 0) {
+      static Counter* const verified =
+          MetricsRegistry::Global()->counter("store.cubes_verified");
+      verified->Increment();
       const char* p = mapped_->region->data() + e.offset;
       bool ok = Crc32c(p, static_cast<size_t>(e.size)) == e.crc;
       if (ok) {
@@ -445,6 +452,12 @@ MappingStats CubeStore::GetMappingStats() const {
       ++stats.cubes_verified;
     }
   }
+  // Mirror the per-store figures onto the process-wide registry so
+  // --stats shows the serving state without a CubeStore handle.
+  MetricsRegistry* const metrics = MetricsRegistry::Global();
+  metrics->gauge("store.bytes_mapped")->Set(stats.bytes_mapped);
+  metrics->gauge("store.bytes_resident")->Set(stats.bytes_resident);
+  metrics->gauge("store.cubes_total")->Set(stats.cubes_total);
   return stats;
 }
 
@@ -525,6 +538,7 @@ Status CubeStore::Save(std::ostream* out, SaveFormat format) const {
 
 Status CubeStore::SaveToFile(const std::string& path, Env* env,
                              SaveFormat format) const {
+  OPMAP_TRACE_SPAN("cube.save_store");
   std::ostringstream buf;
   OPMAP_RETURN_NOT_OK(Save(&buf, format));
   return AtomicWriteFile(env, path, buf.str());
@@ -551,6 +565,7 @@ Result<CubeStore> CubeStore::Load(std::istream* in) {
 
 Result<CubeStore> CubeStore::LoadFromFile(const std::string& path, Env* env,
                                           const CubeLoadOptions& options) {
+  OPMAP_TRACE_SPAN("cube.load_store");
   if (env == nullptr) env = Env::Default();
 
   // Peek the magic + version to pick a load path without reading the body.

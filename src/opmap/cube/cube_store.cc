@@ -4,6 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+
 namespace opmap {
 
 Result<const RuleCube*> CubeStore::AttrCube(int attr) const {
@@ -293,6 +296,7 @@ int CubeBuilder::PlanShards(int64_t num_rows, int64_t reserved_bytes,
 }
 
 Status CubeBuilder::AddDataset(const Dataset& dataset) {
+  OPMAP_TRACE_SPAN("cube.add_dataset");
   const Schema& ds = dataset.schema();
   const Schema& ss = store_.schema_;
   if (ds.num_attributes() != ss.num_attributes() ||
@@ -330,12 +334,24 @@ Status CubeBuilder::AddDataset(const Dataset& dataset) {
         store_.MemoryUsageBytes() + reserved > max_memory_bytes_) {
       blocked = false;
       reserved = 0;
+      static Counter* const fallbacks =
+          MetricsRegistry::Global()->counter("cube.budget_fallbacks");
+      fallbacks->Increment();
     }
   }
+  // Per-pass pass/row/kernel accounting (never per row).
+  MetricsRegistry* const metrics = MetricsRegistry::Global();
+  metrics->counter("cube.rows_counted")->Increment(n);
+  metrics->counter(blocked ? "cube.kernel_blocked" : "cube.kernel_reference")
+      ->Increment();
   PackedColumnSet packed;
   if (blocked) {
+    OPMAP_TRACE_SPAN("cube.pack");
+    const int64_t pack_start_us = MonotonicMicros();
     packed = PackedColumnSet::Build(dataset, store_.attributes_);
     view.packed = &packed;
+    metrics->histogram("cube.pack_us")
+        ->Record(MonotonicMicros() - pack_start_us);
   }
 
   const int shards =

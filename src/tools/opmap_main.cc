@@ -27,10 +27,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "opmap/car/miner.h"
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/compare/report.h"
 #include "opmap/core/opportunity_map.h"
@@ -176,15 +179,41 @@ CubeLoadOptions LoadOptionsOf(const Args& args) {
   return options;
 }
 
-// --cache-mb=N bounds the query-result cache; 0 (the CLI default) runs
-// uncached, since a one-shot process rarely repeats a query.
-int64_t CacheBytesOf(const Args& args) {
-  const int64_t mb = args.GetInt("cache-mb", 0);
+// --cache-mb=N bounds the query-result cache; 0 (the usual CLI default)
+// runs uncached, since a one-shot process rarely repeats a query.
+// `compare` defaults to a small cache so its query path (and traces)
+// exercise the same cached route an interactive frontend uses.
+int64_t CacheBytesOf(const Args& args, int64_t default_mb = 0) {
+  const int64_t mb = args.GetInt("cache-mb", default_mb);
   if (mb < 0) {
     std::fprintf(stderr, "opmap: bad value for --cache-mb: must be >= 0\n");
     std::exit(4);
   }
   return mb << 20;
+}
+
+// --stats / --trace-out=FILE observability surface, accepted by every
+// command. OPMAP_STATS / OPMAP_TRACE env vars are the fallback so wrapped
+// invocations (benches, CI) need no flag plumbing; OPMAP_STATS=0 stays
+// off.
+struct ObservabilityOptions {
+  bool stats = false;
+  std::string trace_out;
+};
+
+ObservabilityOptions ObservabilityOf(const Args& args) {
+  ObservabilityOptions o;
+  o.stats = args.GetBool("stats");
+  o.trace_out = args.GetString("trace-out");
+  if (!o.stats) {
+    const char* env = std::getenv("OPMAP_STATS");
+    o.stats = env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }
+  if (o.trace_out.empty()) {
+    const char* env = std::getenv("OPMAP_TRACE");
+    if (env != nullptr) o.trace_out = env;
+  }
+  return o;
 }
 
 // --verbose serving-path observability, on stderr so piped stdout stays
@@ -255,7 +284,7 @@ CubeStoreOptions BuildOptionsOf(const Args& args) {
 
 int CmdGenerate(const Args& args) {
   args.RejectUnknown("generate", {"records", "attributes", "phones", "seed",
-                                  "out", "no-effect"});
+                                  "out", "no-effect", "stats", "trace-out"});
   const std::string out = args.GetString("out");
   RequireFlag(out, "out");
   CallLogConfig config;
@@ -279,7 +308,8 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdCsvToData(const Args& args) {
-  args.RejectUnknown("csv2data", {"in", "out", "class", "strict", "recover"});
+  args.RejectUnknown("csv2data", {"in", "out", "class", "strict", "recover",
+                                  "stats", "trace-out"});
   const std::string in = args.GetString("in");
   const std::string out = args.GetString("out");
   const std::string class_column = args.GetString("class");
@@ -321,7 +351,8 @@ int CmdCsvToData(const Args& args) {
 }
 
 int CmdCubes(const Args& args) {
-  args.RejectUnknown("cubes", {"data", "out", "threads", "block-rows"});
+  args.RejectUnknown("cubes", {"data", "out", "threads", "block-rows",
+                               "stats", "trace-out"});
   const std::string in = args.GetString("data");
   const std::string out = args.GetString("out");
   RequireFlag(in, "data");
@@ -339,7 +370,8 @@ int CmdCubes(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
-  args.RejectUnknown("info", {"data", "cubes", "mmap", "verbose"});
+  args.RejectUnknown("info", {"data", "cubes", "mmap", "verbose", "stats",
+                              "trace-out"});
   if (!args.GetString("data").empty()) {
     Dataset data = OrDie(LoadDatasetFromFile(args.GetString("data")));
     std::printf("dataset: %lld rows, %d attributes (class: %s)\n",
@@ -366,7 +398,8 @@ int CmdInfo(const Args& args) {
 }
 
 int CmdOverview(const Args& args) {
-  args.RejectUnknown("overview", {"cubes", "color", "mmap", "verbose"});
+  args.RejectUnknown("overview", {"cubes", "color", "mmap", "verbose",
+                                  "stats", "trace-out"});
   CubeStore store = LoadCubes(args);
   OverviewOptions options;
   options.color = ColorOf(args);
@@ -377,7 +410,8 @@ int CmdOverview(const Args& args) {
 
 int CmdDetail(const Args& args) {
   args.RejectUnknown("detail",
-                     {"cubes", "attribute", "color", "mmap", "verbose"});
+                     {"cubes", "attribute", "color", "mmap", "verbose",
+                      "stats", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   RequireFlag(attr, "attribute");
@@ -392,7 +426,8 @@ int CmdDetail(const Args& args) {
 int CmdCompare(const Args& args) {
   args.RejectUnknown("compare",
                      {"cubes", "attribute", "good", "bad", "class", "json",
-                      "color", "threads", "mmap", "verbose"});
+                      "color", "threads", "mmap", "cache-mb", "verbose",
+                      "stats", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string good = args.GetString("good");
@@ -402,12 +437,27 @@ int CmdCompare(const Args& args) {
   RequireFlag(good, "good");
   RequireFlag(bad, "bad");
   RequireFlag(target, "class");
+  const Schema& schema = store.schema();
+  ComparisonSpec spec;
+  spec.attribute = OrDie(schema.IndexOf(attr));
+  if (!schema.attribute(spec.attribute).is_categorical()) {
+    Die(Status::InvalidArgument("comparison attribute must be categorical"));
+  }
+  spec.value_a = OrDie(schema.attribute(spec.attribute).CodeOf(good));
+  spec.value_b = OrDie(schema.attribute(spec.attribute).CodeOf(bad));
+  spec.target_class = OrDie(schema.class_attribute().CodeOf(target));
+  // Runs through the cached path so the CLI exercises (and traces) the
+  // same route an interactive frontend uses; --cache-mb=0 disables.
   Comparator comparator(&store, ThreadsOf(args));
-  ComparisonResult result =
-      OrDie(comparator.CompareByName(attr, good, bad, target));
+  const int64_t cache_bytes = CacheBytesOf(args, /*default_mb=*/16);
+  QueryCache cache(cache_bytes);
+  if (cache_bytes > 0) comparator.set_cache(&cache);
+  std::shared_ptr<const ComparisonResult> shared =
+      OrDie(comparator.CompareCached(spec));
+  const ComparisonResult& result = *shared;
   if (args.GetBool("json")) {
     std::printf("%s\n", ComparisonToJson(result, store.schema()).c_str());
-    PrintServingStats(args, store, nullptr);
+    PrintServingStats(args, store, cache_bytes > 0 ? &cache : nullptr);
     return 0;
   }
   std::printf("%s", FormatComparisonReport(result, store.schema()).c_str());
@@ -419,13 +469,14 @@ int CmdCompare(const Args& args) {
                                            result.ranked[0].attribute, view))
                     .c_str());
   }
-  PrintServingStats(args, store, nullptr);
+  PrintServingStats(args, store, cache_bytes > 0 ? &cache : nullptr);
   return 0;
 }
 
 int CmdVsRest(const Args& args) {
   args.RejectUnknown("vsrest", {"cubes", "attribute", "value", "class",
-                                "threads", "mmap", "verbose"});
+                                "threads", "mmap", "verbose", "stats",
+                                "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string value = args.GetString("value");
@@ -446,7 +497,8 @@ int CmdVsRest(const Args& args) {
 
 int CmdPairs(const Args& args) {
   args.RejectUnknown("pairs", {"cubes", "attribute", "class", "top",
-                               "threads", "mmap", "cache-mb", "verbose"});
+                               "threads", "mmap", "cache-mb", "verbose",
+                               "stats", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string target = args.GetString("class");
@@ -471,7 +523,7 @@ int CmdPairs(const Args& args) {
 int CmdGi(const Args& args) {
   args.RejectUnknown("gi",
                      {"cubes", "top", "threads", "mmap", "cache-mb",
-                      "verbose"});
+                      "verbose", "stats", "trace-out"});
   CubeStore store = LoadCubes(args);
   const int top = static_cast<int>(args.GetInt("top", 10));
   const Schema& schema = store.schema();
@@ -519,7 +571,8 @@ int CmdGi(const Args& args) {
 int CmdMine(const Args& args) {
   args.RejectUnknown("mine",
                      {"data", "min-support", "min-confidence",
-                      "max-conditions", "threads", "block-rows", "top"});
+                      "max-conditions", "threads", "block-rows", "top",
+                      "stats", "trace-out"});
   const std::string in = args.GetString("data");
   RequireFlag(in, "data");
   Dataset data = OrDie(LoadDatasetFromFile(in));
@@ -552,7 +605,7 @@ int CmdReport(const Args& args) {
   args.RejectUnknown("report",
                      {"cubes", "data", "attribute", "good", "bad", "class",
                       "out", "gi", "threads", "block-rows", "mmap",
-                      "verbose"});
+                      "verbose", "stats", "trace-out"});
   // Reports either read a prebuilt store (--cubes) or build one in
   // memory from a dataset (--data), where --threads/--block-rows apply.
   CubeStore store =
@@ -602,7 +655,7 @@ int Usage() {
       "  overview  --cubes=FILE [--color]\n"
       "  detail    --cubes=FILE --attribute=NAME [--color]\n"
       "  compare   --cubes=FILE --attribute=NAME --good=V --bad=V "
-      "--class=LABEL [--json] [--color] [--threads=N]\n"
+      "--class=LABEL [--json] [--color] [--threads=N] [--cache-mb=N]\n"
       "  vsrest    --cubes=FILE --attribute=NAME --value=V --class=LABEL "
       "[--threads=N]\n"
       "  pairs     --cubes=FILE --attribute=NAME --class=LABEL [--top=N] "
@@ -621,18 +674,21 @@ int Usage() {
       "identical at any setting\n"
       "--mmap=on|off maps v3 cube files and verifies cubes lazily on "
       "first access (default on); results are identical either way\n"
-      "--cache-mb=N bounds the query-result cache (default 0 = off)\n"
+      "--cache-mb=N bounds the query-result cache (default 0 = off; "
+      "compare defaults to 16)\n"
       "--verbose prints serving stats (mapping + cache) on stderr\n"
+      "--stats prints the process metrics table on stderr after any "
+      "command (or set OPMAP_STATS=1)\n"
+      "--trace-out=FILE writes a Chrome trace_event JSON of the run "
+      "(or set OPMAP_TRACE=FILE); open in chrome://tracing or "
+      "ui.perfetto.dev\n"
       "unknown flags are rejected (exit 4, naming the flag)\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 I/O or corrupt file, "
       "4 bad name/value, 5 resource limit\n");
   return 2;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
-  const Args args(argc, argv);
+int Dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "csv2data") return CmdCsvToData(args);
   if (cmd == "cubes") return CmdCubes(args);
@@ -646,6 +702,31 @@ int Run(int argc, char** argv) {
   if (cmd == "report") return CmdReport(args);
   if (cmd == "mine" || cmd == "car") return CmdMine(args);
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  const ObservabilityOptions obs = ObservabilityOf(args);
+  if (!obs.trace_out.empty()) Tracer::Global()->Enable();
+  int rc = Dispatch(cmd, args);
+  // Error paths exit() directly, skipping the dumps: a failed command has
+  // no meaningful trace, and the flags are about the happy path.
+  if (!obs.trace_out.empty()) {
+    Tracer::Global()->Disable();
+    const Status st = Tracer::Global()->WriteJson(obs.trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "opmap: %s\n", st.ToString().c_str());
+      if (rc == 0) rc = ExitCodeFor(st);
+    }
+  }
+  if (obs.stats) {
+    std::fprintf(
+        stderr, "%s",
+        FormatMetricsTable(MetricsRegistry::Global()->Snapshot()).c_str());
+  }
+  return rc;
 }
 
 }  // namespace

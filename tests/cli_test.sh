@@ -130,6 +130,50 @@ rc=0; "$OPMAP" overview --cubes="$DIR/d.opmc" --mmap=sideways \
 grep -q "serving: mapped=" "$DIR/stats.txt" || fail "verbose serving stats"
 grep -q "cache: hits=" "$DIR/stats.txt" || fail "verbose cache stats"
 
+# ---- observability: --stats and --trace-out ----
+
+# --stats prints the metrics table on stderr; stdout stays the normal
+# report. The compare path must surface its per-query latency histogram.
+"$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress --stats \
+    >"$DIR/cmp.out" 2>"$DIR/cmp.stats" || fail "compare --stats"
+grep -q "TimeOfCall" "$DIR/cmp.out" || fail "compare --stats stdout"
+grep -q -- "-- histograms" "$DIR/cmp.stats" || fail "stats histogram section"
+grep -q "query.compare_us" "$DIR/cmp.stats" || fail "stats compare histogram"
+grep -q "cache.hits\|cache.misses" "$DIR/cmp.stats" \
+    || fail "stats cache counters"
+
+# OPMAP_STATS env var is the flag-free fallback; OPMAP_STATS=0 stays off.
+OPMAP_STATS=1 "$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=0 \
+    >/dev/null 2>"$DIR/mine.stats" || fail "mine OPMAP_STATS"
+grep -q "query.mine_us" "$DIR/mine.stats" || fail "stats mine histogram"
+grep -q "car.rules_emitted" "$DIR/mine.stats" || fail "stats miner counters"
+OPMAP_STATS=0 "$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=0 \
+    >/dev/null 2>"$DIR/mine0.stats" || fail "mine OPMAP_STATS=0"
+grep -q "query.mine_us" "$DIR/mine0.stats" && fail "OPMAP_STATS=0 printed"
+
+# --trace-out writes a Chrome trace_event JSON with spans from the
+# instrumented layers; parse it when python3 is available.
+"$OPMAP" compare --cubes="$DIR/d.opmc" --attribute=PhoneModel \
+    --good=ph01 --bad=ph03 --class=dropped-while-in-progress \
+    --trace-out="$DIR/cmp.trace" >/dev/null || fail "compare --trace-out"
+grep -q '"traceEvents"' "$DIR/cmp.trace" || fail "trace JSON header"
+grep -q '"compare.query"' "$DIR/cmp.trace" || fail "trace compare span"
+grep -q '"cache.lookup"' "$DIR/cmp.trace" || fail "trace cache span"
+grep -q '"io.\|"cube.' "$DIR/cmp.trace" || fail "trace io/cube spans"
+"$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=0 \
+    --trace-out="$DIR/mine.trace" >/dev/null || fail "mine --trace-out"
+grep -q '"car.mine"' "$DIR/mine.trace" || fail "trace mine span"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; t=json.load(open(sys.argv[1])); \
+assert t['traceEvents'], 'empty trace'; \
+assert all(e['dur'] >= 0 and e['ts'] >= 0 for e in t['traceEvents'])" \
+      "$DIR/cmp.trace" || fail "compare trace does not parse"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$DIR/mine.trace" || fail "mine trace does not parse"
+fi
+echo "PASS observability"
+
 # mine: the CAR miner from the CLI; any --block-rows tile size yields the
 # identical rule list.
 m0=$("$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=5) \

@@ -1,0 +1,179 @@
+#include "opmap/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace opmap {
+namespace {
+
+TEST(CounterTest, ExactTotalsUnderConcurrentIncrements) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(CounterTest, DeltaIncrements) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment(37);
+  EXPECT_EQ(counter.Value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(GaugeTest, SetMaxIsHighWaterMark) {
+  Gauge gauge;
+  gauge.SetMax(4);
+  gauge.SetMax(2);
+  EXPECT_EQ(gauge.Value(), 4);
+  gauge.SetMax(9);
+  EXPECT_EQ(gauge.Value(), 9);
+  gauge.Set(1);
+  EXPECT_EQ(gauge.Value(), 1);
+}
+
+TEST(HistogramTest, ExactCountAndSumUnderConcurrentRecords) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        histogram.Record(t * kRecords + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const int64_t n = int64_t{kThreads} * kRecords;
+  EXPECT_EQ(histogram.Count(), n);
+  EXPECT_EQ(histogram.Sum(), n * (n - 1) / 2);
+  EXPECT_EQ(histogram.Max(), n - 1);
+}
+
+// The log2-bucket estimate must land in the same bucket as the true
+// nearest-rank value, bounding the relative error by 2x. Cross-check
+// against a sorted-vector oracle on a deterministic skewed sample.
+TEST(HistogramTest, PercentilesTrackSortedVectorOracle) {
+  Histogram histogram;
+  std::vector<int64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Skewed latency-like distribution: mostly small, a heavy tail.
+    const int64_t v = static_cast<int64_t>((state >> 33) % 1000) +
+                      ((i % 97 == 0) ? 100000 : 0);
+    values.push_back(v);
+    histogram.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const size_t rank = static_cast<size_t>(std::max(
+        1.0, std::ceil(p / 100.0 * static_cast<double>(values.size()))));
+    const int64_t truth = values[rank - 1];
+    const double estimate = histogram.Percentile(p);
+    if (truth == 0) {
+      EXPECT_EQ(estimate, 0.0) << "p" << p;
+    } else {
+      EXPECT_GE(estimate, static_cast<double>(truth) / 2) << "p" << p;
+      EXPECT_LE(estimate, static_cast<double>(truth) * 2) << "p" << p;
+    }
+  }
+}
+
+TEST(HistogramTest, EmptyAndEdgeValues) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Percentile(50), 0.0);
+  histogram.Record(-17);  // clamps to 0
+  histogram.Record(0);
+  EXPECT_EQ(histogram.Count(), 2);
+  EXPECT_EQ(histogram.Percentile(99), 0.0);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("test.counter");
+  Counter* b = registry.counter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3);
+  EXPECT_NE(static_cast<void*>(registry.gauge("test.counter")),
+            static_cast<void*>(a));  // separate namespace per type
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndBumpingIsExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves the same names; get-or-create must never
+      // hand out distinct objects for one name.
+      Counter* c = registry.counter("test.shared");
+      Histogram* h = registry.histogram("test.latency");
+      for (int i = 0; i < kIncrements; ++i) {
+        c->Increment();
+        h->Record(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.shared"),
+            int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(snapshot.histograms.at("test.latency").count,
+            int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsRegistryTest, GlobalPreRegistersQueryHistograms) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global()->Snapshot();
+  for (const char* name :
+       {"query.compare_us", "query.gi_us", "query.render_us",
+        "query.mine_us"}) {
+    EXPECT_TRUE(snapshot.histograms.count(name) > 0) << name;
+  }
+}
+
+TEST(MetricsFormatTest, TableElidesZeroCountersAndPrintsHistograms) {
+  MetricsRegistry registry;
+  registry.counter("test.zero");
+  registry.counter("test.hot")->Increment(7);
+  registry.histogram("test.lat_us")->Record(100);
+  const std::string table = FormatMetricsTable(registry.Snapshot());
+  EXPECT_EQ(table.find("test.zero"), std::string::npos);
+  EXPECT_NE(table.find("test.hot"), std::string::npos);
+  EXPECT_NE(table.find("test.lat_us"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST(MetricsFormatTest, JsonIsFlatAndBalanced) {
+  MetricsRegistry registry;
+  registry.counter("test.count")->Increment(3);
+  registry.gauge("test.level")->Set(5);
+  registry.histogram("test.lat_us")->Record(256);
+  const std::string json = FormatMetricsJson(registry.Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.level\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.lat_us.count\": 1"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace opmap

@@ -1,0 +1,172 @@
+#include "opmap/common/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "opmap/common/parallel.h"
+
+namespace opmap {
+namespace {
+
+// The tracer is process-global; every test starts from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global()->Disable();
+    Tracer::Global()->Clear();
+  }
+  void TearDown() override {
+    Tracer::Global()->Disable();
+    Tracer::Global()->Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  { OPMAP_TRACE_SPAN("test.ignored"); }
+  EXPECT_TRUE(Tracer::Global()->SnapshotEvents().empty());
+}
+
+TEST_F(TraceTest, RecordsCompletedSpansWithNesting) {
+  Tracer::Global()->Enable();
+  {
+    OPMAP_TRACE_SPAN("test.outer");
+    { OPMAP_TRACE_SPAN("test.inner"); }
+  }
+  Tracer::Global()->Disable();
+  const std::vector<TraceEvent> events = Tracer::Global()->SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Per-thread append order is completion order: inner first.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // The child interval is contained in the parent interval (same clock).
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0);
+    EXPECT_GE(e.dur_us, 0);
+  }
+}
+
+// Balanced, properly nested spans when tasks trace under a nested
+// ParallelFor (the inner loop runs inline inside pool tasks).
+TEST_F(TraceTest, NestedParallelForSpansAreBalancedPerThread) {
+  Tracer::Global()->Enable();
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 4;
+  ParallelOptions parallel;
+  parallel.num_threads = 4;
+  {
+    OPMAP_TRACE_SPAN("test.root");
+    ParallelFor(
+        0, kOuter, /*grain=*/1,
+        [&](int64_t) {
+          OPMAP_TRACE_SPAN("test.outer_task");
+          ParallelFor(
+              0, kInner, /*grain=*/1,
+              [&](int64_t) { OPMAP_TRACE_SPAN("test.inner_task"); },
+              parallel);
+        },
+        parallel);
+  }
+  Tracer::Global()->Disable();
+  const std::vector<TraceEvent> events = Tracer::Global()->SnapshotEvents();
+  EXPECT_EQ(Tracer::Global()->DroppedEvents(), 0);
+
+  std::map<std::string, int64_t> count_by_name;
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0);
+    EXPECT_GE(e.dur_us, 0);
+    EXPECT_GE(e.depth, 1);
+    count_by_name[e.name] += 1;
+  }
+  EXPECT_EQ(count_by_name["test.root"], 1);
+  EXPECT_EQ(count_by_name["test.outer_task"], kOuter);
+  EXPECT_EQ(count_by_name["test.inner_task"], kOuter * kInner);
+
+  // Within each thread every span must nest properly: replaying the
+  // per-thread completion order with a stack, a span of depth d closes
+  // only after every deeper span it contains has closed, and its
+  // interval contains theirs.
+  std::map<int, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(e);
+  for (const auto& [tid, thread_events] : by_tid) {
+    std::vector<TraceEvent> open;  // children completed before parents
+    for (const TraceEvent& e : thread_events) {
+      while (!open.empty() && open.back().depth > e.depth) {
+        const TraceEvent& child = open.back();
+        EXPECT_GE(child.ts_us, e.ts_us) << "tid " << tid;
+        EXPECT_LE(child.ts_us + child.dur_us, e.ts_us + e.dur_us)
+            << "tid " << tid;
+        open.pop_back();
+      }
+      open.push_back(e);
+    }
+  }
+}
+
+TEST_F(TraceTest, ToJsonIsWellFormedTraceEventFormat) {
+  Tracer::Global()->Enable();
+  {
+    OPMAP_TRACE_SPAN("test.span_a");
+    { OPMAP_TRACE_SPAN("test.span_b"); }
+  }
+  Tracer::Global()->Disable();
+  const std::string json = Tracer::Global()->ToJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"test.span_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.span_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, WriteJsonRoundTripsThroughAFile) {
+  Tracer::Global()->Enable();
+  { OPMAP_TRACE_SPAN("test.file_span"); }
+  Tracer::Global()->Disable();
+  const std::string path = ::testing::TempDir() + "/opmap_trace_test.json";
+  ASSERT_TRUE(Tracer::Global()->WriteJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 16, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, Tracer::Global()->ToJson());
+  EXPECT_FALSE(
+      Tracer::Global()->WriteJson("/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, ClearDropsCollectedSpans) {
+  Tracer::Global()->Enable();
+  { OPMAP_TRACE_SPAN("test.cleared"); }
+  EXPECT_FALSE(Tracer::Global()->SnapshotEvents().empty());
+  Tracer::Global()->Clear();
+  EXPECT_TRUE(Tracer::Global()->SnapshotEvents().empty());
+}
+
+TEST_F(TraceTest, MonotonicClockNeverGoesBackwards) {
+  int64_t last = MonotonicMicros();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = MonotonicMicros();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GE(MonotonicSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace opmap

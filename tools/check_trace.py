@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON produced by `opmap --trace-out=`.
+
+Checks that the file is valid JSON in the trace_event "object format"
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+that every event is a well-formed complete ("ph": "X") span with
+non-negative timestamp and duration, and that at least one span exists
+for every required instrumented layer (span names are `layer.operation`,
+see docs/OBSERVABILITY.md).
+
+Usage: tools/check_trace.py FILE [--require=io,cube,compare,cache]
+Exit: 0 valid, 1 a check failed, 2 unreadable input.
+"""
+
+import json
+import sys
+
+DEFAULT_REQUIRED = ("io", "cube", "compare", "cache")
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    required = list(DEFAULT_REQUIRED)
+    for a in sys.argv[1:]:
+        if a.startswith("--require="):
+            required = [p for p in a[len("--require="):].split(",") if p]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = args[0]
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"check_trace: {path} has no traceEvents array",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    layers: dict = {}
+    for i, ev in enumerate(events):
+        name = ev.get("name", "")
+        if ev.get("ph") != "X":
+            print(f"check_trace: event {i} ({name!r}) is not a complete "
+                  f"span (ph={ev.get('ph')!r})", file=sys.stderr)
+            failed = True
+        for field in ("ts", "dur"):
+            value = ev.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                print(f"check_trace: event {i} ({name!r}) has bad "
+                      f"{field}={value!r}", file=sys.stderr)
+                failed = True
+        if "." in name:
+            layers.setdefault(name.split(".", 1)[0], 0)
+            layers[name.split(".", 1)[0]] += 1
+
+    for layer in required:
+        if layers.get(layer, 0) == 0:
+            print(f"check_trace: no spans from the '{layer}' layer in "
+                  f"{path} (have: {sorted(layers)})", file=sys.stderr)
+            failed = True
+
+    if not failed:
+        summary = ", ".join(f"{k}={layers[k]}" for k in sorted(layers))
+        print(f"check_trace: OK: {len(events)} spans ({summary})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
