@@ -14,17 +14,28 @@
 //        --serving (run ONLY the serving-path benches — eager v2 load vs
 //        lazy v3 mapped load, heap after each, and a cold vs warm cached
 //        all-pairs sweep; this is how tools/run_bench.sh produces
-//        BENCH_serving.json, guarded by tools/check_bench.py).
+//        BENCH_serving.json, guarded by tools/check_bench.py),
+//        --ingest (run ONLY the streaming-ingestion benches — WAL-backed
+//        batch appends with live compaction, concurrent query latency
+//        percentiles over Snapshot(), and recovery-on-open; this is how
+//        tools/run_bench.sh produces BENCH_ingest.json, also guarded by
+//        tools/check_bench.py).
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_json.h"
 #include "bench_util.h"
 #include "opmap/car/miner.h"
+#include "opmap/common/io.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
+#include "opmap/ingest/ingester.h"
 
 namespace opmap {
 namespace {
@@ -130,6 +141,132 @@ void RunServing(const Dataset& dataset, const ParallelOptions& parallel,
   std::remove(v3_path.c_str());
 }
 
+// Streaming-ingestion benchmarks (BENCH_ingest.json), run with --ingest:
+// one writer pushes fixed-size batches through the WAL (fsync at segment
+// seal — the throughput policy) with auto-compaction every 16 batches,
+// while a query thread sweeps all pairs over Snapshot() the whole time.
+//
+// Op semantics:
+//   ingest/append     wall_ms = the whole append phase; items/s = rows
+//                     acknowledged per second (WAL framing + delta
+//                     counting + the compactions that fell inside)
+//   ingest/query_p50  wall_ms = median all-pairs sweep latency measured
+//                     concurrently with the writer; items/s = sweeps
+//                     completed per second over the append phase
+//   ingest/query_p99  same run, 99th-percentile latency
+//   ingest/recover    wall_ms = reopen + WAL tail replay; items/s =
+//                     replayed records per second (the tail is kept
+//                     non-empty: a batch is appended after the last
+//                     auto-compaction before closing)
+void RunIngest(const Dataset& dataset, const ParallelOptions& parallel,
+               int threads, const std::string& json) {
+  Env* env = Env::Default();
+  const std::string dir = "bench_ingest_dir";
+  auto scrub = [&] {
+    (void)env->DeleteFile(dir + "/MANIFEST");
+    for (uint64_t id = 1; id <= 512; ++id) {
+      (void)env->DeleteFile(dir + "/" + WalSegmentFileName(id));
+      (void)env->DeleteFile(dir + "/" + WalOpenFileName(id));
+      char name[32];
+      std::snprintf(name, sizeof(name), "cubes-%06llu.opmc",
+                    static_cast<unsigned long long>(id));
+      (void)env->DeleteFile(dir + "/" + name);
+      (void)env->DeleteFile(dir + "/" + name + std::string(".tmp"));
+    }
+  };
+  scrub();
+
+  IngestOptions options;
+  options.wal.sync_every_append = false;  // fsync at seal: throughput mode
+  options.compact_every_batches = 16;
+  options.cube.parallel = parallel;
+  std::unique_ptr<Ingester> ing = bench::ValueOrDie(
+      Ingester::Create(env, dir, dataset.schema(), options), "ingest create");
+
+  // Pre-slice the workload so the timed loop measures ingestion, not
+  // batch construction.
+  constexpr int64_t kBatchRows = 1024;
+  const int attrs = dataset.schema().num_attributes();
+  std::vector<ValueCode> codes(static_cast<size_t>(attrs));
+  std::vector<Dataset> batches;
+  for (int64_t begin = 0; begin < dataset.num_rows(); begin += kBatchRows) {
+    const int64_t end = std::min(dataset.num_rows(), begin + kBatchRows);
+    Dataset batch(dataset.schema());
+    batch.Reserve(end - begin);
+    for (int64_t r = begin; r < end; ++r) {
+      for (int a = 0; a < attrs; ++a) {
+        codes[static_cast<size_t>(a)] = dataset.code(r, a);
+      }
+      batch.AppendRowUnchecked(codes.data());
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<double> latencies_ms;  // reader-owned until the join
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t q_start_us = MonotonicMicros();
+      auto snap = ing->Snapshot();
+      if (!snap.ok()) return;
+      QueryEngine engine(snap->get(), QueryCache::kDefaultMaxBytes, parallel);
+      if (!engine.CompareAllPairs(0, kDroppedWhileInProgress).ok()) return;
+      latencies_ms.push_back(bench::MillisSince(q_start_us));
+    }
+  });
+
+  const int64_t append_start_us = MonotonicMicros();
+  int64_t rows_acked = 0;
+  for (const Dataset& batch : batches) {
+    bench::CheckOk(ing->AppendBatch(batch).status(), "ingest append");
+    rows_acked += batch.num_rows();
+  }
+  const double append_ms = bench::MillisSince(append_start_us);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  Report(json, "ingest/append", threads, append_ms,
+         static_cast<double>(rows_acked) / append_ms * 1e3);
+
+  // Keep a WAL tail for the recovery measurement: if the last append
+  // triggered a compaction (everything folded), append one more batch.
+  if (ing->GetStats().last_applied_seq + 1 == ing->GetStats().next_seq) {
+    bench::CheckOk(ing->AppendBatch(batches.back()).status(), "tail append");
+  }
+
+  if (latencies_ms.empty()) {
+    // The reader got starved (single-core CI): one synchronous sample.
+    const int64_t q_start_us = MonotonicMicros();
+    auto snap = bench::ValueOrDie(ing->Snapshot(), "snapshot");
+    QueryEngine engine(snap.get(), QueryCache::kDefaultMaxBytes, parallel);
+    (void)bench::ValueOrDie(
+        engine.CompareAllPairs(0, kDroppedWhileInProgress), "sweep");
+    latencies_ms.push_back(bench::MillisSince(q_start_us));
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&latencies_ms](double p) {
+    const double pos = p / 100.0 * static_cast<double>(latencies_ms.size() - 1);
+    return latencies_ms[static_cast<size_t>(pos + 0.5)];
+  };
+  const double sweeps_per_s =
+      static_cast<double>(latencies_ms.size()) / append_ms * 1e3;
+  Report(json, "ingest/query_p50", threads, percentile(50), sweeps_per_s);
+  Report(json, "ingest/query_p99", threads, percentile(99), sweeps_per_s);
+
+  bench::CheckOk(ing->Close(), "ingest close");
+  ing.reset();
+
+  const int64_t recover_start_us = MonotonicMicros();
+  std::unique_ptr<Ingester> reopened =
+      bench::ValueOrDie(Ingester::Open(env, dir, options), "ingest reopen");
+  const double recover_ms = bench::MillisSince(recover_start_us);
+  const IngestStats stats = reopened->GetStats();
+  Report(json, "ingest/recover", threads, recover_ms,
+         static_cast<double>(stats.replayed_records) / recover_ms * 1e3);
+  bench::CheckOk(reopened->Close(), "reopened close");
+  reopened.reset();
+  scrub();
+}
+
 void Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const int64_t records = flags.GetInt("records", 100000);
@@ -153,6 +290,11 @@ void Main(int argc, char** argv) {
 
   if (flags.GetBool("serving", false)) {
     RunServing(dataset, parallel, threads, json);
+    return;
+  }
+
+  if (flags.GetBool("ingest", false)) {
+    RunIngest(dataset, parallel, threads, json);
     return;
   }
 

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 #include <sstream>
@@ -326,6 +327,17 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status CreateDir(const std::string& path) override {
+#if defined(__unix__) || defined(__APPLE__)
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("cannot create directory", path));
+    }
+    return Status::OK();
+#else
+    return Status::IOError("CreateDir unsupported on this platform");
+#endif
+  }
+
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }
@@ -412,6 +424,81 @@ class FaultInjectingSequentialFile : public SequentialFile {
   FaultInjectingEnv* env_;
 };
 
+namespace {
+constexpr const char* kFaultOpNames[kNumFaultOps] = {
+    "open-write", "open-read", "write",  "read",      "sync",
+    "rename",     "delete",    "map",    "create-dir"};
+constexpr const char* kCorruptionModeNames[] = {"none", "torn", "flip"};
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  return kFaultOpNames[static_cast<int>(op)];
+}
+
+Result<FaultOp> ParseFaultOp(const std::string& name) {
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    if (name == kFaultOpNames[i]) return static_cast<FaultOp>(i);
+  }
+  return Status::InvalidArgument("unknown fault op '" + name + "'");
+}
+
+std::string FaultPlan::ToString() const {
+  return std::string("op=") + FaultOpName(op) + " nth=" +
+         std::to_string(nth) + " mode=" +
+         kCorruptionModeNames[static_cast<int>(mode)] + " seed=" +
+         std::to_string(seed) + " cut=" + (power_cut ? "1" : "0");
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string token;
+  bool have_op = false, have_nth = false;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan token '" + token +
+                                     "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "op") {
+      OPMAP_ASSIGN_OR_RETURN(plan.op, ParseFaultOp(value));
+      have_op = true;
+    } else if (key == "nth") {
+      plan.nth = std::strtoll(value.c_str(), nullptr, 10);
+      if (plan.nth < 1) {
+        return Status::InvalidArgument("fault plan nth must be >= 1, got '" +
+                                       value + "'");
+      }
+      have_nth = true;
+    } else if (key == "mode") {
+      bool found = false;
+      for (int i = 0; i < 3; ++i) {
+        if (value == kCorruptionModeNames[i]) {
+          plan.mode = static_cast<CorruptionMode>(i);
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("unknown corruption mode '" + value +
+                                       "'");
+      }
+    } else if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "cut") {
+      plan.power_cut = value != "0";
+    } else {
+      return Status::InvalidArgument("unknown fault plan key '" + key + "'");
+    }
+  }
+  if (!have_op || !have_nth) {
+    return Status::InvalidArgument("fault plan '" + text +
+                                   "' needs at least op= and nth=");
+  }
+  return plan;
+}
+
 FaultInjectingEnv::FaultInjectingEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
@@ -421,11 +508,21 @@ void FaultInjectingEnv::FailAt(FaultOp op, int64_t nth, bool fail_forever) {
   fail_forever_ = fail_forever;
 }
 
+void FaultInjectingEnv::ArmPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  plan_armed_ = true;
+  power_lost_ = false;
+  pending_corruption_ = CorruptionMode::kNone;
+}
+
 void FaultInjectingEnv::Reset() {
   armed_op_ = -1;
   armed_at_ = 0;
   fail_forever_ = false;
   injected_ = 0;
+  plan_armed_ = false;
+  power_lost_ = false;
+  pending_corruption_ = CorruptionMode::kNone;
   std::memset(counts_, 0, sizeof(counts_));
 }
 
@@ -441,24 +538,60 @@ int64_t FaultInjectingEnv::TotalOps() const {
 
 Status FaultInjectingEnv::Tick(FaultOp op) {
   const int64_t n = ++counts_[static_cast<int>(op)];
+  if (power_lost_) {
+    ++injected_;
+    return Status::IOError(std::string("injected power loss (") +
+                           FaultOpName(op) + " after cut)");
+  }
+  if (plan_armed_ && plan_.op == op && n == plan_.nth) {
+    ++injected_;
+    static Counter* const plan_trips =
+        MetricsRegistry::Global()->counter("io.fault_injections");
+    plan_trips->Increment();
+    if (plan_.power_cut) power_lost_ = true;
+    if (op == FaultOp::kWrite) pending_corruption_ = plan_.mode;
+    return Status::IOError("injected fault [" + plan_.ToString() + "]");
+  }
   if (armed_op_ == static_cast<int>(op) &&
       (n == armed_at_ || (fail_forever_ && n >= armed_at_))) {
     ++injected_;
     static Counter* const trips =
         MetricsRegistry::Global()->counter("io.fault_injections");
     trips->Increment();
-    const char* names[kNumFaultOps] = {"open-write", "open-read", "write",
-                                       "read",       "sync",      "rename",
-                                       "delete",     "map"};
-    return Status::IOError(std::string("injected ") +
-                           names[static_cast<int>(op)] + " failure #" +
-                           std::to_string(n));
+    return Status::IOError(std::string("injected ") + FaultOpName(op) +
+                           " failure #" + std::to_string(n));
   }
   return Status::OK();
 }
 
+void FaultInjectingEnv::ApplyTornWrite(WritableFile* file, const char* data,
+                                       size_t n) {
+  const CorruptionMode mode = pending_corruption_;
+  pending_corruption_ = CorruptionMode::kNone;
+  if (mode == CorruptionMode::kNone || n == 0) return;
+  // A seed-chosen strict prefix reaches the file — the write never
+  // completes. Writes go straight to the base file: the simulated power is
+  // out, so these bytes must not tick (and fail) like normal operations.
+  const size_t prefix = static_cast<size_t>(plan_.seed % n);
+  if (prefix == 0) return;
+  std::string torn(data, prefix);
+  if (mode == CorruptionMode::kBitFlip) {
+    const size_t byte = static_cast<size_t>((plan_.seed / 7) % prefix);
+    torn[byte] = static_cast<char>(
+        torn[byte] ^ static_cast<char>(1u << (plan_.seed % 8)));
+  }
+  // Best effort; there is nobody left to report an error to.
+  if (file->Append(torn.data(), torn.size()).ok()) {
+    (void)file->Flush();
+  }
+}
+
 Status FaultInjectingWritableFile::Append(const char* data, size_t n) {
-  OPMAP_RETURN_NOT_OK(env_->Tick(FaultOp::kWrite));
+  Status tick = env_->Tick(FaultOp::kWrite);
+  if (!tick.ok()) {
+    env_->ApplyTornWrite(base_.get(), data, n);
+    return tick;
+  }
   return base_->Append(data, n);
 }
 
@@ -509,6 +642,11 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
 Status FaultInjectingEnv::DeleteFile(const std::string& path) {
   OPMAP_RETURN_NOT_OK(Tick(FaultOp::kDelete));
   return base_->DeleteFile(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  OPMAP_RETURN_NOT_OK(Tick(FaultOp::kCreateDir));
+  return base_->CreateDir(path);
 }
 
 bool FaultInjectingEnv::FileExists(const std::string& path) {

@@ -98,6 +98,9 @@ class Env {
   virtual Status RenameFile(const std::string& from,
                             const std::string& to) = 0;
   virtual Status DeleteFile(const std::string& path) = 0;
+  /// Creates a directory (the parent must exist). Succeeds when the
+  /// directory already exists, so callers can open-or-create idempotently.
+  virtual Status CreateDir(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
   /// Backoff sleeps route through the Env so tests run at full speed.
   virtual void SleepMicros(int64_t micros) = 0;
@@ -123,8 +126,52 @@ enum class FaultOp : int {
   kRename = 5,
   kDelete = 6,
   kMap = 7,
+  kCreateDir = 8,
 };
-constexpr int kNumFaultOps = 8;
+constexpr int kNumFaultOps = 9;
+
+/// Stable lowercase name of a FaultOp ("write", "open-read", ...), used in
+/// injected-error messages and the FaultPlan repro string.
+const char* FaultOpName(FaultOp op);
+
+/// Parses a FaultOpName back to the op.
+Result<FaultOp> ParseFaultOp(const std::string& name);
+
+/// How an injected write failure mangles the bytes that still reach the
+/// file. This is the power-cut model: a write interrupted by power loss
+/// leaves an arbitrary prefix on disk, possibly with garbage in it.
+enum class CorruptionMode : int {
+  /// The failing write leaves nothing behind.
+  kNone = 0,
+  /// A seed-chosen prefix of the failing write reaches the file.
+  kTornWrite = 1,
+  /// A prefix reaches the file with one seed-chosen bit flipped.
+  kBitFlip = 2,
+};
+
+/// One deterministic crash scenario for FaultInjectingEnv::ArmPlan: the
+/// `nth` occurrence of `op` fails; if `op` is a write, `mode` decides what
+/// the torn write leaves on disk (prefix length and flipped bit derived
+/// from `seed`); with `power_cut` every subsequent operation fails too, so
+/// nothing runs "after the crash" until the test reopens with a healthy
+/// env. Serializes to a one-line repro string so a failing crash-drill
+/// case can be replayed exactly:
+///
+///   op=write nth=7 mode=torn seed=123 cut=1
+struct FaultPlan {
+  FaultOp op = FaultOp::kWrite;
+  int64_t nth = 1;
+  CorruptionMode mode = CorruptionMode::kNone;
+  /// Chooses the torn-prefix length and the flipped bit deterministically.
+  uint64_t seed = 0;
+  /// Latch power loss: after the trigger, every op of every kind fails.
+  bool power_cut = true;
+
+  /// One-line repro string (the format shown above).
+  std::string ToString() const;
+  /// Parses a ToString() line back into a plan.
+  static Result<FaultPlan> Parse(const std::string& text);
+};
 
 /// Wraps a base Env and deterministically fails operations: the Nth
 /// occurrence (1-based, counted across the env's lifetime) of the armed
@@ -139,6 +186,16 @@ class FaultInjectingEnv : public Env {
 
   /// Arms the env: the `nth` occurrence of `op` fails (n >= 1).
   void FailAt(FaultOp op, int64_t nth, bool fail_forever = false);
+
+  /// Arms a crash scenario (see FaultPlan). Coexists with FailAt: the plan
+  /// is checked first. The trigger's injected error message embeds the
+  /// plan's repro string.
+  void ArmPlan(const FaultPlan& plan);
+
+  /// True once an armed power-cut plan has tripped: the simulated machine
+  /// is off, and every further operation fails until Reset().
+  bool PowerLost() const { return power_lost_; }
+
   /// Disarms and resets all counters.
   void Reset();
 
@@ -160,6 +217,7 @@ class FaultInjectingEnv : public Env {
       const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   void SleepMicros(int64_t micros) override;
 
@@ -171,12 +229,22 @@ class FaultInjectingEnv : public Env {
   /// the counter hits (or passed, with fail_forever) the armed index.
   Status Tick(FaultOp op);
 
+  /// Applies the pending torn-write corruption (set by a plan-triggered
+  /// write failure) to `file`: writes the seed-chosen prefix of the failed
+  /// buffer, possibly with a bit flipped, straight to the base file. Best
+  /// effort — the simulated power is already out.
+  void ApplyTornWrite(WritableFile* file, const char* data, size_t n);
+
   Env* base_;
   int64_t counts_[kNumFaultOps] = {};
   int armed_op_ = -1;
   int64_t armed_at_ = 0;
   bool fail_forever_ = false;
   int64_t injected_ = 0;
+  FaultPlan plan_;
+  bool plan_armed_ = false;
+  bool power_lost_ = false;
+  CorruptionMode pending_corruption_ = CorruptionMode::kNone;
 };
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kIOError = 5,
   kNotImplemented = 6,
   kInternal = 7,
+  kFailedPrecondition = 8,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -57,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

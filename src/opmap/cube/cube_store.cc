@@ -62,6 +62,79 @@ int64_t CubeStore::MemoryUsageBytes() const {
   return bytes;
 }
 
+Result<CubeStore> CubeStore::Clone() const {
+  OPMAP_TRACE_SPAN("cube.clone");
+  CubeStore out;
+  out.schema_ = schema_;
+  out.attributes_ = attributes_;
+  out.attr_slot_ = attr_slot_;
+  out.num_records_ = num_records_;
+  out.class_counts_ = class_counts_;
+  out.has_pair_cubes_ = has_pair_cubes_;
+  const int64_t num_attr_cubes = static_cast<int64_t>(attr_cubes_.size());
+  for (int64_t i = 0;
+       i < num_attr_cubes + static_cast<int64_t>(pair_cubes_.size()); ++i) {
+    // First touch of a lazily mapped cube CRC-verifies its payload, so a
+    // clone never materializes silently corrupt counts.
+    OPMAP_RETURN_NOT_OK(VerifyMappedCube(i));
+    const RuleCube& src =
+        i < num_attr_cubes
+            ? attr_cubes_[static_cast<size_t>(i)]
+            : pair_cubes_[static_cast<size_t>(i - num_attr_cubes)];
+    std::vector<int> dims(static_cast<size_t>(src.num_dims()));
+    for (int d = 0; d < src.num_dims(); ++d) {
+      dims[static_cast<size_t>(d)] = src.dim_attribute(d);
+    }
+    OPMAP_ASSIGN_OR_RETURN(RuleCube copy,
+                           RuleCube::Make(schema_, std::move(dims)));
+    std::copy(src.raw_counts(), src.raw_counts() + src.num_cells(),
+              copy.raw_counts());
+    (i < num_attr_cubes ? out.attr_cubes_ : out.pair_cubes_)
+        .push_back(std::move(copy));
+  }
+  return out;
+}
+
+Status CubeStore::AddCounts(const CubeStore& delta) {
+  OPMAP_TRACE_SPAN("cube.add_counts");
+  if (mapped_ != nullptr) {
+    return Status::InvalidArgument(
+        "cannot add counts into a mapped store; Clone() it first");
+  }
+  if (attributes_ != delta.attributes_ ||
+      has_pair_cubes_ != delta.has_pair_cubes_ ||
+      class_counts_.size() != delta.class_counts_.size() ||
+      attr_cubes_.size() != delta.attr_cubes_.size() ||
+      pair_cubes_.size() != delta.pair_cubes_.size()) {
+    return Status::InvalidArgument(
+        "delta store shape does not match the base store");
+  }
+  const int64_t num_attr_cubes = static_cast<int64_t>(attr_cubes_.size());
+  for (int64_t i = 0;
+       i < num_attr_cubes + static_cast<int64_t>(pair_cubes_.size()); ++i) {
+    OPMAP_RETURN_NOT_OK(delta.VerifyMappedCube(i));
+    RuleCube& dst = i < num_attr_cubes
+                        ? attr_cubes_[static_cast<size_t>(i)]
+                        : pair_cubes_[static_cast<size_t>(i - num_attr_cubes)];
+    const RuleCube& src =
+        i < num_attr_cubes
+            ? delta.attr_cubes_[static_cast<size_t>(i)]
+            : delta.pair_cubes_[static_cast<size_t>(i - num_attr_cubes)];
+    if (dst.num_cells() != src.num_cells()) {
+      return Status::InvalidArgument(
+          "delta cube cell count does not match the base store");
+    }
+    int64_t* out = dst.raw_counts();
+    const int64_t* in = src.raw_counts();
+    for (int64_t c = 0; c < dst.num_cells(); ++c) out[c] += in[c];
+  }
+  for (size_t k = 0; k < class_counts_.size(); ++k) {
+    class_counts_[k] += delta.class_counts_[k];
+  }
+  num_records_ += delta.num_records_;
+  return Status::OK();
+}
+
 Result<CubeBuilder> CubeBuilder::Make(Schema schema,
                                       CubeStoreOptions options) {
   if (schema.num_attributes() == 0) {

@@ -121,6 +121,22 @@ class CubeStore {
   /// Serving-path observability for lazily loaded stores.
   MappingStats GetMappingStats() const;
 
+  /// Deep copy with owned counts. Mapped (lazily loaded) stores are
+  /// materialized: every cube payload is CRC-verified and copied to the
+  /// heap, so the clone is independent of the source's file mapping and
+  /// mutable (AddCounts). This is the streaming-ingestion layer's bridge
+  /// from a zero-copy served base store to a compactable one.
+  Result<CubeStore> Clone() const;
+
+  /// Element-wise adds `delta`'s counts into this store (cube cells,
+  /// class counts, record total). Because cube cells are additive, this is
+  /// exactly the parallel builder's shard merge applied across time: a
+  /// base store plus a delta built over later rows equals one batch build
+  /// over all rows, bit for bit. Both stores must have the same schema
+  /// shape (attributes, domains, pair-cube setting); this store must own
+  /// its counts (build or Clone first — mapped views are immutable).
+  Status AddCounts(const CubeStore& delta);
+
   /// On-disk format selector. v2 is the checksummed stream container; v3
   /// adds 64-byte-aligned raw count payloads plus a per-cube CRC index so
   /// files can be mapped and served zero-copy (docs/FORMATS.md).

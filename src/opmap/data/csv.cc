@@ -118,7 +118,8 @@ Result<Dataset> ReadCsvStream(std::istream& in, const CsvReadOptions& opts,
   // Infer column kinds.
   std::vector<bool> is_categorical(ncols, false);
   for (int c = 0; c < ncols; ++c) {
-    if (c == class_index || forced.count(header[c]) > 0) {
+    if (opts.force_categorical || c == class_index ||
+        forced.count(header[c]) > 0) {
       is_categorical[c] = true;
       continue;
     }

@@ -24,6 +24,10 @@ struct CsvReadOptions {
   /// numeric columns always become continuous, non-numeric columns exceeding
   /// the cap are rejected (they would explode the rule space).
   int max_categorical_domain = 1024;
+  /// Treat every column as categorical regardless of numeric inference —
+  /// the streaming-ingest path needs a fixed all-categorical schema whose
+  /// dictionaries later CSV batches are re-encoded against.
+  bool force_categorical = false;
   /// Recovery mode: malformed rows (wrong field count, oversized fields)
   /// are skipped and counted in the IngestReport instead of aborting the
   /// whole ingest. Default is strict: the first malformed row fails.

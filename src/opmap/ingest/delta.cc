@@ -1,0 +1,53 @@
+#include "opmap/ingest/delta.h"
+
+#include <utility>
+
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+
+namespace opmap {
+
+namespace {
+
+// One-shot empty build: allocates the zeroed cube set the delta
+// accumulates into. Also how each incoming batch is counted (with the
+// blocked kernels) before being added on.
+Result<CubeStore> EmptyStore(const Schema& schema,
+                             const CubeStoreOptions& options) {
+  OPMAP_ASSIGN_OR_RETURN(CubeBuilder builder,
+                         CubeBuilder::Make(schema, options));
+  return std::move(builder).Finish();
+}
+
+}  // namespace
+
+Result<DeltaCubeBuilder> DeltaCubeBuilder::Make(Schema schema,
+                                                CubeStoreOptions options) {
+  OPMAP_ASSIGN_OR_RETURN(CubeStore empty, EmptyStore(schema, options));
+  return DeltaCubeBuilder(std::move(schema), std::move(options),
+                          std::move(empty));
+}
+
+Status DeltaCubeBuilder::AddBatch(const Dataset& batch) {
+  OPMAP_TRACE_SPAN("ingest.count_batch");
+  if (batch.num_rows() == 0) return Status::OK();
+  OPMAP_ASSIGN_OR_RETURN(CubeBuilder builder,
+                         CubeBuilder::Make(schema_, options_));
+  OPMAP_RETURN_NOT_OK(builder.AddDataset(batch));
+  OPMAP_RETURN_NOT_OK(delta_.AddCounts(std::move(builder).Finish()));
+  rows_ += batch.num_rows();
+  static Counter* const rows =
+      MetricsRegistry::Global()->counter("ingest.rows_counted");
+  rows->Increment(batch.num_rows());
+  return Status::OK();
+}
+
+Result<CubeStore> DeltaCubeBuilder::Drain() {
+  OPMAP_ASSIGN_OR_RETURN(CubeStore empty, EmptyStore(schema_, options_));
+  CubeStore out = std::move(delta_);
+  delta_ = std::move(empty);
+  rows_ = 0;
+  return out;
+}
+
+}  // namespace opmap

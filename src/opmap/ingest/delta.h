@@ -1,0 +1,65 @@
+#ifndef OPMAP_INGEST_DELTA_H_
+#define OPMAP_INGEST_DELTA_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/dataset.h"
+
+namespace opmap {
+
+/// Incremental counting layer over CubeBuilder: accumulates row batches
+/// into a delta CubeStore that a compaction later folds into the base
+/// store with CubeStore::AddCounts.
+///
+/// This is the apply-delta half of the build-once/apply-delta split:
+/// CubeBuilder stays the one-shot batch materializer (and its blocked,
+/// sharded kernels count every batch here too); the delta builder makes
+/// it restartable over time. Because cube cells are additive,
+///
+///   batch_build(rows 1..n)  ==  base(rows 1..k) + delta(rows k+1..n)
+///
+/// bit for bit, for any batching — the crash-drill tests assert exactly
+/// this identity.
+class DeltaCubeBuilder {
+ public:
+  /// Validates `options` against `schema` (same rules as CubeBuilder) and
+  /// starts with an empty delta.
+  static Result<DeltaCubeBuilder> Make(Schema schema,
+                                       CubeStoreOptions options);
+
+  DeltaCubeBuilder(DeltaCubeBuilder&&) = default;
+  DeltaCubeBuilder& operator=(DeltaCubeBuilder&&) = default;
+
+  /// Counts every row of `batch` into the delta via CubeBuilder's blocked
+  /// kernels. The batch must match the schema shape.
+  Status AddBatch(const Dataset& batch);
+
+  /// Rows accumulated since the last Drain.
+  int64_t rows() const { return rows_; }
+
+  /// The accumulated delta counts (readable at any time, e.g. to merge a
+  /// serving snapshot).
+  const CubeStore& delta() const { return delta_; }
+
+  /// Moves the accumulated delta out and resets to empty.
+  Result<CubeStore> Drain();
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  DeltaCubeBuilder(Schema schema, CubeStoreOptions options, CubeStore empty)
+      : schema_(std::move(schema)), options_(std::move(options)),
+        delta_(std::move(empty)) {}
+
+  Schema schema_;
+  CubeStoreOptions options_;
+  CubeStore delta_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace opmap
+
+#endif  // OPMAP_INGEST_DELTA_H_

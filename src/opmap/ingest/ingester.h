@@ -1,0 +1,192 @@
+#ifndef OPMAP_INGEST_INGESTER_H_
+#define OPMAP_INGEST_INGESTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "opmap/common/io.h"
+#include "opmap/common/status.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/data/dataset.h"
+#include "opmap/ingest/delta.h"
+#include "opmap/ingest/wal.h"
+
+namespace opmap {
+
+class QueryCache;
+
+/// Streaming-ingestion configuration.
+struct IngestOptions {
+  /// WAL durability policy (--fsync=always|seal).
+  WalOptions wal;
+  /// Compact automatically after this many acknowledged batches
+  /// (0 = only on explicit Compact()).
+  int64_t compact_every_batches = 0;
+  /// Cube materialization options (kernel, threads, pair cubes, tiles) —
+  /// used for the initial build, every delta batch and every recovery
+  /// replay, so all paths count identically.
+  CubeStoreOptions cube;
+};
+
+/// Point-in-time ingestion counters (see also the process-wide wal.* /
+/// ingest.* / compact.* metrics).
+struct IngestStats {
+  /// Sequence number the next acknowledged batch will get.
+  uint64_t next_seq = 0;
+  /// Highest sequence number folded into the on-disk cube container.
+  uint64_t last_applied_seq = 0;
+  /// Current cube container generation (cubes-NNNNNN.opmc).
+  uint64_t cube_generation = 0;
+  int64_t batches_appended = 0;
+  int64_t rows_appended = 0;
+  int64_t compactions = 0;
+  int64_t segments_sealed = 0;
+  /// Records replayed from the WAL by the last Open.
+  int64_t replayed_records = 0;
+  int64_t replayed_rows = 0;
+  /// True when the last Open truncated a torn WAL tail.
+  bool tail_truncated = false;
+  int64_t truncated_bytes = 0;
+};
+
+/// Crash-safe streaming ingestion into a cube directory:
+///
+///   DIR/MANIFEST            atomic commit point (cube generation,
+///                           last-applied seq, first live WAL segment)
+///   DIR/cubes-NNNNNN.opmc   v3 cube container (the compacted base)
+///   DIR/wal-NNNNNN.{open,log}  WAL segments holding acknowledged batches
+///                              not yet folded into the container
+///
+/// Every acknowledged AppendBatch is assigned a sequence number, framed
+/// into the WAL (fsynced per WalOptions) and only then counted into the
+/// in-memory delta — so an OK return means the rows survive a crash.
+/// Compact() folds base+delta into a fresh v3 container, commits it by
+/// atomically replacing MANIFEST, garbage-collects the folded WAL
+/// segments, and bumps the attached QueryCache's epoch so live sessions
+/// drop stale results. Open() recovers: it loads the manifest's
+/// container, replays live WAL segments (tolerating a torn tail on the
+/// open segment), and skips any frame with seq <= last_applied_seq —
+/// replay is idempotent, each acknowledged batch is counted exactly once
+/// no matter where a crash interrupted a previous compaction.
+///
+/// Thread-safety: AppendBatch/Compact/Snapshot/GetStats may be called
+/// from any thread (internally serialized); Snapshot hands out immutable
+/// shared stores that queries use lock-free.
+class Ingester {
+ public:
+  /// Initializes a fresh ingest directory (created if missing): an empty
+  /// generation-1 container over `schema` plus an empty WAL. Fails if the
+  /// directory already holds a MANIFEST.
+  static Result<std::unique_ptr<Ingester>> Create(Env* env,
+                                                  const std::string& dir,
+                                                  const Schema& schema,
+                                                  const IngestOptions& options);
+
+  /// Recovers an existing ingest directory (see class comment).
+  static Result<std::unique_ptr<Ingester>> Open(Env* env,
+                                                const std::string& dir,
+                                                const IngestOptions& options);
+
+  /// Create when no MANIFEST exists, Open otherwise.
+  static Result<std::unique_ptr<Ingester>> OpenOrCreate(
+      Env* env, const std::string& dir, const Schema& schema,
+      const IngestOptions& options);
+
+  /// Appends one batch of rows: WAL first (durable per the fsync policy),
+  /// then the in-memory delta. Returns the batch's sequence number on
+  /// acknowledgment. `batch` must match the ingest schema. After any I/O
+  /// error the ingester latches failed (kFailedPrecondition from then on)
+  /// — reopen the directory to recover; nothing acknowledged is lost.
+  Result<uint64_t> AppendBatch(const Dataset& batch);
+
+  /// Folds base + delta into a fresh v3 container, commits, GCs folded
+  /// WAL segments, bumps the attached cache epoch. No-op-ish when the
+  /// delta is empty (still rewrites the container and rolls the WAL).
+  Status Compact();
+
+  /// Immutable merged view of everything acknowledged so far
+  /// (base + delta). Cached: cheap when nothing changed since the last
+  /// call. The returned store stays valid for as long as the caller holds
+  /// the pointer, across later appends and compactions.
+  Result<std::shared_ptr<const CubeStore>> Snapshot();
+
+  /// Seals nothing, syncs and closes the open WAL segment. The directory
+  /// recovers identically after Close() and after a crash — by design.
+  Status Close();
+
+  /// Cache whose epoch is bumped when a compaction publishes new data.
+  void set_cache(QueryCache* cache) { cache_ = cache; }
+
+  /// Hook invoked (with the freshly compacted store) after a compaction
+  /// publishes, e.g. QueryEngine::SetStore. Called with the ingester's
+  /// internal mutex held; keep it cheap and do not call back in.
+  void set_publish_hook(std::function<void(const CubeStore*)> hook) {
+    publish_hook_ = std::move(hook);
+  }
+
+  const Schema& schema() const { return schema_; }
+  IngestStats GetStats() const;
+
+ private:
+  Ingester() = default;
+
+  struct Manifest {
+    uint64_t cube_generation = 1;
+    uint64_t last_applied_seq = 0;
+    uint64_t first_segment_id = 1;
+  };
+
+  std::string PathOf(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+  std::string CubeFileName(uint64_t generation) const;
+
+  Status WriteManifest(const Manifest& manifest);
+  static Result<Manifest> ReadManifest(Env* env, const std::string& dir);
+
+  /// Replays live WAL segments into the delta; fills replay stats and
+  /// returns the id the writer should open next.
+  Result<uint64_t> ReplayWal();
+
+  /// Best-effort removal of files an interrupted compaction left behind:
+  /// segments below first_segment_id and containers above cube_generation.
+  void CollectGarbage();
+
+  Status CompactLocked();
+  Status AppendLocked(const Dataset& batch, uint64_t* seq);
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  IngestOptions options_;
+  Schema schema_;
+
+  mutable std::mutex mu_;
+  Manifest manifest_;
+  std::shared_ptr<const CubeStore> base_;   // owned counts, mu_ guarded swap
+  std::optional<DeltaCubeBuilder> delta_;
+  std::optional<WalWriter> wal_;
+  uint64_t next_seq_ = 1;
+  bool failed_ = false;
+  std::shared_ptr<const CubeStore> snapshot_;  // cached base+delta merge
+  bool snapshot_dirty_ = true;
+  IngestStats stats_;
+  QueryCache* cache_ = nullptr;
+  std::function<void(const CubeStore*)> publish_hook_;
+};
+
+/// Re-encodes `src` (typically a freshly parsed CSV with its own
+/// dictionaries) against `schema`: columns are matched by name, labels by
+/// dictionary lookup, nulls pass through. Extra columns in `src` are
+/// ignored; a missing column or an unknown label is an error naming it —
+/// streaming ingest never grows the stored domains, so rule-space shape
+/// stays fixed (discretize/re-create to change it). `src` must be
+/// all-categorical.
+Result<Dataset> ReencodeForSchema(const Dataset& src, const Schema& schema);
+
+}  // namespace opmap
+
+#endif  // OPMAP_INGEST_INGESTER_H_

@@ -1,0 +1,240 @@
+#include "opmap/ingest/wal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+
+namespace opmap {
+
+namespace {
+
+Counter* WalAppends() {
+  static Counter* const c = MetricsRegistry::Global()->counter("wal.appends");
+  return c;
+}
+Counter* WalBytesAppended() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("wal.bytes_appended");
+  return c;
+}
+Counter* WalSyncs() {
+  static Counter* const c = MetricsRegistry::Global()->counter("wal.syncs");
+  return c;
+}
+Counter* WalSeals() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("wal.segments_sealed");
+  return c;
+}
+Counter* WalReplayed() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("wal.records_replayed");
+  return c;
+}
+Counter* WalTornTails() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("wal.torn_tails");
+  return c;
+}
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetFixed64(const char* p) {
+  return static_cast<uint64_t>(GetFixed32(p)) |
+         static_cast<uint64_t>(GetFixed32(p + 4)) << 32;
+}
+
+std::string SegmentName(uint64_t id, const char* suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.%s",
+                static_cast<unsigned long long>(id), suffix);
+  return buf;
+}
+
+// CRC32C over the little-endian seq followed by the payload — the frame's
+// integrity check.
+uint32_t FrameCrc(uint64_t seq, const char* payload, size_t n) {
+  std::string seq_le;
+  PutFixed64(&seq_le, seq);
+  const uint32_t crc = Crc32c(seq_le.data(), seq_le.size());
+  return Crc32c(payload, n, crc);
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t segment_id) {
+  return SegmentName(segment_id, "log");
+}
+
+std::string WalOpenFileName(uint64_t segment_id) {
+  return SegmentName(segment_id, "open");
+}
+
+std::string EncodeWalFrame(uint64_t seq, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kWalFrameHeaderBytes + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed64(&frame, seq);
+  PutFixed32(&frame, FrameCrc(seq, payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+Result<WalWriter> WalWriter::Open(Env* env, const std::string& dir,
+                                  uint64_t segment_id,
+                                  const WalOptions& options) {
+  WalWriter writer;
+  writer.env_ = env != nullptr ? env : Env::Default();
+  writer.dir_ = dir;
+  writer.options_ = options;
+  OPMAP_RETURN_NOT_OK(writer.OpenSegment(segment_id));
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t segment_id) {
+  OPMAP_ASSIGN_OR_RETURN(
+      file_, env_->NewWritableFile(dir_ + "/" + WalOpenFileName(segment_id)));
+  segment_id_ = segment_id;
+  segment_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::SealSegment() {
+  OPMAP_TRACE_SPAN("wal.seal");
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("WAL writer is closed");
+  }
+  // A seal promises "every frame of this .log is durable", so the sync
+  // happens even under sync_every_append=false.
+  OPMAP_RETURN_NOT_OK(file_->Sync());
+  OPMAP_RETURN_NOT_OK(file_->Close());
+  file_.reset();
+  OPMAP_RETURN_NOT_OK(
+      env_->RenameFile(dir_ + "/" + WalOpenFileName(segment_id_),
+                       dir_ + "/" + WalSegmentFileName(segment_id_)));
+  ++segments_sealed_;
+  WalSeals()->Increment();
+  return Status::OK();
+}
+
+Status WalWriter::Append(uint64_t seq, const std::string& payload) {
+  OPMAP_TRACE_SPAN("wal.append");
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("WAL writer is closed");
+  }
+  if (payload.size() > kWalMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL payload exceeds the frame limit");
+  }
+  if (segment_bytes_ > 0 && segment_bytes_ >= options_.max_segment_bytes) {
+    OPMAP_RETURN_NOT_OK(Roll());
+  }
+  const std::string frame = EncodeWalFrame(seq, payload);
+  OPMAP_RETURN_NOT_OK(file_->Append(frame.data(), frame.size()));
+  if (options_.sync_every_append) {
+    OPMAP_RETURN_NOT_OK(file_->Sync());
+    WalSyncs()->Increment();
+  }
+  segment_bytes_ += static_cast<int64_t>(frame.size());
+  WalAppends()->Increment();
+  WalBytesAppended()->Increment(static_cast<int64_t>(frame.size()));
+  return Status::OK();
+}
+
+Status WalWriter::Roll() {
+  OPMAP_RETURN_NOT_OK(SealSegment());
+  return OpenSegment(segment_id_ + 1);
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  OPMAP_RETURN_NOT_OK(file_->Sync());
+  WalSyncs()->Increment();
+  Status s = file_->Close();
+  file_.reset();
+  return s;
+}
+
+Status ReadWalSegment(Env* env, const std::string& path,
+                      bool tolerate_torn_tail,
+                      const std::function<Status(const WalRecord&)>& fn,
+                      WalSegmentStats* stats) {
+  OPMAP_TRACE_SPAN("wal.replay");
+  if (env == nullptr) env = Env::Default();
+  if (stats != nullptr) *stats = WalSegmentStats{};
+  std::string bytes;
+  OPMAP_RETURN_NOT_OK(ReadFileToString(env, path, &bytes));
+
+  size_t offset = 0;
+  WalRecord record;
+  while (offset < bytes.size()) {
+    // Every exit below the header read is either a valid frame or — for
+    // the open segment — a torn tail: truncate at the last valid frame.
+    std::string why;
+    uint32_t len = 0;
+    if (bytes.size() - offset < kWalFrameHeaderBytes) {
+      why = "truncated frame header";
+    } else {
+      len = GetFixed32(bytes.data() + offset);
+      if (len > kWalMaxPayloadBytes) {
+        why = "frame length " + std::to_string(len) + " exceeds the limit";
+      } else if (bytes.size() - offset - kWalFrameHeaderBytes < len) {
+        why = "truncated frame payload";
+      }
+    }
+    if (why.empty()) {
+      const uint64_t seq = GetFixed64(bytes.data() + offset + 4);
+      const uint32_t crc = GetFixed32(bytes.data() + offset + 12);
+      const char* payload = bytes.data() + offset + kWalFrameHeaderBytes;
+      if (FrameCrc(seq, payload, len) != crc) {
+        why = "frame CRC mismatch";
+      } else {
+        record.seq = seq;
+        record.payload.assign(payload, len);
+        OPMAP_RETURN_NOT_OK(fn(record));
+        offset += kWalFrameHeaderBytes + len;
+        if (stats != nullptr) {
+          ++stats->records;
+          stats->bytes =
+              static_cast<int64_t>(offset);
+        }
+        WalReplayed()->Increment();
+        continue;
+      }
+    }
+    if (!tolerate_torn_tail) {
+      return Status::IOError("WAL segment '" + path + "': " + why +
+                             " at offset " + std::to_string(offset));
+    }
+    if (stats != nullptr) {
+      stats->tail_truncated = true;
+      stats->truncated_bytes = static_cast<int64_t>(bytes.size() - offset);
+    }
+    WalTornTails()->Increment();
+    break;
+  }
+  return Status::OK();
+}
+
+}  // namespace opmap

@@ -1,0 +1,137 @@
+#ifndef OPMAP_INGEST_WAL_H_
+#define OPMAP_INGEST_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "opmap/common/io.h"
+#include "opmap/common/status.h"
+
+namespace opmap {
+
+// ---------------------------------------------------------------------------
+// Write-ahead log: CRC32C-framed, length-prefixed records in numbered
+// segment files (docs/FORMATS.md, docs/DURABILITY.md).
+//
+// Frame layout (little-endian):
+//
+//   payload_len u32 | seq u64 | crc u32 | payload[payload_len]
+//
+// `crc` is CRC32C over the seq field and the payload, so a frame is valid
+// only if its length, sequence number and payload all survived intact.
+//
+// Segment lifecycle: the writer appends frames to `wal-NNNNNN.open`; a
+// seal syncs, closes and atomically renames it to `wal-NNNNNN.log`. A
+// `.log` file therefore always holds only complete, synced frames —
+// corruption there is bit rot and is a hard error. A `.open` file may end
+// in a torn frame (power cut mid-append); readers truncate at the last
+// valid frame instead of failing.
+// ---------------------------------------------------------------------------
+
+/// Byte size of the fixed frame header (len + seq + crc).
+constexpr size_t kWalFrameHeaderBytes = 16;
+
+/// Upper bound on a frame payload; a longer length field is corruption.
+constexpr uint32_t kWalMaxPayloadBytes = 1u << 30;
+
+/// "wal-NNNNNN.log" — a sealed (complete, immutable) segment.
+std::string WalSegmentFileName(uint64_t segment_id);
+
+/// "wal-NNNNNN.open" — the segment currently being appended to.
+std::string WalOpenFileName(uint64_t segment_id);
+
+/// Encodes one frame (header + payload) ready to append.
+std::string EncodeWalFrame(uint64_t seq, const std::string& payload);
+
+/// Durability policy for WalWriter.
+struct WalOptions {
+  /// fsync after every append (ack == durable). When false, frames are
+  /// fsynced only at segment seals — faster, but an acknowledged record
+  /// can be lost to a power cut before the next seal.
+  bool sync_every_append = true;
+  /// Seal and rotate the segment once it exceeds this many bytes.
+  int64_t max_segment_bytes = 4 << 20;
+};
+
+/// Appends frames to one `.open` segment at a time, sealing and rotating
+/// per WalOptions. Not thread-safe; the ingester serializes appends.
+class WalWriter {
+ public:
+  /// Creates (truncates) `wal-<segment_id>.open` in `dir` and appends from
+  /// there. `env` nullptr means Env::Default().
+  static Result<WalWriter> Open(Env* env, const std::string& dir,
+                                uint64_t segment_id,
+                                const WalOptions& options);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one record; fsyncs per options. On OK the frame is in the
+  /// segment (and durable, with sync_every_append). Rotates to a fresh
+  /// segment first when the current one is over the size threshold.
+  Status Append(uint64_t seq, const std::string& payload);
+
+  /// Seals the current segment: sync, close, rename `.open` -> `.log`,
+  /// then starts `segment_id()+1` as the new open segment.
+  Status Roll();
+
+  /// Syncs and closes the open segment WITHOUT sealing it — the `.open`
+  /// tail is what recovery replays after a clean shutdown too, so close
+  /// and crash converge on the same on-disk state.
+  Status Close();
+
+  /// Segment currently being appended to.
+  uint64_t segment_id() const { return segment_id_; }
+
+  /// Bytes appended to the current open segment so far.
+  int64_t segment_bytes() const { return segment_bytes_; }
+
+  /// Segments sealed by this writer.
+  int64_t segments_sealed() const { return segments_sealed_; }
+
+ private:
+  WalWriter() = default;
+
+  Status OpenSegment(uint64_t segment_id);
+  Status SealSegment();
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  WalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t segment_id_ = 0;
+  int64_t segment_bytes_ = 0;
+  int64_t segments_sealed_ = 0;
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Outcome of replaying one segment.
+struct WalSegmentStats {
+  int64_t records = 0;
+  int64_t bytes = 0;
+  /// True when a torn tail was detected (and logically truncated).
+  bool tail_truncated = false;
+  /// Bytes past the last valid frame that were discarded.
+  int64_t truncated_bytes = 0;
+};
+
+/// Reads every frame of one segment file in order, invoking `fn` per
+/// record. With `tolerate_torn_tail` (the `.open` segment), the first
+/// invalid frame ends the replay cleanly — everything before it is intact
+/// thanks to the per-frame CRC; the stats record the truncation. Without
+/// it (sealed segments), any invalid frame is a kIOError naming the file.
+Status ReadWalSegment(Env* env, const std::string& path,
+                      bool tolerate_torn_tail,
+                      const std::function<Status(const WalRecord&)>& fn,
+                      WalSegmentStats* stats);
+
+}  // namespace opmap
+
+#endif  // OPMAP_INGEST_WAL_H_

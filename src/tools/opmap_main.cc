@@ -23,6 +23,7 @@
 // Every command rejects flags it does not understand (exit 4, naming the
 // flag) so typos fail loudly instead of silently using defaults.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +47,7 @@
 #include "opmap/gi/influence.h"
 #include "opmap/gi/trend.h"
 #include "opmap/gi/impressions.h"
+#include "opmap/ingest/ingester.h"
 #include "opmap/viz/export.h"
 #include "opmap/viz/html_report.h"
 #include "opmap/viz/views.h"
@@ -641,6 +643,117 @@ int CmdReport(const Args& args) {
   return 0;
 }
 
+// Copies rows [begin, end) of `data` into a fresh batch dataset — the
+// unit the ingester acknowledges (and fsyncs) at a time.
+Dataset SliceRows(const Dataset& data, int64_t begin, int64_t end) {
+  Dataset batch(data.schema());
+  batch.Reserve(end - begin);
+  std::vector<ValueCode> codes(static_cast<size_t>(data.num_attributes()));
+  for (int64_t row = begin; row < end; ++row) {
+    for (int a = 0; a < data.num_attributes(); ++a) {
+      codes[static_cast<size_t>(a)] = data.code(row, a);
+    }
+    batch.AppendRowUnchecked(codes.data());
+  }
+  return batch;
+}
+
+int CmdIngest(const Args& args) {
+  args.RejectUnknown("ingest",
+                     {"dir", "csv", "class", "batch-rows", "compact-every",
+                      "fsync", "threads", "block-rows", "verbose", "stats",
+                      "trace-out"});
+  const std::string dir = args.GetString("dir");
+  const std::string csv_path = args.GetString("csv");
+  RequireFlag(dir, "dir");
+  RequireFlag(csv_path, "csv");
+
+  IngestOptions options;
+  options.cube = BuildOptionsOf(args);
+  options.compact_every_batches = args.GetInt("compact-every", 0);
+  const std::string fsync = args.GetString("fsync");
+  if (fsync.empty() || fsync == "always") {
+    options.wal.sync_every_append = true;
+  } else if (fsync == "seal") {
+    options.wal.sync_every_append = false;
+  } else {
+    std::fprintf(stderr,
+                 "opmap: bad value for --fsync: '%s' (want always|seal)\n",
+                 fsync.c_str());
+    std::exit(4);
+  }
+  const int64_t batch_rows = args.GetInt("batch-rows", 4096);
+  if (batch_rows < 1) {
+    std::fprintf(stderr, "opmap: bad value for --batch-rows: must be >= 1\n");
+    std::exit(4);
+  }
+
+  // First ingest into a directory defines the schema from this CSV (all
+  // columns categorical, dictionaries in first-seen order); later ingests
+  // re-encode against the stored dictionaries.
+  const bool fresh = !Env::Default()->FileExists(dir + "/MANIFEST");
+  std::unique_ptr<Ingester> ing;
+  std::string class_column = args.GetString("class");
+  if (fresh) {
+    RequireFlag(class_column, "class");
+  } else {
+    ing = OrDie(Ingester::Open(Env::Default(), dir, options));
+    if (class_column.empty()) {
+      class_column = ing->schema().class_attribute().name();
+    }
+  }
+
+  CsvReadOptions csv;
+  csv.class_column = class_column;
+  csv.force_categorical = true;
+  IngestReport report;
+  Dataset parsed = OrDie(ReadCsv(csv_path, csv, &report));
+  Dataset rows = fresh ? std::move(parsed)
+                       : OrDie(ReencodeForSchema(parsed, ing->schema()));
+  if (fresh) {
+    ing = OrDie(Ingester::Create(Env::Default(), dir, rows.schema(), options));
+  }
+
+  const IngestStats before = ing->GetStats();
+  int64_t batches = 0;
+  for (int64_t begin = 0; begin < rows.num_rows(); begin += batch_rows) {
+    const int64_t end = std::min(begin + batch_rows, rows.num_rows());
+    Status st = ing->AppendBatch(SliceRows(rows, begin, end)).status();
+    if (!st.ok()) Die(st);
+    ++batches;
+  }
+  Status st = ing->Close();
+  if (!st.ok()) Die(st);
+
+  const IngestStats stats = ing->GetStats();
+  std::printf("ingested %lld rows in %lld batches into %s "
+              "(seq %llu..%llu, generation %llu)\n",
+              static_cast<long long>(rows.num_rows()),
+              static_cast<long long>(batches), dir.c_str(),
+              static_cast<unsigned long long>(before.next_seq),
+              static_cast<unsigned long long>(stats.next_seq - 1),
+              static_cast<unsigned long long>(stats.cube_generation));
+  if (args.GetBool("verbose")) {
+    std::fprintf(stderr,
+                 "wal: next_seq=%llu last_applied=%llu segments_sealed=%lld "
+                 "replayed_records=%lld replayed_rows=%lld torn_tail=%s\n",
+                 static_cast<unsigned long long>(stats.next_seq),
+                 static_cast<unsigned long long>(stats.last_applied_seq),
+                 static_cast<long long>(stats.segments_sealed),
+                 static_cast<long long>(stats.replayed_records),
+                 static_cast<long long>(stats.replayed_rows),
+                 stats.tail_truncated ? "truncated" : "clean");
+    std::fprintf(stderr,
+                 "compaction: generation=%llu runs=%lld "
+                 "batches_appended=%lld rows_appended=%lld\n",
+                 static_cast<unsigned long long>(stats.cube_generation),
+                 static_cast<long long>(stats.compactions),
+                 static_cast<long long>(stats.batches_appended),
+                 static_cast<long long>(stats.rows_appended));
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -667,6 +780,12 @@ int Usage() {
       "[--block-rows=N]\n"
       "  mine      --data=FILE.opmd [--min-support=F] [--min-confidence=F] "
       "[--max-conditions=N] [--threads=N] [--block-rows=N] [--top=N]\n"
+      "  ingest    --dir=DIR --csv=FILE.csv [--class=COLUMN] "
+      "[--batch-rows=N] [--compact-every=N] [--fsync=always|seal] "
+      "[--threads=N] [--verbose]\n"
+      "            crash-safe streaming ingestion: appends CSV rows to a "
+      "WAL-backed cube directory; the first ingest defines the schema "
+      "(--class required), later ones re-encode against it\n"
       "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
       "env var, else hardware); results are identical at any setting\n"
       "--block-rows=N sets the counting-kernel tile size in rows "
@@ -701,6 +820,7 @@ int Dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "gi") return CmdGi(args);
   if (cmd == "report") return CmdReport(args);
   if (cmd == "mine" || cmd == "car") return CmdMine(args);
+  if (cmd == "ingest") return CmdIngest(args);
   return Usage();
 }
 
@@ -722,6 +842,11 @@ int Run(int argc, char** argv) {
     }
   }
   if (obs.stats) {
+    // Surface tracer overflow in the table: dropped spans mean the trace
+    // (and span-fed histograms) under-report, so the reader must know.
+    MetricsRegistry::Global()
+        ->gauge("trace.dropped_spans")
+        ->Set(Tracer::Global()->DroppedEvents());
     std::fprintf(
         stderr, "%s",
         FormatMetricsTable(MetricsRegistry::Global()->Snapshot()).c_str());

@@ -183,3 +183,38 @@ m7=$("$OPMAP" mine --data="$DIR/d.opmd" --min-support=0.001 --top=5 \
     --block-rows=7) || fail "mine --block-rows"
 [ "$m0" = "$m7" ] || fail "mine --block-rows=7 changed the rules"
 echo "PASS serving"
+
+# ---- streaming ingestion ----
+
+# Fresh directory: the CSV schema (forced all-categorical) becomes the
+# store schema; appends go WAL-first with auto-compaction.
+out=$("$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" --class=result \
+    --batch-rows=3 --compact-every=2 --verbose 2>"$DIR/ing.stats") \
+    || fail "ingest fresh"
+echo "$out" | grep -q "ingested 8 rows in 3 batches" || fail "ingest summary"
+[ -f "$DIR/ing/MANIFEST" ] || fail "ingest manifest missing"
+grep -q "wal: next_seq=" "$DIR/ing.stats" || fail "ingest verbose wal line"
+grep -q "compaction: generation=" "$DIR/ing.stats" \
+    || fail "ingest verbose compaction line"
+grep -q "torn_tail=clean" "$DIR/ing.stats" || fail "ingest clean tail"
+
+# Existing directory: --class comes from the stored schema, and the CSV is
+# re-encoded against the stored dictionaries; the WAL tail is replayed.
+out=$("$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" --verbose \
+    2>"$DIR/ing2.stats") || fail "ingest reopen"
+echo "$out" | grep -q "seq 4..4" || fail "ingest reopen continues sequence"
+grep -q "replayed_records=1" "$DIR/ing2.stats" || fail "ingest replay count"
+
+# Flag validation: unknown flags and bad values exit 4 naming the problem.
+rc=0; out=$("$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" \
+    --bogus=1 2>&1) || rc=$?
+[ "$rc" -eq 4 ] || fail "ingest unknown flag should exit 4 (got $rc)"
+echo "$out" | grep -q -- "--bogus" || fail "ingest unknown-flag should name it"
+rc=0; out=$("$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" \
+    --fsync=sometimes 2>&1) || rc=$?
+[ "$rc" -eq 4 ] || fail "ingest --fsync=sometimes should exit 4 (got $rc)"
+echo "$out" | grep -q "sometimes" || fail "ingest bad fsync should name value"
+rc=0; "$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" --batch-rows=0 \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "ingest --batch-rows=0 should exit 4 (got $rc)"
+echo "PASS ingest"

@@ -103,6 +103,17 @@ TEST(HistogramTest, EmptyAndEdgeValues) {
   EXPECT_EQ(histogram.Percentile(99), 0.0);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroAtEveryP) {
+  // Regression lock: a histogram that never recorded must report 0 for
+  // every percentile — not the first bucket bound — so latency tables for
+  // idle paths read as silent, not as "1us p99".
+  Histogram histogram;
+  for (const double p : {0.0, 1.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(histogram.Percentile(p), 0.0) << "p=" << p;
+  }
+  EXPECT_EQ(histogram.Count(), 0);
+}
+
 TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
   MetricsRegistry registry;
   Counter* a = registry.counter("test.counter");

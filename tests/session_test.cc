@@ -201,6 +201,45 @@ TEST(QueryCache, BumpEpochDropsEntriesButKeepsOutstandingHandles) {
   EXPECT_EQ(*handle, "payload") << "earlier lookups outlive invalidation";
 }
 
+TEST(QueryCache, ConcurrentBumpEpochNeverServesAStaleEpochHit) {
+  // A compaction bumps the epoch while queries race lookups. Each cached
+  // value is tagged with the epoch it was inserted under; any hit a
+  // reader gets must be from an epoch at least as new as the one it
+  // observed before the lookup — a tag older than that would mean
+  // BumpEpoch let a pre-invalidation entry survive.
+  QueryCache cache(int64_t{1} << 20);
+  std::atomic<bool> done{false};
+
+  std::thread bumper([&]() {
+    for (int round = 0; round < 500; ++round) {
+      cache.BumpEpoch();
+      const uint64_t epoch = cache.GetStats().epoch;
+      cache.InsertAny("k", std::make_shared<const uint64_t>(epoch), 16);
+    }
+    done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&]() {
+      uint64_t last_epoch = 0;
+      while (!done) {
+        const uint64_t seen = cache.GetStats().epoch;
+        EXPECT_GE(seen, last_epoch) << "epoch went backwards";
+        last_epoch = seen;
+        auto hit =
+            std::static_pointer_cast<const uint64_t>(cache.LookupAny("k"));
+        if (hit != nullptr) {
+          EXPECT_GE(*hit, seen) << "stale-epoch cache hit after BumpEpoch";
+        }
+      }
+    });
+  }
+  bumper.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GE(cache.GetStats().epoch, 500u);
+}
+
 // ---------------------------------------------------------------------------
 // QueryEngine
 // ---------------------------------------------------------------------------

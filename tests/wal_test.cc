@@ -1,0 +1,338 @@
+// WAL frame and segment tests: round-trips, torn-tail truncation on the
+// open segment, hard errors on sealed-segment damage, size-based rolling,
+// and the FaultPlan repro string plus the power-cut / torn-write model of
+// FaultInjectingEnv that the crash drills build on.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "opmap/common/io.h"
+#include "opmap/ingest/wal.h"
+#include "test_util.h"
+
+namespace opmap {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  EXPECT_OK(Env::Default()->CreateDir(dir));
+  return dir;
+}
+
+void WipeSegments(const std::string& dir) {
+  for (uint64_t id = 1; id < 32; ++id) {
+    (void)Env::Default()->DeleteFile(dir + "/" + WalSegmentFileName(id));
+    (void)Env::Default()->DeleteFile(dir + "/" + WalOpenFileName(id));
+  }
+}
+
+std::vector<WalRecord> ReadAll(const std::string& path, bool tolerate,
+                               WalSegmentStats* stats = nullptr,
+                               Status* status_out = nullptr) {
+  std::vector<WalRecord> records;
+  Status st = ReadWalSegment(
+      Env::Default(), path, tolerate,
+      [&](const WalRecord& r) -> Status {
+        records.push_back(r);
+        return Status::OK();
+      },
+      stats);
+  if (status_out != nullptr) {
+    *status_out = st;
+  } else {
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return records;
+}
+
+TEST(WalNames, StableFormats) {
+  EXPECT_EQ(WalSegmentFileName(7), "wal-000007.log");
+  EXPECT_EQ(WalOpenFileName(123456), "wal-123456.open");
+}
+
+TEST(WalWriter, AppendAndReplayOpenSegment) {
+  const std::string dir = TempDirFor("wal_roundtrip");
+  WipeSegments(dir);
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Open(Env::Default(), dir, 1, WalOptions{}));
+  ASSERT_OK(writer.Append(1, "first"));
+  ASSERT_OK(writer.Append(2, std::string(1000, 'x')));
+  ASSERT_OK(writer.Append(3, ""));  // empty payloads are legal frames
+  ASSERT_OK(writer.Close());
+
+  WalSegmentStats stats;
+  const std::vector<WalRecord> records =
+      ReadAll(dir + "/" + WalOpenFileName(1), /*tolerate=*/true, &stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[0].payload, "first");
+  EXPECT_EQ(records[1].payload, std::string(1000, 'x'));
+  EXPECT_EQ(records[2].seq, 3u);
+  EXPECT_TRUE(records[2].payload.empty());
+  EXPECT_EQ(stats.records, 3);
+  EXPECT_FALSE(stats.tail_truncated);
+}
+
+TEST(WalWriter, RollSealsAndContinues) {
+  const std::string dir = TempDirFor("wal_roll");
+  WipeSegments(dir);
+  WalOptions options;
+  options.max_segment_bytes = 64;  // tiny: every append rolls
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Open(Env::Default(), dir, 1, options));
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_OK(writer.Append(seq, std::string(80, 'a' + char(seq))));
+  }
+  ASSERT_OK(writer.Close());
+  EXPECT_EQ(writer.segments_sealed(), 3);
+  EXPECT_EQ(writer.segment_id(), 4u);
+
+  // Segments 1..3 are sealed .log files, segment 4 is the open tail.
+  uint64_t next_seq = 1;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    const std::vector<WalRecord> records =
+        ReadAll(dir + "/" + WalSegmentFileName(id), /*tolerate=*/false);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].seq, next_seq++);
+  }
+  EXPECT_FALSE(Env::Default()->FileExists(dir + "/" + WalSegmentFileName(4)));
+  const std::vector<WalRecord> tail =
+      ReadAll(dir + "/" + WalOpenFileName(4), /*tolerate=*/true);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, 4u);
+}
+
+TEST(WalReplay, TornTailTruncatesAtLastValidFrame) {
+  const std::string dir = TempDirFor("wal_torn");
+  WipeSegments(dir);
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Open(Env::Default(), dir, 1, WalOptions{}));
+  ASSERT_OK(writer.Append(1, "keep-one"));
+  ASSERT_OK(writer.Append(2, "keep-two"));
+  ASSERT_OK(writer.Close());
+  const std::string path = dir + "/" + WalOpenFileName(1);
+
+  std::string bytes;
+  ASSERT_OK(ReadFileToString(Env::Default(), path, &bytes));
+  // Chop mid-way through the second frame: header survives, payload torn.
+  const std::string torn =
+      bytes.substr(0, bytes.size() - 3) + std::string();
+  {
+    std::remove(path.c_str());
+    ASSERT_OK_AND_ASSIGN(auto file, Env::Default()->NewWritableFile(path));
+    ASSERT_OK(file->Append(torn));
+    ASSERT_OK(file->Close());
+  }
+
+  WalSegmentStats stats;
+  const std::vector<WalRecord> records =
+      ReadAll(path, /*tolerate=*/true, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "keep-one");
+  EXPECT_TRUE(stats.tail_truncated);
+  EXPECT_GT(stats.truncated_bytes, 0);
+
+  // The same damage in a sealed segment is a hard error naming the file.
+  Status st;
+  (void)ReadAll(path, /*tolerate=*/false, nullptr, &st);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find(path), std::string::npos);
+}
+
+TEST(WalReplay, BitFlipIsCaughtByFrameCrc) {
+  const std::string dir = TempDirFor("wal_flip");
+  WipeSegments(dir);
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Open(Env::Default(), dir, 1, WalOptions{}));
+  ASSERT_OK(writer.Append(1, "intact"));
+  ASSERT_OK(writer.Append(2, "flipped"));
+  ASSERT_OK(writer.Close());
+  const std::string path = dir + "/" + WalOpenFileName(1);
+
+  std::string bytes;
+  ASSERT_OK(ReadFileToString(Env::Default(), path, &bytes));
+  bytes[bytes.size() - 2] ^= 0x10;  // inside the second frame's payload
+  {
+    std::remove(path.c_str());
+    ASSERT_OK_AND_ASSIGN(auto file, Env::Default()->NewWritableFile(path));
+    ASSERT_OK(file->Append(bytes));
+    ASSERT_OK(file->Close());
+  }
+
+  WalSegmentStats stats;
+  const std::vector<WalRecord> records =
+      ReadAll(path, /*tolerate=*/true, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "intact");
+  EXPECT_TRUE(stats.tail_truncated);
+}
+
+TEST(WalReplay, OversizedLengthFieldRejected) {
+  const std::string dir = TempDirFor("wal_oversize");
+  const std::string path = dir + "/" + WalOpenFileName(1);
+  {
+    std::remove(path.c_str());
+    ASSERT_OK_AND_ASSIGN(auto file, Env::Default()->NewWritableFile(path));
+    // length = 0xffffffff, then garbage: must not attempt a 4 GiB read.
+    ASSERT_OK(file->Append(std::string(16, '\xff')));
+    ASSERT_OK(file->Close());
+  }
+  Status st;
+  (void)ReadAll(path, /*tolerate=*/false, nullptr, &st);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("exceeds the limit"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan repro strings
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ToStringParseRoundTrip) {
+  FaultPlan plan;
+  plan.op = FaultOp::kRename;
+  plan.nth = 7;
+  plan.mode = CorruptionMode::kBitFlip;
+  plan.seed = 12345;
+  plan.power_cut = true;
+  const std::string line = plan.ToString();
+  EXPECT_EQ(line, "op=rename nth=7 mode=flip seed=12345 cut=1");
+  ASSERT_OK_AND_ASSIGN(FaultPlan parsed, FaultPlan::Parse(line));
+  EXPECT_EQ(parsed.op, plan.op);
+  EXPECT_EQ(parsed.nth, plan.nth);
+  EXPECT_EQ(parsed.mode, plan.mode);
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_EQ(parsed.power_cut, plan.power_cut);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(FaultPlan::Parse("").ok());
+  EXPECT_FALSE(FaultPlan::Parse("nth=1").ok());            // missing op
+  EXPECT_FALSE(FaultPlan::Parse("op=write").ok());         // missing nth
+  EXPECT_FALSE(FaultPlan::Parse("op=write nth=0").ok());   // nth >= 1
+  EXPECT_FALSE(FaultPlan::Parse("op=bogus nth=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("op=write nth=1 mode=zalgo").ok());
+}
+
+TEST(FaultOpNames, RoundTripAllOps) {
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    const FaultOp op = static_cast<FaultOp>(i);
+    ASSERT_OK_AND_ASSIGN(FaultOp parsed, ParseFaultOp(FaultOpName(op)));
+    EXPECT_EQ(parsed, op);
+  }
+  EXPECT_FALSE(ParseFaultOp("frobnicate").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Power-cut and torn-write model
+// ---------------------------------------------------------------------------
+
+TEST(PowerCut, EverythingFailsAfterTrigger) {
+  FaultInjectingEnv env;
+  FaultPlan plan;
+  plan.op = FaultOp::kSync;
+  plan.nth = 1;
+  plan.power_cut = true;
+  env.ArmPlan(plan);
+
+  const std::string path = ::testing::TempDir() + "/wal_powercut.bin";
+  ASSERT_OK_AND_ASSIGN(auto file, env.NewWritableFile(path));
+  ASSERT_OK(file->Append(std::string("before")));
+  EXPECT_FALSE(file->Sync().ok());  // the trigger
+  EXPECT_TRUE(env.PowerLost());
+  // The machine is off: every further operation fails, any op kind.
+  EXPECT_FALSE(file->Append(std::string("after")).ok());
+  EXPECT_FALSE(env.NewWritableFile(path).ok());
+  EXPECT_FALSE(env.RenameFile(path, path + ".x").ok());
+  EXPECT_FALSE(env.CreateDir(::testing::TempDir() + "/wal_pc_dir").ok());
+  env.Reset();
+  EXPECT_FALSE(env.PowerLost());
+  ASSERT_OK_AND_ASSIGN(auto after, env.NewWritableFile(path));
+  ASSERT_OK(after->Close());
+}
+
+TEST(TornWrite, LeavesSeedChosenPrefix) {
+  const std::string path = ::testing::TempDir() + "/wal_torn_prefix.bin";
+  const std::string payload = "0123456789abcdef";
+  FaultInjectingEnv env;
+  FaultPlan plan;
+  plan.op = FaultOp::kWrite;
+  plan.nth = 1;
+  plan.mode = CorruptionMode::kTornWrite;
+  plan.seed = 5;  // prefix length = 5 % 16 = 5
+  plan.power_cut = false;
+  env.ArmPlan(plan);
+
+  std::remove(path.c_str());
+  ASSERT_OK_AND_ASSIGN(auto file, env.NewWritableFile(path));
+  Status st = file->Append(payload);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(plan.ToString()), std::string::npos)
+      << "injected error should embed the repro string: " << st.ToString();
+  ASSERT_OK(file->Close());
+
+  std::string on_disk;
+  ASSERT_OK(ReadFileToString(Env::Default(), path, &on_disk));
+  EXPECT_EQ(on_disk, "01234");
+}
+
+TEST(TornWrite, BitFlipCorruptsExactlyOneBit) {
+  const std::string path = ::testing::TempDir() + "/wal_torn_flip.bin";
+  const std::string payload(32, '\0');
+  FaultInjectingEnv env;
+  FaultPlan plan;
+  plan.op = FaultOp::kWrite;
+  plan.nth = 1;
+  plan.mode = CorruptionMode::kBitFlip;
+  plan.seed = 21;  // prefix = 21, flipped byte = 3, flipped bit = 5
+  plan.power_cut = false;
+  env.ArmPlan(plan);
+
+  std::remove(path.c_str());
+  ASSERT_OK_AND_ASSIGN(auto file, env.NewWritableFile(path));
+  ASSERT_FALSE(file->Append(payload).ok());
+  ASSERT_OK(file->Close());
+
+  std::string on_disk;
+  ASSERT_OK(ReadFileToString(Env::Default(), path, &on_disk));
+  ASSERT_EQ(on_disk.size(), 21u);
+  int flipped_bits = 0;
+  for (char c : on_disk) {
+    for (int b = 0; b < 8; ++b) flipped_bits += (c >> b) & 1;
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST(TornWrite, WalAppendUnderPowerCutRecoversAcknowledgedPrefix) {
+  // End-to-end: tear the 3rd WAL append mid-write with the power out;
+  // replay must surface exactly the two acknowledged records.
+  const std::string dir = TempDirFor("wal_e2e_cut");
+  WipeSegments(dir);
+  FaultInjectingEnv env;
+  ASSERT_OK_AND_ASSIGN(WalWriter writer,
+                       WalWriter::Open(&env, dir, 1, WalOptions{}));
+  ASSERT_OK(writer.Append(1, "acked-one"));
+  ASSERT_OK(writer.Append(2, "acked-two"));
+  FaultPlan plan;
+  plan.op = FaultOp::kWrite;
+  plan.nth = env.OpCount(FaultOp::kWrite) + 1;
+  plan.mode = CorruptionMode::kTornWrite;
+  plan.seed = 11;
+  plan.power_cut = true;
+  env.ArmPlan(plan);
+  EXPECT_FALSE(writer.Append(3, "lost").ok());
+  EXPECT_TRUE(env.PowerLost());
+
+  WalSegmentStats stats;
+  const std::vector<WalRecord> records =
+      ReadAll(dir + "/" + WalOpenFileName(1), /*tolerate=*/true, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "acked-one");
+  EXPECT_EQ(records[1].payload, "acked-two");
+  EXPECT_TRUE(stats.tail_truncated);
+}
+
+}  // namespace
+}  // namespace opmap

@@ -18,6 +18,14 @@ sweep is not at least 2x faster than the cold one (compare/warm_cached
 vs compare/cold) — the wins the mapped format and the result cache
 exist to deliver.
 
+Streaming-ingestion ops (BENCH_ingest.json, from bench_parallel
+--ingest): fails if the append throughput record is missing or shows a
+non-positive rate, if the concurrent query latency percentiles are
+inconsistent (ingest/query_p50 above ingest/query_p99, or no sweep ever
+completed), or if recovery replayed no WAL records (the bench always
+holds back a tail to replay). The absolute append-rate floor is a rate
+guard and obeys the one-core skip below.
+
 Speedup guards are skipped (reported, not enforced) when the records
 carry hardware_concurrency == 1: on a one-core host the timings are
 too contended to judge.
@@ -46,6 +54,11 @@ GUARDED_PAIRS = ("cube/add_dataset", "car/mine")
 
 # Minimum speedup of the warm cached sweep over the cold one.
 MIN_WARM_SPEEDUP = 2.0
+
+# Absolute floor on WAL-backed append throughput (rows/s). Deliberately
+# far below any healthy measurement (~100x): it catches an accidentally
+# serialized or fsync-per-row configuration, not ordinary jitter.
+MIN_APPEND_ROWS_PER_S = 1000.0
 
 
 def check_kernel_pairs(path: str, pairs: dict, skip_speedups: bool) -> bool:
@@ -125,6 +138,73 @@ def check_serving_ops(path: str, wall_ms: dict, skip_speedups: bool) -> bool:
     return failed
 
 
+def check_ingest_ops(path: str, ingest: dict, skip_speedups: bool) -> bool:
+    """Guards the streaming-ingestion ops; True when a guard failed."""
+    failed = False
+
+    def require(op: str):
+        nonlocal failed
+        if op not in ingest:
+            print(f"check_bench: FAIL: no {op} record in {path}",
+                  file=sys.stderr)
+            failed = True
+            return None
+        return ingest[op]
+
+    append = require("ingest/append")
+    p50 = require("ingest/query_p50")
+    p99 = require("ingest/query_p99")
+    recover = require("ingest/recover")
+
+    if append is not None:
+        rows_per_s = float(append.get("items_per_s", 0.0))
+        print(f"{'ingest/append throughput':40s} "
+              f"{rows_per_s:14.1f} rows/s")
+        if rows_per_s <= 0:
+            print(f"check_bench: FAIL: ingest/append in {path} acknowledged "
+                  f"no rows", file=sys.stderr)
+            failed = True
+        elif rows_per_s < MIN_APPEND_ROWS_PER_S:
+            if skip_speedups:
+                print(f"check_bench: SKIP (hardware_concurrency=1): append "
+                      f"rate {rows_per_s:.1f} rows/s below the "
+                      f"{MIN_APPEND_ROWS_PER_S:.0f} rows/s floor")
+            else:
+                print(f"check_bench: FAIL: ingest/append rate "
+                      f"{rows_per_s:.1f} rows/s is below the "
+                      f"{MIN_APPEND_ROWS_PER_S:.0f} rows/s floor "
+                      f"(fsync-per-row or serialized ingest?)",
+                      file=sys.stderr)
+                failed = True
+
+    if p50 is not None and p99 is not None:
+        w50 = float(p50["wall_ms"])
+        w99 = float(p99["wall_ms"])
+        print(f"{'ingest query latency under load':40s} "
+              f"p50={w50:10.2f} ms  p99={w99:10.2f} ms")
+        if w50 > w99:
+            print(f"check_bench: FAIL: ingest/query_p50 ({w50:.2f} ms) "
+                  f"exceeds ingest/query_p99 ({w99:.2f} ms) in {path} — "
+                  f"percentiles of one run cannot invert", file=sys.stderr)
+            failed = True
+        if float(p50.get("items_per_s", 0.0)) <= 0:
+            print(f"check_bench: FAIL: no concurrent sweep ever completed "
+                  f"during the ingest run in {path}", file=sys.stderr)
+            failed = True
+
+    if recover is not None:
+        if float(recover.get("items_per_s", 0.0)) <= 0:
+            print(f"check_bench: FAIL: ingest/recover in {path} replayed no "
+                  f"WAL records — the bench holds back a tail precisely so "
+                  f"recovery has work to do", file=sys.stderr)
+            failed = True
+        else:
+            print(f"{'ingest/recover':40s} "
+                  f"{float(recover['wall_ms']):10.2f} ms  "
+                  f"{float(recover['items_per_s']):10.1f} records/s")
+    return failed
+
+
 def check_stats(path: str, latest: dict) -> bool:
     """Guards the embedded metrics snapshots; True when a guard failed.
 
@@ -169,6 +249,7 @@ def check_file(path: str) -> int:
     # an append-only file judge the freshest measurement.
     pairs: dict = {}
     serving: dict = {}
+    ingest: dict = {}
     latest: dict = {}
     hardware = None
     for rec in records:
@@ -181,12 +262,14 @@ def check_file(path: str) -> int:
                 pairs.setdefault(base, {})[kernel] = float(rec["wall_ms"])
         if op.startswith(("store/", "compare/")):
             serving[op] = float(rec["wall_ms"])
+        if op.startswith("ingest/"):
+            ingest[op] = rec
         if "hardware_concurrency" in rec:
             hardware = int(rec["hardware_concurrency"])
 
-    if not pairs and not serving:
-        print(f"check_bench: no kernel pairs or serving ops in {path}",
-              file=sys.stderr)
+    if not pairs and not serving and not ingest:
+        print(f"check_bench: no kernel pairs, serving ops, or ingest ops "
+              f"in {path}", file=sys.stderr)
         return 2
 
     # Records predating the hardware_concurrency field enforce as before.
@@ -200,6 +283,8 @@ def check_file(path: str) -> int:
         failed |= check_kernel_pairs(path, pairs, skip_speedups)
     if serving and not pairs:
         failed |= check_serving_ops(path, serving, skip_speedups)
+    if ingest:
+        failed |= check_ingest_ops(path, ingest, skip_speedups)
     failed |= check_stats(path, latest)
     return 1 if failed else 0
 

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
 # Builds the tree with sanitizers and runs the full test suite under them.
 #
-#   tools/ci_sanitize.sh [build-dir] [mode]
+#   tools/ci_sanitize.sh [build-dir] [mode] [ctest-regex]
 #     mode = address (default): ASan+UBSan — memory errors, UB, leaks; the
 #            fault-injection, corruption and v3 mapped-serving paths run
 #            with checking on.
 #     mode = thread: TSan — data races in the parallel execution layer
 #            (sharded cube builds, comparator fan-out, CAR counting, the
 #            shared query cache under CompareAllPairs, lazy per-cube
-#            verification of mapped stores).
+#            verification of mapped stores, and the WAL-backed ingester
+#            under concurrent writers).
 #            ASan and TSan are mutually exclusive builds.
+#     ctest-regex (optional): restrict the run to matching tests — the
+#            crash-drill CI job passes 'wal_test|ingest_test' to sweep
+#            every power-cut injection point under the sanitizers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 MODE="${2:-address}"
+TESTS_REGEX="${3:-}"
 
 case "$MODE" in
   address|thread) ;;
@@ -41,4 +46,9 @@ else
   export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
   export ASAN_OPTIONS="strict_string_checks=1"
 fi
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ -n "$TESTS_REGEX" ]]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R "$TESTS_REGEX"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -78,4 +78,17 @@ echo "--- serving (threads=1) ---"
 
 echo
 echo "wrote $(grep -c '"op"' "$SERVING_OUT") measurements to $SERVING_OUT"
-python3 tools/check_bench.py "$COUNTING_OUT" "$SERVING_OUT"
+
+# Streaming-ingestion ops: WAL-backed batch appends with auto-compaction
+# and a concurrent query thread sweeping snapshots — append throughput,
+# query latency percentiles under load, and recovery-on-open replay.
+# tools/check_bench.py guards all three resulting files.
+INGEST_OUT="BENCH_ingest.json"
+rm -f "$INGEST_OUT"
+echo "--- ingest (threads=$HW) ---"
+"$BUILD_DIR/bench/bench_parallel" \
+  --records="$RECORDS" --threads="$HW" --ingest --json="$INGEST_OUT"
+
+echo
+echo "wrote $(grep -c '"op"' "$INGEST_OUT") measurements to $INGEST_OUT"
+python3 tools/check_bench.py "$COUNTING_OUT" "$SERVING_OUT" "$INGEST_OUT"
