@@ -6,20 +6,23 @@
 #include <thread>
 
 #include "opmap/common/metrics.h"
+#include "opmap/common/simd.h"
 
 namespace opmap::bench {
 
 namespace {
 
 std::string FormatRecord(const BenchRecord& record) {
-  // op names are benchmark-internal identifiers ([a-z0-9_/=] only), so no
-  // JSON string escaping is needed; keep the writer dependency-free.
-  char buf[192];
+  // op names and SIMD level names are benchmark-internal identifiers
+  // ([a-z0-9_/=] only), so no JSON string escaping is needed; keep the
+  // writer dependency-free.
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "\", \"threads\": %d, \"hardware_concurrency\": %d, "
+                "\"simd\": \"%s\", "
                 "\"wall_ms\": %.3f, \"items_per_s\": %.1f, \"stats\": ",
-                record.threads, record.hardware_concurrency, record.wall_ms,
-                record.items_per_s);
+                record.threads, record.hardware_concurrency,
+                record.simd.c_str(), record.wall_ms, record.items_per_s);
   return "  {\"op\": \"" + record.op + buf + record.stats_json + "}";
 }
 
@@ -31,6 +34,9 @@ Status AppendBenchRecord(const std::string& path,
   if (record.hardware_concurrency == 0) {
     record.hardware_concurrency =
         static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (record.simd.empty()) {
+    record.simd = SimdLevelName(CurrentSimdLevel());
   }
   if (record.stats_json.empty()) {
     record.stats_json =

@@ -19,6 +19,11 @@ struct BenchRecord {
   /// skips thread-scaling guards when this is 1 (speedups are
   /// unobservable on one core).
   int hardware_concurrency = 0;
+  /// Detected SIMD level of the recording machine ("none", "avx2",
+  /// "neon"); empty = filled with SimdLevelName(CurrentSimdLevel()) at
+  /// append time. check_bench.py skips SIMD-vs-blocked guards when this
+  /// is "none" (the speedup is unobservable without vector units).
+  std::string simd;
   /// Process metrics snapshot embedded as the record's "stats" object
   /// (a FormatMetricsJson string); empty = snapshot at append time. The
   /// actual thread-pool size rides along as the pool.workers gauge.

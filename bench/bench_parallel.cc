@@ -19,7 +19,15 @@
 //        batch appends with live compaction, concurrent query latency
 //        percentiles over Snapshot(), and recovery-on-open; this is how
 //        tools/run_bench.sh produces BENCH_ingest.json, also guarded by
-//        tools/check_bench.py).
+//        tools/check_bench.py),
+//        --scaling (run ONLY the SIMD-vs-scalar and multi-core scaling
+//        benches: cube/add_dataset and car/mine once per kernel tier at
+//        one thread, then a thread sweep at 1,2,4,...,hardware threads on
+//        the SIMD tier; this is how tools/run_bench.sh produces
+//        BENCH_simd.json. Every record carries hardware_concurrency and
+//        the detected SIMD level, so tools/check_bench.py can apply the
+//        simd>=blocked and near-linear-scaling guards only on machines
+//        that actually have vector units / multiple cores).
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +40,7 @@
 #include "bench_util.h"
 #include "opmap/car/miner.h"
 #include "opmap/common/io.h"
+#include "opmap/common/simd.h"
 #include "opmap/compare/comparator.h"
 #include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
@@ -267,6 +276,110 @@ void RunIngest(const Dataset& dataset, const ParallelOptions& parallel,
   scrub();
 }
 
+// SIMD and multi-core scaling benchmarks (BENCH_simd.json), run with
+// --scaling.
+//
+// Op semantics:
+//   cube/add_dataset/<kernel>  single-thread cube build per kernel tier
+//   car/mine/<kernel>          single-thread CAR mining per kernel tier
+//   scaling/cube/add_dataset   SIMD-tier cube build at t threads
+//   scaling/car/mine           SIMD-tier CAR mining at t threads
+//
+// The per-tier rows answer "what does vectorization buy at equal thread
+// count"; the scaling rows answer "what does another core buy on top".
+// Thread counts sweep 1, 2, 4, ... up to hardware_concurrency; on a
+// one-core host only the t=1 row exists, which is the honest record —
+// the old BENCH_parallel.json thread rows recorded on a 1-CPU container
+// measured pool overhead, not speedup. The kernel tiers are pinned
+// explicitly (not resolved through OPMAP_KERNEL) so the records measure
+// what their op names claim; a /simd row on a machine without vector
+// units silently runs the blocked fallback, which is why check_bench.py
+// keys its guard off the record's "simd" field instead of the op name.
+//
+// Every row is the minimum of kScalingReps runs (1 for the reference
+// tier, whose 30s+ runs are both too slow to repeat and too far from
+// the blocked/simd pair for noise to matter): the simd-over-blocked
+// margin can be ~10% while scheduler noise on a busy host is of the
+// same order, and min-of-N is the standard estimator for the true cost
+// of a deterministic computation.
+constexpr int kScalingReps = 3;
+
+void RunScaling(const Dataset& dataset, int64_t records,
+                const std::string& json) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency=%d simd=%s\n\n", hw,
+              SimdLevelName(CurrentSimdLevel()));
+
+  const auto min_of = [](int reps, const auto& run_once) {
+    double best = run_once();
+    for (int i = 1; i < reps; ++i) best = std::min(best, run_once());
+    return best;
+  };
+  const auto build_ms = [&](CountKernel kernel, const ParallelOptions& p) {
+    const int reps = kernel == CountKernel::kReference ? 1 : kScalingReps;
+    return min_of(reps, [&] {
+      CubeStoreOptions options;
+      options.parallel = p;
+      options.kernel = kernel;
+      const int64_t start_us = MonotonicMicros();
+      CubeStore built = bench::ValueOrDie(
+          CubeBuilder::FromDataset(dataset, options), "cube build");
+      (void)built;
+      return bench::MillisSince(start_us);
+    });
+  };
+  const auto mine_ms = [&](CountKernel kernel, const ParallelOptions& p) {
+    const int reps = kernel == CountKernel::kReference ? 1 : kScalingReps;
+    return min_of(reps, [&] {
+      CarMinerOptions options;
+      options.min_support = 0.01;
+      options.max_conditions = 2;
+      options.parallel = p;
+      options.kernel = kernel;
+      const int64_t start_us = MonotonicMicros();
+      RuleSet rules = bench::ValueOrDie(
+          MineClassAssociationRules(dataset, options), "car");
+      (void)rules;
+      return bench::MillisSince(start_us);
+    });
+  };
+
+  ParallelOptions serial;
+  serial.num_threads = 1;
+  // Blocked runs before reference so the blocked record's embedded metrics
+  // snapshot (cumulative over the process) still shows zero
+  // cube.kernel_reference builds — check_bench.py guards that to prove the
+  // measurement timed the kernel its op name claims.
+  const struct {
+    CountKernel kernel;
+    const char* name;
+  } kTiers[] = {{CountKernel::kBlocked, "blocked"},
+                {CountKernel::kSimd, "simd"},
+                {CountKernel::kReference, "reference"}};
+  for (const auto& tier : kTiers) {
+    const double cube_ms = build_ms(tier.kernel, serial);
+    Report(json, std::string("cube/add_dataset/") + tier.name, 1, cube_ms,
+           static_cast<double>(records) / cube_ms * 1e3);
+    const double car_ms = mine_ms(tier.kernel, serial);
+    Report(json, std::string("car/mine/") + tier.name, 1, car_ms,
+           static_cast<double>(records) / car_ms * 1e3);
+  }
+
+  std::vector<int> thread_counts = {1};
+  for (int t = 2; t < hw; t *= 2) thread_counts.push_back(t);
+  if (hw > 1) thread_counts.push_back(hw);
+  for (const int t : thread_counts) {
+    ParallelOptions p;
+    p.num_threads = t;
+    const double cube_ms = build_ms(CountKernel::kSimd, p);
+    Report(json, "scaling/cube/add_dataset", t, cube_ms,
+           static_cast<double>(records) / cube_ms * 1e3);
+    const double car_ms = mine_ms(CountKernel::kSimd, p);
+    Report(json, "scaling/car/mine", t, car_ms,
+           static_cast<double>(records) / car_ms * 1e3);
+  }
+}
+
 void Main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   const int64_t records = flags.GetInt("records", 100000);
@@ -298,6 +411,11 @@ void Main(int argc, char** argv) {
     return;
   }
 
+  if (flags.GetBool("scaling", false)) {
+    RunScaling(dataset, records, json);
+    return;
+  }
+
   // Raw ParallelFor dispatch overhead over a trivially cheap body.
   // Skipped when a kernel is pinned: the counting comparison only needs
   // the two counting benches below.
@@ -312,15 +430,29 @@ void Main(int argc, char** argv) {
     Report(json, "parallel_for/square", threads, ms, kItems / ms * 1e3);
   }
 
+  // Pinned blocked/simd counting rows take the min of kScalingReps runs:
+  // their mutual margin can be ~10%, the same order as scheduler noise
+  // on a busy host, and check_bench.py compares these rows directly. The
+  // reference tier is 5-100x off, so one (much slower) run is plenty.
+  const int count_reps =
+      kernel_pinned && kernel != CountKernel::kReference ? kScalingReps : 1;
+
   // Sharded cube materialization (the AddDataset fast path).
   CubeStore store = [&] {
     CubeStoreOptions options;
     options.parallel = parallel;
     options.kernel = kernel;
-    const int64_t start_us = MonotonicMicros();
+    int64_t start_us = MonotonicMicros();
     CubeStore built = bench::ValueOrDie(
         CubeBuilder::FromDataset(dataset, options), "cube build");
-    const double ms = bench::MillisSince(start_us);
+    double ms = bench::MillisSince(start_us);
+    for (int i = 1; i < count_reps; ++i) {
+      start_us = MonotonicMicros();
+      CubeStore again = bench::ValueOrDie(
+          CubeBuilder::FromDataset(dataset, options), "cube build");
+      ms = std::min(ms, bench::MillisSince(start_us));
+      (void)again;
+    }
     Report(json, "cube/add_dataset" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     return built;
@@ -362,10 +494,17 @@ void Main(int argc, char** argv) {
     options.max_conditions = 2;
     options.parallel = parallel;
     options.kernel = kernel;
-    const int64_t start_us = MonotonicMicros();
+    int64_t start_us = MonotonicMicros();
     RuleSet rules = bench::ValueOrDie(
         MineClassAssociationRules(dataset, options), "car");
-    const double ms = bench::MillisSince(start_us);
+    double ms = bench::MillisSince(start_us);
+    for (int i = 1; i < count_reps; ++i) {
+      start_us = MonotonicMicros();
+      RuleSet again = bench::ValueOrDie(
+          MineClassAssociationRules(dataset, options), "car");
+      ms = std::min(ms, bench::MillisSince(start_us));
+      (void)again;
+    }
     Report(json, "car/mine" + op_suffix, threads, ms,
            static_cast<double>(records) / ms * 1e3);
     (void)rules;

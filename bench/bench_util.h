@@ -83,26 +83,25 @@ inline ParallelOptions ThreadsOf(const Flags& flags) {
   return parallel;
 }
 
-/// --kernel=reference|blocked counting-kernel selection for the
+/// --kernel=reference|blocked|simd counting-kernel selection for the
 /// before/after benches. Returns true when the flag was passed, setting
-/// `*kernel` and `*suffix` ("/reference" or "/blocked", appended to op
-/// names so BENCH_counting.json holds comparable record pairs). Absent
-/// flag leaves both untouched (library default, no suffix); anything else
-/// aborts.
+/// `*kernel` and `*suffix` ("/reference", "/blocked" or "/simd", appended
+/// to op names so BENCH_counting.json holds comparable record tuples).
+/// Absent flag leaves both untouched (library default, no suffix); an
+/// invalid value exits with the CLI's InvalidArgument code (4), naming
+/// the --kernel flag.
 inline bool KernelOf(const Flags& flags, CountKernel* kernel,
                      std::string* suffix) {
   const std::string name = flags.GetString("kernel");
   if (name.empty()) return false;
-  if (name == "reference") {
-    *kernel = CountKernel::kReference;
-  } else if (name == "blocked") {
-    *kernel = CountKernel::kBlocked;
-  } else {
+  const Result<CountKernel> parsed = ParseCountKernel(name);
+  if (!parsed.ok()) {
     std::fprintf(stderr,
-                 "FATAL: --kernel=%s (expected reference or blocked)\n",
+                 "FATAL: --kernel=%s (expected reference, blocked or simd)\n",
                  name.c_str());
-    std::exit(1);
+    std::exit(4);
   }
+  *kernel = parsed.value();
   *suffix = "/" + name;
   return true;
 }

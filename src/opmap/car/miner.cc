@@ -9,6 +9,7 @@
 
 #include "opmap/common/metrics.h"
 #include "opmap/common/parallel.h"
+#include "opmap/common/simd.h"
 #include "opmap/common/trace.h"
 #include "opmap/cube/count_kernels.h"
 
@@ -92,7 +93,7 @@ constexpr int64_t kMaxDensePairCells = int64_t{1} << 22;
 // candidate's per-class counts into its fixed `merged` slots. Groups
 // touch disjoint slots, so groups can run concurrently without merge.
 void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
-                    int num_classes, int64_t block_rows,
+                    int num_classes, int64_t block_rows, bool use_simd,
                     std::vector<int64_t>* dense_scratch, int64_t* merged) {
   const PackedColumn& a = packed.column(group.col_a);
   const PackedColumn& b = packed.column(group.col_b);
@@ -108,7 +109,8 @@ void CountPairGroup(const PairGroup& group, const PackedColumnSet& packed,
     // changes the totals.
     for (int64_t t0 = 0; t0 < n; t0 += block_rows) {
       CountPairBlocked(a, b, cls, num_classes, t0,
-                       std::min(n, t0 + block_rows), dense_scratch->data());
+                       std::min(n, t0 + block_rows), dense_scratch->data(),
+                       use_simd);
     }
     for (const PairGroup::Cand& c : group.cands) {
       const int64_t* cell =
@@ -256,8 +258,28 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
   // (and the class) once, then stream the packed columns in the level-1
   // and level-2 counting passes below. The counts are bit-identical to
   // the reference row loop; the packed set is scratch for this pass only.
-  const bool blocked = options.kernel == CountKernel::kBlocked &&
+  const CountKernel kernel = ResolveCountKernel(options.kernel);
+  const bool blocked = kernel != CountKernel::kReference &&
                        BlockedKernelSupported(schema, free_attrs);
+  const bool simd =
+      blocked && kernel == CountKernel::kSimd && SimdAvailable();
+  if (kernel == CountKernel::kSimd) {
+    MetricsRegistry* const metrics = MetricsRegistry::Global();
+    if (!simd) {
+      metrics->counter("kernel.simd_fallbacks")->Increment();
+    } else {
+      metrics->counter("kernel.simd_selected")->Increment();
+      // Free attributes whose codes pack wider than uint16 run the
+      // scalar blocked loop inside the level-1 pass.
+      int64_t scalar_cols = 0;
+      for (int a : free_attrs) {
+        if (schema.attribute(a).domain() > 65535) ++scalar_cols;
+      }
+      if (scalar_cols > 0) {
+        metrics->counter("kernel.simd_fallbacks")->Increment(scalar_cols);
+      }
+    }
+  }
   const int64_t block_rows = ResolveBlockRows(options.block_rows);
   PackedColumnSet packed;
   if (blocked) packed = PackedColumnSet::Build(dataset, free_attrs, &rows);
@@ -281,7 +303,7 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
             for (size_t i = 0; i < num_free; ++i) {
               CountAttrBlocked(packed.column(static_cast<int>(i)),
                                packed.class_column(), num_classes, t0, t1,
-                               counts + item_offset[i] * num_classes);
+                               counts + item_offset[i] * num_classes, simd);
             }
           }
           return;
@@ -431,7 +453,7 @@ Result<RuleSet> MineClassAssociationRules(const Dataset& dataset,
             std::vector<int64_t> dense_scratch;
             for (int64_t g = lo; g < hi; ++g) {
               CountPairGroup(groups[static_cast<size_t>(g)], packed,
-                             num_classes, block_rows, &dense_scratch,
+                             num_classes, block_rows, simd, &dense_scratch,
                              merged.data());
             }
           });

@@ -33,10 +33,12 @@ struct CarMinerOptions {
   ParallelOptions parallel;
   /// Counting kernel for the level-1 and level-2 passes. The blocked
   /// kernel streams packed columns built once per mining pass instead of
-  /// hash-probing item combinations row by row; levels 3+ always use the
-  /// reference combination-enumeration path. Both kernels mine
+  /// hash-probing item combinations row by row; kSimd vectorizes the
+  /// blocked inner loops where shapes allow (falling back per column);
+  /// kAuto resolves via ResolveCountKernel. Levels 3+ always use the
+  /// reference combination-enumeration path. Every kernel mines
   /// bit-identical rule sets.
-  CountKernel kernel = CountKernel::kBlocked;
+  CountKernel kernel = CountKernel::kAuto;
   /// Row-tile size for the blocked level-1/level-2 counting passes; counts
   /// are accumulated tile by tile so the working set stays cache-resident.
   /// Purely a performance knob — counts are additive over row ranges, so

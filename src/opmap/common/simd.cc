@@ -1,0 +1,50 @@
+#include "opmap/common/simd.h"
+
+namespace opmap {
+
+namespace {
+
+SimdLevel DetectSimdLevel() {
+#if defined(OPMAP_SIMD_X86)
+  // __builtin_cpu_supports executes CPUID once under the hood (the
+  // compiler caches the feature bitmap in a hidden global).
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kNone;
+#elif defined(OPMAP_SIMD_NEON)
+  // NEON is baseline on aarch64: no runtime probe needed.
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kNone;
+#endif
+}
+
+}  // namespace
+
+SimdLevel CurrentSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    default:
+      return "none";
+  }
+}
+
+int SimdLaneBytes(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return 32;
+    case SimdLevel::kNeon:
+      return 16;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace opmap

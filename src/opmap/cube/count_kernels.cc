@@ -5,11 +5,112 @@
 #include <cstring>
 #include <limits>
 
+#include "opmap/common/simd.h"
+#include "opmap/cube/count_kernels_simd.h"
+
 namespace opmap {
 
 namespace {
 
 constexpr int64_t kMaxBlockRows = 1 << 20;
+
+// Rows per sub-tile of the standalone SIMD attr/pair paths: small enough
+// that the int32 scratch lives on the stack and in L1, and within the
+// bit-sliced counter's byte-accumulator bound.
+constexpr int64_t kSimdSubTile = internal::kSimdCountSmallMaxRows;
+
+// Count arrays up to this many cells get private per-stream accumulators
+// in HistogramIdx (below); larger arrays share the output buffer, where
+// same-cell collisions are rare anyway.
+constexpr int64_t kHistMultiAccCells = 1024;
+
+// Scalar multi-accumulator histogram over a dense (compacted) index
+// stream — the back half of every SIMD counting path. Four interleaved
+// streams break the load-add-store dependency chain of a single `++`
+// loop, and for small count arrays each stream gets a private
+// accumulator so two streams hitting the same cell never collide: the
+// gather-free answer to vector scatter-with-conflict-detection.
+// Bit-identical to a plain loop because int64 addition commutes.
+void HistogramIdx(const int32_t* idx, int64_t cnt, int64_t* counts,
+                  int64_t cells) {
+  const int64_t q = cnt / 4;
+  const int32_t* p0 = idx;
+  const int32_t* p1 = idx + q;
+  const int32_t* p2 = idx + 2 * q;
+  const int32_t* p3 = idx + 3 * q;
+  if (cells <= kHistMultiAccCells && cnt >= cells * 8) {
+    thread_local std::vector<int64_t> scratch;
+    scratch.assign(static_cast<size_t>(4 * cells), 0);
+    int64_t* a0 = scratch.data();
+    int64_t* a1 = a0 + cells;
+    int64_t* a2 = a0 + 2 * cells;
+    int64_t* a3 = a0 + 3 * cells;
+    for (int64_t k = 0; k < q; ++k) {
+      ++a0[p0[k]];
+      ++a1[p1[k]];
+      ++a2[p2[k]];
+      ++a3[p3[k]];
+    }
+    for (int64_t k = 4 * q; k < cnt; ++k) ++a0[idx[k]];
+    for (int64_t c = 0; c < cells; ++c) {
+      counts[c] += a0[c] + a1[c] + a2[c] + a3[c];
+    }
+  } else {
+    for (int64_t k = 0; k < q; ++k) {
+      ++counts[p0[k]];
+      ++counts[p1[k]];
+      ++counts[p2[k]];
+      ++counts[p3[k]];
+    }
+    for (int64_t k = 4 * q; k < cnt; ++k) ++counts[idx[k]];
+  }
+}
+
+// Width-dispatch wrappers over the vector kernel table. Callers must
+// have checked SimdColumnEligible (width <= 2) first.
+void SimdWiden(const internal::SimdKernels& sk, const PackedColumn& col,
+               int64_t offset, int64_t len, int32_t* out) {
+  if (col.width() == 1) {
+    sk.widen_u8(col.u8() + offset, col.sentinel(), len, out);
+  } else {
+    sk.widen_u16(col.u16() + offset, col.sentinel(), len, out);
+  }
+}
+
+void SimdFuse(const internal::SimdKernels& sk, const PackedColumn& col,
+              int64_t offset, const int32_t* base, int32_t mult, int64_t len,
+              int32_t* fused) {
+  if (col.width() == 1) {
+    sk.fuse_u8(col.u8() + offset, col.sentinel(), base, mult, len, fused,
+               nullptr);
+  } else {
+    sk.fuse_u16(col.u16() + offset, col.sentinel(), base, mult, len, fused,
+                nullptr);
+  }
+}
+
+int64_t SimdFuseStore(const internal::SimdKernels& sk, const PackedColumn& col,
+                      int64_t offset, const int32_t* base, int32_t mult,
+                      int64_t len, int32_t* fused, int32_t* idx) {
+  if (col.width() == 1) {
+    return sk.fuse_store_u8(col.u8() + offset, col.sentinel(), base, mult, len,
+                            fused, idx);
+  }
+  return sk.fuse_store_u16(col.u16() + offset, col.sentinel(), base, mult, len,
+                           fused, idx);
+}
+
+int64_t SimdFuseCompact(const internal::SimdKernels& sk,
+                        const PackedColumn& col, int64_t offset,
+                        const int32_t* base, int32_t mult, int64_t len,
+                        int32_t* idx) {
+  if (col.width() == 1) {
+    return sk.fuse_compact_u8(col.u8() + offset, col.sentinel(), base, mult,
+                              len, nullptr, idx);
+  }
+  return sk.fuse_compact_u16(col.u16() + offset, col.sentinel(), base, mult,
+                             len, nullptr, idx);
+}
 
 // Packs one code: kNullCode becomes the sentinel (== domain), everything
 // else is already in [0, domain).
@@ -110,6 +211,49 @@ void WithTyped(const PackedColumn& col, int64_t offset, Fn&& fn) {
 }
 
 }  // namespace
+
+Result<CountKernel> ParseCountKernel(const std::string& text) {
+  if (text == "reference") return CountKernel::kReference;
+  if (text == "blocked") return CountKernel::kBlocked;
+  if (text == "simd") return CountKernel::kSimd;
+  return Status::InvalidArgument("kernel value '" + text +
+                                 "' is not one of reference|blocked|simd");
+}
+
+CountKernel ResolveCountKernel(CountKernel requested) {
+  if (requested != CountKernel::kAuto) return requested;
+  const char* env = std::getenv("OPMAP_KERNEL");
+  if (env != nullptr) {
+    Result<CountKernel> parsed = ParseCountKernel(env);
+    // Invalid environment values are ignored (the library stays usable;
+    // the CLI validates its own flag loudly), like OPMAP_THREADS.
+    if (parsed.ok()) return parsed.value();
+  }
+  return SimdAvailable() ? CountKernel::kSimd : CountKernel::kBlocked;
+}
+
+const char* CountKernelName(CountKernel kernel) {
+  switch (kernel) {
+    case CountKernel::kBlocked:
+      return "blocked";
+    case CountKernel::kReference:
+      return "reference";
+    case CountKernel::kSimd:
+      return "simd";
+    default:
+      return "auto";
+  }
+}
+
+bool SimdColumnEligible(const PackedColumn& col) { return col.width() <= 2; }
+
+bool SimdPairEligible(int64_t domain_i, int64_t stride_j) {
+  // (domain_i + 1) * stride_j must fit int32: the +1 keeps even a
+  // sentinel lane's wrapped product in range. Division form avoids int64
+  // overflow for absurd shapes.
+  if (domain_i < 0 || stride_j <= 0) return false;
+  return domain_i + 1 <= std::numeric_limits<int32_t>::max() / stride_j;
+}
 
 Result<int64_t> ParseBlockRows(const std::string& text) {
   if (text.empty()) {
@@ -236,12 +380,19 @@ void CountRangeBlocked(const BlockedCountArgs& args, int64_t row_begin,
   const int m = cols.num_columns();
   const int32_t nc = args.num_classes;
   const int64_t block = std::max<int64_t>(args.block_rows, 1);
+  const internal::SimdKernels* sk =
+      args.use_simd ? internal::GetSimdKernels() : nullptr;
 
   // Per-tile scratch: the widened class codes and one fused-index row per
-  // attribute. Sized once; tiles reuse it.
+  // attribute, plus (SIMD only) one compacted-index buffer. Sized once;
+  // tiles reuse it.
   std::vector<int32_t> ybuf(static_cast<size_t>(block));
   std::vector<int32_t> fused(static_cast<size_t>(m) *
                              static_cast<size_t>(block));
+  std::vector<int32_t> idx;
+  if (sk != nullptr) {
+    idx.resize(static_cast<size_t>(block + internal::kSimdIdxSlack));
+  }
 
   for (int64_t t0 = row_begin; t0 < row_end; t0 += block) {
     const int64_t len = std::min(block, row_end - t0);
@@ -253,31 +404,80 @@ void CountRangeBlocked(const BlockedCountArgs& args, int64_t row_begin,
 
     for (int i = 0; i < m; ++i) {
       int32_t* fused_i = fused.data() + static_cast<int64_t>(i) * block;
-      WithTyped(cols.column(i), t0, [&](auto* col, auto sentinel) {
-        FuseTile(col, sentinel, ybuf.data(), nc, len, fused_i,
-                 args.attr_ptrs[i]);
-      });
+      if (sk != nullptr && SimdColumnEligible(cols.column(i))) {
+        const int64_t cnt = SimdFuseStore(*sk, cols.column(i), t0, ybuf.data(),
+                                          nc, len, fused_i, idx.data());
+        HistogramIdx(idx.data(), cnt, args.attr_ptrs[i],
+                     static_cast<int64_t>(args.sizes[i]) * nc);
+      } else {
+        WithTyped(cols.column(i), t0, [&](auto* col, auto sentinel) {
+          FuseTile(col, sentinel, ybuf.data(), nc, len, fused_i,
+                   args.attr_ptrs[i]);
+        });
+      }
     }
 
     if (!args.build_pairs) continue;
     int pair = 0;
     for (int i = 0; i < m; ++i) {
-      WithTyped(cols.column(i), t0, [&](auto* col_i, auto sentinel_i) {
-        for (int j = i + 1; j < m; ++j, ++pair) {
-          const int64_t stride_j = static_cast<int64_t>(args.sizes[j]) * nc;
-          PairTile(col_i, sentinel_i,
-                   fused.data() + static_cast<int64_t>(j) * block, stride_j,
-                   len, args.pair_ptrs[pair]);
+      const PackedColumn& ci = cols.column(i);
+      const bool col_simd = sk != nullptr && SimdColumnEligible(ci);
+      for (int j = i + 1; j < m; ++j, ++pair) {
+        const int64_t stride_j = static_cast<int64_t>(args.sizes[j]) * nc;
+        const int32_t* fused_j =
+            fused.data() + static_cast<int64_t>(j) * block;
+        if (col_simd && SimdPairEligible(args.sizes[i], stride_j)) {
+          const int64_t cnt =
+              SimdFuseCompact(*sk, ci, t0, fused_j,
+                              static_cast<int32_t>(stride_j), len, idx.data());
+          HistogramIdx(idx.data(), cnt, args.pair_ptrs[pair],
+                       static_cast<int64_t>(args.sizes[i]) * stride_j);
+        } else {
+          WithTyped(ci, t0, [&](auto* col_i, auto sentinel_i) {
+            PairTile(col_i, sentinel_i, fused_j, stride_j, len,
+                     args.pair_ptrs[pair]);
+          });
         }
-      });
+      }
     }
   }
 }
 
 void CountAttrBlocked(const PackedColumn& col, const PackedColumn& cls,
                       int num_classes, int64_t row_begin, int64_t row_end,
-                      int64_t* counts) {
+                      int64_t* counts, bool use_simd) {
   const int64_t nc = num_classes;
+  const internal::SimdKernels* sk =
+      use_simd ? internal::GetSimdKernels() : nullptr;
+  if (sk != nullptr && SimdColumnEligible(col) && SimdColumnEligible(cls) &&
+      (static_cast<int64_t>(col.sentinel()) + 1) * nc <=
+          std::numeric_limits<int32_t>::max()) {
+    const int64_t domain = col.sentinel();
+    const int64_t cells = domain * nc;
+    if (col.width() == 1 && cls.width() == 1 && domain <= 16 && cells <= 32) {
+      // Bit-sliced byte counting: tiny domains collapse to one fused
+      // byte per row and per-cell vector popcounts.
+      for (int64_t t0 = row_begin; t0 < row_end; t0 += kSimdSubTile) {
+        const int64_t len = std::min(kSimdSubTile, row_end - t0);
+        sk->count_small_u8(col.u8() + t0, col.sentinel(), cls.u8() + t0,
+                           cls.sentinel(), static_cast<int32_t>(nc),
+                           static_cast<int32_t>(cells), len, counts);
+      }
+      return;
+    }
+    // General path: widen the class sub-tile, fuse-compact the column
+    // against it, histogram the dense index stream.
+    int32_t ybuf[kSimdSubTile];
+    int32_t idx[kSimdSubTile + internal::kSimdIdxSlack];
+    for (int64_t t0 = row_begin; t0 < row_end; t0 += kSimdSubTile) {
+      const int64_t len = std::min(kSimdSubTile, row_end - t0);
+      SimdWiden(*sk, cls, t0, len, ybuf);
+      const int64_t cnt = SimdFuseCompact(*sk, col, t0, ybuf,
+                                          static_cast<int32_t>(nc), len, idx);
+      HistogramIdx(idx, cnt, counts, cells);
+    }
+    return;
+  }
   WithTyped(col, row_begin, [&](auto* v, auto v_sentinel) {
     WithTyped(cls, row_begin, [&](auto* y, auto y_sentinel) {
       const int64_t len = row_end - row_begin;
@@ -291,9 +491,33 @@ void CountAttrBlocked(const PackedColumn& col, const PackedColumn& cls,
 
 void CountPairBlocked(const PackedColumn& a, const PackedColumn& b,
                       const PackedColumn& cls, int num_classes,
-                      int64_t row_begin, int64_t row_end, int64_t* counts) {
+                      int64_t row_begin, int64_t row_end, int64_t* counts,
+                      bool use_simd) {
   const int64_t nc = num_classes;
   const int64_t domain_b = b.sentinel();
+  const internal::SimdKernels* sk =
+      use_simd ? internal::GetSimdKernels() : nullptr;
+  const int64_t stride = domain_b * nc;
+  if (sk != nullptr && SimdColumnEligible(a) && SimdColumnEligible(b) &&
+      SimdColumnEligible(cls) &&
+      (domain_b + 1) * nc <= std::numeric_limits<int32_t>::max() &&
+      SimdPairEligible(a.sentinel(), stride)) {
+    // Two-stage fusion: tmp = vb * nc + y, then idx = va * stride + tmp
+    // == (va * domain_b + vb) * nc + y — the exact scalar cell.
+    int32_t ybuf[kSimdSubTile];
+    int32_t tmp[kSimdSubTile];
+    int32_t idx[kSimdSubTile + internal::kSimdIdxSlack];
+    const int64_t cells = static_cast<int64_t>(a.sentinel()) * stride;
+    for (int64_t t0 = row_begin; t0 < row_end; t0 += kSimdSubTile) {
+      const int64_t len = std::min(kSimdSubTile, row_end - t0);
+      SimdWiden(*sk, cls, t0, len, ybuf);
+      SimdFuse(*sk, b, t0, ybuf, static_cast<int32_t>(nc), len, tmp);
+      const int64_t cnt = SimdFuseCompact(
+          *sk, a, t0, tmp, static_cast<int32_t>(stride), len, idx);
+      HistogramIdx(idx, cnt, counts, cells);
+    }
+    return;
+  }
   WithTyped(a, row_begin, [&](auto* va, auto a_sentinel) {
     WithTyped(b, row_begin, [&](auto* vb, auto b_sentinel) {
       WithTyped(cls, row_begin, [&](auto* y, auto y_sentinel) {

@@ -11,18 +11,43 @@
 namespace opmap {
 
 /// Which counting kernel the bulk paths (CubeBuilder::AddDataset, the CAR
-/// miner's level-1/2 passes) run. Both kernels produce bit-identical
+/// miner's level-1/2 passes) run. All kernels produce bit-identical
 /// counts for every input and thread count; the choice is purely a
 /// performance knob, and the reference kernel is retained so tests can
-/// pin the blocked kernel against the seed implementation.
+/// pin the faster tiers against the seed implementation.
 enum class CountKernel {
-  /// Cache-blocked kernel over packed value codes (the default): rows are
-  /// processed in tiles, and inside a tile each attribute pair streams
-  /// exactly two packed columns into one pair buffer.
+  /// Cache-blocked kernel over packed value codes: rows are processed in
+  /// tiles, and inside a tile each attribute pair streams exactly two
+  /// packed columns into one pair buffer.
   kBlocked,
   /// The seed row-at-a-time scatter loop.
   kReference,
+  /// The blocked kernel with vectorized inner loops (AVX2 on x86-64,
+  /// NEON on aarch64; see opmap/common/simd.h). Columns or pairs the
+  /// vector tier cannot handle (width, index range) fall back to the
+  /// scalar blocked loops per column, and the whole pass falls back to
+  /// kBlocked when the running CPU lacks the compiled-in vector ISA.
+  kSimd,
+  /// Resolve at run time: the OPMAP_KERNEL environment variable when it
+  /// parses, else kSimd when the CPU supports it, else kBlocked. The
+  /// default of CubeStoreOptions::kernel and CarMinerOptions::kernel.
+  kAuto,
 };
+
+/// Parses a kernel name for the CLI `--kernel` flag and the OPMAP_KERNEL
+/// environment variable: "reference", "blocked", or "simd" (kAuto is the
+/// absence of a value, never spelled). Anything else is kInvalidArgument
+/// with a message naming the bad value.
+Result<CountKernel> ParseCountKernel(const std::string& text);
+
+/// The kernel a counting pass should run: `requested` when not kAuto,
+/// else the OPMAP_KERNEL environment variable when it parses (invalid
+/// values are ignored, like OPMAP_THREADS), else kSimd when
+/// SimdAvailable(), else kBlocked.
+CountKernel ResolveCountKernel(CountKernel requested);
+
+/// "blocked", "reference", "simd", or "auto".
+const char* CountKernelName(CountKernel kernel);
 
 /// Rows per tile when nothing overrides it (see ResolveBlockRows).
 inline constexpr int64_t kDefaultBlockRows = 4096;
@@ -135,6 +160,9 @@ struct BlockedCountArgs {
   int64_t* const* pair_ptrs = nullptr;
   int64_t* class_counts = nullptr;
   int64_t* num_records = nullptr;
+  /// Run the vector tier where columns/pairs are eligible (CountKernel::
+  /// kSimd). Ignored when the CPU lacks the compiled-in vector ISA.
+  bool use_simd = false;
 };
 
 /// The cache-blocked cube-counting kernel: counts rows
@@ -154,21 +182,39 @@ void CountRangeBlocked(const BlockedCountArgs& args, int64_t row_begin,
 bool BlockedKernelSupported(const Schema& schema,
                             const std::vector<int>& attrs);
 
+/// True when the vector tier can count this packed column: only uint8 and
+/// uint16 codes have vector widening paths (uint32 columns — domains
+/// above 65535 — run the scalar blocked loop, counted as a
+/// kernel.simd_fallbacks event by callers).
+bool SimdColumnEligible(const PackedColumn& col);
+
+/// True when the vector tier can count the pair (i, j): the fused pair
+/// index is computed in int32 lanes, so even the largest
+/// `(domain_i + 1) * stride_j` intermediate must fit (the scalar pair
+/// loop widens to int64 and has no such limit).
+bool SimdPairEligible(int64_t domain_i, int64_t stride_j);
+
 /// Counts one packed column against the class column over rows
 /// [row_begin, row_end): counts[v * num_classes + y] += 1 for every row
 /// where neither code is the null sentinel. The CAR miner's level-1 pass.
+/// With `use_simd`, eligible columns run the vector tier (bit-sliced byte
+/// counting when domain * num_classes <= 32 and both columns are uint8,
+/// fuse-compact-histogram otherwise); results are bit-identical.
 void CountAttrBlocked(const PackedColumn& col, const PackedColumn& cls,
                       int num_classes, int64_t row_begin, int64_t row_end,
-                      int64_t* counts);
+                      int64_t* counts, bool use_simd = false);
 
 /// Dense (value_a, value_b, class) counting of one attribute pair over
 /// rows [row_begin, row_end): counts[(va * domain_b + vb) * num_classes
 /// + y] += 1 for every row where no code is null. `counts` must hold
 /// domain_a x domain_b x num_classes zero-initialized cells. The CAR
-/// miner's level-2 pass reads candidate cells out of this buffer.
+/// miner's level-2 pass reads candidate cells out of this buffer. With
+/// `use_simd`, eligible pairs run the vector tier; results are
+/// bit-identical.
 void CountPairBlocked(const PackedColumn& a, const PackedColumn& b,
                       const PackedColumn& cls, int num_classes,
-                      int64_t row_begin, int64_t row_end, int64_t* counts);
+                      int64_t row_begin, int64_t row_end, int64_t* counts,
+                      bool use_simd = false);
 
 }  // namespace opmap
 

@@ -1,0 +1,404 @@
+// Vector implementations of the counting primitives behind
+// CountKernel::kSimd (see count_kernels_simd.h for the contracts).
+//
+// One translation unit serves every machine: the AVX2 tier is compiled
+// behind __attribute__((target("avx2"))) so the rest of the binary keeps
+// the default ISA and pre-AVX2 CPUs simply get a nullptr kernel table at
+// runtime; NEON is baseline on aarch64 and needs no per-function gate.
+// GetSimdKernels() is the single dispatch point — it consults the cached
+// CurrentSimdLevel() CPUID probe (opmap/common/simd.h).
+//
+// The compaction trick both tiers share: instead of scattering +1s with
+// per-lane conflict detection (gathers plus vpconflictd-style repair),
+// each vector of fused indices is left-packed through a small permutation
+// LUT keyed by the validity mask, null rows vanish, and a scalar
+// multi-accumulator histogram consumes the dense index stream. That keeps
+// the histogram gather-free and makes the counts bit-identical to the
+// scalar kernels (int64 addition commutes; only the visit order changes).
+
+#include "opmap/cube/count_kernels_simd.h"
+
+#include <array>
+#include <cstring>
+
+#include "opmap/common/simd.h"
+
+#if defined(OPMAP_SIMD_X86)
+#include <immintrin.h>
+#endif
+#if defined(OPMAP_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace opmap {
+namespace internal {
+namespace {
+
+#if defined(OPMAP_SIMD_X86) || defined(OPMAP_SIMD_NEON)
+
+enum class FuseMode { kFusedOnly, kFusedAndIdx, kIdxOnly };
+
+// Scalar tail shared by both tiers. Index math runs in uint32 so even a
+// sentinel lane cannot trip signed overflow (eligibility checks in
+// count_kernels.cc guarantee valid lanes fit int32).
+template <typename T, FuseMode M>
+inline int64_t FuseScalarTail(const T* col, uint32_t sentinel,
+                              const int32_t* base, int32_t mult, int64_t begin,
+                              int64_t len, int32_t* fused, int32_t* idx,
+                              int64_t cnt) {
+  for (int64_t k = begin; k < len; ++k) {
+    const uint32_t v = col[k];
+    const int32_t b = base[k];
+    const bool ok = v != sentinel && b >= 0;
+    const int32_t f = static_cast<int32_t>(
+        v * static_cast<uint32_t>(mult) + static_cast<uint32_t>(b));
+    if constexpr (M != FuseMode::kIdxOnly) fused[k] = ok ? f : -1;
+    if constexpr (M != FuseMode::kFusedOnly) {
+      if (ok) idx[cnt++] = f;
+    }
+  }
+  return cnt;
+}
+
+#endif  // OPMAP_SIMD_X86 || OPMAP_SIMD_NEON
+
+#if defined(OPMAP_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 8 int32 lanes.
+// ---------------------------------------------------------------------------
+
+// Left-pack LUT: row `mask` holds the lane permutation that moves the set
+// bits of `mask` (the valid lanes) to the front, for vpermd.
+struct Compress8Table {
+  alignas(32) int32_t perm[256][8];
+};
+
+constexpr Compress8Table MakeCompress8Table() {
+  Compress8Table t{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int n = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if (mask & (1 << lane)) t.perm[mask][n++] = lane;
+    }
+    for (; n < 8; ++n) t.perm[mask][n] = 0;
+  }
+  return t;
+}
+
+constexpr Compress8Table kCompress8 = MakeCompress8Table();
+
+template <typename T>
+__attribute__((target("avx2"))) inline __m256i LoadWiden8(const T* p) {
+  if constexpr (sizeof(T) == 1) {
+    return _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  } else {
+    return _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+}
+
+template <typename T>
+__attribute__((target("avx2"))) void WidenAvx2(const T* col, uint32_t sentinel,
+                                               int64_t len, int32_t* out) {
+  const __m256i vsent = _mm256_set1_epi32(static_cast<int32_t>(sentinel));
+  const __m256i vneg1 = _mm256_set1_epi32(-1);
+  int64_t k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m256i v = LoadWiden8(col + k);
+    const __m256i is_null = _mm256_cmpeq_epi32(v, vsent);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k),
+                        _mm256_blendv_epi8(v, vneg1, is_null));
+  }
+  for (; k < len; ++k) {
+    out[k] = col[k] == sentinel ? -1 : static_cast<int32_t>(col[k]);
+  }
+}
+
+template <typename T, FuseMode M>
+__attribute__((target("avx2"))) int64_t FuseAvx2(const T* col,
+                                                 uint32_t sentinel,
+                                                 const int32_t* base,
+                                                 int32_t mult, int64_t len,
+                                                 int32_t* fused,
+                                                 int32_t* idx) {
+  const __m256i vsent = _mm256_set1_epi32(static_cast<int32_t>(sentinel));
+  const __m256i vneg1 = _mm256_set1_epi32(-1);
+  const __m256i vmult = _mm256_set1_epi32(mult);
+  int64_t cnt = 0;
+  int64_t k = 0;
+  for (; k + 8 <= len; k += 8) {
+    const __m256i v = LoadWiden8(col + k);
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + k));
+    const __m256i col_null = _mm256_cmpeq_epi32(v, vsent);
+    const __m256i base_ok = _mm256_cmpgt_epi32(b, vneg1);  // base >= 0
+    const __m256i valid = _mm256_andnot_si256(col_null, base_ok);
+    // Sentinel lanes may wrap; they are masked out below either way.
+    const __m256i f = _mm256_add_epi32(_mm256_mullo_epi32(v, vmult), b);
+    if constexpr (M != FuseMode::kIdxOnly) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(fused + k),
+                          _mm256_blendv_epi8(vneg1, f, valid));
+    }
+    if constexpr (M != FuseMode::kFusedOnly) {
+      const unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(valid)));
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kCompress8.perm[mask]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx + cnt),
+                          _mm256_permutevar8x32_epi32(f, perm));
+      cnt += __builtin_popcount(mask);
+    }
+  }
+  return FuseScalarTail<T, M>(col, sentinel, base, mult, k, len, fused, idx,
+                              cnt);
+}
+
+__attribute__((target("avx2"))) void CountSmallAvx2(
+    const uint8_t* a, uint32_t sent_a, const uint8_t* b, uint32_t sent_b,
+    int32_t nc, int32_t cells, int64_t len, int64_t* counts) {
+  // Pass 1: materialize the fused byte per row — a*nc + b for valid rows,
+  // 0xFF otherwise (cells <= 32, so 0xFF cannot collide with a real
+  // cell). The 16-bit blend happens before the pack, so a sentinel
+  // product that exceeds 255 never reaches the saturating narrow.
+  alignas(32) uint8_t fb[kSimdCountSmallMaxRows];
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i vsa = _mm256_set1_epi16(static_cast<short>(sent_a));
+  const __m256i vsb = _mm256_set1_epi16(static_cast<short>(sent_b));
+  const __m256i vnc = _mm256_set1_epi16(static_cast<short>(nc));
+  const __m256i vff = _mm256_set1_epi16(0xFF);
+  int64_t k = 0;
+  for (; k + 32 <= len; k += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + k));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + k));
+    const __m256i alo = _mm256_unpacklo_epi8(va, zero);
+    const __m256i ahi = _mm256_unpackhi_epi8(va, zero);
+    const __m256i blo = _mm256_unpacklo_epi8(vb, zero);
+    const __m256i bhi = _mm256_unpackhi_epi8(vb, zero);
+    __m256i flo = _mm256_add_epi16(_mm256_mullo_epi16(alo, vnc), blo);
+    __m256i fhi = _mm256_add_epi16(_mm256_mullo_epi16(ahi, vnc), bhi);
+    const __m256i badlo = _mm256_or_si256(_mm256_cmpeq_epi16(alo, vsa),
+                                          _mm256_cmpeq_epi16(blo, vsb));
+    const __m256i badhi = _mm256_or_si256(_mm256_cmpeq_epi16(ahi, vsa),
+                                          _mm256_cmpeq_epi16(bhi, vsb));
+    flo = _mm256_blendv_epi8(flo, vff, badlo);
+    fhi = _mm256_blendv_epi8(fhi, vff, badhi);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(fb + k),
+                       _mm256_packus_epi16(flo, fhi));
+  }
+  for (; k < len; ++k) {
+    const uint32_t av = a[k];
+    const uint32_t bv = b[k];
+    fb[k] = (av == sent_a || bv == sent_b)
+                ? 0xFF
+                : static_cast<uint8_t>(av * static_cast<uint32_t>(nc) + bv);
+  }
+  // Pass 2: one byte-accumulator sweep per cell over the L1-resident fb
+  // buffer. len <= 2048 keeps every lane <= 64 hits, far from the 255
+  // byte ceiling, so no mid-sweep flush is needed.
+  const int64_t len32 = len & ~int64_t{31};
+  for (int32_t c = 0; c < cells; ++c) {
+    const __m256i vc = _mm256_set1_epi8(static_cast<char>(c));
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t blk = 0; blk < len32; blk += 32) {
+      const __m256i fv =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(fb + blk));
+      acc = _mm256_sub_epi8(acc, _mm256_cmpeq_epi8(fv, vc));
+    }
+    const __m256i sad = _mm256_sad_epu8(acc, zero);
+    int64_t total = _mm256_extract_epi64(sad, 0) +
+                    _mm256_extract_epi64(sad, 1) +
+                    _mm256_extract_epi64(sad, 2) + _mm256_extract_epi64(sad, 3);
+    for (int64_t t = len32; t < len; ++t) {
+      total += fb[t] == static_cast<uint8_t>(c);
+    }
+    counts[c] += total;
+  }
+}
+
+constexpr SimdKernels kAvx2Kernels = {
+    &WidenAvx2<uint8_t>,
+    &WidenAvx2<uint16_t>,
+    &FuseAvx2<uint8_t, FuseMode::kFusedOnly>,
+    &FuseAvx2<uint16_t, FuseMode::kFusedOnly>,
+    &FuseAvx2<uint8_t, FuseMode::kFusedAndIdx>,
+    &FuseAvx2<uint16_t, FuseMode::kFusedAndIdx>,
+    &FuseAvx2<uint8_t, FuseMode::kIdxOnly>,
+    &FuseAvx2<uint16_t, FuseMode::kIdxOnly>,
+    &CountSmallAvx2,
+};
+
+#endif  // OPMAP_SIMD_X86
+
+#if defined(OPMAP_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON tier: 4 int32 lanes. Mirrors the AVX2 structure; the left-pack
+// permutation runs through vqtbl1q_u8 with a 16-entry byte-shuffle LUT.
+// ---------------------------------------------------------------------------
+
+struct Compress4Table {
+  alignas(16) uint8_t perm[16][16];
+};
+
+constexpr Compress4Table MakeCompress4Table() {
+  Compress4Table t{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int n = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (mask & (1 << lane)) {
+        for (int byte = 0; byte < 4; ++byte) {
+          t.perm[mask][n * 4 + byte] = static_cast<uint8_t>(lane * 4 + byte);
+        }
+        ++n;
+      }
+    }
+    for (; n < 4; ++n) {
+      for (int byte = 0; byte < 4; ++byte) {
+        t.perm[mask][n * 4 + byte] = 0;
+      }
+    }
+  }
+  return t;
+}
+
+constexpr Compress4Table kCompress4 = MakeCompress4Table();
+
+template <typename T>
+inline int32x4_t LoadWiden4(const T* p) {
+  if constexpr (sizeof(T) == 1) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    const uint16x4_t h = vget_low_u16(vmovl_u8(vcreate_u8(w)));
+    return vreinterpretq_s32_u32(vmovl_u16(h));
+  } else {
+    return vreinterpretq_s32_u32(vmovl_u16(vld1_u16(p)));
+  }
+}
+
+template <typename T>
+void WidenNeon(const T* col, uint32_t sentinel, int64_t len, int32_t* out) {
+  const int32x4_t vsent = vdupq_n_s32(static_cast<int32_t>(sentinel));
+  const int32x4_t vneg1 = vdupq_n_s32(-1);
+  int64_t k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const int32x4_t v = LoadWiden4(col + k);
+    const uint32x4_t is_null = vceqq_s32(v, vsent);
+    vst1q_s32(out + k, vbslq_s32(is_null, vneg1, v));
+  }
+  for (; k < len; ++k) {
+    out[k] = col[k] == sentinel ? -1 : static_cast<int32_t>(col[k]);
+  }
+}
+
+template <typename T, FuseMode M>
+int64_t FuseNeon(const T* col, uint32_t sentinel, const int32_t* base,
+                 int32_t mult, int64_t len, int32_t* fused, int32_t* idx) {
+  const int32x4_t vsent = vdupq_n_s32(static_cast<int32_t>(sentinel));
+  const int32x4_t vneg1 = vdupq_n_s32(-1);
+  const int32x4_t vzero = vdupq_n_s32(0);
+  alignas(16) static constexpr uint32_t kLaneBits[4] = {1u, 2u, 4u, 8u};
+  const uint32x4_t lane_bits = vld1q_u32(kLaneBits);
+  int64_t cnt = 0;
+  int64_t k = 0;
+  for (; k + 4 <= len; k += 4) {
+    const int32x4_t v = LoadWiden4(col + k);
+    const int32x4_t b = vld1q_s32(base + k);
+    const uint32x4_t col_null = vceqq_s32(v, vsent);
+    const uint32x4_t base_ok = vcgeq_s32(b, vzero);
+    const uint32x4_t valid = vbicq_u32(base_ok, col_null);
+    const int32x4_t f = vmlaq_n_s32(b, v, mult);  // b + v * mult
+    if constexpr (M != FuseMode::kIdxOnly) {
+      vst1q_s32(fused + k, vbslq_s32(valid, f, vneg1));
+    }
+    if constexpr (M != FuseMode::kFusedOnly) {
+      const uint32_t mask = vaddvq_u32(vandq_u32(valid, lane_bits));
+      const uint8x16_t perm = vld1q_u8(kCompress4.perm[mask]);
+      const uint8x16_t packed = vqtbl1q_u8(vreinterpretq_u8_s32(f), perm);
+      vst1q_s32(idx + cnt, vreinterpretq_s32_u8(packed));
+      cnt += __builtin_popcount(mask);
+    }
+  }
+  return FuseScalarTail<T, M>(col, sentinel, base, mult, k, len, fused, idx,
+                              cnt);
+}
+
+void CountSmallNeon(const uint8_t* a, uint32_t sent_a, const uint8_t* b,
+                    uint32_t sent_b, int32_t nc, int32_t cells, int64_t len,
+                    int64_t* counts) {
+  alignas(16) uint8_t fb[kSimdCountSmallMaxRows];
+  const uint16x8_t vsa = vdupq_n_u16(static_cast<uint16_t>(sent_a));
+  const uint16x8_t vsb = vdupq_n_u16(static_cast<uint16_t>(sent_b));
+  const uint16x8_t vff = vdupq_n_u16(0xFF);
+  int64_t k = 0;
+  for (; k + 16 <= len; k += 16) {
+    const uint8x16_t va = vld1q_u8(a + k);
+    const uint8x16_t vb = vld1q_u8(b + k);
+    const uint16x8_t alo = vmovl_u8(vget_low_u8(va));
+    const uint16x8_t ahi = vmovl_u8(vget_high_u8(va));
+    const uint16x8_t blo = vmovl_u8(vget_low_u8(vb));
+    const uint16x8_t bhi = vmovl_u8(vget_high_u8(vb));
+    uint16x8_t flo = vmlaq_n_u16(blo, alo, static_cast<uint16_t>(nc));
+    uint16x8_t fhi = vmlaq_n_u16(bhi, ahi, static_cast<uint16_t>(nc));
+    const uint16x8_t badlo =
+        vorrq_u16(vceqq_u16(alo, vsa), vceqq_u16(blo, vsb));
+    const uint16x8_t badhi =
+        vorrq_u16(vceqq_u16(ahi, vsa), vceqq_u16(bhi, vsb));
+    flo = vbslq_u16(badlo, vff, flo);
+    fhi = vbslq_u16(badhi, vff, fhi);
+    vst1q_u8(fb + k, vcombine_u8(vqmovn_u16(flo), vqmovn_u16(fhi)));
+  }
+  for (; k < len; ++k) {
+    const uint32_t av = a[k];
+    const uint32_t bv = b[k];
+    fb[k] = (av == sent_a || bv == sent_b)
+                ? 0xFF
+                : static_cast<uint8_t>(av * static_cast<uint32_t>(nc) + bv);
+  }
+  // len <= 2048 keeps every byte lane <= 128 hits — under the 255
+  // ceiling, no mid-sweep flush.
+  const int64_t len16 = len & ~int64_t{15};
+  for (int32_t c = 0; c < cells; ++c) {
+    const uint8x16_t vc = vdupq_n_u8(static_cast<uint8_t>(c));
+    uint8x16_t acc = vdupq_n_u8(0);
+    for (int64_t blk = 0; blk < len16; blk += 16) {
+      acc = vsubq_u8(acc, vceqq_u8(vld1q_u8(fb + blk), vc));
+    }
+    int64_t total = vaddlvq_u8(acc);
+    for (int64_t t = len16; t < len; ++t) {
+      total += fb[t] == static_cast<uint8_t>(c);
+    }
+    counts[c] += total;
+  }
+}
+
+constexpr SimdKernels kNeonKernels = {
+    &WidenNeon<uint8_t>,
+    &WidenNeon<uint16_t>,
+    &FuseNeon<uint8_t, FuseMode::kFusedOnly>,
+    &FuseNeon<uint16_t, FuseMode::kFusedOnly>,
+    &FuseNeon<uint8_t, FuseMode::kFusedAndIdx>,
+    &FuseNeon<uint16_t, FuseMode::kFusedAndIdx>,
+    &FuseNeon<uint8_t, FuseMode::kIdxOnly>,
+    &FuseNeon<uint16_t, FuseMode::kIdxOnly>,
+    &CountSmallNeon,
+};
+
+#endif  // OPMAP_SIMD_NEON
+
+}  // namespace
+
+const SimdKernels* GetSimdKernels() {
+#if defined(OPMAP_SIMD_X86)
+  if (CurrentSimdLevel() == SimdLevel::kAvx2) return &kAvx2Kernels;
+#elif defined(OPMAP_SIMD_NEON)
+  if (CurrentSimdLevel() == SimdLevel::kNeon) return &kNeonKernels;
+#endif
+  return nullptr;
+}
+
+}  // namespace internal
+}  // namespace opmap

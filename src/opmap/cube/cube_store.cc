@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "opmap/common/metrics.h"
+#include "opmap/common/simd.h"
 #include "opmap/common/trace.h"
 
 namespace opmap {
@@ -302,6 +303,7 @@ void CubeBuilder::CountRange(const ColumnView& view, int64_t row_begin,
     args.build_pairs = store_.has_pair_cubes_;
     args.sizes = sizes_.data();
     args.block_rows = block_rows_;
+    args.use_simd = view.use_simd;
     args.attr_ptrs = attr_ptrs;
     args.pair_ptrs = pair_ptrs;
     args.class_counts = class_counts;
@@ -335,11 +337,14 @@ void CubeBuilder::CountRange(const ColumnView& view, int64_t row_begin,
   }
 }
 
-int64_t CubeBuilder::TileScratchBytes() const {
+int64_t CubeBuilder::TileScratchBytes(bool simd) const {
   // One blocked CountRange call widens the class codes and keeps one
-  // fused-index row per attribute, all int32, for one tile.
+  // fused-index row per attribute, all int32, for one tile; the SIMD
+  // tier adds one compacted-index row (plus its store slack).
   const int64_t m = static_cast<int64_t>(store_.attributes_.size());
-  return (m + 1) * block_rows_ * static_cast<int64_t>(sizeof(int32_t));
+  const int64_t rows = m + 1 + (simd ? 1 : 0);
+  return (rows * block_rows_ + (simd ? 8 : 0)) *
+         static_cast<int64_t>(sizeof(int32_t));
 }
 
 int CubeBuilder::PlanShards(int64_t num_rows, int64_t reserved_bytes,
@@ -392,17 +397,23 @@ Status CubeBuilder::AddDataset(const Dataset& dataset) {
     view.cols.push_back(dataset.categorical_column(a).data());
   }
 
-  // The blocked kernel needs packed-column scratch for the whole pass
-  // plus tile scratch per shard. When the memory budget cannot absorb
-  // that, fall back to the reference kernel — the counts are identical,
-  // only slower — instead of overshooting the budget.
-  bool blocked = kernel_ == CountKernel::kBlocked &&
+  // Resolve the requested kernel for this pass (kAuto consults the
+  // OPMAP_KERNEL environment and the CPU's vector support), then apply
+  // the fallback ladder: the blocked/SIMD kernels need packed-column
+  // scratch for the whole pass plus tile scratch per shard, and when the
+  // memory budget cannot absorb that the pass falls back to the
+  // reference kernel — the counts are identical, only slower — instead
+  // of overshooting the budget. The SIMD tier additionally requires the
+  // running CPU to support a compiled-in vector ISA.
+  const CountKernel kernel = ResolveCountKernel(kernel_);
+  bool simd = kernel == CountKernel::kSimd && SimdAvailable();
+  bool blocked = kernel != CountKernel::kReference &&
                  BlockedKernelSupported(ss, store_.attributes_);
   int64_t reserved = 0;
   if (blocked) {
     const int64_t packed_bytes =
         PackedColumnSet::ProjectedBytes(ss, store_.attributes_, n);
-    reserved = packed_bytes + TileScratchBytes();  // shard 0's tiles
+    reserved = packed_bytes + TileScratchBytes(simd);  // shard 0's tiles
     if (max_memory_bytes_ > 0 &&
         store_.MemoryUsageBytes() + reserved > max_memory_bytes_) {
       blocked = false;
@@ -412,23 +423,63 @@ Status CubeBuilder::AddDataset(const Dataset& dataset) {
       fallbacks->Increment();
     }
   }
+  simd = simd && blocked;
   // Per-pass pass/row/kernel accounting (never per row).
   MetricsRegistry* const metrics = MetricsRegistry::Global();
   metrics->counter("cube.rows_counted")->Increment(n);
-  metrics->counter(blocked ? "cube.kernel_blocked" : "cube.kernel_reference")
+  metrics
+      ->counter(simd ? "cube.kernel_simd"
+                     : blocked ? "cube.kernel_blocked" : "cube.kernel_reference")
       ->Increment();
+  if (kernel == CountKernel::kSimd) {
+    if (!simd) {
+      // The whole pass ran scalar despite the SIMD tier being requested
+      // (no CPU support, unsupported shapes, or the budget fallback).
+      metrics->counter("kernel.simd_fallbacks")->Increment();
+    } else {
+      metrics->counter("kernel.simd_selected")->Increment();
+      // Count the columns and pairs inside this pass that the vector
+      // tier must skip (uint32 codes — domains above 65535 — or pair
+      // indices past int32); they run the scalar blocked loops.
+      const int64_t nc = num_classes_;
+      const int m_cols = static_cast<int>(store_.attributes_.size());
+      int64_t scalar_units = 0;
+      for (int i = 0; i < m_cols; ++i) {
+        const bool col_ok = sizes_[static_cast<size_t>(i)] <= 65535;
+        if (!col_ok) ++scalar_units;
+        if (!store_.has_pair_cubes_) continue;
+        for (int j = i + 1; j < m_cols; ++j) {
+          const int64_t stride_j =
+              static_cast<int64_t>(sizes_[static_cast<size_t>(j)]) * nc;
+          if (!col_ok ||
+              !SimdPairEligible(sizes_[static_cast<size_t>(i)], stride_j)) {
+            ++scalar_units;
+          }
+        }
+      }
+      if (scalar_units > 0) {
+        metrics->counter("kernel.simd_fallbacks")->Increment(scalar_units);
+      }
+    }
+  }
   PackedColumnSet packed;
   if (blocked) {
     OPMAP_TRACE_SPAN("cube.pack");
     const int64_t pack_start_us = MonotonicMicros();
     packed = PackedColumnSet::Build(dataset, store_.attributes_);
     view.packed = &packed;
+    view.use_simd = simd;
     metrics->histogram("cube.pack_us")
         ->Record(MonotonicMicros() - pack_start_us);
   }
 
+  // A per-tier span (distinct literals; spans never copy their name) so
+  // traces show which kernel counted the pass.
+  TraceSpan count_span(simd ? "cube.count.simd"
+                            : blocked ? "cube.count.blocked"
+                                      : "cube.count.reference");
   const int shards =
-      PlanShards(n, reserved, blocked ? TileScratchBytes() : 0);
+      PlanShards(n, reserved, blocked ? TileScratchBytes(simd) : 0);
   if (shards <= 1) {
     CountRange(view, 0, n, attr_raw_.data(), pair_raw_.data(),
                store_.class_counts_.data(), &store_.num_records_);

@@ -38,11 +38,14 @@ struct CubeStoreOptions {
   /// addition, so the store is bit-identical to a serial build for any
   /// thread count.
   ParallelOptions parallel;
-  /// Counting kernel for AddDataset. Both kernels count bit-identically;
+  /// Counting kernel for AddDataset. All kernels count bit-identically;
   /// kReference is the seed row-at-a-time loop, retained for testing.
-  /// The blocked kernel falls back to the reference kernel when its
-  /// packed-column scratch would not fit `max_memory_bytes`.
-  CountKernel kernel = CountKernel::kBlocked;
+  /// kAuto resolves via ResolveCountKernel (OPMAP_KERNEL env, else SIMD
+  /// when the CPU has it, else blocked). The blocked/SIMD kernels fall
+  /// back to the reference kernel when their packed-column scratch would
+  /// not fit `max_memory_bytes`, and SIMD falls back per column/pair
+  /// when shapes disqualify it (see SimdColumnEligible/SimdPairEligible).
+  CountKernel kernel = CountKernel::kAuto;
   /// Rows per tile for the blocked kernel. 0 = the OPMAP_BLOCK_ROWS
   /// environment variable when valid, else 4096 (kDefaultBlockRows).
   int64_t block_rows = 0;
@@ -253,6 +256,7 @@ class CubeBuilder {
     const ValueCode* class_col = nullptr;
     std::vector<const ValueCode*> cols;  // one per included attribute slot
     const PackedColumnSet* packed = nullptr;
+    bool use_simd = false;  // vector tier for eligible columns/pairs
   };
 
   // Counts rows [row_begin, row_end) of `view` into the given buffers.
@@ -271,8 +275,9 @@ class CubeBuilder {
                  int64_t per_shard_bytes) const;
 
   // Tile scratch one blocked CountRange call allocates: the widened class
-  // codes plus one fused-index row per attribute.
-  int64_t TileScratchBytes() const;
+  // codes plus one fused-index row per attribute, plus (SIMD tier) one
+  // compacted-index row.
+  int64_t TileScratchBytes(bool simd) const;
 
   CubeStore store_;
   // Hot-path acceleration structures.

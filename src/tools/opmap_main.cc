@@ -276,11 +276,22 @@ int64_t BlockRowsOf(const Args& args) {
   return OrDie(ParseBlockRows(text));
 }
 
+// --kernel=reference|blocked|simd counting-kernel override; absent =
+// auto (OPMAP_KERNEL env var, else SIMD when the CPU supports it, else
+// blocked). Bad values die with the InvalidArgument exit code (4),
+// naming the flag.
+CountKernel KernelOf(const Args& args) {
+  const std::string text = args.GetString("kernel");
+  if (text.empty()) return CountKernel::kAuto;
+  return OrDie(ParseCountKernel(text));
+}
+
 // Cube-build options shared by every command that builds a store.
 CubeStoreOptions BuildOptionsOf(const Args& args) {
   CubeStoreOptions options;
   options.parallel = ThreadsOf(args);
   options.block_rows = BlockRowsOf(args);
+  options.kernel = KernelOf(args);
   return options;
 }
 
@@ -354,7 +365,7 @@ int CmdCsvToData(const Args& args) {
 
 int CmdCubes(const Args& args) {
   args.RejectUnknown("cubes", {"data", "out", "threads", "block-rows",
-                               "stats", "trace-out"});
+                               "kernel", "stats", "trace-out"});
   const std::string in = args.GetString("data");
   const std::string out = args.GetString("out");
   RequireFlag(in, "data");
@@ -573,8 +584,8 @@ int CmdGi(const Args& args) {
 int CmdMine(const Args& args) {
   args.RejectUnknown("mine",
                      {"data", "min-support", "min-confidence",
-                      "max-conditions", "threads", "block-rows", "top",
-                      "stats", "trace-out"});
+                      "max-conditions", "threads", "block-rows", "kernel",
+                      "top", "stats", "trace-out"});
   const std::string in = args.GetString("data");
   RequireFlag(in, "data");
   Dataset data = OrDie(LoadDatasetFromFile(in));
@@ -585,6 +596,7 @@ int CmdMine(const Args& args) {
       static_cast<int>(args.GetInt("max-conditions", 2));
   options.parallel = ThreadsOf(args);
   options.block_rows = BlockRowsOf(args);
+  options.kernel = KernelOf(args);
   RuleSet rules = OrDie(MineClassAssociationRules(data, options));
   rules.SortByConfidence();
   const int top = static_cast<int>(args.GetInt("top", 20));
@@ -606,10 +618,11 @@ int CmdMine(const Args& args) {
 int CmdReport(const Args& args) {
   args.RejectUnknown("report",
                      {"cubes", "data", "attribute", "good", "bad", "class",
-                      "out", "gi", "threads", "block-rows", "mmap",
+                      "out", "gi", "threads", "block-rows", "kernel", "mmap",
                       "verbose", "stats", "trace-out"});
   // Reports either read a prebuilt store (--cubes) or build one in
-  // memory from a dataset (--data), where --threads/--block-rows apply.
+  // memory from a dataset (--data), where --threads/--block-rows/--kernel
+  // apply.
   CubeStore store =
       args.GetString("cubes").empty() && !args.GetString("data").empty()
           ? OrDie(CubeBuilder::FromDataset(
@@ -661,8 +674,8 @@ Dataset SliceRows(const Dataset& data, int64_t begin, int64_t end) {
 int CmdIngest(const Args& args) {
   args.RejectUnknown("ingest",
                      {"dir", "csv", "class", "batch-rows", "compact-every",
-                      "fsync", "threads", "block-rows", "verbose", "stats",
-                      "trace-out"});
+                      "fsync", "threads", "block-rows", "kernel", "verbose",
+                      "stats", "trace-out"});
   const std::string dir = args.GetString("dir");
   const std::string csv_path = args.GetString("csv");
   RequireFlag(dir, "dir");
@@ -763,7 +776,7 @@ int Usage() {
       "  csv2data  --in=FILE.csv --class=COLUMN --out=FILE.opmd "
       "[--strict|--recover]\n"
       "  cubes     --data=FILE.opmd --out=FILE.opmc [--threads=N] "
-      "[--block-rows=N]\n"
+      "[--block-rows=N] [--kernel=reference|blocked|simd]\n"
       "  info      --data=FILE | --cubes=FILE\n"
       "  overview  --cubes=FILE [--color]\n"
       "  detail    --cubes=FILE --attribute=NAME [--color]\n"
@@ -777,9 +790,10 @@ int Usage() {
       "  report    --cubes=FILE|--data=FILE.opmd --attribute=NAME "
       "--good=V --bad=V "
       "--class=LABEL --out=FILE.html [--gi] [--threads=N] "
-      "[--block-rows=N]\n"
+      "[--block-rows=N] [--kernel=K]\n"
       "  mine      --data=FILE.opmd [--min-support=F] [--min-confidence=F] "
-      "[--max-conditions=N] [--threads=N] [--block-rows=N] [--top=N]\n"
+      "[--max-conditions=N] [--threads=N] [--block-rows=N] [--kernel=K] "
+      "[--top=N]\n"
       "  ingest    --dir=DIR --csv=FILE.csv [--class=COLUMN] "
       "[--batch-rows=N] [--compact-every=N] [--fsync=always|seal] "
       "[--threads=N] [--verbose]\n"
@@ -791,6 +805,9 @@ int Usage() {
       "--block-rows=N sets the counting-kernel tile size in rows "
       "(default: OPMAP_BLOCK_ROWS env var, else 4096); results are "
       "identical at any setting\n"
+      "--kernel=reference|blocked|simd picks the counting kernel "
+      "(default: OPMAP_KERNEL env var, else simd when the CPU supports "
+      "it, else blocked); counts are bit-identical for every kernel\n"
       "--mmap=on|off maps v3 cube files and verifies cubes lazily on "
       "first access (default on); results are identical either way\n"
       "--cache-mb=N bounds the query-result cache (default 0 = off; "

@@ -109,8 +109,32 @@ echo "$out" | grep -q -- "--bogus" || fail "unknown-flag error should name it"
 rc=0; "$OPMAP" generate --records=10 --out="$DIR/x.opmd" --nope=1 \
     >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 4 ] || fail "generate unknown flag should exit 4 (got $rc)"
-rc=0; "$OPMAP" mine --data="$DIR/d.opmd" --kernel=fast >/dev/null 2>&1 || rc=$?
-[ "$rc" -eq 4 ] || fail "mine unknown flag should exit 4 (got $rc)"
+# --kernel: every tier builds a byte-identical store; invalid values exit
+# 4 and name the flag. The default (no flag) resolves to the SIMD tier on
+# machines that have it, so equality against the pinned tiers is also a
+# live check of the runtime dispatch.
+"$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/kref.opmc" \
+    --kernel=reference >/dev/null || fail "cubes --kernel=reference"
+"$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/kblk.opmc" \
+    --kernel=blocked >/dev/null || fail "cubes --kernel=blocked"
+"$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/ksimd.opmc" \
+    --kernel=simd >/dev/null || fail "cubes --kernel=simd"
+cmp -s "$DIR/d.opmc" "$DIR/kref.opmc" || fail "--kernel=reference store differs"
+cmp -s "$DIR/d.opmc" "$DIR/kblk.opmc" || fail "--kernel=blocked store differs"
+cmp -s "$DIR/d.opmc" "$DIR/ksimd.opmc" || fail "--kernel=simd store differs"
+# OPMAP_KERNEL env fallback: honored when no flag is passed, still
+# byte-identical.
+OPMAP_KERNEL=reference "$OPMAP" cubes --data="$DIR/d.opmd" \
+    --out="$DIR/kenv.opmc" >/dev/null || fail "cubes OPMAP_KERNEL"
+cmp -s "$DIR/d.opmc" "$DIR/kenv.opmc" || fail "OPMAP_KERNEL store differs"
+rc=0; out=$("$OPMAP" mine --data="$DIR/d.opmd" --kernel=fast 2>&1) || rc=$?
+[ "$rc" -eq 4 ] || fail "mine bad --kernel value should exit 4 (got $rc)"
+echo "$out" | grep -q "fast" || fail "bad-kernel error should name the value"
+rc=0; "$OPMAP" cubes --data="$DIR/d.opmd" --out="$DIR/x.opmc" \
+    --kernel=warp9 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "cubes bad --kernel value should exit 4 (got $rc)"
+"$OPMAP" mine --data="$DIR/d.opmd" --kernel=simd --top=3 \
+    | grep -q "rules" || fail "mine --kernel=simd"
 
 # --mmap=off (eager load) must serve byte-identical answers; bad values
 # exit 4.

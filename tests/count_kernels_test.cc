@@ -1,9 +1,10 @@
-// Tests of the cache-blocked counting kernels: value-code packing,
-// tile-size resolution, and the golden guarantee that the blocked kernel
-// is bit-identical to the seed reference loop — for cube builds and CAR
-// mining, across thread counts, tile sizes, and adversarial shapes
-// (empty inputs, all-null columns, domain-width boundaries, row counts
-// that do not divide the tile).
+// Tests of the cache-blocked and SIMD counting kernels: value-code
+// packing, tile-size resolution, kernel-name parsing, and the golden
+// guarantee that the blocked and SIMD kernels are bit-identical to the
+// seed reference loop — for cube builds and CAR mining, across thread
+// counts, tile sizes, and adversarial shapes (empty inputs, all-null
+// columns, domain-width and bit-sliced boundaries, row counts that do
+// not divide the tile, the vector width, or the SIMD sub-tile).
 
 #include <cstdlib>
 #include <sstream>
@@ -12,6 +13,7 @@
 
 #include "gtest/gtest.h"
 #include "opmap/car/miner.h"
+#include "opmap/common/simd.h"
 #include "opmap/cube/count_kernels.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/dataset.h"
@@ -79,6 +81,60 @@ TEST(ResolveBlockRows, EnvVarThenDefault) {
   EXPECT_EQ(ResolveBlockRows(0), kDefaultBlockRows);
   unsetenv("OPMAP_BLOCK_ROWS");
   EXPECT_EQ(ResolveBlockRows(0), kDefaultBlockRows);
+}
+
+// ---------------------------------------------------------------------------
+// ParseCountKernel / ResolveCountKernel
+// ---------------------------------------------------------------------------
+
+TEST(ParseCountKernel, AcceptsTheThreeTierNames) {
+  ASSERT_OK_AND_ASSIGN(CountKernel ref, ParseCountKernel("reference"));
+  EXPECT_EQ(ref, CountKernel::kReference);
+  ASSERT_OK_AND_ASSIGN(CountKernel blocked, ParseCountKernel("blocked"));
+  EXPECT_EQ(blocked, CountKernel::kBlocked);
+  ASSERT_OK_AND_ASSIGN(CountKernel simd, ParseCountKernel("simd"));
+  EXPECT_EQ(simd, CountKernel::kSimd);
+}
+
+TEST(ParseCountKernel, RejectsEverythingElseNamingTheValue) {
+  for (const char* bad : {"", "fast", "auto", "SIMD", " simd", "simd "}) {
+    const Result<CountKernel> r = ParseCountKernel(bad);
+    ASSERT_FALSE(r.ok()) << "'" << bad << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The message names the offending value so CLI errors are actionable.
+  EXPECT_NE(ParseCountKernel("fast").status().ToString().find("'fast'"),
+            std::string::npos);
+}
+
+TEST(ResolveCountKernel, ExplicitChoiceWinsOverTheEnvironment) {
+  setenv("OPMAP_KERNEL", "reference", 1);
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kBlocked), CountKernel::kBlocked);
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kSimd), CountKernel::kSimd);
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kReference),
+            CountKernel::kReference);
+  unsetenv("OPMAP_KERNEL");
+}
+
+TEST(ResolveCountKernel, AutoTakesEnvVarThenHardwareDefault) {
+  setenv("OPMAP_KERNEL", "reference", 1);
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kAuto), CountKernel::kReference);
+  setenv("OPMAP_KERNEL", "blocked", 1);
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kAuto), CountKernel::kBlocked);
+  // Invalid environment values are ignored, like OPMAP_THREADS.
+  setenv("OPMAP_KERNEL", "warp9", 1);
+  const CountKernel hardware_default = ResolveCountKernel(CountKernel::kAuto);
+  unsetenv("OPMAP_KERNEL");
+  EXPECT_EQ(ResolveCountKernel(CountKernel::kAuto), hardware_default);
+  EXPECT_EQ(hardware_default, SimdAvailable() ? CountKernel::kSimd
+                                              : CountKernel::kBlocked);
+}
+
+TEST(CountKernelName, RoundTripsEveryParsableTier) {
+  for (const char* name : {"reference", "blocked", "simd"}) {
+    ASSERT_OK_AND_ASSIGN(CountKernel kernel, ParseCountKernel(name));
+    EXPECT_STREQ(CountKernelName(kernel), name);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -186,9 +242,11 @@ Dataset PseudoRandomDataset(int64_t rows) {
 }
 
 // Builds the store with the seed reference kernel serially, then expects
-// byte-identical serialized stores from the blocked kernel across thread
-// counts and tile sizes (including tiles that do not divide the row
-// count).
+// byte-identical serialized stores from the blocked AND SIMD kernels
+// across thread counts and tile sizes (including tiles that do not
+// divide the row count). On machines without vector units the kSimd
+// sweep exercises the automatic scalar fallback, which must be just as
+// bit-identical.
 void ExpectBlockedCubesMatchReference(const Dataset& data) {
   CubeStoreOptions ref;
   ref.kernel = CountKernel::kReference;
@@ -196,16 +254,19 @@ void ExpectBlockedCubesMatchReference(const Dataset& data) {
   ASSERT_OK_AND_ASSIGN(CubeStore reference,
                        CubeBuilder::FromDataset(data, ref));
   const std::string reference_bytes = SerializeStore(reference);
-  for (int threads : {1, 2, 3, 8}) {
-    for (int64_t block_rows : {int64_t{0}, int64_t{1}, int64_t{7}}) {
-      CubeStoreOptions options;
-      options.kernel = CountKernel::kBlocked;
-      options.parallel = Threads(threads);
-      options.block_rows = block_rows;
-      ASSERT_OK_AND_ASSIGN(CubeStore store,
-                           CubeBuilder::FromDataset(data, options));
-      EXPECT_EQ(SerializeStore(store), reference_bytes)
-          << "threads=" << threads << " block_rows=" << block_rows;
+  for (CountKernel kernel : {CountKernel::kBlocked, CountKernel::kSimd}) {
+    for (int threads : {1, 2, 3, 8}) {
+      for (int64_t block_rows : {int64_t{0}, int64_t{1}, int64_t{7}}) {
+        CubeStoreOptions options;
+        options.kernel = kernel;
+        options.parallel = Threads(threads);
+        options.block_rows = block_rows;
+        ASSERT_OK_AND_ASSIGN(CubeStore store,
+                             CubeBuilder::FromDataset(data, options));
+        EXPECT_EQ(SerializeStore(store), reference_bytes)
+            << "kernel=" << CountKernelName(kernel) << " threads=" << threads
+            << " block_rows=" << block_rows;
+      }
     }
   }
 }
@@ -271,9 +332,23 @@ Dataset WideDomainDataset(int domain, int64_t rows) {
 }
 
 TEST(KernelEquality, CubeBuildMatchesReferenceAcrossPackedWidths) {
-  for (int domain : {255, 256, 65536}) {
+  // 15 and 16 straddle the bit-sliced small-domain kernel's cutoff
+  // (domain <= 16); 255/256 straddle the one-vs-two-byte packing; 65536
+  // packs to four bytes, which the vector tier cannot widen — inside a
+  // kSimd build that column takes the per-column scalar fallback.
+  for (int domain : {15, 16, 255, 256, 65536}) {
     SCOPED_TRACE(domain);
     ExpectBlockedCubesMatchReference(WideDomainDataset(domain, 1000));
+  }
+}
+
+TEST(KernelEquality, CubeBuildMatchesReferenceAcrossSimdSubTileSeams) {
+  // 2051 rows: crosses the 2048-row SIMD sub-tile once with a 3-row
+  // scalar tail that is also not a vector-width multiple; 31 and 33
+  // bracket a whole number of 8-lane (and 4-lane) vectors.
+  for (int64_t rows : {31, 33, 2051}) {
+    SCOPED_TRACE(rows);
+    ExpectBlockedCubesMatchReference(PseudoRandomDataset(rows));
   }
 }
 
@@ -321,13 +396,17 @@ void ExpectBlockedRulesMatchReference(const Dataset& data,
   base.parallel = Threads(1);
   ASSERT_OK_AND_ASSIGN(RuleSet reference,
                        MineClassAssociationRules(data, base));
-  for (int threads : {1, 3}) {
-    CarMinerOptions options = base;
-    options.kernel = CountKernel::kBlocked;
-    options.parallel = Threads(threads);
-    ASSERT_OK_AND_ASSIGN(RuleSet rules,
-                         MineClassAssociationRules(data, options));
-    ExpectSameRules(reference, rules);
+  for (CountKernel kernel : {CountKernel::kBlocked, CountKernel::kSimd}) {
+    for (int threads : {1, 3, 8}) {
+      SCOPED_TRACE(std::string("kernel=") + CountKernelName(kernel) +
+                   " threads=" + std::to_string(threads));
+      CarMinerOptions options = base;
+      options.kernel = kernel;
+      options.parallel = Threads(threads);
+      ASSERT_OK_AND_ASSIGN(RuleSet rules,
+                           MineClassAssociationRules(data, options));
+      ExpectSameRules(reference, rules);
+    }
   }
 }
 

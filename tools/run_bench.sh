@@ -49,13 +49,15 @@ done
 echo
 echo "wrote $(grep -c '"op"' "$OUT") measurements to $OUT"
 
-# Counting-kernel before/after pairs: the same counting benches pinned to
-# the seed reference loop and to the cache-blocked kernel, single-threaded
-# so the record pairs isolate the kernel change. tools/check_bench.py
-# guards the resulting file.
+# Counting-kernel before/after tiers: the same counting benches pinned to
+# the seed reference loop, the cache-blocked kernel, and the SIMD tier,
+# single-threaded so the record groups isolate the kernel change.
+# tools/check_bench.py guards the resulting file. Each tier is a separate
+# process, so every record's embedded metrics snapshot covers only its
+# own kernel.
 COUNTING_OUT="BENCH_counting.json"
 rm -f "$COUNTING_OUT"
-for kern in reference blocked; do
+for kern in reference blocked simd; do
   echo "--- counting kernel=$kern (threads=1) ---"
   "$BUILD_DIR/bench/bench_parallel" \
     --records="$RECORDS" --threads=1 --kernel="$kern" --json="$COUNTING_OUT"
@@ -91,4 +93,18 @@ echo "--- ingest (threads=$HW) ---"
 
 echo
 echo "wrote $(grep -c '"op"' "$INGEST_OUT") measurements to $INGEST_OUT"
-python3 tools/check_bench.py "$COUNTING_OUT" "$SERVING_OUT" "$INGEST_OUT"
+
+# SIMD-vs-scalar tiers and the honest multi-core scaling sweep: per-tier
+# counting rows at one thread plus SIMD-tier rows at 1..N threads, every
+# record stamped with hardware_concurrency and the detected SIMD level so
+# tools/check_bench.py knows which guards this machine can support.
+SIMD_OUT="BENCH_simd.json"
+rm -f "$SIMD_OUT"
+echo "--- scaling (simd tiers + thread sweep) ---"
+"$BUILD_DIR/bench/bench_parallel" \
+  --records="$RECORDS" --scaling --json="$SIMD_OUT"
+
+echo
+echo "wrote $(grep -c '"op"' "$SIMD_OUT") measurements to $SIMD_OUT"
+python3 tools/check_bench.py \
+  "$COUNTING_OUT" "$SERVING_OUT" "$INGEST_OUT" "$SIMD_OUT"
