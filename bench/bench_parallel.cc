@@ -36,7 +36,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.h"
+#include "opmap/common/bench_json.h"
 #include "bench_util.h"
 #include "opmap/car/miner.h"
 #include "opmap/common/io.h"

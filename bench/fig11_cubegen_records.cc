@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.h"
+#include "opmap/common/bench_json.h"
 #include "bench_util.h"
 #include "opmap/cube/cube_store.h"
 

@@ -1,4 +1,4 @@
-#include "bench_json.h"
+#include "opmap/common/bench_json.h"
 
 #include <cstdio>
 #include <fstream>
@@ -39,8 +39,12 @@ Status AppendBenchRecord(const std::string& path,
     record.simd = SimdLevelName(CurrentSimdLevel());
   }
   if (record.stats_json.empty()) {
+    // Bench records embed many snapshots per file; drop the pre-registered
+    // but unexercised histograms instead of repeating all-zero rows.
+    MetricsFormatOptions slim;
+    slim.skip_zero_histograms = true;
     record.stats_json =
-        FormatMetricsJson(MetricsRegistry::Global()->Snapshot());
+        FormatMetricsJson(MetricsRegistry::Global()->Snapshot(), slim);
   }
   std::string body;
   {

@@ -1,5 +1,5 @@
-#ifndef OPMAP_BENCH_BENCH_JSON_H_
-#define OPMAP_BENCH_BENCH_JSON_H_
+#ifndef OPMAP_COMMON_BENCH_JSON_H_
+#define OPMAP_COMMON_BENCH_JSON_H_
 
 #include <string>
 
@@ -38,4 +38,4 @@ Status AppendBenchRecord(const std::string& path, const BenchRecord& record);
 
 }  // namespace opmap::bench
 
-#endif  // OPMAP_BENCH_BENCH_JSON_H_
+#endif  // OPMAP_COMMON_BENCH_JSON_H_

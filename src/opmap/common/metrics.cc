@@ -145,7 +145,8 @@ void MetricsRegistry::ResetForTest() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
-std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
+                               const MetricsFormatOptions& options) {
   std::string out;
   char line[256];
   out += "-- counters --\n";
@@ -164,6 +165,7 @@ std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
   }
   out += "-- histograms (us) --\n";
   for (const auto& [name, h] : snapshot.histograms) {
+    if (options.skip_zero_histograms && h.count == 0) continue;
     std::snprintf(line, sizeof(line),
                   "%-32s count=%-8" PRId64 " p50=%-10.0f p90=%-10.0f "
                   "p99=%-10.0f max=%" PRId64 "\n",
@@ -173,7 +175,8 @@ std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string FormatMetricsJson(const MetricsSnapshot& snapshot) {
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot,
+                              const MetricsFormatOptions& options) {
   std::string out = "{";
   char buf[160];
   bool first = true;
@@ -191,6 +194,7 @@ std::string FormatMetricsJson(const MetricsSnapshot& snapshot) {
     emit(name, buf);
   }
   for (const auto& [name, h] : snapshot.histograms) {
+    if (options.skip_zero_histograms && h.count == 0) continue;
     std::snprintf(buf, sizeof(buf), "%" PRId64, h.count);
     emit(name + ".count", buf);
     std::snprintf(buf, sizeof(buf), "%.1f", h.p50);

@@ -105,7 +105,9 @@ class MetricsRegistry {
  public:
   /// The process-wide registry. The per-query-class latency histograms
   /// (query.compare_us, query.gi_us, query.render_us, query.mine_us) are
-  /// pre-registered so they always appear in --stats output.
+  /// pre-registered so callers can rely on the handles existing; the
+  /// formatters drop the unexercised ones when
+  /// MetricsFormatOptions::skip_zero_histograms is set.
   static MetricsRegistry* Global();
 
   Counter* counter(const std::string& name);
@@ -127,14 +129,25 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Rendering knobs shared by the table and JSON formatters.
+struct MetricsFormatOptions {
+  /// Omit histograms whose count is 0. The registry pre-registers the
+  /// query.*_us class histograms so they exist even in runs that never
+  /// exercise them; with this set, such all-zero rows are dropped instead
+  /// of bloating --stats output and every embedded bench "stats" block.
+  bool skip_zero_histograms = false;
+};
+
 /// Human-readable stats table (the --stats output). Zero-valued counters
-/// and gauges are elided; histograms always print (count may be 0).
-std::string FormatMetricsTable(const MetricsSnapshot& snapshot);
+/// and gauges are elided; histograms print per `options`.
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot,
+                               const MetricsFormatOptions& options = {});
 
 /// Flat single-line JSON object: counters and gauges by name, histograms
 /// as name.count / name.p50 / name.p99. Embedded as the "stats" block in
 /// bench records so tools/check_bench.py can assert invariants.
-std::string FormatMetricsJson(const MetricsSnapshot& snapshot);
+std::string FormatMetricsJson(const MetricsSnapshot& snapshot,
+                              const MetricsFormatOptions& options = {});
 
 }  // namespace opmap
 

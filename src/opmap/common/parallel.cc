@@ -37,6 +37,16 @@ Counter* PoolTasksInline() {
       MetricsRegistry::Global()->counter("pool.tasks_inline");
   return c;
 }
+Counter* PoolTasksPosted() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("pool.tasks_posted");
+  return c;
+}
+Counter* PoolPostedExceptions() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("pool.posted_exceptions");
+  return c;
+}
 
 // Set while a thread is executing a pool task; nested parallel sections on
 // such a thread run inline instead of re-entering the pool.
@@ -142,25 +152,44 @@ struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable wake;
   std::deque<std::shared_ptr<Job>> jobs;
+  std::deque<std::function<void()>> posted;
   std::vector<std::thread> workers;
   bool stopping = false;
 
   void WorkerLoop() {
     for (;;) {
       std::shared_ptr<Job> job;
+      std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(mu);
-        wake.wait(lock, [&] { return stopping || !jobs.empty(); });
+        wake.wait(lock,
+                  [&] { return stopping || !jobs.empty() || !posted.empty(); });
         if (stopping) return;
-        job = jobs.front();
-        if (job->next.load(std::memory_order_relaxed) >= job->limit) {
-          // Fully claimed; retire it from the dispatch queue.
-          jobs.pop_front();
-          continue;
+        if (!jobs.empty()) {
+          // Fan-out jobs first: a blocking Run has a thread waiting on it,
+          // a posted task does not.
+          job = jobs.front();
+          if (job->next.load(std::memory_order_relaxed) >= job->limit) {
+            // Fully claimed; retire it from the dispatch queue.
+            jobs.pop_front();
+            continue;
+          }
+        } else {
+          task = std::move(posted.front());
+          posted.pop_front();
         }
       }
       tls_in_pool_task = true;
-      job->Work();
+      if (job != nullptr) {
+        job->Work();
+      } else {
+        // Detached tasks have no submitter to rethrow on; count and drop.
+        try {
+          task();
+        } catch (...) {
+          PoolPostedExceptions()->Increment();
+        }
+      }
       tls_in_pool_task = false;
     }
   }
@@ -251,6 +280,22 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& task) {
     }
   }
   if (job->exception) std::rethrow_exception(job->exception);
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  Impl* pool = impl();
+  pool->EnsureWorkers(1);
+  PoolTasksPosted()->Increment();
+  {
+    std::lock_guard<std::mutex> lock(pool->mu);
+    pool->posted.push_back(std::move(task));
+  }
+  pool->wake.notify_one();
+}
+
+void ThreadPool::Reserve(int num_workers) {
+  if (num_workers <= 0) return;
+  impl()->EnsureWorkers(num_workers);
 }
 
 // ---------------------------------------------------------------------------

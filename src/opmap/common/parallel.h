@@ -61,6 +61,22 @@ class ThreadPool {
   /// thrown, tasks not yet started are skipped.
   void Run(int num_tasks, const std::function<void(int)>& task);
 
+  /// Enqueues a detached task and returns immediately; the task runs on a
+  /// pool worker as soon as one is free (at least one worker is started if
+  /// none exist). Workers prefer fan-out jobs submitted via Run, so posted
+  /// tasks never delay a blocking parallel section by more than the task
+  /// already running. A posted task that itself enters a parallel section
+  /// runs it inline (same nesting rule as Run). Tasks must not throw;
+  /// escaped exceptions are swallowed and counted in
+  /// `pool.posted_exceptions`. Used by the serving daemon's request
+  /// scheduler.
+  void Post(std::function<void()> task);
+
+  /// Grows the pool to at least `num_workers` threads (clamped to
+  /// kMaxThreads - 1) so a burst of Post calls does not serialize behind a
+  /// single lazily-started worker.
+  void Reserve(int num_workers);
+
   ~ThreadPool();
 
  private:

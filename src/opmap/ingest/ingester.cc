@@ -36,6 +36,11 @@ Counter* CompactRuns() {
   static Counter* const c = MetricsRegistry::Global()->counter("compact.runs");
   return c;
 }
+Counter* CompactPublishFailures() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("compact.publish_failures");
+  return c;
+}
 Histogram* IngestAppendUs() {
   static Histogram* const h =
       MetricsRegistry::Global()->histogram("ingest.append_us");
@@ -417,7 +422,16 @@ Status Ingester::CompactLocked() {
   CompactRuns()->Increment();
   CompactUs()->Record(MonotonicMicros() - start_us);
   if (cache_ != nullptr) cache_->BumpEpoch();
-  if (publish_hook_) publish_hook_(base_.get());
+  if (publish_hook_) {
+    // The compaction is durable and served either way; a failing
+    // subscriber is an observability event, not a rollback.
+    const Status hook_status = publish_hook_(base_.get());
+    if (!hook_status.ok()) {
+      ++stats_.publish_failures;
+      stats_.last_publish_error = hook_status.ToString();
+      CompactPublishFailures()->Increment();
+    }
+  }
   return Status::OK();
 }
 

@@ -51,6 +51,10 @@ struct IngestStats {
   /// True when the last Open truncated a torn WAL tail.
   bool tail_truncated = false;
   int64_t truncated_bytes = 0;
+  /// Publish-hook invocations that returned non-OK (the compaction itself
+  /// still succeeded); last_publish_error keeps the most recent one.
+  int64_t publish_failures = 0;
+  std::string last_publish_error;
 };
 
 /// Crash-safe streaming ingestion into a cube directory:
@@ -124,7 +128,12 @@ class Ingester {
   /// Hook invoked (with the freshly compacted store) after a compaction
   /// publishes, e.g. QueryEngine::SetStore. Called with the ingester's
   /// internal mutex held; keep it cheap and do not call back in.
-  void set_publish_hook(std::function<void(const CubeStore*)> hook) {
+  ///
+  /// A non-OK return does NOT fail the compaction (the data is already
+  /// durable and served); it is recorded in IngestStats (publish_failures
+  /// + last_publish_error) and the compact.publish_failures counter so a
+  /// silently-broken subscriber is visible instead of lost.
+  void set_publish_hook(std::function<Status(const CubeStore*)> hook) {
     publish_hook_ = std::move(hook);
   }
 
@@ -175,7 +184,7 @@ class Ingester {
   bool snapshot_dirty_ = true;
   IngestStats stats_;
   QueryCache* cache_ = nullptr;
-  std::function<void(const CubeStore*)> publish_hook_;
+  std::function<Status(const CubeStore*)> publish_hook_;
 };
 
 /// Re-encodes `src` (typically a freshly parsed CSV with its own

@@ -1,0 +1,79 @@
+#ifndef OPMAP_SERVER_LOADGEN_H_
+#define OPMAP_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opmap/common/status.h"
+
+namespace opmap::server {
+
+/// Configuration of one `opmap loadgen` run.
+struct LoadgenOptions {
+  /// Daemon address in listen-option syntax ("unix:<path>", "host:port").
+  std::string connect;
+  /// Concurrent connections, each driven by its own thread and Client.
+  int clients = 4;
+  /// Wall-clock budget; the run stops at the deadline or after
+  /// max_requests, whichever comes first.
+  double duration_s = 5.0;
+  /// Total request budget across all clients; 0 = duration only.
+  int64_t max_requests = 0;
+  /// Weighted op mix, "<op>:<weight>[,...]" over ops
+  /// ping|compare|pairs|gi|render|stats|schema.
+  std::string mix = "compare:8,pairs:1,gi:1,render:2";
+  /// Seed for the deterministic per-thread schedules.
+  uint64_t seed = 42;
+  /// Per-call socket timeout.
+  int timeout_ms = 30000;
+  /// Cube file for the in-process baseline (compare + encode on this
+  /// process's CPU, no socket): the denominator of the wire-overhead
+  /// ratio in docs/SERVING.md. Empty skips the baseline.
+  std::string cubes_path;
+  bool use_mmap = true;
+  /// Iterations of the in-process baseline measurement.
+  int local_iters = 200;
+  bool verbose = false;
+};
+
+/// Results of a run. Latencies are microseconds, sorted ascending per op.
+struct LoadgenReport {
+  int64_t total_ok = 0;
+  int64_t total_error = 0;
+  int64_t retry_later = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;  ///< OK responses per second across all clients
+  std::map<std::string, std::vector<int64_t>> latencies_us;
+  /// In-process warm compare p50 (us); < 0 when not measured.
+  double local_compare_p50_us = -1.0;
+  /// The daemon's own metrics snapshot (kStats), fetched after the run.
+  std::string server_stats_json;
+};
+
+/// Nearest-rank percentile of an ascending-sorted sample; q in [0,1].
+int64_t PercentileUs(const std::vector<int64_t>& sorted_us, double q);
+
+/// Runs the load against a live daemon. Fails fast if the first
+/// connection or the schema probe fails; per-request errors are counted,
+/// not fatal.
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options);
+
+/// Human-readable per-op table (QPS, p50/p99/p999) for the CLI.
+std::string FormatLoadgenReport(const LoadgenOptions& options,
+                                const LoadgenReport& report);
+
+/// Appends the run to `path` as bench records (docs/SERVING.md):
+///   server/qps                 items_per_s = OK responses per second
+///   server/<op>_p50|_p99|_p999 wall_ms = that percentile, per mixed op
+///   server/local_compare_p50   the in-process baseline (when measured)
+///   server/retry_later         items_per_s = sheds per second
+/// The server/qps record embeds the daemon's stats snapshot.
+Status WriteLoadgenBench(const std::string& path,
+                         const LoadgenOptions& options,
+                         const LoadgenReport& report);
+
+}  // namespace opmap::server
+
+#endif  // OPMAP_SERVER_LOADGEN_H_

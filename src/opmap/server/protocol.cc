@@ -1,0 +1,484 @@
+#include "opmap/server/protocol.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "opmap/common/io.h"
+#include "opmap/common/serde.h"
+#include "opmap/ingest/wal.h"
+
+namespace opmap::server {
+
+namespace {
+
+// Body decoders share one guard: every decoder must consume its body from
+// a reader whose limit is the body size, so corrupt length fields can
+// never allocate more than the bytes actually received.
+BinaryReader MakeReader(std::istringstream* in, const std::string& body) {
+  return BinaryReader(in, body.size());
+}
+
+Result<std::vector<std::string>> ReadStringVector(BinaryReader* r,
+                                                  size_t max_items) {
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  if (n > max_items) {
+    return Status::IOError("string vector length exceeds limit");
+  }
+  std::vector<std::string> items;
+  items.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    OPMAP_ASSIGN_OR_RETURN(std::string s, r->ReadString());
+    items.push_back(std::move(s));
+  }
+  return items;
+}
+
+void WriteStringVector(BinaryWriter* w, const std::vector<std::string>& v) {
+  w->WriteU64(v.size());
+  for (const std::string& s : v) w->WriteString(s);
+}
+
+// Requires the whole body to have been consumed: trailing bytes after a
+// well-formed prefix are a malformed request, not padding.
+Status ExpectFullyConsumed(std::istringstream* in) {
+  if (in->peek() != std::char_traits<char>::eof()) {
+    return Status::InvalidArgument("trailing bytes after request body");
+  }
+  return Status::OK();
+}
+
+void WriteValueComparison(BinaryWriter* w, const ValueComparison& v) {
+  w->WriteI32(v.value);
+  w->WriteI64(v.n1);
+  w->WriteI64(v.n2);
+  w->WriteI64(v.n1_target);
+  w->WriteI64(v.n2_target);
+  w->WriteDouble(v.cf1);
+  w->WriteDouble(v.cf2);
+  w->WriteDouble(v.e1);
+  w->WriteDouble(v.e2);
+  w->WriteDouble(v.rcf1);
+  w->WriteDouble(v.rcf2);
+  w->WriteDouble(v.f);
+  w->WriteDouble(v.w);
+}
+
+void WriteAttributeComparison(BinaryWriter* w, const AttributeComparison& a) {
+  w->WriteI32(a.attribute);
+  w->WriteDouble(a.interestingness);
+  w->WriteDouble(a.normalized);
+  w->WriteU8(a.is_property ? 1 : 0);
+  w->WriteDouble(a.property_ratio);
+  w->WriteU64(a.values.size());
+  for (const ValueComparison& v : a.values) WriteValueComparison(w, v);
+}
+
+void WriteExceptionCell(BinaryWriter* w, const ExceptionCell& e) {
+  w->WriteI32(e.attribute);
+  w->WriteI32(e.value);
+  w->WriteI32(e.attribute2);
+  w->WriteI32(e.value2);
+  w->WriteI32(e.class_value);
+  w->WriteI64(e.body_count);
+  w->WriteDouble(e.confidence);
+  w->WriteDouble(e.expected);
+  w->WriteDouble(e.deviation);
+  w->WriteDouble(e.significance);
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "ping";
+    case Op::kSchema:
+      return "schema";
+    case Op::kCompare:
+      return "compare";
+    case Op::kAllPairs:
+      return "pairs";
+    case Op::kGi:
+      return "gi";
+    case Op::kSession:
+      return "session";
+    case Op::kRender:
+      return "render";
+    case Op::kStats:
+      return "stats";
+    case Op::kReload:
+      return "reload";
+  }
+  return "unknown";
+}
+
+bool IsKnownOp(uint8_t op) { return op <= static_cast<uint8_t>(Op::kReload); }
+
+const char* RespStatusName(RespStatus status) {
+  switch (status) {
+    case RespStatus::kOk:
+      return "OK";
+    case RespStatus::kRetryLater:
+      return "RETRY_LATER";
+    case RespStatus::kBadRequest:
+      return "BAD_REQUEST";
+    case RespStatus::kError:
+      return "ERROR";
+    case RespStatus::kShuttingDown:
+      return "SHUTTING_DOWN";
+  }
+  return "INVALID";
+}
+
+std::string EncodeFrame(uint64_t request_id, const std::string& payload) {
+  static_assert(kFrameHeaderBytes == kWalFrameHeaderBytes,
+                "server frames reuse the WAL layout");
+  return EncodeWalFrame(request_id, payload);
+}
+
+FrameDecode DecodeFrame(const char* data, size_t size, uint32_t max_payload,
+                        uint64_t* id, std::string* payload, size_t* consumed,
+                        std::string* error) {
+  *id = 0;
+  if (size < sizeof(uint32_t)) return FrameDecode::kNeedMore;
+  uint32_t len;
+  std::memcpy(&len, data, sizeof(len));
+  if (size >= kFrameHeaderBytes) {
+    // Best-effort id echo even when the length below is rejected.
+    std::memcpy(id, data + sizeof(uint32_t), sizeof(*id));
+  }
+  if (len > max_payload) {
+    *error = "frame length " + std::to_string(len) + " exceeds limit " +
+             std::to_string(max_payload);
+    return FrameDecode::kCorrupt;
+  }
+  if (size < kFrameHeaderBytes) return FrameDecode::kNeedMore;
+  if (size < kFrameHeaderBytes + len) return FrameDecode::kNeedMore;
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data + sizeof(uint32_t) + sizeof(uint64_t),
+              sizeof(stored_crc));
+  uint32_t crc = Crc32c(data + sizeof(uint32_t), sizeof(uint64_t));
+  crc = Crc32c(data + kFrameHeaderBytes, len, crc);
+  if (crc != stored_crc) {
+    *error = "frame CRC mismatch";
+    return FrameDecode::kCorrupt;
+  }
+  payload->assign(data + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameDecode::kFrame;
+}
+
+// --------------------------- request bodies --------------------------------
+
+std::string EncodeRequest(Op op, const std::string& body) {
+  std::string payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<char>(op));
+  payload += body;
+  return payload;
+}
+
+std::string EncodeCompareRequest(const CompareRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI32(req.attribute);
+  w.WriteI32(req.value_a);
+  w.WriteI32(req.value_b);
+  w.WriteI32(req.target_class);
+  w.WriteI64(req.min_population);
+  return out.str();
+}
+
+Result<CompareRequest> DecodeCompareRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  CompareRequest req;
+  OPMAP_ASSIGN_OR_RETURN(req.attribute, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.value_a, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.value_b, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.target_class, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.min_population, r.ReadI64());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+std::string EncodeAllPairsRequest(const AllPairsRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI32(req.attribute);
+  w.WriteI32(req.target_class);
+  w.WriteI64(req.min_population);
+  return out.str();
+}
+
+Result<AllPairsRequest> DecodeAllPairsRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  AllPairsRequest req;
+  OPMAP_ASSIGN_OR_RETURN(req.attribute, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.target_class, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.min_population, r.ReadI64());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+std::string EncodeGiRequest(const GiRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI32(req.top_influence);
+  w.WriteU8(req.mine_interactions ? 1 : 0);
+  w.WriteI32(req.top_interactions);
+  return out.str();
+}
+
+Result<GiRequest> DecodeGiRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  GiRequest req;
+  OPMAP_ASSIGN_OR_RETURN(req.top_influence, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(uint8_t mine, r.ReadU8());
+  req.mine_interactions = mine != 0;
+  OPMAP_ASSIGN_OR_RETURN(req.top_interactions, r.ReadI32());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+std::string EncodeSessionRequest(const SessionRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(req.verb));
+  w.WriteString(req.attribute);
+  WriteStringVector(&w, req.values);
+  return out.str();
+}
+
+Result<SessionRequest> DecodeSessionRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  SessionRequest req;
+  OPMAP_ASSIGN_OR_RETURN(uint8_t verb, r.ReadU8());
+  if (verb > static_cast<uint8_t>(SessionVerb::kReset)) {
+    return Status::InvalidArgument("unknown session verb " +
+                                   std::to_string(verb));
+  }
+  req.verb = static_cast<SessionVerb>(verb);
+  OPMAP_ASSIGN_OR_RETURN(req.attribute, r.ReadString());
+  OPMAP_ASSIGN_OR_RETURN(req.values, ReadStringVector(&r, body.size()));
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+std::string EncodeRenderRequest(const RenderRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI32(req.max_rows);
+  w.WriteI32(req.bar_width);
+  return out.str();
+}
+
+Result<RenderRequest> DecodeRenderRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  RenderRequest req;
+  OPMAP_ASSIGN_OR_RETURN(req.max_rows, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(req.bar_width, r.ReadI32());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+std::string EncodeReloadRequest(const ReloadRequest& req) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteString(req.path);
+  return out.str();
+}
+
+Result<ReloadRequest> DecodeReloadRequest(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  ReloadRequest req;
+  OPMAP_ASSIGN_OR_RETURN(req.path, r.ReadString());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return req;
+}
+
+// --------------------------- response bodies -------------------------------
+
+std::string EncodeResponse(RespStatus status, const std::string& body) {
+  std::string payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<char>(status));
+  payload += body;
+  return payload;
+}
+
+std::string EncodeErrorBody(StatusCode code, const std::string& message) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU8(static_cast<uint8_t>(code));
+  w.WriteString(message);
+  return out.str();
+}
+
+Result<DecodedResponse> DecodeResponse(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::IOError("empty response payload");
+  }
+  const uint8_t status = static_cast<uint8_t>(payload[0]);
+  if (status > static_cast<uint8_t>(RespStatus::kShuttingDown)) {
+    return Status::IOError("unknown response status byte " +
+                           std::to_string(status));
+  }
+  DecodedResponse resp;
+  resp.status = static_cast<RespStatus>(status);
+  resp.body = payload.substr(1);
+  return resp;
+}
+
+Status DecodeErrorBody(const std::string& body, Status* decoded) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  OPMAP_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+  OPMAP_ASSIGN_OR_RETURN(std::string message, r.ReadString());
+  if (code > static_cast<uint8_t>(StatusCode::kFailedPrecondition)) {
+    return Status::IOError("unknown status code in error body");
+  }
+  *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+std::string EncodeComparisonResult(const ComparisonResult& result) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI32(result.spec.attribute);
+  w.WriteI32(result.spec.value_a);
+  w.WriteI32(result.spec.value_b);
+  w.WriteI32(result.spec.target_class);
+  w.WriteString(result.label_a);
+  w.WriteString(result.label_b);
+  w.WriteU8(result.swapped ? 1 : 0);
+  w.WriteI64(result.n_d1);
+  w.WriteI64(result.n_d2);
+  w.WriteDouble(result.cf1);
+  w.WriteDouble(result.cf2);
+  w.WriteU64(result.ranked.size());
+  for (const AttributeComparison& a : result.ranked) {
+    WriteAttributeComparison(&w, a);
+  }
+  w.WriteU64(result.properties.size());
+  for (const AttributeComparison& a : result.properties) {
+    WriteAttributeComparison(&w, a);
+  }
+  WriteStringVector(&w, result.warnings);
+  return out.str();
+}
+
+std::string EncodePairSummaries(const std::vector<PairSummary>& pairs) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(pairs.size());
+  for (const PairSummary& p : pairs) {
+    w.WriteI32(p.value_a);
+    w.WriteI32(p.value_b);
+    w.WriteDouble(p.cf_a);
+    w.WriteDouble(p.cf_b);
+    w.WriteI32(p.top_attribute);
+    w.WriteDouble(p.top_interestingness);
+    w.WriteDouble(p.top_normalized);
+    w.WriteU8(p.skipped ? 1 : 0);
+  }
+  return out.str();
+}
+
+std::string EncodeGeneralImpressions(const GeneralImpressions& gi) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(gi.influence.size());
+  for (const AttributeInfluence& a : gi.influence) {
+    w.WriteI32(a.attribute);
+    w.WriteDouble(a.chi_square);
+    w.WriteDouble(a.p_value);
+    w.WriteDouble(a.cramers_v);
+    w.WriteDouble(a.information_gain_bits);
+  }
+  w.WriteU64(gi.trends.size());
+  for (const Trend& t : gi.trends) {
+    w.WriteI32(t.attribute);
+    w.WriteI32(t.class_value);
+    w.WriteU8(static_cast<uint8_t>(t.direction));
+    w.WriteDoubleVector(t.confidences);
+    w.WriteDouble(t.agreement);
+  }
+  w.WriteU64(gi.exceptions.size());
+  for (const ExceptionCell& e : gi.exceptions) WriteExceptionCell(&w, e);
+  w.WriteU64(gi.interactions.size());
+  for (const ExceptionCell& e : gi.interactions) WriteExceptionCell(&w, e);
+  return out.str();
+}
+
+std::string EncodeSchemaInfo(const CubeStore& store, uint64_t generation) {
+  const Schema& schema = store.schema();
+  std::vector<bool> materialized(schema.num_attributes(), false);
+  for (int attr : store.attributes()) {
+    materialized[static_cast<size_t>(attr)] = true;
+  }
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteI64(store.num_records());
+  w.WriteI32(schema.class_index());
+  w.WriteU64(generation);
+  w.WriteU64(static_cast<uint64_t>(schema.num_attributes()));
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    const Attribute& attr = schema.attribute(i);
+    w.WriteString(attr.name());
+    w.WriteU8(attr.is_categorical() ? 1 : 0);
+    w.WriteU8(materialized[static_cast<size_t>(i)] ? 1 : 0);
+    WriteStringVector(&w, attr.labels());
+  }
+  return out.str();
+}
+
+Result<SchemaInfo> DecodeSchemaInfo(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  SchemaInfo info;
+  OPMAP_ASSIGN_OR_RETURN(info.num_records, r.ReadI64());
+  OPMAP_ASSIGN_OR_RETURN(info.class_index, r.ReadI32());
+  OPMAP_ASSIGN_OR_RETURN(info.store_generation, r.ReadU64());
+  OPMAP_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+  if (n > body.size()) {
+    return Status::IOError("attribute count exceeds body size");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    SchemaInfo::AttrInfo attr;
+    OPMAP_ASSIGN_OR_RETURN(attr.name, r.ReadString());
+    OPMAP_ASSIGN_OR_RETURN(uint8_t cat, r.ReadU8());
+    attr.is_categorical = cat != 0;
+    OPMAP_ASSIGN_OR_RETURN(uint8_t mat, r.ReadU8());
+    attr.materialized = mat != 0;
+    OPMAP_ASSIGN_OR_RETURN(attr.labels, ReadStringVector(&r, body.size()));
+    info.attributes.push_back(std::move(attr));
+  }
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return info;
+}
+
+std::string EncodeReloadInfo(const ReloadInfo& info) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteU64(info.store_generation);
+  w.WriteI64(info.num_records);
+  return out.str();
+}
+
+Result<ReloadInfo> DecodeReloadInfo(const std::string& body) {
+  std::istringstream in(body);
+  BinaryReader r = MakeReader(&in, body);
+  ReloadInfo info;
+  OPMAP_ASSIGN_OR_RETURN(info.store_generation, r.ReadU64());
+  OPMAP_ASSIGN_OR_RETURN(info.num_records, r.ReadI64());
+  OPMAP_RETURN_NOT_OK(ExpectFullyConsumed(&in));
+  return info;
+}
+
+}  // namespace opmap::server

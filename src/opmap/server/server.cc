@@ -1,0 +1,844 @@
+#include "opmap/server/server.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "opmap/common/metrics.h"
+#include "opmap/common/trace.h"
+#include "opmap/server/net.h"
+
+namespace opmap::server {
+
+namespace {
+
+// server.* metric handles, resolved once (docs/OBSERVABILITY.md).
+Counter* RequestsCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.requests");
+  return c;
+}
+Counter* ResponsesOk() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.responses_ok");
+  return c;
+}
+Counter* ResponsesError() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.responses_error");
+  return c;
+}
+Counter* ShedCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.shed_retry_later");
+  return c;
+}
+Counter* ProtocolErrors() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.protocol_errors");
+  return c;
+}
+Counter* ConnectionsAccepted() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.connections_accepted");
+  return c;
+}
+Counter* ConnectionsClosed() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.connections_closed");
+  return c;
+}
+Counter* BytesRead() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.bytes_read");
+  return c;
+}
+Counter* BytesWritten() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.bytes_written");
+  return c;
+}
+Counter* ReloadsCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.reloads");
+  return c;
+}
+Counter* ReloadFailures() {
+  static Counter* const c =
+      MetricsRegistry::Global()->counter("server.reload_failures");
+  return c;
+}
+Gauge* ConnectionsGauge() {
+  static Gauge* const g =
+      MetricsRegistry::Global()->gauge("server.connections");
+  return g;
+}
+Gauge* InflightGauge() {
+  static Gauge* const g = MetricsRegistry::Global()->gauge("server.inflight");
+  return g;
+}
+Histogram* RequestHistogram() {
+  static Histogram* const h =
+      MetricsRegistry::Global()->histogram("server.request_us");
+  return h;
+}
+// Per-op latency histogram. Resolved lazily from worker threads, hence the
+// atomic slots (registration is idempotent and returns a stable pointer,
+// so losing the publication race is harmless).
+Histogram* OpHistogram(Op op) {
+  static std::atomic<Histogram*> cache[9] = {};
+  const auto idx = static_cast<size_t>(op);
+  Histogram* h = cache[idx].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = MetricsRegistry::Global()->histogram(
+        std::string("server.request_us.") + OpName(op));
+    cache[idx].store(h, std::memory_order_release);
+  }
+  return h;
+}
+
+RespStatus RespStatusForError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+      return RespStatus::kBadRequest;
+    default:
+      return RespStatus::kError;
+  }
+}
+
+std::string ErrorResponse(const Status& status) {
+  return EncodeResponse(RespStatusForError(status),
+                        EncodeErrorBody(status.code(), status.message()));
+}
+
+// A request body that fails to decode is the client's fault no matter what
+// code the decoder used internally — always BAD_REQUEST.
+std::string BadRequestResponse(const Status& status) {
+  return EncodeResponse(RespStatus::kBadRequest,
+                        EncodeErrorBody(StatusCode::kInvalidArgument,
+                                        status.message()));
+}
+
+std::string ShuttingDownBody() {
+  return EncodeErrorBody(StatusCode::kFailedPrecondition,
+                         "server is shutting down");
+}
+
+// The signal-handler target. A plain atomic pointer: handlers may only
+// call Server::Shutdown(), which is async-signal-safe by construction
+// (one lock-free atomic store plus a write(2)).
+std::atomic<Server*> g_signal_server{nullptr};
+
+extern "C" void OpmapdSignalHandler(int /*signo*/) {
+  Server* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->Shutdown();
+}
+
+}  // namespace
+
+// One accepted socket. The Serve() thread owns every field except
+// `session`, which the (single) in-flight pool worker for this connection
+// owns while `executing` is true — one request per connection executes at
+// a time, so the session needs no lock and responses stay in order.
+class Connection {
+ public:
+  uint64_t id = 0;
+  int fd = -1;
+  std::string in;    // unparsed request bytes
+  std::string out;   // encoded, unflushed response bytes
+  size_t out_off = 0;
+  struct PendingFrame {
+    uint64_t request_id = 0;
+    std::string payload;
+  };
+  std::deque<PendingFrame> pending;
+  bool executing = false;
+  bool closing = false;  // close once `out` is flushed
+  bool dead = false;     // write failed; close at the next sweep
+  std::unique_ptr<ExplorationSession> session;
+  uint64_t session_generation = 0;
+
+  bool FinishedFlushing() const { return out_off >= out.size(); }
+};
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server());
+  server->options_ = options;
+  if (options.cubes_path.empty()) {
+    return Status::InvalidArgument("ServerOptions.cubes_path is required");
+  }
+
+  CubeLoadOptions load;
+  load.use_mmap = options.use_mmap;
+  OPMAP_ASSIGN_OR_RETURN(
+      CubeStore store,
+      CubeStore::LoadFromFile(options.cubes_path, nullptr, load));
+  server->store_ = std::make_unique<CubeStore>(std::move(store));
+  server->engine_ = std::make_unique<QueryEngine>(
+      server->store_.get(), options.cache_bytes, options.parallel);
+
+  OPMAP_ASSIGN_OR_RETURN(Address addr, ParseAddress(options.listen));
+  OPMAP_ASSIGN_OR_RETURN(server->listen_fd_,
+                         ListenOn(addr, &server->address_));
+  if (addr.is_unix) server->unix_path_ = addr.path;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  OPMAP_RETURN_NOT_OK(SetNonBlocking(pipe_fds[0], true));
+  OPMAP_RETURN_NOT_OK(SetNonBlocking(pipe_fds[1], true));
+  server->wake_read_fd_ = pipe_fds[0];
+  server->wake_write_fd_.store(pipe_fds[1], std::memory_order_release);
+
+  const int workers = options.workers > 0
+                          ? options.workers
+                          : EffectiveThreads(options.parallel);
+  ThreadPool::Shared()->Reserve(workers);
+  return server;
+}
+
+Server::~Server() {
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  const int wfd = wake_write_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (wfd >= 0) ::close(wfd);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void Server::Shutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  const int fd = wake_write_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 'q';
+    // EAGAIN means the pipe already has unread bytes — the loop will wake.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::InstallSignalHandlers(Server* server) {
+  g_signal_server.store(server, std::memory_order_relaxed);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = server != nullptr ? &OpmapdSignalHandler : SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+Status Server::Serve() {
+  if (options_.verbose) {
+    std::fprintf(stderr, "opmapd: serving %s on %s\n",
+                 options_.cubes_path.c_str(), address_.c_str());
+  }
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
+  for (;;) {
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+    DrainCompletions();
+    if (reload_pending_ && inflight_ == 0) PerformReload();
+    SweepClosedConnections();
+    if (draining_ && inflight_ == 0 && !reload_pending_) {
+      bool flushed = true;
+      for (auto& [id, conn] : conns_) {
+        if (!conn->FinishedFlushing()) {
+          flushed = false;
+          break;
+        }
+      }
+      if (flushed) break;
+    }
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    const bool accepting =
+        !draining_ &&
+        static_cast<int>(conns_.size()) < options_.max_connections;
+    if (accepting) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (!conn->closing && !conn->dead && !draining_) events |= POLLIN;
+      if (!conn->dead && !conn->FinishedFlushing()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 500);
+    if (ready < 0 && errno != EINTR) {
+      const Status st =
+          Status::IOError(std::string("poll: ") + std::strerror(errno));
+      // Never return with workers still referencing connections.
+      while (inflight_ > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        DrainCompletions();
+      }
+      return st;
+    }
+    if (ready <= 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (accepting && (fds[1].revents & POLLIN) != 0) AcceptConnections();
+    for (size_t i = 0; i < fds.size(); ++i) {
+      const uint64_t id = fd_conn[i];
+      if (id == 0 || fds[i].revents == 0) continue;
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) {
+        conn->dead = true;
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) FlushConnection(conn);
+      if ((fds[i].revents & (POLLIN | POLLHUP)) != 0) ReadConnection(conn);
+    }
+  }
+
+  // Drained: close every remaining connection (none executing).
+  SweepClosedConnections();
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConnection(id, "server drained");
+  if (options_.verbose) {
+    std::fprintf(stderr,
+                 "opmapd: drained (%lld requests, %lld shed, %lld protocol "
+                 "errors)\n",
+                 static_cast<long long>(stats_.requests),
+                 static_cast<long long>(stats_.shed_retry_later),
+                 static_cast<long long>(stats_.protocol_errors));
+  }
+  return Status::OK();
+}
+
+void Server::AcceptConnections() {
+  for (;;) {
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) return;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (or transient error): next poll round
+    if (!SetNonBlocking(fd, true).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    ConnectionsAccepted()->Increment();
+    stats_.connections_accepted++;
+    conns_[conn->id] = std::move(conn);
+    ConnectionsGauge()->Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void Server::ReadConnection(Connection* conn) {
+  char buf[64 << 10];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      BytesRead()->Increment(n);
+      conn->in.append(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->dead = true;  // peer closed; swept after this round
+      conn->closing = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->dead = true;
+    break;
+  }
+
+  size_t off = 0;
+  while (off < conn->in.size() && !conn->closing && !conn->dead) {
+    uint64_t request_id = 0;
+    std::string payload;
+    size_t consumed = 0;
+    std::string error;
+    const FrameDecode rc =
+        DecodeFrame(conn->in.data() + off, conn->in.size() - off,
+                    options_.max_request_bytes, &request_id, &payload,
+                    &consumed, &error);
+    if (rc == FrameDecode::kNeedMore) break;
+    if (rc == FrameDecode::kCorrupt) {
+      // The stream position is untrusted from here on: answer with a
+      // best-effort error frame (echoing the id when the header was
+      // readable) and close once it flushed.
+      ProtocolErrors()->Increment();
+      stats_.protocol_errors++;
+      if (options_.verbose) {
+        std::fprintf(stderr, "opmapd: conn %llu protocol error: %s\n",
+                     static_cast<unsigned long long>(conn->id),
+                     error.c_str());
+      }
+      RespondNow(conn, request_id, RespStatus::kBadRequest,
+                 EncodeErrorBody(StatusCode::kInvalidArgument,
+                                 "corrupt frame: " + error));
+      conn->closing = true;
+      off = conn->in.size();  // discard the poisoned buffer
+      break;
+    }
+    off += consumed;
+    HandleFrame(conn, request_id, std::move(payload));
+  }
+  conn->in.erase(0, off);
+}
+
+void Server::HandleFrame(Connection* conn, uint64_t request_id,
+                         std::string payload) {
+  RequestsCounter()->Increment();
+  stats_.requests++;
+  if (draining_) {
+    RespondNow(conn, request_id, RespStatus::kShuttingDown,
+               ShuttingDownBody());
+    return;
+  }
+  if (conn->executing || reload_pending_) {
+    if (static_cast<int>(conn->pending.size()) >=
+        options_.max_pending_per_connection) {
+      ShedCounter()->Increment();
+      stats_.shed_retry_later++;
+      RespondNow(conn, request_id, RespStatus::kRetryLater,
+                 EncodeErrorBody(StatusCode::kFailedPrecondition,
+                                 "connection pipeline depth exceeded"));
+      return;
+    }
+    conn->pending.push_back({request_id, std::move(payload)});
+    return;
+  }
+  DispatchOrShed(conn, request_id, std::move(payload));
+}
+
+void Server::DispatchOrShed(Connection* conn, uint64_t request_id,
+                            std::string payload) {
+  if (payload.empty()) {
+    RespondNow(conn, request_id, RespStatus::kBadRequest,
+               EncodeErrorBody(StatusCode::kInvalidArgument,
+                               "empty request payload (missing op byte)"));
+    return;
+  }
+  const uint8_t op_byte = static_cast<uint8_t>(payload[0]);
+  if (!IsKnownOp(op_byte)) {
+    RespondNow(conn, request_id, RespStatus::kBadRequest,
+               EncodeErrorBody(StatusCode::kInvalidArgument,
+                               "unknown op byte " + std::to_string(op_byte)));
+    return;
+  }
+  if (static_cast<Op>(op_byte) == Op::kReload) {
+    if (reload_pending_) {
+      RespondNow(conn, request_id, RespStatus::kRetryLater,
+                 EncodeErrorBody(StatusCode::kFailedPrecondition,
+                                 "another reload is already pending"));
+      return;
+    }
+    // Reload swaps the store under the engine, which must not race query
+    // execution: it parks here until inflight_ drains to zero. Frames
+    // arriving meanwhile queue per connection (reload_pending_ blocks
+    // dispatch), so the reload cannot be starved.
+    reload_pending_ = true;
+    reload_conn_id_ = conn->id;
+    reload_request_id_ = request_id;
+    reload_body_ = payload.substr(1);
+    return;
+  }
+  if (inflight_ >= options_.max_inflight) {
+    ShedCounter()->Increment();
+    stats_.shed_retry_later++;
+    RespondNow(conn, request_id, RespStatus::kRetryLater,
+               EncodeErrorBody(StatusCode::kFailedPrecondition,
+                               "server at max in-flight requests"));
+    return;
+  }
+  inflight_++;
+  InflightGauge()->SetMax(inflight_);
+  conn->executing = true;
+  ThreadPool::Shared()->Post(
+      [this, conn, request_id, payload = std::move(payload)]() mutable {
+        ExecuteRequest(conn, request_id, std::move(payload));
+      });
+}
+
+void Server::PumpConnection(Connection* conn) {
+  while (!conn->executing && !conn->pending.empty() && !reload_pending_) {
+    auto frame = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    if (draining_) {
+      RespondNow(conn, frame.request_id, RespStatus::kShuttingDown,
+                 ShuttingDownBody());
+      continue;
+    }
+    DispatchOrShed(conn, frame.request_id, std::move(frame.payload));
+  }
+}
+
+void Server::PumpAllConnections() {
+  for (auto& [id, conn] : conns_) PumpConnection(conn.get());
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    done.swap(completions_);
+  }
+  for (Completion& c : done) {
+    inflight_--;
+    if (c.ok) {
+      ResponsesOk()->Increment();
+      stats_.responses_ok++;
+    } else {
+      ResponsesError()->Increment();
+      stats_.responses_error++;
+    }
+    auto zombie = zombies_.find(c.conn_id);
+    if (zombie != zombies_.end()) {
+      // The peer went away while we were computing; drop the response.
+      zombies_.erase(zombie);
+      continue;
+    }
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;
+    Connection* conn = it->second.get();
+    conn->executing = false;
+    conn->out += c.frame;
+    FlushConnection(conn);
+    PumpConnection(conn);
+  }
+}
+
+void Server::RespondNow(Connection* conn, uint64_t request_id,
+                        RespStatus status, const std::string& body) {
+  if (status == RespStatus::kOk) {
+    ResponsesOk()->Increment();
+    stats_.responses_ok++;
+  } else {
+    ResponsesError()->Increment();
+    stats_.responses_error++;
+  }
+  conn->out += EncodeFrame(request_id, EncodeResponse(status, body));
+  FlushConnection(conn);
+}
+
+void Server::FlushConnection(Connection* conn) {
+  if (conn->dead) {
+    conn->out.clear();
+    conn->out_off = 0;
+    return;
+  }
+  while (!conn->FinishedFlushing()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      BytesWritten()->Increment(n);
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn->dead = true;  // swept at the next loop pass
+    conn->out.clear();
+    conn->out_off = 0;
+    return;
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+}
+
+void Server::SweepClosedConnections() {
+  std::vector<uint64_t> doomed;
+  for (auto& [id, conn] : conns_) {
+    if (conn->dead || (conn->closing && conn->FinishedFlushing())) {
+      doomed.push_back(id);
+    }
+  }
+  for (uint64_t id : doomed) CloseConnection(id, "swept");
+}
+
+void Server::CloseConnection(uint64_t conn_id, const char* reason) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  std::unique_ptr<Connection> conn = std::move(it->second);
+  conns_.erase(it);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  ConnectionsClosed()->Increment();
+  ConnectionsGauge()->Set(static_cast<int64_t>(conns_.size()));
+  if (options_.verbose) {
+    std::fprintf(stderr, "opmapd: conn %llu closed (%s)\n",
+                 static_cast<unsigned long long>(conn_id), reason);
+  }
+  if (conn->executing) {
+    // A pool worker still references this Connection (its session); park
+    // it until the completion arrives. zombies_ is always empty once
+    // inflight_ reaches 0, which is what reload and drain wait for.
+    zombies_[conn_id] = std::move(conn);
+  }
+}
+
+void Server::BeginDrain() {
+  draining_ = true;
+  if (options_.verbose) {
+    std::fprintf(stderr, "opmapd: drain requested (%d in flight)\n",
+                 inflight_);
+  }
+  // Undispatched frames get explicit SHUTTING_DOWN responses; in-flight
+  // requests finish and flush normally.
+  for (auto& [id, conn] : conns_) {
+    while (!conn->pending.empty()) {
+      auto frame = std::move(conn->pending.front());
+      conn->pending.pop_front();
+      RespondNow(conn.get(), frame.request_id, RespStatus::kShuttingDown,
+                 ShuttingDownBody());
+    }
+  }
+  if (reload_pending_) {
+    reload_pending_ = false;
+    auto it = conns_.find(reload_conn_id_);
+    if (it != conns_.end()) {
+      RespondNow(it->second.get(), reload_request_id_,
+                 RespStatus::kShuttingDown, ShuttingDownBody());
+    }
+  }
+}
+
+void Server::PerformReload() {
+  OPMAP_TRACE_SPAN("server.reload");
+  reload_pending_ = false;
+  Result<ReloadRequest> req = DecodeReloadRequest(reload_body_);
+  reload_body_.clear();
+  auto respond = [this](RespStatus status, const std::string& body) {
+    auto it = conns_.find(reload_conn_id_);
+    if (it != conns_.end()) {
+      RespondNow(it->second.get(), reload_request_id_, status, body);
+    }
+  };
+  if (!req.ok()) {
+    respond(RespStatusForError(req.status()),
+            EncodeErrorBody(req.status().code(), req.status().message()));
+    PumpAllConnections();
+    return;
+  }
+  const std::string path =
+      req->path.empty() ? options_.cubes_path : req->path;
+  CubeLoadOptions load;
+  load.use_mmap = options_.use_mmap;
+  Result<CubeStore> loaded = CubeStore::LoadFromFile(path, nullptr, load);
+  if (!loaded.ok()) {
+    ReloadFailures()->Increment();
+    stats_.reload_failures++;
+    if (options_.verbose) {
+      std::fprintf(stderr, "opmapd: reload of %s failed: %s\n", path.c_str(),
+                   loaded.status().ToString().c_str());
+    }
+    respond(RespStatusForError(loaded.status()),
+            EncodeErrorBody(loaded.status().code(),
+                            loaded.status().message()));
+    PumpAllConnections();
+    return;
+  }
+  // inflight_ == 0 here: no worker holds the store, a session view, or a
+  // half-built result. Sessions are dropped (their cubes may be views
+  // into the old mapping); SetStore bumps the shared cache's epoch, which
+  // invalidates every cmp|/gi|/view| entry at once.
+  for (auto& [id, conn] : conns_) conn->session.reset();
+  auto fresh = std::make_unique<CubeStore>(std::move(loaded).MoveValue());
+  engine_->SetStore(fresh.get());
+  store_ = std::move(fresh);  // the old store is destroyed after the swap
+  store_generation_++;
+  options_.cubes_path = path;
+  ReloadsCounter()->Increment();
+  stats_.reloads++;
+  if (options_.verbose) {
+    std::fprintf(stderr,
+                 "opmapd: reloaded %s (generation %llu, %lld records)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(store_generation_),
+                 static_cast<long long>(store_->num_records()));
+  }
+  ReloadInfo info;
+  info.store_generation = store_generation_;
+  info.num_records = store_->num_records();
+  respond(RespStatus::kOk, EncodeReloadInfo(info));
+  PumpAllConnections();
+}
+
+// ------------------------- pool-worker execution ---------------------------
+
+void Server::ExecuteRequest(Connection* conn, uint64_t request_id,
+                            std::string payload) {
+  const int64_t start_us = MonotonicMicros();
+  std::string response;
+  {
+    OPMAP_TRACE_SPAN("server.request");
+    response = HandleRequestPayload(conn, payload);
+  }
+  const int64_t elapsed = MonotonicMicros() - start_us;
+  RequestHistogram()->Record(elapsed);
+  if (!payload.empty() && IsKnownOp(static_cast<uint8_t>(payload[0]))) {
+    OpHistogram(static_cast<Op>(payload[0]))->Record(elapsed);
+  }
+  Completion done;
+  done.conn_id = conn->id;
+  done.ok = !response.empty() &&
+            response[0] == static_cast<char>(RespStatus::kOk);
+  done.frame = EncodeFrame(request_id, response);
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(done));
+  }
+  const int fd = wake_write_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::EnsureSession(Connection* conn) {
+  if (conn->session == nullptr ||
+      conn->session_generation != store_generation_) {
+    conn->session = std::make_unique<ExplorationSession>(engine_->store());
+    conn->session->set_cache(engine_->cache());
+    conn->session_generation = store_generation_;
+  }
+}
+
+std::string Server::HandleRequestPayload(Connection* conn,
+                                         const std::string& payload) {
+  const Op op = static_cast<Op>(payload[0]);
+  const std::string body = payload.substr(1);
+  switch (op) {
+    case Op::kPing:
+      return EncodeResponse(RespStatus::kOk, "");
+    case Op::kSchema:
+      return EncodeResponse(
+          RespStatus::kOk,
+          EncodeSchemaInfo(*engine_->store(), store_generation_));
+    case Op::kCompare: {
+      Result<CompareRequest> req = DecodeCompareRequest(body);
+      if (!req.ok()) return BadRequestResponse(req.status());
+      ComparisonSpec spec;
+      spec.attribute = req->attribute;
+      spec.value_a = req->value_a;
+      spec.value_b = req->value_b;
+      spec.target_class = req->target_class;
+      spec.min_population = req->min_population;
+      auto result = engine_->Compare(spec);
+      if (!result.ok()) return ErrorResponse(result.status());
+      return EncodeResponse(RespStatus::kOk,
+                            EncodeComparisonResult(**result));
+    }
+    case Op::kAllPairs: {
+      Result<AllPairsRequest> req = DecodeAllPairsRequest(body);
+      if (!req.ok()) return BadRequestResponse(req.status());
+      auto result = engine_->CompareAllPairs(
+          req->attribute, req->target_class, req->min_population);
+      if (!result.ok()) return ErrorResponse(result.status());
+      return EncodeResponse(RespStatus::kOk, EncodePairSummaries(*result));
+    }
+    case Op::kGi: {
+      Result<GiRequest> req = DecodeGiRequest(body);
+      if (!req.ok()) return BadRequestResponse(req.status());
+      GiOptions gi;
+      gi.top_influence = req->top_influence;
+      gi.mine_interactions = req->mine_interactions;
+      gi.top_interactions = req->top_interactions;
+      auto result = engine_->Gi(gi);
+      if (!result.ok()) return ErrorResponse(result.status());
+      return EncodeResponse(RespStatus::kOk,
+                            EncodeGeneralImpressions(**result));
+    }
+    case Op::kSession: {
+      Result<SessionRequest> req = DecodeSessionRequest(body);
+      if (!req.ok()) return BadRequestResponse(req.status());
+      EnsureSession(conn);
+      ExplorationSession* session = conn->session.get();
+      Status st;
+      switch (req->verb) {
+        case SessionVerb::kOpen:
+          st = session->OpenAttribute(req->attribute);
+          break;
+        case SessionVerb::kDrill:
+          st = session->DrillDown(req->attribute);
+          break;
+        case SessionVerb::kSlice:
+          st = req->values.empty()
+                   ? Status::InvalidArgument("slice needs a value")
+                   : session->Slice(req->attribute, req->values[0]);
+          break;
+        case SessionVerb::kDice:
+          st = session->Dice(req->attribute, req->values);
+          break;
+        case SessionVerb::kRollUp:
+          st = session->RollUp(req->attribute);
+          break;
+        case SessionVerb::kBack:
+          st = session->Back();
+          break;
+        case SessionVerb::kReset:
+          session->Reset();
+          break;
+      }
+      if (!st.ok()) return ErrorResponse(st);
+      return EncodeResponse(RespStatus::kOk, session->PathString());
+    }
+    case Op::kRender: {
+      Result<RenderRequest> req = DecodeRenderRequest(body);
+      if (!req.ok()) return BadRequestResponse(req.status());
+      EnsureSession(conn);
+      if (!conn->session->has_view()) {
+        return ErrorResponse(Status::FailedPrecondition(
+            "no current view (open an attribute first)"));
+      }
+      SessionRenderOptions opts;
+      opts.max_rows = req->max_rows;
+      opts.bar_width = req->bar_width;
+      auto rendered = conn->session->Render(opts);
+      if (!rendered.ok()) return ErrorResponse(rendered.status());
+      return EncodeResponse(RespStatus::kOk, *rendered);
+    }
+    case Op::kStats: {
+      MetricsFormatOptions slim;
+      slim.skip_zero_histograms = true;
+      return EncodeResponse(
+          RespStatus::kOk,
+          FormatMetricsJson(MetricsRegistry::Global()->Snapshot(), slim));
+    }
+    case Op::kReload:
+      // Handled exclusively on the loop thread; a worker never sees it.
+      break;
+  }
+  return ErrorResponse(
+      Status::Internal("unreachable op in HandleRequestPayload"));
+}
+
+}  // namespace opmap::server

@@ -1,0 +1,179 @@
+#ifndef OPMAP_SERVER_SERVER_H_
+#define OPMAP_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opmap/common/parallel.h"
+#include "opmap/common/status.h"
+#include "opmap/core/session.h"
+#include "opmap/cube/cube_store.h"
+#include "opmap/server/protocol.h"
+
+namespace opmap::server {
+
+/// Configuration of one opmapd instance.
+struct ServerOptions {
+  /// Listen address: "unix:<path>" for an AF_UNIX socket, "<host>:<port>"
+  /// or ":<port>" for TCP (host defaults to 127.0.0.1; port 0 binds an
+  /// OS-assigned port, reported by Server::address()).
+  std::string listen = "unix:opmapd.sock";
+  /// The cube container file to serve (and the default Reload target).
+  std::string cubes_path;
+  /// Map v3 containers instead of loading eagerly (see docs/SERVING.md:
+  /// N daemons or sessions share one physical copy of the cubes).
+  bool use_mmap = true;
+  /// Shared result-cache budget; 0 disables caching.
+  int64_t cache_bytes = QueryCache::kDefaultMaxBytes;
+  /// Threading for query execution inside one request.
+  ParallelOptions parallel;
+  /// Thread-pool workers reserved for request execution; 0 = the
+  /// effective thread count of `parallel`.
+  int workers = 0;
+  /// Admission control: requests executing or queued for execution beyond
+  /// this bound are shed with RETRY_LATER instead of queued unboundedly.
+  int max_inflight = 64;
+  /// Per-connection cap on parsed-but-undispatched frames (a pipelining
+  /// client past this depth gets RETRY_LATER).
+  int max_pending_per_connection = 32;
+  int max_connections = 256;
+  /// Request frames with a longer declared payload are treated as corrupt.
+  uint32_t max_request_bytes = kMaxRequestBytes;
+  /// Print per-event progress to stderr.
+  bool verbose = false;
+};
+
+/// Counters of one server's lifetime, readable after Serve() returns
+/// (tests) — the live view is the server.* metrics in the global registry.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests = 0;
+  int64_t responses_ok = 0;
+  int64_t responses_error = 0;
+  int64_t shed_retry_later = 0;
+  int64_t protocol_errors = 0;
+  int64_t reloads = 0;
+  int64_t reload_failures = 0;
+};
+
+class Connection;  // defined in server.cc
+
+/// The opmapd daemon: one poll(2) event loop owning every socket, with
+/// request execution dispatched onto the shared ThreadPool. One request
+/// executes per connection at a time (responses stay in request order and
+/// each connection's ExplorationSession needs no locking); concurrency
+/// comes from serving many connections.
+///
+/// Thread model: Serve() runs the loop on the calling thread. Shutdown()
+/// may be called from any thread or from a signal handler; it makes
+/// Serve() stop accepting, answer undispatched frames with SHUTTING_DOWN,
+/// finish in-flight requests, flush, and return. Destroy the Server only
+/// after Serve() returned.
+class Server {
+ public:
+  /// Loads the store, binds the listen socket and reserves pool workers.
+  /// The server is not serving until Serve() is called.
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  ~Server();
+
+  /// The bound address in listen-option syntax ("unix:/tmp/x.sock",
+  /// "127.0.0.1:45123") — connectable even when the option said port 0.
+  const std::string& address() const { return address_; }
+
+  /// Runs the event loop until Shutdown(); drains before returning.
+  Status Serve();
+
+  /// Requests a graceful drain. Async-signal-safe (an atomic store plus a
+  /// write(2) to the loop's wake pipe).
+  void Shutdown();
+
+  /// Routes SIGINT/SIGTERM to server->Shutdown() for the lifetime of the
+  /// process (the CLI's `opmap serve` calls this; tests use Shutdown()
+  /// directly). Pass nullptr to detach.
+  static void InstallSignalHandlers(Server* server);
+
+  /// Lifetime counters; read after Serve() returned.
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  Server() = default;
+
+  // Event-loop steps (all on the Serve() thread).
+  void AcceptConnections();
+  void ReadConnection(Connection* conn);
+  void FlushConnection(Connection* conn);
+  void SweepClosedConnections();
+  void CloseConnection(uint64_t conn_id, const char* reason);
+  void HandleFrame(Connection* conn, uint64_t request_id,
+                   std::string payload);
+  void DispatchOrShed(Connection* conn, uint64_t request_id,
+                      std::string payload);
+  void PumpConnection(Connection* conn);
+  void PumpAllConnections();
+  void DrainCompletions();
+  void RespondNow(Connection* conn, uint64_t request_id, RespStatus status,
+                  const std::string& body);
+  void BeginDrain();
+  void PerformReload();
+
+  // Request execution (on a pool worker).
+  void ExecuteRequest(Connection* conn, uint64_t request_id,
+                      std::string payload);
+  std::string HandleRequestPayload(Connection* conn,
+                                   const std::string& payload);
+  void EnsureSession(Connection* conn);
+
+  ServerOptions options_;
+  std::string address_;
+  std::string unix_path_;  // non-empty: unlink on exit
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  std::atomic<int> wake_write_fd_{-1};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::unique_ptr<CubeStore> store_;
+  std::unique_ptr<QueryEngine> engine_;
+  uint64_t store_generation_ = 1;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  // Connections that closed while a request was executing: the worker
+  // still references the Connection, so it is parked here and destroyed
+  // when its completion arrives.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> zombies_;
+
+  // Requests dispatched to the pool and not yet completed. Bounded by
+  // options_.max_inflight via admission control.
+  int inflight_ = 0;
+
+  // Pool workers deliver finished responses here; the loop drains it
+  // after every wake.
+  std::mutex completions_mu_;
+  struct Completion {
+    uint64_t conn_id = 0;
+    bool ok = false;    // response status was OK (counted on the loop thread)
+    std::string frame;  // fully encoded response frame
+  };
+  std::vector<Completion> completions_;
+
+  bool draining_ = false;
+  // A reload frame waiting for inflight_ == 0 (reload swaps the store and
+  // must be exclusive with query execution).
+  bool reload_pending_ = false;
+  uint64_t reload_conn_id_ = 0;
+  uint64_t reload_request_id_ = 0;
+  std::string reload_body_;
+
+  ServerStats stats_;
+};
+
+}  // namespace opmap::server
+
+#endif  // OPMAP_SERVER_SERVER_H_

@@ -48,6 +48,8 @@
 #include "opmap/gi/trend.h"
 #include "opmap/gi/impressions.h"
 #include "opmap/ingest/ingester.h"
+#include "opmap/server/loadgen.h"
+#include "opmap/server/server.h"
 #include "opmap/viz/export.h"
 #include "opmap/viz/html_report.h"
 #include "opmap/viz/views.h"
@@ -297,7 +299,7 @@ CubeStoreOptions BuildOptionsOf(const Args& args) {
 
 int CmdGenerate(const Args& args) {
   args.RejectUnknown("generate", {"records", "attributes", "phones", "seed",
-                                  "out", "no-effect", "stats", "trace-out"});
+                                  "out", "no-effect", "stats", "stats-full", "trace-out"});
   const std::string out = args.GetString("out");
   RequireFlag(out, "out");
   CallLogConfig config;
@@ -322,7 +324,7 @@ int CmdGenerate(const Args& args) {
 
 int CmdCsvToData(const Args& args) {
   args.RejectUnknown("csv2data", {"in", "out", "class", "strict", "recover",
-                                  "stats", "trace-out"});
+                                  "stats", "stats-full", "trace-out"});
   const std::string in = args.GetString("in");
   const std::string out = args.GetString("out");
   const std::string class_column = args.GetString("class");
@@ -365,7 +367,7 @@ int CmdCsvToData(const Args& args) {
 
 int CmdCubes(const Args& args) {
   args.RejectUnknown("cubes", {"data", "out", "threads", "block-rows",
-                               "kernel", "stats", "trace-out"});
+                               "kernel", "stats", "stats-full", "trace-out"});
   const std::string in = args.GetString("data");
   const std::string out = args.GetString("out");
   RequireFlag(in, "data");
@@ -412,7 +414,7 @@ int CmdInfo(const Args& args) {
 
 int CmdOverview(const Args& args) {
   args.RejectUnknown("overview", {"cubes", "color", "mmap", "verbose",
-                                  "stats", "trace-out"});
+                                  "stats", "stats-full", "trace-out"});
   CubeStore store = LoadCubes(args);
   OverviewOptions options;
   options.color = ColorOf(args);
@@ -424,7 +426,7 @@ int CmdOverview(const Args& args) {
 int CmdDetail(const Args& args) {
   args.RejectUnknown("detail",
                      {"cubes", "attribute", "color", "mmap", "verbose",
-                      "stats", "trace-out"});
+                      "stats", "stats-full", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   RequireFlag(attr, "attribute");
@@ -440,7 +442,7 @@ int CmdCompare(const Args& args) {
   args.RejectUnknown("compare",
                      {"cubes", "attribute", "good", "bad", "class", "json",
                       "color", "threads", "mmap", "cache-mb", "verbose",
-                      "stats", "trace-out"});
+                      "stats", "stats-full", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string good = args.GetString("good");
@@ -511,7 +513,7 @@ int CmdVsRest(const Args& args) {
 int CmdPairs(const Args& args) {
   args.RejectUnknown("pairs", {"cubes", "attribute", "class", "top",
                                "threads", "mmap", "cache-mb", "verbose",
-                               "stats", "trace-out"});
+                               "stats", "stats-full", "trace-out"});
   CubeStore store = LoadCubes(args);
   const std::string attr = args.GetString("attribute");
   const std::string target = args.GetString("class");
@@ -536,7 +538,7 @@ int CmdPairs(const Args& args) {
 int CmdGi(const Args& args) {
   args.RejectUnknown("gi",
                      {"cubes", "top", "threads", "mmap", "cache-mb",
-                      "verbose", "stats", "trace-out"});
+                      "verbose", "stats", "stats-full", "trace-out"});
   CubeStore store = LoadCubes(args);
   const int top = static_cast<int>(args.GetInt("top", 10));
   const Schema& schema = store.schema();
@@ -585,7 +587,7 @@ int CmdMine(const Args& args) {
   args.RejectUnknown("mine",
                      {"data", "min-support", "min-confidence",
                       "max-conditions", "threads", "block-rows", "kernel",
-                      "top", "stats", "trace-out"});
+                      "top", "stats", "stats-full", "trace-out"});
   const std::string in = args.GetString("data");
   RequireFlag(in, "data");
   Dataset data = OrDie(LoadDatasetFromFile(in));
@@ -619,7 +621,7 @@ int CmdReport(const Args& args) {
   args.RejectUnknown("report",
                      {"cubes", "data", "attribute", "good", "bad", "class",
                       "out", "gi", "threads", "block-rows", "kernel", "mmap",
-                      "verbose", "stats", "trace-out"});
+                      "verbose", "stats", "stats-full", "trace-out"});
   // Reports either read a prebuilt store (--cubes) or build one in
   // memory from a dataset (--data), where --threads/--block-rows/--kernel
   // apply.
@@ -675,7 +677,7 @@ int CmdIngest(const Args& args) {
   args.RejectUnknown("ingest",
                      {"dir", "csv", "class", "batch-rows", "compact-every",
                       "fsync", "threads", "block-rows", "kernel", "verbose",
-                      "stats", "trace-out"});
+                      "stats", "stats-full", "trace-out"});
   const std::string dir = args.GetString("dir");
   const std::string csv_path = args.GetString("csv");
   RequireFlag(dir, "dir");
@@ -763,6 +765,72 @@ int CmdIngest(const Args& args) {
                  static_cast<long long>(stats.compactions),
                  static_cast<long long>(stats.batches_appended),
                  static_cast<long long>(stats.rows_appended));
+    if (stats.publish_failures > 0) {
+      std::fprintf(stderr, "compaction: publish_failures=%lld last=\"%s\"\n",
+                   static_cast<long long>(stats.publish_failures),
+                   stats.last_publish_error.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  args.RejectUnknown("serve",
+                     {"cubes", "listen", "mmap", "cache-mb", "threads",
+                      "workers", "max-inflight", "max-pending",
+                      "max-connections", "verbose", "stats", "stats-full",
+                      "trace-out"});
+  server::ServerOptions options;
+  options.cubes_path = args.GetString("cubes");
+  RequireFlag(options.cubes_path, "cubes");
+  options.listen = args.GetString("listen", "unix:opmapd.sock");
+  options.use_mmap = LoadOptionsOf(args).use_mmap;
+  // A long-lived daemon wants a warm result cache, unlike one-shot
+  // commands: default 16 MB, --cache-mb=0 disables.
+  options.cache_bytes = CacheBytesOf(args, 16);
+  options.parallel = ThreadsOf(args);
+  options.workers = static_cast<int>(args.GetInt("workers", 0));
+  options.max_inflight = static_cast<int>(args.GetInt("max-inflight", 64));
+  options.max_pending_per_connection =
+      static_cast<int>(args.GetInt("max-pending", 32));
+  options.max_connections =
+      static_cast<int>(args.GetInt("max-connections", 256));
+  options.verbose = args.GetBool("verbose");
+  auto server = OrDie(server::Server::Start(options));
+  // Scripts parse this line to learn the bound address (port 0 resolves
+  // to an OS-assigned port).
+  std::printf("opmapd listening on %s\n", server->address().c_str());
+  std::fflush(stdout);
+  server::Server::InstallSignalHandlers(server.get());
+  const Status st = server->Serve();
+  server::Server::InstallSignalHandlers(nullptr);
+  if (!st.ok()) Die(st);
+  return 0;
+}
+
+int CmdLoadgen(const Args& args) {
+  args.RejectUnknown("loadgen",
+                     {"connect", "clients", "duration", "requests", "mix",
+                      "seed", "json", "cubes", "mmap", "timeout-ms",
+                      "verbose", "stats", "stats-full", "trace-out"});
+  server::LoadgenOptions options;
+  options.connect = args.GetString("connect");
+  RequireFlag(options.connect, "connect");
+  options.clients = static_cast<int>(args.GetInt("clients", 4));
+  options.duration_s = args.GetDouble("duration", 5.0);
+  options.max_requests = args.GetInt("requests", 0);
+  options.mix = args.GetString("mix", "compare:8,pairs:1,gi:1,render:2");
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.cubes_path = args.GetString("cubes");
+  options.use_mmap = LoadOptionsOf(args).use_mmap;
+  options.timeout_ms = static_cast<int>(args.GetInt("timeout-ms", 30000));
+  options.verbose = args.GetBool("verbose");
+  const server::LoadgenReport report = OrDie(server::RunLoadgen(options));
+  std::printf("%s", server::FormatLoadgenReport(options, report).c_str());
+  const std::string json = args.GetString("json");
+  if (!json.empty()) {
+    const Status st = server::WriteLoadgenBench(json, options, report);
+    if (!st.ok()) Die(st);
   }
   return 0;
 }
@@ -800,6 +868,19 @@ int Usage() {
       "            crash-safe streaming ingestion: appends CSV rows to a "
       "WAL-backed cube directory; the first ingest defines the schema "
       "(--class required), later ones re-encode against it\n"
+      "  serve     --cubes=FILE.opmc [--listen=unix:PATH|HOST:PORT] "
+      "[--cache-mb=N] [--workers=N] [--max-inflight=N] [--max-pending=N] "
+      "[--max-connections=N] [--mmap=on|off] [--verbose]\n"
+      "            opmapd query-serving daemon (docs/SERVING.md): prints "
+      "'opmapd listening on ADDR', serves until SIGINT/SIGTERM, then "
+      "drains gracefully\n"
+      "  loadgen   --connect=ADDR [--clients=N] [--duration=SECONDS] "
+      "[--requests=N] [--mix=compare:8,pairs:1,gi:1,render:2] [--seed=N] "
+      "[--json=BENCH_server.json] [--cubes=FILE.opmc] [--verbose]\n"
+      "            replays a weighted query mix against a live opmapd "
+      "over N connections and reports QPS + p50/p99/p999 per op; --cubes "
+      "adds the in-process compare baseline for the wire-overhead check; "
+      "--json appends bench records\n"
       "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
       "env var, else hardware); results are identical at any setting\n"
       "--block-rows=N sets the counting-kernel tile size in rows "
@@ -814,7 +895,8 @@ int Usage() {
       "compare defaults to 16)\n"
       "--verbose prints serving stats (mapping + cache) on stderr\n"
       "--stats prints the process metrics table on stderr after any "
-      "command (or set OPMAP_STATS=1)\n"
+      "command (or set OPMAP_STATS=1); histograms that never recorded "
+      "are suppressed unless --stats-full is given\n"
       "--trace-out=FILE writes a Chrome trace_event JSON of the run "
       "(or set OPMAP_TRACE=FILE); open in chrome://tracing or "
       "ui.perfetto.dev\n"
@@ -838,6 +920,8 @@ int Dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "report") return CmdReport(args);
   if (cmd == "mine" || cmd == "car") return CmdMine(args);
   if (cmd == "ingest") return CmdIngest(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "loadgen") return CmdLoadgen(args);
   return Usage();
 }
 
@@ -864,9 +948,15 @@ int Run(int argc, char** argv) {
     MetricsRegistry::Global()
         ->gauge("trace.dropped_spans")
         ->Set(Tracer::Global()->DroppedEvents());
-    std::fprintf(
-        stderr, "%s",
-        FormatMetricsTable(MetricsRegistry::Global()->Snapshot()).c_str());
+    // Pre-registered histograms that never recorded (e.g. query.*_us of
+    // query kinds this command never ran) are noise in a one-shot
+    // process; --stats-full restores the exhaustive table.
+    MetricsFormatOptions format;
+    format.skip_zero_histograms = !args.GetBool("stats-full");
+    std::fprintf(stderr, "%s",
+                 FormatMetricsTable(MetricsRegistry::Global()->Snapshot(),
+                                    format)
+                     .c_str());
   }
   return rc;
 }

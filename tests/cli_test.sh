@@ -242,3 +242,50 @@ rc=0; "$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" --batch-rows=0 \
     >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 4 ] || fail "ingest --batch-rows=0 should exit 4 (got $rc)"
 echo "PASS ingest"
+
+# ---- serving daemon ----
+
+# Start opmapd on a unix socket, replay a short mixed workload over
+# concurrent connections, then drain with SIGTERM. The loadgen summary,
+# the BENCH_server JSON and the daemon's drain behavior are all asserted.
+"$OPMAP" serve --cubes="$DIR/d.opmc" --listen="unix:$DIR/opmapd.sock" \
+    --verbose >"$DIR/serve.out" 2>"$DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$DIR/serve.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "opmapd listening on unix:$DIR/opmapd.sock" "$DIR/serve.out" \
+    || { cat "$DIR/serve.err" >&2; fail "serve did not come up"; }
+
+out=$("$OPMAP" loadgen --connect="unix:$DIR/opmapd.sock" --clients=2 \
+    --requests=200 --duration=30 --cubes="$DIR/d.opmc" \
+    --json="$DIR/BENCH_server.json") || fail "loadgen"
+echo "$out" | grep -qE "loadgen: [0-9]+ ok, [0-9]+ error, [0-9]+ shed" \
+    || fail "loadgen summary line"
+echo "$out" | grep -qE "^compare +[0-9]+ +[0-9]+" \
+    || fail "loadgen per-op latency table"
+echo "$out" | grep -q "local compare baseline p50" \
+    || fail "loadgen in-process baseline line"
+[ -f "$DIR/BENCH_server.json" ] || fail "loadgen wrote no bench JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; recs=json.load(open(sys.argv[1])); \
+ops={r['op'] for r in recs}; \
+assert 'server/qps' in ops and 'server/compare_p50' in ops, ops" \
+      "$DIR/BENCH_server.json" || fail "bench JSON missing server ops"
+fi
+
+# Graceful drain: SIGTERM answers in-flight work, flushes and exits 0.
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "serve should drain and exit 0 on SIGTERM (got $rc)"
+grep -q "drained" "$DIR/serve.err" || fail "serve verbose drain line"
+[ -S "$DIR/opmapd.sock" ] && fail "serve left its unix socket behind"
+
+# Flag validation matches the other subcommands.
+rc=0; "$OPMAP" serve --cubes="$DIR/d.opmc" --bogus=1 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 4 ] || fail "serve unknown flag should exit 4 (got $rc)"
+rc=0; "$OPMAP" loadgen --connect="unix:$DIR/nope.sock" --duration=0.2 \
+    >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "loadgen against a dead socket should fail"
+echo "PASS serve"

@@ -344,8 +344,10 @@ TEST(Ingester, CompactionBumpsCacheEpochAndPreservesQueryResults) {
   ASSERT_OK_AND_ASSIGN(auto snapshot, ing->Snapshot());
   QueryEngine engine(snapshot.get());
   ing->set_cache(engine.cache());
-  ing->set_publish_hook(
-      [&engine](const CubeStore* store) { engine.SetStore(store); });
+  ing->set_publish_hook([&engine](const CubeStore* store) {
+    engine.SetStore(store);
+    return Status::OK();
+  });
 
   ASSERT_OK_AND_ASSIGN(auto before, engine.CompareAllPairs(0, 1, 1));
   const uint64_t epoch_before = engine.GetCacheStats().epoch;
@@ -365,6 +367,33 @@ TEST(Ingester, CompactionBumpsCacheEpochAndPreservesQueryResults) {
     EXPECT_EQ(before[i].top_interestingness, after[i].top_interestingness);
   }
   (void)snapshot;  // the pre-compaction snapshot outlives the swap
+  ASSERT_OK(ing->Close());
+}
+
+TEST(Ingester, PublishHookFailureIsCountedNotFatal) {
+  const Schema schema = DrillSchema();
+  const std::string dir = FreshDir("ingest_publish_fail");
+  ASSERT_OK_AND_ASSIGN(
+      auto ing,
+      Ingester::Create(Env::Default(), dir, schema, DrillOptions()));
+  ASSERT_OK(ing->AppendBatch(DrillBatch(schema, 1)).status());
+  int calls = 0;
+  ing->set_publish_hook([&calls](const CubeStore* store) {
+    ++calls;
+    EXPECT_NE(store, nullptr);
+    return Status::Internal("subscriber rejected the store");
+  });
+
+  // The hook fails but the compaction itself commits: data stays served,
+  // the failure lands in the stats instead of the return value.
+  ASSERT_OK(ing->Compact());
+  EXPECT_EQ(calls, 1);
+  const IngestStats stats = ing->GetStats();
+  EXPECT_EQ(stats.publish_failures, 1);
+  EXPECT_NE(stats.last_publish_error.find("subscriber rejected"),
+            std::string::npos);
+  ASSERT_OK(ing->Compact());
+  EXPECT_EQ(ing->GetStats().publish_failures, 2);
   ASSERT_OK(ing->Close());
 }
 

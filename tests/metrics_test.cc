@@ -186,5 +186,27 @@ TEST(MetricsFormatTest, JsonIsFlatAndBalanced) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(MetricsFormatTest, SkipZeroHistogramsElidesPreRegisteredEmpties) {
+  MetricsRegistry registry;
+  registry.histogram("test.idle_us");  // pre-registered, never recorded
+  registry.histogram("test.busy_us")->Record(512);
+  registry.counter("test.hot")->Increment(1);
+
+  // Default: every registered histogram appears, even with count 0.
+  const std::string full_json = FormatMetricsJson(registry.Snapshot());
+  EXPECT_NE(full_json.find("test.idle_us.count"), std::string::npos);
+
+  MetricsFormatOptions slim;
+  slim.skip_zero_histograms = true;
+  const std::string json = FormatMetricsJson(registry.Snapshot(), slim);
+  EXPECT_EQ(json.find("test.idle_us"), std::string::npos);
+  EXPECT_NE(json.find("\"test.busy_us.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.hot\": 1"), std::string::npos);
+
+  const std::string table = FormatMetricsTable(registry.Snapshot(), slim);
+  EXPECT_EQ(table.find("test.idle_us"), std::string::npos);
+  EXPECT_NE(table.find("test.busy_us"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace opmap

@@ -42,6 +42,25 @@ completed), or if recovery replayed no WAL records (the bench always
 holds back a tail to replay). The absolute append-rate floor is a rate
 guard and obeys the one-core skip below.
 
+Daemon serving ops (BENCH_server.json, from `opmap loadgen --json`):
+ops starting with "server/". The file must carry a server/qps record
+whose items_per_s (the achieved request rate) is positive — a loadgen
+run that completed no request is a failure, not a measurement. Per-op
+tail-latency rows (server/<op>_p50/_p99/_p999) must not invert:
+percentiles of one latency population satisfy p50 <= p99 <= p999 by
+construction, so an inversion means the records were mixed up. Two
+guards obey the one-core skip below: an absolute QPS floor (set ~100x
+under any healthy measurement, it catches an accidentally serialized
+event loop, not jitter) and the wire-overhead bound — the daemon's warm
+compare p50 over the socket (server/compare_p50) must stay within
+MAX_WIRE_OVERHEAD of the in-process baseline p50 measured by the same
+loadgen run (server/local_compare_p50), with a small absolute allowance
+(WIRE_OVERHEAD_SLACK_MS) so microsecond-scale baselines on fast stores
+do not turn scheduler noise into failures. On a one-core host client
+threads, the event loop and the pool workers all contend for the same
+CPU, so the ratio measures the scheduler, not the wire — reported,
+never enforced there.
+
 Speedup guards are skipped (reported, not enforced) when the records
 carry hardware_concurrency == 1: on a one-core host the timings are
 too contended to judge.
@@ -94,6 +113,20 @@ MIN_PARALLEL_EFFICIENCY = 0.4
 # far below any healthy measurement (~100x): it catches an accidentally
 # serialized or fsync-per-row configuration, not ordinary jitter.
 MIN_APPEND_ROWS_PER_S = 1000.0
+
+# Absolute floor on daemon request throughput (requests/s across all
+# loadgen clients). Same philosophy as the append floor: a healthy run
+# measures thousands; this catches a daemon that serializes on something
+# pathological (a sleep in the loop, a blocking read), not jitter.
+MIN_SERVER_QPS = 50.0
+
+# The daemon's warm compare p50 over the socket must stay within this
+# multiple of the in-process baseline p50 from the same run (framing +
+# syscalls + scheduling, not query work, is all the socket adds)...
+MAX_WIRE_OVERHEAD = 10.0
+# ...unless the absolute difference is under this many ms: a 50 us
+# baseline makes 10x just 0.5 ms, which one context switch exceeds.
+WIRE_OVERHEAD_SLACK_MS = 2.0
 
 
 def check_kernel_pairs(path: str, pairs: dict, skip_speedups: bool) -> bool:
@@ -327,6 +360,96 @@ def check_ingest_ops(path: str, ingest: dict, skip_speedups: bool) -> bool:
     return failed
 
 
+def check_server_ops(path: str, server: dict, skip_speedups: bool) -> bool:
+    """Guards the daemon tail-latency records; True when a guard failed.
+
+    `server` maps op name -> record for every op starting "server/".
+    """
+    failed = False
+
+    qps_rec = server.get("server/qps")
+    if qps_rec is None:
+        print(f"check_bench: FAIL: no server/qps record in {path}",
+              file=sys.stderr)
+        return True
+    qps = float(qps_rec.get("items_per_s", 0.0))
+    clients = int(qps_rec.get("threads", 1))
+    print(f"{'server/qps':40s} {qps:14.1f} req/s  "
+          f"(clients={clients})")
+    if qps <= 0:
+        print(f"check_bench: FAIL: server/qps in {path} shows no completed "
+              f"requests — the loadgen run measured nothing",
+              file=sys.stderr)
+        failed = True
+    elif qps < MIN_SERVER_QPS:
+        if skip_speedups:
+            print(f"check_bench: SKIP (hardware_concurrency=1): qps "
+                  f"{qps:.1f} below the {MIN_SERVER_QPS:.0f} req/s floor")
+        else:
+            print(f"check_bench: FAIL: server/qps {qps:.1f} req/s is below "
+                  f"the {MIN_SERVER_QPS:.0f} req/s floor (serialized event "
+                  f"loop or blocked dispatch?)", file=sys.stderr)
+            failed = True
+
+    # Percentile ordering per op: p50 <= p99 <= p999 always holds for
+    # percentiles of one population; an inversion means mixed-up records.
+    bases = sorted({op[: -len("_p50")] for op in server
+                    if op.endswith("_p50") and op != "server/local_compare_p50"})
+    for base in bases:
+        quantiles = [(q, server.get(base + q)) for q in ("_p50", "_p99",
+                                                         "_p999")]
+        present = [(q, float(rec["wall_ms"])) for q, rec in quantiles
+                   if rec is not None]
+        row = "  ".join(f"{q[1:]}={ms:8.3f} ms" for q, ms in present)
+        print(f"{base:40s} {row}")
+        for (q_lo, ms_lo), (q_hi, ms_hi) in zip(present, present[1:]):
+            if ms_lo > ms_hi:
+                print(f"check_bench: FAIL: {base}{q_lo} ({ms_lo:.3f} ms) "
+                      f"exceeds {base}{q_hi} ({ms_hi:.3f} ms) in {path} — "
+                      f"percentiles of one run cannot invert",
+                      file=sys.stderr)
+                failed = True
+
+    # Wire overhead: socket p50 vs the same run's in-process baseline.
+    wire = server.get("server/compare_p50")
+    local = server.get("server/local_compare_p50")
+    if wire is not None and local is not None:
+        wire_ms = float(wire["wall_ms"])
+        local_ms = float(local["wall_ms"])
+        overhead = wire_ms / local_ms if local_ms > 0 else float("inf")
+        print(f"{'server/compare_p50 over in-process':40s} "
+              f"wire={wire_ms:8.3f} ms  local={local_ms:8.3f} ms  "
+              f"overhead={overhead:5.2f}x")
+        if (overhead > MAX_WIRE_OVERHEAD
+                and wire_ms - local_ms > WIRE_OVERHEAD_SLACK_MS):
+            if skip_speedups:
+                print(f"check_bench: SKIP (hardware_concurrency=1): wire "
+                      f"overhead {overhead:.2f}x over the "
+                      f"{MAX_WIRE_OVERHEAD:.0f}x bound")
+            else:
+                print(f"check_bench: FAIL: warm compare over the socket is "
+                      f"{overhead:.2f}x the in-process baseline (need <= "
+                      f"{MAX_WIRE_OVERHEAD:.0f}x or <= "
+                      f"{WIRE_OVERHEAD_SLACK_MS:.1f} ms absolute) — the "
+                      f"wire is adding query-scale work", file=sys.stderr)
+                failed = True
+
+    # The qps record embeds the daemon's own metrics snapshot: the daemon
+    # must have counted the requests the clients measured.
+    if isinstance(qps_rec.get("stats"), dict):
+        stats = qps_rec["stats"]
+        requests = stats.get("server.requests", 0)
+        responses_ok = stats.get("server.responses_ok", 0)
+        if qps > 0 and (requests <= 0 or responses_ok <= 0):
+            print(f"check_bench: FAIL: server/qps in {path} measured "
+                  f"completed requests but the daemon's own counters show "
+                  f"server.requests={requests}, "
+                  f"server.responses_ok={responses_ok} — the loadgen did "
+                  f"not talk to this daemon", file=sys.stderr)
+            failed = True
+    return failed
+
+
 def check_stats(path: str, latest: dict) -> bool:
     """Guards the embedded metrics snapshots; True when a guard failed.
 
@@ -386,6 +509,7 @@ def check_file(path: str) -> int:
     pairs: dict = {}
     serving: dict = {}
     ingest: dict = {}
+    server: dict = {}
     scaling: dict = {}  # op -> {threads: wall_ms}
     latest: dict = {}
     hardware = None
@@ -404,12 +528,15 @@ def check_file(path: str) -> int:
             serving[op] = float(rec["wall_ms"])
         if op.startswith("ingest/"):
             ingest[op] = rec
+        if op.startswith("server/"):
+            server[op] = rec
         if "hardware_concurrency" in rec:
             hardware = int(rec["hardware_concurrency"])
 
-    if not pairs and not serving and not ingest and not scaling:
-        print(f"check_bench: no kernel pairs, serving ops, ingest ops, or "
-              f"scaling rows in {path}", file=sys.stderr)
+    if not pairs and not serving and not ingest and not server \
+            and not scaling:
+        print(f"check_bench: no kernel pairs, serving ops, ingest ops, "
+              f"server ops, or scaling rows in {path}", file=sys.stderr)
         return 2
 
     # Records predating the hardware_concurrency field enforce as before.
@@ -425,6 +552,8 @@ def check_file(path: str) -> int:
         failed |= check_serving_ops(path, serving, skip_speedups)
     if ingest:
         failed |= check_ingest_ops(path, ingest, skip_speedups)
+    if server:
+        failed |= check_server_ops(path, server, skip_speedups)
     if scaling:
         failed |= check_scaling_ops(path, scaling, hardware)
     failed |= check_stats(path, latest)
