@@ -425,7 +425,8 @@ Status Ingester::CompactLocked() {
   if (publish_hook_) {
     // The compaction is durable and served either way; a failing
     // subscriber is an observability event, not a rollback.
-    const Status hook_status = publish_hook_(base_.get());
+    const Status hook_status = publish_hook_(
+        base_.get(), PathOf(CubeFileName(manifest_.cube_generation)));
     if (!hook_status.ok()) {
       ++stats_.publish_failures;
       stats_.last_publish_error = hook_status.ToString();

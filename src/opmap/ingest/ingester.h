@@ -125,15 +125,20 @@ class Ingester {
   /// Cache whose epoch is bumped when a compaction publishes new data.
   void set_cache(QueryCache* cache) { cache_ = cache; }
 
-  /// Hook invoked (with the freshly compacted store) after a compaction
-  /// publishes, e.g. QueryEngine::SetStore. Called with the ingester's
-  /// internal mutex held; keep it cheap and do not call back in.
+  /// Hook invoked after a compaction publishes, with the freshly
+  /// compacted store and the path of the container file it was committed
+  /// to — enough to point an in-process QueryEngine::SetStore at the data
+  /// or to send a RELOAD naming the file to a running opmapd. Called with
+  /// the ingester's internal mutex held; keep it cheap and do not call
+  /// back in.
   ///
   /// A non-OK return does NOT fail the compaction (the data is already
   /// durable and served); it is recorded in IngestStats (publish_failures
   /// + last_publish_error) and the compact.publish_failures counter so a
   /// silently-broken subscriber is visible instead of lost.
-  void set_publish_hook(std::function<Status(const CubeStore*)> hook) {
+  void set_publish_hook(
+      std::function<Status(const CubeStore*, const std::string& cube_path)>
+          hook) {
     publish_hook_ = std::move(hook);
   }
 
@@ -184,7 +189,8 @@ class Ingester {
   bool snapshot_dirty_ = true;
   IngestStats stats_;
   QueryCache* cache_ = nullptr;
-  std::function<Status(const CubeStore*)> publish_hook_;
+  std::function<Status(const CubeStore*, const std::string& cube_path)>
+      publish_hook_;
 };
 
 /// Re-encodes `src` (typically a freshly parsed CSV with its own

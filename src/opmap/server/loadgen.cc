@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <utility>
@@ -30,6 +31,13 @@ struct Rng {
     return state * 0x2545f4914f6cdd1dull;
   }
   size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+  // Uniform in [0, 1) with 53 significant bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+  // Exponential with mean 1 (the inter-arrival shape of a Poisson
+  // process); scaled by the caller to 1/rate.
+  double NextExp() { return -std::log(1.0 - NextDouble()); }
 };
 
 struct MixEntry {
@@ -125,12 +133,15 @@ struct ThreadResult {
   int64_t ok = 0;
   int64_t error = 0;
   int64_t shed = 0;
+  int64_t measured_ok = 0;    // OK responses issued after the warm-up window
+  int64_t measured_shed = 0;  // sheds issued after the warm-up window
   Status status;
 };
 
 void RunClientThread(const LoadgenOptions& options, const Workload& work,
                      const std::vector<std::string>& schedule,
                      int thread_index,
+                     std::chrono::steady_clock::time_point run_start,
                      std::chrono::steady_clock::time_point deadline,
                      std::atomic<int64_t>* issued, ThreadResult* out) {
   auto client_or = Client::Connect(options.connect, options.timeout_ms);
@@ -143,12 +154,36 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
   size_t slot = static_cast<size_t>(thread_index) % schedule.size();
   bool view_open = false;
 
-  while (std::chrono::steady_clock::now() < deadline) {
+  // Open-loop mode: this thread is one of `clients` independent Poisson
+  // processes at rate/clients each — their superposition offers
+  // arrival_qps. Arrival times are scheduled up front from the
+  // deterministic generator; when the daemon (or this blocking client)
+  // falls behind, requests queue here and the delay is charged to the
+  // response via the scheduled-start latency below.
+  const bool open_loop = options.arrival_qps > 0;
+  const double thread_rate =
+      open_loop ? options.arrival_qps / options.clients : 0.0;
+  int64_t next_arrival_us = 0;  // relative to run_start
+  const auto warmup_end =
+      run_start + std::chrono::milliseconds(options.warmup_ms);
+
+  for (;;) {
+    auto scheduled = std::chrono::steady_clock::now();
+    if (open_loop) {
+      next_arrival_us +=
+          static_cast<int64_t>(rng.NextExp() * 1e6 / thread_rate);
+      scheduled = run_start + std::chrono::microseconds(next_arrival_us);
+      if (scheduled >= deadline) break;
+      std::this_thread::sleep_until(scheduled);
+    } else if (scheduled >= deadline) {
+      break;
+    }
     if (options.max_requests > 0 &&
         issued->fetch_add(1, std::memory_order_relaxed) >=
             options.max_requests) {
       break;
     }
+    const bool measured = scheduled >= warmup_end;
     const std::string& op = schedule[slot];
     slot = (slot + 1) % schedule.size();
 
@@ -165,7 +200,10 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
       }
       if (open_reply->status == RespStatus::kRetryLater) {
         out->shed++;
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (measured) out->measured_shed++;
+        if (!open_loop) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
         continue;
       }
       if (!open_reply->ok()) {
@@ -173,10 +211,13 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
         continue;
       }
       out->ok++;
+      if (measured) out->measured_ok++;
       view_open = true;
     }
 
-    const int64_t start_us = MonotonicMicros();
+    // Closed loop times the call itself; open loop times from the
+    // scheduled arrival so client-side queueing is not omitted.
+    const auto start = open_loop ? scheduled : std::chrono::steady_clock::now();
     Result<Reply> reply = Status::Internal("no op issued");
     if (op == "ping") {
       reply = client->Ping();
@@ -196,7 +237,10 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
     } else {  // schema
       reply = client->Call(Op::kSchema);
     }
-    const int64_t elapsed_us = MonotonicMicros() - start_us;
+    const int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
 
     if (!reply.ok()) {
       out->status = reply.status();
@@ -205,7 +249,12 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
     const Reply& r = *reply;
     if (r.status == RespStatus::kRetryLater) {
       out->shed++;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (measured) out->measured_shed++;
+      // Closed loop backs off; open loop keeps its schedule — backing off
+      // would silently lower the offered load the sweep claims to apply.
+      if (!open_loop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       continue;
     }
     if (r.status == RespStatus::kShuttingDown) break;
@@ -215,7 +264,10 @@ void RunClientThread(const LoadgenOptions& options, const Workload& work,
       continue;
     }
     out->ok++;
-    out->lat[op].push_back(elapsed_us);
+    if (measured) {
+      out->measured_ok++;
+      out->lat[op].push_back(elapsed_us);
+    }
   }
 }
 
@@ -300,18 +352,18 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
 
   std::vector<ThreadResult> results(static_cast<size_t>(options.clients));
   std::atomic<int64_t> issued{0};
+  const auto run_start = std::chrono::steady_clock::now();
   const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::microseconds(
-          static_cast<int64_t>(options.duration_s * 1e6));
+      run_start + std::chrono::microseconds(
+                      static_cast<int64_t>(options.duration_s * 1e6));
   const int64_t run_start_us = MonotonicMicros();
   {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(options.clients));
     for (int i = 0; i < options.clients; ++i) {
       threads.emplace_back(RunClientThread, std::cref(options),
-                           std::cref(work), std::cref(schedule), i, deadline,
-                           &issued, &results[static_cast<size_t>(i)]);
+                           std::cref(work), std::cref(schedule), i, run_start,
+                           deadline, &issued, &results[static_cast<size_t>(i)]);
     }
     for (std::thread& t : threads) t.join();
   }
@@ -320,11 +372,14 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
 
   LoadgenReport report;
   report.wall_s = wall_s;
+  report.offered_qps = options.arrival_qps;
   for (ThreadResult& r : results) {
     OPMAP_RETURN_NOT_OK(r.status);
     report.total_ok += r.ok;
     report.total_error += r.error;
     report.retry_later += r.shed;
+    report.measured_ok += r.measured_ok;
+    report.measured_shed += r.measured_shed;
     for (auto& [op, lat] : r.lat) {
       auto& merged = report.latencies_us[op];
       merged.insert(merged.end(), lat.begin(), lat.end());
@@ -335,6 +390,12 @@ Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   }
   report.qps = wall_s > 0 ? static_cast<double>(report.total_ok) / wall_s
                           : 0.0;
+  report.measured_window_s =
+      std::max(0.0, wall_s - static_cast<double>(options.warmup_ms) / 1e3);
+  report.achieved_qps =
+      report.measured_window_s > 0
+          ? static_cast<double>(report.measured_ok) / report.measured_window_s
+          : 0.0;
 
   // Fetch the daemon's own stats after the run (embedded in the bench
   // record so check_bench.py can cross-check the measurement).
@@ -362,6 +423,21 @@ std::string FormatLoadgenReport(const LoadgenOptions& options,
                 static_cast<long long>(report.retry_later), report.wall_s,
                 options.clients, report.qps);
   out += line;
+  if (report.offered_qps > 0) {
+    std::snprintf(line, sizeof(line),
+                  "open-loop: offered %.1f qps, achieved %.1f qps over "
+                  "%.2fs measured window (%d ms warm-up excluded)\n",
+                  report.offered_qps, report.achieved_qps,
+                  report.measured_window_s, options.warmup_ms);
+    out += line;
+  } else if (options.warmup_ms > 0) {
+    std::snprintf(line, sizeof(line),
+                  "warm-up: first %d ms excluded from percentiles "
+                  "(%lld measured ok)\n",
+                  options.warmup_ms,
+                  static_cast<long long>(report.measured_ok));
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "%-10s %8s %10s %10s %10s\n", "op", "n",
                 "p50_us", "p99_us", "p999_us");
   out += line;
@@ -438,6 +514,65 @@ Status WriteLoadgenBench(const std::string& path,
   shed.items_per_s =
       report.wall_s > 0
           ? static_cast<double>(report.retry_later) / report.wall_s
+          : 0.0;
+  return bench::AppendBenchRecord(path, shed);
+}
+
+Status WriteSweepBench(const std::string& path,
+                       const LoadgenOptions& options,
+                       const LoadgenReport& report) {
+  if (options.arrival_qps <= 0) {
+    return Status::InvalidArgument(
+        "WriteSweepBench needs an open-loop run (arrival_qps > 0)");
+  }
+  // Whole rates label as integers ("200"), fractional ones as %g, so
+  // record names are stable and greppable.
+  char rate_label[32];
+  if (options.arrival_qps == std::floor(options.arrival_qps)) {
+    std::snprintf(rate_label, sizeof(rate_label), "%lld",
+                  static_cast<long long>(options.arrival_qps));
+  } else {
+    std::snprintf(rate_label, sizeof(rate_label), "%g", options.arrival_qps);
+  }
+  const std::string prefix = std::string("server/sweep/") + rate_label;
+
+  // The sweep tracks end-to-end tail latency of the whole mix, not per-op
+  // splits: merge every measured sample.
+  std::vector<int64_t> all;
+  for (const auto& [op, lat] : report.latencies_us) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const struct {
+    const char* suffix;
+    double q;
+  } kQuantiles[] = {{"_p50", 0.50}, {"_p99", 0.99}, {"_p999", 0.999}};
+  for (const auto& quantile : kQuantiles) {
+    bench::BenchRecord rec;
+    rec.op = prefix + quantile.suffix;
+    rec.threads = options.clients;
+    rec.wall_ms = static_cast<double>(PercentileUs(all, quantile.q)) / 1e3;
+    rec.items_per_s = report.achieved_qps;
+    OPMAP_RETURN_NOT_OK(bench::AppendBenchRecord(path, rec));
+  }
+
+  bench::BenchRecord achieved;
+  achieved.op = prefix + "_achieved_qps";
+  achieved.threads = options.clients;
+  achieved.wall_ms = report.measured_window_s * 1e3;
+  achieved.items_per_s = report.achieved_qps;
+  achieved.stats_json = report.server_stats_json;
+  OPMAP_RETURN_NOT_OK(bench::AppendBenchRecord(path, achieved));
+
+  bench::BenchRecord shed;
+  shed.op = prefix + "_retry_later";
+  shed.threads = options.clients;
+  shed.wall_ms = report.measured_window_s * 1e3;
+  shed.items_per_s =
+      report.measured_window_s > 0
+          ? static_cast<double>(report.measured_shed) /
+                report.measured_window_s
           : 0.0;
   return bench::AppendBenchRecord(path, shed);
 }

@@ -26,6 +26,20 @@ struct LoadgenOptions {
   std::string mix = "compare:8,pairs:1,gi:1,render:2";
   /// Seed for the deterministic per-thread schedules.
   uint64_t seed = 42;
+  /// Open-loop mode: offered load in requests/second across all clients,
+  /// issued at Poisson arrival times drawn from the deterministic
+  /// generator (each thread runs an independent process at rate/clients;
+  /// their superposition is Poisson at the full rate). Latency is
+  /// measured from the *scheduled* arrival, so client-side queueing that
+  /// builds when the daemon falls behind is charged to the response —
+  /// the correction for coordinated omission. 0 = closed loop (each
+  /// client issues its next request when the previous response arrives).
+  double arrival_qps = 0.0;
+  /// Samples scheduled (open loop) or started (closed loop) within this
+  /// window after the run starts are excluded from recorded latencies and
+  /// from achieved-QPS accounting: cold mmap faults and pool spin-up
+  /// otherwise pollute p999.
+  int warmup_ms = 500;
   /// Per-call socket timeout.
   int timeout_ms = 30000;
   /// Cube file for the in-process baseline (compare + encode on this
@@ -45,6 +59,14 @@ struct LoadgenReport {
   int64_t retry_later = 0;
   double wall_s = 0.0;
   double qps = 0.0;  ///< OK responses per second across all clients
+  /// The offered load of an open-loop run (LoadgenOptions.arrival_qps).
+  double offered_qps = 0.0;
+  /// OK responses per second within the post-warm-up measurement window —
+  /// the throughput the daemon sustained at the offered load.
+  double achieved_qps = 0.0;
+  int64_t measured_ok = 0;    ///< OK responses inside the window
+  int64_t measured_shed = 0;  ///< RETRY_LATER responses inside the window
+  double measured_window_s = 0.0;
   std::map<std::string, std::vector<int64_t>> latencies_us;
   /// In-process warm compare p50 (us); < 0 when not measured.
   double local_compare_p50_us = -1.0;
@@ -73,6 +95,18 @@ std::string FormatLoadgenReport(const LoadgenOptions& options,
 Status WriteLoadgenBench(const std::string& path,
                          const LoadgenOptions& options,
                          const LoadgenReport& report);
+
+/// Appends one open-loop sweep point to `path` (docs/SERVING.md):
+///   server/sweep/<rate>_p50|_p99|_p999   wall_ms = percentile over all ops
+///   server/sweep/<rate>_achieved_qps    items_per_s = sustained OK rate
+///   server/sweep/<rate>_retry_later     items_per_s = shed rate
+/// where <rate> is the offered load. Percentiles and rates cover only the
+/// post-warm-up window. Sweep points deliberately do NOT write server/qps:
+/// that record is the peak-throughput measurement check_bench.py compares
+/// across --loops configurations.
+Status WriteSweepBench(const std::string& path,
+                       const LoadgenOptions& options,
+                       const LoadgenReport& report);
 
 }  // namespace opmap::server
 

@@ -82,9 +82,14 @@ Result<Address> ParseAddress(const std::string& text) {
   return addr;
 }
 
-Result<int> ListenOn(const Address& address, std::string* bound) {
+Result<int> ListenOn(const Address& address, std::string* bound,
+                     bool reuse_port) {
   int fd = -1;
   if (address.is_unix) {
+    if (reuse_port) {
+      return Status::FailedPrecondition(
+          "SO_REUSEPORT sharding applies to TCP listeners only");
+    }
     OPMAP_ASSIGN_OR_RETURN(fd, NewSocket(AF_UNIX));
     sockaddr_un sa{};
     sa.sun_family = AF_UNIX;
@@ -102,6 +107,20 @@ Result<int> ListenOn(const Address& address, std::string* bound) {
     OPMAP_ASSIGN_OR_RETURN(fd, NewSocket(AF_INET));
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuse_port) {
+#ifdef SO_REUSEPORT
+      if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+        Status st = Errno("setsockopt SO_REUSEPORT");
+        ::close(fd);
+        return st;
+      }
+#else
+      ::close(fd);
+      return Status::FailedPrecondition(
+          "SO_REUSEPORT is not available on this platform");
+#endif
+    }
     sockaddr_in sa{};
     sa.sin_family = AF_INET;
     sa.sin_port = htons(static_cast<uint16_t>(address.port));
@@ -158,6 +177,27 @@ Result<int> ConnectTo(const Address& address) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   return fd;
+}
+
+Result<uint32_t> PeerUid(int fd) {
+#if defined(__linux__)
+  ucred cred{};
+  socklen_t len = sizeof(cred);
+  if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &len) != 0) {
+    return Errno("getsockopt SO_PEERCRED");
+  }
+  return static_cast<uint32_t>(cred.uid);
+#elif defined(__APPLE__) || defined(__FreeBSD__) || defined(__OpenBSD__) || \
+    defined(__NetBSD__)
+  uid_t uid = 0;
+  gid_t gid = 0;
+  if (::getpeereid(fd, &uid, &gid) != 0) return Errno("getpeereid");
+  return static_cast<uint32_t>(uid);
+#else
+  (void)fd;
+  return Status::FailedPrecondition(
+      "peer credentials are not available on this platform");
+#endif
 }
 
 Status SetNonBlocking(int fd, bool non_blocking) {

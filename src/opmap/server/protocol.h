@@ -32,6 +32,15 @@ namespace opmap::server {
 // A frame that fails length or CRC validation cannot be resynchronized
 // (the stream position is untrusted), so the server answers with a
 // kBadRequest error frame and closes the connection.
+//
+// Scheduling: clients may pipeline. The server answers every frame in
+// the order it was received, but stateless ops (ping/schema/compare/
+// all-pairs/gi/stats) of one connection may *execute* concurrently, up
+// to the daemon's per-connection depth — the response stream never
+// reveals the reordering. Session-bound ops (session/render) execute
+// one at a time with the connection otherwise quiesced, and kReload is
+// a global barrier. Blocking clients that wait for each response before
+// sending the next are unaffected.
 // ---------------------------------------------------------------------------
 
 /// Frame header size; identical to kWalFrameHeaderBytes by construction.

@@ -36,11 +36,28 @@ struct ServerOptions {
   /// Thread-pool workers reserved for request execution; 0 = the
   /// effective thread count of `parallel`.
   int workers = 0;
+  /// Event loops (acceptor + poll threads). 0 = hardware_concurrency
+  /// clamped to [1, 8]; explicit values are clamped to [1, 64]. On TCP
+  /// every loop owns its own SO_REUSEPORT listener so the kernel spreads
+  /// accepted connections across loops; unix sockets (and platforms
+  /// without SO_REUSEPORT) fall back to loop 0 accepting and handing
+  /// sockets to the other loops round-robin. Connections stay loop-affine
+  /// for their whole life either way.
+  int loops = 0;
+  /// Unix-socket peer-credential allow list (SO_PEERCRED / getpeereid):
+  /// when non-empty, a connection whose peer uid is not listed is
+  /// answered with one BAD_REQUEST frame and closed (counted in the
+  /// server.auth_rejected metric). Start() rejects the combination with a
+  /// TCP listen address — TCP carries no peer credentials.
+  std::vector<uint32_t> allow_uids;
   /// Admission control: requests executing or queued for execution beyond
-  /// this bound are shed with RETRY_LATER instead of queued unboundedly.
+  /// this bound (across all loops) are shed with RETRY_LATER instead of
+  /// queued unboundedly.
   int max_inflight = 64;
-  /// Per-connection cap on parsed-but-undispatched frames (a pipelining
-  /// client past this depth gets RETRY_LATER).
+  /// Per-connection pipelining depth: bounds both the stateless requests
+  /// of one connection executing concurrently and its
+  /// parsed-but-undispatched frame queue (a client pipelining past the
+  /// sum of the two gets RETRY_LATER).
   int max_pending_per_connection = 32;
   int max_connections = 256;
   /// Request frames with a longer declared payload are treated as corrupt.
@@ -60,25 +77,30 @@ struct ServerStats {
   int64_t protocol_errors = 0;
   int64_t reloads = 0;
   int64_t reload_failures = 0;
+  int64_t auth_rejected = 0;
 };
 
-class Connection;  // defined in server.cc
+class EventLoop;    // defined in server.cc
+class Connection;   // defined in server.cc
 
-/// The opmapd daemon: one poll(2) event loop owning every socket, with
-/// request execution dispatched onto the shared ThreadPool. One request
-/// executes per connection at a time (responses stay in request order and
-/// each connection's ExplorationSession needs no locking); concurrency
-/// comes from serving many connections.
+/// The opmapd daemon: N poll(2) event loops, each owning a disjoint set
+/// of sockets, with request execution dispatched onto the shared
+/// ThreadPool. Stateless ops (compare/all-pairs/gi/schema/ping/stats) of
+/// one connection pipeline: up to max_pending_per_connection of them
+/// execute concurrently, and a per-connection reordering buffer emits the
+/// responses in request order. Session-bound ops (session/render) keep
+/// the serialized one-at-a-time discipline so each connection's
+/// ExplorationSession needs no lock.
 ///
-/// Thread model: Serve() runs the loop on the calling thread. Shutdown()
-/// may be called from any thread or from a signal handler; it makes
-/// Serve() stop accepting, answer undispatched frames with SHUTTING_DOWN,
-/// finish in-flight requests, flush, and return. Destroy the Server only
-/// after Serve() returned.
+/// Thread model: Serve() runs loop 0 on the calling thread and spawns the
+/// remaining loops. Shutdown() may be called from any thread or from a
+/// signal handler; it makes every loop stop accepting, answer
+/// undispatched frames with SHUTTING_DOWN, finish in-flight requests,
+/// flush, and return. Destroy the Server only after Serve() returned.
 class Server {
  public:
-  /// Loads the store, binds the listen socket and reserves pool workers.
-  /// The server is not serving until Serve() is called.
+  /// Loads the store, binds the listen socket(s) and reserves pool
+  /// workers. The server is not serving until Serve() is called.
   static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
 
   ~Server();
@@ -87,11 +109,18 @@ class Server {
   /// "127.0.0.1:45123") — connectable even when the option said port 0.
   const std::string& address() const { return address_; }
 
-  /// Runs the event loop until Shutdown(); drains before returning.
+  /// The number of event loops actually running (after clamping).
+  int loops() const { return static_cast<int>(loops_.size()); }
+
+  /// Whether every loop owns its own SO_REUSEPORT listener (TCP) rather
+  /// than loop 0 accepting and handing off. Informational (tests, logs).
+  bool sharded_listeners() const { return sharded_listeners_; }
+
+  /// Runs the event loops until Shutdown(); drains before returning.
   Status Serve();
 
   /// Requests a graceful drain. Async-signal-safe (an atomic store plus a
-  /// write(2) to the loop's wake pipe).
+  /// write(2) to each loop's wake pipe).
   void Shutdown();
 
   /// Routes SIGINT/SIGTERM to server->Shutdown() for the lifetime of the
@@ -99,79 +128,76 @@ class Server {
   /// directly). Pass nullptr to detach.
   static void InstallSignalHandlers(Server* server);
 
-  /// Lifetime counters; read after Serve() returned.
-  const ServerStats& stats() const { return stats_; }
+  /// Lifetime counters summed over all loops; read after Serve() returned.
+  ServerStats stats() const;
 
  private:
+  friend class EventLoop;
+
   Server() = default;
 
-  // Event-loop steps (all on the Serve() thread).
-  void AcceptConnections();
-  void ReadConnection(Connection* conn);
-  void FlushConnection(Connection* conn);
-  void SweepClosedConnections();
-  void CloseConnection(uint64_t conn_id, const char* reason);
-  void HandleFrame(Connection* conn, uint64_t request_id,
-                   std::string payload);
-  void DispatchOrShed(Connection* conn, uint64_t request_id,
-                      std::string payload);
-  void PumpConnection(Connection* conn);
-  void PumpAllConnections();
-  void DrainCompletions();
-  void RespondNow(Connection* conn, uint64_t request_id, RespStatus status,
-                  const std::string& body);
-  void BeginDrain();
-  void PerformReload();
+  // Called by the loop that dequeued a RELOAD frame. Returns false when
+  // another reload is already pending (the caller sheds with RETRY_LATER);
+  // on success the global dispatch barrier is up until PerformReload.
+  bool TryClaimReload(int loop_index, uint64_t conn_id, uint64_t seq,
+                      uint64_t request_id, std::string body);
+  // Drops a claimed reload during drain (owner loop only).
+  void CancelReloadForDrain(int loop_index);
+  // Swaps the store; runs on the owning loop once global inflight is 0.
+  void PerformReload(EventLoop* owner);
+  // Decrements the global inflight count; wakes the reload owner when the
+  // count hits zero with a reload pending.
+  void ReleaseInflight();
+  void WakeAllLoops();
+  void WakeReloadOwner();
 
-  // Request execution (on a pool worker).
-  void ExecuteRequest(Connection* conn, uint64_t request_id,
+  // Pool-worker side: executes one request and posts the encoded response
+  // frame to the owning loop's completion queue.
+  void ExecuteRequest(EventLoop* loop, Connection* conn, uint64_t seq,
+                      bool is_session, uint64_t request_id,
                       std::string payload);
+  void EnsureSession(Connection* conn);
   std::string HandleRequestPayload(Connection* conn,
                                    const std::string& payload);
-  void EnsureSession(Connection* conn);
 
   ServerOptions options_;
   std::string address_;
   std::string unix_path_;  // non-empty: unlink on exit
-  int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  std::atomic<int> wake_write_fd_{-1};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  bool sharded_listeners_ = false;
   std::atomic<bool> shutdown_requested_{false};
 
   std::unique_ptr<CubeStore> store_;
   std::unique_ptr<QueryEngine> engine_;
-  uint64_t store_generation_ = 1;
+  // Bumped on every successful reload; sessions created against an older
+  // generation are lazily replaced by EnsureSession (their backing store
+  // is gone). Read from pool workers, written by the reloading loop.
+  std::atomic<uint64_t> store_generation_{1};
 
-  uint64_t next_conn_id_ = 1;
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  // Connections that closed while a request was executing: the worker
-  // still references the Connection, so it is parked here and destroyed
-  // when its completion arrives.
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> zombies_;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<int> total_connections_{0};
 
-  // Requests dispatched to the pool and not yet completed. Bounded by
-  // options_.max_inflight via admission control.
-  int inflight_ = 0;
+  // Requests dispatched to the pool and not yet completed, across all
+  // loops. Admission control bounds it by options_.max_inflight; reload
+  // waits for it to reach zero.
+  std::atomic<int> inflight_{0};
 
-  // Pool workers deliver finished responses here; the loop drains it
-  // after every wake.
-  std::mutex completions_mu_;
-  struct Completion {
-    uint64_t conn_id = 0;
-    bool ok = false;    // response status was OK (counted on the loop thread)
-    std::string frame;  // fully encoded response frame
-  };
-  std::vector<Completion> completions_;
-
-  bool draining_ = false;
-  // A reload frame waiting for inflight_ == 0 (reload swaps the store and
-  // must be exclusive with query execution).
-  bool reload_pending_ = false;
+  // The cross-loop reload barrier. reload_pending_ is the fast-path flag
+  // every dispatch re-checks after incrementing inflight_ (both seq_cst:
+  // either the dispatcher sees the flag and backs out, or the reloading
+  // loop sees a nonzero inflight and waits for the completion to wake
+  // it). The claim details live behind the mutex.
+  std::atomic<bool> reload_pending_{false};
+  mutable std::mutex reload_mu_;
+  int reload_loop_ = -1;
   uint64_t reload_conn_id_ = 0;
+  uint64_t reload_seq_ = 0;
   uint64_t reload_request_id_ = 0;
   std::string reload_body_;
-
-  ServerStats stats_;
+  // The file currently served (reload targets it when the request names
+  // no path). Guarded by reload_mu_: reloads on different loops would
+  // otherwise race on it.
+  std::string current_cubes_path_;
 };
 
 }  // namespace opmap::server

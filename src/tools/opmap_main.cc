@@ -24,12 +24,14 @@
 // flag) so typos fail loudly instead of silently using defaults.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "opmap/car/miner.h"
@@ -48,6 +50,7 @@
 #include "opmap/gi/trend.h"
 #include "opmap/gi/impressions.h"
 #include "opmap/ingest/ingester.h"
+#include "opmap/server/client.h"
 #include "opmap/server/loadgen.h"
 #include "opmap/server/server.h"
 #include "opmap/viz/export.h"
@@ -673,11 +676,31 @@ Dataset SliceRows(const Dataset& data, int64_t begin, int64_t end) {
   return batch;
 }
 
+// Sends a RELOAD naming `cube_path` to the daemon at `connect`. A busy
+// daemon may shed the reload with RETRY_LATER (another reload pending);
+// a short retry loop absorbs that without hiding persistent refusal.
+Status NotifyDaemonReload(const std::string& connect,
+                          const std::string& cube_path) {
+  OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<server::Client> client,
+                         server::Client::Connect(connect, 10000));
+  server::ReloadRequest req;
+  req.path = cube_path;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    OPMAP_ASSIGN_OR_RETURN(server::Reply reply, client->Reload(req));
+    if (reply.status != server::RespStatus::kRetryLater) {
+      return reply.ToStatus();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Status::FailedPrecondition(
+      "daemon at " + connect + " kept shedding the reload (RETRY_LATER)");
+}
+
 int CmdIngest(const Args& args) {
   args.RejectUnknown("ingest",
                      {"dir", "csv", "class", "batch-rows", "compact-every",
-                      "fsync", "threads", "block-rows", "kernel", "verbose",
-                      "stats", "stats-full", "trace-out"});
+                      "fsync", "threads", "block-rows", "kernel", "notify",
+                      "verbose", "stats", "stats-full", "trace-out"});
   const std::string dir = args.GetString("dir");
   const std::string csv_path = args.GetString("csv");
   RequireFlag(dir, "dir");
@@ -729,6 +752,17 @@ int CmdIngest(const Args& args) {
     ing = OrDie(Ingester::Create(Env::Default(), dir, rows.schema(), options));
   }
 
+  // --notify=ADDR: every compaction pushes its freshly committed
+  // container to a running opmapd via RELOAD, so queries served after the
+  // compaction reflect the new generation without restarting the daemon.
+  const std::string notify = args.GetString("notify");
+  if (!notify.empty()) {
+    ing->set_publish_hook(
+        [&notify](const CubeStore*, const std::string& cube_path) {
+          return NotifyDaemonReload(notify, cube_path);
+        });
+  }
+
   const IngestStats before = ing->GetStats();
   int64_t batches = 0;
   for (int64_t begin = 0; begin < rows.num_rows(); begin += batch_rows) {
@@ -736,6 +770,21 @@ int CmdIngest(const Args& args) {
     Status st = ing->AppendBatch(SliceRows(rows, begin, end)).status();
     if (!st.ok()) Die(st);
     ++batches;
+  }
+  // With --notify, compact unconditionally so this ingest always
+  // publishes (and therefore always notifies), even when --compact-every
+  // did not land on the final batch.
+  if (!notify.empty()) {
+    Status st = ing->Compact();
+    if (!st.ok()) Die(st);
+    const IngestStats after = ing->GetStats();
+    if (after.publish_failures > 0) {
+      std::fprintf(stderr, "opmap: notify failed: %s\n",
+                   after.last_publish_error.c_str());
+    } else {
+      std::printf("notified %s (generation %llu)\n", notify.c_str(),
+                  static_cast<unsigned long long>(after.cube_generation));
+    }
   }
   Status st = ing->Close();
   if (!st.ok()) Die(st);
@@ -777,9 +826,9 @@ int CmdIngest(const Args& args) {
 int CmdServe(const Args& args) {
   args.RejectUnknown("serve",
                      {"cubes", "listen", "mmap", "cache-mb", "threads",
-                      "workers", "max-inflight", "max-pending",
-                      "max-connections", "verbose", "stats", "stats-full",
-                      "trace-out"});
+                      "workers", "loops", "allow-uid", "max-inflight",
+                      "max-pending", "max-connections", "verbose", "stats",
+                      "stats-full", "trace-out"});
   server::ServerOptions options;
   options.cubes_path = args.GetString("cubes");
   RequireFlag(options.cubes_path, "cubes");
@@ -790,6 +839,24 @@ int CmdServe(const Args& args) {
   options.cache_bytes = CacheBytesOf(args, 16);
   options.parallel = ThreadsOf(args);
   options.workers = static_cast<int>(args.GetInt("workers", 0));
+  options.loops = static_cast<int>(args.GetInt("loops", 0));
+  // --allow-uid=1000[,1001,...]: unix-socket peer-credential allow list.
+  const std::string allow = args.GetString("allow-uid");
+  for (size_t pos = 0; pos < allow.size();) {
+    size_t comma = allow.find(',', pos);
+    if (comma == std::string::npos) comma = allow.size();
+    const std::string item = allow.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const unsigned long uid = std::strtoul(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "opmap: bad value for --allow-uid: '%s'\n",
+                   item.c_str());
+      std::exit(4);
+    }
+    options.allow_uids.push_back(static_cast<uint32_t>(uid));
+  }
   options.max_inflight = static_cast<int>(args.GetInt("max-inflight", 64));
   options.max_pending_per_connection =
       static_cast<int>(args.GetInt("max-pending", 32));
@@ -811,8 +878,9 @@ int CmdServe(const Args& args) {
 int CmdLoadgen(const Args& args) {
   args.RejectUnknown("loadgen",
                      {"connect", "clients", "duration", "requests", "mix",
-                      "seed", "json", "cubes", "mmap", "timeout-ms",
-                      "verbose", "stats", "stats-full", "trace-out"});
+                      "seed", "arrival-qps", "sweep", "warmup-ms", "json",
+                      "cubes", "mmap", "timeout-ms", "verbose", "stats",
+                      "stats-full", "trace-out"});
   server::LoadgenOptions options;
   options.connect = args.GetString("connect");
   RequireFlag(options.connect, "connect");
@@ -821,15 +889,69 @@ int CmdLoadgen(const Args& args) {
   options.max_requests = args.GetInt("requests", 0);
   options.mix = args.GetString("mix", "compare:8,pairs:1,gi:1,render:2");
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.arrival_qps = args.GetDouble("arrival-qps", 0.0);
+  options.warmup_ms = static_cast<int>(args.GetInt("warmup-ms", 500));
   options.cubes_path = args.GetString("cubes");
   options.use_mmap = LoadOptionsOf(args).use_mmap;
   options.timeout_ms = static_cast<int>(args.GetInt("timeout-ms", 30000));
   options.verbose = args.GetBool("verbose");
+  const std::string json = args.GetString("json");
+
+  // --sweep=R1,R2,...: one open-loop run per offered rate, each written
+  // as server/sweep/<rate>_* records (never server/qps — that record is
+  // the peak-throughput comparison across --loops configurations).
+  const std::string sweep = args.GetString("sweep");
+  if (!sweep.empty()) {
+    if (options.arrival_qps > 0) {
+      std::fprintf(stderr,
+                   "opmap: --sweep and --arrival-qps are exclusive "
+                   "(--sweep runs one open-loop pass per rate)\n");
+      std::exit(4);
+    }
+    std::vector<double> rates;
+    for (size_t pos = 0; pos < sweep.size();) {
+      size_t comma = sweep.find(',', pos);
+      if (comma == std::string::npos) comma = sweep.size();
+      const std::string item = sweep.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (item.empty()) continue;
+      char* end = nullptr;
+      const double rate = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0' || rate <= 0) {
+        std::fprintf(stderr, "opmap: bad value for --sweep: '%s'\n",
+                     item.c_str());
+        std::exit(4);
+      }
+      rates.push_back(rate);
+    }
+    if (rates.empty()) {
+      std::fprintf(stderr, "opmap: --sweep needs at least one rate\n");
+      std::exit(4);
+    }
+    options.cubes_path.clear();  // no per-point in-process baseline
+    for (double rate : rates) {
+      server::LoadgenOptions point = options;
+      point.arrival_qps = rate;
+      const server::LoadgenReport report =
+          OrDie(server::RunLoadgen(point));
+      std::printf("-- sweep %g qps --\n%s", rate,
+                  server::FormatLoadgenReport(point, report).c_str());
+      if (!json.empty()) {
+        const Status st = server::WriteSweepBench(json, point, report);
+        if (!st.ok()) Die(st);
+      }
+    }
+    return 0;
+  }
+
   const server::LoadgenReport report = OrDie(server::RunLoadgen(options));
   std::printf("%s", server::FormatLoadgenReport(options, report).c_str());
-  const std::string json = args.GetString("json");
   if (!json.empty()) {
-    const Status st = server::WriteLoadgenBench(json, options, report);
+    // A single open-loop run is a one-point sweep; closed-loop runs keep
+    // writing the server/qps family.
+    const Status st = options.arrival_qps > 0
+                          ? server::WriteSweepBench(json, options, report)
+                          : server::WriteLoadgenBench(json, options, report);
     if (!st.ok()) Die(st);
   }
   return 0;
@@ -864,23 +986,33 @@ int Usage() {
       "[--top=N]\n"
       "  ingest    --dir=DIR --csv=FILE.csv [--class=COLUMN] "
       "[--batch-rows=N] [--compact-every=N] [--fsync=always|seal] "
-      "[--threads=N] [--verbose]\n"
+      "[--notify=ADDR] [--threads=N] [--verbose]\n"
       "            crash-safe streaming ingestion: appends CSV rows to a "
       "WAL-backed cube directory; the first ingest defines the schema "
-      "(--class required), later ones re-encode against it\n"
+      "(--class required), later ones re-encode against it; --notify "
+      "compacts at the end and RELOADs a running opmapd with the new "
+      "container\n"
       "  serve     --cubes=FILE.opmc [--listen=unix:PATH|HOST:PORT] "
-      "[--cache-mb=N] [--workers=N] [--max-inflight=N] [--max-pending=N] "
-      "[--max-connections=N] [--mmap=on|off] [--verbose]\n"
+      "[--cache-mb=N] [--workers=N] [--loops=N] [--allow-uid=U1,U2,...] "
+      "[--max-inflight=N] [--max-pending=N] [--max-connections=N] "
+      "[--mmap=on|off] [--verbose]\n"
       "            opmapd query-serving daemon (docs/SERVING.md): prints "
       "'opmapd listening on ADDR', serves until SIGINT/SIGTERM, then "
-      "drains gracefully\n"
+      "drains gracefully; --loops shards the event loop across N "
+      "acceptor threads (SO_REUSEPORT on TCP), --allow-uid restricts a "
+      "unix socket to the listed peer uids\n"
       "  loadgen   --connect=ADDR [--clients=N] [--duration=SECONDS] "
       "[--requests=N] [--mix=compare:8,pairs:1,gi:1,render:2] [--seed=N] "
+      "[--arrival-qps=R | --sweep=R1,R2,...] [--warmup-ms=N] "
       "[--json=BENCH_server.json] [--cubes=FILE.opmc] [--verbose]\n"
       "            replays a weighted query mix against a live opmapd "
-      "over N connections and reports QPS + p50/p99/p999 per op; --cubes "
-      "adds the in-process compare baseline for the wire-overhead check; "
-      "--json appends bench records\n"
+      "over N connections and reports QPS + p50/p99/p999 per op; "
+      "--arrival-qps switches to open-loop Poisson arrivals at the "
+      "offered rate (latency from scheduled arrival), --sweep runs one "
+      "open-loop pass per rate and appends server/sweep/* records, "
+      "--warmup-ms (default 500) excludes the warm-up window from "
+      "percentiles; --cubes adds the in-process compare baseline for the "
+      "wire-overhead check; --json appends bench records\n"
       "--threads=N caps worker threads (1 = serial; default: OPMAP_THREADS "
       "env var, else hardware); results are identical at any setting\n"
       "--block-rows=N sets the counting-kernel tile size in rows "

@@ -258,8 +258,10 @@ done
 grep -q "opmapd listening on unix:$DIR/opmapd.sock" "$DIR/serve.out" \
     || { cat "$DIR/serve.err" >&2; fail "serve did not come up"; }
 
+# --warmup-ms=0: a 200-request run finishes inside the default warm-up
+# window, which would leave the per-op table empty by design.
 out=$("$OPMAP" loadgen --connect="unix:$DIR/opmapd.sock" --clients=2 \
-    --requests=200 --duration=30 --cubes="$DIR/d.opmc" \
+    --requests=200 --duration=30 --warmup-ms=0 --cubes="$DIR/d.opmc" \
     --json="$DIR/BENCH_server.json") || fail "loadgen"
 echo "$out" | grep -qE "loadgen: [0-9]+ ok, [0-9]+ error, [0-9]+ shed" \
     || fail "loadgen summary line"
@@ -289,3 +291,103 @@ rc=0; "$OPMAP" loadgen --connect="unix:$DIR/nope.sock" --duration=0.2 \
     >/dev/null 2>&1 || rc=$?
 [ "$rc" -ne 0 ] || fail "loadgen against a dead socket should fail"
 echo "PASS serve"
+
+# ---- multi-loop daemon + open-loop sweep ----
+
+# Sharded event loops on TCP (port 0 = OS-assigned), driven by a 2-point
+# open-loop sweep writing server/sweep/* records.
+"$OPMAP" serve --cubes="$DIR/d.opmc" --listen=127.0.0.1:0 --loops=2 \
+    --verbose >"$DIR/serve2.out" 2>"$DIR/serve2.err" &
+SERVE2_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$DIR/serve2.out" 2>/dev/null && break
+  sleep 0.1
+done
+ADDR=$(awk '/opmapd listening on/ {print $4}' "$DIR/serve2.out")
+[ -n "$ADDR" ] || { cat "$DIR/serve2.err" >&2; fail "loops=2 serve up"; }
+grep -q "2 loops" "$DIR/serve2.err" || fail "serve2 verbose loop count"
+
+out=$("$OPMAP" loadgen --connect="$ADDR" --clients=2 --duration=0.8 \
+    --warmup-ms=100 --mix=ping:1 --sweep=50,100 \
+    --json="$DIR/BENCH_sweep.json") || fail "loadgen sweep"
+echo "$out" | grep -q -- "-- sweep 50 qps --" || fail "sweep banner"
+echo "$out" | grep -q "open-loop: offered 100.0 qps" \
+    || fail "sweep open-loop summary"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; recs=json.load(open(sys.argv[1])); \
+ops={r['op'] for r in recs}; \
+need={'server/sweep/50_p50','server/sweep/50_p99','server/sweep/50_p999', \
+'server/sweep/50_achieved_qps','server/sweep/50_retry_later', \
+'server/sweep/100_p50','server/sweep/100_achieved_qps'}; \
+assert need <= ops, ops; \
+assert 'server/qps' not in ops, 'sweep must not write server/qps'" \
+      "$DIR/BENCH_sweep.json" || fail "sweep bench records"
+fi
+
+kill -TERM "$SERVE2_PID"
+rc=0; wait "$SERVE2_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "loops=2 serve should drain and exit 0 (got $rc)"
+echo "PASS multi-loop sweep"
+
+# ---- ingest -> live daemon reload drill ----
+
+# Serve the streaming directory's current container, ingest more rows
+# with --notify, and assert the daemon reloaded the freshly compacted
+# generation without restarting.
+ING_CUBE=$(ls "$DIR/ing"/cubes-*.opmc | sort | tail -1)
+"$OPMAP" serve --cubes="$ING_CUBE" --listen="unix:$DIR/opmapd2.sock" \
+    --verbose >"$DIR/serve3.out" 2>"$DIR/serve3.err" &
+SERVE3_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$DIR/serve3.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "opmapd listening" "$DIR/serve3.out" \
+    || { cat "$DIR/serve3.err" >&2; fail "ingest-drill serve up"; }
+
+out=$("$OPMAP" ingest --dir="$DIR/ing" --csv="$DIR/t.csv" \
+    --notify="unix:$DIR/opmapd2.sock") || fail "ingest --notify"
+echo "$out" | grep -q "notified unix:$DIR/opmapd2.sock" \
+    || fail "ingest --notify confirmation line"
+grep -q "opmapd: reloaded $DIR/ing/cubes-" "$DIR/serve3.err" \
+    || fail "daemon did not log the notified reload"
+
+kill -TERM "$SERVE3_PID"
+rc=0; wait "$SERVE3_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "ingest-drill serve should exit 0 (got $rc)"
+echo "PASS ingest notify"
+
+# ---- unix peer-credential auth ----
+
+# Our own uid on the allow list: requests flow.
+"$OPMAP" serve --cubes="$DIR/d.opmc" --listen="unix:$DIR/auth.sock" \
+    --allow-uid="$(id -u)" >"$DIR/serve4.out" 2>"$DIR/serve4.err" &
+SERVE4_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$DIR/serve4.out" 2>/dev/null && break
+  sleep 0.1
+done
+"$OPMAP" loadgen --connect="unix:$DIR/auth.sock" --clients=1 \
+    --requests=5 --duration=5 --warmup-ms=0 --mix=ping:1 >/dev/null \
+    || fail "allowed uid should be served"
+kill -TERM "$SERVE4_PID"; wait "$SERVE4_PID" || fail "auth serve exit"
+
+# A different uid: the connection is answered with a status frame and
+# closed, so the client fails instead of hanging.
+"$OPMAP" serve --cubes="$DIR/d.opmc" --listen="unix:$DIR/auth.sock" \
+    --allow-uid=4294967294 >"$DIR/serve5.out" 2>"$DIR/serve5.err" &
+SERVE5_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$DIR/serve5.out" 2>/dev/null && break
+  sleep 0.1
+done
+rc=0; "$OPMAP" loadgen --connect="unix:$DIR/auth.sock" --clients=1 \
+    --requests=5 --duration=5 --mix=ping:1 >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "disallowed uid should be rejected"
+kill -TERM "$SERVE5_PID"; wait "$SERVE5_PID" || fail "auth-reject serve exit"
+
+# --allow-uid needs peer credentials, which TCP does not carry.
+rc=0; "$OPMAP" serve --cubes="$DIR/d.opmc" --listen=127.0.0.1:0 \
+    --allow-uid=0 >/dev/null 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "serve --allow-uid over TCP should fail"
+echo "PASS peer auth"

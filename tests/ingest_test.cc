@@ -344,10 +344,12 @@ TEST(Ingester, CompactionBumpsCacheEpochAndPreservesQueryResults) {
   ASSERT_OK_AND_ASSIGN(auto snapshot, ing->Snapshot());
   QueryEngine engine(snapshot.get());
   ing->set_cache(engine.cache());
-  ing->set_publish_hook([&engine](const CubeStore* store) {
-    engine.SetStore(store);
-    return Status::OK();
-  });
+  ing->set_publish_hook(
+      [&engine](const CubeStore* store, const std::string& cube_path) {
+        EXPECT_FALSE(cube_path.empty());
+        engine.SetStore(store);
+        return Status::OK();
+      });
 
   ASSERT_OK_AND_ASSIGN(auto before, engine.CompareAllPairs(0, 1, 1));
   const uint64_t epoch_before = engine.GetCacheStats().epoch;
@@ -378,11 +380,12 @@ TEST(Ingester, PublishHookFailureIsCountedNotFatal) {
       Ingester::Create(Env::Default(), dir, schema, DrillOptions()));
   ASSERT_OK(ing->AppendBatch(DrillBatch(schema, 1)).status());
   int calls = 0;
-  ing->set_publish_hook([&calls](const CubeStore* store) {
-    ++calls;
-    EXPECT_NE(store, nullptr);
-    return Status::Internal("subscriber rejected the store");
-  });
+  ing->set_publish_hook(
+      [&calls](const CubeStore* store, const std::string& /*cube_path*/) {
+        ++calls;
+        EXPECT_NE(store, nullptr);
+        return Status::Internal("subscriber rejected the store");
+      });
 
   // The hook fails but the compaction itself commits: data stays served,
   // the failure lands in the stats instead of the return value.

@@ -6,7 +6,12 @@
 // byte-identical to direct QueryEngine calls, for any client count,
 // --mmap=on|off, cache on or off).
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,9 +20,11 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "opmap/common/io.h"
 #include "opmap/core/session.h"
 #include "opmap/cube/cube_store.h"
 #include "opmap/data/call_log.h"
+#include "opmap/ingest/ingester.h"
 #include "opmap/server/client.h"
 #include "opmap/server/protocol.h"
 #include "opmap/server/server.h"
@@ -103,7 +110,8 @@ class TestServer {
   }
 
   const std::string& address() const { return server_->address(); }
-  const server::ServerStats& stats() const { return server_->stats(); }
+  server::ServerStats stats() const { return server_->stats(); }
+  server::Server* server() const { return server_.get(); }
 
  private:
   TestServer() = default;
@@ -625,6 +633,466 @@ TEST(ServerLifecycle, DisconnectDuringExecutionAndDrainAreClean) {
   // every in-flight request finished.
   ts->Stop();
   EXPECT_GE(ts->stats().requests, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-loop sharding (acceptance criterion: byte-identical for any
+// --loops, over both transports)
+// ---------------------------------------------------------------------------
+
+TEST(ServerMultiLoop, ByteIdenticalAcrossLoopCountsAndTransports) {
+  const std::string cubes = WriteCubes("srv_loops.opmc");
+
+  CubeLoadOptions eager;
+  eager.use_mmap = false;
+  ASSERT_OK_AND_ASSIGN(CubeStore store,
+                       CubeStore::LoadFromFile(cubes, nullptr, eager));
+  QueryEngine engine(&store, /*cache_bytes=*/0);
+  std::vector<CompareRequest> compare_reqs;
+  std::vector<std::string> compare_expected;
+  for (int attr = 0; attr < 3; ++attr) {
+    CompareRequest cmp;
+    cmp.attribute = attr;
+    cmp.value_a = 0;
+    cmp.value_b = 1;
+    cmp.target_class = 0;
+    compare_reqs.push_back(cmp);
+    ComparisonSpec spec;
+    spec.attribute = cmp.attribute;
+    spec.value_a = cmp.value_a;
+    spec.value_b = cmp.value_b;
+    spec.target_class = cmp.target_class;
+    spec.min_population = cmp.min_population;
+    ASSERT_OK_AND_ASSIGN(auto result, engine.Compare(spec));
+    compare_expected.push_back(server::EncodeComparisonResult(*result));
+  }
+  GiOptions gi_options;
+  gi_options.top_influence = 5;
+  ASSERT_OK_AND_ASSIGN(auto gi, engine.Gi(gi_options));
+  const std::string gi_expected = server::EncodeGeneralImpressions(*gi);
+
+  int config = 0;
+  for (const int loops : {2, 3}) {
+    for (const bool tcp : {false, true}) {
+      server::ServerOptions options;
+      options.cubes_path = cubes;
+      options.listen =
+          tcp ? std::string("127.0.0.1:0")
+              : SocketAddr("srv_loops_" + std::to_string(config) + ".sock");
+      ++config;
+      options.loops = loops;
+      options.workers = 2;
+      auto ts = TestServer::Start(options);
+      ASSERT_NE(ts, nullptr);
+      EXPECT_EQ(ts->server()->loops(), loops);
+      // TCP shards the listener per loop via SO_REUSEPORT (this suite
+      // runs on Linux); unix sockets accept on loop 0 and hand off.
+      EXPECT_EQ(ts->server()->sharded_listeners(), tcp);
+
+      // More clients than loops, so in hand-off mode every loop serves
+      // at least one connection.
+      constexpr int kClients = 4;
+      std::vector<std::string> failures(kClients);
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          auto fail = [&](const std::string& what) {
+            if (failures[c].empty()) failures[c] = what;
+          };
+          auto client_or = Client::Connect(ts->address());
+          if (!client_or.ok()) return fail(client_or.status().ToString());
+          std::unique_ptr<Client> client = std::move(client_or).MoveValue();
+          for (int pass = 0; pass < 2; ++pass) {
+            for (size_t i = 0; i < compare_reqs.size(); ++i) {
+              auto reply = client->Compare(compare_reqs[i]);
+              if (!reply.ok()) return fail(reply.status().ToString());
+              if (!reply->ok()) return fail(reply->ErrorText());
+              if (reply->body != compare_expected[i]) {
+                return fail("compare bytes diverged");
+              }
+            }
+            GiRequest gi_req;
+            gi_req.top_influence = 5;
+            auto gi_reply = client->Gi(gi_req);
+            if (!gi_reply.ok()) return fail(gi_reply.status().ToString());
+            if (gi_reply->body != gi_expected) {
+              return fail("gi bytes diverged");
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(failures[c], "")
+            << "client " << c << " (loops=" << loops << " tcp=" << tcp << ")";
+      }
+      ts->Stop();
+      const server::ServerStats stats = ts->stats();
+      EXPECT_EQ(stats.protocol_errors, 0);
+      EXPECT_EQ(stats.responses_error, 0);
+      EXPECT_GE(stats.connections_accepted, kClients);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution: responses in request order under fuzzed op mixes
+// ---------------------------------------------------------------------------
+
+TEST(ServerPipeline, FuzzedStatelessBurstsReplyInExactRequestOrder) {
+  server::ServerOptions options;
+  options.cubes_path = WriteCubes("srv_pipe.opmc");
+  options.listen = SocketAddr("srv_pipe.sock");
+  options.loops = 2;
+  options.workers = 4;
+  options.max_pending_per_connection = 16;
+  auto ts = TestServer::Start(options);
+  ASSERT_NE(ts, nullptr);
+
+  // Reference bodies, fetched once over a plain blocking connection;
+  // every op here is deterministic (schema embeds the fixed generation).
+  CompareRequest cmp;
+  cmp.attribute = 0;
+  cmp.value_a = 0;
+  cmp.value_b = 1;
+  cmp.target_class = 0;
+  GiRequest gi;
+  gi.top_influence = 5;
+  std::map<uint8_t, std::string> payloads;
+  payloads[static_cast<uint8_t>(Op::kPing)] = EncodeRequest(Op::kPing, "");
+  payloads[static_cast<uint8_t>(Op::kSchema)] = EncodeRequest(Op::kSchema, "");
+  payloads[static_cast<uint8_t>(Op::kCompare)] =
+      EncodeRequest(Op::kCompare, server::EncodeCompareRequest(cmp));
+  payloads[static_cast<uint8_t>(Op::kGi)] =
+      EncodeRequest(Op::kGi, server::EncodeGiRequest(gi));
+  std::map<uint8_t, std::string> expected;
+  {
+    ASSERT_OK_AND_ASSIGN(auto probe, Client::Connect(ts->address()));
+    for (const auto& [op, payload] : payloads) {
+      ASSERT_OK(probe->SendRaw(EncodeFrame(1000 + op, payload)));
+      ASSERT_OK_AND_ASSIGN(Reply reply, probe->ReadReply());
+      ASSERT_TRUE(reply.ok()) << reply.ErrorText();
+      expected[op] = reply.body;
+    }
+  }
+
+  // Fuzzed bursts: 12 pipelined frames of a random op mix, fired without
+  // reading. With workers=4 the stateless ops execute concurrently and
+  // finish out of order; the wire must still deliver request order with
+  // the exact blocking-mode bytes.
+  const std::vector<uint8_t> ops = {
+      static_cast<uint8_t>(Op::kPing), static_cast<uint8_t>(Op::kSchema),
+      static_cast<uint8_t>(Op::kCompare), static_cast<uint8_t>(Op::kGi)};
+  Rng rng(0x9199e11fe5eedull);
+  ASSERT_OK_AND_ASSIGN(auto client, Client::Connect(ts->address()));
+  for (int round = 0; round < 8; ++round) {
+    constexpr int kBurst = 12;
+    std::string burst;
+    std::vector<uint64_t> sent_ids;
+    std::vector<uint8_t> sent_ops;
+    for (int i = 0; i < kBurst; ++i) {
+      const uint8_t op = ops[rng.Next() % ops.size()];
+      const uint64_t id = static_cast<uint64_t>(round) * 100 + i + 1;
+      burst += EncodeFrame(id, payloads[op]);
+      sent_ids.push_back(id);
+      sent_ops.push_back(op);
+    }
+    ASSERT_OK(client->SendRaw(burst));
+    for (int i = 0; i < kBurst; ++i) {
+      ASSERT_OK_AND_ASSIGN(Reply reply, client->ReadReply());
+      ASSERT_EQ(reply.request_id, sent_ids[static_cast<size_t>(i)])
+          << "round " << round << ": response " << i
+          << " out of request order";
+      ASSERT_TRUE(reply.ok()) << reply.ErrorText();
+      EXPECT_EQ(reply.body, expected[sent_ops[static_cast<size_t>(i)]])
+          << "round " << round << ": body diverged at position " << i;
+    }
+  }
+  ts->Stop();
+  EXPECT_EQ(ts->stats().shed_retry_later, 0);
+  EXPECT_EQ(ts->stats().responses_error, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Reload racing queries across loops
+// ---------------------------------------------------------------------------
+
+TEST(ServerReloadRace, ConcurrentReloadsAndComparesStayConsistent) {
+  const std::string cubes = WriteCubes("srv_reload_race.opmc");
+  server::ServerOptions options;
+  options.cubes_path = cubes;
+  options.listen = SocketAddr("srv_reload_race.sock");
+  options.loops = 3;
+  options.workers = 4;
+  auto ts = TestServer::Start(options);
+  ASSERT_NE(ts, nullptr);
+
+  CompareRequest cmp;
+  cmp.attribute = 0;
+  cmp.value_a = 0;
+  cmp.value_b = 1;
+  cmp.target_class = 0;
+  std::string compare_expected;
+  {
+    ASSERT_OK_AND_ASSIGN(auto probe, Client::Connect(ts->address()));
+    ASSERT_OK_AND_ASSIGN(Reply reply, probe->Compare(cmp));
+    ASSERT_TRUE(reply.ok()) << reply.ErrorText();
+    compare_expected = reply.body;
+  }
+
+  // Blocking compare hammers never pipeline past depth 1, so the reload
+  // barrier may park them but must never shed them — every compare comes
+  // back OK with the same bytes (reloads re-read the same file).
+  std::atomic<int> successful_reloads{0};
+  constexpr int kComparers = 3;
+  constexpr int kReloaders = 2;
+  std::vector<std::string> failures(kComparers + kReloaders);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kComparers; ++c) {
+    threads.emplace_back([&, c] {
+      auto fail = [&](const std::string& what) {
+        if (failures[c].empty()) failures[c] = what;
+      };
+      auto client_or = Client::Connect(ts->address());
+      if (!client_or.ok()) return fail(client_or.status().ToString());
+      std::unique_ptr<Client> client = std::move(client_or).MoveValue();
+      for (int i = 0; i < 40; ++i) {
+        auto reply = client->Compare(cmp);
+        if (!reply.ok()) return fail(reply.status().ToString());
+        if (!reply->ok()) return fail(reply->ErrorText());
+        if (reply->body != compare_expected) {
+          return fail("compare bytes diverged during reload race");
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReloaders; ++r) {
+    threads.emplace_back([&, r] {
+      auto fail = [&](const std::string& what) {
+        if (failures[kComparers + r].empty()) {
+          failures[kComparers + r] = what;
+        }
+      };
+      auto client_or = Client::Connect(ts->address());
+      if (!client_or.ok()) return fail(client_or.status().ToString());
+      std::unique_ptr<Client> client = std::move(client_or).MoveValue();
+      for (int i = 0; i < 5; ++i) {
+        auto reply = client->Reload(ReloadRequest{});
+        if (!reply.ok()) return fail(reply.status().ToString());
+        if (reply->ok()) {
+          successful_reloads.fetch_add(1);
+        } else if (reply->status != RespStatus::kRetryLater) {
+          // Losing the claim race sheds with RETRY_LATER; anything else
+          // is a real failure.
+          return fail(reply->ErrorText());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < failures.size(); ++i) {
+    EXPECT_EQ(failures[i], "") << "thread " << i;
+  }
+
+  EXPECT_GE(successful_reloads.load(), 1);
+  ASSERT_OK_AND_ASSIGN(auto client, Client::Connect(ts->address()));
+  ASSERT_OK_AND_ASSIGN(Reply schema_reply, client->Call(Op::kSchema));
+  ASSERT_TRUE(schema_reply.ok()) << schema_reply.ErrorText();
+  ASSERT_OK_AND_ASSIGN(server::SchemaInfo schema,
+                       server::DecodeSchemaInfo(schema_reply.body));
+  EXPECT_EQ(schema.store_generation,
+            1u + static_cast<uint64_t>(successful_reloads.load()));
+  ts->Stop();
+  EXPECT_EQ(ts->stats().reloads, successful_reloads.load());
+  EXPECT_EQ(ts->stats().reload_failures, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Drain racing live traffic across loops
+// ---------------------------------------------------------------------------
+
+TEST(ServerDrainRace, ShutdownWithTrafficOnEveryLoopDrainsCleanly) {
+  server::ServerOptions options;
+  options.cubes_path = WriteCubes("srv_drain_race.opmc");
+  options.listen = SocketAddr("srv_drain_race.sock");
+  options.loops = 3;
+  options.workers = 2;
+  auto ts = TestServer::Start(options);
+  ASSERT_NE(ts, nullptr);
+
+  // Ping spammers on every loop. Each call must end as OK, a coded
+  // SHUTTING_DOWN/RETRY_LATER response, or a clean connection error once
+  // the drain closed the socket — never a hang or a garbled frame.
+  constexpr int kClients = 4;
+  std::vector<std::string> failures(kClients);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client_or = Client::Connect(ts->address());
+      if (!client_or.ok()) return;  // raced the drain before connecting
+      std::unique_ptr<Client> client = std::move(client_or).MoveValue();
+      while (!stop.load()) {
+        auto reply = client->Ping();
+        if (!reply.ok()) return;  // drain closed the connection
+        if (reply->ok() || reply->status == RespStatus::kShuttingDown ||
+            reply->status == RespStatus::kRetryLater) {
+          continue;
+        }
+        if (failures[c].empty()) failures[c] = reply->ErrorText();
+        return;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Stop() asserts Serve() returned OK — the drain must terminate with
+  // requests still arriving on all three loops.
+  ts->Stop();
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_GE(ts->stats().requests, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Unix peer-credential auth
+// ---------------------------------------------------------------------------
+
+TEST(ServerAuth, PeerCredentialAllowListAdmitsAndRejects) {
+  const std::string cubes = WriteCubes("srv_auth.opmc");
+
+  // Our own uid on the allow list: everything works.
+  {
+    server::ServerOptions options;
+    options.cubes_path = cubes;
+    options.listen = SocketAddr("srv_auth_ok.sock");
+    options.allow_uids = {static_cast<uint32_t>(::geteuid())};
+    auto ts = TestServer::Start(options);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_OK_AND_ASSIGN(auto client, Client::Connect(ts->address()));
+    ASSERT_OK_AND_ASSIGN(Reply ping, client->Ping());
+    EXPECT_TRUE(ping.ok());
+    ts->Stop();
+    EXPECT_EQ(ts->stats().auth_rejected, 0);
+  }
+
+  // An allow list without our uid: the daemon answers one status-coded
+  // reject frame (request id 0 — no request was read) and closes.
+  {
+    server::ServerOptions options;
+    options.cubes_path = cubes;
+    options.listen = SocketAddr("srv_auth_no.sock");
+    options.allow_uids = {static_cast<uint32_t>(::geteuid()) + 1};
+    options.loops = 2;
+    auto ts = TestServer::Start(options);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_OK_AND_ASSIGN(auto denied, Client::Connect(ts->address(), 5000));
+    auto rejected = denied->ReadReply();
+    if (rejected.ok()) {
+      EXPECT_EQ(rejected->status, RespStatus::kBadRequest);
+      EXPECT_EQ(rejected->request_id, 0u);
+    }
+    // Either way the connection is dead: no request ever succeeds.
+    auto ping = denied->Ping();
+    EXPECT_TRUE(!ping.ok() || !ping->ok());
+    ts->Stop();
+    EXPECT_GE(ts->stats().auth_rejected, 1);
+    EXPECT_EQ(ts->stats().requests, 0);
+  }
+
+  // TCP carries no peer credentials; the combination is a startup error,
+  // not a silently unenforced option.
+  {
+    server::ServerOptions options;
+    options.cubes_path = cubes;
+    options.listen = "127.0.0.1:0";
+    options.allow_uids = {static_cast<uint32_t>(::geteuid())};
+    auto started = server::Server::Start(options);
+    EXPECT_FALSE(started.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest -> live daemon reload drill (publish hook sends RELOAD)
+// ---------------------------------------------------------------------------
+
+TEST(ServerIngestNotify, PublishHookReloadsLiveDaemonAfterCompaction) {
+  const Schema schema = test::MakeSchema({{"region", {"north", "south"}},
+                                          {"tier", {"basic", "plus"}},
+                                          {"outcome", {"neg", "pos"}}});
+  const std::string dir = ::testing::TempDir() + "/srv_ingest_notify";
+  // Make the directory reusable across test reruns (Create refuses an
+  // existing MANIFEST).
+  (void)Env::Default()->DeleteFile(dir + "/MANIFEST");
+  for (uint64_t id = 1; id < 8; ++id) {
+    (void)Env::Default()->DeleteFile(dir + "/" + WalSegmentFileName(id));
+    (void)Env::Default()->DeleteFile(dir + "/" + WalOpenFileName(id));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "cubes-%06llu.opmc",
+                  static_cast<unsigned long long>(id));
+    (void)Env::Default()->DeleteFile(dir + "/" + buf);
+  }
+  IngestOptions ingest_options;
+  ingest_options.wal.sync_every_append = true;
+  ASSERT_OK_AND_ASSIGN(
+      auto ing, Ingester::Create(Env::Default(), dir, schema, ingest_options));
+
+  // Serve the generation-1 (empty) container the ingester just wrote.
+  server::ServerOptions options;
+  options.cubes_path = dir + "/cubes-000001.opmc";
+  options.listen = SocketAddr("srv_ingest_notify.sock");
+  options.loops = 2;
+  auto ts = TestServer::Start(options);
+  ASSERT_NE(ts, nullptr);
+  ASSERT_OK_AND_ASSIGN(auto client, Client::Connect(ts->address()));
+  {
+    ASSERT_OK_AND_ASSIGN(Reply schema_reply, client->Call(Op::kSchema));
+    ASSERT_TRUE(schema_reply.ok()) << schema_reply.ErrorText();
+    ASSERT_OK_AND_ASSIGN(server::SchemaInfo info,
+                         server::DecodeSchemaInfo(schema_reply.body));
+    EXPECT_EQ(info.num_records, 0);
+    EXPECT_EQ(info.store_generation, 1u);
+  }
+
+  // The drill: publishing a compaction pushes a RELOAD naming the fresh
+  // container into the running daemon.
+  const std::string daemon_addr = ts->address();
+  ing->set_publish_hook(
+      [&daemon_addr](const CubeStore*, const std::string& cube_path) {
+        OPMAP_ASSIGN_OR_RETURN(std::unique_ptr<Client> notify,
+                               Client::Connect(daemon_addr, 10000));
+        server::ReloadRequest req;
+        req.path = cube_path;
+        OPMAP_ASSIGN_OR_RETURN(Reply reply, notify->Reload(req));
+        return reply.ToStatus();
+      });
+
+  Dataset batch(schema);
+  ValueCode codes[3];
+  for (uint64_t r = 0; r < 5; ++r) {
+    codes[0] = static_cast<ValueCode>(r % 2);
+    codes[1] = static_cast<ValueCode>((r / 2) % 2);
+    codes[2] = static_cast<ValueCode>(r % 2);
+    batch.AppendRowUnchecked(codes);
+  }
+  ASSERT_OK_AND_ASSIGN(const uint64_t seq, ing->AppendBatch(batch));
+  EXPECT_EQ(seq, 1u);
+  ASSERT_OK(ing->Compact());
+  EXPECT_EQ(ing->GetStats().publish_failures, 0)
+      << ing->GetStats().last_publish_error;
+
+  // The daemon now serves the compacted data without having restarted.
+  ASSERT_OK_AND_ASSIGN(Reply schema_reply, client->Call(Op::kSchema));
+  ASSERT_TRUE(schema_reply.ok()) << schema_reply.ErrorText();
+  ASSERT_OK_AND_ASSIGN(server::SchemaInfo info,
+                       server::DecodeSchemaInfo(schema_reply.body));
+  EXPECT_EQ(info.num_records, 5);
+  EXPECT_EQ(info.store_generation, 2u);
+  ASSERT_OK(ing->Close());
+  ts->Stop();
+  EXPECT_EQ(ts->stats().reloads, 1);
 }
 
 }  // namespace

@@ -61,6 +61,26 @@ threads, the event loop and the pool workers all contend for the same
 CPU, so the ratio measures the scheduler, not the wire — reported,
 never enforced there.
 
+When the file carries several server/qps records whose embedded stats
+snapshots disagree on the server.loops gauge (the run_bench.sh server
+section records a single-loop and a multi-loop daemon back to back),
+the best multi-loop rate must reach MIN_LOOPS_SPEEDUP x the single-loop
+rate — the win the SO_REUSEPORT loop sharding exists to deliver. The
+guard obeys the one-core skip (loops contend for one CPU there) and is
+silent when only one loop configuration was recorded.
+
+Open-loop sweep rows (server/sweep/<rate>_{p50,p99,p999,achieved_qps,
+retry_later}, from `opmap loadgen --sweep`): each offered rate carries
+its measured percentiles, the achieved post-warm-up rate, and the shed
+rate. Per rate, percentiles must not invert (bookkeeping, enforced
+always) and the achieved_qps record must exist and be positive. Across
+rates, the achieved rate must be monotone non-decreasing (within
+SWEEP_MONOTONE_TOLERANCE) while the daemon still tracks the offered
+load (achieved >= SWEEP_KNEE_TRACK_FACTOR x offered) — it may plateau
+at the knee, but collapsing below a rate it just sustained is
+congestion collapse, a failure; pairs past the first saturated point
+are unconstrained. The monotonicity guard obeys the one-core skip.
+
 Speedup guards are skipped (reported, not enforced) when the records
 carry hardware_concurrency == 1: on a one-core host the timings are
 too contended to judge.
@@ -127,6 +147,19 @@ MAX_WIRE_OVERHEAD = 10.0
 # ...unless the absolute difference is under this many ms: a 50 us
 # baseline makes 10x just 0.5 ms, which one context switch exceeds.
 WIRE_OVERHEAD_SLACK_MS = 2.0
+
+# Minimum peak-QPS speedup of the best multi-loop daemon over the
+# single-loop one, when a file records both (see the docstring).
+MIN_LOOPS_SPEEDUP = 1.5
+
+# Open-loop sweep guards: a point still "tracks" the offered load while
+# achieved >= this fraction of offered (the first point below it is the
+# knee), and before the knee each point's achieved rate must be at least
+# this fraction of the previous point's (tolerance for short windows).
+SWEEP_KNEE_TRACK_FACTOR = 0.9
+SWEEP_MONOTONE_TOLERANCE = 0.85
+
+SWEEP_KINDS = ("p50", "p99", "p999", "achieved_qps", "retry_later")
 
 
 def check_kernel_pairs(path: str, pairs: dict, skip_speedups: bool) -> bool:
@@ -450,6 +483,142 @@ def check_server_ops(path: str, server: dict, skip_speedups: bool) -> bool:
     return failed
 
 
+def check_sweep_ops(path: str, sweep: dict, skip_speedups: bool) -> bool:
+    """Guards the open-loop sweep rows; True when a guard failed.
+
+    `sweep` maps op name -> record for every op starting "server/sweep/".
+    """
+    failed = False
+
+    # "server/sweep/<rate>_<kind>" -> rates[float(rate)][kind] = record.
+    # The rate label itself may contain underscores-free digits and a dot.
+    rates: dict = {}
+    for op, rec in sweep.items():
+        rest = op[len("server/sweep/"):]
+        for kind in SWEEP_KINDS:
+            if rest.endswith("_" + kind):
+                label = rest[: -(len(kind) + 1)]
+                try:
+                    rate = float(label)
+                except ValueError:
+                    break
+                rates.setdefault(rate, {})[kind] = rec
+                break
+        else:
+            print(f"check_bench: FAIL: unrecognized sweep op {op} in "
+                  f"{path}", file=sys.stderr)
+            failed = True
+
+    achieved_by_rate: dict = {}
+    for rate in sorted(rates):
+        kinds = rates[rate]
+        achieved_rec = kinds.get("achieved_qps")
+        achieved = (float(achieved_rec.get("items_per_s", 0.0))
+                    if achieved_rec is not None else None)
+        shed_rec = kinds.get("retry_later")
+        shed = (float(shed_rec.get("items_per_s", 0.0))
+                if shed_rec is not None else 0.0)
+        quantiles = [(q, kinds.get(q)) for q in ("p50", "p99", "p999")]
+        present = [(q, float(rec["wall_ms"])) for q, rec in quantiles
+                   if rec is not None]
+        row = "  ".join(f"{q}={ms:8.3f} ms" for q, ms in present)
+        print(f"{'server/sweep @ %g qps offered' % rate:40s} "
+              f"achieved={achieved if achieved is not None else float('nan'):8.1f}  "
+              f"shed/s={shed:7.1f}  {row}")
+        # Percentile inversions are bookkeeping errors, enforced always.
+        for (q_lo, ms_lo), (q_hi, ms_hi) in zip(present, present[1:]):
+            if ms_lo > ms_hi:
+                print(f"check_bench: FAIL: sweep rate {rate:g} {q_lo} "
+                      f"({ms_lo:.3f} ms) exceeds {q_hi} ({ms_hi:.3f} ms) in "
+                      f"{path} — percentiles of one run cannot invert",
+                      file=sys.stderr)
+                failed = True
+        if achieved_rec is None:
+            print(f"check_bench: FAIL: sweep rate {rate:g} in {path} has no "
+                  f"achieved_qps record", file=sys.stderr)
+            failed = True
+            continue
+        if achieved <= 0:
+            print(f"check_bench: FAIL: sweep rate {rate:g} in {path} "
+                  f"completed no request in the measured window",
+                  file=sys.stderr)
+            failed = True
+            continue
+        achieved_by_rate[rate] = achieved
+
+    # Monotone until the knee: while a point still tracks the offered
+    # load, the next point's achieved rate must not collapse below it
+    # (tolerance for short windows) — it may plateau (the knee), but a
+    # daemon that achieves *less* at a higher offered rate than it just
+    # proved it could sustain is in congestion collapse, not saturation.
+    # Pairs past the first saturated point are unconstrained.
+    ordered = sorted(achieved_by_rate)
+    tracking = [achieved_by_rate[r] >= SWEEP_KNEE_TRACK_FACTOR * r
+                for r in ordered]
+    knee = next((r for r, ok in zip(ordered, tracking) if not ok), None)
+    for i, (lo, hi) in enumerate(zip(ordered, ordered[1:])):
+        if not tracking[i]:
+            break  # lo is saturated; later pairs are unconstrained
+        if achieved_by_rate[hi] < \
+                SWEEP_MONOTONE_TOLERANCE * achieved_by_rate[lo]:
+            if skip_speedups:
+                print(f"check_bench: SKIP (hardware_concurrency=1): "
+                      f"achieved rate dropped from {achieved_by_rate[lo]:.1f} "
+                      f"({lo:g} offered) to {achieved_by_rate[hi]:.1f} "
+                      f"({hi:g} offered)")
+            else:
+                print(f"check_bench: FAIL: achieved rate fell from "
+                      f"{achieved_by_rate[lo]:.1f} req/s at {lo:g} offered "
+                      f"to {achieved_by_rate[hi]:.1f} req/s at {hi:g} "
+                      f"offered, before the knee — throughput must not "
+                      f"regress while the daemon still tracks the load",
+                      file=sys.stderr)
+                failed = True
+    if knee is not None:
+        print(f"{'server/sweep knee':40s} first saturated point at "
+              f"{knee:g} qps offered ({achieved_by_rate[knee]:.1f} achieved)")
+    return failed
+
+
+def check_loops_speedup(path: str, qps_records: list,
+                        skip_speedups: bool) -> bool:
+    """Guards multi-loop vs single-loop peak QPS; True when failed.
+
+    `qps_records` holds every server/qps record in file order. Loop
+    counts come from the embedded daemon stats (server.loops); records
+    without the gauge (pre-sharding files) are ignored.
+    """
+    best_by_loops: dict = {}
+    for rec in qps_records:
+        stats = rec.get("stats")
+        if not isinstance(stats, dict) or "server.loops" not in stats:
+            continue
+        loops = int(stats["server.loops"])
+        qps = float(rec.get("items_per_s", 0.0))
+        best_by_loops[loops] = max(best_by_loops.get(loops, 0.0), qps)
+    multi = {n: q for n, q in best_by_loops.items() if n >= 2}
+    if 1 not in best_by_loops or not multi:
+        return False  # one configuration only: nothing to compare
+    single_qps = best_by_loops[1]
+    best_loops, best_qps = max(multi.items(), key=lambda kv: kv[1])
+    speedup = best_qps / single_qps if single_qps > 0 else float("inf")
+    print(f"{'server/qps loops=%d over loops=1' % best_loops:40s} "
+          f"multi={best_qps:12.1f} req/s  single={single_qps:12.1f} req/s  "
+          f"speedup={speedup:5.2f}x")
+    if speedup < MIN_LOOPS_SPEEDUP:
+        if skip_speedups:
+            print(f"check_bench: SKIP (hardware_concurrency=1): "
+                  f"{best_loops} loops reach only {speedup:.2f}x the "
+                  f"single-loop rate on one CPU")
+            return False
+        print(f"check_bench: FAIL: {best_loops} event loops reach only "
+              f"{speedup:.2f}x the single-loop rate (need >= "
+              f"{MIN_LOOPS_SPEEDUP}x) — the loop sharding is not "
+              f"delivering", file=sys.stderr)
+        return True
+    return False
+
+
 def check_stats(path: str, latest: dict) -> bool:
     """Guards the embedded metrics snapshots; True when a guard failed.
 
@@ -510,6 +679,8 @@ def check_file(path: str) -> int:
     serving: dict = {}
     ingest: dict = {}
     server: dict = {}
+    sweep: dict = {}
+    qps_records: list = []
     scaling: dict = {}  # op -> {threads: wall_ms}
     latest: dict = {}
     hardware = None
@@ -528,15 +699,20 @@ def check_file(path: str) -> int:
             serving[op] = float(rec["wall_ms"])
         if op.startswith("ingest/"):
             ingest[op] = rec
-        if op.startswith("server/"):
+        if op.startswith("server/sweep/"):
+            sweep[op] = rec
+        elif op.startswith("server/"):
             server[op] = rec
+        if op == "server/qps":
+            qps_records.append(rec)
         if "hardware_concurrency" in rec:
             hardware = int(rec["hardware_concurrency"])
 
     if not pairs and not serving and not ingest and not server \
-            and not scaling:
+            and not sweep and not scaling:
         print(f"check_bench: no kernel pairs, serving ops, ingest ops, "
-              f"server ops, or scaling rows in {path}", file=sys.stderr)
+              f"server ops, sweep rows, or scaling rows in {path}",
+              file=sys.stderr)
         return 2
 
     # Records predating the hardware_concurrency field enforce as before.
@@ -554,6 +730,9 @@ def check_file(path: str) -> int:
         failed |= check_ingest_ops(path, ingest, skip_speedups)
     if server:
         failed |= check_server_ops(path, server, skip_speedups)
+        failed |= check_loops_speedup(path, qps_records, skip_speedups)
+    if sweep:
+        failed |= check_sweep_ops(path, sweep, skip_speedups)
     if scaling:
         failed |= check_scaling_ops(path, scaling, hardware)
     failed |= check_stats(path, latest)

@@ -106,5 +106,68 @@ echo "--- scaling (simd tiers + thread sweep) ---"
 
 echo
 echo "wrote $(grep -c '"op"' "$SIMD_OUT") measurements to $SIMD_OUT"
+
+# Daemon serving trajectory: closed-loop peak throughput against a
+# single-loop and a multi-loop opmapd (check_bench.py requires the
+# multi-loop peak to reach 1.5x the single-loop one, skipped on one
+# core), then an open-loop latency-vs-offered-load sweep against the
+# multi-loop daemon — Poisson arrivals at fixed offered rates, so the
+# recorded percentiles include queueing delay instead of the
+# coordinated-omission bias a closed loop bakes in.
+SERVER_OUT="BENCH_server.json"
+rm -f "$SERVER_OUT"
+OPMAP="$BUILD_DIR/src/tools/opmap"
+SRV_DIR=$(mktemp -d)
+trap 'rm -rf "$SRV_DIR"' EXIT
+"$OPMAP" generate --records="$RECORDS" --attributes=12 \
+  --out="$SRV_DIR/server.opmd"
+"$OPMAP" cubes --data="$SRV_DIR/server.opmd" --out="$SRV_DIR/server.opmc"
+
+LOOP_SET="1"
+if [[ "$HW" -gt 1 ]]; then
+  LOOP_SET="1 2"
+fi
+for l in $LOOP_SET; do
+  echo "--- server closed-loop (loops=$l) ---"
+  "$OPMAP" serve --cubes="$SRV_DIR/server.opmc" --loops="$l" \
+    --listen="unix:$SRV_DIR/opmapd.sock" \
+    >"$SRV_DIR/serve.out" 2>"$SRV_DIR/serve.err" &
+  SERVE_PID=$!
+  for _ in $(seq 100); do
+    grep -q "opmapd listening" "$SRV_DIR/serve.out" && break
+    sleep 0.1
+  done
+  grep -q "opmapd listening" "$SRV_DIR/serve.out" || \
+    { cat "$SRV_DIR/serve.err" >&2; exit 1; }
+  "$OPMAP" loadgen --connect="unix:$SRV_DIR/opmapd.sock" \
+    --clients=8 --duration=3 --cubes="$SRV_DIR/server.opmc" \
+    --json="$SERVER_OUT"
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+done
+
+SWEEP_LOOPS=1
+if [[ "$HW" -gt 1 ]]; then
+  SWEEP_LOOPS=2
+fi
+echo "--- server open-loop sweep (loops=$SWEEP_LOOPS) ---"
+"$OPMAP" serve --cubes="$SRV_DIR/server.opmc" --loops="$SWEEP_LOOPS" \
+  --listen="unix:$SRV_DIR/opmapd.sock" \
+  >"$SRV_DIR/serve.out" 2>"$SRV_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q "opmapd listening" "$SRV_DIR/serve.out" && break
+  sleep 0.1
+done
+grep -q "opmapd listening" "$SRV_DIR/serve.out" || \
+  { cat "$SRV_DIR/serve.err" >&2; exit 1; }
+"$OPMAP" loadgen --connect="unix:$SRV_DIR/opmapd.sock" \
+  --clients=4 --duration=3 --sweep=200,600,1800 \
+  --json="$SERVER_OUT"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+
+echo
+echo "wrote $(grep -c '"op"' "$SERVER_OUT") measurements to $SERVER_OUT"
 python3 tools/check_bench.py \
-  "$COUNTING_OUT" "$SERVING_OUT" "$INGEST_OUT" "$SIMD_OUT"
+  "$COUNTING_OUT" "$SERVING_OUT" "$INGEST_OUT" "$SIMD_OUT" "$SERVER_OUT"
